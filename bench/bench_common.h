@@ -1,0 +1,86 @@
+#ifndef MOC_BENCH_BENCH_COMMON_H_
+#define MOC_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared configurations for the figure/table reproduction harnesses: the
+ * laptop-scale stand-ins for GPT-125M-8E / GPT-350M-16E / SwinV2-MoE and the
+ * synthetic corpora they train on (see DESIGN.md, "Substitutions").
+ */
+
+#include <cstdio>
+
+#include "data/corpus.h"
+#include "nn/classifier.h"
+#include "nn/model.h"
+
+namespace moc::bench {
+
+/** Tiny GPT-MoE with 8 experts: the GPT-125M-8E stand-in (Fig. 5). */
+inline LmConfig
+TinyGpt8E(std::uint64_t seed = 21) {
+    LmConfig cfg;
+    cfg.vocab = 64;
+    cfg.max_seq = 24;  // headroom for probe contexts + 8-token continuations
+    cfg.hidden = 24;
+    cfg.num_heads = 2;
+    cfg.head_dim = 12;
+    cfg.num_layers = 4;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 8;
+    cfg.top_k = 1;
+    cfg.moe_every = 2;
+    cfg.moe_offset = 1;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Slightly larger 16-expert stand-in for GPT-350M-16E (Fig. 14a, Tables). */
+inline LmConfig
+TinyGpt16E(std::uint64_t seed = 22) {
+    LmConfig cfg = TinyGpt8E(seed);
+    cfg.num_experts = 16;
+    cfg.hidden = 32;
+    cfg.head_dim = 16;
+    return cfg;
+}
+
+/** The SwinV2-MoE stand-in classifier (Fig. 14b). */
+inline ClassifierConfig
+TinySwinMoe(std::uint64_t seed = 23) {
+    ClassifierConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.num_classes = 8;
+    cfg.hidden = 24;
+    cfg.num_heads = 2;
+    cfg.head_dim = 12;
+    cfg.num_layers = 4;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 8;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** The pre-training corpus (Wikitext-2 / SlimPajama stand-in). */
+inline CorpusConfig
+PretrainCorpus() {
+    CorpusConfig cfg;
+    cfg.vocab_size = 64;
+    cfg.branching = 4;
+    cfg.structure_weight = 0.85;
+    cfg.zipf_exponent = 1.1;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+inline void
+PrintHeader(const char* id, const char* title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("================================================================\n");
+}
+
+}  // namespace moc::bench
+
+#endif  // MOC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 5 reproduction: correlation between the Proportion of Lost Tokens
+ * (PLT) and final validation loss.
+ *
+ * The paper trains GPT-125M-8E on Wikitext-2 with a fault at the midpoint
+ * under varying (K_pec, I_ckpt); we train the tiny 8-expert stand-in on the
+ * synthetic corpus. Expected shape: PLT grows as K_pec shrinks / I_ckpt
+ * grows, and the final loss stays within noise of the non-fault case for
+ * small PLT, degrading as PLT rises.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "faults/trainer.h"
+#include "util/table.h"
+
+using namespace moc;
+using namespace moc::bench;
+
+namespace {
+
+constexpr std::size_t kIterations = 2048;
+
+LmTrainerConfig
+TrainerFor(std::size_t k, std::size_t i_ckpt) {
+    LmTrainerConfig cfg;
+    cfg.moc.pec.k_snapshot = k;
+    cfg.moc.pec.k_persist = k;
+    cfg.moc.i_ckpt = i_ckpt;
+    cfg.moc.two_level_recovery = false;  // isolate pure PEC as in Section 3
+    cfg.parallel = {.dp = 8, .ep = 8, .tp = 1, .pp = 1};
+    cfg.gpus_per_node = 4;
+    cfg.total_iterations = kIterations;
+    cfg.adam.lr = 3e-3;
+    return cfg;
+}
+
+}  // namespace
+
+int
+main() {
+    PrintHeader("Figure 5", "PLT vs final validation loss (fault at midpoint)");
+
+    ZipfMarkovCorpus corpus(PretrainCorpus());
+    LmBatchStream train(corpus, 4, 16, 0);
+    LmBatchStream valid(corpus, 4, 16, 1);
+
+    // Non-fault reference.
+    MoeTransformerLm ref_model(TinyGpt8E());
+    FaultInjector none(std::vector<FaultEvent>{});
+    auto ref_cfg = TrainerFor(8, 16);
+    const auto ref = RunFaultTolerantLmTraining(ref_model, train, valid, ref_cfg, none);
+    std::printf("non-fault reference: final validation loss = %.4f "
+                "(corpus conditional entropy floor = %.4f)\n",
+                ref.final_eval_loss, corpus.ConditionalEntropy());
+
+    Table table({"K_pec", "I_ckpt", "PLT (%)", "final val loss", "delta vs non-fault"});
+    for (std::size_t k : {1UL, 2UL, 4UL, 8UL}) {
+        for (std::size_t i_ckpt : {16UL, 32UL, 64UL}) {
+            MoeTransformerLm model(TinyGpt8E());
+            auto injector = FaultInjector::At(kIterations / 2 + 2, 0);
+            auto cfg = TrainerFor(k, i_ckpt);
+            const auto log =
+                RunFaultTolerantLmTraining(model, train, valid, cfg, injector);
+            table.AddRow({std::to_string(k), std::to_string(i_ckpt),
+                          Table::Num(log.plt * 100.0, 2),
+                          Table::Num(log.final_eval_loss, 4),
+                          Table::Num(log.final_eval_loss - ref.final_eval_loss, 4)});
+        }
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("expected shape: PLT rises as K_pec falls and I_ckpt grows;\n"
+                "loss deltas stay small (|delta| << 1) at low PLT.\n");
+    return 0;
+}

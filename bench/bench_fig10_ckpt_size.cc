@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 10 reproduction: checkpoint sizes for GPT-350M-16E.
+ *
+ * (a) total checkpoint size vs K_pec (Eq. 5/6).
+ * (b-d) bottleneck-rank checkpoint workload under the Megatron-DeepSpeed
+ * baseline vs fully sharded strategies ("EE" equal expert, "EN" equal
+ * non-expert, "AN" adaptive non-expert) across the Table 2 cases.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/selection.h"
+#include "core/sharding.h"
+#include "dist/presets.h"
+#include "util/table.h"
+
+using namespace moc;
+using namespace moc::bench;
+
+namespace {
+
+std::vector<std::vector<ExpertId>>
+Selection(const ModelSpec& spec, std::size_t k) {
+    SequentialSelector sel(spec.num_experts);
+    std::vector<std::vector<ExpertId>> out(spec.NumMoeLayers());
+    for (std::size_t m = 0; m < out.size(); ++m) {
+        out[m] = sel.Select(0, m, k);
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+main() {
+    const ModelSpec spec = Gpt350M16E();
+    const StateBytes bytes;  // B_w = 2 (bf16), B_o = 12 (fp32 master + m + v)
+    const ModelStateInventory inv(spec, bytes);
+
+    PrintHeader("Figure 10(a)", "total checkpoint size vs K_pec (GPT-350M-16E)");
+    const Bytes full = FullCheckpointSize(spec, bytes);
+    Table a({"K_pec", "ckpt size", "relative to full"});
+    for (std::size_t k : {16UL, 12UL, 8UL, 4UL, 2UL, 1UL}) {
+        const Bytes c = PecCheckpointSize(spec, bytes, k);
+        a.AddRow({std::to_string(k), FormatBytes(c),
+                  Table::Num(static_cast<double>(c) / static_cast<double>(full), 3)});
+    }
+    std::printf("%s", a.ToString().c_str());
+    std::printf("paper: 42.3%% of full at K_pec=1 under the authors' measured\n"
+                "composition; with the Fig.2-calibrated byte policy (B_w=2,\n"
+                "B_o=12, expert share 86%%) Eq. 6 yields the ~0.19 above —\n"
+                "a stronger reduction of the same monotone shape.\n");
+
+    PrintHeader("Figure 10(b-d)", "bottleneck-rank workload per sharding strategy");
+    struct Strategy {
+        const char* name;
+        ShardingOptions options;
+    };
+    const Strategy strategies[] = {
+        {"baseline", {}},
+        {"EE", {true, false, false}},
+        {"EE+EN", {true, true, false}},
+        {"EE+AN", {true, false, true}},
+    };
+    for (const auto& c : AllCases()) {
+        const RankTopology topo = c.Topology();
+        std::printf("\n-- %s (DP=%zu EP=%zu, %zu EP groups) --\n", c.name.c_str(),
+                    c.parallel.dp, c.parallel.ep, topo.NumEpGroups());
+        Table t({"strategy", "save mode", "bottleneck bytes", "vs baseline-full"});
+        ShardingPlanner base_planner(inv, topo, ShardingOptions{});
+        const double base_full =
+            static_cast<double>(base_planner.PlanFull().BottleneckBytes());
+        for (const auto& s : strategies) {
+            ShardingPlanner planner(inv, topo, s.options);
+            const Bytes bn_full = planner.PlanFull().BottleneckBytes();
+            const auto sel = Selection(spec, 1);
+            const Bytes bn_pec = planner.Plan(sel, sel).BottleneckBytes();
+            t.AddRow({s.name, "full (K=16)", FormatBytes(bn_full),
+                      Table::Num(static_cast<double>(bn_full) / base_full, 3)});
+            t.AddRow({s.name, "PEC (K=1)", FormatBytes(bn_pec),
+                      Table::Num(static_cast<double>(bn_pec) / base_full, 3)});
+        }
+        std::printf("%s", t.ToString().c_str());
+    }
+    std::printf("\nexpected shape: fully sharded << baseline; EE only helps with\n"
+                "multiple EP groups (Case3); AN <= EN under PEC (K=1).\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 15 reproduction:
+ * (a) PLT under combinations of (K_snapshot, K_persist) with two-level
+ *     recovery — larger K_snapshot markedly reduces PLT because surviving
+ *     nodes recover fresher expert states from memory;
+ * (b) the Dynamic-K strategy: under an escalating fault schedule, K_pec
+ *     climbs and cumulative PLT stays bounded, whereas constant K=1 grows
+ *     roughly linearly with the fault count.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "faults/trainer.h"
+#include "util/table.h"
+
+using namespace moc;
+using namespace moc::bench;
+
+namespace {
+
+constexpr std::size_t kIterations = 2048;
+
+LmTrainerConfig
+Case2Trainer() {
+    LmTrainerConfig cfg;
+    cfg.moc.i_ckpt = 16;
+    cfg.parallel = {.dp = 16, .ep = 16, .tp = 1, .pp = 1};
+    cfg.gpus_per_node = 8;
+    cfg.total_iterations = kIterations;
+    cfg.adam.lr = 3e-3;
+    return cfg;
+}
+
+}  // namespace
+
+int
+main() {
+    ZipfMarkovCorpus corpus(PretrainCorpus());
+    LmBatchStream train(corpus, 4, 16, 0);
+    LmBatchStream valid(corpus, 4, 16, 1);
+
+    PrintHeader("Figure 15(a)",
+                "PLT vs (K_snapshot, K_persist) with two-level recovery");
+    Table a({"K_snapshot", "K_persist", "PLT (%)", "bytes from memory",
+             "bytes from storage"});
+    struct Combo {
+        std::size_t snap;
+        std::size_t persist;
+    };
+    for (const Combo combo : {Combo{1, 1}, Combo{2, 1}, Combo{4, 1}, Combo{8, 1},
+                              Combo{16, 1}, Combo{4, 2}, Combo{4, 4}}) {
+        MoeTransformerLm model(TinyGpt16E());
+        auto cfg = Case2Trainer();
+        cfg.moc.pec.k_snapshot = combo.snap;
+        cfg.moc.pec.k_persist = combo.persist;
+        cfg.moc.two_level_recovery = true;
+        auto injector = FaultInjector::Every(512, kIterations, 0);
+        const auto log = RunFaultTolerantLmTraining(model, train, valid, cfg, injector);
+        Bytes mem = 0;
+        Bytes sto = 0;
+        for (const auto& r : log.recoveries) {
+            mem += r.plan.bytes_from_memory;
+            sto += r.plan.bytes_from_storage;
+        }
+        a.AddRow({std::to_string(combo.snap), std::to_string(combo.persist),
+                  Table::Num(log.plt * 100.0, 3), FormatBytes(mem),
+                  FormatBytes(sto)});
+    }
+    std::printf("%s", a.ToString().c_str());
+    std::printf("expected shape: PLT falls as K_snapshot rises (fresher in-memory\n"
+                "states on surviving nodes); K_persist matters less under 2L.\n");
+
+    PrintHeader("Figure 15(b)", "Dynamic-K vs constant K under repeated faults");
+    // Faults begin after one full persist rotation so the first fault's PLT
+    // reflects steady-state staleness; repeated faults then accumulate.
+    auto run = [&](bool dynamic_k, double threshold) {
+        MoeTransformerLm model(TinyGpt16E());
+        auto cfg = Case2Trainer();
+        cfg.moc.pec.k_snapshot = 1;
+        cfg.moc.pec.k_persist = 1;
+        cfg.moc.two_level_recovery = false;
+        cfg.moc.dynamic_k = dynamic_k;
+        cfg.moc.plt_threshold = threshold;
+        std::vector<FaultEvent> events;
+        for (std::size_t it = 512; it < kIterations; it += 128) {
+            events.push_back(FaultEvent{it, {0}});
+        }
+        FaultInjector injector(std::move(events));
+        return RunFaultTolerantLmTraining(model, train, valid, cfg, injector);
+    };
+    // Our 2k-iteration runs compress the paper's multi-thousand-iteration
+    // timescale, inflating per-fault PLT proportionally; the scaled budget
+    // (~1.25) plays the role the 3.75% threshold plays at paper scale and
+    // lets the K ladder unfold gradually. The paper-threshold run shows the
+    // controller saturating immediately under the same compression.
+    const auto fixed = run(false, kDefaultPltThreshold);
+    const auto dyn_paper = run(true, kDefaultPltThreshold);
+    const auto dyn_scaled = run(true, 1.25);
+
+    Table b({"fault #", "constant K=1 (%)", "DynK@3.75% (%)", "K",
+             "DynK@scaled (%)", "K'"});
+    const std::size_t faults =
+        std::min({fixed.recoveries.size(), dyn_paper.recoveries.size(),
+                  dyn_scaled.recoveries.size()});
+    for (std::size_t i = 0; i < faults; ++i) {
+        b.AddRow({std::to_string(i + 1),
+                  Table::Num(fixed.recoveries[i].plt * 100.0, 3),
+                  Table::Num(dyn_paper.recoveries[i].plt * 100.0, 3),
+                  std::to_string(dyn_paper.recoveries[i].k_after),
+                  Table::Num(dyn_scaled.recoveries[i].plt * 100.0, 3),
+                  std::to_string(dyn_scaled.recoveries[i].k_after)});
+    }
+    std::printf("%s", b.ToString().c_str());
+    std::printf("final cumulative PLT: constant K=1 -> %.3f%%, Dynamic-K@3.75%% "
+                "-> %.3f%%, Dynamic-K@scaled -> %.3f%%\n",
+                fixed.plt * 100.0, dyn_paper.plt * 100.0, dyn_scaled.plt * 100.0);
+    std::printf("expected shape: constant K accumulates PLT per fault; Dynamic-K\n"
+                "raises K (1 -> 2 -> 4 ... with the scaled budget) and flattens\n"
+                "the cumulative PLT.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The two-phase asynchronous checkpoint pipeline in isolation: real threads,
+ * triple buffering, and measurable overlap (the systems layer behind the
+ * "MoC-Async" results).
+ *
+ * A synthetic training loop produces a state blob each "iteration". The
+ * blocking baseline pays snapshot + persist inline; the asynchronous agent
+ * hides the snapshot under the next iteration's compute and streams persists
+ * in the background through the triple buffer. Prints both timelines.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "ckpt/async_agent.h"
+#include "ckpt/blocking.h"
+#include "util/table.h"
+
+using namespace moc;
+
+namespace {
+
+constexpr std::size_t kIterations = 12;
+constexpr std::size_t kCkptEvery = 3;
+constexpr std::size_t kStateBytes = 400000;  // 400 KB "model state"
+constexpr double kFbMillis = 25.0;           // simulated F&B compute
+
+/** Pretend forward/backward work. */
+void
+FakeCompute() {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(kFbMillis));
+}
+
+Blob
+FakeState(std::uint8_t fill) {
+    return Blob(kStateBytes, fill);
+}
+
+}  // namespace
+
+int
+main() {
+    // Cost model: 10 MB/s snapshot, 4 MB/s persist -> a 400 KB checkpoint
+    // costs 40 ms to snapshot and 100 ms to persist. The 25 ms F&B window
+    // cannot fully hide the snapshot, so the agent reports partial stalls —
+    // exactly the regime where PEC would shrink the payload.
+    StorageIoModel io;
+    io.write_bandwidth = 4e6;
+    io.latency = 0.0;
+    PersistentStore store(io);
+
+    WallClock clock;
+
+    // --- Blocking baseline ---
+    BlockingCheckpointer blocking(store, "baseline", 10e6, 4e6);
+    Seconds blocking_total = 0.0;
+    Seconds blocking_overhead = 0.0;
+    {
+        const Seconds start = clock.Now();
+        for (std::size_t i = 1; i <= kIterations; ++i) {
+            FakeCompute();
+            if (i % kCkptEvery == 0) {
+                blocking_overhead +=
+                    blocking.Checkpoint(FakeState(static_cast<std::uint8_t>(i)), i);
+            }
+        }
+        blocking_total = clock.Now() - start;
+    }
+
+    // --- Asynchronous agent with triple buffering ---
+    AgentCostModel cost;
+    cost.snapshot_bandwidth = 10e6;
+    cost.persist_bandwidth = 4e6;
+    AsyncCheckpointAgent agent(store, "async", cost);
+    Seconds async_total = 0.0;
+    Seconds async_stalls = 0.0;
+    {
+        const Seconds start = clock.Now();
+        for (std::size_t i = 1; i <= kIterations; ++i) {
+            FakeCompute();
+            // Before the weight update, the previous snapshot must be done.
+            async_stalls += agent.WaitSnapshotComplete();
+            if (i % kCkptEvery == 0) {
+                agent.RequestCheckpoint(FakeState(static_cast<std::uint8_t>(i)), i);
+            }
+        }
+        agent.WaitSnapshotComplete();
+        async_total = clock.Now() - start;
+    }
+    agent.Drain();
+    const AgentStats stats = agent.stats();
+
+    Table t({"pipeline", "wall time (s)", "train-visible overhead (s)",
+             "checkpoints persisted"});
+    t.AddRow({"blocking baseline", Table::Num(blocking_total, 3),
+              Table::Num(blocking_overhead, 3),
+              std::to_string(kIterations / kCkptEvery)});
+    t.AddRow({"async triple-buffer", Table::Num(async_total, 3),
+              Table::Num(async_stalls, 3),
+              std::to_string(stats.checkpoints_persisted)});
+    std::printf("%s", t.ToString().c_str());
+    std::printf("agent: %zu snapshot stall(s) totalling %.3f s; %s snapshotted, "
+                "%s persisted; latest persisted iteration = %zu\n",
+                stats.snapshot_stalls, stats.total_stall_time,
+                FormatBytes(stats.bytes_snapshotted).c_str(),
+                FormatBytes(stats.bytes_persisted).c_str(),
+                agent.LatestPersistedIteration().value_or(0));
+    std::printf("expected: both pipelines persist every checkpoint, but the\n"
+                "async agent's train-visible overhead is a fraction of the\n"
+                "blocking baseline's.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fine-tuning with PEC (the Table 4 scenario): pre-train a 16-expert MoE LM
+ * on a base distribution, then fine-tune it on a shifted distribution with
+ * a fault halfway through, under three regimes:
+ *  - frozen experts (FT-w.o.E): only non-expert parameters adapt;
+ *  - full-state checkpoints (FT-Full): lossless but expensive;
+ *  - PEC checkpoints (FT-PEC): 1/8 of experts per checkpoint.
+ * Reports validation loss on the fine-tune distribution for each.
+ */
+
+#include <cstdio>
+
+#include "data/corpus.h"
+#include "faults/trainer.h"
+#include "nn/eval.h"
+#include "util/table.h"
+
+using namespace moc;
+
+namespace {
+
+LmConfig
+ModelCfg() {
+    LmConfig cfg;
+    cfg.vocab = 64;
+    cfg.max_seq = 16;
+    cfg.hidden = 32;
+    cfg.num_heads = 2;
+    cfg.head_dim = 16;
+    cfg.num_layers = 4;
+    cfg.num_experts = 16;
+    cfg.seed = 7;
+    return cfg;
+}
+
+void
+Pretrain(MoeTransformerLm& model, const LmBatchStream& stream, std::size_t iters) {
+    Adam adam(AdamConfig{.lr = 3e-3});
+    const auto params = model.AllParameters();
+    for (std::size_t i = 0; i < iters; ++i) {
+        model.TrainBackward(stream.Get(i));
+        adam.Step(params);
+    }
+}
+
+}  // namespace
+
+int
+main() {
+    CorpusConfig base_cfg;
+    base_cfg.vocab_size = 64;
+    base_cfg.seed = 1234;
+    ZipfMarkovCorpus base_corpus(base_cfg);
+    CorpusConfig task_cfg = base_cfg;
+    task_cfg.seed = 4321;  // a different chain: the downstream "task"
+    ZipfMarkovCorpus task_corpus(task_cfg);
+
+    LmBatchStream pretrain(base_corpus, 8, 16, 0);
+    LmBatchStream ft_train(task_corpus, 8, 16, 0);
+    LmBatchStream ft_valid(task_corpus, 8, 16, 1);
+
+    constexpr std::size_t kPretrainIters = 160;
+    constexpr std::size_t kFtIters = 96;
+
+    auto finetune = [&](MoeTransformerLm& model, bool pec, bool freeze_experts) {
+        if (freeze_experts) {
+            for (auto& g : model.ParameterGroups()) {
+                if (g.kind == ModuleKind::kExpert) {
+                    for (auto* p : g.params) {
+                        p->set_frozen(true);
+                    }
+                }
+            }
+        }
+        LmTrainerConfig cfg;
+        cfg.moc.pec.k_snapshot = pec ? 2 : 16;
+        cfg.moc.pec.k_persist = pec ? 2 : 16;
+        cfg.moc.i_ckpt = 12;
+        cfg.parallel = {.dp = 16, .ep = 16, .tp = 1, .pp = 1};
+        cfg.gpus_per_node = 8;
+        cfg.total_iterations = kFtIters;
+        cfg.adam.lr = 1e-3;
+        auto injector = FaultInjector::At(kFtIters / 2 + 2, 0);
+        return RunFaultTolerantLmTraining(model, ft_train, ft_valid, cfg, injector);
+    };
+
+    Table t({"regime", "val loss (task)", "PLT (%)"});
+
+    MoeTransformerLm base(ModelCfg());
+    Pretrain(base, pretrain, kPretrainIters);
+    t.AddRow({"Base (no fine-tune)",
+              Table::Num(EvalStreamLoss(base, ft_valid, 4), 4), "-"});
+
+    MoeTransformerLm woe(ModelCfg());
+    Pretrain(woe, pretrain, kPretrainIters);
+    const auto log_woe = finetune(woe, /*pec=*/false, /*freeze_experts=*/true);
+    t.AddRow({"FT-w.o.E (frozen experts)", Table::Num(log_woe.final_eval_loss, 4),
+              Table::Num(log_woe.plt * 100.0, 2)});
+
+    MoeTransformerLm full(ModelCfg());
+    Pretrain(full, pretrain, kPretrainIters);
+    const auto log_full = finetune(full, /*pec=*/false, /*freeze_experts=*/false);
+    t.AddRow({"FT-Full", Table::Num(log_full.final_eval_loss, 4),
+              Table::Num(log_full.plt * 100.0, 2)});
+
+    MoeTransformerLm pec(ModelCfg());
+    Pretrain(pec, pretrain, kPretrainIters);
+    const auto log_pec = finetune(pec, /*pec=*/true, /*freeze_experts=*/false);
+    t.AddRow({"FT-PEC (1/8 experts)", Table::Num(log_pec.final_eval_loss, 4),
+              Table::Num(log_pec.plt * 100.0, 2)});
+
+    std::printf("%s", t.ToString().c_str());
+    std::printf("expected: fine-tuned regimes beat Base; FT-PEC ~= FT-Full;\n"
+                "frozen-expert fine-tuning close behind (experts tolerate\n"
+                "missing updates).\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Capacity-planning study with the analytical simulator: given a deployment
+ * (GPU model, count, parallelism, model size), compare the three
+ * checkpointing methods and let the adaptive configurator pick
+ * (K_snapshot, K_persist, I_ckpt) for two-level PEC.
+ *
+ * Usage: scaling_study [gpus] [a800|h100] [small|medium|large]
+ * Defaults: 256 a800 medium.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/adaptive.h"
+#include "core/overhead.h"
+#include "dist/presets.h"
+#include "sim/perf_model.h"
+#include "sim/timeline.h"
+#include "util/table.h"
+
+using namespace moc;
+
+int
+main(int argc, char** argv) {
+    const std::size_t gpus = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+    const std::string gpu_name = argc > 2 ? argv[2] : "a800";
+    const std::string size = argc > 3 ? argv[3] : "medium";
+    if (gpus == 0) {
+        std::fprintf(stderr, "usage: %s [gpus] [a800|h100] [small|medium|large]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    TrainingSetup setup;
+    setup.model = LlamaMoeSim(size, gpus);  // one expert per GPU per MoE layer
+    setup.parallel = {.dp = gpus, .ep = gpus, .tp = 1, .pp = 1};
+    setup.gpus_per_node = 8;
+    setup.gpu = gpu_name == "h100" ? H100() : A800();
+    setup.batch_per_gpu = 2;
+    setup.seq_len = 2048;
+    const PerfModel model(setup);
+
+    std::printf("deployment: %zu x %s, %s model (%.2fB params), DP=EP=%zu\n",
+                gpus, setup.gpu.name.c_str(), size.c_str(),
+                static_cast<double>(setup.model.TotalParams()) / 1e9, gpus);
+    std::printf("T_F&B = %.3f s (compute %.3f + all-to-all %.3f + grad sync "
+                "%.3f), T_update = %.3f s\n\n",
+                model.FbTime(), model.ComputeTime(), model.AllToAllTime(),
+                model.GradSyncTime(), model.UpdateTime());
+
+    Table t({"method", "snapshot (s)", "persist (s)", "O_save (s)",
+             "iteration (s)", "I_ckpt_min"});
+    for (const auto& m : SimulateAllMethods(model, setup.model.num_experts / 8)) {
+        t.AddRow({m.method, Table::Num(m.t_snapshot, 3), Table::Num(m.t_persist, 3),
+                  Table::Num(m.o_save, 4), Table::Num(m.iteration, 3),
+                  Table::Num(m.i_ckpt_min, 1)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+
+    // Adaptive configuration (Section 5.3): feed the simulator's numbers in.
+    AdaptiveInputs in;
+    in.t_fb = model.FbTime();
+    in.t_iter = model.IterTime();
+    in.snapshot_bandwidth = setup.gpu.snapshot_bandwidth;
+    in.persist_bandwidth = setup.persist_bandwidth;
+    // Exact per-unit payloads from the inventory: one expert's state on its
+    // owner rank (split across EP-group replicas) and the per-rank share of
+    // the K-independent non-expert state.
+    const RankTopology& topo = model.topology();
+    const Bytes per_param = setup.bytes.weight + setup.bytes.optim;
+    in.expert_unit_bytes = static_cast<Bytes>(setup.model.FfnParams()) *
+                           per_param / topo.NumEpGroups();
+    in.nonexpert_bytes_per_rank = static_cast<Bytes>(
+        setup.model.NonExpertParams()) * per_param / setup.parallel.dp;
+    in.num_moe_layers = setup.model.NumMoeLayers();
+    in.num_experts = setup.model.num_experts;
+    in.ep = setup.parallel.ep;
+    const AdaptiveDecision decision = ConfigureTwoLevelPec(in, /*k_persist=*/1);
+
+    std::printf("adaptive two-level PEC recommendation:\n");
+    std::printf("  K_snapshot = %zu of %zu (snapshot %.3f s %s the %.3f s F&B "
+                "window)\n",
+                decision.k_snapshot, in.num_experts, decision.t_snapshot,
+                decision.snapshot_overflows ? "EXCEEDS" : "fits",
+                in.t_fb);
+    std::printf("  K_persist  = %zu (persist %.3f s)\n", decision.k_persist,
+                decision.t_persist);
+    std::printf("  I_ckpt_min = %zu iterations\n", decision.i_ckpt_min);
+
+    // Total-overhead outlook at a typical large-cluster failure rate.
+    FaultToleranceModel ft;
+    ft.i_total = 100000.0;
+    ft.lambda = 1e-4;
+    ft.t_iter = model.IterTime();
+    ft.o_restart = 300.0;
+    const auto full = SimulateMethod(model, CkptMethod::kBaseline, 1);
+    const double i_full = OptimalInterval(ft, full.o_save);
+    const double i_moc = std::max<double>(decision.i_ckpt_min,
+                                          OptimalInterval(ft, 0.0));
+    std::printf("\n100k-iteration outlook at lambda = 1e-4 faults/iter:\n");
+    std::printf("  Full blocking @ I=%.0f: %.1f h of fault-tolerance overhead\n",
+                i_full, TotalCheckpointOverhead(ft, full.o_save, i_full) / 3600.0);
+    std::printf("  MoC-Async    @ I=%.0f: %.1f h\n", i_moc,
+                TotalCheckpointOverhead(ft, 0.0, i_moc) / 3600.0);
+    return 0;
+}

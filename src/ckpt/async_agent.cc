@@ -1,0 +1,131 @@
+#include "ckpt/async_agent.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+AsyncCheckpointAgent::AsyncCheckpointAgent(PersistentStore& store,
+                                           std::string key_prefix,
+                                           const AgentCostModel& cost)
+    : store_(store), key_prefix_(std::move(key_prefix)), cost_(cost) {
+    MOC_CHECK_ARG(cost.snapshot_bandwidth > 0.0 && cost.persist_bandwidth > 0.0,
+                  "agent bandwidths must be > 0");
+    MOC_CHECK_ARG(cost.time_scale >= 0.0, "time_scale must be >= 0");
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+    persist_thread_ = std::thread([this] { PersistLoop(); });
+}
+
+AsyncCheckpointAgent::~AsyncCheckpointAgent() {
+    Drain();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    buffers_.Shutdown();
+    snapshot_thread_.join();
+    persist_thread_.join();
+}
+
+void
+AsyncCheckpointAgent::RequestCheckpoint(Blob state, std::size_t iteration) {
+    // Finish any previous snapshot first: a training process has a single
+    // outstanding snapshot at a time.
+    WaitSnapshotComplete();
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_pending_ = true;
+    snapshot_in_flight_ = true;
+    pending_blob_ = std::move(state);
+    pending_iteration_ = iteration;
+    ++stats_.checkpoints_requested;
+    cv_.notify_all();
+}
+
+Seconds
+AsyncCheckpointAgent::WaitSnapshotComplete() {
+    const Seconds start = clock_.Now();
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool waited = snapshot_pending_ || snapshot_in_flight_;
+    cv_.wait(lock, [this] { return !snapshot_pending_ && !snapshot_in_flight_; });
+    const Seconds stalled = clock_.Now() - start;
+    if (waited && stalled > 0.0) {
+        ++stats_.snapshot_stalls;
+        stats_.total_stall_time += stalled;
+    }
+    return stalled;
+}
+
+void
+AsyncCheckpointAgent::Drain() {
+    WaitSnapshotComplete();
+    buffers_.WaitPersistDrained();
+}
+
+std::optional<std::size_t>
+AsyncCheckpointAgent::LatestPersistedIteration() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_persisted_;
+}
+
+AgentStats
+AsyncCheckpointAgent::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+AsyncCheckpointAgent::SnapshotLoop() {
+    for (;;) {
+        Blob blob;
+        std::size_t iteration = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return snapshot_pending_ || stop_; });
+            if (stop_ && !snapshot_pending_) {
+                return;
+            }
+            snapshot_pending_ = false;
+            blob = std::move(pending_blob_);
+            iteration = pending_iteration_;
+        }
+        // GPU -> CPU copy into a snapshot buffer (costed).
+        const std::size_t idx = buffers_.AcquireForSnapshot();
+        const Seconds copy_time =
+            static_cast<double>(blob.size()) / cost_.snapshot_bandwidth;
+        clock_.Advance(copy_time * cost_.time_scale);
+        auto& slot = buffers_.Payload(idx);
+        slot.data = std::move(blob);
+        slot.iteration = iteration;
+        buffers_.CompleteSnapshot(idx);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.bytes_snapshotted += slot.data.size();
+            snapshot_in_flight_ = false;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+AsyncCheckpointAgent::PersistLoop() {
+    for (;;) {
+        const auto idx = buffers_.AcquireForPersist();
+        if (!idx) {
+            return;
+        }
+        auto& slot = buffers_.Payload(*idx);
+        const Seconds write_time = store_.WriteTime(slot.data.size());
+        clock_.Advance(write_time * cost_.time_scale);
+        store_.Put(key_prefix_ + "/ckpt", slot.data);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.bytes_persisted += slot.data.size();
+            ++stats_.checkpoints_persisted;
+            latest_persisted_ = slot.iteration;
+        }
+        buffers_.CompletePersist(*idx);
+        cv_.notify_all();
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,35 @@
+#include "ckpt/blocking.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+BlockingCheckpointer::BlockingCheckpointer(PersistentStore& store,
+                                           std::string key_prefix,
+                                           double snapshot_bandwidth,
+                                           double persist_bandwidth,
+                                           double time_scale)
+    : store_(store),
+      key_prefix_(std::move(key_prefix)),
+      snapshot_bandwidth_(snapshot_bandwidth),
+      persist_bandwidth_(persist_bandwidth),
+      time_scale_(time_scale) {
+    MOC_CHECK_ARG(snapshot_bandwidth > 0.0 && persist_bandwidth > 0.0,
+                  "bandwidths must be > 0");
+}
+
+Seconds
+BlockingCheckpointer::Checkpoint(const Blob& state, std::size_t iteration) {
+    const Seconds start = clock_.Now();
+    const Seconds snapshot_time =
+        static_cast<double>(state.size()) / snapshot_bandwidth_;
+    clock_.Advance(snapshot_time * time_scale_);
+    const Seconds persist_time =
+        static_cast<double>(state.size()) / persist_bandwidth_;
+    clock_.Advance(persist_time * time_scale_);
+    store_.Put(key_prefix_ + "/ckpt", state);
+    latest_persisted_ = iteration;
+    return clock_.Now() - start;
+}
+
+}  // namespace moc

@@ -1,0 +1,50 @@
+#ifndef MOC_CKPT_BLOCKING_H_
+#define MOC_CKPT_BLOCKING_H_
+
+/**
+ * @file
+ * The blocking baseline checkpointer: training halts while both phases
+ * (GPU->CPU copy and CPU->storage write) run to completion — the "baseline"
+ * series of Fig. 12.
+ */
+
+#include <string>
+
+#include "storage/persistent_store.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/**
+ * Synchronous two-phase checkpointer with the same cost model as the
+ * asynchronous agent, for apples-to-apples overhead comparison.
+ */
+class BlockingCheckpointer {
+  public:
+    BlockingCheckpointer(PersistentStore& store, std::string key_prefix,
+                         double snapshot_bandwidth, double persist_bandwidth,
+                         double time_scale = 1.0);
+
+    /**
+     * Performs the checkpoint inline; returns the time the caller was
+     * blocked (snapshot + persist).
+     */
+    Seconds Checkpoint(const Blob& state, std::size_t iteration);
+
+    std::optional<std::size_t> LatestPersistedIteration() const {
+        return latest_persisted_;
+    }
+
+  private:
+    PersistentStore& store_;
+    std::string key_prefix_;
+    double snapshot_bandwidth_;
+    double persist_bandwidth_;
+    double time_scale_;
+    WallClock clock_;
+    std::optional<std::size_t> latest_persisted_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CKPT_BLOCKING_H_

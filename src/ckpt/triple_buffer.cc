@@ -1,0 +1,140 @@
+#include "ckpt/triple_buffer.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+TripleBuffer::TripleBuffer() {
+    for (auto& s : states_) {
+        s = BufferState::kFree;
+    }
+}
+
+std::size_t
+TripleBuffer::AcquireForSnapshot() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        for (std::size_t i = 0; i < kNumBuffers; ++i) {
+            if (states_[i] == BufferState::kFree) {
+                states_[i] = BufferState::kFilling;
+                return i;
+            }
+        }
+        cv_.wait(lock);
+    }
+}
+
+std::optional<std::size_t>
+TripleBuffer::TryAcquireForSnapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < kNumBuffers; ++i) {
+        if (states_[i] == BufferState::kFree) {
+            states_[i] = BufferState::kFilling;
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+TripleBuffer::CompleteSnapshot(std::size_t idx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(idx < kNumBuffers, "buffer index out of range");
+    MOC_ASSERT(states_[idx] == BufferState::kFilling,
+               "CompleteSnapshot on a buffer not being filled");
+    states_[idx] = BufferState::kFilled;
+    cv_.notify_all();
+}
+
+std::optional<std::size_t>
+TripleBuffer::AcquireForPersist() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        bool persisting = false;
+        for (std::size_t i = 0; i < kNumBuffers; ++i) {
+            if (states_[i] == BufferState::kPersisting) {
+                persisting = true;
+            }
+        }
+        if (!persisting) {
+            // Oldest filled buffer first (by iteration).
+            std::optional<std::size_t> pick;
+            for (std::size_t i = 0; i < kNumBuffers; ++i) {
+                if (states_[i] == BufferState::kFilled &&
+                    (!pick || slots_[i].iteration < slots_[*pick].iteration)) {
+                    pick = i;
+                }
+            }
+            if (pick) {
+                states_[*pick] = BufferState::kPersisting;
+                return pick;
+            }
+        }
+        if (shutdown_) {
+            return std::nullopt;
+        }
+        cv_.wait(lock);
+    }
+}
+
+void
+TripleBuffer::CompletePersist(std::size_t idx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(idx < kNumBuffers, "buffer index out of range");
+    MOC_ASSERT(states_[idx] == BufferState::kPersisting,
+               "CompletePersist on a buffer not persisting");
+    for (std::size_t i = 0; i < kNumBuffers; ++i) {
+        if (i != idx && states_[i] == BufferState::kRecovery) {
+            states_[i] = BufferState::kFree;
+        }
+    }
+    states_[idx] = BufferState::kRecovery;
+    cv_.notify_all();
+}
+
+std::optional<std::size_t>
+TripleBuffer::RecoveryBuffer() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < kNumBuffers; ++i) {
+        if (states_[i] == BufferState::kRecovery) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+TripleBuffer::Slot&
+TripleBuffer::Payload(std::size_t idx) {
+    MOC_CHECK_ARG(idx < kNumBuffers, "buffer index out of range");
+    return slots_[idx];
+}
+
+BufferState
+TripleBuffer::state(std::size_t idx) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(idx < kNumBuffers, "buffer index out of range");
+    return states_[idx];
+}
+
+void
+TripleBuffer::Shutdown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+}
+
+void
+TripleBuffer::WaitPersistDrained() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+        for (std::size_t i = 0; i < kNumBuffers; ++i) {
+            if (states_[i] == BufferState::kFilled ||
+                states_[i] == BufferState::kPersisting) {
+                return false;
+            }
+        }
+        return true;
+    });
+}
+
+}  // namespace moc

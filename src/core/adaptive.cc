@@ -1,0 +1,68 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+/**
+ * Expert units the bottleneck rank must move when k experts per MoE layer
+ * are saved: the k*num_moe_layers selected units spread over ep ranks, so
+ * the heaviest rank carries ceil(k * M / ep) of them.
+ */
+std::size_t
+BottleneckExpertUnits(const AdaptiveInputs& in, std::size_t k) {
+    const std::size_t selected = k * in.num_moe_layers;
+    return static_cast<std::size_t>(CeilDiv(selected, in.ep));
+}
+
+}  // namespace
+
+Seconds
+SnapshotTime(const AdaptiveInputs& in, std::size_t k) {
+    const Bytes expert_bytes =
+        static_cast<Bytes>(BottleneckExpertUnits(in, k)) * in.expert_unit_bytes;
+    return static_cast<double>(in.nonexpert_bytes_per_rank + expert_bytes) /
+           in.snapshot_bandwidth;
+}
+
+Seconds
+PersistTime(const AdaptiveInputs& in, std::size_t k) {
+    const Bytes expert_bytes =
+        static_cast<Bytes>(BottleneckExpertUnits(in, k)) * in.expert_unit_bytes;
+    return static_cast<double>(in.nonexpert_bytes_per_rank + expert_bytes) /
+           in.persist_bandwidth;
+}
+
+AdaptiveDecision
+ConfigureTwoLevelPec(const AdaptiveInputs& in, std::size_t k_persist) {
+    MOC_CHECK_ARG(in.num_experts >= 1, "need at least one expert");
+    MOC_CHECK_ARG(in.snapshot_bandwidth > 0.0 && in.persist_bandwidth > 0.0,
+                  "bandwidths must be > 0");
+    AdaptiveDecision out;
+    // Largest K whose snapshot still hides inside the F&B window.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k <= in.num_experts; ++k) {
+        if (SnapshotTime(in, k) <= in.t_fb) {
+            best = k;
+        }
+    }
+    if (best == 0) {
+        out.k_snapshot = 1;  // minimum viable; stall is unavoidable
+        out.snapshot_overflows = true;
+    } else {
+        out.k_snapshot = best;
+    }
+    out.k_persist = std::clamp<std::size_t>(k_persist, 1, out.k_snapshot);
+    out.t_snapshot = SnapshotTime(in, out.k_snapshot);
+    out.t_persist = PersistTime(in, out.k_persist);
+    out.i_ckpt_min = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(out.t_persist / in.t_iter)));
+    return out;
+}
+
+}  // namespace moc

@@ -1,0 +1,69 @@
+#ifndef MOC_CORE_ADAPTIVE_H_
+#define MOC_CORE_ADAPTIVE_H_
+
+/**
+ * @file
+ * Adaptive configuration for two-level PEC (Section 5.3): choose the
+ * largest K_snapshot whose snapshot fully overlaps the next iteration's
+ * forward/backward window (minimizing O_save at the lowest PLT), keep
+ * K_persist small, and derive the minimum checkpoint interval from the
+ * persist duration.
+ */
+
+#include <cstddef>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/** The measured/simulated quantities the configurator needs. */
+struct AdaptiveInputs {
+    /** Forward+backward window available for snapshot overlap. */
+    Seconds t_fb = 1.0;
+    /** Full iteration duration (F&B + update). */
+    Seconds t_iter = 1.2;
+    /** GPU->CPU snapshot bandwidth per rank, bytes/s. */
+    double snapshot_bandwidth = 1.0 * kGiB;
+    /** CPU->storage persist bandwidth per rank, bytes/s. */
+    double persist_bandwidth = 0.5 * kGiB;
+    /** Per-rank non-expert payload per checkpoint event. */
+    Bytes nonexpert_bytes_per_rank = 0;
+    /** Bytes of one expert's saved state on its owning rank. */
+    Bytes expert_unit_bytes = 0;
+    /** Number of MoE layers. */
+    std::size_t num_moe_layers = 1;
+    /** Experts per MoE layer (N). */
+    std::size_t num_experts = 8;
+    /** Expert-parallel degree. */
+    std::size_t ep = 8;
+};
+
+/** The configurator's output. */
+struct AdaptiveDecision {
+    std::size_t k_snapshot = 1;
+    std::size_t k_persist = 1;
+    /** Minimum checkpoint interval (iterations) so persist never backlogs. */
+    std::size_t i_ckpt_min = 1;
+    Seconds t_snapshot = 0.0;
+    Seconds t_persist = 0.0;
+    /** True if even K_snapshot = 1 cannot fully overlap. */
+    bool snapshot_overflows = false;
+};
+
+/** Per-rank snapshot duration for a given K (bottleneck rank). */
+Seconds SnapshotTime(const AdaptiveInputs& in, std::size_t k);
+
+/** Per-rank persist duration for a given K (bottleneck rank). */
+Seconds PersistTime(const AdaptiveInputs& in, std::size_t k);
+
+/**
+ * Picks (K_snapshot, K_persist, I_ckpt_min) per Section 5.3.
+ * @param k_persist requested persist K (clamped to k_snapshot).
+ */
+AdaptiveDecision ConfigureTwoLevelPec(const AdaptiveInputs& in,
+                                      std::size_t k_persist = 1);
+
+}  // namespace moc
+
+#endif  // MOC_CORE_ADAPTIVE_H_

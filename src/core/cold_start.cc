@@ -1,0 +1,43 @@
+#include "core/cold_start.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+ColdStartReport
+ColdStartFromStore(ParamSource& model, const ObjectStore& store) {
+    ColdStartReport report;
+    const auto extra_blob = store.Get("extra/state");
+    MOC_CHECK_ARG(extra_blob.has_value(),
+                  "store has no extra/state: not a MoC checkpoint store");
+    report.extra = DeserializeExtraState(*extra_blob);
+
+    for (auto& group : model.ParameterGroups()) {
+        for (const bool weights : {true, false}) {
+            const std::string key = group.key + (weights ? "/w" : "/o");
+            const auto blob = store.Get(key);
+            if (!blob.has_value()) {
+                report.missing.push_back(key);
+                continue;
+            }
+            DeserializeParamList(*blob, group.params, weights);
+            ++report.keys_restored;
+            report.bytes_read += blob->size();
+        }
+    }
+    return report;
+}
+
+Bytes
+CopyStore(const ObjectStore& src, ObjectStore& dst) {
+    Bytes copied = 0;
+    for (const auto& key : src.Keys()) {
+        auto blob = src.Get(key);
+        MOC_ASSERT(blob.has_value(), "key vanished during copy: " << key);
+        copied += blob->size();
+        dst.Put(key, std::move(*blob));
+    }
+    return copied;
+}
+
+}  // namespace moc

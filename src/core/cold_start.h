@@ -1,0 +1,52 @@
+#ifndef MOC_CORE_COLD_START_H_
+#define MOC_CORE_COLD_START_H_
+
+/**
+ * @file
+ * Cold-start restore: bring a fresh process's model back from a persistent
+ * checkpoint store (the O_restart path of Eq. 3 — the job was killed and
+ * rescheduled, so no in-memory snapshots survive anywhere).
+ *
+ * Under PEC the store holds each expert at the iteration it was last
+ * persisted; the non-expert units and "extra" state define the restart
+ * point. Cold start loads the freshest persisted version of every unit,
+ * exactly like two-level recovery with an empty memory level.
+ */
+
+#include "core/moc_system.h"
+#include "storage/object_store.h"
+
+namespace moc {
+
+/** What a cold start restored. */
+struct ColdStartReport {
+    /** Training state at the restart point. */
+    ExtraState extra;
+    /** Units restored (weight + optimizer blobs). */
+    std::size_t keys_restored = 0;
+    Bytes bytes_read = 0;
+    /** Units absent from the store and left at their fresh-init values. */
+    std::vector<std::string> missing;
+};
+
+/**
+ * Restores @p model (weights and Adam moments) from @p store.
+ *
+ * Every parameter group looks up "<key>/w" and "<key>/o"; groups absent
+ * from the store are reported in `missing` and keep their constructor
+ * values (legitimate for a store written before those modules existed).
+ *
+ * @throws std::runtime_error on corrupt blobs; std::invalid_argument if the
+ *         store has no "extra/state" (not a MoC checkpoint store).
+ */
+ColdStartReport ColdStartFromStore(ParamSource& model, const ObjectStore& store);
+
+/**
+ * Copies every key of @p src into @p dst (checkpoint export/import, e.g.
+ * simulated PersistentStore -> on-disk FileStore). Returns bytes copied.
+ */
+Bytes CopyStore(const ObjectStore& src, ObjectStore& dst);
+
+}  // namespace moc
+
+#endif  // MOC_CORE_COLD_START_H_

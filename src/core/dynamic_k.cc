@@ -1,0 +1,32 @@
+#include "core/dynamic_k.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+DynamicKController::DynamicKController(std::size_t initial_k, std::size_t num_experts,
+                                       double plt_threshold)
+    : plt_threshold_(plt_threshold) {
+    MOC_CHECK_ARG(initial_k >= 1 && initial_k <= num_experts,
+                  "initial_k must be in [1, num_experts]");
+    MOC_CHECK_ARG(plt_threshold > 0.0, "plt_threshold must be > 0");
+    for (std::size_t k = initial_k; k < num_experts; k *= 2) {
+        levels_.push_back(k);
+    }
+    levels_.push_back(num_experts);
+}
+
+std::size_t
+DynamicKController::OnFaultRecovery(double cumulative_plt) {
+    // Each level owns an equal slice of the total budget; once the
+    // cumulative PLT crosses the budget consumed through the current level,
+    // escalate. At the top level (K = N) no further PLT accrues.
+    const double per_level = plt_threshold_ / static_cast<double>(levels_.size());
+    while (level_ + 1 < levels_.size() &&
+           cumulative_plt >= per_level * static_cast<double>(level_ + 1)) {
+        ++level_;
+    }
+    return levels_[level_];
+}
+
+}  // namespace moc

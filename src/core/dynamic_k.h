@@ -1,0 +1,55 @@
+#ifndef MOC_CORE_DYNAMIC_K_H_
+#define MOC_CORE_DYNAMIC_K_H_
+
+/**
+ * @file
+ * The Dynamic-K strategy (Section 5.3): as faults accumulate, K_pec is
+ * doubled whenever the cumulative PLT attributable to the current K level
+ * exhausts that level's share of the 3.75% budget, up to checkpointing all
+ * experts. This keeps total PLT bounded where a constant K grows linearly
+ * with the fault count (Fig. 15b).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace moc {
+
+/** The paper's empirically safe PLT threshold. */
+inline constexpr double kDefaultPltThreshold = 0.0375;
+
+/**
+ * Controller that escalates K_pec in response to accumulated PLT.
+ */
+class DynamicKController {
+  public:
+    /**
+     * @param initial_k starting K_pec (>= 1).
+     * @param num_experts N; the escalation ceiling.
+     * @param plt_threshold total PLT budget for the whole training run.
+     */
+    DynamicKController(std::size_t initial_k, std::size_t num_experts,
+                       double plt_threshold = kDefaultPltThreshold);
+
+    /**
+     * Recalibrates after a fault recovery.
+     * @param cumulative_plt the ledger's PLT so far.
+     * @return the K_pec to use from now on.
+     */
+    std::size_t OnFaultRecovery(double cumulative_plt);
+
+    std::size_t current_k() const { return levels_[level_]; }
+    double plt_threshold() const { return plt_threshold_; }
+
+    /** The K escalation ladder (initial_k, 2*initial_k, ..., N). */
+    const std::vector<std::size_t>& levels() const { return levels_; }
+
+  private:
+    std::vector<std::size_t> levels_;
+    std::size_t level_ = 0;
+    double plt_threshold_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_DYNAMIC_K_H_

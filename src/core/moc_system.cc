@@ -1,0 +1,373 @@
+#include "core/moc_system.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/serialize.h"
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+template <typename T>
+void
+AppendPod(Blob& out, T value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T
+ReadPod(const Blob& in, std::size_t& offset) {
+    MOC_CHECK_ARG(offset + sizeof(T) <= in.size(), "blob truncated");
+    T value;
+    std::memcpy(&value, in.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+}
+
+void
+AppendTensor(Blob& out, const Tensor& t) {
+    const auto blob = SerializeTensor(t);
+    AppendPod(out, static_cast<std::uint64_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+}
+
+Tensor
+ReadTensor(const Blob& in, std::size_t& offset) {
+    const auto size = static_cast<std::size_t>(ReadPod<std::uint64_t>(in, offset));
+    MOC_CHECK_ARG(offset + size <= in.size(), "blob truncated");
+    Blob piece(in.begin() + static_cast<long>(offset),
+               in.begin() + static_cast<long>(offset + size));
+    offset += size;
+    return DeserializeTensor(piece);
+}
+
+bool
+Contains(const std::vector<ExpertId>& list, ExpertId e) {
+    return std::find(list.begin(), list.end(), e) != list.end();
+}
+
+/** Strips a "/w" or "/o" suffix from a store key. */
+std::string
+BaseKey(const std::string& key) {
+    MOC_ASSERT(key.size() > 2, "store key too short");
+    return key.substr(0, key.size() - 2);
+}
+
+}  // namespace
+
+Blob
+SerializeParamList(const std::vector<Parameter*>& params, bool weights) {
+    Blob out;
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(params.size()) * (weights ? 1 : 2);
+    AppendPod(out, count);
+    for (const auto* p : params) {
+        if (weights) {
+            AppendTensor(out, p->value());
+        } else {
+            AppendTensor(out, p->adam_m());
+            AppendTensor(out, p->adam_v());
+        }
+    }
+    return out;
+}
+
+void
+DeserializeParamList(const Blob& blob, const std::vector<Parameter*>& params,
+                     bool weights) {
+    std::size_t offset = 0;
+    const auto count = ReadPod<std::uint32_t>(blob, offset);
+    const std::uint32_t expected =
+        static_cast<std::uint32_t>(params.size()) * (weights ? 1 : 2);
+    MOC_CHECK_ARG(count == expected, "parameter count mismatch in checkpoint blob");
+    for (auto* p : params) {
+        if (weights) {
+            Tensor t = ReadTensor(blob, offset);
+            MOC_CHECK_ARG(t.shape() == p->value().shape(),
+                          "shape mismatch restoring " << p->name());
+            p->value() = std::move(t);
+        } else {
+            Tensor m = ReadTensor(blob, offset);
+            Tensor v = ReadTensor(blob, offset);
+            MOC_CHECK_ARG(m.shape() == p->adam_m().shape() &&
+                              v.shape() == p->adam_v().shape(),
+                          "moment shape mismatch restoring " << p->name());
+            p->adam_m() = std::move(m);
+            p->adam_v() = std::move(v);
+        }
+    }
+}
+
+Blob
+SerializeExtraState(const ExtraState& extra) {
+    Blob out;
+    AppendPod(out, static_cast<std::uint64_t>(extra.iteration));
+    AppendPod(out, static_cast<std::uint64_t>(extra.adam_step));
+    for (auto s : extra.gating_rng.s) {
+        AppendPod(out, s);
+    }
+    AppendPod(out, static_cast<std::uint8_t>(extra.gating_rng.have_cached_gaussian));
+    AppendPod(out, extra.gating_rng.cached_gaussian);
+    return out;
+}
+
+ExtraState
+DeserializeExtraState(const Blob& blob) {
+    ExtraState extra;
+    std::size_t offset = 0;
+    extra.iteration = static_cast<std::size_t>(ReadPod<std::uint64_t>(blob, offset));
+    extra.adam_step = static_cast<std::size_t>(ReadPod<std::uint64_t>(blob, offset));
+    for (auto& s : extra.gating_rng.s) {
+        s = ReadPod<std::uint64_t>(blob, offset);
+    }
+    extra.gating_rng.have_cached_gaussian = ReadPod<std::uint8_t>(blob, offset) != 0;
+    extra.gating_rng.cached_gaussian = ReadPod<double>(blob, offset);
+    return extra;
+}
+
+MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
+                                         ParamSource& model,
+                                         const RankTopology& topology,
+                                         const ModelSpec& spec,
+                                         const ExtraState& initial_extra)
+    : config_(config),
+      model_(model),
+      topology_(topology),
+      spec_(spec),
+      ledger_(std::max<std::size_t>(1, spec.NumMoeLayers()), spec.num_experts),
+      memory_(topology.num_nodes()) {
+    MOC_CHECK_ARG(config.i_ckpt >= 1, "i_ckpt must be >= 1");
+    MOC_CHECK_ARG(spec.NumMoeLayers() >= 1, "MoC-System requires an MoE model");
+
+    std::unique_ptr<ExpertSelector> selector;
+    if (config.pec.policy == SelectionPolicy::kSequential) {
+        selector = std::make_unique<SequentialSelector>(spec.num_experts);
+    } else {
+        selector = std::make_unique<LoadAwareSelector>(
+            spec.num_experts, [this](std::size_t m, ExpertId e) {
+                // Unsaved updates since this expert's last snapshot.
+                const std::size_t last = last_snap_iter_[m][e];
+                return ledger_.CumulativeTokens(m, e) -
+                       ledger_.CumulativeTokensAt(last, m, e);
+            });
+    }
+    planner_ = std::make_unique<PecPlanner>(spec.NumMoeLayers(), spec.num_experts,
+                                            config.pec, std::move(selector));
+    if (config.dynamic_k) {
+        dynamic_k_ = std::make_unique<DynamicKController>(
+            config.pec.k_snapshot, spec.num_experts, config.plt_threshold);
+    }
+    last_snap_iter_.assign(spec.NumMoeLayers(),
+                           std::vector<std::size_t>(spec.num_experts, 0));
+
+    // Static non-expert placement from the sharding planner.
+    const StateBytes bytes;
+    ModelStateInventory inventory(spec, bytes);
+    ShardingOptions options;
+    options.equal_expert = config.fully_sharded;
+    options.equal_nonexpert = config.fully_sharded;
+    ShardingPlanner sharder(inventory, topology, options);
+    const ShardPlan plan = sharder.PlanFull();
+    for (const auto* module : inventory.NonExpertModules()) {
+        if (auto owner = plan.FindWeightOwner(module->key)) {
+            nonexpert_rank_[module->key] = *owner;
+        }
+    }
+
+    // Initial full checkpoint at iteration 0: recovery is always defined.
+    CheckpointReport report;
+    for (const auto& group : model_.ParameterGroups()) {
+        SaveGroup(group, 0, /*weights=*/true, true, true, report);
+        SaveGroup(group, 0, /*weights=*/false, true, true, report);
+    }
+    storage_.Put("extra/state", SerializeExtraState(initial_extra));
+    manifest_.MarkCheckpointComplete(StoreLevel::kMemory, 0);
+    manifest_.MarkCheckpointComplete(StoreLevel::kPersist, 0);
+}
+
+std::vector<NodeId>
+MocCheckpointSystem::ExpertOwnerNodes(ExpertId expert) const {
+    const std::size_t owner = topology_.OwnerEpRank(expert, spec_.num_experts);
+    std::vector<NodeId> nodes;
+    for (std::size_t g = 0; g < topology_.NumEpGroups(); ++g) {
+        const NodeId node = topology_.NodeOf(topology_.RankOf(g, owner));
+        if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+            nodes.push_back(node);
+        }
+    }
+    return nodes;
+}
+
+NodeId
+MocCheckpointSystem::NonExpertOwnerNode(const std::string& key) const {
+    auto it = nonexpert_rank_.find(key);
+    const RankId rank = it == nonexpert_rank_.end() ? 0 : it->second;
+    return topology_.NodeOf(rank);
+}
+
+void
+MocCheckpointSystem::SaveGroup(const ParamGroup& group, std::size_t iteration,
+                               bool weights, bool to_memory, bool to_persist,
+                               CheckpointReport& report) {
+    if (!to_memory && !to_persist) {
+        return;
+    }
+    const Blob blob = SerializeParamList(group.params, weights);
+    const std::string key = group.key + (weights ? "/w" : "/o");
+    const Bytes size = blob.size();
+
+    std::vector<NodeId> nodes;
+    if (group.kind == ModuleKind::kExpert) {
+        nodes = ExpertOwnerNodes(group.expert);
+    } else {
+        nodes = {NonExpertOwnerNode(group.key)};
+    }
+    if (to_memory) {
+        for (NodeId node : nodes) {
+            memory_.Node(node).Put(key, blob);
+            manifest_.RecordSave(StoreLevel::kMemory, key, iteration, node, size);
+            report.snapshot_bytes += size;
+        }
+    }
+    if (to_persist) {
+        storage_.Put(key, blob);
+        manifest_.RecordSave(StoreLevel::kPersist, key, iteration, 0, size);
+        report.persist_bytes += size;
+    }
+}
+
+bool
+MocCheckpointSystem::ShouldCheckpoint(std::size_t iteration) const {
+    return iteration > 0 && iteration % config_.i_ckpt == 0;
+}
+
+CheckpointReport
+MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) {
+    const PecSelection selection = planner_->Plan(ckpt_count_);
+    CheckpointReport report;
+    report.iteration = iteration;
+    const PecConfig& pec = planner_->config();
+
+    for (const auto& group : model_.ParameterGroups()) {
+        if (group.kind != ModuleKind::kExpert) {
+            SaveGroup(group, iteration, true, true, true, report);
+            SaveGroup(group, iteration, false, true, true, report);
+            continue;
+        }
+        const std::size_t m = group.moe_index;
+        const ExpertId e = group.expert;
+        const bool in_snap = Contains(selection.snapshot[m], e);
+        const bool in_pers = Contains(selection.persist[m], e);
+        const bool snap_w = !pec.pec_on_weights || in_snap;
+        const bool pers_w = !pec.pec_on_weights || in_pers;
+        const bool snap_o = !pec.pec_on_optimizer || in_snap;
+        const bool pers_o = !pec.pec_on_optimizer || in_pers;
+        SaveGroup(group, iteration, true, snap_w, pers_w, report);
+        SaveGroup(group, iteration, false, snap_o, pers_o, report);
+        if (snap_w || snap_o) {
+            last_snap_iter_[m][e] = iteration;
+        }
+    }
+
+    storage_.Put("extra/state", SerializeExtraState(extra));
+    manifest_.MarkCheckpointComplete(StoreLevel::kMemory, iteration);
+    manifest_.MarkCheckpointComplete(StoreLevel::kPersist, iteration);
+    ledger_.RecordCheckpointEvent(iteration);
+    ++ckpt_count_;
+    return report;
+}
+
+void
+MocCheckpointSystem::RecordRouting(const std::vector<MoeLayer*>& layers) {
+    MOC_CHECK_ARG(layers.size() == ledger_.num_moe_layers(),
+                  "MoE layer count mismatch");
+    for (std::size_t m = 0; m < layers.size(); ++m) {
+        const RoutingStats& stats = layers[m]->last_stats();
+        ledger_.RecordRouting(m, stats.tokens_per_expert, stats.assignments);
+    }
+}
+
+RecoveryReport
+MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
+    for (NodeId node : failed_nodes) {
+        memory_.FailNode(node);
+        manifest_.DropNodeMemory(node);
+    }
+
+    // Collect the non-expert store keys from the model's groups.
+    auto groups = model_.ParameterGroups();
+    std::map<std::string, const ParamGroup*> by_key;
+    std::vector<std::string> nonexpert_keys;
+    for (const auto& group : groups) {
+        by_key[group.key] = &group;
+        if (group.kind != ModuleKind::kExpert) {
+            nonexpert_keys.push_back(group.key + "/w");
+            nonexpert_keys.push_back(group.key + "/o");
+        }
+    }
+
+    TwoLevelRecoveryPlanner recovery_planner(config_.two_level_recovery);
+    RecoveryReport report;
+    report.plan = recovery_planner.Plan(manifest_, nonexpert_keys,
+                                        ledger_.num_moe_layers(),
+                                        ledger_.num_experts());
+
+    for (const auto& decision : report.plan.decisions) {
+        if (decision.source == RecoverySource::kInitial) {
+            MOC_PANIC("unit " << decision.key
+                              << " has no recoverable version; the initial "
+                                 "checkpoint should prevent this");
+        }
+        std::optional<Blob> blob;
+        if (decision.source == RecoverySource::kMemory) {
+            const auto version = manifest_.Latest(StoreLevel::kMemory, decision.key);
+            MOC_ASSERT(version.has_value(), "manifest/plan disagreement");
+            blob = memory_.Node(version->node).Get(decision.key);
+        } else {
+            blob = storage_.Get(decision.key);
+        }
+        MOC_ASSERT(blob.has_value(),
+                   "store lost a manifest-tracked key: " << decision.key);
+        const bool weights = decision.key.back() == 'w';
+        const auto group_it = by_key.find(BaseKey(decision.key));
+        MOC_CHECK_ARG(group_it != by_key.end(),
+                      "checkpointed key has no model group: " << decision.key);
+        DeserializeParamList(*blob, group_it->second->params, weights);
+    }
+
+    const auto extra_blob = storage_.Get("extra/state");
+    MOC_ASSERT(extra_blob.has_value(), "extra state missing from storage");
+    report.extra = DeserializeExtraState(*extra_blob);
+    MOC_ASSERT(report.extra.iteration == report.plan.restart_iteration,
+               "extra state iteration disagrees with the restart point");
+
+    ledger_.OnFaultRecovery(report.plan.restart_iteration,
+                            report.plan.expert_recovered_iteration);
+    // Snapshot bookkeeping cannot reference erased (replayed) history.
+    for (auto& layer : last_snap_iter_) {
+        for (auto& it : layer) {
+            it = std::min(it, report.plan.restart_iteration);
+        }
+    }
+
+    for (NodeId node : failed_nodes) {
+        memory_.RestartNode(node);
+    }
+
+    report.plt = ledger_.Plt();
+    if (dynamic_k_ != nullptr) {
+        // Scale both levels proportionally: recovery staleness is bounded by
+        // the persist rotation, so K_persist must grow with K_pec.
+        const std::size_t k = dynamic_k_->OnFaultRecovery(report.plt);
+        const std::size_t persist = std::max<std::size_t>(
+            1, k * config_.pec.k_persist / config_.pec.k_snapshot);
+        planner_->SetK(k, std::min(k, persist));
+    }
+    report.k_after = planner_->config().k_snapshot;
+    return report;
+}
+
+}  // namespace moc

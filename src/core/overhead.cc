@@ -1,0 +1,46 @@
+#include "core/overhead.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+double
+ExpectedFaults(const FaultToleranceModel& model) {
+    return model.lambda * model.i_total;
+}
+
+Seconds
+SnapshotStall(Seconds t_snapshot, Seconds t_fb) {
+    return t_snapshot > t_fb ? t_snapshot - t_fb : 0.0;
+}
+
+Seconds
+TotalCheckpointOverhead(const FaultToleranceModel& model, Seconds o_save,
+                        double i_ckpt) {
+    MOC_CHECK_ARG(i_ckpt > 0.0, "checkpoint interval must be > 0");
+    const double saves = model.i_total / i_ckpt;
+    const double faults = ExpectedFaults(model);
+    const Seconds lost_per_fault = 0.5 * i_ckpt * model.t_iter;
+    return o_save * saves + faults * (model.o_restart + lost_per_fault);
+}
+
+double
+OptimalInterval(const FaultToleranceModel& model, Seconds o_save) {
+    MOC_CHECK_ARG(model.lambda > 0.0 && model.t_iter > 0.0,
+                  "lambda and t_iter must be > 0");
+    if (o_save <= 0.0) {
+        return 1.0;  // checkpoint every iteration: saving is free
+    }
+    return std::sqrt(2.0 * o_save / (model.lambda * model.t_iter));
+}
+
+bool
+MocBeatsFull(const FaultToleranceModel& model, Seconds o_save_moc, double i_ckpt_moc,
+             Seconds o_save_full, double i_ckpt_full) {
+    return TotalCheckpointOverhead(model, o_save_moc, i_ckpt_moc) <
+           TotalCheckpointOverhead(model, o_save_full, i_ckpt_full);
+}
+
+}  // namespace moc

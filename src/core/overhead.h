@@ -1,0 +1,57 @@
+#ifndef MOC_CORE_OVERHEAD_H_
+#define MOC_CORE_OVERHEAD_H_
+
+/**
+ * @file
+ * The analytical fault-tolerance overhead model: Eq. 3/4 (total checkpoint
+ * overhead) and Eq. 10–16 (snapshot stall, fault counts under a constant
+ * failure rate, and the MoC-vs-Full comparison).
+ */
+
+#include "util/clock.h"
+
+namespace moc {
+
+/** The run-level constants of Eq. 4 and 11–13. */
+struct FaultToleranceModel {
+    /** Total training iterations (I_total). */
+    double i_total = 100000.0;
+    /** Failure rate: expected faults per iteration (lambda). */
+    double lambda = 1e-4;
+    /** Duration of one training iteration. */
+    Seconds t_iter = 1.0;
+    /** Restart cost per fault (O_restart). */
+    Seconds o_restart = 300.0;
+};
+
+/** Expected fault count over the run (Eq. 11). */
+double ExpectedFaults(const FaultToleranceModel& model);
+
+/**
+ * Snapshot overhead per checkpoint (Eq. 10): the stall beyond the next
+ * iteration's forward/backward window.
+ */
+Seconds SnapshotStall(Seconds t_snapshot, Seconds t_fb);
+
+/**
+ * Total checkpoint overhead (Eq. 12/13), in seconds:
+ * O_save * I_total / I_ckpt + lambda * I_total * (O_restart + I_ckpt/2 * t_iter).
+ * @param o_save per-checkpoint overhead in seconds.
+ * @param i_ckpt checkpoint interval in iterations (> 0).
+ */
+Seconds TotalCheckpointOverhead(const FaultToleranceModel& model, Seconds o_save,
+                                double i_ckpt);
+
+/**
+ * The interval minimizing TotalCheckpointOverhead:
+ * I* = sqrt(2 * O_save / (lambda * t_iter)).
+ */
+double OptimalInterval(const FaultToleranceModel& model, Seconds o_save);
+
+/** Eq. 16: does MoC beat the full method at the given operating points? */
+bool MocBeatsFull(const FaultToleranceModel& model, Seconds o_save_moc,
+                  double i_ckpt_moc, Seconds o_save_full, double i_ckpt_full);
+
+}  // namespace moc
+
+#endif  // MOC_CORE_OVERHEAD_H_

@@ -1,0 +1,55 @@
+#include "core/pec.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+PecPlanner::PecPlanner(std::size_t num_moe_layers, std::size_t num_experts,
+                       const PecConfig& config,
+                       std::unique_ptr<ExpertSelector> selector)
+    : num_moe_layers_(num_moe_layers),
+      num_experts_(num_experts),
+      config_(config),
+      selector_(std::move(selector)) {
+    MOC_CHECK_ARG(num_moe_layers >= 1, "need at least one MoE layer");
+    MOC_CHECK_ARG(num_experts >= 1, "need at least one expert");
+    MOC_CHECK_ARG(selector_ != nullptr, "selector must be set");
+    SetK(config.k_snapshot, config.k_persist);
+}
+
+void
+PecPlanner::SetK(std::size_t k_snapshot, std::size_t k_persist) {
+    MOC_CHECK_ARG(k_snapshot >= 1 && k_snapshot <= num_experts_,
+                  "k_snapshot must be in [1, num_experts]");
+    MOC_CHECK_ARG(k_persist >= 1 && k_persist <= k_snapshot,
+                  "k_persist must be in [1, k_snapshot]");
+    config_.k_snapshot = k_snapshot;
+    config_.k_persist = k_persist;
+}
+
+PecSelection
+PecPlanner::Plan(std::size_t ckpt_index) const {
+    PecSelection sel;
+    sel.snapshot.resize(num_moe_layers_);
+    sel.persist.resize(num_moe_layers_);
+    // persist-PEC selects from the snapshotted experts (Section 5.1). The
+    // position inside the snapshot window must itself rotate: the window
+    // advances by k_snapshot per event and tiles all N experts every
+    // ceil(N / k_snapshot) events, so advancing the in-window offset by
+    // k_persist once per tiling makes every expert persist within
+    // ~N / k_persist events (the optimal persist rotation).
+    const std::size_t ks = config_.k_snapshot;
+    const std::size_t kp = config_.k_persist;
+    const std::size_t events_per_tiling = (num_experts_ + ks - 1) / ks;
+    const std::size_t offset = (ckpt_index / events_per_tiling * kp) % ks;
+    for (std::size_t m = 0; m < num_moe_layers_; ++m) {
+        sel.snapshot[m] = selector_->Select(ckpt_index, m, ks);
+        sel.persist[m].reserve(kp);
+        for (std::size_t j = 0; j < kp; ++j) {
+            sel.persist[m].push_back(sel.snapshot[m][(offset + j) % ks]);
+        }
+    }
+    return sel;
+}
+
+}  // namespace moc

@@ -1,0 +1,75 @@
+#ifndef MOC_CORE_PEC_H_
+#define MOC_CORE_PEC_H_
+
+/**
+ * @file
+ * Partial Experts Checkpointing (Section 3 + Section 5.1).
+ *
+ * The PEC planner turns a checkpoint-event counter into, per MoE layer, the
+ * set of experts to snapshot (K_snapshot of N) and the subset to persist
+ * (K_persist of the snapshotted ones). Full checkpointing is the special
+ * case K_snapshot = K_persist = N.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/selection.h"
+
+namespace moc {
+
+/** PEC hyperparameters. */
+struct PecConfig {
+    /** Experts per layer transferred GPU -> CPU at each checkpoint. */
+    std::size_t k_snapshot = 1;
+    /** Experts per layer persisted CPU -> storage (<= k_snapshot). */
+    std::size_t k_persist = 1;
+    /** Apply PEC to the expert weights ("W" in the paper). */
+    bool pec_on_weights = true;
+    /** Apply PEC to the expert optimizer states ("O" in the paper). */
+    bool pec_on_optimizer = true;
+    SelectionPolicy policy = SelectionPolicy::kSequential;
+};
+
+/** The experts chosen for one checkpoint event. */
+struct PecSelection {
+    /** snapshot[m] = experts of MoE layer m to snapshot. */
+    std::vector<std::vector<ExpertId>> snapshot;
+    /** persist[m] = experts of MoE layer m to persist (subset of snapshot[m]). */
+    std::vector<std::vector<ExpertId>> persist;
+};
+
+/**
+ * Plans PEC selections for successive checkpoint events.
+ */
+class PecPlanner {
+  public:
+    /**
+     * @param num_moe_layers MoE layers in the model.
+     * @param num_experts experts per MoE layer.
+     * @param config PEC configuration (k values validated against N).
+     * @param selector selection policy implementation (owned).
+     */
+    PecPlanner(std::size_t num_moe_layers, std::size_t num_experts,
+               const PecConfig& config, std::unique_ptr<ExpertSelector> selector);
+
+    /** Selection for checkpoint event @p ckpt_index. */
+    PecSelection Plan(std::size_t ckpt_index) const;
+
+    /** Updates k_snapshot / k_persist (Dynamic-K). */
+    void SetK(std::size_t k_snapshot, std::size_t k_persist);
+
+    const PecConfig& config() const { return config_; }
+    std::size_t num_moe_layers() const { return num_moe_layers_; }
+    std::size_t num_experts() const { return num_experts_; }
+
+  private:
+    std::size_t num_moe_layers_;
+    std::size_t num_experts_;
+    PecConfig config_;
+    std::unique_ptr<ExpertSelector> selector_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_PEC_H_

@@ -1,0 +1,131 @@
+#include "core/plt.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+PltLedger::PltLedger(std::size_t num_moe_layers, std::size_t num_experts)
+    : num_experts_(num_experts),
+      cum_(num_moe_layers, std::vector<std::uint64_t>(num_experts, 0)),
+      assignments_(num_moe_layers, 0),
+      lost_(num_moe_layers, std::vector<std::uint64_t>(num_experts, 0)) {
+    MOC_CHECK_ARG(num_moe_layers >= 1, "need at least one MoE layer");
+    MOC_CHECK_ARG(num_experts >= 1, "need at least one expert");
+    // Iteration 0 = initial state: all counters zero.
+    Snapshot zero;
+    zero.cum = cum_;
+    zero.assignments = assignments_;
+    history_.emplace(0, std::move(zero));
+}
+
+void
+PltLedger::RecordRouting(std::size_t moe_index,
+                         const std::vector<std::size_t>& tokens_per_expert,
+                         std::size_t assignments) {
+    MOC_CHECK_ARG(moe_index < cum_.size(), "moe_index out of range");
+    MOC_CHECK_ARG(tokens_per_expert.size() == num_experts_,
+                  "per-expert count arity mismatch");
+    for (std::size_t e = 0; e < num_experts_; ++e) {
+        cum_[moe_index][e] += tokens_per_expert[e];
+    }
+    assignments_[moe_index] += assignments;
+}
+
+void
+PltLedger::RecordCheckpointEvent(std::size_t iteration) {
+    Snapshot snap;
+    snap.cum = cum_;
+    snap.assignments = assignments_;
+    history_[iteration] = std::move(snap);
+}
+
+void
+PltLedger::OnFaultRecovery(
+    std::size_t restart_iteration,
+    const std::vector<std::vector<std::size_t>>& expert_recovered_iteration) {
+    auto restart_it = history_.find(restart_iteration);
+    MOC_CHECK_ARG(restart_it != history_.end(),
+                  "restart iteration " << restart_iteration
+                                       << " has no recorded checkpoint");
+    MOC_CHECK_ARG(expert_recovered_iteration.size() == cum_.size(),
+                  "recovery table arity mismatch");
+    const Snapshot& at_restart = restart_it->second;
+
+    for (std::size_t m = 0; m < cum_.size(); ++m) {
+        MOC_CHECK_ARG(expert_recovered_iteration[m].size() == num_experts_,
+                      "recovery table expert arity mismatch");
+        for (std::size_t e = 0; e < num_experts_; ++e) {
+            const std::size_t recovered = expert_recovered_iteration[m][e];
+            MOC_CHECK_ARG(recovered <= restart_iteration,
+                          "expert cannot be fresher than the restart point");
+            auto rec_it = history_.find(recovered);
+            MOC_CHECK_ARG(rec_it != history_.end(),
+                          "recovered iteration " << recovered
+                                                 << " has no recorded checkpoint");
+            const std::uint64_t lost =
+                at_restart.cum[m][e] - rec_it->second.cum[m][e];
+            lost_[m][e] += lost;
+        }
+    }
+
+    // Roll back the live counters: iterations after the restart point will be
+    // replayed and re-recorded.
+    cum_ = at_restart.cum;
+    assignments_ = at_restart.assignments;
+    // Drop frozen snapshots newer than the restart point (they will be
+    // rewritten during replay).
+    history_.erase(history_.upper_bound(restart_iteration), history_.end());
+}
+
+std::uint64_t
+PltLedger::CumulativeTokens(std::size_t moe_index, ExpertId expert) const {
+    MOC_CHECK_ARG(moe_index < cum_.size() && expert < num_experts_,
+                  "index out of range");
+    return cum_[moe_index][expert];
+}
+
+std::uint64_t
+PltLedger::CumulativeTokensAt(std::size_t iteration, std::size_t moe_index,
+                              ExpertId expert) const {
+    auto it = history_.find(iteration);
+    MOC_CHECK_ARG(it != history_.end(), "no snapshot at iteration " << iteration);
+    return it->second.cum.at(moe_index).at(expert);
+}
+
+std::uint64_t
+PltLedger::LostTokens(std::size_t moe_index, ExpertId expert) const {
+    MOC_CHECK_ARG(moe_index < lost_.size() && expert < num_experts_,
+                  "index out of range");
+    return lost_[moe_index][expert];
+}
+
+std::uint64_t
+PltLedger::LayerLostTokens(std::size_t moe_index) const {
+    MOC_CHECK_ARG(moe_index < lost_.size(), "moe_index out of range");
+    std::uint64_t total = 0;
+    for (auto v : lost_[moe_index]) {
+        total += v;
+    }
+    return total;
+}
+
+std::uint64_t
+PltLedger::LayerAssignments(std::size_t moe_index) const {
+    MOC_CHECK_ARG(moe_index < assignments_.size(), "moe_index out of range");
+    return assignments_[moe_index];
+}
+
+double
+PltLedger::Plt() const {
+    double sum = 0.0;
+    for (std::size_t m = 0; m < cum_.size(); ++m) {
+        if (assignments_[m] == 0) {
+            continue;
+        }
+        sum += static_cast<double>(LayerLostTokens(m)) /
+               static_cast<double>(assignments_[m]);
+    }
+    return sum / static_cast<double>(cum_.size());
+}
+
+}  // namespace moc

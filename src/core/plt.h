@@ -1,0 +1,97 @@
+#ifndef MOC_CORE_PLT_H_
+#define MOC_CORE_PLT_H_
+
+/**
+ * @file
+ * The Proportion-of-Lost-Tokens ledger, implementing Eq. 7 of the paper.
+ *
+ * During training, each MoE layer reports its per-expert routed token counts
+ * each iteration. At every checkpoint event the ledger freezes a copy of the
+ * cumulative counters. When a fault forces expert e of layer m back to the
+ * state it had at iteration I_e (while training itself restarts from the
+ * last checkpoint I_c >= I_e), the updates contributed by tokens routed to e
+ * in (I_e, I_c] are permanently lost; the ledger charges exactly those.
+ * Counters roll back to I_c on recovery so replayed tokens are not counted
+ * twice, making the final denominator the number of unique training
+ * assignments (T_i * TopK_i).
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dist/topology.h"
+
+namespace moc {
+
+/**
+ * Lost-token accounting across the whole training run.
+ */
+class PltLedger {
+  public:
+    PltLedger(std::size_t num_moe_layers, std::size_t num_experts);
+
+    /**
+     * Records one iteration's routing outcome for MoE layer @p moe_index:
+     * @p tokens_per_expert processed counts, @p assignments = T * top_k.
+     */
+    void RecordRouting(std::size_t moe_index,
+                       const std::vector<std::size_t>& tokens_per_expert,
+                       std::size_t assignments);
+
+    /** Freezes cumulative counters as of checkpoint @p iteration. */
+    void RecordCheckpointEvent(std::size_t iteration);
+
+    /**
+     * Applies a fault recovery.
+     * @param restart_iteration the checkpoint iteration training resumes from.
+     * @param expert_recovered_iteration [moe layer][expert] -> the iteration
+     *        whose state that expert was restored to (<= restart_iteration;
+     *        0 for "initial state").
+     */
+    void OnFaultRecovery(
+        std::size_t restart_iteration,
+        const std::vector<std::vector<std::size_t>>& expert_recovered_iteration);
+
+    /** Cumulative tokens routed to (layer, expert) since training start. */
+    std::uint64_t CumulativeTokens(std::size_t moe_index, ExpertId expert) const;
+
+    /** Cumulative tokens as of checkpoint @p iteration (must be recorded). */
+    std::uint64_t CumulativeTokensAt(std::size_t iteration, std::size_t moe_index,
+                                     ExpertId expert) const;
+
+    /** Tokens permanently lost for (layer, expert) across all faults so far. */
+    std::uint64_t LostTokens(std::size_t moe_index, ExpertId expert) const;
+
+    /** Total lost tokens of one layer. */
+    std::uint64_t LayerLostTokens(std::size_t moe_index) const;
+
+    /** Total assignments (denominator term) of one layer. */
+    std::uint64_t LayerAssignments(std::size_t moe_index) const;
+
+    /** The PLT metric of Eq. 7, averaged over MoE layers. */
+    double Plt() const;
+
+    std::size_t num_moe_layers() const { return cum_.size(); }
+    std::size_t num_experts() const { return num_experts_; }
+
+  private:
+    struct Snapshot {
+        std::vector<std::vector<std::uint64_t>> cum;
+        std::vector<std::uint64_t> assignments;
+    };
+
+    std::size_t num_experts_;
+    /** cum_[m][e]: tokens processed by expert e of layer m so far. */
+    std::vector<std::vector<std::uint64_t>> cum_;
+    /** assignments_[m]: cumulative attempted assignments of layer m. */
+    std::vector<std::uint64_t> assignments_;
+    /** lost_[m][e]: permanently lost tokens. */
+    std::vector<std::vector<std::uint64_t>> lost_;
+    /** Frozen counters per checkpoint iteration. */
+    std::map<std::size_t, Snapshot> history_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_PLT_H_

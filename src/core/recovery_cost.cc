@@ -1,0 +1,24 @@
+#include "core/recovery_cost.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+RecoveryCostEstimate
+EstimateRecoveryCost(const RecoveryPlan& plan, const RecoveryCostModel& model) {
+    MOC_CHECK_ARG(model.memory_read_bandwidth > 0.0 &&
+                      model.storage_read_bandwidth > 0.0,
+                  "recovery bandwidths must be > 0");
+    RecoveryCostEstimate est;
+    est.fixed = model.fixed_restart;
+    est.memory_read = static_cast<double>(plan.bytes_from_memory) /
+                      model.memory_read_bandwidth;
+    est.storage_read = static_cast<double>(plan.bytes_from_storage) /
+                       model.storage_read_bandwidth;
+    const Seconds latency =
+        model.per_key_latency * static_cast<double>(plan.decisions.size());
+    est.total = est.fixed + est.memory_read + est.storage_read + latency;
+    return est;
+}
+
+}  // namespace moc

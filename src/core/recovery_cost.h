@@ -1,0 +1,45 @@
+#ifndef MOC_CORE_RECOVERY_COST_H_
+#define MOC_CORE_RECOVERY_COST_H_
+
+/**
+ * @file
+ * Recovery-time estimation: turns a RecoveryPlan into an O_restart estimate
+ * (Section 2.3's restart overhead) under a hierarchical-read cost model.
+ * Two-level recovery pays memory-read prices for surviving-node units and
+ * storage-read prices for the rest, quantifying the paper's claim that
+ * in-memory recovery "reduces the overhead of loading data from persistent
+ * storage".
+ */
+
+#include "core/two_level.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/** Read-path bandwidths for recovery. */
+struct RecoveryCostModel {
+    /** CPU-memory read bandwidth per node, bytes/s. */
+    double memory_read_bandwidth = 10.0e9;
+    /** Persistent-storage read bandwidth per rank, bytes/s. */
+    double storage_read_bandwidth = 1.0e9;
+    /** Fixed process-restart cost (scheduler, init, NCCL setup), seconds. */
+    Seconds fixed_restart = 60.0;
+    /** Per-key metadata/open latency, seconds. */
+    Seconds per_key_latency = 1e-3;
+};
+
+/** Breakdown of an estimated recovery. */
+struct RecoveryCostEstimate {
+    Seconds fixed = 0.0;
+    Seconds memory_read = 0.0;
+    Seconds storage_read = 0.0;
+    Seconds total = 0.0;
+};
+
+/** Estimates the wall-clock restart cost of executing @p plan. */
+RecoveryCostEstimate EstimateRecoveryCost(const RecoveryPlan& plan,
+                                          const RecoveryCostModel& model);
+
+}  // namespace moc
+
+#endif  // MOC_CORE_RECOVERY_COST_H_

@@ -1,0 +1,65 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace moc {
+
+SequentialSelector::SequentialSelector(std::size_t num_experts)
+    : num_experts_(num_experts) {
+    MOC_CHECK_ARG(num_experts >= 1, "need at least one expert");
+}
+
+std::vector<ExpertId>
+SequentialSelector::Select(std::size_t ckpt_index, std::size_t moe_index,
+                           std::size_t k) {
+    MOC_CHECK_ARG(k >= 1 && k <= num_experts_, "k must be in [1, num_experts]");
+    std::vector<ExpertId> out;
+    out.reserve(k);
+    const std::size_t base = (moe_index + ckpt_index) * k;
+    for (std::size_t j = 0; j < k; ++j) {
+        out.push_back((base + j) % num_experts_);
+    }
+    // With k not dividing N the window may wrap onto itself; dedupe while
+    // preserving order, then fill from the next unused ids.
+    std::vector<bool> used(num_experts_, false);
+    std::vector<ExpertId> unique;
+    unique.reserve(k);
+    for (auto e : out) {
+        if (!used[e]) {
+            used[e] = true;
+            unique.push_back(e);
+        }
+    }
+    for (ExpertId e = 0; unique.size() < k; e = (e + 1) % num_experts_) {
+        if (!used[e]) {
+            used[e] = true;
+            unique.push_back(e);
+        }
+    }
+    return unique;
+}
+
+LoadAwareSelector::LoadAwareSelector(std::size_t num_experts, LoadFn load)
+    : num_experts_(num_experts), load_(std::move(load)) {
+    MOC_CHECK_ARG(num_experts >= 1, "need at least one expert");
+    MOC_CHECK_ARG(static_cast<bool>(load_), "load function must be set");
+}
+
+std::vector<ExpertId>
+LoadAwareSelector::Select(std::size_t ckpt_index, std::size_t moe_index,
+                          std::size_t k) {
+    (void)ckpt_index;
+    MOC_CHECK_ARG(k >= 1 && k <= num_experts_, "k must be in [1, num_experts]");
+    std::vector<ExpertId> order(num_experts_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](ExpertId a, ExpertId b) {
+        return load_(moe_index, a) > load_(moe_index, b);
+    });
+    order.resize(k);
+    return order;
+}
+
+}  // namespace moc

@@ -1,0 +1,91 @@
+#ifndef MOC_CORE_SELECTION_H_
+#define MOC_CORE_SELECTION_H_
+
+/**
+ * @file
+ * Partial-experts selection policies (Section 3.2).
+ *
+ * Sequential selection rotates the saved subset across checkpoints with an
+ * interleaved offset per MoE layer, balancing the per-rank checkpoint
+ * workload without any runtime coordination. Load-aware selection instead
+ * saves the experts with the most unsaved updates, at the cost of needing
+ * routing statistics.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/topology.h"
+
+namespace moc {
+
+/** Which partial-experts selection function to use. */
+enum class SelectionPolicy { kSequential, kLoadAware };
+
+/**
+ * Strategy interface: which experts of one MoE layer to save at one
+ * checkpoint event.
+ */
+class ExpertSelector {
+  public:
+    virtual ~ExpertSelector() = default;
+
+    /**
+     * @param ckpt_index running checkpoint-event counter (0, 1, 2, ...).
+     * @param moe_index index of the MoE layer within the model.
+     * @param k number of experts to select (1 <= k <= num_experts).
+     * @return k distinct expert ids, in save order.
+     */
+    virtual std::vector<ExpertId> Select(std::size_t ckpt_index, std::size_t moe_index,
+                                         std::size_t k) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * The paper's sequential selection (Fig. 4): layer m at checkpoint c saves
+ * experts {(m*k + c*k + j) mod N : j in [0, k)}. Consecutive MoE layers
+ * start at staggered offsets, so the per-EP-rank workload interleaves, and
+ * consecutive checkpoints advance the window so every expert is saved every
+ * ceil(N/k) checkpoints.
+ */
+class SequentialSelector final : public ExpertSelector {
+  public:
+    explicit SequentialSelector(std::size_t num_experts);
+
+    std::vector<ExpertId> Select(std::size_t ckpt_index, std::size_t moe_index,
+                                 std::size_t k) override;
+    std::string name() const override { return "sequential"; }
+
+    std::size_t num_experts() const { return num_experts_; }
+
+  private:
+    std::size_t num_experts_;
+};
+
+/**
+ * Load-aware selection: saves the k experts with the highest number of
+ * unsaved routed tokens, queried through a caller-provided function
+ * (typically backed by the PltLedger). Deterministic tie-break by expert id.
+ */
+class LoadAwareSelector final : public ExpertSelector {
+  public:
+    /** Returns the unsaved-update count of (moe layer, expert). */
+    using LoadFn = std::function<std::uint64_t(std::size_t moe_index, ExpertId expert)>;
+
+    LoadAwareSelector(std::size_t num_experts, LoadFn load);
+
+    std::vector<ExpertId> Select(std::size_t ckpt_index, std::size_t moe_index,
+                                 std::size_t k) override;
+    std::string name() const override { return "load-aware"; }
+
+  private:
+    std::size_t num_experts_;
+    LoadFn load_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_SELECTION_H_

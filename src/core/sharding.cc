@@ -1,0 +1,222 @@
+#include "core/sharding.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace moc {
+
+ShardPlan::ShardPlan(std::size_t num_ranks) : per_rank_(num_ranks), loads_(num_ranks, 0) {
+    MOC_CHECK_ARG(num_ranks >= 1, "plan needs at least one rank");
+}
+
+void
+ShardPlan::Add(RankId rank, ShardItem item) {
+    MOC_CHECK_ARG(rank < per_rank_.size(), "rank out of range");
+    loads_[rank] += item.bytes;
+    per_rank_[rank].push_back(std::move(item));
+}
+
+const std::vector<ShardItem>&
+ShardPlan::Items(RankId rank) const {
+    MOC_CHECK_ARG(rank < per_rank_.size(), "rank out of range");
+    return per_rank_[rank];
+}
+
+Bytes
+ShardPlan::RankBytes(RankId rank) const {
+    MOC_CHECK_ARG(rank < loads_.size(), "rank out of range");
+    return loads_[rank];
+}
+
+std::vector<Bytes>
+ShardPlan::RankLoads() const {
+    return loads_;
+}
+
+Bytes
+ShardPlan::BottleneckBytes() const {
+    return *std::max_element(loads_.begin(), loads_.end());
+}
+
+Bytes
+ShardPlan::TotalBytes() const {
+    Bytes total = 0;
+    for (auto b : loads_) {
+        total += b;
+    }
+    return total;
+}
+
+std::optional<RankId>
+ShardPlan::FindWeightOwner(const std::string& key) const {
+    for (RankId r = 0; r < per_rank_.size(); ++r) {
+        for (const auto& item : per_rank_[r]) {
+            if (!item.optimizer && item.key == key) {
+                return r;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+ShardingPlanner::ShardingPlanner(const ModelStateInventory& inventory,
+                                 const RankTopology& topology,
+                                 const ShardingOptions& options)
+    : inventory_(inventory), topology_(topology), options_(options) {
+    MOC_CHECK_ARG(inventory.spec().num_experts % topology.ep() == 0,
+                  "ep degree must divide the number of experts");
+}
+
+std::vector<std::vector<ExpertId>>
+ShardingPlanner::FullSelection() const {
+    const std::size_t layers = inventory_.spec().NumMoeLayers();
+    const std::size_t n = inventory_.spec().num_experts;
+    std::vector<std::vector<ExpertId>> sel(layers);
+    for (auto& layer : sel) {
+        layer.resize(n);
+        for (std::size_t e = 0; e < n; ++e) {
+            layer[e] = e;
+        }
+    }
+    return sel;
+}
+
+ShardPlan
+ShardingPlanner::PlanFull() const {
+    const auto full = FullSelection();
+    return Plan(full, full);
+}
+
+ShardPlan
+ShardingPlanner::Plan(const std::vector<std::vector<ExpertId>>& experts_weights,
+                      const std::vector<std::vector<ExpertId>>& experts_optim) const {
+    const std::size_t layers = inventory_.spec().NumMoeLayers();
+    MOC_CHECK_ARG(experts_weights.size() == layers && experts_optim.size() == layers,
+                  "selection arity must equal the number of MoE layers");
+    const std::size_t n = inventory_.spec().num_experts;
+    const std::size_t dp = topology_.dp();
+    const std::size_t groups = topology_.NumEpGroups();
+    ShardPlan plan(dp);
+
+    // Fragments an expert payload across the EP-group replicas.
+    auto add_expert_fragments = [&](const ModuleState& module, Bytes bytes,
+                                    std::size_t owner, bool optimizer,
+                                    const char* tag) {
+        const Bytes frag = bytes / groups;
+        for (std::size_t g = 0; g < groups; ++g) {
+            const Bytes take = g + 1 == groups ? bytes - frag * (groups - 1) : frag;
+            plan.Add(topology_.RankOf(g, owner),
+                     {module.key + tag + "#g" + std::to_string(g), take, optimizer});
+        }
+    };
+
+    // --- 1. Expert weights ---
+    const bool expert_weights_fragmented =
+        options_.zero == ZeroStage::kZero3 ||
+        (options_.equal_expert && groups > 1);
+    for (std::size_t m = 0; m < layers; ++m) {
+        for (ExpertId e : experts_weights[m]) {
+            const auto& module = inventory_.ExpertModule(m, e);
+            const Bytes w = inventory_.WeightBytes(module);
+            const std::size_t owner = topology_.OwnerEpRank(e, n);
+            if (expert_weights_fragmented && groups > 1) {
+                add_expert_fragments(module, w, owner, false, "");
+            } else {
+                // Baseline: only EP group 0 saves expert weights (Fig. 7a).
+                plan.Add(topology_.RankOf(0, owner), {module.key, w, false});
+            }
+        }
+    }
+
+    // --- 2. Expert optimizer states ---
+    for (std::size_t m = 0; m < layers; ++m) {
+        for (ExpertId e : experts_optim[m]) {
+            const auto& module = inventory_.ExpertModule(m, e);
+            const Bytes o = inventory_.OptimBytes(module);
+            const std::size_t owner = topology_.OwnerEpRank(e, n);
+            if (options_.zero == ZeroStage::kNone) {
+                // Replicated at runtime: place like the weights.
+                if (expert_weights_fragmented && groups > 1) {
+                    add_expert_fragments(module, o, owner, true, "/optim");
+                } else {
+                    plan.Add(topology_.RankOf(0, owner),
+                             {module.key + "/optim", o, true});
+                }
+            } else {
+                // ZeRO: already partitioned across the replicas.
+                add_expert_fragments(module, o, owner, true, "/optim");
+            }
+        }
+    }
+
+    // --- 3. Non-expert optimizer states ---
+    // Under ZeRO: split evenly across all DP ranks. Without ZeRO the
+    // optimizer follows the weights (handled in stage 4).
+    if (options_.zero != ZeroStage::kNone) {
+        Bytes ne_optim = 0;
+        for (const auto* module : inventory_.NonExpertModules()) {
+            ne_optim += inventory_.OptimBytes(*module);
+        }
+        const Bytes frag = ne_optim / dp;
+        for (RankId r = 0; r < dp; ++r) {
+            const Bytes take = r + 1 == dp ? ne_optim - frag * (dp - 1) : frag;
+            plan.Add(r, {"nonexpert/optim#r" + std::to_string(r), take, true});
+        }
+    }
+
+    // --- 4. Non-expert weights (+ optimizer when not ZeRO-partitioned) ---
+    auto ne_modules = inventory_.NonExpertModules();
+    auto unit_bytes = [&](const ModuleState& m) {
+        Bytes b = options_.zero == ZeroStage::kZero3 ? 0
+                                                     : inventory_.WeightBytes(m);
+        if (options_.zero == ZeroStage::kNone) {
+            b += inventory_.OptimBytes(m);
+        }
+        return b;
+    };
+
+    if (options_.zero == ZeroStage::kZero3) {
+        // FSDP: weights partitioned across all DP ranks too.
+        Bytes ne_weights = 0;
+        for (const auto* module : ne_modules) {
+            ne_weights += inventory_.WeightBytes(*module);
+        }
+        const Bytes frag = ne_weights / dp;
+        for (RankId r = 0; r < dp; ++r) {
+            const Bytes take = r + 1 == dp ? ne_weights - frag * (dp - 1) : frag;
+            plan.Add(r, {"nonexpert/weights#r" + std::to_string(r), take, false});
+        }
+        return plan;
+    }
+
+    if (!options_.equal_nonexpert && !options_.adaptive_nonexpert) {
+        // Baseline: rank 0 saves everything (Fig. 7a).
+        for (const auto* module : ne_modules) {
+            plan.Add(0, {module->key, unit_bytes(*module), false});
+        }
+        return plan;
+    }
+
+    // Greedy allocation: largest units first onto the least-loaded rank.
+    std::stable_sort(ne_modules.begin(), ne_modules.end(),
+                     [&](const ModuleState* a, const ModuleState* b) {
+                         return unit_bytes(*a) > unit_bytes(*b);
+                     });
+    // "EN" balances the non-expert units in isolation; "AN" balances against
+    // the accumulated expert + optimizer load of each rank.
+    std::vector<Bytes> loads(dp, 0);
+    if (options_.adaptive_nonexpert) {
+        loads = plan.RankLoads();
+    }
+    for (const auto* module : ne_modules) {
+        const RankId target = static_cast<RankId>(
+            std::min_element(loads.begin(), loads.end()) - loads.begin());
+        const Bytes w = unit_bytes(*module);
+        loads[target] += w;
+        plan.Add(target, {module->key, w, false});
+    }
+    return plan;
+}
+
+}  // namespace moc

@@ -1,0 +1,126 @@
+#ifndef MOC_CORE_SHARDING_H_
+#define MOC_CORE_SHARDING_H_
+
+/**
+ * @file
+ * Checkpoint shard planning (Section 4).
+ *
+ * A ShardPlan maps every byte that a checkpoint event must save to a DP
+ * rank. The planner supports:
+ *  - the Megatron-DeepSpeed baseline (rank 0 saves all non-expert weights,
+ *    EP-group-0 saves expert weights, Fig. 7a);
+ *  - equal sharding of the expert part across EP groups ("EE", Section 4.1);
+ *  - equal layer-granular sharding of the non-expert part ("EN", 4.2);
+ *  - adaptive PEC-aware sharding of the non-expert part ("AN", 4.3): a
+ *    greedy allocator that assigns the largest modules to the ranks with the
+ *    least accumulated (expert) workload.
+ *
+ * ZeRO-2 optimizer states are partitioned by construction: the non-expert
+ * optimizer is split evenly across all DP ranks, and each expert's optimizer
+ * is split across the ranks replicating that expert (one per EP group).
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/inventory.h"
+#include "dist/topology.h"
+
+namespace moc {
+
+/**
+ * How optimizer states are partitioned at runtime (Section 4.4: the
+ * sharding strategies generalize to scenarios without ZeRO).
+ */
+enum class ZeroStage {
+    /** No ZeRO: optimizer states replicated; checkpoint places them exactly
+        like the corresponding weights (subject to EE/EN/AN). */
+    kNone,
+    /** ZeRO-1/2 (the paper's focus): optimizer states already partitioned —
+        non-expert across all DP ranks, each expert across its replicas. */
+    kZero2,
+    /** ZeRO-3 / FSDP: weights are partitioned the same way too. */
+    kZero3,
+};
+
+/** Which fully-sharded optimizations are active. */
+struct ShardingOptions {
+    bool equal_expert = false;       ///< "EE"
+    bool equal_nonexpert = false;    ///< "EN"
+    bool adaptive_nonexpert = false; ///< "AN" (overrides "EN" for non-expert)
+    ZeroStage zero = ZeroStage::kZero2;
+};
+
+/** One unit (or fragment) of checkpoint work assigned to a rank. */
+struct ShardItem {
+    /** Module key; fragments carry a "#g<group>" suffix. */
+    std::string key;
+    Bytes bytes = 0;
+    /** True for optimizer-state payload, false for weights. */
+    bool optimizer = false;
+};
+
+/** The rank -> work mapping of one checkpoint event. */
+class ShardPlan {
+  public:
+    explicit ShardPlan(std::size_t num_ranks);
+
+    void Add(RankId rank, ShardItem item);
+
+    std::size_t num_ranks() const { return per_rank_.size(); }
+    const std::vector<ShardItem>& Items(RankId rank) const;
+
+    /** Total bytes assigned to @p rank. */
+    Bytes RankBytes(RankId rank) const;
+
+    /** All per-rank byte loads. */
+    std::vector<Bytes> RankLoads() const;
+
+    /** The heaviest rank's load — what determines blocking duration. */
+    Bytes BottleneckBytes() const;
+
+    /** Sum across ranks (the total checkpoint size of the event). */
+    Bytes TotalBytes() const;
+
+    /** Rank that holds an item with exactly @p key (weights), if any. */
+    std::optional<RankId> FindWeightOwner(const std::string& key) const;
+
+  private:
+    std::vector<std::vector<ShardItem>> per_rank_;
+    std::vector<Bytes> loads_;
+};
+
+/**
+ * Plans checkpoint shards for a model/topology under a sharding strategy.
+ */
+class ShardingPlanner {
+  public:
+    ShardingPlanner(const ModelStateInventory& inventory, const RankTopology& topology,
+                    const ShardingOptions& options);
+
+    /**
+     * Plans one checkpoint event.
+     * @param experts_weights per-MoE-layer experts whose weights are saved.
+     * @param experts_optim per-MoE-layer experts whose optimizer is saved.
+     */
+    ShardPlan Plan(const std::vector<std::vector<ExpertId>>& experts_weights,
+                   const std::vector<std::vector<ExpertId>>& experts_optim) const;
+
+    /** Plans a full (non-PEC) checkpoint event. */
+    ShardPlan PlanFull() const;
+
+    /** The all-experts selection for this model. */
+    std::vector<std::vector<ExpertId>> FullSelection() const;
+
+    const ShardingOptions& options() const { return options_; }
+
+  private:
+    const ModelStateInventory& inventory_;
+    const RankTopology& topology_;
+    ShardingOptions options_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_SHARDING_H_

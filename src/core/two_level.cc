@@ -1,0 +1,83 @@
+#include "core/two_level.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace moc {
+
+RecoveryDecision
+TwoLevelRecoveryPlanner::DecideKey(const CheckpointManifest& manifest,
+                                   const std::string& key) const {
+    RecoveryDecision d;
+    d.key = key;
+    if (two_level_) {
+        if (auto mem = manifest.Latest(StoreLevel::kMemory, key)) {
+            d.source = RecoverySource::kMemory;
+            d.iteration = mem->iteration;
+            d.bytes = mem->bytes;
+            return d;
+        }
+    }
+    if (auto persist = manifest.Latest(StoreLevel::kPersist, key)) {
+        d.source = RecoverySource::kPersist;
+        d.iteration = persist->iteration;
+        d.bytes = persist->bytes;
+        return d;
+    }
+    d.source = RecoverySource::kInitial;
+    d.iteration = 0;
+    return d;
+}
+
+RecoveryPlan
+TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
+                              const std::vector<std::string>& nonexpert_keys,
+                              std::size_t num_moe_layers,
+                              std::size_t num_experts) const {
+    RecoveryPlan plan;
+    plan.restart_iteration =
+        manifest.LastCompleteIteration(StoreLevel::kPersist).value_or(0);
+    plan.expert_recovered_iteration.assign(
+        num_moe_layers, std::vector<std::size_t>(num_experts, 0));
+
+    auto account = [&plan](const RecoveryDecision& d) {
+        if (d.source == RecoverySource::kMemory) {
+            plan.bytes_from_memory += d.bytes;
+        } else if (d.source == RecoverySource::kPersist) {
+            plan.bytes_from_storage += d.bytes;
+        }
+        plan.decisions.push_back(d);
+    };
+
+    for (const auto& key : nonexpert_keys) {
+        RecoveryDecision d = DecideKey(manifest, key);
+        // A non-expert unit must restore to the restart point exactly: it is
+        // saved in full at every checkpoint, so any fresher memory copy is
+        // from the same event. Anything older indicates a corrupt manifest.
+        MOC_ASSERT(d.source == RecoverySource::kInitial ||
+                       d.iteration == plan.restart_iteration,
+                   "non-expert unit " << key << " recovered at iteration "
+                                      << d.iteration << " != restart point "
+                                      << plan.restart_iteration);
+        account(d);
+    }
+
+    for (std::size_t m = 0; m < num_moe_layers; ++m) {
+        for (std::size_t e = 0; e < num_experts; ++e) {
+            const std::string base =
+                "moe/" + std::to_string(m) + "/expert/" + std::to_string(e);
+            RecoveryDecision dw = DecideKey(manifest, base + "/w");
+            RecoveryDecision od = DecideKey(manifest, base + "/o");
+            account(dw);
+            account(od);
+            // The expert's effective age is its stalest part: updates since
+            // then are (at least partially) lost.
+            plan.expert_recovered_iteration[m][e] =
+                std::min(dw.iteration, od.iteration);
+        }
+    }
+    return plan;
+}
+
+}  // namespace moc

@@ -1,0 +1,84 @@
+#ifndef MOC_CORE_TWO_LEVEL_H_
+#define MOC_CORE_TWO_LEVEL_H_
+
+/**
+ * @file
+ * Two-level recovery planning (Section 5.1, "Recovery").
+ *
+ * After a fault, every checkpointing unit is restored from the freshest
+ * still-reachable version: in-memory snapshots on surviving nodes first
+ * (newer, cheap to read), persistent storage otherwise. Non-expert units
+ * always exist at the restart iteration at both levels; expert units may
+ * only exist at older iterations — that staleness is what the PLT ledger
+ * charges.
+ */
+
+#include <string>
+#include <vector>
+
+#include "storage/manifest.h"
+#include "storage/memory_store.h"
+
+namespace moc {
+
+/** Where a unit gets restored from. */
+enum class RecoverySource { kMemory, kPersist, kInitial };
+
+/** The restore decision for one store key. */
+struct RecoveryDecision {
+    std::string key;
+    RecoverySource source = RecoverySource::kInitial;
+    /** Iteration of the restored state (0 = initial weights). */
+    std::size_t iteration = 0;
+    Bytes bytes = 0;
+};
+
+/** A complete recovery plan for one fault. */
+struct RecoveryPlan {
+    /** The checkpoint iteration training resumes from. */
+    std::size_t restart_iteration = 0;
+    std::vector<RecoveryDecision> decisions;
+    Bytes bytes_from_memory = 0;
+    Bytes bytes_from_storage = 0;
+    /**
+     * expert_recovered_iteration[m][e] — the effective state age of expert e
+     * of MoE layer m after recovery (the staler of its weight/optimizer
+     * parts), feeding PltLedger::OnFaultRecovery.
+     */
+    std::vector<std::vector<std::size_t>> expert_recovered_iteration;
+};
+
+/**
+ * Plans recovery from the manifest after node failures have been applied
+ * (the caller must invalidate failed nodes' memory entries first).
+ */
+class TwoLevelRecoveryPlanner {
+  public:
+    /**
+     * @param two_level when false, recovery reads persistent storage only
+     *        (the non-"-2L" variants of Fig. 14/Table 3).
+     */
+    explicit TwoLevelRecoveryPlanner(bool two_level) : two_level_(two_level) {}
+
+    /**
+     * @param manifest the (failure-adjusted) checkpoint manifest.
+     * @param nonexpert_keys store keys of non-expert units ("<module>/w|o").
+     * @param num_moe_layers / @p num_experts expert-grid dimensions; expert
+     *        store keys are "moe/<m>/expert/<e>/w" and ".../o".
+     */
+    RecoveryPlan Plan(const CheckpointManifest& manifest,
+                      const std::vector<std::string>& nonexpert_keys,
+                      std::size_t num_moe_layers, std::size_t num_experts) const;
+
+    bool two_level() const { return two_level_; }
+
+  private:
+    RecoveryDecision DecideKey(const CheckpointManifest& manifest,
+                               const std::string& key) const;
+
+    bool two_level_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CORE_TWO_LEVEL_H_

@@ -1,0 +1,59 @@
+#include "data/classification.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+ClassificationDataset::ClassificationDataset(const ClassificationConfig& config)
+    : config_(config) {
+    MOC_CHECK_ARG(config.num_classes >= 2, "need at least 2 classes");
+    MOC_CHECK_ARG(config.vocab_size >= 4, "need at least 4 tokens");
+    MOC_CHECK_ARG(config.seq_len >= 2, "need seq_len >= 2");
+    MOC_CHECK_ARG(config.noise >= 0.0 && config.noise < 1.0, "noise must be in [0, 1)");
+    Rng rng(config.seed);
+    chains_.resize(config.num_classes);
+    constexpr std::size_t kBranch = 2;
+    for (auto& chain : chains_) {
+        chain.resize(config.vocab_size);
+        for (auto& succ : chain) {
+            succ.reserve(kBranch);
+            for (std::size_t b = 0; b < kBranch; ++b) {
+                succ.push_back(static_cast<TokenId>(rng.UniformInt(config.vocab_size)));
+            }
+        }
+    }
+}
+
+ClassifiedSequence
+ClassificationDataset::Get(int split, std::size_t index) const {
+    const std::uint64_t seed = config_.seed * 0x100000001B3ULL +
+                               static_cast<std::uint64_t>(split) * 0x9E3779B9ULL +
+                               index * 2654435761ULL + 17;
+    Rng rng(seed);
+    ClassifiedSequence out;
+    out.label = static_cast<int>(rng.UniformInt(config_.num_classes));
+    const auto& chain = chains_[static_cast<std::size_t>(out.label)];
+    TokenId cur = static_cast<TokenId>(rng.UniformInt(config_.vocab_size));
+    out.tokens.reserve(config_.seq_len);
+    for (std::size_t i = 0; i < config_.seq_len; ++i) {
+        if (rng.Uniform() < config_.noise) {
+            cur = static_cast<TokenId>(rng.UniformInt(config_.vocab_size));
+        }
+        out.tokens.push_back(cur);
+        const auto& succ = chain[static_cast<std::size_t>(cur)];
+        cur = succ[rng.UniformInt(succ.size())];
+    }
+    return out;
+}
+
+std::vector<ClassifiedSequence>
+ClassificationDataset::GetBatch(int split, std::size_t start, std::size_t count) const {
+    std::vector<ClassifiedSequence> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(Get(split, start + i));
+    }
+    return out;
+}
+
+}  // namespace moc

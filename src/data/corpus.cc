@@ -1,0 +1,134 @@
+#include "data/corpus.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+ZipfMarkovCorpus::ZipfMarkovCorpus(const CorpusConfig& config)
+    : config_(config), noise_(config.vocab_size, config.zipf_exponent) {
+    MOC_CHECK_ARG(config.vocab_size >= 2, "vocab_size must be >= 2");
+    MOC_CHECK_ARG(config.branching >= 1 && config.branching < config.vocab_size,
+                  "branching must be in [1, vocab_size)");
+    MOC_CHECK_ARG(config.structure_weight > 0.0 && config.structure_weight < 1.0,
+                  "structure_weight must be in (0, 1)");
+    Rng rng(config.seed);
+    successors_.resize(config.vocab_size);
+    successor_weights_.resize(config.vocab_size);
+    for (std::size_t t = 0; t < config.vocab_size; ++t) {
+        auto& succ = successors_[t];
+        auto& w = successor_weights_[t];
+        succ.reserve(config.branching);
+        w.reserve(config.branching);
+        double total = 0.0;
+        for (std::size_t b = 0; b < config.branching; ++b) {
+            succ.push_back(static_cast<TokenId>(rng.UniformInt(config.vocab_size)));
+            // Geometric-ish decay among the structured successors.
+            const double weight = std::pow(0.5, static_cast<double>(b));
+            w.push_back(weight);
+            total += weight;
+        }
+        for (auto& v : w) {
+            v /= total;
+        }
+    }
+}
+
+TokenId
+ZipfMarkovCorpus::SampleNext(TokenId current, Rng& rng) const {
+    MOC_ASSERT(current >= 0 &&
+                   static_cast<std::size_t>(current) < config_.vocab_size,
+               "token out of range");
+    if (rng.Uniform() < config_.structure_weight) {
+        const auto& succ = successors_[static_cast<std::size_t>(current)];
+        const auto& w = successor_weights_[static_cast<std::size_t>(current)];
+        double u = rng.Uniform();
+        for (std::size_t b = 0; b < succ.size(); ++b) {
+            if (u < w[b]) {
+                return succ[b];
+            }
+            u -= w[b];
+        }
+        return succ.back();
+    }
+    return static_cast<TokenId>(noise_.Sample(rng));
+}
+
+std::vector<TokenId>
+ZipfMarkovCorpus::Generate(std::size_t length, std::uint64_t stream_seed) const {
+    Rng rng(config_.seed ^ (stream_seed * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
+    std::vector<TokenId> out;
+    out.reserve(length);
+    TokenId cur = static_cast<TokenId>(rng.UniformInt(config_.vocab_size));
+    for (std::size_t i = 0; i < length; ++i) {
+        out.push_back(cur);
+        cur = SampleNext(cur, rng);
+    }
+    return out;
+}
+
+double
+ZipfMarkovCorpus::ConditionalEntropy() const {
+    // Mixture distribution per state: structure_weight on the successor set
+    // plus (1 - w) on the Zipf noise. We compute the exact per-state entropy
+    // and average under the (approximately Zipf) marginal; a uniform average
+    // over states is a close, adequate bound for reporting.
+    double total = 0.0;
+    const double w = config_.structure_weight;
+    // Zipf pmf.
+    std::vector<double> zipf(config_.vocab_size);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < config_.vocab_size; ++i) {
+        zipf[i] = 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_exponent);
+        norm += zipf[i];
+    }
+    for (auto& z : zipf) {
+        z /= norm;
+    }
+    for (std::size_t t = 0; t < config_.vocab_size; ++t) {
+        // Build the exact conditional for state t.
+        std::vector<double> p = zipf;
+        for (auto& v : p) {
+            v *= (1.0 - w);
+        }
+        for (std::size_t b = 0; b < successors_[t].size(); ++b) {
+            p[static_cast<std::size_t>(successors_[t][b])] += w * successor_weights_[t][b];
+        }
+        double h = 0.0;
+        for (double v : p) {
+            if (v > 0.0) {
+                h -= v * std::log(v);
+            }
+        }
+        total += h;
+    }
+    return total / static_cast<double>(config_.vocab_size);
+}
+
+LmBatchStream::LmBatchStream(const ZipfMarkovCorpus& corpus, std::size_t batch,
+                             std::size_t seq, std::uint64_t stream_id)
+    : corpus_(corpus), batch_(batch), seq_(seq), stream_id_(stream_id) {
+    MOC_CHECK_ARG(batch >= 1 && seq >= 1, "batch and seq must be >= 1");
+}
+
+LmBatch
+LmBatchStream::Get(std::size_t index) const {
+    LmBatch out;
+    out.batch = batch_;
+    out.seq = seq_;
+    out.inputs.reserve(batch_ * seq_);
+    out.targets.reserve(batch_ * seq_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+        const std::uint64_t row_seed =
+            stream_id_ * 0x100000001B3ULL + index * 1315423911ULL + b;
+        const auto tokens = corpus_.Generate(seq_ + 1, row_seed);
+        for (std::size_t i = 0; i < seq_; ++i) {
+            out.inputs.push_back(tokens[i]);
+            out.targets.push_back(tokens[i + 1]);
+        }
+    }
+    return out;
+}
+
+}  // namespace moc

@@ -1,0 +1,128 @@
+#include "data/probes.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+/** Continues @p context along the corpus chain for @p len tokens. */
+std::vector<TokenId>
+ChainContinue(const ZipfMarkovCorpus& corpus, TokenId last, std::size_t len, Rng& rng) {
+    std::vector<TokenId> out;
+    out.reserve(len);
+    TokenId cur = last;
+    for (std::size_t i = 0; i < len; ++i) {
+        cur = corpus.SampleNext(cur, rng);
+        out.push_back(cur);
+    }
+    return out;
+}
+
+/** Random tokens from the whole vocabulary. */
+std::vector<TokenId>
+RandomTokens(std::size_t vocab, std::size_t len, Rng& rng) {
+    std::vector<TokenId> out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<TokenId>(rng.UniformInt(vocab)));
+    }
+    return out;
+}
+
+enum class DistractorKind {
+    kRandom,        // uniform random continuations
+    kShuffled,      // correct answer, permuted
+    kOffChain,      // chain continuations started from a different token
+    kNearMiss,      // correct answer with one token corrupted
+};
+
+ProbeTask
+BuildTask(const ZipfMarkovCorpus& corpus, const ProbeSuiteConfig& cfg,
+          const std::string& name, std::size_t continuation_len, DistractorKind kind,
+          std::uint64_t salt) {
+    ProbeTask task;
+    task.name = name;
+    Rng rng(cfg.seed ^ salt);
+    task.items.reserve(cfg.items_per_task);
+    for (std::size_t i = 0; i < cfg.items_per_task; ++i) {
+        ProbeItem item;
+        item.context = corpus.Generate(cfg.context_len, salt * 7919 + i);
+        const TokenId last = item.context.back();
+        auto correct = ChainContinue(corpus, last, continuation_len, rng);
+        item.correct = static_cast<int>(rng.UniformInt(cfg.num_choices));
+        for (std::size_t c = 0; c < cfg.num_choices; ++c) {
+            if (static_cast<int>(c) == item.correct) {
+                item.choices.push_back(correct);
+                continue;
+            }
+            switch (kind) {
+                case DistractorKind::kRandom:
+                    item.choices.push_back(
+                        RandomTokens(corpus.vocab_size(), continuation_len, rng));
+                    break;
+                case DistractorKind::kShuffled: {
+                    auto shuffled = correct;
+                    // Try to find a differing permutation; a constant
+                    // continuation (all tokens equal) has none, so corrupt
+                    // one position instead of spinning.
+                    for (int attempt = 0; attempt < 8 && shuffled == correct;
+                         ++attempt) {
+                        rng.Shuffle(shuffled);
+                    }
+                    if (shuffled == correct) {
+                        const std::size_t pos = rng.UniformInt(continuation_len);
+                        shuffled[pos] = static_cast<TokenId>(
+                            rng.UniformInt(corpus.vocab_size()));
+                    }
+                    item.choices.push_back(std::move(shuffled));
+                    break;
+                }
+                case DistractorKind::kOffChain: {
+                    const auto wrong_start =
+                        static_cast<TokenId>(rng.UniformInt(corpus.vocab_size()));
+                    item.choices.push_back(
+                        ChainContinue(corpus, wrong_start, continuation_len, rng));
+                    break;
+                }
+                case DistractorKind::kNearMiss: {
+                    auto corrupted = correct;
+                    const std::size_t pos = rng.UniformInt(continuation_len);
+                    corrupted[pos] =
+                        static_cast<TokenId>(rng.UniformInt(corpus.vocab_size()));
+                    item.choices.push_back(std::move(corrupted));
+                    break;
+                }
+            }
+        }
+        task.items.push_back(std::move(item));
+    }
+    return task;
+}
+
+}  // namespace
+
+std::vector<ProbeTask>
+BuildProbeSuite(const ZipfMarkovCorpus& corpus, const ProbeSuiteConfig& cfg) {
+    MOC_CHECK_ARG(cfg.num_choices >= 2, "probes need at least 2 choices");
+    MOC_CHECK_ARG(cfg.continuation_len >= 1, "continuation_len must be >= 1");
+    std::vector<ProbeTask> suite;
+    suite.push_back(BuildTask(corpus, cfg, "Chain2", 2, DistractorKind::kRandom, 0x11));
+    suite.push_back(BuildTask(corpus, cfg, "Chain4", 4, DistractorKind::kRandom, 0x22));
+    suite.push_back(BuildTask(corpus, cfg, "Chain8", 8, DistractorKind::kRandom, 0x33));
+    suite.push_back(
+        BuildTask(corpus, cfg, "Shuffle4", 4, DistractorKind::kShuffled, 0x44));
+    suite.push_back(
+        BuildTask(corpus, cfg, "OffChain4", 4, DistractorKind::kOffChain, 0x55));
+    suite.push_back(
+        BuildTask(corpus, cfg, "NearMiss4", 4, DistractorKind::kNearMiss, 0x66));
+    suite.push_back(
+        BuildTask(corpus, cfg, "OffChain8", 8, DistractorKind::kOffChain, 0x77));
+    suite.push_back(
+        BuildTask(corpus, cfg, "NearMiss8", 8, DistractorKind::kNearMiss, 0x88));
+    return suite;
+}
+
+}  // namespace moc

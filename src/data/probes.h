@@ -1,0 +1,61 @@
+#ifndef MOC_DATA_PROBES_H_
+#define MOC_DATA_PROBES_H_
+
+/**
+ * @file
+ * Downstream probe tasks, the stand-in for the paper's downstream evaluation
+ * suite (HellaSwag, PIQA, WinoGrande, ... — Tables 3 and 4).
+ *
+ * Each probe is a multiple-choice task over the pre-training distribution: a
+ * context is generated from the corpus chain, the correct continuation
+ * follows the chain, and distractors break it in a task-specific way. A
+ * language model is scored by the likelihood it assigns to each choice;
+ * accuracy is the fraction of items where the correct choice scores highest.
+ * Eight probes of varying difficulty mirror the paper's eight tasks.
+ */
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace moc {
+
+/** One multiple-choice item. */
+struct ProbeItem {
+    std::vector<TokenId> context;
+    /** Candidate continuations (each the same length). */
+    std::vector<std::vector<TokenId>> choices;
+    int correct = 0;
+};
+
+/** A named set of items. */
+struct ProbeTask {
+    std::string name;
+    std::vector<ProbeItem> items;
+};
+
+/** Configuration for probe-suite generation. */
+struct ProbeSuiteConfig {
+    std::size_t items_per_task = 200;
+    std::size_t context_len = 12;
+    std::size_t continuation_len = 4;
+    std::size_t num_choices = 4;
+    std::uint64_t seed = 4242;
+};
+
+/**
+ * Builds the eight-task probe suite over @p corpus.
+ *
+ * Task roster (difficulty varies via continuation length and distractor
+ * construction): chain-2, chain-4, chain-8 (continuation lengths), shuffled
+ * (distractors are permuted correct answers), offchain (distractors are
+ * plausible-marginal but chain-breaking), repeat (context suffix echo),
+ * rare-token, and mixed.
+ */
+std::vector<ProbeTask> BuildProbeSuite(const ZipfMarkovCorpus& corpus,
+                                       const ProbeSuiteConfig& config);
+
+}  // namespace moc
+
+#endif  // MOC_DATA_PROBES_H_

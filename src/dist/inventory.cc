@@ -1,0 +1,119 @@
+#include "dist/inventory.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+ModelStateInventory::ModelStateInventory(const ModelSpec& spec, const StateBytes& bytes)
+    : spec_(spec), bytes_(bytes) {
+    auto add = [this](ModuleState m) {
+        if (m.kind == ModuleKind::kExpert) {
+            expert_params_ += m.params;
+        } else {
+            nonexpert_params_ += m.params;
+        }
+        modules_.push_back(std::move(m));
+    };
+
+    add({"embedding", ModuleKind::kNonExpert, kNoIndex, kNoIndex, kNoIndex,
+         spec.EmbeddingParams()});
+
+    std::size_t moe_index = 0;
+    expert_index_.resize(spec.NumMoeLayers());
+    for (std::size_t l = 0; l < spec.num_layers; ++l) {
+        {
+            std::ostringstream key;
+            key << "layer/" << l << "/ln";
+            add({key.str(), ModuleKind::kNonExpert, l, kNoIndex, kNoIndex,
+                 spec.LayerNormParams()});
+        }
+        {
+            std::ostringstream key;
+            key << "layer/" << l << "/attn";
+            add({key.str(), ModuleKind::kNonExpert, l, kNoIndex, kNoIndex,
+                 spec.AttentionParams()});
+        }
+        if (spec.IsMoeLayer(l)) {
+            {
+                std::ostringstream key;
+                key << "moe/" << moe_index << "/gate";
+                add({key.str(), ModuleKind::kNonExpert, l, moe_index, kNoIndex,
+                     spec.GateParams()});
+            }
+            expert_index_[moe_index].resize(spec.num_experts);
+            for (ExpertId e = 0; e < spec.num_experts; ++e) {
+                std::ostringstream key;
+                key << "moe/" << moe_index << "/expert/" << e;
+                expert_index_[moe_index][e] = modules_.size();
+                add({key.str(), ModuleKind::kExpert, l, moe_index, e,
+                     spec.FfnParams()});
+            }
+            ++moe_index;
+        } else {
+            std::ostringstream key;
+            key << "layer/" << l << "/ffn";
+            add({key.str(), ModuleKind::kNonExpert, l, kNoIndex, kNoIndex,
+                 spec.FfnParams()});
+        }
+    }
+    add({"final_ln", ModuleKind::kNonExpert, kNoIndex, kNoIndex, kNoIndex,
+         2 * spec.hidden});
+
+    MOC_ASSERT(nonexpert_params_ == spec.NonExpertParams(),
+               "inventory disagrees with ModelSpec non-expert count");
+    MOC_ASSERT(expert_params_ == spec.ExpertParams(),
+               "inventory disagrees with ModelSpec expert count");
+}
+
+std::vector<const ModuleState*>
+ModelStateInventory::NonExpertModules() const {
+    std::vector<const ModuleState*> out;
+    for (const auto& m : modules_) {
+        if (m.kind == ModuleKind::kNonExpert) {
+            out.push_back(&m);
+        }
+    }
+    return out;
+}
+
+std::vector<const ModuleState*>
+ModelStateInventory::ExpertModules() const {
+    std::vector<const ModuleState*> out;
+    for (const auto& m : modules_) {
+        if (m.kind == ModuleKind::kExpert) {
+            out.push_back(&m);
+        }
+    }
+    return out;
+}
+
+const ModuleState&
+ModelStateInventory::ExpertModule(std::size_t moe_index, ExpertId expert) const {
+    MOC_CHECK_ARG(moe_index < expert_index_.size(), "moe_index out of range");
+    MOC_CHECK_ARG(expert < expert_index_[moe_index].size(), "expert out of range");
+    return modules_[expert_index_[moe_index][expert]];
+}
+
+Bytes
+ModelStateInventory::WeightBytes(const ModuleState& m) const {
+    return static_cast<Bytes>(m.params) * bytes_.weight;
+}
+
+Bytes
+ModelStateInventory::OptimBytes(const ModuleState& m) const {
+    return static_cast<Bytes>(m.params) * bytes_.optim;
+}
+
+Bytes
+ModelStateInventory::StateBytesOf(const ModuleState& m) const {
+    return WeightBytes(m) + OptimBytes(m);
+}
+
+Bytes
+ModelStateInventory::TotalStateBytes() const {
+    return static_cast<Bytes>(TotalParams()) * (bytes_.weight + bytes_.optim);
+}
+
+}  // namespace moc

@@ -1,0 +1,93 @@
+#ifndef MOC_DIST_INVENTORY_H_
+#define MOC_DIST_INVENTORY_H_
+
+/**
+ * @file
+ * ModelStateInventory: the per-module accounting of checkpointable state that
+ * every sharding planner and size analysis operates on.
+ *
+ * Each entry is one indivisible checkpointing unit — the paper shards the
+ * non-expert part at layer granularity (Section 4.2) and the expert part at
+ * expert granularity (Section 4.1), so those are exactly our units.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/model_spec.h"
+#include "dist/topology.h"
+#include "util/bytes.h"
+
+namespace moc {
+
+/** Whether a module belongs to the replicated or the expert part. */
+enum class ModuleKind { kNonExpert, kExpert };
+
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/** One checkpointing unit of model state. */
+struct ModuleState {
+    /** Stable key, e.g. "layer/3/attn" or "moe/5/expert/7". */
+    std::string key;
+    ModuleKind kind = ModuleKind::kNonExpert;
+    /** Transformer block index (kNoIndex for embedding / final norm). */
+    std::size_t layer = kNoIndex;
+    /** Index among MoE layers, in [0, NumMoeLayers()); kNoIndex otherwise. */
+    std::size_t moe_index = kNoIndex;
+    /** Expert id within the MoE layer; kNoIndex for non-expert modules. */
+    ExpertId expert = kNoIndex;
+    /** Parameter count of this unit. */
+    std::size_t params = 0;
+};
+
+/**
+ * The complete list of checkpointing units for one model, with byte
+ * accounting under a StateBytes policy.
+ */
+class ModelStateInventory {
+  public:
+    ModelStateInventory(const ModelSpec& spec, const StateBytes& bytes);
+
+    const ModelSpec& spec() const { return spec_; }
+    const StateBytes& bytes() const { return bytes_; }
+    const std::vector<ModuleState>& modules() const { return modules_; }
+
+    /** All non-expert units, in model order. */
+    std::vector<const ModuleState*> NonExpertModules() const;
+
+    /** All expert units, in (moe_index, expert) order. */
+    std::vector<const ModuleState*> ExpertModules() const;
+
+    /** The expert unit for (moe layer @p moe_index, @p expert). */
+    const ModuleState& ExpertModule(std::size_t moe_index, ExpertId expert) const;
+
+    std::size_t NonExpertParams() const { return nonexpert_params_; }
+    std::size_t ExpertParams() const { return expert_params_; }
+    std::size_t TotalParams() const { return nonexpert_params_ + expert_params_; }
+
+    /** Weight bytes of one unit. */
+    Bytes WeightBytes(const ModuleState& m) const;
+
+    /** Optimizer-state bytes of one unit. */
+    Bytes OptimBytes(const ModuleState& m) const;
+
+    /** Weight + optimizer bytes of one unit. */
+    Bytes StateBytesOf(const ModuleState& m) const;
+
+    /** Full checkpoint size (all units, weights + optimizer). */
+    Bytes TotalStateBytes() const;
+
+  private:
+    ModelSpec spec_;
+    struct StateBytes bytes_;
+    std::vector<ModuleState> modules_;
+    std::size_t nonexpert_params_ = 0;
+    std::size_t expert_params_ = 0;
+    /** expert_index_[moe_index][expert] -> position in modules_. */
+    std::vector<std::vector<std::size_t>> expert_index_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_DIST_INVENTORY_H_

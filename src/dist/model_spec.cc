@@ -1,0 +1,94 @@
+#include "dist/model_spec.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+std::size_t
+ModelSpec::NumMoeLayers() const {
+    if (num_experts == 0) {
+        return 0;
+    }
+    std::size_t count = 0;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        if (IsMoeLayer(l)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+ModelSpec::IsMoeLayer(std::size_t layer) const {
+    if (num_experts == 0 || layer < moe_offset) {
+        return false;
+    }
+    return (layer - moe_offset) % moe_every == 0;
+}
+
+std::size_t
+ModelSpec::AttentionParams() const {
+    const std::size_t proj_dim = num_heads * head_dim;
+    // Q, K, V projections hidden -> proj_dim and output proj_dim -> hidden.
+    return 3 * (hidden * proj_dim + proj_dim) + proj_dim * hidden + hidden;
+}
+
+std::size_t
+ModelSpec::FfnParams() const {
+    const std::size_t inter = ffn_mult * hidden;
+    return hidden * inter + inter + inter * hidden + hidden;
+}
+
+std::size_t
+ModelSpec::GateParams() const {
+    return hidden * num_experts + num_experts;  // router linear + bias
+}
+
+std::size_t
+ModelSpec::LayerNormParams() const {
+    return 2 * 2 * hidden;  // two layernorms, gain + bias each
+}
+
+std::size_t
+ModelSpec::EmbeddingParams() const {
+    return vocab * hidden + max_seq * hidden;
+}
+
+std::size_t
+ModelSpec::NonExpertParams() const {
+    std::size_t total = EmbeddingParams();
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        total += AttentionParams() + LayerNormParams();
+        if (IsMoeLayer(l)) {
+            total += GateParams();
+        } else {
+            total += FfnParams();
+        }
+    }
+    total += 2 * hidden;  // final layernorm (lm head tied to embedding)
+    return total;
+}
+
+std::size_t
+ModelSpec::ExpertParams() const {
+    return NumMoeLayers() * num_experts * FfnParams();
+}
+
+Bytes
+FullCheckpointSize(const ModelSpec& spec, const StateBytes& bytes) {
+    const Bytes per_param = bytes.weight + bytes.optim;
+    return static_cast<Bytes>(spec.TotalParams()) * per_param;
+}
+
+Bytes
+PecCheckpointSize(const ModelSpec& spec, const StateBytes& bytes, std::size_t k_pec) {
+    MOC_CHECK_ARG(spec.num_experts > 0, "PEC applies to MoE models only");
+    MOC_CHECK_ARG(k_pec >= 1 && k_pec <= spec.num_experts,
+                  "k_pec must be in [1, num_experts]");
+    const Bytes per_param = bytes.weight + bytes.optim;
+    const Bytes ne = static_cast<Bytes>(spec.NonExpertParams()) * per_param;
+    const Bytes e = static_cast<Bytes>(spec.ExpertParams()) * per_param;
+    return ne + e * k_pec / spec.num_experts;
+}
+
+}  // namespace moc

@@ -1,0 +1,85 @@
+#ifndef MOC_DIST_MODEL_SPEC_H_
+#define MOC_DIST_MODEL_SPEC_H_
+
+/**
+ * @file
+ * Architecture hyperparameters and exact parameter counting for MoE
+ * transformers (Table 1 of the paper, plus the LLaMA-like simulation models
+ * of Section 6.2.4).
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace moc {
+
+/**
+ * Hyperparameters of a (possibly MoE) transformer. MoE layers replace the
+ * FFN in every `moe_every`-th transformer layer, starting at layer
+ * `moe_offset`.
+ */
+struct ModelSpec {
+    std::string name = "model";
+    std::size_t num_layers = 12;
+    std::size_t hidden = 768;
+    std::size_t num_heads = 12;
+    std::size_t head_dim = 64;       ///< usually hidden / num_heads
+    std::size_t ffn_mult = 4;        ///< intermediate = ffn_mult * hidden
+    std::size_t vocab = 50257;
+    std::size_t max_seq = 2048;
+    std::size_t num_experts = 8;     ///< experts per MoE layer (0 = dense model)
+    std::size_t moe_every = 2;       ///< an MoE layer every k-th block
+    std::size_t moe_offset = 1;      ///< first MoE block index
+    std::size_t top_k = 1;           ///< gating top-k
+
+    /** Number of MoE layers implied by the placement rule. */
+    std::size_t NumMoeLayers() const;
+
+    /** True iff block @p layer uses an MoE FFN. */
+    bool IsMoeLayer(std::size_t layer) const;
+
+    /** Parameters in one attention sublayer (qkv + out proj + biases). */
+    std::size_t AttentionParams() const;
+
+    /** Parameters in one FFN expert (two linear layers + biases). */
+    std::size_t FfnParams() const;
+
+    /** Parameters in one MoE gate (router linear). */
+    std::size_t GateParams() const;
+
+    /** Parameters in the two per-block layernorms. */
+    std::size_t LayerNormParams() const;
+
+    /** Embedding (+ positional) parameters. */
+    std::size_t EmbeddingParams() const;
+
+    /** Total non-expert parameters (P_ne in the paper). */
+    std::size_t NonExpertParams() const;
+
+    /** Total expert parameters (P_e in the paper). */
+    std::size_t ExpertParams() const;
+
+    /** All parameters. */
+    std::size_t TotalParams() const { return NonExpertParams() + ExpertParams(); }
+};
+
+/** Bytes per parameter for weights and optimizer state. */
+struct StateBytes {
+    /** Weight bytes per parameter (bf16 training default). */
+    std::size_t weight = 2;   ///< B_w
+    /** Optimizer bytes per parameter (fp32 master + Adam m/v). */
+    std::size_t optim = 12;   ///< B_o
+};
+
+/** C_full of Eq. 5: full checkpoint size. */
+Bytes FullCheckpointSize(const ModelSpec& spec, const StateBytes& bytes);
+
+/** C_pec of Eq. 6: PEC checkpoint size with @p k_pec experts saved per layer. */
+Bytes PecCheckpointSize(const ModelSpec& spec, const StateBytes& bytes,
+                        std::size_t k_pec);
+
+}  // namespace moc
+
+#endif  // MOC_DIST_MODEL_SPEC_H_

@@ -1,0 +1,123 @@
+#include "dist/presets.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+ModelSpec
+Gpt125M8E() {
+    ModelSpec spec;
+    spec.name = "GPT-125M-8E";
+    spec.num_layers = 12;
+    spec.hidden = 768;
+    spec.num_heads = 12;
+    spec.head_dim = 64;
+    spec.ffn_mult = 4;
+    spec.vocab = 50257;
+    spec.max_seq = 2048;
+    spec.num_experts = 8;
+    spec.moe_every = 2;
+    spec.moe_offset = 1;
+    spec.top_k = 1;
+    return spec;
+}
+
+ModelSpec
+Gpt350M16E() {
+    ModelSpec spec;
+    spec.name = "GPT-350M-16E";
+    spec.num_layers = 24;
+    spec.hidden = 1024;
+    spec.num_heads = 16;
+    spec.head_dim = 64;
+    spec.ffn_mult = 4;
+    spec.vocab = 50257;
+    spec.max_seq = 2048;
+    spec.num_experts = 16;
+    spec.moe_every = 2;
+    spec.moe_offset = 1;
+    spec.top_k = 1;
+    return spec;
+}
+
+ModelSpec
+SwinV2Moe() {
+    ModelSpec spec;
+    spec.name = "SwinV2-MoE";
+    // Flat equivalent: 24 blocks at the dominant stage-3 width (96 * 2^2).
+    spec.num_layers = 24;
+    spec.hidden = 384;
+    spec.num_heads = 12;
+    spec.head_dim = 32;
+    spec.ffn_mult = 4;
+    spec.vocab = 1000;   // classifier head
+    spec.max_seq = 256;  // patch tokens
+    spec.num_experts = 8;
+    spec.moe_every = 2;
+    spec.moe_offset = 3;
+    spec.top_k = 1;
+    return spec;
+}
+
+ModelSpec
+LlamaMoeSim(const std::string& size, std::size_t num_experts) {
+    ModelSpec spec;
+    spec.name = "LLaMA-MoE-" + size;
+    if (size == "small") {
+        spec.hidden = 1024;
+    } else if (size == "medium") {
+        spec.hidden = 2048;
+    } else if (size == "large") {
+        spec.hidden = 3072;
+    } else {
+        MOC_FATAL("unknown LLaMA-MoE size: " << size);
+    }
+    spec.num_layers = 24;
+    spec.num_heads = 16;
+    spec.head_dim = 128;
+    spec.ffn_mult = 4;
+    spec.vocab = 32000;
+    spec.max_seq = 4096;
+    spec.num_experts = num_experts;
+    spec.moe_every = 2;
+    spec.moe_offset = 1;
+    spec.top_k = 1;
+    return spec;
+}
+
+ClusterCase
+Case1() {
+    ClusterCase c;
+    c.name = "Case1";
+    c.nodes = 1;
+    c.gpus = 8;
+    c.parallel = {.dp = 8, .ep = 8, .tp = 1, .pp = 1};
+    return c;
+}
+
+ClusterCase
+Case2() {
+    ClusterCase c;
+    c.name = "Case2";
+    c.nodes = 2;
+    c.gpus = 16;
+    c.parallel = {.dp = 16, .ep = 16, .tp = 1, .pp = 1};
+    return c;
+}
+
+ClusterCase
+Case3() {
+    ClusterCase c;
+    c.name = "Case3";
+    c.nodes = 2;
+    c.gpus = 16;
+    c.parallel = {.dp = 16, .ep = 8, .tp = 1, .pp = 1};
+    return c;
+}
+
+std::vector<ClusterCase>
+AllCases() {
+    return {Case1(), Case2(), Case3()};
+}
+
+}  // namespace moc

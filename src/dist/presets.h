@@ -1,0 +1,65 @@
+#ifndef MOC_DIST_PRESETS_H_
+#define MOC_DIST_PRESETS_H_
+
+/**
+ * @file
+ * Model presets (Table 1) and cluster configurations (Table 2) from the
+ * paper, plus the LLaMA-like simulation models of Section 6.2.4.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dist/model_spec.h"
+#include "dist/topology.h"
+
+namespace moc {
+
+/** GPT-125M-8E: 12 layers, hidden 768, 6 MoE layers of 8 experts (~323M). */
+ModelSpec Gpt125M8E();
+
+/** GPT-350M-16E: 24 layers, hidden 1024, 12 MoE layers of 16 experts (~1.7B). */
+ModelSpec Gpt350M16E();
+
+/**
+ * SwinV2-MoE flat-equivalent. The real model is staged ([2,2,18,2] blocks,
+ * widths doubling per stage); we represent an equivalent flat transformer
+ * whose non-expert/expert parameter split matches (~173M total, 10 MoE
+ * layers of 8 experts). Used only for byte accounting.
+ */
+ModelSpec SwinV2Moe();
+
+/**
+ * LLaMA-like simulation model (Section 6.2.4): hidden per @p size
+ * ("small"=1024, "medium"=2048, "large"=3072), 16 heads of dim 128,
+ * intermediate 4x hidden, 24 layers, @p num_experts experts in every other
+ * layer.
+ */
+ModelSpec LlamaMoeSim(const std::string& size, std::size_t num_experts);
+
+/** A named training deployment (one row of Table 2). */
+struct ClusterCase {
+    std::string name;
+    std::size_t nodes = 1;
+    std::size_t gpus = 8;
+    ParallelConfig parallel;
+
+    std::size_t GpusPerNode() const { return gpus / nodes; }
+    RankTopology Topology() const { return RankTopology(parallel, GpusPerNode()); }
+};
+
+/** Case1: 1 node / 8 GPUs, DP=8, EP=8 (2 experts per GPU for 16E). */
+ClusterCase Case1();
+
+/** Case2: 2 nodes / 16 GPUs, DP=16, EP=16 (1 expert per GPU for 16E). */
+ClusterCase Case2();
+
+/** Case3: 2 nodes / 16 GPUs, DP=16, EP=8 (2 EP groups). */
+ClusterCase Case3();
+
+/** All three cases, in order. */
+std::vector<ClusterCase> AllCases();
+
+}  // namespace moc
+
+#endif  // MOC_DIST_PRESETS_H_

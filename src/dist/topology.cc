@@ -1,0 +1,100 @@
+#include "dist/topology.h"
+
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace moc {
+
+RankTopology::RankTopology(const ParallelConfig& parallel, std::size_t gpus_per_node)
+    : parallel_(parallel), gpus_per_node_(gpus_per_node) {
+    MOC_CHECK_ARG(parallel.dp >= 1 && parallel.ep >= 1 && parallel.tp >= 1 &&
+                      parallel.pp >= 1,
+                  "parallel degrees must be >= 1");
+    MOC_CHECK_ARG(parallel.dp % parallel.ep == 0,
+                  "ep (" << parallel.ep << ") must divide dp (" << parallel.dp << ")");
+    MOC_CHECK_ARG(gpus_per_node >= 1, "gpus_per_node must be >= 1");
+}
+
+std::size_t
+RankTopology::num_nodes() const {
+    return static_cast<std::size_t>(
+        CeilDiv(parallel_.WorldSize(), gpus_per_node_));
+}
+
+std::size_t
+RankTopology::EpGroup(RankId rank) const {
+    MOC_CHECK_ARG(rank < parallel_.dp, "rank out of range");
+    return rank / parallel_.ep;
+}
+
+std::size_t
+RankTopology::EpRank(RankId rank) const {
+    MOC_CHECK_ARG(rank < parallel_.dp, "rank out of range");
+    return rank % parallel_.ep;
+}
+
+RankId
+RankTopology::RankOf(std::size_t group, std::size_t ep_rank) const {
+    MOC_CHECK_ARG(group < NumEpGroups(), "EP group out of range");
+    MOC_CHECK_ARG(ep_rank < parallel_.ep, "EP rank out of range");
+    return group * parallel_.ep + ep_rank;
+}
+
+NodeId
+RankTopology::NodeOf(RankId rank) const {
+    MOC_CHECK_ARG(rank < parallel_.dp, "rank out of range");
+    // Each DP rank spans tp*pp devices; devices laid out DP-major.
+    const std::size_t devices_per_dp_rank = parallel_.tp * parallel_.pp;
+    return rank * devices_per_dp_rank / gpus_per_node_;
+}
+
+std::vector<RankId>
+RankTopology::RanksOn(NodeId node) const {
+    std::vector<RankId> out;
+    for (RankId r = 0; r < parallel_.dp; ++r) {
+        if (NodeOf(r) == node) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::size_t
+RankTopology::OwnerEpRank(ExpertId expert, std::size_t num_experts) const {
+    MOC_CHECK_ARG(expert < num_experts, "expert out of range");
+    MOC_CHECK_ARG(num_experts % parallel_.ep == 0,
+                  "ep must divide the number of experts");
+    return expert / (num_experts / parallel_.ep);
+}
+
+std::size_t
+RankTopology::ExpertsPerRank(std::size_t num_experts) const {
+    MOC_CHECK_ARG(num_experts % parallel_.ep == 0,
+                  "ep must divide the number of experts");
+    return num_experts / parallel_.ep;
+}
+
+std::vector<ExpertId>
+RankTopology::ExpertsOf(std::size_t ep_rank, std::size_t num_experts) const {
+    MOC_CHECK_ARG(ep_rank < parallel_.ep, "EP rank out of range");
+    const std::size_t per_rank = ExpertsPerRank(num_experts);
+    std::vector<ExpertId> out;
+    out.reserve(per_rank);
+    for (std::size_t i = 0; i < per_rank; ++i) {
+        out.push_back(ep_rank * per_rank + i);
+    }
+    return out;
+}
+
+std::string
+RankTopology::ToString() const {
+    std::ostringstream os;
+    os << "RankTopology(dp=" << parallel_.dp << ", ep=" << parallel_.ep
+       << ", tp=" << parallel_.tp << ", pp=" << parallel_.pp
+       << ", gpus/node=" << gpus_per_node_ << ", nodes=" << num_nodes() << ")";
+    return os.str();
+}
+
+}  // namespace moc

@@ -1,0 +1,99 @@
+#ifndef MOC_DIST_TOPOLOGY_H_
+#define MOC_DIST_TOPOLOGY_H_
+
+/**
+ * @file
+ * Distributed rank topology for hybrid ZeRO-2 DP + EP training (optionally
+ * with TP/PP), mirroring the layouts of Figures 1 and 6 of the paper.
+ *
+ * The checkpointing view is organized around the DP dimension: non-expert
+ * parameters are replicated across all `dp` ranks, expert parameters are
+ * distributed across the `ep` ranks of each EP group and replicated across
+ * the `dp / ep` EP groups, and ZeRO-2 partitions optimizer states across the
+ * replicating ranks.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moc {
+
+/** Rank index within the DP dimension (what checkpointing shards over). */
+using RankId = std::size_t;
+
+/** Node (machine) index. */
+using NodeId = std::size_t;
+
+/** Expert index within one MoE layer. */
+using ExpertId = std::size_t;
+
+/** Parallel degrees of a hybrid training job. */
+struct ParallelConfig {
+    std::size_t dp = 1;  ///< data-parallel degree (ZeRO-2)
+    std::size_t ep = 1;  ///< expert-parallel degree; must divide dp
+    std::size_t tp = 1;  ///< tensor-parallel degree (modularity per DP rank)
+    std::size_t pp = 1;  ///< pipeline-parallel degree
+
+    /** Total number of devices. */
+    std::size_t WorldSize() const { return dp * tp * pp; }
+};
+
+/**
+ * The rank/node layout of one training job.
+ */
+class RankTopology {
+  public:
+    /**
+     * @param parallel parallel degrees; `ep` must divide `dp`.
+     * @param gpus_per_node devices per machine (node-failure granularity).
+     */
+    RankTopology(const ParallelConfig& parallel, std::size_t gpus_per_node);
+
+    const ParallelConfig& parallel() const { return parallel_; }
+    std::size_t dp() const { return parallel_.dp; }
+    std::size_t ep() const { return parallel_.ep; }
+    std::size_t gpus_per_node() const { return gpus_per_node_; }
+    std::size_t num_nodes() const;
+
+    /** Number of EP groups (= dp / ep); each holds a full expert replica. */
+    std::size_t NumEpGroups() const { return parallel_.dp / parallel_.ep; }
+
+    /** EP group that DP rank @p rank belongs to. */
+    std::size_t EpGroup(RankId rank) const;
+
+    /** Position of @p rank inside its EP group, in [0, ep). */
+    std::size_t EpRank(RankId rank) const;
+
+    /** DP rank at position @p ep_rank of EP group @p group. */
+    RankId RankOf(std::size_t group, std::size_t ep_rank) const;
+
+    /** Node hosting DP rank @p rank (assumes dp ranks laid out in order). */
+    NodeId NodeOf(RankId rank) const;
+
+    /** DP ranks hosted on @p node. */
+    std::vector<RankId> RanksOn(NodeId node) const;
+
+    /**
+     * EP rank that owns expert @p expert of an N-expert MoE layer
+     * (contiguous blocks: rank r owns experts [r*N/ep, (r+1)*N/ep)).
+     * Requires ep to divide @p num_experts.
+     */
+    std::size_t OwnerEpRank(ExpertId expert, std::size_t num_experts) const;
+
+    /** Experts per rank for an @p num_experts-expert layer. */
+    std::size_t ExpertsPerRank(std::size_t num_experts) const;
+
+    /** Experts owned by EP-rank @p ep_rank of an N-expert layer. */
+    std::vector<ExpertId> ExpertsOf(std::size_t ep_rank, std::size_t num_experts) const;
+
+    std::string ToString() const;
+
+  private:
+    ParallelConfig parallel_;
+    std::size_t gpus_per_node_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_DIST_TOPOLOGY_H_

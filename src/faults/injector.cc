@@ -1,0 +1,75 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> events)
+    : events_(std::move(events)), fired_(events_.size(), false) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.iteration < b.iteration;
+                     });
+}
+
+FaultInjector
+FaultInjector::At(std::size_t iteration, NodeId node) {
+    return FaultInjector({FaultEvent{iteration, {node}}});
+}
+
+FaultInjector
+FaultInjector::Every(std::size_t period, std::size_t total, NodeId node) {
+    MOC_CHECK_ARG(period >= 1, "period must be >= 1");
+    std::vector<FaultEvent> events;
+    for (std::size_t i = period; i < total; i += period) {
+        events.push_back(FaultEvent{i, {node}});
+    }
+    return FaultInjector(std::move(events));
+}
+
+FaultInjector
+FaultInjector::Poisson(double faults_per_iteration, std::size_t total,
+                       std::size_t num_nodes, std::uint64_t seed) {
+    MOC_CHECK_ARG(faults_per_iteration > 0.0, "rate must be > 0");
+    MOC_CHECK_ARG(num_nodes >= 1, "need at least one node");
+    Rng rng(seed);
+    std::vector<FaultEvent> events;
+    double t = 0.0;
+    for (;;) {
+        t += rng.Exponential(faults_per_iteration);
+        const auto iteration = static_cast<std::size_t>(std::ceil(t));
+        if (iteration >= total) {
+            break;
+        }
+        events.push_back(
+            FaultEvent{iteration, {static_cast<NodeId>(rng.UniformInt(num_nodes))}});
+    }
+    return FaultInjector(std::move(events));
+}
+
+std::optional<FaultEvent>
+FaultInjector::Poll(std::size_t iteration) {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (!fired_[i] && events_[i].iteration == iteration) {
+            fired_[i] = true;
+            return events_[i];
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t
+FaultInjector::remaining() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (!fired_[i]) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace moc

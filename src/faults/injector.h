@@ -1,0 +1,66 @@
+#ifndef MOC_FAULTS_INJECTOR_H_
+#define MOC_FAULTS_INJECTOR_H_
+
+/**
+ * @file
+ * Fault injection for fault-tolerant training experiments: deterministic
+ * schedules ("a fault at the midpoint", "every 2k iterations") and Poisson
+ * arrivals under a constant failure rate (Eq. 11).
+ */
+
+#include <optional>
+#include <vector>
+
+#include "dist/topology.h"
+#include "util/rng.h"
+
+namespace moc {
+
+/** One fault: the given nodes crash after @p iteration completes. */
+struct FaultEvent {
+    std::size_t iteration = 0;
+    std::vector<NodeId> nodes;
+};
+
+/**
+ * A consumable schedule of fault events. Each event fires once, the first
+ * time training passes its iteration — replayed iterations after a recovery
+ * do not re-trigger it (faults are wall-clock events, not data events).
+ */
+class FaultInjector {
+  public:
+    /** Explicit schedule. */
+    explicit FaultInjector(std::vector<FaultEvent> events);
+
+    /** Single fault of @p node after @p iteration. */
+    static FaultInjector At(std::size_t iteration, NodeId node);
+
+    /** A fault of @p node every @p period iterations, up to @p total. */
+    static FaultInjector Every(std::size_t period, std::size_t total, NodeId node);
+
+    /**
+     * Poisson arrivals with @p faults_per_iteration rate over @p total
+     * iterations; each fault hits a uniformly random node.
+     */
+    static FaultInjector Poisson(double faults_per_iteration, std::size_t total,
+                                 std::size_t num_nodes, std::uint64_t seed);
+
+    /**
+     * Returns the fault firing right after @p iteration completes (if any),
+     * consuming it.
+     */
+    std::optional<FaultEvent> Poll(std::size_t iteration);
+
+    /** Events not yet fired. */
+    std::size_t remaining() const;
+
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+  private:
+    std::vector<FaultEvent> events_;
+    std::vector<bool> fired_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_FAULTS_INJECTOR_H_

@@ -1,0 +1,94 @@
+#include "faults/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+std::string
+Trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+        return "";
+    }
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::vector<NodeId>
+ParseNodeList(const std::string& text, int line_no) {
+    std::vector<NodeId> nodes;
+    std::stringstream ss(text);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        part = Trim(part);
+        MOC_CHECK_ARG(!part.empty() &&
+                          part.find_first_not_of("0123456789") == std::string::npos,
+                      "trace line " << line_no << ": bad node id '" << part << "'");
+        nodes.push_back(static_cast<NodeId>(std::stoull(part)));
+    }
+    MOC_CHECK_ARG(!nodes.empty(), "trace line " << line_no << ": no nodes");
+    return nodes;
+}
+
+}  // namespace
+
+FaultInjector
+ParseFaultTrace(const std::string& text) {
+    std::vector<FaultEvent> events;
+    std::stringstream ss(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(ss, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        line = Trim(line);
+        if (line.empty()) {
+            continue;
+        }
+        const auto space = line.find_first_of(" \t");
+        MOC_CHECK_ARG(space != std::string::npos,
+                      "trace line " << line_no << ": expected '<iter> <nodes>'");
+        const std::string iter_text = Trim(line.substr(0, space));
+        MOC_CHECK_ARG(
+            !iter_text.empty() &&
+                iter_text.find_first_not_of("0123456789") == std::string::npos,
+            "trace line " << line_no << ": bad iteration '" << iter_text << "'");
+        FaultEvent event;
+        event.iteration = static_cast<std::size_t>(std::stoull(iter_text));
+        event.nodes = ParseNodeList(Trim(line.substr(space + 1)), line_no);
+        events.push_back(std::move(event));
+    }
+    return FaultInjector(std::move(events));
+}
+
+FaultInjector
+LoadFaultTrace(const std::string& path) {
+    std::ifstream in(path);
+    MOC_CHECK_ARG(static_cast<bool>(in), "cannot open fault trace: " << path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return ParseFaultTrace(buffer.str());
+}
+
+std::string
+FormatFaultTrace(const FaultInjector& injector) {
+    std::ostringstream out;
+    for (const auto& event : injector.events()) {
+        out << event.iteration << " ";
+        for (std::size_t i = 0; i < event.nodes.size(); ++i) {
+            out << (i ? "," : "") << event.nodes[i];
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace moc

@@ -1,0 +1,38 @@
+#ifndef MOC_FAULTS_TRACE_H_
+#define MOC_FAULTS_TRACE_H_
+
+/**
+ * @file
+ * Failure-trace parsing: build a FaultInjector from a textual trace, so
+ * recorded production failure logs (or hand-written scenarios) drive the
+ * fault-tolerant trainer.
+ *
+ * Format: one event per line, `<iteration> <node>[,<node>...]`;
+ * blank lines and `#` comments are ignored.
+ *
+ *     # midpoint single-node fault, then a correlated double failure
+ *     512 0
+ *     1500 0,1
+ */
+
+#include <string>
+
+#include "faults/injector.h"
+
+namespace moc {
+
+/**
+ * Parses a failure trace.
+ * @throws std::invalid_argument on malformed lines.
+ */
+FaultInjector ParseFaultTrace(const std::string& text);
+
+/** Loads and parses a trace file from disk. */
+FaultInjector LoadFaultTrace(const std::string& path);
+
+/** Renders a schedule back to the trace format (round-trip with Parse). */
+std::string FormatFaultTrace(const FaultInjector& injector);
+
+}  // namespace moc
+
+#endif  // MOC_FAULTS_TRACE_H_

@@ -1,0 +1,130 @@
+#include "faults/trainer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace moc {
+
+TrainLog
+RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_stream,
+                           const LmBatchStream& valid_stream,
+                           const LmTrainerConfig& config, FaultInjector& injector) {
+    RankTopology topology(config.parallel, config.gpus_per_node);
+    const ModelSpec spec = model.config().ToModelSpec();
+    Adam adam(config.adam);
+    const auto params = model.AllParameters();
+
+    ExtraState initial{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(config.moc, model, topology, spec, initial);
+
+    TrainLog log;
+    std::size_t iter = 0;
+    while (iter < config.total_iterations) {
+        const LmBatch batch = train_stream.Get(iter);
+        const double loss = model.TrainBackward(batch);
+        system.RecordRouting(model.MoeLayers());
+        adam.Step(params);
+        ++iter;
+        log.train_losses.emplace_back(iter, loss);
+
+        if (system.ShouldCheckpoint(iter)) {
+            const ExtraState extra{iter, adam.step_count(),
+                                   model.gating_rng().GetState()};
+            system.Checkpoint(iter, extra);
+            ++log.checkpoints;
+        }
+
+        if (auto fault = injector.Poll(iter)) {
+            RecoveryReport report = system.RecoverFromFault(fault->nodes);
+            adam.set_step_count(report.extra.adam_step);
+            model.gating_rng().SetState(report.extra.gating_rng);
+            iter = report.extra.iteration;
+            log.recoveries.push_back(std::move(report));
+            continue;
+        }
+
+        if (config.eval_every != 0 && iter % config.eval_every == 0) {
+            log.eval_losses.emplace_back(
+                iter, EvalStreamLoss(model, valid_stream, config.eval_batches));
+        }
+    }
+    log.final_eval_loss = EvalStreamLoss(model, valid_stream, config.eval_batches);
+    log.plt = system.ledger().Plt();
+    return log;
+}
+
+ClassifierLog
+RunFaultTolerantClassifierTraining(MoeClassifier& model,
+                                   const ClassificationDataset& data,
+                                   const ClassifierTrainerConfig& config,
+                                   const std::vector<std::size_t>& fault_epochs) {
+    RankTopology topology(config.parallel, config.gpus_per_node);
+    // A spec that matches the classifier's expert layout for the ledger and
+    // checkpoint planning (the extra "head" group places on rank 0).
+    ModelSpec spec;
+    spec.name = "classifier";
+    spec.num_layers = model.config().num_layers;
+    spec.hidden = model.config().hidden;
+    spec.num_heads = model.config().num_heads;
+    spec.head_dim = model.config().head_dim;
+    spec.ffn_mult = model.config().ffn_mult;
+    spec.vocab = model.config().vocab;
+    spec.max_seq = model.config().max_seq;
+    spec.num_experts = model.config().num_experts;
+    spec.moe_every = model.config().moe_every;
+    spec.moe_offset = model.config().moe_offset;
+    spec.top_k = model.config().top_k;
+
+    Adam adam(config.adam);
+    const auto params = model.AllParameters();
+    ExtraState initial{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(config.moc, model, topology, spec, initial);
+
+    const std::size_t total = config.epochs * config.steps_per_epoch;
+    const auto test_set = data.GetBatch(/*split=*/1, 0, config.test_examples);
+
+    std::map<std::size_t, double> epoch_acc;
+    ClassifierLog log;
+    std::vector<std::size_t> pending_faults = fault_epochs;
+
+    std::size_t iter = 0;
+    while (iter < total) {
+        const auto batch =
+            data.GetBatch(/*split=*/0, iter * config.batch, config.batch);
+        model.TrainBackward(batch);
+        system.RecordRouting(model.MoeLayers());
+        adam.Step(params);
+        ++iter;
+
+        if (system.ShouldCheckpoint(iter)) {
+            const ExtraState extra{iter, adam.step_count(),
+                                   model.gating_rng().GetState()};
+            system.Checkpoint(iter, extra);
+        }
+
+        if (iter % config.steps_per_epoch == 0) {
+            const std::size_t epoch = iter / config.steps_per_epoch;
+            epoch_acc[epoch] = model.EvalAccuracy(test_set);
+            auto it = std::find(pending_faults.begin(), pending_faults.end(), epoch);
+            if (it != pending_faults.end()) {
+                pending_faults.erase(it);
+                RecoveryReport report = system.RecoverFromFault({1});
+                adam.set_step_count(report.extra.adam_step);
+                model.gating_rng().SetState(report.extra.gating_rng);
+                iter = report.extra.iteration;
+                ++log.recoveries;
+            }
+        }
+    }
+
+    log.epoch_accuracy.reserve(epoch_acc.size());
+    for (const auto& [epoch, acc] : epoch_acc) {
+        log.epoch_accuracy.push_back(acc);
+    }
+    log.plt = system.ledger().Plt();
+    return log;
+}
+
+}  // namespace moc

@@ -1,0 +1,90 @@
+#ifndef MOC_FAULTS_TRAINER_H_
+#define MOC_FAULTS_TRAINER_H_
+
+/**
+ * @file
+ * End-to-end fault-tolerant training drivers: the integration of the real
+ * MoE training stack with the MoC checkpoint system and fault injection.
+ * These drive the accuracy experiments (Figs. 5, 14, 15; Tables 3, 4).
+ */
+
+#include <vector>
+
+#include "core/moc_system.h"
+#include "data/classification.h"
+#include "faults/injector.h"
+#include "nn/adam.h"
+#include "nn/classifier.h"
+#include "nn/eval.h"
+#include "nn/model.h"
+
+namespace moc {
+
+/** Configuration of a fault-tolerant LM pre-training run. */
+struct LmTrainerConfig {
+    MocSystemConfig moc;
+    ParallelConfig parallel{.dp = 8, .ep = 8, .tp = 1, .pp = 1};
+    std::size_t gpus_per_node = 4;
+    std::size_t total_iterations = 256;
+    AdamConfig adam;
+    /** Validation batches per evaluation. */
+    std::size_t eval_batches = 4;
+    /** Evaluate every this many iterations (0 = final eval only). */
+    std::size_t eval_every = 0;
+};
+
+/** What one training run produced. */
+struct TrainLog {
+    /** (iteration, training loss) samples, in execution order. */
+    std::vector<std::pair<std::size_t, double>> train_losses;
+    /** (iteration, validation loss) samples. */
+    std::vector<std::pair<std::size_t, double>> eval_losses;
+    double final_eval_loss = 0.0;
+    /** Ledger PLT at the end of training. */
+    double plt = 0.0;
+    std::vector<RecoveryReport> recoveries;
+    std::size_t checkpoints = 0;
+};
+
+/**
+ * Runs fault-tolerant LM pre-training: train step, routing accounting,
+ * periodic PEC checkpointing, fault injection with two-level recovery, and
+ * deterministic replay from the restart point.
+ */
+TrainLog RunFaultTolerantLmTraining(MoeTransformerLm& model,
+                                    const LmBatchStream& train_stream,
+                                    const LmBatchStream& valid_stream,
+                                    const LmTrainerConfig& config,
+                                    FaultInjector& injector);
+
+/** Configuration of a fault-tolerant classifier run (the Fig. 14b stand-in). */
+struct ClassifierTrainerConfig {
+    MocSystemConfig moc;
+    ParallelConfig parallel{.dp = 8, .ep = 8, .tp = 1, .pp = 1};
+    std::size_t gpus_per_node = 4;
+    std::size_t epochs = 10;
+    std::size_t steps_per_epoch = 16;
+    std::size_t batch = 16;
+    std::size_t test_examples = 128;
+    AdamConfig adam;
+};
+
+/** Per-epoch accuracy log of a classifier run. */
+struct ClassifierLog {
+    /** test accuracy at the end of each epoch. */
+    std::vector<double> epoch_accuracy;
+    double plt = 0.0;
+    std::size_t recoveries = 0;
+};
+
+/**
+ * Runs fault-tolerant classifier training with faults injected at epoch
+ * boundaries (epochs listed in @p fault_epochs fail node 1).
+ */
+ClassifierLog RunFaultTolerantClassifierTraining(
+    MoeClassifier& model, const ClassificationDataset& data,
+    const ClassifierTrainerConfig& config, const std::vector<std::size_t>& fault_epochs);
+
+}  // namespace moc
+
+#endif  // MOC_FAULTS_TRAINER_H_

@@ -1,0 +1,81 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+Adam::Adam(const AdamConfig& config) : config_(config) {
+    MOC_CHECK_ARG(config.lr > 0.0, "lr must be > 0");
+    MOC_CHECK_ARG(config.beta1 >= 0.0 && config.beta1 < 1.0, "beta1 in [0, 1)");
+    MOC_CHECK_ARG(config.beta2 >= 0.0 && config.beta2 < 1.0, "beta2 in [0, 1)");
+}
+
+double
+Adam::CurrentLr() const {
+    const std::size_t t = step_ + 1;
+    if (config_.warmup_steps > 0 && t <= config_.warmup_steps) {
+        return config_.lr * static_cast<double>(t) /
+               static_cast<double>(config_.warmup_steps);
+    }
+    if (config_.total_steps == 0 || t >= config_.total_steps) {
+        return config_.total_steps == 0 ? config_.lr : config_.lr_min;
+    }
+    const double progress =
+        static_cast<double>(t - config_.warmup_steps) /
+        static_cast<double>(config_.total_steps - config_.warmup_steps);
+    return config_.lr_min +
+           0.5 * (config_.lr - config_.lr_min) * (1.0 + std::cos(M_PI * progress));
+}
+
+void
+Adam::Step(const std::vector<Parameter*>& params) {
+    // Optional global-norm clipping.
+    double scale = 1.0;
+    if (config_.clip_norm > 0.0) {
+        double sq = 0.0;
+        for (auto* p : params) {
+            if (p->frozen()) {
+                continue;
+            }
+            const float* g = p->grad().data();
+            for (std::size_t i = 0; i < p->size(); ++i) {
+                sq += static_cast<double>(g[i]) * g[i];
+            }
+        }
+        const double norm = std::sqrt(sq);
+        if (norm > config_.clip_norm) {
+            scale = config_.clip_norm / norm;
+        }
+    }
+
+    const double lr = CurrentLr();
+    ++step_;
+    const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+    const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+
+    for (auto* p : params) {
+        if (p->frozen()) {
+            p->ZeroGrad();
+            continue;
+        }
+        float* w = p->value().data();
+        float* g = p->grad().data();
+        float* m = p->adam_m().data();
+        float* v = p->adam_v().data();
+        for (std::size_t i = 0; i < p->size(); ++i) {
+            const double gi = static_cast<double>(g[i]) * scale +
+                              config_.weight_decay * static_cast<double>(w[i]);
+            m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * gi);
+            v[i] = static_cast<float>(config_.beta2 * v[i] +
+                                      (1.0 - config_.beta2) * gi * gi);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            w[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + config_.eps));
+        }
+        p->ZeroGrad();
+    }
+}
+
+}  // namespace moc

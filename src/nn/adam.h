@@ -1,0 +1,64 @@
+#ifndef MOC_NN_ADAM_H_
+#define MOC_NN_ADAM_H_
+
+/**
+ * @file
+ * Adam optimizer with cosine learning-rate schedule and gradient clipping.
+ *
+ * Moments live inside each Parameter so that a checkpoint of a parameter
+ * group is self-contained (weights + optimizer states), mirroring the
+ * paper's "W" / "O" / "WO" checkpointing variants.
+ */
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace moc {
+
+/** Adam hyperparameters. */
+struct AdamConfig {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+    /** Global-norm gradient clip; <= 0 disables. */
+    double clip_norm = 1.0;
+    /** Cosine decay to lr_min over total_steps; 0 disables the schedule. */
+    std::size_t total_steps = 0;
+    double lr_min = 1e-4;
+    std::size_t warmup_steps = 0;
+};
+
+/**
+ * Adam over an external parameter list.
+ */
+class Adam {
+  public:
+    explicit Adam(const AdamConfig& config);
+
+    /**
+     * Applies one update to @p params from their accumulated grads, then
+     * zeroes the grads. Frozen parameters are skipped (grads still zeroed).
+     */
+    void Step(const std::vector<Parameter*>& params);
+
+    /** Learning rate that the next Step() will use. */
+    double CurrentLr() const;
+
+    std::size_t step_count() const { return step_; }
+
+    /** Restores the step counter (part of checkpointed "other state"). */
+    void set_step_count(std::size_t step) { step_ = step; }
+
+    const AdamConfig& config() const { return config_; }
+
+  private:
+    AdamConfig config_;
+    std::size_t step_ = 0;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_ADAM_H_

@@ -1,0 +1,161 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::size_t hidden,
+                                       std::size_t num_heads, std::size_t head_dim,
+                                       bool causal, Rng& rng, float init_std)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(head_dim),
+      causal_(causal),
+      wq_(name + ".wq", hidden, num_heads * head_dim, rng, init_std),
+      wk_(name + ".wk", hidden, num_heads * head_dim, rng, init_std),
+      wv_(name + ".wv", hidden, num_heads * head_dim, rng, init_std),
+      wo_(name + ".wo", num_heads * head_dim, hidden, rng, init_std) {}
+
+Tensor
+MultiHeadAttention::Forward(const Tensor& x, std::size_t batch, std::size_t seq) {
+    MOC_CHECK_ARG(x.rank() == 2 && x.dim(0) == batch * seq && x.dim(1) == hidden_,
+                  "attention input shape mismatch");
+    batch_ = batch;
+    seq_ = seq;
+    q_ = wq_.Forward(x);
+    k_ = wk_.Forward(x);
+    v_ = wv_.Forward(x);
+
+    const std::size_t proj = num_heads_ * head_dim_;
+    const float scale = 1.0F / std::sqrt(static_cast<float>(head_dim_));
+    attn_.assign(batch * num_heads_, Tensor());
+    concat_ = Tensor({batch * seq, proj});
+
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t h = 0; h < num_heads_; ++h) {
+            // Scores[s, t] = q_s . k_t * scale, masked to t <= s if causal.
+            Tensor scores({seq, seq});
+            const float* pq = q_.data();
+            const float* pk = k_.data();
+            float* ps = scores.data();
+            for (std::size_t s = 0; s < seq; ++s) {
+                const float* qrow = pq + (b * seq + s) * proj + h * head_dim_;
+                const std::size_t t_end = causal_ ? s + 1 : seq;
+                for (std::size_t t = 0; t < seq; ++t) {
+                    if (t >= t_end) {
+                        ps[s * seq + t] = -1e30F;
+                        continue;
+                    }
+                    const float* krow = pk + (b * seq + t) * proj + h * head_dim_;
+                    double dot = 0.0;
+                    for (std::size_t d = 0; d < head_dim_; ++d) {
+                        dot += static_cast<double>(qrow[d]) * krow[d];
+                    }
+                    ps[s * seq + t] = static_cast<float>(dot) * scale;
+                }
+            }
+            Tensor weights = RowSoftmax(scores);
+            // Head output rows: out_s = sum_t w[s,t] v_t.
+            const float* pw = weights.data();
+            const float* pv = v_.data();
+            float* pc = concat_.data();
+            for (std::size_t s = 0; s < seq; ++s) {
+                float* orow = pc + (b * seq + s) * proj + h * head_dim_;
+                for (std::size_t t = 0; t < seq; ++t) {
+                    const float w = pw[s * seq + t];
+                    if (w == 0.0F) {
+                        continue;
+                    }
+                    const float* vrow = pv + (b * seq + t) * proj + h * head_dim_;
+                    for (std::size_t d = 0; d < head_dim_; ++d) {
+                        orow[d] += w * vrow[d];
+                    }
+                }
+            }
+            attn_[b * num_heads_ + h] = std::move(weights);
+        }
+    }
+    return wo_.Forward(concat_);
+}
+
+Tensor
+MultiHeadAttention::Backward(const Tensor& dy) {
+    MOC_ASSERT(batch_ > 0, "Attention::Backward without Forward");
+    const std::size_t proj = num_heads_ * head_dim_;
+    const float scale = 1.0F / std::sqrt(static_cast<float>(head_dim_));
+
+    Tensor dconcat = wo_.Backward(dy);
+    Tensor dq({batch_ * seq_, proj});
+    Tensor dk({batch_ * seq_, proj});
+    Tensor dv({batch_ * seq_, proj});
+
+    const float* pq = q_.data();
+    const float* pk = k_.data();
+    const float* pv = v_.data();
+    const float* pdc = dconcat.data();
+    float* pdq = dq.data();
+    float* pdk = dk.data();
+    float* pdv = dv.data();
+
+    for (std::size_t b = 0; b < batch_; ++b) {
+        for (std::size_t h = 0; h < num_heads_; ++h) {
+            const Tensor& weights = attn_[b * num_heads_ + h];
+            const float* pw = weights.data();
+            // dW[s,t] = dout_s . v_t ; dv_t += sum_s w[s,t] dout_s.
+            Tensor dweights({seq_, seq_});
+            float* pdw = dweights.data();
+            for (std::size_t s = 0; s < seq_; ++s) {
+                const float* drow = pdc + (b * seq_ + s) * proj + h * head_dim_;
+                for (std::size_t t = 0; t < seq_; ++t) {
+                    const float w = pw[s * seq_ + t];
+                    const float* vrow = pv + (b * seq_ + t) * proj + h * head_dim_;
+                    float* dvrow = pdv + (b * seq_ + t) * proj + h * head_dim_;
+                    double dot = 0.0;
+                    for (std::size_t d = 0; d < head_dim_; ++d) {
+                        dot += static_cast<double>(drow[d]) * vrow[d];
+                        dvrow[d] += w * drow[d];
+                    }
+                    pdw[s * seq_ + t] = static_cast<float>(dot);
+                }
+            }
+            // Through softmax.
+            Tensor dscores = RowSoftmaxBackward(weights, dweights);
+            const float* pds = dscores.data();
+            // dq_s += scale * sum_t ds[s,t] k_t ; dk_t += scale * sum_s ds[s,t] q_s.
+            for (std::size_t s = 0; s < seq_; ++s) {
+                float* dqrow = pdq + (b * seq_ + s) * proj + h * head_dim_;
+                const float* qrow = pq + (b * seq_ + s) * proj + h * head_dim_;
+                for (std::size_t t = 0; t < seq_; ++t) {
+                    const float ds = pds[s * seq_ + t] * scale;
+                    if (ds == 0.0F) {
+                        continue;
+                    }
+                    const float* krow = pk + (b * seq_ + t) * proj + h * head_dim_;
+                    float* dkrow = pdk + (b * seq_ + t) * proj + h * head_dim_;
+                    for (std::size_t d = 0; d < head_dim_; ++d) {
+                        dqrow[d] += ds * krow[d];
+                        dkrow[d] += ds * qrow[d];
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor dx = wq_.Backward(dq);
+    Axpy(dx, wk_.Backward(dk));
+    Axpy(dx, wv_.Backward(dv));
+    return dx;
+}
+
+void
+MultiHeadAttention::CollectParams(std::vector<Parameter*>& out) {
+    wq_.CollectParams(out);
+    wk_.CollectParams(out);
+    wv_.CollectParams(out);
+    wo_.CollectParams(out);
+}
+
+}  // namespace moc

@@ -1,0 +1,59 @@
+#ifndef MOC_NN_ATTENTION_H_
+#define MOC_NN_ATTENTION_H_
+
+/**
+ * @file
+ * Multi-head scaled-dot-product attention with optional causal masking.
+ */
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/parameter.h"
+
+namespace moc {
+
+/**
+ * Multi-head attention over a flattened [batch*seq, hidden] input.
+ *
+ * The batch/sequence factorization is passed at Forward time so the same
+ * module serves the LM (causal) and the classifier (bidirectional).
+ */
+class MultiHeadAttention {
+  public:
+    MultiHeadAttention(std::string name, std::size_t hidden, std::size_t num_heads,
+                       std::size_t head_dim, bool causal, Rng& rng, float init_std);
+
+    /** Forward over x[batch*seq, hidden]. */
+    Tensor Forward(const Tensor& x, std::size_t batch, std::size_t seq);
+
+    /** Backward; returns dx and accumulates projection grads. */
+    Tensor Backward(const Tensor& dy);
+
+    void CollectParams(std::vector<Parameter*>& out);
+
+  private:
+    std::size_t hidden_;
+    std::size_t num_heads_;
+    std::size_t head_dim_;
+    bool causal_;
+    Linear wq_;
+    Linear wk_;
+    Linear wv_;
+    Linear wo_;
+
+    // Cached activations for backward.
+    std::size_t batch_ = 0;
+    std::size_t seq_ = 0;
+    Tensor q_;
+    Tensor k_;
+    Tensor v_;
+    /** attn_[b*H + h] is the [seq, seq] attention matrix. */
+    std::vector<Tensor> attn_;
+    Tensor concat_;  ///< pre-output-projection heads, [batch*seq, H*D]
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_ATTENTION_H_

@@ -1,0 +1,53 @@
+#include "nn/block.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+TransformerBlock::TransformerBlock(std::string name, const BlockConfig& config,
+                                   Rng& rng, float init_std)
+    : ln1_(name + ".ln1", config.hidden),
+      attn_(name + ".attn", config.hidden, config.num_heads, config.head_dim,
+            config.causal, rng, init_std),
+      ln2_(name + ".ln2", config.hidden) {
+    if (config.is_moe) {
+        moe_ = std::make_unique<MoeLayer>(name + ".moe", config.moe, rng, init_std);
+    } else {
+        ffn_ = std::make_unique<Ffn>(name + ".ffn", config.hidden,
+                                     config.ffn_mult * config.hidden, rng, init_std);
+    }
+}
+
+Tensor
+TransformerBlock::Forward(const Tensor& x, std::size_t batch, std::size_t seq,
+                          bool train, Rng& rng) {
+    Tensor h = Add(x, attn_.Forward(ln1_.Forward(x), batch, seq));
+    Tensor normed = ln2_.Forward(h);
+    Tensor f = moe_ ? moe_->Forward(normed, train, rng) : ffn_->Forward(normed);
+    return Add(h, f);
+}
+
+Tensor
+TransformerBlock::Backward(const Tensor& dy) {
+    Tensor df = moe_ ? moe_->Backward(dy) : ffn_->Backward(dy);
+    Tensor dh = Add(dy, ln2_.Backward(df));
+    Tensor dattn = attn_.Backward(dh);
+    return Add(dh, ln1_.Backward(dattn));
+}
+
+void
+TransformerBlock::CollectNonExpertParams(std::vector<Parameter*>& ln_out,
+                                         std::vector<Parameter*>& attn_out,
+                                         std::vector<Parameter*>& ffn_or_gate_out) {
+    ln1_.CollectParams(ln_out);
+    ln2_.CollectParams(ln_out);
+    attn_.CollectParams(attn_out);
+    if (moe_) {
+        moe_->CollectGateParams(ffn_or_gate_out);
+    } else {
+        ffn_->CollectParams(ffn_or_gate_out);
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,62 @@
+#ifndef MOC_NN_BLOCK_H_
+#define MOC_NN_BLOCK_H_
+
+/**
+ * @file
+ * One pre-norm transformer block whose FFN sublayer is either dense or MoE.
+ */
+
+#include <memory>
+#include <string>
+
+#include "nn/attention.h"
+#include "nn/ffn.h"
+#include "nn/layernorm.h"
+#include "nn/moe_layer.h"
+
+namespace moc {
+
+/** Configuration of one block. */
+struct BlockConfig {
+    std::size_t hidden = 64;
+    std::size_t num_heads = 2;
+    std::size_t head_dim = 32;
+    std::size_t ffn_mult = 4;
+    bool causal = true;
+    /** Non-null iff this block's FFN is an MoE layer. */
+    bool is_moe = false;
+    MoeLayerConfig moe;
+};
+
+/**
+ * x -> x + Attn(LN1(x)) -> y + FFN/MoE(LN2(y)).
+ */
+class TransformerBlock {
+  public:
+    TransformerBlock(std::string name, const BlockConfig& config, Rng& rng,
+                     float init_std);
+
+    Tensor Forward(const Tensor& x, std::size_t batch, std::size_t seq, bool train,
+                   Rng& rng);
+    Tensor Backward(const Tensor& dy);
+
+    bool is_moe() const { return moe_ != nullptr; }
+    MoeLayer* moe() { return moe_.get(); }
+    LayerNorm& ln() { return ln1_; }
+
+    /** Non-expert parameters of the block (both LNs, attention, dense FFN or gate). */
+    void CollectNonExpertParams(std::vector<Parameter*>& ln_out,
+                                std::vector<Parameter*>& attn_out,
+                                std::vector<Parameter*>& ffn_or_gate_out);
+
+  private:
+    LayerNorm ln1_;
+    MultiHeadAttention attn_;
+    LayerNorm ln2_;
+    std::unique_ptr<Ffn> ffn_;
+    std::unique_ptr<MoeLayer> moe_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_BLOCK_H_

@@ -1,0 +1,242 @@
+#include "nn/classifier.h"
+
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+MoeClassifier::MoeClassifier(const ClassifierConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      gating_rng_(config.seed ^ 0x5A5A5A5AULL),
+      tok_emb_("tok_emb", config.vocab, config.hidden, init_rng_, config.init_std),
+      pos_emb_("pos_emb",
+               Tensor::Randn({config.max_seq, config.hidden}, init_rng_,
+                             config.init_std)),
+      final_ln_("final_ln", config.hidden),
+      head_("head", config.hidden, config.num_classes, init_rng_, config.init_std) {
+    blocks_.reserve(config.num_layers);
+    for (std::size_t l = 0; l < config.num_layers; ++l) {
+        BlockConfig bc;
+        bc.hidden = config.hidden;
+        bc.num_heads = config.num_heads;
+        bc.head_dim = config.head_dim;
+        bc.ffn_mult = config.ffn_mult;
+        bc.causal = false;
+        bc.is_moe = config.num_experts > 0 && l >= config.moe_offset &&
+                    (l - config.moe_offset) % config.moe_every == 0;
+        if (bc.is_moe) {
+            bc.moe.hidden = config.hidden;
+            bc.moe.inter = config.ffn_mult * config.hidden;
+            bc.moe.num_experts = config.num_experts;
+            bc.moe.top_k = config.top_k;
+            bc.moe.capacity_factor = config.capacity_factor;
+            bc.moe.noise_std = config.gate_noise_std;
+            bc.moe.aux_loss_coeff = config.aux_loss_coeff;
+        }
+        std::ostringstream name;
+        name << "cls_block" << l;
+        blocks_.push_back(
+            std::make_unique<TransformerBlock>(name.str(), bc, init_rng_,
+                                               config.init_std));
+    }
+}
+
+Tensor
+MoeClassifier::Forward(const std::vector<ClassifiedSequence>& batch, bool train) {
+    MOC_CHECK_ARG(!batch.empty(), "empty classification batch");
+    batch_size_ = batch.size();
+    seq_ = batch.front().tokens.size();
+    MOC_CHECK_ARG(seq_ <= config_.max_seq, "sequence longer than max_seq");
+
+    std::vector<TokenId> tokens;
+    tokens.reserve(batch_size_ * seq_);
+    for (const auto& ex : batch) {
+        MOC_CHECK_ARG(ex.tokens.size() == seq_, "ragged classification batch");
+        tokens.insert(tokens.end(), ex.tokens.begin(), ex.tokens.end());
+    }
+
+    Tensor x = tok_emb_.Forward(tokens);
+    const float* pp = pos_emb_.value().data();
+    float* px = x.data();
+    for (std::size_t b = 0; b < batch_size_; ++b) {
+        for (std::size_t s = 0; s < seq_; ++s) {
+            float* row = px + (b * seq_ + s) * config_.hidden;
+            const float* prow = pp + s * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                row[d] += prow[d];
+            }
+        }
+    }
+
+    for (auto& block : blocks_) {
+        x = block->Forward(x, batch_size_, seq_, train, gating_rng_);
+    }
+    Tensor normed = final_ln_.Forward(x);
+
+    // Mean-pool over the sequence.
+    pooled_ = Tensor({batch_size_, config_.hidden});
+    const float* pn = normed.data();
+    float* pl = pooled_.data();
+    const float inv = 1.0F / static_cast<float>(seq_);
+    for (std::size_t b = 0; b < batch_size_; ++b) {
+        for (std::size_t s = 0; s < seq_; ++s) {
+            const float* row = pn + (b * seq_ + s) * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                pl[b * config_.hidden + d] += row[d] * inv;
+            }
+        }
+    }
+    return head_.Forward(pooled_);
+}
+
+void
+MoeClassifier::Backward(const Tensor& dlogits) {
+    Tensor dpool = head_.Backward(dlogits);
+    // Un-pool: broadcast dpool / seq back to every position.
+    Tensor dnormed({batch_size_ * seq_, config_.hidden});
+    const float inv = 1.0F / static_cast<float>(seq_);
+    const float* pdp = dpool.data();
+    float* pdn = dnormed.data();
+    for (std::size_t b = 0; b < batch_size_; ++b) {
+        for (std::size_t s = 0; s < seq_; ++s) {
+            float* row = pdn + (b * seq_ + s) * config_.hidden;
+            const float* src = pdp + b * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                row[d] = src[d] * inv;
+            }
+        }
+    }
+    Tensor dx = final_ln_.Backward(dnormed);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+        dx = (*it)->Backward(dx);
+    }
+    float* pg = pos_emb_.grad().data();
+    const float* pdx = dx.data();
+    for (std::size_t b = 0; b < batch_size_; ++b) {
+        for (std::size_t s = 0; s < seq_; ++s) {
+            const float* row = pdx + (b * seq_ + s) * config_.hidden;
+            float* grow = pg + s * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                grow[d] += row[d];
+            }
+        }
+    }
+    tok_emb_.Backward(dx);
+}
+
+double
+MoeClassifier::TrainBackward(const std::vector<ClassifiedSequence>& batch) {
+    Tensor logits = Forward(batch, /*train=*/true);
+    std::vector<int> targets;
+    targets.reserve(batch.size());
+    for (const auto& ex : batch) {
+        targets.push_back(ex.label);
+    }
+    Tensor dlogits;
+    const double loss = CrossEntropy(logits, targets, &dlogits);
+    Backward(dlogits);
+    double aux = 0.0;
+    for (auto* moe : MoeLayers()) {
+        aux += moe->aux_loss() * moe->config().aux_loss_coeff;
+    }
+    return loss + aux;
+}
+
+double
+MoeClassifier::EvalAccuracy(const std::vector<ClassifiedSequence>& batch) {
+    Tensor logits = Forward(batch, /*train=*/false);
+    const auto predictions = RowArgmax(logits);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (predictions[i] == batch[i].label) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(batch.size());
+}
+
+std::vector<ParamGroup>
+MoeClassifier::ParameterGroups() {
+    std::vector<ParamGroup> groups;
+    {
+        ParamGroup g;
+        g.key = "embedding";
+        g.params.push_back(&tok_emb_.table());
+        g.params.push_back(&pos_emb_);
+        groups.push_back(std::move(g));
+    }
+    std::size_t moe_index = 0;
+    for (std::size_t l = 0; l < blocks_.size(); ++l) {
+        std::vector<Parameter*> ln;
+        std::vector<Parameter*> attn;
+        std::vector<Parameter*> ffn_or_gate;
+        blocks_[l]->CollectNonExpertParams(ln, attn, ffn_or_gate);
+        {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/ln";
+            g.params = std::move(ln);
+            groups.push_back(std::move(g));
+        }
+        {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/attn";
+            g.params = std::move(attn);
+            groups.push_back(std::move(g));
+        }
+        if (blocks_[l]->is_moe()) {
+            {
+                ParamGroup g;
+                g.key = "moe/" + std::to_string(moe_index) + "/gate";
+                g.moe_index = moe_index;
+                g.params = std::move(ffn_or_gate);
+                groups.push_back(std::move(g));
+            }
+            MoeLayer* moe = blocks_[l]->moe();
+            for (ExpertId e = 0; e < config_.num_experts; ++e) {
+                ParamGroup g;
+                g.key = "moe/" + std::to_string(moe_index) + "/expert/" +
+                        std::to_string(e);
+                g.kind = ModuleKind::kExpert;
+                g.moe_index = moe_index;
+                g.expert = e;
+                moe->CollectExpertParams(e, g.params);
+                groups.push_back(std::move(g));
+            }
+            ++moe_index;
+        } else {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/ffn";
+            g.params = std::move(ffn_or_gate);
+            groups.push_back(std::move(g));
+        }
+    }
+    {
+        ParamGroup g;
+        g.key = "final_ln";
+        final_ln_.CollectParams(g.params);
+        groups.push_back(std::move(g));
+    }
+    {
+        ParamGroup g;
+        g.key = "head";
+        head_.CollectParams(g.params);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+std::vector<MoeLayer*>
+MoeClassifier::MoeLayers() {
+    std::vector<MoeLayer*> out;
+    for (auto& block : blocks_) {
+        if (block->is_moe()) {
+            out.push_back(block->moe());
+        }
+    }
+    return out;
+}
+
+}  // namespace moc

@@ -1,0 +1,81 @@
+#ifndef MOC_NN_CLASSIFIER_H_
+#define MOC_NN_CLASSIFIER_H_
+
+/**
+ * @file
+ * Encoder-style MoE sequence classifier — the laptop-scale stand-in for the
+ * paper's SwinV2-MoE/ImageNet experiment (Fig. 14b).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "data/classification.h"
+#include "nn/block.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/parameter.h"
+
+namespace moc {
+
+/** Hyperparameters of the classifier. */
+struct ClassifierConfig {
+    std::size_t vocab = 64;
+    std::size_t max_seq = 16;
+    std::size_t num_classes = 8;
+    std::size_t hidden = 48;
+    std::size_t num_heads = 2;
+    std::size_t head_dim = 24;
+    std::size_t num_layers = 4;
+    std::size_t ffn_mult = 4;
+    std::size_t num_experts = 8;
+    std::size_t top_k = 1;
+    std::size_t moe_every = 2;
+    std::size_t moe_offset = 1;
+    double capacity_factor = 1.5;
+    float gate_noise_std = 1e-2F;
+    float aux_loss_coeff = 1e-2F;
+    float init_std = 0.02F;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Bidirectional MoE transformer + mean-pool + linear head.
+ */
+class MoeClassifier : public ParamSource {
+  public:
+    explicit MoeClassifier(const ClassifierConfig& config);
+
+    /** Forward + backward over a labelled batch; returns mean loss. */
+    double TrainBackward(const std::vector<ClassifiedSequence>& batch);
+
+    /** Classification accuracy over @p batch (no noise). */
+    double EvalAccuracy(const std::vector<ClassifiedSequence>& batch);
+
+    std::vector<ParamGroup> ParameterGroups() override;
+    std::vector<MoeLayer*> MoeLayers();
+
+    const ClassifierConfig& config() const { return config_; }
+    Rng& gating_rng() { return gating_rng_; }
+
+  private:
+    Tensor Forward(const std::vector<ClassifiedSequence>& batch, bool train);
+    void Backward(const Tensor& dlogits);
+
+    ClassifierConfig config_;
+    Rng init_rng_;
+    Rng gating_rng_;
+    Embedding tok_emb_;
+    Parameter pos_emb_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    LayerNorm final_ln_;
+    Linear head_;
+
+    std::size_t batch_size_ = 0;
+    std::size_t seq_ = 0;
+    Tensor pooled_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_CLASSIFIER_H_

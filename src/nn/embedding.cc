@@ -1,0 +1,45 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace moc {
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim, Rng& rng,
+                     float init_std)
+    : vocab_(vocab),
+      dim_(dim),
+      table_(name + ".table", Tensor::Randn({vocab, dim}, rng, init_std)) {}
+
+Tensor
+Embedding::Forward(const std::vector<TokenId>& tokens) {
+    cached_tokens_ = tokens;
+    Tensor out({tokens.size(), dim_});
+    const float* src = table_.value().data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const auto t = static_cast<std::size_t>(tokens[i]);
+        MOC_CHECK_ARG(t < vocab_, "Embedding: token " << tokens[i] << " out of range");
+        std::memcpy(dst + i * dim_, src + t * dim_, dim_ * sizeof(float));
+    }
+    return out;
+}
+
+void
+Embedding::Backward(const Tensor& dy) {
+    MOC_ASSERT(!cached_tokens_.empty(), "Embedding::Backward without Forward");
+    MOC_CHECK_ARG(dy.rank() == 2 && dy.dim(0) == cached_tokens_.size() &&
+                      dy.dim(1) == dim_,
+                  "Embedding: gradient shape mismatch");
+    float* g = table_.grad().data();
+    const float* src = dy.data();
+    for (std::size_t i = 0; i < cached_tokens_.size(); ++i) {
+        const auto t = static_cast<std::size_t>(cached_tokens_[i]);
+        for (std::size_t j = 0; j < dim_; ++j) {
+            g[t * dim_ + j] += src[i * dim_ + j];
+        }
+    }
+}
+
+}  // namespace moc

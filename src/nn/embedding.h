@@ -1,0 +1,46 @@
+#ifndef MOC_NN_EMBEDDING_H_
+#define MOC_NN_EMBEDDING_H_
+
+/**
+ * @file
+ * Token and position embedding with sparse-gather backward.
+ */
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "nn/parameter.h"
+
+namespace moc {
+
+/**
+ * Lookup table [vocab, dim]; Forward gathers rows for a token sequence.
+ */
+class Embedding {
+  public:
+    Embedding(std::string name, std::size_t vocab, std::size_t dim, Rng& rng,
+              float init_std);
+
+    /** Gathers rows for @p tokens into [tokens.size(), dim]. */
+    Tensor Forward(const std::vector<TokenId>& tokens);
+
+    /** Scatters @p dy rows back into the table gradient. */
+    void Backward(const Tensor& dy);
+
+    Parameter& table() { return table_; }
+    std::size_t vocab() const { return vocab_; }
+    std::size_t dim() const { return dim_; }
+
+    void CollectParams(std::vector<Parameter*>& out) { out.push_back(&table_); }
+
+  private:
+    std::size_t vocab_;
+    std::size_t dim_;
+    Parameter table_;
+    std::vector<TokenId> cached_tokens_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_EMBEDDING_H_

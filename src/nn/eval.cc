@@ -1,0 +1,54 @@
+#include "nn/eval.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+double
+EvalStreamLoss(MoeTransformerLm& model, const LmBatchStream& stream,
+               std::size_t num_batches, std::size_t start_index) {
+    MOC_CHECK_ARG(num_batches >= 1, "need at least one eval batch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < num_batches; ++i) {
+        total += model.EvalLoss(stream.Get(start_index + i));
+    }
+    return total / static_cast<double>(num_batches);
+}
+
+double
+EvalProbeTask(MoeTransformerLm& model, const ProbeTask& task) {
+    MOC_CHECK_ARG(!task.items.empty(), "probe task has no items");
+    std::size_t correct = 0;
+    for (const auto& item : task.items) {
+        double best = -1e300;
+        int best_choice = 0;
+        for (std::size_t c = 0; c < item.choices.size(); ++c) {
+            const double score = model.ScoreContinuation(item.context, item.choices[c]);
+            if (score > best) {
+                best = score;
+                best_choice = static_cast<int>(c);
+            }
+        }
+        if (best_choice == item.correct) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(task.items.size());
+}
+
+std::vector<ProbeResult>
+EvalProbeSuite(MoeTransformerLm& model, const std::vector<ProbeTask>& suite) {
+    std::vector<ProbeResult> results;
+    double sum = 0.0;
+    for (const auto& task : suite) {
+        ProbeResult r;
+        r.task = task.name;
+        r.accuracy = EvalProbeTask(model, task);
+        sum += r.accuracy;
+        results.push_back(r);
+    }
+    results.push_back({"Avg", suite.empty() ? 0.0 : sum / static_cast<double>(suite.size())});
+    return results;
+}
+
+}  // namespace moc

@@ -1,0 +1,37 @@
+#ifndef MOC_NN_EVAL_H_
+#define MOC_NN_EVAL_H_
+
+/**
+ * @file
+ * Evaluation helpers: validation loss over a batch stream and multiple-choice
+ * probe scoring (the downstream-task evaluation of Tables 3 and 4).
+ */
+
+#include <string>
+#include <vector>
+
+#include "data/probes.h"
+#include "nn/model.h"
+
+namespace moc {
+
+/** Mean validation loss over @p num_batches batches of @p stream. */
+double EvalStreamLoss(MoeTransformerLm& model, const LmBatchStream& stream,
+                      std::size_t num_batches, std::size_t start_index = 0);
+
+/** Accuracy of @p model on one probe task (likelihood-ranked choices). */
+double EvalProbeTask(MoeTransformerLm& model, const ProbeTask& task);
+
+/** Per-task accuracy result. */
+struct ProbeResult {
+    std::string task;
+    double accuracy = 0.0;
+};
+
+/** Evaluates the full suite; also returns the macro average as last entry "Avg". */
+std::vector<ProbeResult> EvalProbeSuite(MoeTransformerLm& model,
+                                        const std::vector<ProbeTask>& suite);
+
+}  // namespace moc
+
+#endif  // MOC_NN_EVAL_H_

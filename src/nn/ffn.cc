@@ -1,0 +1,33 @@
+#include "nn/ffn.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+Ffn::Ffn(std::string name, std::size_t hidden, std::size_t inter, Rng& rng,
+         float init_std)
+    : fc1_(name + ".fc1", hidden, inter, rng, init_std),
+      fc2_(name + ".fc2", inter, hidden, rng, init_std) {}
+
+Tensor
+Ffn::Forward(const Tensor& x) {
+    cached_pre_act_ = fc1_.Forward(x);
+    return fc2_.Forward(Gelu(cached_pre_act_));
+}
+
+Tensor
+Ffn::Backward(const Tensor& dy) {
+    MOC_ASSERT(!cached_pre_act_.empty(), "Ffn::Backward without Forward");
+    Tensor dact = fc2_.Backward(dy);
+    Tensor dpre = GeluBackward(cached_pre_act_, dact);
+    return fc1_.Backward(dpre);
+}
+
+void
+Ffn::CollectParams(std::vector<Parameter*>& out) {
+    fc1_.CollectParams(out);
+    fc2_.CollectParams(out);
+}
+
+}  // namespace moc

@@ -1,0 +1,38 @@
+#ifndef MOC_NN_FFN_H_
+#define MOC_NN_FFN_H_
+
+/**
+ * @file
+ * The feed-forward network used both as the dense FFN sublayer and as one
+ * MoE expert: Linear -> GELU -> Linear.
+ */
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace moc {
+
+/** Two-layer GELU MLP. */
+class Ffn {
+  public:
+    Ffn(std::string name, std::size_t hidden, std::size_t inter, Rng& rng,
+        float init_std);
+
+    Tensor Forward(const Tensor& x);
+    Tensor Backward(const Tensor& dy);
+
+    void CollectParams(std::vector<Parameter*>& out);
+
+    std::size_t hidden() const { return fc1_.in_dim(); }
+
+  private:
+    Linear fc1_;
+    Linear fc2_;
+    Tensor cached_pre_act_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_FFN_H_

@@ -1,0 +1,32 @@
+#include "nn/layernorm.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim)
+    : gain_(name + ".gain", Tensor({dim})), bias_(name + ".bias", Tensor({dim})) {
+    gain_.value().Fill(1.0F);
+}
+
+Tensor
+LayerNorm::Forward(const Tensor& x) {
+    cached_input_ = x;
+    return LayerNormForward(x, gain_.value(), bias_.value(), mean_, rstd_);
+}
+
+Tensor
+LayerNorm::Backward(const Tensor& dy) {
+    MOC_ASSERT(!cached_input_.empty(), "LayerNorm::Backward without Forward");
+    return LayerNormBackward(cached_input_, dy, gain_.value(), mean_, rstd_,
+                             gain_.grad(), bias_.grad());
+}
+
+void
+LayerNorm::CollectParams(std::vector<Parameter*>& out) {
+    out.push_back(&gain_);
+    out.push_back(&bias_);
+}
+
+}  // namespace moc

@@ -1,0 +1,40 @@
+#ifndef MOC_NN_LAYERNORM_H_
+#define MOC_NN_LAYERNORM_H_
+
+/**
+ * @file
+ * Layer normalization module wrapping the tensor kernels with parameter
+ * storage and activation caching.
+ */
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace moc {
+
+/** LayerNorm over the last dimension with learnable gain/bias. */
+class LayerNorm {
+  public:
+    LayerNorm(std::string name, std::size_t dim);
+
+    Tensor Forward(const Tensor& x);
+    Tensor Backward(const Tensor& dy);
+
+    Parameter& gain() { return gain_; }
+    Parameter& bias() { return bias_; }
+
+    void CollectParams(std::vector<Parameter*>& out);
+
+  private:
+    Parameter gain_;
+    Parameter bias_;
+    Tensor cached_input_;
+    std::vector<float> mean_;
+    std::vector<float> rstd_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_LAYERNORM_H_

@@ -1,0 +1,45 @@
+#include "nn/linear.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out, Rng& rng,
+               float init_std)
+    : in_(in),
+      out_(out),
+      weight_(name + ".weight", Tensor::Randn({in, out}, rng, init_std)),
+      bias_(name + ".bias", Tensor({out})) {}
+
+Tensor
+Linear::Forward(const Tensor& x) {
+    cached_input_ = x;
+    return ForwardNoCache(x);
+}
+
+Tensor
+Linear::ForwardNoCache(const Tensor& x) const {
+    MOC_CHECK_ARG(x.rank() == 2 && x.dim(1) == in_,
+                  "Linear: input shape mismatch for " << weight_.name());
+    Tensor y = MatMul(x, weight_.value());
+    AddRowBias(y, bias_.value());
+    return y;
+}
+
+Tensor
+Linear::Backward(const Tensor& dy) {
+    MOC_ASSERT(!cached_input_.empty(), "Linear::Backward without Forward");
+    // dW = x^T dy ; db = sum rows dy ; dx = dy W^T.
+    Axpy(weight_.grad(), MatMulTransA(cached_input_, dy));
+    Axpy(bias_.grad(), SumRows(dy));
+    return MatMulTransB(dy, weight_.value());
+}
+
+void
+Linear::CollectParams(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+}  // namespace moc

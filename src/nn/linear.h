@@ -1,0 +1,53 @@
+#ifndef MOC_NN_LINEAR_H_
+#define MOC_NN_LINEAR_H_
+
+/**
+ * @file
+ * Fully-connected layer with cached-activation backward pass.
+ */
+
+#include <string>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace moc {
+
+/**
+ * y = x W + b for x[m, in], W[in, out], b[out].
+ */
+class Linear {
+  public:
+    /** Initializes W ~ N(0, init_std), b = 0. */
+    Linear(std::string name, std::size_t in, std::size_t out, Rng& rng,
+           float init_std);
+
+    /** Forward pass; caches the input for Backward. */
+    Tensor Forward(const Tensor& x);
+
+    /** Forward without caching (inference). */
+    Tensor ForwardNoCache(const Tensor& x) const;
+
+    /** Backward pass; accumulates dW, db and returns dx. */
+    Tensor Backward(const Tensor& dy);
+
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+
+    std::size_t in_dim() const { return in_; }
+    std::size_t out_dim() const { return out_; }
+
+    /** Appends this layer's parameters to @p out. */
+    void CollectParams(std::vector<Parameter*>& out);
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_input_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_LINEAR_H_

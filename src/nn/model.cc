@@ -1,0 +1,244 @@
+#include "nn/model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+ModelSpec
+LmConfig::ToModelSpec() const {
+    ModelSpec spec;
+    spec.name = "lm";
+    spec.num_layers = num_layers;
+    spec.hidden = hidden;
+    spec.num_heads = num_heads;
+    spec.head_dim = head_dim;
+    spec.ffn_mult = ffn_mult;
+    spec.vocab = vocab;
+    spec.max_seq = max_seq;
+    spec.num_experts = num_experts;
+    spec.moe_every = moe_every;
+    spec.moe_offset = moe_offset;
+    spec.top_k = top_k;
+    return spec;
+}
+
+MoeTransformerLm::MoeTransformerLm(const LmConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      gating_rng_(config.seed ^ 0xA5A5A5A5ULL),
+      tok_emb_("tok_emb", config.vocab, config.hidden, init_rng_, config.init_std),
+      pos_emb_("pos_emb",
+               Tensor::Randn({config.max_seq, config.hidden}, init_rng_,
+                             config.init_std)),
+      final_ln_("final_ln", config.hidden) {
+    const ModelSpec spec = config.ToModelSpec();
+    blocks_.reserve(config.num_layers);
+    for (std::size_t l = 0; l < config.num_layers; ++l) {
+        BlockConfig bc;
+        bc.hidden = config.hidden;
+        bc.num_heads = config.num_heads;
+        bc.head_dim = config.head_dim;
+        bc.ffn_mult = config.ffn_mult;
+        bc.causal = true;
+        bc.is_moe = spec.IsMoeLayer(l);
+        if (bc.is_moe) {
+            bc.moe.hidden = config.hidden;
+            bc.moe.inter = config.ffn_mult * config.hidden;
+            bc.moe.num_experts = config.num_experts;
+            bc.moe.top_k = config.top_k;
+            bc.moe.capacity_factor = config.capacity_factor;
+            bc.moe.noise_std = config.gate_noise_std;
+            bc.moe.aux_loss_coeff = config.aux_loss_coeff;
+        }
+        std::ostringstream name;
+        name << "block" << l;
+        blocks_.push_back(
+            std::make_unique<TransformerBlock>(name.str(), bc, init_rng_,
+                                               config.init_std));
+    }
+}
+
+Tensor
+MoeTransformerLm::Forward(const std::vector<TokenId>& tokens, std::size_t batch,
+                          std::size_t seq, bool train) {
+    MOC_CHECK_ARG(tokens.size() == batch * seq, "token count mismatch");
+    MOC_CHECK_ARG(seq <= config_.max_seq, "sequence longer than max_seq");
+    batch_ = batch;
+    seq_ = seq;
+
+    Tensor x = tok_emb_.Forward(tokens);
+    // Add positional embeddings.
+    const float* pp = pos_emb_.value().data();
+    float* px = x.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t s = 0; s < seq; ++s) {
+            float* row = px + (b * seq + s) * config_.hidden;
+            const float* prow = pp + s * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                row[d] += prow[d];
+            }
+        }
+    }
+
+    for (auto& block : blocks_) {
+        x = block->Forward(x, batch, seq, train, gating_rng_);
+    }
+    final_hidden_ = final_ln_.Forward(x);
+    // Tied output head: logits = h . E^T.
+    return MatMulTransB(final_hidden_, tok_emb_.table().value());
+}
+
+void
+MoeTransformerLm::Backward(const Tensor& dlogits) {
+    // Tied head: dh = dlogits . E ; dE += dlogits^T . h.
+    Tensor dh = MatMul(dlogits, tok_emb_.table().value());
+    Axpy(tok_emb_.table().grad(), MatMulTransA(dlogits, final_hidden_));
+
+    Tensor dx = final_ln_.Backward(dh);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+        dx = (*it)->Backward(dx);
+    }
+
+    // Positional embedding gradient.
+    float* pg = pos_emb_.grad().data();
+    const float* pdx = dx.data();
+    for (std::size_t b = 0; b < batch_; ++b) {
+        for (std::size_t s = 0; s < seq_; ++s) {
+            const float* row = pdx + (b * seq_ + s) * config_.hidden;
+            float* grow = pg + s * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                grow[d] += row[d];
+            }
+        }
+    }
+    // Token embedding gradient (gather path).
+    tok_emb_.Backward(dx);
+}
+
+double
+MoeTransformerLm::TrainBackward(const LmBatch& batch) {
+    Tensor logits = Forward(batch.inputs, batch.batch, batch.seq, /*train=*/true);
+    std::vector<int> targets(batch.targets.begin(), batch.targets.end());
+    Tensor dlogits;
+    const double loss = CrossEntropy(logits, targets, &dlogits);
+    Backward(dlogits);
+    double aux = 0.0;
+    for (auto* moe : MoeLayers()) {
+        aux += moe->aux_loss() * moe->config().aux_loss_coeff;
+    }
+    return loss + aux;
+}
+
+double
+MoeTransformerLm::EvalLoss(const LmBatch& batch) {
+    Tensor logits = Forward(batch.inputs, batch.batch, batch.seq, /*train=*/false);
+    std::vector<int> targets(batch.targets.begin(), batch.targets.end());
+    return CrossEntropy(logits, targets, nullptr);
+}
+
+double
+MoeTransformerLm::ScoreContinuation(const std::vector<TokenId>& context,
+                                    const std::vector<TokenId>& continuation) {
+    MOC_CHECK_ARG(!context.empty() && !continuation.empty(),
+                  "probe scoring needs non-empty context and continuation");
+    std::vector<TokenId> tokens = context;
+    tokens.insert(tokens.end(), continuation.begin(), continuation.end());
+    MOC_CHECK_ARG(tokens.size() <= config_.max_seq + 1, "probe longer than max_seq");
+    // Inputs are tokens[0..n-2]; the continuation occupies the tail targets.
+    std::vector<TokenId> inputs(tokens.begin(), tokens.end() - 1);
+    Tensor logits = Forward(inputs, 1, inputs.size(), /*train=*/false);
+    Tensor probs = RowSoftmax(logits);
+    double log_likelihood = 0.0;
+    const std::size_t vocab = config_.vocab;
+    for (std::size_t i = 0; i < continuation.size(); ++i) {
+        const std::size_t pos = context.size() - 1 + i;
+        const auto target = static_cast<std::size_t>(
+            tokens[context.size() + i]);
+        const double p =
+            std::max(1e-12, static_cast<double>(probs.data()[pos * vocab + target]));
+        log_likelihood += std::log(p);
+    }
+    return log_likelihood;
+}
+
+std::vector<ParamGroup>
+MoeTransformerLm::ParameterGroups() {
+    std::vector<ParamGroup> groups;
+    {
+        ParamGroup g;
+        g.key = "embedding";
+        g.params.push_back(&tok_emb_.table());
+        g.params.push_back(&pos_emb_);
+        groups.push_back(std::move(g));
+    }
+    const ModelSpec spec = config_.ToModelSpec();
+    std::size_t moe_index = 0;
+    for (std::size_t l = 0; l < blocks_.size(); ++l) {
+        std::vector<Parameter*> ln;
+        std::vector<Parameter*> attn;
+        std::vector<Parameter*> ffn_or_gate;
+        blocks_[l]->CollectNonExpertParams(ln, attn, ffn_or_gate);
+        {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/ln";
+            g.params = std::move(ln);
+            groups.push_back(std::move(g));
+        }
+        {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/attn";
+            g.params = std::move(attn);
+            groups.push_back(std::move(g));
+        }
+        if (spec.IsMoeLayer(l)) {
+            {
+                ParamGroup g;
+                g.key = "moe/" + std::to_string(moe_index) + "/gate";
+                g.moe_index = moe_index;
+                g.params = std::move(ffn_or_gate);
+                groups.push_back(std::move(g));
+            }
+            MoeLayer* moe = blocks_[l]->moe();
+            for (ExpertId e = 0; e < config_.num_experts; ++e) {
+                ParamGroup g;
+                g.key = "moe/" + std::to_string(moe_index) + "/expert/" +
+                        std::to_string(e);
+                g.kind = ModuleKind::kExpert;
+                g.moe_index = moe_index;
+                g.expert = e;
+                moe->CollectExpertParams(e, g.params);
+                groups.push_back(std::move(g));
+            }
+            ++moe_index;
+        } else {
+            ParamGroup g;
+            g.key = "layer/" + std::to_string(l) + "/ffn";
+            g.params = std::move(ffn_or_gate);
+            groups.push_back(std::move(g));
+        }
+    }
+    {
+        ParamGroup g;
+        g.key = "final_ln";
+        final_ln_.CollectParams(g.params);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+std::vector<MoeLayer*>
+MoeTransformerLm::MoeLayers() {
+    std::vector<MoeLayer*> out;
+    for (auto& block : blocks_) {
+        if (block->is_moe()) {
+            out.push_back(block->moe());
+        }
+    }
+    return out;
+}
+
+}  // namespace moc

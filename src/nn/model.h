@@ -1,0 +1,102 @@
+#ifndef MOC_NN_MODEL_H_
+#define MOC_NN_MODEL_H_
+
+/**
+ * @file
+ * The MoE transformer language model: a GPT-style decoder with MoE FFN
+ * sublayers, trainable end-to-end on CPU at laptop scale. Structurally a
+ * scaled-down GPT-125M-8E / GPT-350M-16E (Table 1).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "data/corpus.h"
+#include "dist/model_spec.h"
+#include "nn/block.h"
+#include "nn/embedding.h"
+#include "nn/parameter.h"
+
+namespace moc {
+
+/** Hyperparameters of a trainable LM instance. */
+struct LmConfig {
+    std::size_t vocab = 256;
+    std::size_t max_seq = 32;
+    std::size_t hidden = 64;
+    std::size_t num_heads = 2;
+    std::size_t head_dim = 32;
+    std::size_t num_layers = 4;
+    std::size_t ffn_mult = 4;
+    std::size_t num_experts = 8;
+    std::size_t top_k = 1;
+    std::size_t moe_every = 2;
+    std::size_t moe_offset = 1;
+    double capacity_factor = 1.5;
+    float gate_noise_std = 1e-2F;
+    float aux_loss_coeff = 1e-2F;
+    float init_std = 0.02F;
+    std::uint64_t seed = 7;
+
+    /** The equivalent ModelSpec (for inventory/byte accounting). */
+    ModelSpec ToModelSpec() const;
+};
+
+/**
+ * GPT-style MoE language model with a tied output head.
+ *
+ * Parameter groups use ModelStateInventory keys, so the checkpoint system
+ * addresses the real model and the analytical model identically.
+ */
+class MoeTransformerLm : public ParamSource {
+  public:
+    explicit MoeTransformerLm(const LmConfig& config);
+
+    /** Forward + backward over a batch; returns task loss (aux included). */
+    double TrainBackward(const LmBatch& batch);
+
+    /** Forward only (no noise); returns validation loss. */
+    double EvalLoss(const LmBatch& batch);
+
+    /**
+     * Log-likelihood of @p continuation following @p context (probe scoring,
+     * no gating noise).
+     */
+    double ScoreContinuation(const std::vector<TokenId>& context,
+                             const std::vector<TokenId>& continuation);
+
+    std::vector<ParamGroup> ParameterGroups() override;
+
+    const LmConfig& config() const { return config_; }
+
+    /** All MoE layers, in moe_index order. */
+    std::vector<MoeLayer*> MoeLayers();
+
+    /** Gating-noise RNG (checkpointable "other state"). */
+    Rng& gating_rng() { return gating_rng_; }
+
+  private:
+    /** Runs the forward pass; returns logits [B*S, vocab]. */
+    Tensor Forward(const std::vector<TokenId>& tokens, std::size_t batch,
+                   std::size_t seq, bool train);
+
+    /** Backward from dlogits through the whole network. */
+    void Backward(const Tensor& dlogits);
+
+    LmConfig config_;
+    Rng init_rng_;
+    Rng gating_rng_;
+    Embedding tok_emb_;
+    Parameter pos_emb_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    LayerNorm final_ln_;
+
+    // Caches for backward.
+    std::size_t batch_ = 0;
+    std::size_t seq_ = 0;
+    Tensor final_hidden_;  ///< output of final_ln_, input to the tied head
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_MODEL_H_

@@ -1,0 +1,255 @@
+#include "nn/moe_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace moc {
+
+MoeLayer::MoeLayer(std::string name, const MoeLayerConfig& config, Rng& rng,
+                   float init_std)
+    : config_(config), gate_(name + ".gate", config.hidden, config.num_experts, rng,
+                             init_std) {
+    MOC_CHECK_ARG(config.num_experts >= 1, "MoeLayer needs >= 1 expert");
+    MOC_CHECK_ARG(config.top_k >= 1 && config.top_k <= config.num_experts,
+                  "top_k must be in [1, num_experts]");
+    MOC_CHECK_ARG(config.capacity_factor > 0.0, "capacity_factor must be > 0");
+    experts_.reserve(config.num_experts);
+    for (std::size_t e = 0; e < config.num_experts; ++e) {
+        experts_.emplace_back(name + ".expert" + std::to_string(e), config.hidden,
+                              config.inter, rng, init_std);
+    }
+}
+
+Tensor
+MoeLayer::Forward(const Tensor& x, bool train, Rng& rng) {
+    MOC_CHECK_ARG(x.rank() == 2 && x.dim(1) == config_.hidden,
+                  "MoeLayer: input shape mismatch");
+    const std::size_t T = x.dim(0);
+    const std::size_t N = config_.num_experts;
+    tokens_ = T;
+
+    Tensor logits = gate_.Forward(x);
+    if (train && config_.noise_std > 0.0F) {
+        float* pl = logits.data();
+        for (std::size_t i = 0; i < logits.size(); ++i) {
+            pl[i] += static_cast<float>(rng.Gaussian(0.0, config_.noise_std));
+        }
+    }
+    probs_ = RowSoftmax(logits);
+
+    // Top-k selection per token.
+    selected_.assign(T, {});
+    std::vector<std::vector<std::size_t>> pending_tokens(N);
+    std::vector<std::vector<float>> pending_weights(N);
+    const float* pp = probs_.data();
+    for (std::size_t t = 0; t < T; ++t) {
+        // Partial selection of the top_k experts by probability.
+        std::vector<std::size_t> order(N);
+        for (std::size_t e = 0; e < N; ++e) {
+            order[e] = e;
+        }
+        std::partial_sort(order.begin(), order.begin() + static_cast<long>(config_.top_k),
+                          order.end(), [&](std::size_t a, std::size_t b) {
+                              return pp[t * N + a] > pp[t * N + b];
+                          });
+        order.resize(config_.top_k);
+        selected_[t] = order;
+        double denom = 0.0;
+        for (auto e : order) {
+            denom += pp[t * N + e];
+        }
+        for (auto e : order) {
+            const float p = pp[t * N + e];
+            const float g = config_.top_k == 1
+                                ? p
+                                : static_cast<float>(p / std::max(denom, 1e-12));
+            pending_tokens[e].push_back(t);
+            pending_weights[e].push_back(g);
+        }
+    }
+
+    // Capacity enforcement: first-come-first-served per expert.
+    const auto capacity = static_cast<std::size_t>(std::ceil(
+        config_.capacity_factor * static_cast<double>(T * config_.top_k) /
+        static_cast<double>(N)));
+    stats_ = RoutingStats{};
+    stats_.tokens_per_expert.assign(N, 0);
+    stats_.assignments = T * config_.top_k;
+    kept_.clear();
+    expert_tokens_.assign(N, {});
+    expert_outputs_.assign(N, Tensor());
+
+    Tensor out({T, config_.hidden});
+    for (std::size_t e = 0; e < N; ++e) {
+        const std::size_t kept_count = std::min(pending_tokens[e].size(), capacity);
+        stats_.dropped += pending_tokens[e].size() - kept_count;
+        stats_.tokens_per_expert[e] = kept_count;
+        if (kept_count == 0) {
+            continue;
+        }
+        Tensor gathered({kept_count, config_.hidden});
+        for (std::size_t r = 0; r < kept_count; ++r) {
+            const std::size_t t = pending_tokens[e][r];
+            expert_tokens_[e].push_back(t);
+            kept_.push_back({t, e, r, pending_weights[e][r]});
+            std::copy_n(x.data() + t * config_.hidden, config_.hidden,
+                        gathered.data() + r * config_.hidden);
+        }
+        Tensor y = experts_[e].Forward(gathered);
+        // Scatter-combine weighted outputs.
+        for (std::size_t r = 0; r < kept_count; ++r) {
+            const std::size_t t = pending_tokens[e][r];
+            const float g = pending_weights[e][r];
+            float* orow = out.data() + t * config_.hidden;
+            const float* yrow = y.data() + r * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                orow[d] += g * yrow[d];
+            }
+        }
+        expert_outputs_[e] = std::move(y);
+    }
+
+    // Switch-style auxiliary load-balancing loss: N * sum_e f_e * mean_prob_e,
+    // with f_e the fraction of assignments routed to e (pre-capacity).
+    assign_frac_.assign(N, 0.0);
+    for (std::size_t e = 0; e < N; ++e) {
+        assign_frac_[e] = static_cast<double>(pending_tokens[e].size()) /
+                          static_cast<double>(std::max<std::size_t>(1, T * config_.top_k));
+    }
+    double aux = 0.0;
+    for (std::size_t e = 0; e < N; ++e) {
+        double mean_p = 0.0;
+        for (std::size_t t = 0; t < T; ++t) {
+            mean_p += pp[t * N + e];
+        }
+        mean_p /= static_cast<double>(std::max<std::size_t>(1, T));
+        aux += assign_frac_[e] * mean_p;
+    }
+    aux_loss_ = static_cast<double>(N) * aux;
+    return out;
+}
+
+Tensor
+MoeLayer::Backward(const Tensor& dy) {
+    MOC_ASSERT(tokens_ > 0, "MoeLayer::Backward without Forward");
+    const std::size_t T = tokens_;
+    const std::size_t N = config_.num_experts;
+    MOC_CHECK_ARG(dy.rank() == 2 && dy.dim(0) == T && dy.dim(1) == config_.hidden,
+                  "MoeLayer: gradient shape mismatch");
+
+    Tensor dx({T, config_.hidden});
+    Tensor dprobs({T, N});
+    // dg for each kept assignment, indexed by (token, expert).
+    std::vector<std::vector<float>> dgate(T);
+    for (std::size_t t = 0; t < T; ++t) {
+        dgate[t].assign(selected_[t].size(), 0.0F);
+    }
+
+    // Expert backward: dY_e[row] = g * dy[token]; dg = dy[token] . y_e[row].
+    for (std::size_t e = 0; e < N; ++e) {
+        const auto& toks = expert_tokens_[e];
+        if (toks.empty()) {
+            continue;
+        }
+        Tensor dy_e({toks.size(), config_.hidden});
+        const Tensor& y_e = expert_outputs_[e];
+        for (std::size_t r = 0; r < toks.size(); ++r) {
+            const std::size_t t = toks[r];
+            // Find the gate weight for (t, e).
+            float g = 0.0F;
+            std::size_t sel_idx = 0;
+            for (std::size_t si = 0; si < selected_[t].size(); ++si) {
+                if (selected_[t][si] == e) {
+                    sel_idx = si;
+                    break;
+                }
+            }
+            // g is recovered from probs (top-1) or renormalized probs.
+            const float* pp = probs_.data();
+            if (config_.top_k == 1) {
+                g = pp[t * N + e];
+            } else {
+                double denom = 0.0;
+                for (auto se : selected_[t]) {
+                    denom += pp[t * N + se];
+                }
+                g = static_cast<float>(pp[t * N + e] / std::max(denom, 1e-12));
+            }
+            double dg = 0.0;
+            const float* dyrow = dy.data() + t * config_.hidden;
+            const float* yrow = y_e.data() + r * config_.hidden;
+            float* dyerow = dy_e.data() + r * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                dg += static_cast<double>(dyrow[d]) * yrow[d];
+                dyerow[d] = g * dyrow[d];
+            }
+            dgate[t][sel_idx] += static_cast<float>(dg);
+        }
+        Tensor dx_e = experts_[e].Backward(dy_e);
+        for (std::size_t r = 0; r < toks.size(); ++r) {
+            const std::size_t t = toks[r];
+            float* dxrow = dx.data() + t * config_.hidden;
+            const float* srow = dx_e.data() + r * config_.hidden;
+            for (std::size_t d = 0; d < config_.hidden; ++d) {
+                dxrow[d] += srow[d];
+            }
+        }
+    }
+
+    // Gate-weight gradients back to probabilities.
+    const float* pp = probs_.data();
+    float* pdp = dprobs.data();
+    for (std::size_t t = 0; t < T; ++t) {
+        const auto& sel = selected_[t];
+        if (config_.top_k == 1) {
+            pdp[t * N + sel[0]] += dgate[t][0];
+            continue;
+        }
+        double denom = 0.0;
+        for (auto e : sel) {
+            denom += pp[t * N + e];
+        }
+        denom = std::max(denom, 1e-12);
+        // g_i = p_i / S  =>  dp_i = sum_l dg_l (delta_il S - p_l) / S^2.
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+            double acc = 0.0;
+            for (std::size_t l = 0; l < sel.size(); ++l) {
+                const double delta = (i == l) ? denom : 0.0;
+                acc += static_cast<double>(dgate[t][l]) *
+                       (delta - pp[t * N + sel[l]]) / (denom * denom);
+            }
+            pdp[t * N + sel[i]] += static_cast<float>(acc);
+        }
+    }
+
+    // Auxiliary-loss gradient: d aux / d p[t, e] = coeff * N * f_e / T.
+    if (config_.aux_loss_coeff > 0.0F) {
+        const float scale = config_.aux_loss_coeff * static_cast<float>(N) /
+                            static_cast<float>(std::max<std::size_t>(1, T));
+        for (std::size_t t = 0; t < T; ++t) {
+            for (std::size_t e = 0; e < N; ++e) {
+                pdp[t * N + e] += scale * static_cast<float>(assign_frac_[e]);
+            }
+        }
+    }
+
+    Tensor dlogits = RowSoftmaxBackward(probs_, dprobs);
+    Axpy(dx, gate_.Backward(dlogits));
+    return dx;
+}
+
+void
+MoeLayer::CollectGateParams(std::vector<Parameter*>& out) {
+    gate_.CollectParams(out);
+}
+
+void
+MoeLayer::CollectExpertParams(std::size_t e, std::vector<Parameter*>& out) {
+    MOC_CHECK_ARG(e < experts_.size(), "expert index out of range");
+    experts_[e].CollectParams(out);
+}
+
+}  // namespace moc

@@ -1,0 +1,108 @@
+#ifndef MOC_NN_MOE_LAYER_H_
+#define MOC_NN_MOE_LAYER_H_
+
+/**
+ * @file
+ * The sparse Mixture-of-Experts layer (Section 2.1 of the paper):
+ * noisy top-k softmax gating over N expert FFNs with expert capacity.
+ *
+ * Besides the math, the layer exposes the routing statistics the MoC system
+ * needs: how many tokens each expert processed since each checkpoint event —
+ * the raw material of the PLT metric (Eq. 7) and of load-aware selection.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/ffn.h"
+#include "nn/linear.h"
+
+namespace moc {
+
+/** Hyperparameters of one MoE layer. */
+struct MoeLayerConfig {
+    std::size_t hidden = 64;
+    std::size_t inter = 256;
+    std::size_t num_experts = 8;
+    std::size_t top_k = 1;
+    /** Per-expert capacity = ceil(capacity_factor * T * top_k / N). */
+    double capacity_factor = 1.25;
+    /** Stddev of the Gaussian gating noise during training. */
+    float noise_std = 1e-2F;
+    /** Coefficient of the Switch-style load-balancing auxiliary loss. */
+    float aux_loss_coeff = 1e-2F;
+};
+
+/** Routing outcome of one forward pass. */
+struct RoutingStats {
+    /** Tokens actually processed per expert (after capacity drops). */
+    std::vector<std::size_t> tokens_per_expert;
+    /** Assignments dropped due to expert capacity. */
+    std::size_t dropped = 0;
+    /** Total token-to-expert assignments attempted (= tokens * top_k). */
+    std::size_t assignments = 0;
+};
+
+/**
+ * One sparse MoE layer: router linear + N expert FFNs.
+ */
+class MoeLayer {
+  public:
+    MoeLayer(std::string name, const MoeLayerConfig& config, Rng& rng, float init_std);
+
+    /**
+     * Forward over x[T, hidden].
+     * @param train enables gating noise and activation caching.
+     * @param rng source of gating noise (only read when @p train).
+     */
+    Tensor Forward(const Tensor& x, bool train, Rng& rng);
+
+    /** Backward; returns dx and accumulates router + expert grads. */
+    Tensor Backward(const Tensor& dy);
+
+    /** Load-balancing auxiliary loss value of the last Forward. */
+    double aux_loss() const { return aux_loss_; }
+
+    /** Routing statistics of the last Forward. */
+    const RoutingStats& last_stats() const { return stats_; }
+
+    const MoeLayerConfig& config() const { return config_; }
+    std::size_t num_experts() const { return config_.num_experts; }
+
+    Linear& gate() { return gate_; }
+    Ffn& expert(std::size_t e) { return experts_.at(e); }
+
+    /** Router parameters (part of the non-expert state). */
+    void CollectGateParams(std::vector<Parameter*>& out);
+
+    /** Parameters of expert @p e only (one PEC checkpointing unit). */
+    void CollectExpertParams(std::size_t e, std::vector<Parameter*>& out);
+
+  private:
+    MoeLayerConfig config_;
+    Linear gate_;
+    std::vector<Ffn> experts_;
+
+    // --- caches for backward ---
+    struct Assignment {
+        std::size_t token;
+        std::size_t expert;
+        std::size_t row;      ///< row in the expert's gathered batch
+        float gate_weight;
+    };
+    std::size_t tokens_ = 0;
+    Tensor probs_;                       ///< softmax over (noisy) logits, [T, N]
+    std::vector<Assignment> kept_;       ///< capacity-surviving assignments
+    std::vector<std::vector<std::size_t>> expert_tokens_;  ///< token idx per expert
+    std::vector<Tensor> expert_outputs_; ///< y_e per expert
+    /** Per-token selected expert set (for top-k renormalization backward). */
+    std::vector<std::vector<std::size_t>> selected_;
+    double aux_loss_ = 0.0;
+    std::vector<double> assign_frac_;    ///< f_e of the aux loss
+    RoutingStats stats_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_MOE_LAYER_H_

@@ -1,0 +1,32 @@
+#include "nn/parameter.h"
+
+namespace moc {
+
+Parameter::Parameter(std::string name, Tensor value)
+    : name_(std::move(name)),
+      value_(std::move(value)),
+      grad_(value_.shape()),
+      adam_m_(value_.shape()),
+      adam_v_(value_.shape()) {}
+
+std::size_t
+ParamGroup::TotalParams() const {
+    std::size_t total = 0;
+    for (const auto* p : params) {
+        total += p->size();
+    }
+    return total;
+}
+
+std::vector<Parameter*>
+ParamSource::AllParameters() {
+    std::vector<Parameter*> out;
+    for (auto& group : ParameterGroups()) {
+        for (auto* p : group.params) {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+}  // namespace moc

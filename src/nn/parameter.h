@@ -1,0 +1,98 @@
+#ifndef MOC_NN_PARAMETER_H_
+#define MOC_NN_PARAMETER_H_
+
+/**
+ * @file
+ * Learnable parameters and the grouping scheme that ties the training stack
+ * to the checkpoint engine.
+ *
+ * Every parameter carries its gradient and Adam moments so that "the state
+ * of a module" (what a checkpoint shard stores) is self-contained. Groups
+ * use the same keys as ModelStateInventory ("moe/0/expert/3", ...), so the
+ * checkpoint planners, the PEC selector, and the real model agree on units.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dist/inventory.h"
+#include "tensor/tensor.h"
+
+namespace moc {
+
+/**
+ * One learnable tensor with gradient and Adam optimizer moments.
+ */
+class Parameter {
+  public:
+    Parameter() = default;
+
+    /** Creates a parameter named @p name with value @p value. */
+    Parameter(std::string name, Tensor value);
+
+    const std::string& name() const { return name_; }
+
+    Tensor& value() { return value_; }
+    const Tensor& value() const { return value_; }
+
+    Tensor& grad() { return grad_; }
+    const Tensor& grad() const { return grad_; }
+
+    /** First Adam moment (m). */
+    Tensor& adam_m() { return adam_m_; }
+    const Tensor& adam_m() const { return adam_m_; }
+
+    /** Second Adam moment (v). */
+    Tensor& adam_v() { return adam_v_; }
+    const Tensor& adam_v() const { return adam_v_; }
+
+    /** Zeroes the gradient. */
+    void ZeroGrad() { grad_.Zero(); }
+
+    /** Freezing excludes the parameter from optimizer updates. */
+    bool frozen() const { return frozen_; }
+    void set_frozen(bool frozen) { frozen_ = frozen; }
+
+    std::size_t size() const { return value_.size(); }
+
+  private:
+    std::string name_;
+    Tensor value_;
+    Tensor grad_;
+    Tensor adam_m_;
+    Tensor adam_v_;
+    bool frozen_ = false;
+};
+
+/**
+ * A named set of parameters forming one checkpointing unit.
+ */
+struct ParamGroup {
+    /** Inventory-compatible key ("layer/0/attn", "moe/1/expert/2", ...). */
+    std::string key;
+    ModuleKind kind = ModuleKind::kNonExpert;
+    /** Index among MoE layers (experts and gates only). */
+    std::size_t moe_index = kNoIndex;
+    /** Expert id (expert groups only). */
+    ExpertId expert = kNoIndex;
+    std::vector<Parameter*> params;
+
+    /** Total parameter count of the group. */
+    std::size_t TotalParams() const;
+};
+
+/** Interface implemented by anything exposing checkpointable parameters. */
+class ParamSource {
+  public:
+    virtual ~ParamSource() = default;
+
+    /** All parameter groups, in a stable order. */
+    virtual std::vector<ParamGroup> ParameterGroups() = 0;
+
+    /** Flat list of all parameters (derived from the groups). */
+    std::vector<Parameter*> AllParameters();
+};
+
+}  // namespace moc
+
+#endif  // MOC_NN_PARAMETER_H_

@@ -1,0 +1,76 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+/** One bar: leading blanks, a filled span, trailing blanks. */
+std::string
+Bar(double start, double end, double total, std::size_t width) {
+    const auto clamp_pos = [&](double t) {
+        return static_cast<std::size_t>(
+            std::clamp(t / total, 0.0, 1.0) * static_cast<double>(width));
+    };
+    const std::size_t begin = clamp_pos(start);
+    const std::size_t finish = std::max(clamp_pos(end), begin);
+    std::string bar(width, ' ');
+    for (std::size_t i = begin; i < finish && i < width; ++i) {
+        bar[i] = '#';
+    }
+    // Always show at least one cell for nonzero spans.
+    if (end > start && finish == begin && begin < width) {
+        bar[begin] = '#';
+    }
+    return "|" + bar + "|";
+}
+
+}  // namespace
+
+std::string
+RenderIterationGantt(const MethodTiming& timing, std::size_t width) {
+    MOC_CHECK_ARG(width >= 10, "gantt width must be >= 10");
+    std::ostringstream os;
+    const bool blocking = timing.method == "Baseline";
+    // Horizon: the full iteration (plus background persist tail for async).
+    const double persist_start =
+        blocking ? timing.t_fb + timing.t_update + timing.t_snapshot
+                 : timing.t_snapshot;
+    const double total = std::max(timing.iteration, persist_start + timing.t_persist);
+
+    os << timing.method << " (iteration " << timing.iteration << " s, O_save "
+       << timing.o_save << " s)\n";
+    if (blocking) {
+        const double fb_end = timing.t_fb;
+        const double up_end = fb_end + timing.t_update;
+        const double snap_end = up_end + timing.t_snapshot;
+        const double persist_end = snap_end + timing.t_persist;
+        os << "  F&B      " << Bar(0.0, fb_end, total, width) << "\n";
+        os << "  Update   " << Bar(fb_end, up_end, total, width) << "\n";
+        os << "  Snapshot " << Bar(up_end, snap_end, total, width) << " (blocking)\n";
+        os << "  Persist  " << Bar(snap_end, persist_end, total, width)
+           << " (blocking)\n";
+    } else {
+        // Async: snapshot starts with the next iteration's F&B; any excess
+        // past the F&B window stalls the update.
+        const double fb_end = timing.t_fb;
+        const double snap_end = timing.t_snapshot;
+        const double update_start = std::max(fb_end, snap_end);
+        const double update_end = update_start + timing.t_update;
+        const double persist_end = snap_end + timing.t_persist;
+        os << "  F&B      " << Bar(0.0, fb_end, total, width) << "\n";
+        os << "  Snapshot " << Bar(0.0, snap_end, total, width)
+           << (timing.o_save > 0.0 ? " (stalls the update)" : " (fully overlapped)")
+           << "\n";
+        os << "  Update   " << Bar(update_start, update_end, total, width) << "\n";
+        os << "  Persist  " << Bar(snap_end, persist_end, total, width)
+           << " (background)\n";
+    }
+    return os.str();
+}
+
+}  // namespace moc

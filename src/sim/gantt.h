@@ -1,0 +1,32 @@
+#ifndef MOC_SIM_GANTT_H_
+#define MOC_SIM_GANTT_H_
+
+/**
+ * @file
+ * ASCII timeline rendering of checkpointing iterations — the textual
+ * equivalent of the paper's Fig. 3 / Fig. 9 timelines, for harness output
+ * and quick eyeballing of overlap behaviour.
+ */
+
+#include <string>
+
+#include "sim/timeline.h"
+
+namespace moc {
+
+/**
+ * Renders one checkpointing iteration of @p timing as labelled bars,
+ * e.g. for an async method:
+ *
+ *   F&B      |██████████████        |
+ *   Update   |              █       |
+ *   Snapshot |██████████████████    |   (overlapped with next F&B)
+ *   Persist  |                  ████|   (background)
+ *
+ * @param width total characters of the bar area (>= 10).
+ */
+std::string RenderIterationGantt(const MethodTiming& timing, std::size_t width = 60);
+
+}  // namespace moc
+
+#endif  // MOC_SIM_GANTT_H_

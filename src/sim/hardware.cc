@@ -1,0 +1,31 @@
+#include "sim/hardware.h"
+
+namespace moc {
+
+GpuSpec
+A800() {
+    GpuSpec gpu;
+    gpu.name = "A800";
+    gpu.peak_flops = 312e12;
+    gpu.utilization = 0.20;
+    gpu.snapshot_bandwidth = 1.0e9;
+    gpu.hbm_bandwidth = 2.0e12;
+    gpu.nvlink_bandwidth = 200.0e9;
+    gpu.network_bandwidth = 25.0e9;
+    return gpu;
+}
+
+GpuSpec
+H100() {
+    GpuSpec gpu;
+    gpu.name = "H100";
+    gpu.peak_flops = 989e12;
+    gpu.utilization = 0.20;
+    gpu.snapshot_bandwidth = 2.0e9;
+    gpu.hbm_bandwidth = 3.35e12;
+    gpu.nvlink_bandwidth = 450.0e9;
+    gpu.network_bandwidth = 50.0e9;
+    return gpu;
+}
+
+}  // namespace moc

@@ -1,0 +1,45 @@
+#ifndef MOC_SIM_HARDWARE_H_
+#define MOC_SIM_HARDWARE_H_
+
+/**
+ * @file
+ * Hardware presets for the analytical performance simulator (the ASTRA-sim
+ * substitute of Section 6.2.4). The A800/H100 parameters follow the paper:
+ * 312/989 TFLOPS at 20% utilization, 1/2 GB/s GPU-to-CPU snapshot bandwidth.
+ */
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace moc {
+
+/** Performance-relevant characteristics of one GPU model. */
+struct GpuSpec {
+    std::string name;
+    /** Peak dense throughput, FLOP/s. */
+    double peak_flops = 312e12;
+    /** Achieved fraction of peak in end-to-end training. */
+    double utilization = 0.20;
+    /** GPU -> CPU (PCIe) snapshot bandwidth, bytes/s. */
+    double snapshot_bandwidth = 1.0 * kGiB;
+    /** HBM bandwidth, bytes/s (drives the optimizer-update time). */
+    double hbm_bandwidth = 2.0e12;
+    /** Intra-node link (NVLink) bandwidth per GPU, bytes/s. */
+    double nvlink_bandwidth = 200.0 * kGiB;
+    /** Inter-node network bandwidth per GPU, bytes/s. */
+    double network_bandwidth = 25.0 * kGiB;
+
+    /** Effective training throughput, FLOP/s. */
+    double EffectiveFlops() const { return peak_flops * utilization; }
+};
+
+/** A800-SXM4-80GB as configured in the paper's simulations. */
+GpuSpec A800();
+
+/** H100 as configured in the paper's simulations. */
+GpuSpec H100();
+
+}  // namespace moc
+
+#endif  // MOC_SIM_HARDWARE_H_

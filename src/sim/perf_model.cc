@@ -1,0 +1,168 @@
+#include "sim/perf_model.h"
+
+#include <memory>
+
+#include "core/pec.h"
+#include "core/selection.h"
+#include "util/logging.h"
+
+namespace moc {
+
+PerfModel::PerfModel(const TrainingSetup& setup)
+    : setup_(setup),
+      topology_(setup.parallel, setup.gpus_per_node),
+      inventory_(setup.model, setup.bytes) {
+    MOC_CHECK_ARG(setup.batch_per_gpu >= 1 && setup.seq_len >= 1,
+                  "batch and sequence length must be >= 1");
+    MOC_CHECK_ARG(setup.model.num_experts % setup.parallel.ep == 0,
+                  "ep must divide the number of experts");
+}
+
+Seconds
+PerfModel::ComputeTime() const {
+    const ModelSpec& m = setup_.model;
+    const double tokens =
+        static_cast<double>(setup_.batch_per_gpu) * static_cast<double>(setup_.seq_len);
+    // Active parameters per token: non-expert parts plus top_k experts per
+    // MoE layer (the sparsity of the MoE forward/backward).
+    const double p_active =
+        static_cast<double>(m.NonExpertParams()) +
+        static_cast<double>(m.NumMoeLayers()) *
+            static_cast<double>(std::min(m.top_k, m.num_experts)) *
+            static_cast<double>(m.FfnParams());
+    // 6 FLOPs per active parameter per token (fwd 2x + bwd 4x), plus the
+    // attention score/context term: ~12 * L * h * s per token.
+    const double flops_per_token =
+        6.0 * p_active + 12.0 * static_cast<double>(m.num_layers) *
+                             static_cast<double>(m.hidden) *
+                             static_cast<double>(setup_.seq_len);
+    // Tensor parallelism splits each layer's math; pipeline parallelism
+    // splits the layers across stages.
+    const double per_gpu =
+        tokens * flops_per_token /
+        static_cast<double>(setup_.parallel.tp * setup_.parallel.pp);
+    return per_gpu / setup_.gpu.EffectiveFlops();
+}
+
+Seconds
+PerfModel::AllToAllTime() const {
+    const ModelSpec& m = setup_.model;
+    if (m.NumMoeLayers() == 0 || setup_.parallel.ep <= 1) {
+        return 0.0;
+    }
+    const double tokens =
+        static_cast<double>(setup_.batch_per_gpu) * static_cast<double>(setup_.seq_len);
+    // Dispatch + combine in forward, mirrored in backward: 4 all-to-alls per
+    // MoE layer, each moving the activations once; a fraction (ep-1)/ep
+    // actually crosses the wire.
+    const double bytes_per_a2a = tokens * static_cast<double>(m.hidden) * 2.0 *
+                                 static_cast<double>(setup_.parallel.ep - 1) /
+                                 static_cast<double>(setup_.parallel.ep);
+    // EP confined within a node rides NVLink; otherwise the network.
+    const std::size_t ep_span_gpus = setup_.parallel.ep * setup_.parallel.tp;
+    const bool intra_node = ep_span_gpus <= setup_.gpus_per_node;
+    const double bw = intra_node ? setup_.gpu.nvlink_bandwidth
+                                 : setup_.gpu.network_bandwidth;
+    // Per-peer message overhead: at large EP degrees the all-to-all becomes
+    // latency-bound (each GPU exchanges one small message with every peer),
+    // which is what makes F&B grow with scale in Fig. 13.
+    const double per_message = intra_node ? 2e-6 : 25e-6;
+    const double latency =
+        per_message * static_cast<double>(setup_.parallel.ep - 1);
+    return static_cast<double>(m.NumMoeLayers()) * 4.0 *
+           (bytes_per_a2a / bw + latency);
+}
+
+Seconds
+PerfModel::GradSyncTime() const {
+    const ModelSpec& m = setup_.model;
+    if (setup_.parallel.dp <= 1) {
+        return 0.0;
+    }
+    // ZeRO-2 reduce-scatter of bf16 gradients: non-expert grads across all
+    // DP ranks, expert grads across the EP-group replicas.
+    const double groups = static_cast<double>(topology_.NumEpGroups());
+    const double dp = static_cast<double>(setup_.parallel.dp);
+    const double ne_bytes = static_cast<double>(m.NonExpertParams()) * 2.0 *
+                            (dp - 1.0) / dp;
+    const double local_expert_params =
+        static_cast<double>(m.ExpertParams()) / static_cast<double>(setup_.parallel.ep);
+    const double e_bytes =
+        groups > 1.0 ? local_expert_params * 2.0 * (groups - 1.0) / groups : 0.0;
+    const bool intra_node =
+        setup_.parallel.dp * setup_.parallel.tp <= setup_.gpus_per_node;
+    const double bw = intra_node ? setup_.gpu.nvlink_bandwidth
+                                 : setup_.gpu.network_bandwidth;
+    // Ring reduce-scatter latency: one step per participant.
+    const double per_step = intra_node ? 1e-6 : 10e-6;
+    return (ne_bytes + e_bytes) / bw + per_step * (dp - 1.0);
+}
+
+Seconds
+PerfModel::FbTime() const {
+    // Pipeline parallelism adds the classic bubble: with p stages and m
+    // micro-batches, (p - 1) of (m + p - 1) slots are idle.
+    const double p = static_cast<double>(setup_.parallel.pp);
+    const double m = static_cast<double>(std::max<std::size_t>(1, setup_.microbatches));
+    const double bubble = p > 1.0 ? (m + p - 1.0) / m : 1.0;
+    return (ComputeTime() + AllToAllTime()) * bubble + GradSyncTime();
+}
+
+Seconds
+PerfModel::UpdateTime() const {
+    const ModelSpec& m = setup_.model;
+    // Each rank updates its ZeRO-2 optimizer partition; memory-bound:
+    // read weights+optimizer, write back.
+    const double groups = static_cast<double>(topology_.NumEpGroups());
+    const double local_params =
+        static_cast<double>(m.NonExpertParams()) / static_cast<double>(setup_.parallel.dp) +
+        static_cast<double>(m.ExpertParams()) /
+            static_cast<double>(setup_.parallel.ep) / groups;
+    const double bytes_touched =
+        local_params * 2.0 * static_cast<double>(setup_.bytes.weight + setup_.bytes.optim);
+    return bytes_touched / setup_.gpu.hbm_bandwidth;
+}
+
+ShardPlan
+PerfModel::PlanFor(std::size_t k, bool fully_sharded) const {
+    ShardingOptions options;
+    options.equal_expert = fully_sharded;
+    options.equal_nonexpert = fully_sharded;
+    options.adaptive_nonexpert = fully_sharded;
+    ShardingPlanner planner(inventory_, topology_, options);
+    if (k >= setup_.model.num_experts) {
+        return planner.PlanFull();
+    }
+    SequentialSelector selector(setup_.model.num_experts);
+    std::vector<std::vector<ExpertId>> sel(setup_.model.NumMoeLayers());
+    for (std::size_t m = 0; m < sel.size(); ++m) {
+        sel[m] = selector.Select(/*ckpt_index=*/0, m, k);
+    }
+    return planner.Plan(sel, sel);
+}
+
+Bytes
+PerfModel::CheckpointBytesPerRank(std::size_t k, bool fully_sharded) const {
+    return PlanFor(k, fully_sharded).BottleneckBytes();
+}
+
+Seconds
+PerfModel::SnapshotTime(std::size_t k, bool fully_sharded) const {
+    return static_cast<double>(CheckpointBytesPerRank(k, fully_sharded)) /
+           setup_.gpu.snapshot_bandwidth;
+}
+
+Seconds
+PerfModel::PersistTime(std::size_t k, bool fully_sharded) const {
+    return static_cast<double>(CheckpointBytesPerRank(k, fully_sharded)) /
+           setup_.persist_bandwidth;
+}
+
+Bytes
+PerfModel::PersistFileBytes(std::size_t k) const {
+    // Total durable volume per checkpoint: sharding does not change the sum,
+    // PEC does.
+    return PlanFor(k, /*fully_sharded=*/true).TotalBytes();
+}
+
+}  // namespace moc

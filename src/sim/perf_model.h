@@ -1,0 +1,93 @@
+#ifndef MOC_SIM_PERF_MODEL_H_
+#define MOC_SIM_PERF_MODEL_H_
+
+/**
+ * @file
+ * The analytical iteration/checkpoint cost model (ASTRA-sim substitute).
+ *
+ * Computes, for a hybrid ZeRO-2 DP + EP (+TP) deployment of an MoE model:
+ *  - T_F&B: compute (roofline) + MoE all-to-all + gradient all-reduce;
+ *  - T_update: memory-bound optimizer update over the local partition;
+ *  - per-rank snapshot/persist payloads for any PEC K under baseline or
+ *    fully sharded plans (delegating to the core ShardingPlanner);
+ *  - total persisted file size per checkpoint (Fig. 13f).
+ */
+
+#include "core/sharding.h"
+#include "dist/inventory.h"
+#include "dist/model_spec.h"
+#include "dist/topology.h"
+#include "sim/hardware.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/** One simulated training deployment. */
+struct TrainingSetup {
+    ModelSpec model;
+    ParallelConfig parallel;
+    std::size_t gpus_per_node = 8;
+    GpuSpec gpu;
+    /** Micro-batch per GPU, sequences. */
+    std::size_t batch_per_gpu = 2;
+    std::size_t seq_len = 2048;
+    /** Micro-batches in flight per iteration (pipeline-parallel schedules). */
+    std::size_t microbatches = 8;
+    StateBytes bytes;
+    /** CPU -> distributed-storage bandwidth per rank, bytes/s. */
+    double persist_bandwidth = 0.5e9;
+};
+
+/**
+ * Deterministic analytical model of one deployment.
+ */
+class PerfModel {
+  public:
+    explicit PerfModel(const TrainingSetup& setup);
+
+    /** Forward + backward duration, communication included. */
+    Seconds FbTime() const;
+
+    /** Weight-update duration (memory-bound over the ZeRO-2 partition). */
+    Seconds UpdateTime() const;
+
+    /** Full iteration without checkpointing. */
+    Seconds IterTime() const { return FbTime() + UpdateTime(); }
+
+    /**
+     * Bottleneck-rank payload of one checkpoint's snapshot/persist phase.
+     * @param k experts saved per MoE layer (N for full checkpointing).
+     * @param fully_sharded use EE+EN+AN plans rather than the baseline.
+     */
+    Bytes CheckpointBytesPerRank(std::size_t k, bool fully_sharded) const;
+
+    /** Snapshot duration of the bottleneck rank. */
+    Seconds SnapshotTime(std::size_t k, bool fully_sharded) const;
+
+    /** Persist duration of the bottleneck rank. */
+    Seconds PersistTime(std::size_t k, bool fully_sharded) const;
+
+    /** Total bytes one checkpoint writes to the cluster filesystem. */
+    Bytes PersistFileBytes(std::size_t k) const;
+
+    const TrainingSetup& setup() const { return setup_; }
+    const ModelStateInventory& inventory() const { return inventory_; }
+    const RankTopology& topology() const { return topology_; }
+
+    // --- exposed components (for breakdown tables) ---
+    Seconds ComputeTime() const;
+    Seconds AllToAllTime() const;
+    Seconds GradSyncTime() const;
+
+  private:
+    /** Shard plan for a K-expert PEC event under the given strategy. */
+    ShardPlan PlanFor(std::size_t k, bool fully_sharded) const;
+
+    TrainingSetup setup_;
+    RankTopology topology_;
+    ModelStateInventory inventory_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_SIM_PERF_MODEL_H_

@@ -1,0 +1,68 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/overhead.h"
+#include "util/logging.h"
+
+namespace moc {
+
+MethodTiming
+SimulateMethod(const PerfModel& model, CkptMethod method, std::size_t k_moc) {
+    MethodTiming out;
+    out.t_fb = model.FbTime();
+    out.t_update = model.UpdateTime();
+    const std::size_t n = model.setup().model.num_experts;
+    const Seconds normal_iter = out.t_fb + out.t_update;
+
+    switch (method) {
+        case CkptMethod::kBaseline: {
+            out.method = "Baseline";
+            // Blocking: both phases stall training; baseline sharding means
+            // the bottleneck rank carries the unbalanced payload.
+            out.t_snapshot = model.SnapshotTime(n, /*fully_sharded=*/false);
+            out.t_persist = model.PersistTime(n, /*fully_sharded=*/false);
+            out.o_save = out.t_snapshot + out.t_persist;
+            out.iteration = normal_iter + out.o_save;
+            out.overlap = 0.0;
+            out.i_ckpt_min = 1.0;
+            break;
+        }
+        case CkptMethod::kBaseAsync: {
+            out.method = "Base-Async";
+            // Asynchronous but full-size, baseline sharding: the snapshot
+            // overlaps the next F&B; any excess stalls the weight update.
+            out.t_snapshot = model.SnapshotTime(n, /*fully_sharded=*/false);
+            out.t_persist = model.PersistTime(n, /*fully_sharded=*/false);
+            out.o_save = SnapshotStall(out.t_snapshot, out.t_fb);
+            out.overlap = std::min(out.t_snapshot, out.t_fb);
+            out.iteration = normal_iter + out.o_save;
+            out.i_ckpt_min =
+                std::max(1.0, std::ceil(out.t_persist / normal_iter));
+            break;
+        }
+        case CkptMethod::kMocAsync: {
+            out.method = "MoC-Async";
+            MOC_CHECK_ARG(k_moc >= 1 && k_moc <= n, "k_moc must be in [1, N]");
+            out.t_snapshot = model.SnapshotTime(k_moc, /*fully_sharded=*/true);
+            out.t_persist = model.PersistTime(k_moc, /*fully_sharded=*/true);
+            out.o_save = SnapshotStall(out.t_snapshot, out.t_fb);
+            out.overlap = std::min(out.t_snapshot, out.t_fb);
+            out.iteration = normal_iter + out.o_save;
+            out.i_ckpt_min =
+                std::max(1.0, std::ceil(out.t_persist / normal_iter));
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<MethodTiming>
+SimulateAllMethods(const PerfModel& model, std::size_t k_moc) {
+    return {SimulateMethod(model, CkptMethod::kBaseline, k_moc),
+            SimulateMethod(model, CkptMethod::kBaseAsync, k_moc),
+            SimulateMethod(model, CkptMethod::kMocAsync, k_moc)};
+}
+
+}  // namespace moc

@@ -1,0 +1,51 @@
+#ifndef MOC_SIM_TIMELINE_H_
+#define MOC_SIM_TIMELINE_H_
+
+/**
+ * @file
+ * Iteration timelines under the three checkpointing methods compared in
+ * Figures 12 and 13: blocking baseline, Base-Async (asynchronous but
+ * unsharded/full), and MoC-Async (asynchronous + PEC + fully sharded).
+ */
+
+#include <string>
+
+#include "sim/perf_model.h"
+
+namespace moc {
+
+/** The three methods of Fig. 12. */
+enum class CkptMethod { kBaseline, kBaseAsync, kMocAsync };
+
+/** Timing breakdown of one checkpointing iteration. */
+struct MethodTiming {
+    std::string method;
+    Seconds t_fb = 0.0;
+    Seconds t_update = 0.0;
+    Seconds t_snapshot = 0.0;
+    Seconds t_persist = 0.0;
+    /** Duration of a training iteration that performs a checkpoint. */
+    Seconds iteration = 0.0;
+    /** Overhead beyond F&B + update (O_save). */
+    Seconds o_save = 0.0;
+    /** Snapshot time hidden under the next F&B. */
+    Seconds overlap = 0.0;
+    /** Minimum checkpoint interval so persist never backlogs (iterations). */
+    double i_ckpt_min = 1.0;
+};
+
+/**
+ * Simulates one checkpointing iteration.
+ * @param k_moc experts per layer MoC-Async saves (ignored by other methods,
+ *        which always save all experts).
+ */
+MethodTiming SimulateMethod(const PerfModel& model, CkptMethod method,
+                            std::size_t k_moc);
+
+/** Convenience: all three methods. */
+std::vector<MethodTiming> SimulateAllMethods(const PerfModel& model,
+                                             std::size_t k_moc);
+
+}  // namespace moc
+
+#endif  // MOC_SIM_TIMELINE_H_

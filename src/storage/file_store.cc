@@ -1,0 +1,166 @@
+#include "storage/file_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace moc {
+
+namespace {
+
+constexpr char kFileSuffix[] = ".blob";
+constexpr std::size_t kTrailerSize = sizeof(std::uint32_t);
+
+void
+ValidateKey(const std::string& key) {
+    MOC_CHECK_ARG(!key.empty(), "empty store key");
+    MOC_CHECK_ARG(key.front() != '/' && key.back() != '/',
+                  "key must not start or end with '/': " << key);
+    std::size_t start = 0;
+    while (start <= key.size()) {
+        const std::size_t end = key.find('/', start);
+        const std::string segment =
+            key.substr(start, end == std::string::npos ? std::string::npos
+                                                       : end - start);
+        MOC_CHECK_ARG(!segment.empty(), "empty path segment in key: " << key);
+        MOC_CHECK_ARG(segment != "." && segment != "..",
+                      "key may not contain dot segments: " << key);
+        if (end == std::string::npos) {
+            break;
+        }
+        start = end + 1;
+    }
+}
+
+}  // namespace
+
+FileStore::FileStore(fs::path root) : root_(std::move(root)) {
+    if (fs::exists(root_)) {
+        MOC_CHECK_ARG(fs::is_directory(root_),
+                      "FileStore root is not a directory: " << root_.string());
+    } else {
+        fs::create_directories(root_);
+    }
+}
+
+fs::path
+FileStore::PathFor(const std::string& key) const {
+    ValidateKey(key);
+    return root_ / (key + kFileSuffix);
+}
+
+void
+FileStore::Put(const std::string& key, Blob blob) {
+    const fs::path path = PathFor(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    fs::create_directories(path.parent_path());
+    const fs::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("FileStore: cannot open " + tmp.string());
+        }
+        out.write(reinterpret_cast<const char*>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        const std::uint32_t crc = Crc32(blob.data(), blob.size());
+        out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+        if (!out) {
+            throw std::runtime_error("FileStore: write failed for " + tmp.string());
+        }
+    }
+    fs::rename(tmp, path);  // atomic replace on POSIX
+}
+
+std::optional<Blob>
+FileStore::Get(const std::string& key) const {
+    const fs::path path = PathFor(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        return std::nullopt;
+    }
+    const auto total = static_cast<std::size_t>(in.tellg());
+    if (total < kTrailerSize) {
+        throw std::runtime_error("FileStore: truncated blob file " + path.string());
+    }
+    Blob blob(total - kTrailerSize);
+    std::uint32_t stored_crc = 0;
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    if (!in) {
+        throw std::runtime_error("FileStore: read failed for " + path.string());
+    }
+    if (Crc32(blob.data(), blob.size()) != stored_crc) {
+        throw std::runtime_error("FileStore: CRC mismatch (torn write?) in " +
+                                 path.string());
+    }
+    return blob;
+}
+
+bool
+FileStore::Contains(const std::string& key) const {
+    const fs::path path = PathFor(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    return fs::exists(path);
+}
+
+void
+FileStore::Erase(const std::string& key) {
+    const fs::path path = PathFor(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+std::vector<std::string>
+FileStore::Keys() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    if (!fs::exists(root_)) {
+        return keys;
+    }
+    const std::string suffix = kFileSuffix;
+    for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+        if (!entry.is_regular_file()) {
+            continue;
+        }
+        std::string rel = fs::relative(entry.path(), root_).generic_string();
+        if (rel.size() > suffix.size() &&
+            rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0) {
+            keys.push_back(rel.substr(0, rel.size() - suffix.size()));
+        }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+Bytes
+FileStore::TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Bytes total = 0;
+    if (!fs::exists(root_)) {
+        return total;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+        if (entry.is_regular_file()) {
+            const auto size = entry.file_size();
+            total += size >= kTrailerSize ? size - kTrailerSize : 0;
+        }
+    }
+    return total;
+}
+
+std::size_t
+FileStore::Count() const {
+    return Keys().size();
+}
+
+}  // namespace moc

@@ -1,0 +1,56 @@
+#ifndef MOC_STORAGE_FILE_STORE_H_
+#define MOC_STORAGE_FILE_STORE_H_
+
+/**
+ * @file
+ * A real on-disk persistent store: the production counterpart of the
+ * simulated PersistentStore. Each key maps to one file under a root
+ * directory ("/" in keys becomes a subdirectory), written atomically
+ * (temp file + rename) with a CRC32 trailer so torn writes are detected on
+ * read. Useful when the library is embedded in an actual training job
+ * rather than an experiment harness.
+ */
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "storage/object_store.h"
+
+namespace moc {
+
+/**
+ * Durable file-backed key-value store.
+ *
+ * Keys must be non-empty, use '/' as the only separator, and contain no
+ * "." or ".." segments (validated on every call).
+ */
+class FileStore final : public ObjectStore {
+  public:
+    /**
+     * Opens (creating if needed) the store rooted at @p root.
+     * @throws std::invalid_argument if @p root exists and is not a directory.
+     */
+    explicit FileStore(std::filesystem::path root);
+
+    void Put(const std::string& key, Blob blob) override;
+    std::optional<Blob> Get(const std::string& key) const override;
+    bool Contains(const std::string& key) const override;
+    void Erase(const std::string& key) override;
+    std::vector<std::string> Keys() const override;
+    Bytes TotalBytes() const override;
+    std::size_t Count() const override;
+
+    const std::filesystem::path& root() const { return root_; }
+
+  private:
+    /** Validates @p key and returns its on-disk path. */
+    std::filesystem::path PathFor(const std::string& key) const;
+
+    std::filesystem::path root_;
+    mutable std::mutex mu_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_STORAGE_FILE_STORE_H_

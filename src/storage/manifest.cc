@@ -1,0 +1,94 @@
+#include "storage/manifest.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+void
+CheckpointManifest::RecordSave(StoreLevel level, const std::string& key,
+                               std::size_t iteration, NodeId node, Bytes bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level == StoreLevel::kMemory) {
+        auto& replicas = memory_[key];
+        auto it = replicas.find(node);
+        if (it != replicas.end() && it->second.iteration > iteration) {
+            MOC_PANIC("manifest: non-monotonic memory save for key " << key);
+        }
+        replicas[node] = KeyVersion{iteration, node, bytes};
+        return;
+    }
+    auto it = persist_.find(key);
+    if (it != persist_.end() && it->second.iteration > iteration) {
+        MOC_PANIC("manifest: non-monotonic persist save for key " << key);
+    }
+    persist_[key] = KeyVersion{iteration, 0, bytes};
+}
+
+std::optional<KeyVersion>
+CheckpointManifest::Latest(StoreLevel level, const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level == StoreLevel::kMemory) {
+        auto it = memory_.find(key);
+        if (it == memory_.end() || it->second.empty()) {
+            return std::nullopt;
+        }
+        const KeyVersion* best = nullptr;
+        for (const auto& [node, version] : it->second) {
+            if (best == nullptr || version.iteration > best->iteration) {
+                best = &version;
+            }
+        }
+        return *best;
+    }
+    auto it = persist_.find(key);
+    if (it == persist_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void
+CheckpointManifest::DropNodeMemory(NodeId node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = memory_.begin(); it != memory_.end();) {
+        it->second.erase(node);
+        if (it->second.empty()) {
+            it = memory_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::vector<std::string>
+CheckpointManifest::KeysAt(StoreLevel level) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    if (level == StoreLevel::kMemory) {
+        keys.reserve(memory_.size());
+        for (const auto& [key, replicas] : memory_) {
+            keys.push_back(key);
+        }
+    } else {
+        keys.reserve(persist_.size());
+        for (const auto& [key, version] : persist_) {
+            keys.push_back(key);
+        }
+    }
+    return keys;
+}
+
+void
+CheckpointManifest::MarkCheckpointComplete(StoreLevel level, std::size_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = level == StoreLevel::kMemory ? memory_complete_ : persist_complete_;
+    slot = iteration;
+}
+
+std::optional<std::size_t>
+CheckpointManifest::LastCompleteIteration(StoreLevel level) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return level == StoreLevel::kMemory ? memory_complete_ : persist_complete_;
+}
+
+}  // namespace moc

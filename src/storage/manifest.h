@@ -1,0 +1,79 @@
+#ifndef MOC_STORAGE_MANIFEST_H_
+#define MOC_STORAGE_MANIFEST_H_
+
+/**
+ * @file
+ * The checkpoint manifest: for every checkpointing unit key, the saved
+ * versions at each level of the hierarchy (in-memory snapshot vs persistent
+ * storage), with their iterations and owning nodes.
+ *
+ * The memory level keeps one version per holding node — an expert's
+ * snapshot is replicated on the owner rank of every EP group — so that node
+ * failures invalidate exactly the replicas that died. This metadata makes
+ * PEC recovery well-defined: on a fault, the recovery planner consults the
+ * manifest to find, per key, the newest version still reachable
+ * (Section 5.1 "Recovery").
+ */
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/topology.h"
+#include "util/bytes.h"
+
+namespace moc {
+
+/** The two levels of the checkpoint hierarchy. */
+enum class StoreLevel { kMemory, kPersist };
+
+/** One saved version of one key. */
+struct KeyVersion {
+    /** Training iteration whose state this version captures. */
+    std::size_t iteration = 0;
+    /** Node whose memory holds it (memory level; 0 for persist). */
+    NodeId node = 0;
+    Bytes bytes = 0;
+};
+
+/**
+ * Thread-safe manifest over both checkpoint levels.
+ */
+class CheckpointManifest {
+  public:
+    /** Records that @p key was saved at @p level capturing @p iteration. */
+    void RecordSave(StoreLevel level, const std::string& key, std::size_t iteration,
+                    NodeId node, Bytes bytes);
+
+    /**
+     * Freshest reachable version of @p key at @p level, if any. At the
+     * memory level this is the newest among surviving node replicas.
+     */
+    std::optional<KeyVersion> Latest(StoreLevel level, const std::string& key) const;
+
+    /** Invalidates all memory-level versions held by @p node (node crash). */
+    void DropNodeMemory(NodeId node);
+
+    /** All keys present at @p level, sorted. */
+    std::vector<std::string> KeysAt(StoreLevel level) const;
+
+    /** Marks checkpoint @p iteration complete at @p level. */
+    void MarkCheckpointComplete(StoreLevel level, std::size_t iteration);
+
+    /** Latest fully completed checkpoint iteration at @p level (or nullopt). */
+    std::optional<std::size_t> LastCompleteIteration(StoreLevel level) const;
+
+  private:
+    mutable std::mutex mu_;
+    /** memory_[key][node] = that node's replica. */
+    std::map<std::string, std::map<NodeId, KeyVersion>> memory_;
+    std::map<std::string, KeyVersion> persist_;
+    std::optional<std::size_t> memory_complete_;
+    std::optional<std::size_t> persist_complete_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_STORAGE_MANIFEST_H_

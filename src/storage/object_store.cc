@@ -1,0 +1,3 @@
+#include "storage/object_store.h"
+
+// Interface-only translation unit: anchors the vtable.

@@ -1,0 +1,54 @@
+#ifndef MOC_STORAGE_OBJECT_STORE_H_
+#define MOC_STORAGE_OBJECT_STORE_H_
+
+/**
+ * @file
+ * The key-value object-store interface underlying both checkpoint levels
+ * (Section 5.1: "we utilize key-value pairs for efficient retrieval from
+ * both memory and distributed storage").
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace moc {
+
+/** Raw byte blob. */
+using Blob = std::vector<std::uint8_t>;
+
+/**
+ * Abstract key-value blob store. Implementations are thread-safe: the
+ * asynchronous checkpoint agents write concurrently with readers.
+ */
+class ObjectStore {
+  public:
+    virtual ~ObjectStore() = default;
+
+    /** Stores (overwrites) @p key. */
+    virtual void Put(const std::string& key, Blob blob) = 0;
+
+    /** Retrieves @p key, or nullopt if absent. */
+    virtual std::optional<Blob> Get(const std::string& key) const = 0;
+
+    virtual bool Contains(const std::string& key) const = 0;
+
+    /** Removes @p key (no-op if absent). */
+    virtual void Erase(const std::string& key) = 0;
+
+    /** All keys, sorted. */
+    virtual std::vector<std::string> Keys() const = 0;
+
+    /** Total stored payload bytes. */
+    virtual Bytes TotalBytes() const = 0;
+
+    /** Number of stored keys. */
+    virtual std::size_t Count() const = 0;
+};
+
+}  // namespace moc
+
+#endif  // MOC_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,92 @@
+#include "storage/persistent_store.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+PersistentStore::PersistentStore(const StorageIoModel& io) : io_(io) {
+    MOC_CHECK_ARG(io.write_bandwidth > 0.0 && io.read_bandwidth > 0.0,
+                  "storage bandwidths must be > 0");
+}
+
+void
+PersistentStore::Put(const std::string& key, Blob blob) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += blob.size();
+    auto it = data_.find(key);
+    if (it != data_.end()) {
+        total_bytes_ -= it->second.size();
+        it->second = std::move(blob);
+        total_bytes_ += it->second.size();
+        return;
+    }
+    total_bytes_ += blob.size();
+    data_.emplace(key, std::move(blob));
+}
+
+std::optional<Blob>
+PersistentStore::Get(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+bool
+PersistentStore::Contains(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.count(key) > 0;
+}
+
+void
+PersistentStore::Erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (it != data_.end()) {
+        total_bytes_ -= it->second.size();
+        data_.erase(it);
+    }
+}
+
+std::vector<std::string>
+PersistentStore::Keys() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    keys.reserve(data_.size());
+    for (const auto& [key, blob] : data_) {
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+Bytes
+PersistentStore::TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+}
+
+std::size_t
+PersistentStore::Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size();
+}
+
+Seconds
+PersistentStore::WriteTime(Bytes bytes) const {
+    return io_.latency + static_cast<double>(bytes) / io_.write_bandwidth;
+}
+
+Seconds
+PersistentStore::ReadTime(Bytes bytes) const {
+    return io_.latency + static_cast<double>(bytes) / io_.read_bandwidth;
+}
+
+Bytes
+PersistentStore::BytesWritten() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+}
+
+}  // namespace moc

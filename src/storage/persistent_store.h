@@ -1,0 +1,66 @@
+#ifndef MOC_STORAGE_PERSISTENT_STORE_H_
+#define MOC_STORAGE_PERSISTENT_STORE_H_
+
+/**
+ * @file
+ * The simulated distributed persistent filesystem: the "persist" level of
+ * the checkpoint hierarchy. Durable across node failures; writes and reads
+ * are costed by a bandwidth/latency model so timing experiments can charge
+ * realistic persist durations.
+ */
+
+#include <map>
+#include <mutex>
+
+#include "storage/object_store.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/** I/O cost model of the distributed filesystem. */
+struct StorageIoModel {
+    /** Aggregate write bandwidth available to one rank, bytes/s. */
+    double write_bandwidth = 500.0 * 1024 * 1024;
+    /** Read bandwidth per rank, bytes/s. */
+    double read_bandwidth = 1.0 * 1024 * 1024 * 1024;
+    /** Per-operation latency, seconds. */
+    double latency = 2e-3;
+};
+
+/**
+ * Durable key-value store shared by all nodes.
+ */
+class PersistentStore final : public ObjectStore {
+  public:
+    explicit PersistentStore(const StorageIoModel& io = StorageIoModel{});
+
+    void Put(const std::string& key, Blob blob) override;
+    std::optional<Blob> Get(const std::string& key) const override;
+    bool Contains(const std::string& key) const override;
+    void Erase(const std::string& key) override;
+    std::vector<std::string> Keys() const override;
+    Bytes TotalBytes() const override;
+    std::size_t Count() const override;
+
+    /** Time one rank needs to write @p bytes. */
+    Seconds WriteTime(Bytes bytes) const;
+
+    /** Time one rank needs to read @p bytes. */
+    Seconds ReadTime(Bytes bytes) const;
+
+    const StorageIoModel& io() const { return io_; }
+
+    /** Cumulative bytes ever written (for Fig. 13f-style accounting). */
+    Bytes BytesWritten() const;
+
+  private:
+    StorageIoModel io_;
+    mutable std::mutex mu_;
+    std::map<std::string, Blob> data_;
+    Bytes total_bytes_ = 0;
+    Bytes bytes_written_ = 0;
+};
+
+}  // namespace moc
+
+#endif  // MOC_STORAGE_PERSISTENT_STORE_H_

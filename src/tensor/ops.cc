@@ -1,0 +1,438 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+void
+CheckRank2(const Tensor& t, const char* what) {
+    MOC_CHECK_ARG(t.rank() == 2, what << " requires rank-2 tensors");
+}
+
+}  // namespace
+
+Tensor
+MatMul(const Tensor& a, const Tensor& b) {
+    CheckRank2(a, "MatMul");
+    CheckRank2(b, "MatMul");
+    const std::size_t m = a.dim(0);
+    const std::size_t k = a.dim(1);
+    const std::size_t n = b.dim(1);
+    MOC_CHECK_ARG(b.dim(0) == k, "MatMul: inner dimensions differ ("
+                                     << k << " vs " << b.dim(0) << ")");
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = pa[i * k + p];
+            if (av == 0.0F) {
+                continue;
+            }
+            const float* brow = pb + p * n;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Tensor
+MatMulTransA(const Tensor& a, const Tensor& b) {
+    CheckRank2(a, "MatMulTransA");
+    CheckRank2(b, "MatMulTransA");
+    const std::size_t k = a.dim(0);
+    const std::size_t m = a.dim(1);
+    const std::size_t n = b.dim(1);
+    MOC_CHECK_ARG(b.dim(0) == k, "MatMulTransA: leading dimensions differ");
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float* arow = pa + p * m;
+        const float* brow = pb + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0F) {
+                continue;
+            }
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Tensor
+MatMulTransB(const Tensor& a, const Tensor& b) {
+    CheckRank2(a, "MatMulTransB");
+    CheckRank2(b, "MatMulTransB");
+    const std::size_t m = a.dim(0);
+    const std::size_t n = a.dim(1);
+    const std::size_t k = b.dim(0);
+    MOC_CHECK_ARG(b.dim(1) == n, "MatMulTransB: trailing dimensions differ");
+    Tensor c({m, k});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * n;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float* brow = pb + p * n;
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                acc += static_cast<double>(arow[j]) * static_cast<double>(brow[j]);
+            }
+            pc[i * k + p] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+Add(const Tensor& a, const Tensor& b) {
+    MOC_CHECK_ARG(a.shape() == b.shape(), "Add: shape mismatch");
+    Tensor c = a;
+    float* pc = c.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        pc[i] += pb[i];
+    }
+    return c;
+}
+
+void
+Axpy(Tensor& a, const Tensor& b, float scale) {
+    MOC_CHECK_ARG(a.shape() == b.shape(), "Axpy: shape mismatch");
+    float* pa = a.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        pa[i] += scale * pb[i];
+    }
+}
+
+Tensor
+Mul(const Tensor& a, const Tensor& b) {
+    MOC_CHECK_ARG(a.shape() == b.shape(), "Mul: shape mismatch");
+    Tensor c = a;
+    float* pc = c.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        pc[i] *= pb[i];
+    }
+    return c;
+}
+
+Tensor
+Scale(const Tensor& a, float scale) {
+    Tensor c = a;
+    float* pc = c.data();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        pc[i] *= scale;
+    }
+    return c;
+}
+
+void
+AddRowBias(Tensor& x, const Tensor& bias) {
+    CheckRank2(x, "AddRowBias");
+    MOC_CHECK_ARG(bias.rank() == 1 && bias.dim(0) == x.dim(1),
+                  "AddRowBias: bias shape mismatch");
+    const std::size_t m = x.dim(0);
+    const std::size_t n = x.dim(1);
+    float* px = x.data();
+    const float* pb = bias.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            px[i * n + j] += pb[j];
+        }
+    }
+}
+
+Tensor
+SumRows(const Tensor& g) {
+    CheckRank2(g, "SumRows");
+    const std::size_t m = g.dim(0);
+    const std::size_t n = g.dim(1);
+    Tensor out({n});
+    const float* pg = g.data();
+    float* po = out.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            po[j] += pg[i * n + j];
+        }
+    }
+    return out;
+}
+
+Tensor
+RowSoftmax(const Tensor& x) {
+    CheckRank2(x, "RowSoftmax");
+    const std::size_t m = x.dim(0);
+    const std::size_t n = x.dim(1);
+    Tensor y({m, n});
+    const float* px = x.data();
+    float* py = y.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* row = px + i * n;
+        float mx = row[0];
+        for (std::size_t j = 1; j < n; ++j) {
+            mx = std::max(mx, row[j]);
+        }
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double e = std::exp(static_cast<double>(row[j] - mx));
+            py[i * n + j] = static_cast<float>(e);
+            sum += e;
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (std::size_t j = 0; j < n; ++j) {
+            py[i * n + j] *= inv;
+        }
+    }
+    return y;
+}
+
+Tensor
+RowSoftmaxBackward(const Tensor& y, const Tensor& dy) {
+    MOC_CHECK_ARG(y.shape() == dy.shape(), "RowSoftmaxBackward: shape mismatch");
+    CheckRank2(y, "RowSoftmaxBackward");
+    const std::size_t m = y.dim(0);
+    const std::size_t n = y.dim(1);
+    Tensor dx({m, n});
+    const float* py = y.data();
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            dot += static_cast<double>(pdy[i * n + j]) * static_cast<double>(py[i * n + j]);
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            pdx[i * n + j] = py[i * n + j] * (pdy[i * n + j] - static_cast<float>(dot));
+        }
+    }
+    return dx;
+}
+
+namespace {
+
+inline float
+GeluScalar(float x) {
+    constexpr float kC = 0.7978845608028654F;  // sqrt(2/pi)
+    const float inner = kC * (x + 0.044715F * x * x * x);
+    return 0.5F * x * (1.0F + std::tanh(inner));
+}
+
+inline float
+GeluGradScalar(float x) {
+    constexpr float kC = 0.7978845608028654F;
+    const float x3 = x * x * x;
+    const float inner = kC * (x + 0.044715F * x3);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0F - t * t;
+    return 0.5F * (1.0F + t) + 0.5F * x * sech2 * kC * (1.0F + 3.0F * 0.044715F * x * x);
+}
+
+}  // namespace
+
+Tensor
+Gelu(const Tensor& x) {
+    Tensor y = x;
+    float* py = y.data();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        py[i] = GeluScalar(py[i]);
+    }
+    return y;
+}
+
+Tensor
+GeluBackward(const Tensor& x, const Tensor& dy) {
+    MOC_CHECK_ARG(x.shape() == dy.shape(), "GeluBackward: shape mismatch");
+    Tensor dx = x;
+    float* pdx = dx.data();
+    const float* pdy = dy.data();
+    const float* px = x.data();
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        pdx[i] = GeluGradScalar(px[i]) * pdy[i];
+    }
+    return dx;
+}
+
+Tensor
+Relu(const Tensor& x) {
+    Tensor y = x;
+    float* py = y.data();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        py[i] = py[i] > 0.0F ? py[i] : 0.0F;
+    }
+    return y;
+}
+
+Tensor
+ReluBackward(const Tensor& x, const Tensor& dy) {
+    MOC_CHECK_ARG(x.shape() == dy.shape(), "ReluBackward: shape mismatch");
+    Tensor dx = dy;
+    float* pdx = dx.data();
+    const float* px = x.data();
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        if (px[i] <= 0.0F) {
+            pdx[i] = 0.0F;
+        }
+    }
+    return dx;
+}
+
+Tensor
+LayerNormForward(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                 std::vector<float>& mean, std::vector<float>& rstd, float eps) {
+    CheckRank2(x, "LayerNormForward");
+    const std::size_t m = x.dim(0);
+    const std::size_t n = x.dim(1);
+    MOC_CHECK_ARG(gain.rank() == 1 && gain.dim(0) == n, "LayerNorm: gain shape");
+    MOC_CHECK_ARG(bias.rank() == 1 && bias.dim(0) == n, "LayerNorm: bias shape");
+    mean.assign(m, 0.0F);
+    rstd.assign(m, 0.0F);
+    Tensor y({m, n});
+    const float* px = x.data();
+    const float* pg = gain.data();
+    const float* pb = bias.data();
+    float* py = y.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* row = px + i * n;
+        double mu = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            mu += row[j];
+        }
+        mu /= static_cast<double>(n);
+        double var = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double d = row[j] - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(n);
+        const float rs = static_cast<float>(1.0 / std::sqrt(var + eps));
+        mean[i] = static_cast<float>(mu);
+        rstd[i] = rs;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float norm = (row[j] - mean[i]) * rs;
+            py[i * n + j] = norm * pg[j] + pb[j];
+        }
+    }
+    return y;
+}
+
+Tensor
+LayerNormBackward(const Tensor& x, const Tensor& dy, const Tensor& gain,
+                  const std::vector<float>& mean, const std::vector<float>& rstd,
+                  Tensor& dgain, Tensor& dbias) {
+    CheckRank2(x, "LayerNormBackward");
+    MOC_CHECK_ARG(x.shape() == dy.shape(), "LayerNormBackward: shape mismatch");
+    const std::size_t m = x.dim(0);
+    const std::size_t n = x.dim(1);
+    MOC_ASSERT(mean.size() == m && rstd.size() == m, "LayerNormBackward: stale stats");
+    Tensor dx({m, n});
+    const float* px = x.data();
+    const float* pdy = dy.data();
+    const float* pg = gain.data();
+    float* pdx = dx.data();
+    float* pdg = dgain.data();
+    float* pdb = dbias.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float mu = mean[i];
+        const float rs = rstd[i];
+        double sum_dyg = 0.0;
+        double sum_dyg_xhat = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float xhat = (px[i * n + j] - mu) * rs;
+            const float dyg = pdy[i * n + j] * pg[j];
+            sum_dyg += dyg;
+            sum_dyg_xhat += static_cast<double>(dyg) * xhat;
+            pdg[j] += pdy[i * n + j] * xhat;
+            pdb[j] += pdy[i * n + j];
+        }
+        const float inv_n = 1.0F / static_cast<float>(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            const float xhat = (px[i * n + j] - mu) * rs;
+            const float dyg = pdy[i * n + j] * pg[j];
+            pdx[i * n + j] =
+                rs * (dyg - static_cast<float>(sum_dyg) * inv_n -
+                      xhat * static_cast<float>(sum_dyg_xhat) * inv_n);
+        }
+    }
+    return dx;
+}
+
+double
+CrossEntropy(const Tensor& logits, const std::vector<int>& targets, Tensor* dlogits) {
+    CheckRank2(logits, "CrossEntropy");
+    const std::size_t m = logits.dim(0);
+    const std::size_t n = logits.dim(1);
+    MOC_CHECK_ARG(targets.size() == m, "CrossEntropy: target count mismatch");
+    Tensor probs = RowSoftmax(logits);
+    const float* pp = probs.data();
+    double loss = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const int t = targets[i];
+        if (t == kIgnoreIndex) {
+            continue;
+        }
+        MOC_CHECK_ARG(t >= 0 && static_cast<std::size_t>(t) < n,
+                      "CrossEntropy: target out of range");
+        loss -= std::log(std::max(1e-12, static_cast<double>(pp[i * n + t])));
+        ++counted;
+    }
+    const double denom = counted ? static_cast<double>(counted) : 1.0;
+    if (dlogits != nullptr) {
+        *dlogits = probs;
+        float* pd = dlogits->data();
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t i = 0; i < m; ++i) {
+            const int t = targets[i];
+            if (t == kIgnoreIndex) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    pd[i * n + j] = 0.0F;
+                }
+                continue;
+            }
+            pd[i * n + static_cast<std::size_t>(t)] -= 1.0F;
+            for (std::size_t j = 0; j < n; ++j) {
+                pd[i * n + j] *= inv;
+            }
+        }
+    }
+    return loss / denom;
+}
+
+std::vector<int>
+RowArgmax(const Tensor& x) {
+    CheckRank2(x, "RowArgmax");
+    const std::size_t m = x.dim(0);
+    const std::size_t n = x.dim(1);
+    std::vector<int> out(m, 0);
+    const float* px = x.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* row = px + i * n;
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < n; ++j) {
+            if (row[j] > row[best]) {
+                best = j;
+            }
+        }
+        out[i] = static_cast<int>(best);
+    }
+    return out;
+}
+
+}  // namespace moc

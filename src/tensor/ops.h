@@ -1,0 +1,97 @@
+#ifndef MOC_TENSOR_OPS_H_
+#define MOC_TENSOR_OPS_H_
+
+/**
+ * @file
+ * Math kernels over Tensor: the exact set needed for transformer training
+ * (forward and the corresponding gradient products).
+ *
+ * All matrix kernels operate on rank-2 tensors; the nn layer handles batch
+ * flattening. Kernels are straightforward blocked loops — correctness and
+ * determinism over raw speed.
+ */
+
+#include "tensor/tensor.h"
+
+namespace moc {
+
+/** C = A[m,k] * B[k,n]. */
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/** C = A^T[k,m]^T... i.e. C[m,n] = A[k,m]^T * B[k,n]. Used for weight grads. */
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/** C[m,k] = A[m,n] * B[k,n]^T. Used for input grads. */
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/** out = a + b (same shape). */
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/** a += scale * b (same shape). */
+void Axpy(Tensor& a, const Tensor& b, float scale = 1.0F);
+
+/** out = a * b elementwise (same shape). */
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/** out = scale * a. */
+Tensor Scale(const Tensor& a, float scale);
+
+/** Adds bias[n] to every row of x[m,n] in place. */
+void AddRowBias(Tensor& x, const Tensor& bias);
+
+/** Sums rows of g[m,n] into a vector [n]; the bias gradient. */
+Tensor SumRows(const Tensor& g);
+
+/** Row-wise softmax of x[m,n]. */
+Tensor RowSoftmax(const Tensor& x);
+
+/**
+ * Gradient of row-wise softmax: given y = softmax(x) and upstream dy,
+ * returns dx where dx_i = y_i * (dy_i - sum_j dy_j y_j) per row.
+ */
+Tensor RowSoftmaxBackward(const Tensor& y, const Tensor& dy);
+
+/** GELU activation (tanh approximation), elementwise. */
+Tensor Gelu(const Tensor& x);
+
+/** dx = GeluBackward(x, dy): gradient through Gelu at pre-activation x. */
+Tensor GeluBackward(const Tensor& x, const Tensor& dy);
+
+/** ReLU activation, elementwise. */
+Tensor Relu(const Tensor& x);
+
+/** dx for ReLU at pre-activation x. */
+Tensor ReluBackward(const Tensor& x, const Tensor& dy);
+
+/**
+ * Layer normalization over the last dimension of x[m,n] with learnable
+ * gain/bias. Returns the normalized output; mean/rstd are written to the
+ * caller's buffers (size m) for the backward pass.
+ */
+Tensor LayerNormForward(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                        std::vector<float>& mean, std::vector<float>& rstd,
+                        float eps = 1e-5F);
+
+/**
+ * Backward of LayerNormForward. Accumulates parameter grads into
+ * @p dgain / @p dbias and returns dx.
+ */
+Tensor LayerNormBackward(const Tensor& x, const Tensor& dy, const Tensor& gain,
+                         const std::vector<float>& mean, const std::vector<float>& rstd,
+                         Tensor& dgain, Tensor& dbias);
+
+/**
+ * Cross-entropy over logits[m, vocab] with integer targets[m].
+ * Returns mean loss; writes dlogits (softmax - onehot)/m if non-null.
+ * Target value kIgnoreIndex is skipped.
+ */
+inline constexpr int kIgnoreIndex = -1;
+double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    Tensor* dlogits);
+
+/** Row-wise argmax of x[m,n] -> m indices. */
+std::vector<int> RowArgmax(const Tensor& x);
+
+}  // namespace moc
+
+#endif  // MOC_TENSOR_OPS_H_

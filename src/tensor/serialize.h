@@ -1,0 +1,34 @@
+#ifndef MOC_TENSOR_SERIALIZE_H_
+#define MOC_TENSOR_SERIALIZE_H_
+
+/**
+ * @file
+ * Tensor (de)serialization to byte blobs with CRC32 integrity, the wire
+ * format used by the checkpoint engine.
+ *
+ * Layout: [u32 magic][u32 rank][u64 dim...][f32 data...][u32 crc]
+ * where the crc covers everything before it.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace moc {
+
+/** Serializes @p t into a self-describing blob. */
+std::vector<std::uint8_t> SerializeTensor(const Tensor& t);
+
+/**
+ * Parses a blob produced by SerializeTensor.
+ * @throws std::runtime_error on truncation, bad magic, or CRC mismatch.
+ */
+Tensor DeserializeTensor(const std::vector<std::uint8_t>& blob);
+
+/** Size in bytes that SerializeTensor would produce for @p t. */
+std::size_t SerializedTensorSize(const Tensor& t);
+
+}  // namespace moc
+
+#endif  // MOC_TENSOR_SERIALIZE_H_

@@ -1,0 +1,177 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+std::size_t
+ShapeSize(const std::vector<std::size_t>& shape) {
+    std::size_t n = 1;
+    for (auto d : shape) {
+        n *= d;
+    }
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+    data_.assign(ShapeSize(shape_), 0.0F);
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor
+Tensor::FromVector(const std::vector<float>& values) {
+    Tensor t({values.size()});
+    t.data_ = values;
+    return t;
+}
+
+Tensor
+Tensor::FromValues(std::size_t rows, std::size_t cols, const std::vector<float>& values) {
+    MOC_CHECK_ARG(values.size() == rows * cols, "FromValues: size mismatch");
+    Tensor t({rows, cols});
+    t.data_ = values;
+    return t;
+}
+
+Tensor
+Tensor::Randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+        v = static_cast<float>(rng.Gaussian(0.0, stddev));
+    }
+    return t;
+}
+
+Tensor
+Tensor::RandUniform(std::vector<std::size_t> shape, Rng& rng, float lo, float hi) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+        v = static_cast<float>(rng.Uniform(lo, hi));
+    }
+    return t;
+}
+
+std::size_t
+Tensor::dim(std::size_t i) const {
+    MOC_ASSERT(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+}
+
+float&
+Tensor::At(std::size_t r, std::size_t c) {
+    MOC_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1], "2-D At out of range");
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::At(std::size_t r, std::size_t c) const {
+    MOC_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1], "2-D At out of range");
+    return data_[r * shape_[1] + c];
+}
+
+float&
+Tensor::At(std::size_t a, std::size_t b, std::size_t c) {
+    MOC_ASSERT(rank() == 3 && a < shape_[0] && b < shape_[1] && c < shape_[2],
+               "3-D At out of range");
+    return data_[(a * shape_[1] + b) * shape_[2] + c];
+}
+
+float
+Tensor::At(std::size_t a, std::size_t b, std::size_t c) const {
+    MOC_ASSERT(rank() == 3 && a < shape_[0] && b < shape_[1] && c < shape_[2],
+               "3-D At out of range");
+    return data_[(a * shape_[1] + b) * shape_[2] + c];
+}
+
+void
+Tensor::Zero() {
+    std::fill(data_.begin(), data_.end(), 0.0F);
+}
+
+void
+Tensor::Fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor
+Tensor::Reshape(std::vector<std::size_t> shape) const {
+    MOC_CHECK_ARG(ShapeSize(shape) == size(), "Reshape must preserve element count");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    return t;
+}
+
+Tensor
+Tensor::Row(std::size_t r) const {
+    MOC_CHECK_ARG(rank() == 2, "Row requires a rank-2 tensor");
+    MOC_CHECK_ARG(r < shape_[0], "Row index out of range");
+    Tensor t({shape_[1]});
+    const std::size_t cols = shape_[1];
+    for (std::size_t c = 0; c < cols; ++c) {
+        t.data_[c] = data_[r * cols + c];
+    }
+    return t;
+}
+
+double
+Tensor::Sum() const {
+    double s = 0.0;
+    for (float v : data_) {
+        s += v;
+    }
+    return s;
+}
+
+double
+Tensor::Mean() const {
+    return data_.empty() ? 0.0 : Sum() / static_cast<double>(data_.size());
+}
+
+double
+Tensor::Norm() const {
+    double s = 0.0;
+    for (float v : data_) {
+        s += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return std::sqrt(s);
+}
+
+bool
+Tensor::AllClose(const Tensor& other, float tol) const {
+    if (shape_ != other.shape_) {
+        return false;
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::fabs(data_[i] - other.data_[i]) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Tensor::ToString() const {
+    std::ostringstream os;
+    os << "Tensor(shape=[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        os << (i ? ", " : "") << shape_[i];
+    }
+    os << "], data=[";
+    const std::size_t n = std::min<std::size_t>(data_.size(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        os << (i ? ", " : "") << data_[i];
+    }
+    if (data_.size() > n) {
+        os << ", ...";
+    }
+    os << "])";
+    return os.str();
+}
+
+}  // namespace moc

@@ -1,0 +1,110 @@
+#ifndef MOC_TENSOR_TENSOR_H_
+#define MOC_TENSOR_TENSOR_H_
+
+/**
+ * @file
+ * A minimal dense float32 tensor with value semantics.
+ *
+ * This is the numeric substrate for the MoE training stack. It is
+ * intentionally small: contiguous row-major storage, ranks 1–3, and exactly
+ * the kernels transformer training needs. Heavy math lives in ops.h.
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace moc {
+
+/**
+ * Dense row-major float32 tensor. Copying copies the data (value semantics);
+ * the training stack moves tensors where sharing would matter.
+ */
+class Tensor {
+  public:
+    /** An empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor with @p shape. */
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    /** Convenience: Tensor({2, 3}). */
+    Tensor(std::initializer_list<std::size_t> shape);
+
+    /** Builds a 1-D tensor from explicit values. */
+    static Tensor FromVector(const std::vector<float>& values);
+
+    /** Builds a 2-D tensor from explicit row-major values. */
+    static Tensor FromValues(std::size_t rows, std::size_t cols,
+                             const std::vector<float>& values);
+
+    /** Gaussian init with the given @p stddev (mean 0). */
+    static Tensor Randn(std::vector<std::size_t> shape, Rng& rng, float stddev = 1.0F);
+
+    /** Uniform init in [lo, hi). */
+    static Tensor RandUniform(std::vector<std::size_t> shape, Rng& rng, float lo, float hi);
+
+    const std::vector<std::size_t>& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Dimension @p i of the shape; checked. */
+    std::size_t dim(std::size_t i) const;
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** Flat element access, checked in debug builds. */
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** 2-D element access; requires rank() == 2. */
+    float& At(std::size_t r, std::size_t c);
+    float At(std::size_t r, std::size_t c) const;
+
+    /** 3-D element access; requires rank() == 3. */
+    float& At(std::size_t a, std::size_t b, std::size_t c);
+    float At(std::size_t a, std::size_t b, std::size_t c) const;
+
+    /** Sets every element to zero. */
+    void Zero();
+
+    /** Fills with @p value. */
+    void Fill(float value);
+
+    /** Reinterprets the data with a new @p shape of identical element count. */
+    Tensor Reshape(std::vector<std::size_t> shape) const;
+
+    /** Returns row @p r of a rank-2 tensor as a copy. */
+    Tensor Row(std::size_t r) const;
+
+    /** Sum of all elements. */
+    double Sum() const;
+
+    /** Mean of all elements. */
+    double Mean() const;
+
+    /** L2 norm of all elements. */
+    double Norm() const;
+
+    /** True iff shapes and all elements are within @p tol of each other. */
+    bool AllClose(const Tensor& other, float tol = 1e-5F) const;
+
+    /** Debug string: shape plus a few leading values. */
+    std::string ToString() const;
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+/** Number of elements implied by @p shape. */
+std::size_t ShapeSize(const std::vector<std::size_t>& shape);
+
+}  // namespace moc
+
+#endif  // MOC_TENSOR_TENSOR_H_

@@ -1,0 +1,24 @@
+#include "util/bytes.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace moc {
+
+std::string
+FormatBytes(Bytes n) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (n >= kGiB) {
+        os << static_cast<double>(n) / static_cast<double>(kGiB) << " GiB";
+    } else if (n >= kMiB) {
+        os << static_cast<double>(n) / static_cast<double>(kMiB) << " MiB";
+    } else if (n >= kKiB) {
+        os << static_cast<double>(n) / static_cast<double>(kKiB) << " KiB";
+    } else {
+        os << n << " B";
+    }
+    return os.str();
+}
+
+}  // namespace moc

@@ -1,0 +1,32 @@
+#ifndef MOC_UTIL_BYTES_H_
+#define MOC_UTIL_BYTES_H_
+
+/**
+ * @file
+ * Byte-size arithmetic and formatting used throughout checkpoint accounting.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace moc {
+
+/** Byte counts are 64-bit throughout (trillion-parameter models overflow 32). */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+
+/** Formats @p n as a human-readable string, e.g. "3.42 GiB". */
+std::string FormatBytes(Bytes n);
+
+/** Ceil-division for partitioning byte ranges across ranks. */
+constexpr Bytes
+CeilDiv(Bytes a, Bytes b) {
+    return (a + b - 1) / b;
+}
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_BYTES_H_

@@ -1,0 +1,45 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace moc {
+
+void
+VirtualClock::Advance(Seconds duration) {
+    MOC_ASSERT(duration >= 0.0, "cannot advance a clock backwards");
+    now_ += duration;
+}
+
+void
+VirtualClock::AdvanceTo(Seconds t) {
+    MOC_ASSERT(t >= now_, "cannot advance a clock backwards");
+    now_ = t;
+}
+
+WallClock::WallClock() {
+    epoch_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Seconds
+WallClock::Now() const {
+    const auto now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return static_cast<Seconds>(now_ns - epoch_ns_) * 1e-9;
+}
+
+void
+WallClock::Advance(Seconds duration) {
+    if (duration > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,81 @@
+#ifndef MOC_UTIL_CLOCK_H_
+#define MOC_UTIL_CLOCK_H_
+
+/**
+ * @file
+ * Time abstraction.
+ *
+ * Accuracy experiments run in wall-clock time; timing experiments run against
+ * a deterministic virtual clock so that figures are reproducible. Code that
+ * needs "now" or "sleep" takes a `Clock&` and works in both domains.
+ */
+
+#include <cstdint>
+
+namespace moc {
+
+/** Seconds as double: the universal time unit of the library. */
+using Seconds = double;
+
+/**
+ * Abstract time source.
+ */
+class Clock {
+  public:
+    virtual ~Clock() = default;
+
+    /** Returns the current time in seconds since an arbitrary epoch. */
+    virtual Seconds Now() const = 0;
+
+    /** Advances (virtual) or blocks (wall) for @p duration seconds. */
+    virtual void Advance(Seconds duration) = 0;
+};
+
+/**
+ * Deterministic simulated clock; Advance() moves time forward instantly.
+ */
+class VirtualClock final : public Clock {
+  public:
+    explicit VirtualClock(Seconds start = 0.0) : now_(start) {}
+
+    Seconds Now() const override { return now_; }
+    void Advance(Seconds duration) override;
+
+    /** Jumps directly to @p t (must be >= Now()). */
+    void AdvanceTo(Seconds t);
+
+  private:
+    Seconds now_;
+};
+
+/**
+ * Real time via std::chrono::steady_clock; Advance() sleeps.
+ */
+class WallClock final : public Clock {
+  public:
+    WallClock();
+
+    Seconds Now() const override;
+    void Advance(Seconds duration) override;
+
+  private:
+    std::uint64_t epoch_ns_;
+};
+
+/** RAII stopwatch over an arbitrary Clock. */
+class Stopwatch {
+  public:
+    explicit Stopwatch(const Clock& clock) : clock_(clock), start_(clock.Now()) {}
+
+    /** Seconds elapsed since construction or the last Reset(). */
+    Seconds Elapsed() const { return clock_.Now() - start_; }
+    void Reset() { start_ = clock_.Now(); }
+
+  private:
+    const Clock& clock_;
+    Seconds start_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_CLOCK_H_

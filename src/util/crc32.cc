@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace moc {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+MakeTable() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256>&
+GetTable() {
+    static const auto table = MakeTable();
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t
+Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
+    const auto& table = GetTable();
+    const auto* p = static_cast<const unsigned char*>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = table[(crc ^ p[i]) & 0xFFU] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+std::uint32_t
+Crc32(const void* data, std::size_t len) {
+    return Crc32Update(0, data, len);
+}
+
+}  // namespace moc

@@ -1,0 +1,22 @@
+#ifndef MOC_UTIL_CRC32_H_
+#define MOC_UTIL_CRC32_H_
+
+/**
+ * @file
+ * CRC-32 (IEEE 802.3) for checkpoint blob integrity verification.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace moc {
+
+/** Computes the CRC-32 of @p data[0..len). */
+std::uint32_t Crc32(const void* data, std::size_t len);
+
+/** Incremental form: feed @p crc from a previous call (start with 0). */
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data, std::size_t len);
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_CRC32_H_

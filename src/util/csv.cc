@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+    MOC_CHECK_ARG(!header_.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::AddRow(std::vector<std::string> cells) {
+    MOC_CHECK_ARG(cells.size() == header_.size(),
+                  "CSV row arity " << cells.size() << " != header "
+                                   << header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::EscapeField(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+        return field;
+    }
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') {
+            out += '"';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::ToString() const {
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "," : "") << EscapeField(row[i]);
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+    return os.str();
+}
+
+bool
+CsvWriter::WriteFile(const std::string& path) const {
+    std::error_code ec;
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(p, std::ios::trunc);
+    if (!out) {
+        MOC_WARN << "cannot write CSV to " << path;
+        return false;
+    }
+    out << ToString();
+    return static_cast<bool>(out);
+}
+
+}  // namespace moc

@@ -1,0 +1,47 @@
+#ifndef MOC_UTIL_CSV_H_
+#define MOC_UTIL_CSV_H_
+
+/**
+ * @file
+ * Minimal CSV emission for the benchmark harnesses: every figure/table
+ * binary can drop a machine-readable copy of its series next to the printed
+ * table, so plots can be regenerated without scraping stdout.
+ */
+
+#include <string>
+#include <vector>
+
+namespace moc {
+
+/**
+ * Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields
+ * containing commas, quotes, or newlines).
+ */
+class CsvWriter {
+  public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Appends one row; must match the header arity. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Serializes header + rows. */
+    std::string ToString() const;
+
+    /**
+     * Writes to @p path, creating parent directories.
+     * @return false (with a warning log) if the filesystem refuses.
+     */
+    bool WriteFile(const std::string& path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    static std::string EscapeField(const std::string& field);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_CSV_H_

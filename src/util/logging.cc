@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace moc {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kSilent: return "SILENT";
+    }
+    return "?";
+}
+
+std::mutex& LogMutex() {
+    static std::mutex mu;
+    return mu;
+}
+
+}  // namespace
+
+Logger&
+Logger::Instance() {
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::Log(LogLevel level, const char* file, int line, const std::string& msg) {
+    if (level < level_) {
+        return;
+    }
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+        if (*p == '/') {
+            base = p + 1;
+        }
+    }
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+namespace detail {
+
+void
+FatalExit(const char* file, int line, const std::string& msg) {
+    Logger::Instance().Log(LogLevel::kError, file, line, "fatal: " + msg);
+    std::exit(1);
+}
+
+void
+PanicAbort(const char* file, int line, const std::string& msg) {
+    Logger::Instance().Log(LogLevel::kError, file, line, "panic: " + msg);
+    std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace moc

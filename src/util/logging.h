@@ -1,0 +1,111 @@
+#ifndef MOC_UTIL_LOGGING_H_
+#define MOC_UTIL_LOGGING_H_
+
+/**
+ * @file
+ * Lightweight leveled logging and check macros.
+ *
+ * Follows the gem5 convention of distinguishing user-facing fatal errors
+ * (bad configuration: `MOC_FATAL`) from internal invariant violations
+ * (`MOC_PANIC`, `MOC_ASSERT`).
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace moc {
+
+/** Severity levels for the logger. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/**
+ * Process-wide logger. Thread-safe for concurrent Log() calls.
+ */
+class Logger {
+  public:
+    /** Returns the singleton logger. */
+    static Logger& Instance();
+
+    /** Sets the minimum level that will be emitted. */
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** Emits one log line at @p level with source location info. */
+    void Log(LogLevel level, const char* file, int line, const std::string& msg);
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::kInfo;
+};
+
+namespace detail {
+
+/** Builds a message from streamed parts and forwards it to the logger. */
+class LogMessage {
+  public:
+    LogMessage(LogLevel level, const char* file, int line)
+        : level_(level), file_(file), line_(line) {}
+    ~LogMessage() { Logger::Instance().Log(level_, file_, line_, stream_.str()); }
+
+    template <typename T>
+    LogMessage& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    const char* file_;
+    int line_;
+    std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalExit(const char* file, int line, const std::string& msg);
+[[noreturn]] void PanicAbort(const char* file, int line, const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace moc
+
+#define MOC_LOG(level) ::moc::detail::LogMessage(level, __FILE__, __LINE__)
+#define MOC_DEBUG MOC_LOG(::moc::LogLevel::kDebug)
+#define MOC_INFO MOC_LOG(::moc::LogLevel::kInfo)
+#define MOC_WARN MOC_LOG(::moc::LogLevel::kWarn)
+#define MOC_ERROR MOC_LOG(::moc::LogLevel::kError)
+
+/** User-error exit: invalid configuration or arguments. */
+#define MOC_FATAL(msg)                                                    \
+    do {                                                                  \
+        std::ostringstream moc_fatal_ss;                                  \
+        moc_fatal_ss << msg;                                              \
+        ::moc::detail::FatalExit(__FILE__, __LINE__, moc_fatal_ss.str()); \
+    } while (0)
+
+/** Internal invariant violation: a bug in this library. */
+#define MOC_PANIC(msg)                                                     \
+    do {                                                                   \
+        std::ostringstream moc_panic_ss;                                   \
+        moc_panic_ss << msg;                                               \
+        ::moc::detail::PanicAbort(__FILE__, __LINE__, moc_panic_ss.str()); \
+    } while (0)
+
+/** Always-on invariant check (independent of NDEBUG). */
+#define MOC_ASSERT(cond, msg)                                \
+    do {                                                     \
+        if (!(cond)) {                                       \
+            MOC_PANIC("assertion failed: " #cond ": " << msg); \
+        }                                                    \
+    } while (0)
+
+/** Argument validation that throws (recoverable, testable). */
+#define MOC_CHECK_ARG(cond, msg)                         \
+    do {                                                 \
+        if (!(cond)) {                                   \
+            std::ostringstream moc_check_ss;             \
+            moc_check_ss << "invalid argument: " << msg; \
+            throw std::invalid_argument(moc_check_ss.str()); \
+        }                                                \
+    } while (0)
+
+#endif  // MOC_UTIL_LOGGING_H_

@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+std::uint64_t
+SplitMix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+        s = SplitMix64(sm);
+    }
+}
+
+std::uint64_t
+Rng::Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::Uniform() {
+    // 53 bits of mantissa from the high bits.
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::Uniform(double lo, double hi) {
+    return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t
+Rng::UniformInt(std::uint64_t n) {
+    MOC_ASSERT(n > 0, "UniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+        std::uint64_t r = Next();
+        if (r >= threshold) {
+            return r % n;
+        }
+    }
+}
+
+double
+Rng::Gaussian() {
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = Uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+}
+
+double
+Rng::Exponential(double lambda) {
+    MOC_ASSERT(lambda > 0.0, "Exponential requires lambda > 0");
+    double u = 0.0;
+    do {
+        u = Uniform();
+    } while (u <= 1e-300);
+    return -std::log(u) / lambda;
+}
+
+std::uint64_t
+Rng::Zipf(std::uint64_t n, double s) {
+    MOC_ASSERT(n > 0, "Zipf requires n > 0");
+    // Direct inverse-CDF; fine for occasional calls.
+    double norm = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        norm += 1.0 / std::pow(static_cast<double>(i), s);
+    }
+    const double u = Uniform() * norm;
+    double acc = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i), s);
+        if (u <= acc) {
+            return i - 1;
+        }
+    }
+    return n - 1;
+}
+
+Rng
+Rng::Split() {
+    return Rng(Next() ^ 0xD1B54A32D192ED03ULL);
+}
+
+Rng::State
+Rng::GetState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) {
+        st.s[i] = state_[i];
+    }
+    st.have_cached_gaussian = have_cached_gaussian_;
+    st.cached_gaussian = cached_gaussian_;
+    return st;
+}
+
+void
+Rng::SetState(const State& state) {
+    for (int i = 0; i < 4; ++i) {
+        state_[i] = state.s[i];
+    }
+    have_cached_gaussian_ = state.have_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+}
+
+ZipfTable::ZipfTable(std::size_t n, double s) {
+    MOC_CHECK_ARG(n > 0, "ZipfTable requires n > 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto& v : cdf_) {
+        v /= acc;
+    }
+}
+
+std::size_t
+ZipfTable::Sample(Rng& rng) const {
+    const double u = rng.Uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) {
+        return cdf_.size() - 1;
+    }
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace moc

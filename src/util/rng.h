@@ -1,0 +1,107 @@
+#ifndef MOC_UTIL_RNG_H_
+#define MOC_UTIL_RNG_H_
+
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the library (data synthesis, parameter
+ * initialization, gating noise, fault schedules) flows through `Rng` so that
+ * every experiment is exactly reproducible from a single seed.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace moc {
+
+/**
+ * A small, fast, splittable PRNG (xoshiro256** seeded via SplitMix64).
+ *
+ * Deliberately not `std::mt19937`: identical streams across platforms and
+ * standard-library versions are required for reproducible experiments.
+ */
+class Rng {
+  public:
+    /** Constructs a generator from @p seed (any value, including 0). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Returns the next raw 64-bit value. */
+    std::uint64_t Next();
+
+    /** Returns a uniform double in [0, 1). */
+    double Uniform();
+
+    /** Returns a uniform double in [lo, hi). */
+    double Uniform(double lo, double hi);
+
+    /** Returns a uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t UniformInt(std::uint64_t n);
+
+    /** Returns a standard normal sample (Box–Muller, cached pair). */
+    double Gaussian();
+
+    /** Returns a normal sample with @p mean and @p stddev. */
+    double Gaussian(double mean, double stddev);
+
+    /** Returns an exponential sample with rate @p lambda (> 0). */
+    double Exponential(double lambda);
+
+    /**
+     * Returns a Zipf-distributed integer in [0, n) with exponent @p s.
+     * Uses inverse-CDF over precomputable weights; O(n) per call is avoided
+     * by callers via ZipfTable.
+     */
+    std::uint64_t Zipf(std::uint64_t n, double s);
+
+    /** Creates an independent child stream (split). */
+    Rng Split();
+
+    /**
+     * Serializable generator state (for checkpointing RNG alongside model
+     * state, as the paper's "other crucial states" require).
+     */
+    struct State {
+        std::uint64_t s[4];
+        bool have_cached_gaussian;
+        double cached_gaussian;
+    };
+
+    State GetState() const;
+    void SetState(const State& state);
+
+    /** Shuffles @p values in place (Fisher–Yates). */
+    template <typename T>
+    void Shuffle(std::vector<T>& values) {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(UniformInt(i));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+    bool have_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+/**
+ * Precomputed cumulative table for fast Zipf sampling.
+ */
+class ZipfTable {
+  public:
+    /** Builds a table over [0, n) with exponent @p s. */
+    ZipfTable(std::size_t n, double s);
+
+    /** Draws one sample using @p rng. */
+    std::size_t Sample(Rng& rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_RNG_H_

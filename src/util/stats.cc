@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+void
+RunningStat::Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::Merge(const RunningStat& other) {
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const {
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const {
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    MOC_CHECK_ARG(hi > lo, "Histogram requires hi > lo");
+    MOC_CHECK_ARG(bins > 0, "Histogram requires bins > 0");
+    counts_.assign(bins, 0);
+}
+
+void
+Histogram::Add(double x) {
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(f * static_cast<double>(counts_.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::Percentile(double p) const {
+    if (total_ == 0) {
+        return lo_;
+    }
+    const double target = p / 100.0 * static_cast<double>(total_);
+    double acc = 0.0;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += static_cast<double>(counts_[i]);
+        if (acc >= target) {
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+        }
+    }
+    return hi_;
+}
+
+std::string
+Histogram::ToString() const {
+    std::ostringstream os;
+    const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const int bar =
+            peak == 0 ? 0 : static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak));
+        os << "[" << lo_ + static_cast<double>(i) * width << ", "
+           << lo_ + static_cast<double>(i + 1) * width << ") "
+           << std::string(static_cast<std::size_t>(bar), '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+    MOC_CHECK_ARG(alpha > 0.0 && alpha <= 1.0, "Ewma alpha must be in (0, 1]");
+}
+
+void
+Ewma::Add(double x) {
+    if (!initialized_) {
+        value_ = x;
+        initialized_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,89 @@
+#ifndef MOC_UTIL_STATS_H_
+#define MOC_UTIL_STATS_H_
+
+/**
+ * @file
+ * Streaming statistics accumulators used by benches and the simulator.
+ */
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace moc {
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStat {
+  public:
+    /** Adds one observation. */
+    void Add(double x);
+
+    /** Merges another accumulator into this one. */
+    void Merge(const RunningStat& other);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+ */
+class Histogram {
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void Add(double x);
+    std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+
+    /** Returns the p-th percentile (0..100) estimated from bin midpoints. */
+    double Percentile(double p) const;
+
+    /** Human-readable ASCII rendering (for debug output). */
+    std::string ToString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * An exponentially-weighted moving average, used by adaptive controllers.
+ */
+class Ewma {
+  public:
+    /** @param alpha weight of the newest observation, in (0, 1]. */
+    explicit Ewma(double alpha);
+
+    void Add(double x);
+    bool empty() const { return !initialized_; }
+    double value() const { return value_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_STATS_H_

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    MOC_CHECK_ARG(!header_.empty(), "Table requires at least one column");
+}
+
+void
+Table::AddRow(std::vector<std::string> cells) {
+    MOC_CHECK_ARG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity " << header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::Num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::ToString() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths) {
+        total += w + 2;
+    }
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return os.str();
+}
+
+}  // namespace moc

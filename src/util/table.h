@@ -1,0 +1,45 @@
+#ifndef MOC_UTIL_TABLE_H_
+#define MOC_UTIL_TABLE_H_
+
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses, which print the same
+ * rows/series the paper's tables and figures report.
+ */
+
+#include <string>
+#include <vector>
+
+namespace moc {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ *   Table t({"K_pec", "ckpt size (GB)", "relative"});
+ *   t.AddRow({"1", "3.1", "0.42"});
+ *   std::cout << t.ToString();
+ */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Appends one row; must have the same arity as the header. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p precision decimal places. */
+    static std::string Num(double v, int precision = 3);
+
+    /** Renders the table with a separator line under the header. */
+    std::string ToString() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_TABLE_H_

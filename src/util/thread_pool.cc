@@ -1,0 +1,57 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace moc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    MOC_CHECK_ARG(num_threads >= 1, "ThreadPool requires at least one thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::WorkerLoop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) {
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) {
+                idle_cv_.notify_all();
+            }
+        }
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,68 @@
+#ifndef MOC_UTIL_THREAD_POOL_H_
+#define MOC_UTIL_THREAD_POOL_H_
+
+/**
+ * @file
+ * A minimal fixed-size thread pool used for parallel experiment sweeps and
+ * the asynchronous checkpoint agents.
+ */
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moc {
+
+/**
+ * Fixed-size FIFO thread pool. Tasks may not throw; exceptions propagate
+ * through the returned future.
+ */
+class ThreadPool {
+  public:
+    /** Spawns @p num_threads workers (>= 1). */
+    explicit ThreadPool(std::size_t num_threads);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueues @p fn; returns a future for its result. */
+    template <typename Fn>
+    auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /** Blocks until every submitted task has finished. */
+    void Wait();
+
+    std::size_t num_threads() const { return workers_.size(); }
+
+  private:
+    void WorkerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the moc_cli tool's argument parsing and subcommands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli_lib.h"
+#include "core/moc_system.h"
+#include "core/cold_start.h"
+#include "nn/model.h"
+#include "storage/file_store.h"
+
+namespace moc {
+namespace {
+
+using cli::Args;
+using cli::Main;
+using cli::ParseArgs;
+
+TEST(CliArgs, ParsesOptionsAndPositionals) {
+    const Args args = ParseArgs({"pos1", "--dp", "16", "pos2", "--ep", "8"});
+    EXPECT_EQ(args.positional, (std::vector<std::string>{"pos1", "pos2"}));
+    EXPECT_EQ(args.Get("dp", ""), "16");
+    EXPECT_EQ(args.GetInt("ep", 0), 8);
+    EXPECT_EQ(args.GetInt("missing", 42), 42);
+}
+
+TEST(CliArgs, RejectsDanglingFlagAndJunkInts) {
+    EXPECT_THROW(ParseArgs({"--dp"}), std::invalid_argument);
+    const Args args = ParseArgs({"--dp", "abc"});
+    EXPECT_THROW(args.GetInt("dp", 0), std::invalid_argument);
+}
+
+TEST(Cli, UsageOnNoCommand) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({}, out, err), 2);
+    EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"frobnicate"}, out, err), 2);
+}
+
+TEST(Cli, PlanPrintsPerRankSummary) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = Main({"plan", "--dp", "16", "--ep", "8", "--k", "1",
+                         "--strategy", "full"},
+                        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("bottleneck"), std::string::npos);
+    EXPECT_NE(out.str().find("2 EP groups"), std::string::npos);
+}
+
+TEST(Cli, PlanValidatesDegrees) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"plan", "--dp", "10", "--ep", "4"}, out, err), 2);
+}
+
+TEST(Cli, SimulatePrintsGantts) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = Main({"simulate", "--gpus", "16", "--gpu", "a800"}, out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("Baseline"), std::string::npos);
+    EXPECT_NE(out.str().find("MoC-Async"), std::string::npos);
+    EXPECT_NE(out.str().find("Snapshot"), std::string::npos);
+}
+
+TEST(Cli, TraceCheckValidatesGoodAndBad) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "moc_cli_trace";
+    fs::create_directories(dir);
+    const fs::path good = dir / "good.txt";
+    const fs::path bad = dir / "bad.txt";
+    {
+        std::ofstream(good) << "# ok\n10 0\n20 1,2\n";
+        std::ofstream(bad) << "oops\n";
+    }
+    std::ostringstream out1;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"trace-check", good.string()}, out1, err), 0);
+    EXPECT_NE(out1.str().find("2 fault event(s)"), std::string::npos);
+    std::ostringstream out2;
+    EXPECT_EQ(Main({"trace-check", bad.string()}, out2, err), 1);
+    EXPECT_NE(out2.str().find("invalid trace"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(Cli, InspectReadsRealCheckpoint) {
+    // Build a real checkpoint on disk, then inspect it.
+    LmConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    MoeTransformerLm model(cfg);
+    RankTopology topo({.dp = 4, .ep = 4, .tp = 1, .pp = 1}, 2);
+    MocSystemConfig sys_cfg;
+    sys_cfg.pec.k_snapshot = 4;
+    sys_cfg.pec.k_persist = 4;
+    sys_cfg.i_ckpt = 4;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(sys_cfg, model, topo, cfg.ToModelSpec(), extra);
+    extra.iteration = 12;
+    extra.adam_step = 12;
+    system.Checkpoint(12, extra);
+
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "moc_cli_inspect";
+    fs::remove_all(dir);
+    {
+        FileStore disk(dir);
+        CopyStore(system.storage(), disk);
+    }
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"inspect", dir.string()}, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("restart point: iteration 12"), std::string::npos);
+    EXPECT_NE(out.str().find("moe/0/expert/0/w"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(Cli, InspectWithoutArgIsUsageError) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"inspect"}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace moc

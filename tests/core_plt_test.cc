@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the PLT ledger (Eq. 7): lost-token charging on recovery,
+ * counter rollback for replay, multi-fault accumulation, and the Dynamic-K
+ * controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_k.h"
+#include "core/plt.h"
+
+namespace moc {
+namespace {
+
+/** Routes `count` tokens to every expert of every layer. */
+void
+RouteUniform(PltLedger& ledger, std::size_t layers, std::size_t experts,
+             std::size_t count) {
+    const std::vector<std::size_t> per_expert(experts, count);
+    for (std::size_t m = 0; m < layers; ++m) {
+        ledger.RecordRouting(m, per_expert, experts * count);
+    }
+}
+
+TEST(PltLedger, ZeroBeforeAnyFault) {
+    PltLedger ledger(2, 4);
+    RouteUniform(ledger, 2, 4, 10);
+    EXPECT_DOUBLE_EQ(ledger.Plt(), 0.0);
+}
+
+TEST(PltLedger, CumulativeCountsAccumulate) {
+    PltLedger ledger(1, 2);
+    ledger.RecordRouting(0, {3, 5}, 8);
+    ledger.RecordRouting(0, {2, 1}, 3);
+    EXPECT_EQ(ledger.CumulativeTokens(0, 0), 5U);
+    EXPECT_EQ(ledger.CumulativeTokens(0, 1), 6U);
+    EXPECT_EQ(ledger.LayerAssignments(0), 11U);
+}
+
+TEST(PltLedger, FullRecoveryLosesNothing) {
+    PltLedger ledger(1, 2);
+    ledger.RecordRouting(0, {10, 10}, 20);
+    ledger.RecordCheckpointEvent(8);
+    // Everything recovered at the restart point itself: zero loss.
+    ledger.OnFaultRecovery(8, {{8, 8}});
+    EXPECT_EQ(ledger.LostTokens(0, 0), 0U);
+    EXPECT_DOUBLE_EQ(ledger.Plt(), 0.0);
+}
+
+TEST(PltLedger, StaleExpertChargedExactly) {
+    PltLedger ledger(1, 2);
+    // Checkpoint at iteration 4 with counts (10, 10).
+    ledger.RecordRouting(0, {10, 10}, 20);
+    ledger.RecordCheckpointEvent(4);
+    // More routing, checkpoint at iteration 8 with counts (25, 12).
+    ledger.RecordRouting(0, {15, 2}, 17);
+    ledger.RecordCheckpointEvent(8);
+    // Fault: expert 0 only recovered from iteration 4; expert 1 from 8.
+    ledger.OnFaultRecovery(8, {{4, 8}});
+    EXPECT_EQ(ledger.LostTokens(0, 0), 15U);  // cum@8 - cum@4 = 25 - 10
+    EXPECT_EQ(ledger.LostTokens(0, 1), 0U);
+}
+
+TEST(PltLedger, CountersRollBackOnRecovery) {
+    PltLedger ledger(1, 2);
+    ledger.RecordRouting(0, {10, 10}, 20);
+    ledger.RecordCheckpointEvent(4);
+    ledger.RecordRouting(0, {5, 5}, 10);  // progress past the checkpoint
+    ledger.OnFaultRecovery(4, {{4, 4}});
+    // The post-checkpoint tokens are rolled back (they will be replayed).
+    EXPECT_EQ(ledger.CumulativeTokens(0, 0), 10U);
+    EXPECT_EQ(ledger.LayerAssignments(0), 20U);
+    // Replay re-records them exactly once.
+    ledger.RecordRouting(0, {5, 5}, 10);
+    EXPECT_EQ(ledger.CumulativeTokens(0, 0), 15U);
+}
+
+TEST(PltLedger, PltMatchesEq7) {
+    PltLedger ledger(2, 2);
+    // Layer 0: 100 assignments, 20 lost. Layer 1: 200 assignments, 10 lost.
+    ledger.RecordRouting(0, {50, 50}, 100);
+    ledger.RecordRouting(1, {100, 100}, 200);
+    ledger.RecordCheckpointEvent(10);
+    // Build an earlier reference point for expert (0,0) and (1,1).
+    // Here iteration 0 is the initial state (counts 0): recovering expert 0
+    // of layer 0 from iteration 0 loses its 50... instead craft precisely:
+    // recover layer0/expert0 at 0 => loses 50; all else at 10 => 0 lost.
+    ledger.OnFaultRecovery(10, {{0, 10}, {10, 10}});
+    // PLT = 1/2 * (50/100 + 0/200) = 0.25.
+    EXPECT_DOUBLE_EQ(ledger.Plt(), 0.25);
+}
+
+TEST(PltLedger, MultipleFaultsAccumulate) {
+    PltLedger ledger(1, 1);
+    ledger.RecordRouting(0, {10}, 10);
+    ledger.RecordCheckpointEvent(2);
+    ledger.OnFaultRecovery(2, {{0}});  // lose 10
+    // Replay + new progress.
+    ledger.RecordRouting(0, {10}, 10);
+    ledger.RecordCheckpointEvent(4);
+    ledger.OnFaultRecovery(4, {{2}});  // lose the 10 tokens since iter 2
+    EXPECT_EQ(ledger.LostTokens(0, 0), 20U);
+}
+
+TEST(PltLedger, RejectsUnknownIterations) {
+    PltLedger ledger(1, 1);
+    ledger.RecordRouting(0, {10}, 10);
+    EXPECT_THROW(ledger.OnFaultRecovery(3, {{0}}), std::invalid_argument);
+    ledger.RecordCheckpointEvent(3);
+    EXPECT_THROW(ledger.OnFaultRecovery(3, {{2}}), std::invalid_argument);
+    // Expert cannot be newer than the restart point.
+    ledger.RecordCheckpointEvent(5);
+    EXPECT_THROW(ledger.OnFaultRecovery(3, {{5}}), std::invalid_argument);
+}
+
+TEST(PltLedger, HistoryTruncatedAfterRollback) {
+    PltLedger ledger(1, 1);
+    ledger.RecordRouting(0, {10}, 10);
+    ledger.RecordCheckpointEvent(2);
+    ledger.RecordRouting(0, {10}, 10);
+    ledger.RecordCheckpointEvent(4);
+    ledger.OnFaultRecovery(2, {{2}});
+    // Iteration 4's snapshot was dropped; recovering from it must now throw.
+    EXPECT_THROW(ledger.OnFaultRecovery(4, {{4}}), std::invalid_argument);
+}
+
+// ---------- DynamicKController ----------
+
+TEST(DynamicK, LadderFromInitialToN) {
+    DynamicKController ctrl(1, 16);
+    EXPECT_EQ(ctrl.levels(), (std::vector<std::size_t>{1, 2, 4, 8, 16}));
+    EXPECT_EQ(ctrl.current_k(), 1U);
+}
+
+TEST(DynamicK, EscalatesAsPltGrows) {
+    DynamicKController ctrl(1, 16, 0.0375);
+    // 5 levels -> each level owns 0.0075 of budget.
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.001), 1U);
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.008), 2U);
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.016), 4U);
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.024), 8U);
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.031), 16U);
+    // Saturates at N.
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.9), 16U);
+}
+
+TEST(DynamicK, NeverDescends) {
+    DynamicKController ctrl(1, 8);
+    ctrl.OnFaultRecovery(0.02);
+    const auto k = ctrl.current_k();
+    EXPECT_EQ(ctrl.OnFaultRecovery(0.0), k);
+}
+
+TEST(DynamicK, InitialKAboveOne) {
+    DynamicKController ctrl(4, 16);
+    EXPECT_EQ(ctrl.levels(), (std::vector<std::size_t>{4, 8, 16}));
+}
+
+TEST(DynamicK, RejectsBadArgs) {
+    EXPECT_THROW(DynamicKController(0, 8), std::invalid_argument);
+    EXPECT_THROW(DynamicKController(9, 8), std::invalid_argument);
+    EXPECT_THROW(DynamicKController(1, 8, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moc

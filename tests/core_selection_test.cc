@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for PEC selection policies and the PEC planner (Sections 3.2,
+ * 5.1): the Fig. 4 interleaving pattern, rotation coverage, load-aware
+ * prioritization, and snapshot/persist nesting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/pec.h"
+#include "core/selection.h"
+
+namespace moc {
+namespace {
+
+// ---------- SequentialSelector ----------
+
+TEST(Sequential, MatchesFigure4Pattern) {
+    // Fig. 4: N = 3 experts, 4 MoE layers, K = 1. First checkpoint saves
+    // experts (0, 1, 2, 0) across layers; next saves (1, 2, 0, 1).
+    SequentialSelector sel(3);
+    EXPECT_EQ(sel.Select(0, 0, 1), (std::vector<ExpertId>{0}));
+    EXPECT_EQ(sel.Select(0, 1, 1), (std::vector<ExpertId>{1}));
+    EXPECT_EQ(sel.Select(0, 2, 1), (std::vector<ExpertId>{2}));
+    EXPECT_EQ(sel.Select(0, 3, 1), (std::vector<ExpertId>{0}));
+    EXPECT_EQ(sel.Select(1, 0, 1), (std::vector<ExpertId>{1}));
+    EXPECT_EQ(sel.Select(1, 1, 1), (std::vector<ExpertId>{2}));
+    EXPECT_EQ(sel.Select(1, 2, 1), (std::vector<ExpertId>{0}));
+    EXPECT_EQ(sel.Select(1, 3, 1), (std::vector<ExpertId>{1}));
+}
+
+TEST(Sequential, SelectsKDistinctExperts) {
+    SequentialSelector sel(8);
+    for (std::size_t k = 1; k <= 8; ++k) {
+        for (std::size_t c = 0; c < 10; ++c) {
+            const auto chosen = sel.Select(c, 2, k);
+            EXPECT_EQ(chosen.size(), k);
+            std::set<ExpertId> unique(chosen.begin(), chosen.end());
+            EXPECT_EQ(unique.size(), k);
+            for (auto e : chosen) {
+                EXPECT_LT(e, 8U);
+            }
+        }
+    }
+}
+
+TEST(Sequential, EveryExpertSavedWithinCycle) {
+    // With K=2 and N=8, every expert must be saved within ceil(8/2)=4
+    // consecutive checkpoints, for every layer.
+    SequentialSelector sel(8);
+    for (std::size_t m = 0; m < 6; ++m) {
+        std::set<ExpertId> seen;
+        for (std::size_t c = 0; c < 4; ++c) {
+            for (auto e : sel.Select(c, m, 2)) {
+                seen.insert(e);
+            }
+        }
+        EXPECT_EQ(seen.size(), 8U) << "layer " << m;
+    }
+}
+
+TEST(Sequential, InterleavesAcrossLayers) {
+    // At any single checkpoint, consecutive layers pick staggered experts,
+    // spreading the save workload over EP ranks.
+    SequentialSelector sel(8);
+    std::set<ExpertId> firsts;
+    for (std::size_t m = 0; m < 8; ++m) {
+        firsts.insert(sel.Select(0, m, 1)[0]);
+    }
+    EXPECT_EQ(firsts.size(), 8U);
+}
+
+TEST(Sequential, FullKSelectsAll) {
+    SequentialSelector sel(4);
+    const auto all = sel.Select(3, 1, 4);
+    std::set<ExpertId> unique(all.begin(), all.end());
+    EXPECT_EQ(unique.size(), 4U);
+}
+
+TEST(Sequential, RejectsBadK) {
+    SequentialSelector sel(4);
+    EXPECT_THROW(sel.Select(0, 0, 0), std::invalid_argument);
+    EXPECT_THROW(sel.Select(0, 0, 5), std::invalid_argument);
+}
+
+// ---------- LoadAwareSelector ----------
+
+TEST(LoadAware, PicksHighestUnsavedLoad) {
+    std::map<ExpertId, std::uint64_t> load{{0, 5}, {1, 100}, {2, 30}, {3, 7}};
+    LoadAwareSelector sel(4, [&](std::size_t, ExpertId e) { return load[e]; });
+    EXPECT_EQ(sel.Select(0, 0, 1), (std::vector<ExpertId>{1}));
+    EXPECT_EQ(sel.Select(0, 0, 2), (std::vector<ExpertId>{1, 2}));
+}
+
+TEST(LoadAware, DeterministicTieBreakById) {
+    LoadAwareSelector sel(4, [](std::size_t, ExpertId) { return 10ULL; });
+    EXPECT_EQ(sel.Select(0, 0, 2), (std::vector<ExpertId>{0, 1}));
+}
+
+TEST(LoadAware, PerLayerLoads) {
+    LoadAwareSelector sel(3, [](std::size_t m, ExpertId e) {
+        return static_cast<std::uint64_t>(m == 0 ? e : 2 - e);
+    });
+    EXPECT_EQ(sel.Select(0, 0, 1), (std::vector<ExpertId>{2}));
+    EXPECT_EQ(sel.Select(0, 1, 1), (std::vector<ExpertId>{0}));
+}
+
+// ---------- PecPlanner ----------
+
+TEST(PecPlanner, PersistNestedInSnapshot) {
+    PecConfig cfg;
+    cfg.k_snapshot = 4;
+    cfg.k_persist = 1;
+    PecPlanner planner(6, 8, cfg, std::make_unique<SequentialSelector>(8));
+    for (std::size_t c = 0; c < 5; ++c) {
+        const auto sel = planner.Plan(c);
+        ASSERT_EQ(sel.snapshot.size(), 6U);
+        ASSERT_EQ(sel.persist.size(), 6U);
+        for (std::size_t m = 0; m < 6; ++m) {
+            EXPECT_EQ(sel.snapshot[m].size(), 4U);
+            EXPECT_EQ(sel.persist[m].size(), 1U);
+            const std::set<ExpertId> snap(sel.snapshot[m].begin(),
+                                          sel.snapshot[m].end());
+            for (auto e : sel.persist[m]) {
+                EXPECT_TRUE(snap.count(e)) << "persist not subset of snapshot";
+            }
+        }
+    }
+}
+
+TEST(PecPlanner, SetKRevalidates) {
+    PecConfig cfg;
+    cfg.k_snapshot = 2;
+    cfg.k_persist = 1;
+    PecPlanner planner(4, 8, cfg, std::make_unique<SequentialSelector>(8));
+    planner.SetK(8, 8);
+    const auto sel = planner.Plan(0);
+    EXPECT_EQ(sel.snapshot[0].size(), 8U);
+    EXPECT_EQ(sel.persist[0].size(), 8U);
+    EXPECT_THROW(planner.SetK(0, 0), std::invalid_argument);
+    EXPECT_THROW(planner.SetK(2, 4), std::invalid_argument);
+    EXPECT_THROW(planner.SetK(9, 1), std::invalid_argument);
+}
+
+TEST(PecPlanner, FullCheckpointIsSpecialCase) {
+    PecConfig cfg;
+    cfg.k_snapshot = 8;
+    cfg.k_persist = 8;
+    PecPlanner planner(2, 8, cfg, std::make_unique<SequentialSelector>(8));
+    const auto sel = planner.Plan(0);
+    std::set<ExpertId> all(sel.persist[0].begin(), sel.persist[0].end());
+    EXPECT_EQ(all.size(), 8U);
+}
+
+TEST(PecPlanner, PersistRotationCoversAllExperts) {
+    // The persist subset must itself rotate: with K_snapshot=4, K_persist=1
+    // over 16 experts, every expert is persisted within N/K_persist = 16
+    // events (the regression behind inflated Fig. 14 PLT).
+    PecConfig cfg;
+    cfg.k_snapshot = 4;
+    cfg.k_persist = 1;
+    PecPlanner planner(3, 16, cfg, std::make_unique<SequentialSelector>(16));
+    for (std::size_t m = 0; m < 3; ++m) {
+        std::set<ExpertId> persisted;
+        for (std::size_t c = 0; c < 16; ++c) {
+            const PecSelection sel = planner.Plan(c);
+            persisted.insert(sel.persist[m].begin(), sel.persist[m].end());
+        }
+        EXPECT_EQ(persisted.size(), 16U) << "layer " << m;
+    }
+}
+
+TEST(PecPlanner, PersistRotationCoversOddShapes) {
+    // Non-divisible (N, K) combinations must still persist every expert
+    // within a few rotations.
+    PecConfig cfg;
+    cfg.k_snapshot = 3;
+    cfg.k_persist = 2;
+    PecPlanner planner(1, 8, cfg, std::make_unique<SequentialSelector>(8));
+    std::set<ExpertId> persisted;
+    for (std::size_t c = 0; c < 24; ++c) {
+        const PecSelection sel = planner.Plan(c);
+        persisted.insert(sel.persist[0].begin(), sel.persist[0].end());
+    }
+    EXPECT_EQ(persisted.size(), 8U);
+}
+
+TEST(PecPlanner, RotationChangesSelection) {
+    PecConfig cfg;
+    cfg.k_snapshot = 1;
+    cfg.k_persist = 1;
+    PecPlanner planner(1, 8, cfg, std::make_unique<SequentialSelector>(8));
+    EXPECT_NE(planner.Plan(0).snapshot[0], planner.Plan(1).snapshot[0]);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the data module: corpus determinism and structure, batch
+ * streams, classification dataset, probe-suite construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "data/classification.h"
+#include "data/corpus.h"
+#include "data/probes.h"
+
+namespace moc {
+namespace {
+
+CorpusConfig
+SmallCorpus() {
+    CorpusConfig cfg;
+    cfg.vocab_size = 64;
+    cfg.branching = 3;
+    cfg.structure_weight = 0.85;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Corpus, GenerateIsDeterministic) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    const auto a = corpus.Generate(200, 1);
+    const auto b = corpus.Generate(200, 1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Corpus, StreamsDifferBySeed) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    EXPECT_NE(corpus.Generate(200, 1), corpus.Generate(200, 2));
+}
+
+TEST(Corpus, TokensInRange) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    for (auto t : corpus.Generate(1000, 3)) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(static_cast<std::size_t>(t), corpus.vocab_size());
+    }
+}
+
+TEST(Corpus, HasLearnableBigramStructure) {
+    // The most frequent successor of each token should dominate: measure the
+    // empirical top-successor share, which must far exceed the uniform 1/V.
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    const auto stream = corpus.Generate(20000, 7);
+    std::map<TokenId, std::map<TokenId, int>> bigram;
+    for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+        ++bigram[stream[i]][stream[i + 1]];
+    }
+    double top_share_sum = 0.0;
+    int counted = 0;
+    for (const auto& [tok, nexts] : bigram) {
+        int total = 0;
+        int best = 0;
+        for (const auto& [nxt, count] : nexts) {
+            total += count;
+            best = std::max(best, count);
+        }
+        if (total >= 50) {
+            top_share_sum += static_cast<double>(best) / total;
+            ++counted;
+        }
+    }
+    ASSERT_GT(counted, 0);
+    EXPECT_GT(top_share_sum / counted, 0.30);  // uniform would be ~1/64
+}
+
+TEST(Corpus, ConditionalEntropyBelowUniform) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    EXPECT_LT(corpus.ConditionalEntropy(), std::log(64.0));
+    EXPECT_GT(corpus.ConditionalEntropy(), 0.0);
+}
+
+TEST(Corpus, RejectsBadConfig) {
+    CorpusConfig cfg = SmallCorpus();
+    cfg.branching = 64;
+    EXPECT_THROW(ZipfMarkovCorpus{cfg}, std::invalid_argument);
+    cfg = SmallCorpus();
+    cfg.structure_weight = 1.0;
+    EXPECT_THROW(ZipfMarkovCorpus{cfg}, std::invalid_argument);
+}
+
+TEST(BatchStream, ShapesAndShiftInvariant) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    LmBatchStream stream(corpus, 4, 16, 0);
+    const auto batch = stream.Get(0);
+    EXPECT_EQ(batch.inputs.size(), 4U * 16U);
+    EXPECT_EQ(batch.targets.size(), 4U * 16U);
+    // targets are inputs shifted by one within each row.
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (std::size_t i = 0; i + 1 < 16; ++i) {
+            EXPECT_EQ(batch.targets[b * 16 + i], batch.inputs[b * 16 + i + 1]);
+        }
+    }
+}
+
+TEST(BatchStream, RandomAccessIsStateless) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    LmBatchStream stream(corpus, 2, 8, 0);
+    const auto once = stream.Get(5);
+    stream.Get(9);
+    const auto again = stream.Get(5);
+    EXPECT_EQ(once.inputs, again.inputs);
+}
+
+TEST(BatchStream, DistinctIndicesDiffer) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    LmBatchStream stream(corpus, 2, 8, 0);
+    EXPECT_NE(stream.Get(0).inputs, stream.Get(1).inputs);
+}
+
+// ---------- Classification ----------
+
+TEST(Classification, DeterministicExamples) {
+    ClassificationDataset data(ClassificationConfig{});
+    const auto a = data.Get(0, 17);
+    const auto b = data.Get(0, 17);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_EQ(a.label, b.label);
+}
+
+TEST(Classification, SplitsDiffer) {
+    ClassificationDataset data(ClassificationConfig{});
+    EXPECT_NE(data.Get(0, 3).tokens, data.Get(1, 3).tokens);
+}
+
+TEST(Classification, LabelsCoverClasses) {
+    ClassificationConfig cfg;
+    cfg.num_classes = 4;
+    ClassificationDataset data(cfg);
+    std::set<int> labels;
+    for (std::size_t i = 0; i < 200; ++i) {
+        const auto ex = data.Get(0, i);
+        EXPECT_GE(ex.label, 0);
+        EXPECT_LT(ex.label, 4);
+        labels.insert(ex.label);
+    }
+    EXPECT_EQ(labels.size(), 4U);
+}
+
+TEST(Classification, SequenceShape) {
+    ClassificationConfig cfg;
+    cfg.seq_len = 10;
+    ClassificationDataset data(cfg);
+    EXPECT_EQ(data.Get(0, 0).tokens.size(), 10U);
+    EXPECT_EQ(data.GetBatch(0, 0, 5).size(), 5U);
+}
+
+// ---------- Probes ----------
+
+TEST(Probes, SuiteHasEightTasks) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    ProbeSuiteConfig cfg;
+    cfg.items_per_task = 10;
+    const auto suite = BuildProbeSuite(corpus, cfg);
+    EXPECT_EQ(suite.size(), 8U);
+    for (const auto& task : suite) {
+        EXPECT_EQ(task.items.size(), 10U);
+        EXPECT_FALSE(task.name.empty());
+    }
+}
+
+TEST(Probes, ItemsWellFormed) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    ProbeSuiteConfig cfg;
+    cfg.items_per_task = 20;
+    for (const auto& task : BuildProbeSuite(corpus, cfg)) {
+        for (const auto& item : task.items) {
+            EXPECT_EQ(item.context.size(), cfg.context_len);
+            EXPECT_EQ(item.choices.size(), cfg.num_choices);
+            EXPECT_GE(item.correct, 0);
+            EXPECT_LT(static_cast<std::size_t>(item.correct), cfg.num_choices);
+            const auto& correct = item.choices[static_cast<std::size_t>(item.correct)];
+            for (const auto& choice : item.choices) {
+                EXPECT_EQ(choice.size(), correct.size());
+            }
+        }
+    }
+}
+
+TEST(Probes, DeterministicAcrossBuilds) {
+    ZipfMarkovCorpus corpus(SmallCorpus());
+    ProbeSuiteConfig cfg;
+    cfg.items_per_task = 5;
+    const auto a = BuildProbeSuite(corpus, cfg);
+    const auto b = BuildProbeSuite(corpus, cfg);
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        for (std::size_t i = 0; i < a[t].items.size(); ++i) {
+            EXPECT_EQ(a[t].items[i].context, b[t].items[i].context);
+            EXPECT_EQ(a[t].items[i].correct, b[t].items[i].correct);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace moc

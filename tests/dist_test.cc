@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the dist module: rank topology and EP-group algebra, model
+ * parameter accounting against the paper's figures, inventory consistency,
+ * and the Table 1 / Table 2 presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/inventory.h"
+#include "dist/model_spec.h"
+#include "dist/presets.h"
+#include "dist/topology.h"
+
+namespace moc {
+namespace {
+
+// ---------- Topology ----------
+
+TEST(Topology, EpGroupAlgebra) {
+    RankTopology topo({.dp = 16, .ep = 8, .tp = 1, .pp = 1}, 8);
+    EXPECT_EQ(topo.NumEpGroups(), 2U);
+    EXPECT_EQ(topo.EpGroup(0), 0U);
+    EXPECT_EQ(topo.EpGroup(7), 0U);
+    EXPECT_EQ(topo.EpGroup(8), 1U);
+    EXPECT_EQ(topo.EpRank(9), 1U);
+    EXPECT_EQ(topo.RankOf(1, 3), 11U);
+    EXPECT_EQ(topo.EpGroup(topo.RankOf(1, 3)), 1U);
+    EXPECT_EQ(topo.EpRank(topo.RankOf(1, 3)), 3U);
+}
+
+TEST(Topology, RejectsEpNotDividingDp) {
+    EXPECT_THROW(RankTopology({.dp = 10, .ep = 4, .tp = 1, .pp = 1}, 8),
+                 std::invalid_argument);
+}
+
+TEST(Topology, NodeAssignmentRespectsGpusPerNode) {
+    RankTopology topo({.dp = 16, .ep = 8, .tp = 1, .pp = 1}, 8);
+    EXPECT_EQ(topo.num_nodes(), 2U);
+    EXPECT_EQ(topo.NodeOf(0), 0U);
+    EXPECT_EQ(topo.NodeOf(7), 0U);
+    EXPECT_EQ(topo.NodeOf(8), 1U);
+    EXPECT_EQ(topo.RanksOn(1).size(), 8U);
+}
+
+TEST(Topology, NodeAssignmentWithTp) {
+    // dp=4 with tp=2: each DP rank spans 2 devices -> 8 devices, 1 node of 8.
+    RankTopology topo({.dp = 4, .ep = 2, .tp = 2, .pp = 1}, 8);
+    EXPECT_EQ(topo.num_nodes(), 1U);
+    EXPECT_EQ(topo.NodeOf(3), 0U);
+}
+
+TEST(Topology, ExpertOwnershipContiguous) {
+    RankTopology topo({.dp = 8, .ep = 4, .tp = 1, .pp = 1}, 8);
+    // 8 experts over 4 EP ranks: 2 per rank, contiguous blocks.
+    EXPECT_EQ(topo.ExpertsPerRank(8), 2U);
+    EXPECT_EQ(topo.OwnerEpRank(0, 8), 0U);
+    EXPECT_EQ(topo.OwnerEpRank(1, 8), 0U);
+    EXPECT_EQ(topo.OwnerEpRank(2, 8), 1U);
+    EXPECT_EQ(topo.OwnerEpRank(7, 8), 3U);
+    const auto owned = topo.ExpertsOf(1, 8);
+    EXPECT_EQ(owned, (std::vector<ExpertId>{2, 3}));
+}
+
+TEST(Topology, ExpertOwnershipRejectsNonDividing) {
+    RankTopology topo({.dp = 8, .ep = 4, .tp = 1, .pp = 1}, 8);
+    EXPECT_THROW(topo.OwnerEpRank(0, 6), std::invalid_argument);
+}
+
+// ---------- ModelSpec ----------
+
+TEST(ModelSpec, MoeLayerPlacementEveryOther) {
+    ModelSpec spec = Gpt125M8E();
+    EXPECT_EQ(spec.NumMoeLayers(), 6U);  // layers 1,3,5,7,9,11
+    EXPECT_FALSE(spec.IsMoeLayer(0));
+    EXPECT_TRUE(spec.IsMoeLayer(1));
+    EXPECT_FALSE(spec.IsMoeLayer(2));
+    EXPECT_TRUE(spec.IsMoeLayer(11));
+}
+
+TEST(ModelSpec, DenseModelHasNoMoeLayers) {
+    ModelSpec spec = Gpt125M8E();
+    spec.num_experts = 0;
+    EXPECT_EQ(spec.NumMoeLayers(), 0U);
+    EXPECT_EQ(spec.ExpertParams(), 0U);
+}
+
+TEST(ModelSpec, Gpt125MParameterCountMatchesPaper) {
+    // Table 1 reports 323M parameters for GPT-125M-8E.
+    const ModelSpec spec = Gpt125M8E();
+    const double total = static_cast<double>(spec.TotalParams());
+    EXPECT_GT(total, 280e6);
+    EXPECT_LT(total, 380e6);
+}
+
+TEST(ModelSpec, Gpt350MParameterCountMatchesPaper) {
+    // Table 1 reports 1.7G parameters for GPT-350M-16E.
+    const ModelSpec spec = Gpt350M16E();
+    const double total = static_cast<double>(spec.TotalParams());
+    EXPECT_GT(total, 1.5e9);
+    EXPECT_LT(total, 2.1e9);
+}
+
+TEST(ModelSpec, ExpertShareMatchesFigure2) {
+    // Fig. 2: expert states are ~86% of the checkpoint for GPT-350M-16E.
+    const ModelSpec spec = Gpt350M16E();
+    const double frac = static_cast<double>(spec.ExpertParams()) /
+                        static_cast<double>(spec.TotalParams());
+    EXPECT_GT(frac, 0.80);
+    EXPECT_LT(frac, 0.90);
+}
+
+TEST(ModelSpec, CheckpointSizeFormulas) {
+    const ModelSpec spec = Gpt350M16E();
+    const StateBytes bytes;  // B_w = 2, B_o = 12
+    const Bytes full = FullCheckpointSize(spec, bytes);
+    EXPECT_EQ(full, static_cast<Bytes>(spec.TotalParams()) * 14);
+    // Eq. 6: monotone in k, equals full at k = N.
+    Bytes prev = 0;
+    for (std::size_t k = 1; k <= spec.num_experts; ++k) {
+        const Bytes c = PecCheckpointSize(spec, bytes, k);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+    EXPECT_EQ(prev, full);
+}
+
+TEST(ModelSpec, PecSizeRejectsBadK) {
+    const ModelSpec spec = Gpt350M16E();
+    const StateBytes bytes;
+    EXPECT_THROW(PecCheckpointSize(spec, bytes, 0), std::invalid_argument);
+    EXPECT_THROW(PecCheckpointSize(spec, bytes, 17), std::invalid_argument);
+}
+
+TEST(ModelSpec, LlamaSimSizesOrdered) {
+    const auto small = LlamaMoeSim("small", 8);
+    const auto medium = LlamaMoeSim("medium", 8);
+    const auto large = LlamaMoeSim("large", 8);
+    EXPECT_LT(small.TotalParams(), medium.TotalParams());
+    EXPECT_LT(medium.TotalParams(), large.TotalParams());
+}
+
+// ---------- Inventory ----------
+
+TEST(Inventory, TotalsAgreeWithSpec) {
+    const ModelSpec spec = Gpt125M8E();
+    const ModelStateInventory inv(spec, StateBytes{});
+    EXPECT_EQ(inv.NonExpertParams(), spec.NonExpertParams());
+    EXPECT_EQ(inv.ExpertParams(), spec.ExpertParams());
+    EXPECT_EQ(inv.TotalStateBytes(), FullCheckpointSize(spec, StateBytes{}));
+}
+
+TEST(Inventory, ExpertGridComplete) {
+    const ModelSpec spec = Gpt125M8E();
+    const ModelStateInventory inv(spec, StateBytes{});
+    EXPECT_EQ(inv.ExpertModules().size(),
+              spec.NumMoeLayers() * spec.num_experts);
+    for (std::size_t m = 0; m < spec.NumMoeLayers(); ++m) {
+        for (ExpertId e = 0; e < spec.num_experts; ++e) {
+            const auto& module = inv.ExpertModule(m, e);
+            EXPECT_EQ(module.kind, ModuleKind::kExpert);
+            EXPECT_EQ(module.moe_index, m);
+            EXPECT_EQ(module.expert, e);
+            EXPECT_EQ(module.params, spec.FfnParams());
+        }
+    }
+}
+
+TEST(Inventory, KeysAreUnique) {
+    const ModelStateInventory inv(Gpt125M8E(), StateBytes{});
+    std::set<std::string> keys;
+    for (const auto& m : inv.modules()) {
+        EXPECT_TRUE(keys.insert(m.key).second) << "duplicate key " << m.key;
+    }
+}
+
+TEST(Inventory, ByteAccounting) {
+    const ModelStateInventory inv(Gpt125M8E(), StateBytes{.weight = 2, .optim = 12});
+    const auto& m = inv.modules().front();
+    EXPECT_EQ(inv.WeightBytes(m), m.params * 2);
+    EXPECT_EQ(inv.OptimBytes(m), m.params * 12);
+    EXPECT_EQ(inv.StateBytesOf(m), m.params * 14);
+}
+
+// ---------- Presets ----------
+
+TEST(Presets, Table2Cases) {
+    const auto c1 = Case1();
+    EXPECT_EQ(c1.parallel.dp, 8U);
+    EXPECT_EQ(c1.parallel.ep, 8U);
+    EXPECT_EQ(c1.GpusPerNode(), 8U);
+    EXPECT_EQ(c1.Topology().NumEpGroups(), 1U);
+
+    const auto c2 = Case2();
+    EXPECT_EQ(c2.parallel.dp, 16U);
+    EXPECT_EQ(c2.parallel.ep, 16U);
+    EXPECT_EQ(c2.Topology().NumEpGroups(), 1U);
+
+    const auto c3 = Case3();
+    EXPECT_EQ(c3.parallel.dp, 16U);
+    EXPECT_EQ(c3.parallel.ep, 8U);
+    EXPECT_EQ(c3.Topology().NumEpGroups(), 2U);
+
+    // Experts per GPU for the 16-expert model (Table 2 column).
+    EXPECT_EQ(c1.Topology().ExpertsPerRank(16), 2U);
+    EXPECT_EQ(c2.Topology().ExpertsPerRank(16), 1U);
+    EXPECT_EQ(c3.Topology().ExpertsPerRank(16), 2U);
+}
+
+TEST(Presets, LlamaRejectsUnknownSize) {
+    EXPECT_EXIT(LlamaMoeSim("xl", 8), ::testing::ExitedWithCode(1), "");
+}
+
+}  // namespace
+}  // namespace moc

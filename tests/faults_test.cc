@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the faults module: injector schedules and the
+ * fault-tolerant training drivers (small end-to-end runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faults/injector.h"
+#include "faults/trainer.h"
+
+namespace moc {
+namespace {
+
+// ---------- FaultInjector ----------
+
+TEST(Injector, FiresOnceAtScheduledIteration) {
+    auto injector = FaultInjector::At(10, 1);
+    EXPECT_FALSE(injector.Poll(9).has_value());
+    const auto event = injector.Poll(10);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->nodes, (std::vector<NodeId>{1}));
+    // Replay must not re-fire it.
+    EXPECT_FALSE(injector.Poll(10).has_value());
+    EXPECT_EQ(injector.remaining(), 0U);
+}
+
+TEST(Injector, EveryGeneratesPeriodicEvents) {
+    auto injector = FaultInjector::Every(100, 450, 0);
+    EXPECT_EQ(injector.events().size(), 4U);  // 100, 200, 300, 400
+    EXPECT_TRUE(injector.Poll(200).has_value());
+    EXPECT_EQ(injector.remaining(), 3U);
+}
+
+TEST(Injector, PoissonRateRoughlyCorrect) {
+    auto injector = FaultInjector::Poisson(0.01, 10000, 4, 7);
+    const double count = static_cast<double>(injector.events().size());
+    EXPECT_GT(count, 60.0);
+    EXPECT_LT(count, 140.0);
+    for (const auto& e : injector.events()) {
+        EXPECT_LT(e.iteration, 10000U);
+        EXPECT_LT(e.nodes[0], 4U);
+    }
+}
+
+TEST(Injector, PoissonDeterministicBySeed) {
+    auto a = FaultInjector::Poisson(0.01, 1000, 2, 3);
+    auto b = FaultInjector::Poisson(0.01, 1000, 2, 3);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].iteration, b.events()[i].iteration);
+    }
+}
+
+// ---------- End-to-end LM training ----------
+
+LmConfig
+TinyLm() {
+    LmConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    cfg.seed = 5;
+    return cfg;
+}
+
+LmTrainerConfig
+TinyTrainer(std::size_t iters = 48) {
+    LmTrainerConfig cfg;
+    cfg.moc.pec.k_snapshot = 2;
+    cfg.moc.pec.k_persist = 1;
+    cfg.moc.i_ckpt = 8;
+    cfg.parallel = {.dp = 4, .ep = 4, .tp = 1, .pp = 1};
+    cfg.gpus_per_node = 2;
+    cfg.total_iterations = iters;
+    cfg.adam.lr = 3e-3;
+    return cfg;
+}
+
+struct LmFixtures {
+    CorpusConfig corpus_cfg;
+    ZipfMarkovCorpus corpus;
+    LmBatchStream train;
+    LmBatchStream valid;
+
+    LmFixtures()
+        : corpus_cfg([] {
+              CorpusConfig c;
+              c.vocab_size = 32;
+              c.seed = 3;
+              return c;
+          }()),
+          corpus(corpus_cfg),
+          train(corpus, 8, 12, 0),
+          valid(corpus, 8, 12, 1) {}
+};
+
+TEST(LmTrainer, RunsToCompletionWithoutFaults) {
+    LmFixtures fx;
+    MoeTransformerLm model(TinyLm());
+    auto cfg = TinyTrainer();
+    FaultInjector none(std::vector<FaultEvent>{});
+    const auto log = RunFaultTolerantLmTraining(model, fx.train, fx.valid, cfg, none);
+    EXPECT_EQ(log.train_losses.size(), 48U);
+    EXPECT_EQ(log.checkpoints, 6U);  // every 8 of 48
+    EXPECT_DOUBLE_EQ(log.plt, 0.0);
+    EXPECT_TRUE(log.recoveries.empty());
+    // Training learned something.
+    EXPECT_LT(log.train_losses.back().second, log.train_losses.front().second);
+}
+
+TEST(LmTrainer, RecoversFromMidpointFault) {
+    LmFixtures fx;
+    MoeTransformerLm model(TinyLm());
+    auto cfg = TinyTrainer();
+    auto injector = FaultInjector::At(26, 0);
+    const auto log = RunFaultTolerantLmTraining(model, fx.train, fx.valid, cfg, injector);
+    ASSERT_EQ(log.recoveries.size(), 1U);
+    // Restart point is the last completed checkpoint before iteration 26.
+    EXPECT_EQ(log.recoveries[0].plan.restart_iteration, 24U);
+    // Iterations 25..26 were replayed: the log contains them twice.
+    EXPECT_GT(log.train_losses.size(), 48U);
+    EXPECT_GT(log.plt, 0.0);
+    EXPECT_LT(log.plt, 0.5);
+}
+
+TEST(LmTrainer, FullCheckpointFaultIsLossless) {
+    LmFixtures fx;
+    // Run A: no faults.
+    MoeTransformerLm model_a(TinyLm());
+    auto cfg = TinyTrainer();
+    cfg.moc.pec.k_snapshot = 4;
+    cfg.moc.pec.k_persist = 4;
+    FaultInjector none(std::vector<FaultEvent>{});
+    const auto log_a =
+        RunFaultTolerantLmTraining(model_a, fx.train, fx.valid, cfg, none);
+    // Run B: fault right after a checkpoint, with full checkpointing:
+    // recovery replays deterministically -> identical final loss.
+    MoeTransformerLm model_b(TinyLm());
+    auto injector = FaultInjector::At(24, 1);
+    const auto log_b =
+        RunFaultTolerantLmTraining(model_b, fx.train, fx.valid, cfg, injector);
+    EXPECT_DOUBLE_EQ(log_b.plt, 0.0);
+    EXPECT_NEAR(log_a.final_eval_loss, log_b.final_eval_loss, 1e-9);
+}
+
+TEST(LmTrainer, PecFaultKeepsLossComparable) {
+    LmFixtures fx;
+    MoeTransformerLm model_a(TinyLm());
+    auto cfg = TinyTrainer(64);
+    FaultInjector none(std::vector<FaultEvent>{});
+    const auto log_a =
+        RunFaultTolerantLmTraining(model_a, fx.train, fx.valid, cfg, none);
+
+    MoeTransformerLm model_b(TinyLm());
+    auto injector = FaultInjector::At(34, 0);
+    const auto log_b =
+        RunFaultTolerantLmTraining(model_b, fx.train, fx.valid, cfg, injector);
+    // PEC loses some expert updates but the final loss stays in the same
+    // neighbourhood (the Fig. 5 phenomenon, coarse version).
+    EXPECT_LT(std::fabs(log_a.final_eval_loss - log_b.final_eval_loss), 0.3);
+}
+
+TEST(LmTrainer, MoreFaultsMorePlt) {
+    LmFixtures fx;
+    auto cfg = TinyTrainer(64);
+    cfg.moc.pec.k_snapshot = 1;
+    cfg.moc.pec.k_persist = 1;
+    cfg.moc.two_level_recovery = false;
+
+    MoeTransformerLm one_model(TinyLm());
+    auto one = FaultInjector::At(34, 0);
+    const auto log_one =
+        RunFaultTolerantLmTraining(one_model, fx.train, fx.valid, cfg, one);
+
+    MoeTransformerLm many_model(TinyLm());
+    auto many = FaultInjector::Every(16, 64, 0);
+    const auto log_many =
+        RunFaultTolerantLmTraining(many_model, fx.train, fx.valid, cfg, many);
+    EXPECT_GT(log_many.plt, log_one.plt);
+}
+
+TEST(LmTrainer, TwoLevelRecoveryLowersPlt) {
+    LmFixtures fx;
+    auto base_cfg = TinyTrainer(64);
+    base_cfg.moc.pec.k_snapshot = 4;
+    base_cfg.moc.pec.k_persist = 1;
+
+    auto run = [&](bool two_level) {
+        MoeTransformerLm model(TinyLm());
+        auto cfg = base_cfg;
+        cfg.moc.two_level_recovery = two_level;
+        auto injector = FaultInjector::At(34, 0);
+        return RunFaultTolerantLmTraining(model, fx.train, fx.valid, cfg, injector)
+            .plt;
+    };
+    EXPECT_LE(run(true), run(false));
+    EXPECT_GT(run(false), 0.0);
+}
+
+// ---------- End-to-end classifier training ----------
+
+TEST(ClassifierTrainer, AccuracyImprovesAcrossEpochsDespiteFaults) {
+    ClassificationConfig data_cfg;
+    data_cfg.num_classes = 4;
+    data_cfg.vocab_size = 32;
+    data_cfg.seq_len = 12;
+    data_cfg.noise = 0.1;
+    ClassificationDataset data(data_cfg);
+
+    ClassifierConfig model_cfg;
+    model_cfg.vocab = 32;
+    model_cfg.max_seq = 12;
+    model_cfg.num_classes = 4;
+    model_cfg.hidden = 16;
+    model_cfg.num_heads = 2;
+    model_cfg.head_dim = 8;
+    model_cfg.num_layers = 2;
+    model_cfg.ffn_mult = 2;
+    model_cfg.num_experts = 4;
+    MoeClassifier model(model_cfg);
+
+    ClassifierTrainerConfig cfg;
+    cfg.moc.pec.k_snapshot = 2;
+    cfg.moc.pec.k_persist = 1;
+    cfg.moc.i_ckpt = 8;
+    cfg.parallel = {.dp = 4, .ep = 4, .tp = 1, .pp = 1};
+    cfg.gpus_per_node = 2;
+    cfg.epochs = 6;
+    cfg.steps_per_epoch = 16;
+    cfg.batch = 16;
+    cfg.test_examples = 64;
+    cfg.adam.lr = 3e-3;
+
+    const auto log =
+        RunFaultTolerantClassifierTraining(model, data, cfg, {2, 4});
+    EXPECT_EQ(log.recoveries, 2U);
+    ASSERT_EQ(log.epoch_accuracy.size(), 6U);
+    EXPECT_GT(log.epoch_accuracy.back(), log.epoch_accuracy.front());
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the on-disk FileStore: round trips, nested keys, torn-write
+ * detection, key validation, and interchangeability with MemoryStore
+ * through the ObjectStore interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/file_store.h"
+#include "storage/memory_store.h"
+
+namespace fs = std::filesystem;
+
+namespace moc {
+namespace {
+
+/** RAII temp directory for one test. */
+class TempDir {
+  public:
+    explicit TempDir(const char* tag) {
+        path_ = fs::temp_directory_path() /
+                (std::string("moc_fs_test_") + tag + "_" +
+                 std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path& path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+Blob
+MakeBlob(std::size_t size, std::uint8_t fill) {
+    return Blob(size, fill);
+}
+
+TEST(FileStore, PutGetRoundTrip) {
+    TempDir dir("roundtrip");
+    FileStore store(dir.path());
+    store.Put("ckpt", MakeBlob(1024, 0x7E));
+    ASSERT_TRUE(store.Contains("ckpt"));
+    const auto blob = store.Get("ckpt");
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(blob->size(), 1024U);
+    EXPECT_EQ(blob->front(), 0x7E);
+}
+
+TEST(FileStore, NestedKeysBecomeDirectories) {
+    TempDir dir("nested");
+    FileStore store(dir.path());
+    store.Put("moe/0/expert/3/w", MakeBlob(64, 1));
+    store.Put("moe/0/expert/3/o", MakeBlob(64, 2));
+    store.Put("layer/1/attn/w", MakeBlob(64, 3));
+    EXPECT_EQ(store.Count(), 3U);
+    EXPECT_EQ(store.Keys(),
+              (std::vector<std::string>{"layer/1/attn/w", "moe/0/expert/3/o",
+                                        "moe/0/expert/3/w"}));
+    EXPECT_EQ(store.TotalBytes(), 192U);
+}
+
+TEST(FileStore, OverwriteReplaces) {
+    TempDir dir("overwrite");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(100, 1));
+    store.Put("k", MakeBlob(10, 2));
+    EXPECT_EQ(store.Get("k")->size(), 10U);
+    EXPECT_EQ(store.TotalBytes(), 10U);
+}
+
+TEST(FileStore, EraseAndMissingKey) {
+    TempDir dir("erase");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(8, 0));
+    store.Erase("k");
+    EXPECT_FALSE(store.Contains("k"));
+    EXPECT_FALSE(store.Get("k").has_value());
+    store.Erase("never-existed");  // no-op
+}
+
+TEST(FileStore, SurvivesReopen) {
+    TempDir dir("reopen");
+    {
+        FileStore store(dir.path());
+        store.Put("persisted/key", MakeBlob(256, 0x42));
+    }
+    FileStore reopened(dir.path());
+    ASSERT_TRUE(reopened.Contains("persisted/key"));
+    EXPECT_EQ(reopened.Get("persisted/key")->size(), 256U);
+}
+
+TEST(FileStore, DetectsTornWrite) {
+    TempDir dir("torn");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(128, 0xAB));
+    // Corrupt the file on disk behind the store's back.
+    const fs::path file = dir.path() / "k.blob";
+    {
+        std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(64);
+        const char evil = 0x00;
+        f.write(&evil, 1);
+    }
+    EXPECT_THROW(store.Get("k"), std::runtime_error);
+}
+
+TEST(FileStore, RejectsBadKeys) {
+    TempDir dir("badkeys");
+    FileStore store(dir.path());
+    EXPECT_THROW(store.Put("", MakeBlob(1, 0)), std::invalid_argument);
+    EXPECT_THROW(store.Put("/abs", MakeBlob(1, 0)), std::invalid_argument);
+    EXPECT_THROW(store.Put("trailing/", MakeBlob(1, 0)), std::invalid_argument);
+    EXPECT_THROW(store.Put("a//b", MakeBlob(1, 0)), std::invalid_argument);
+    EXPECT_THROW(store.Put("../escape", MakeBlob(1, 0)), std::invalid_argument);
+    EXPECT_THROW(store.Put("a/./b", MakeBlob(1, 0)), std::invalid_argument);
+}
+
+TEST(FileStore, EmptyBlobAllowed) {
+    TempDir dir("empty");
+    FileStore store(dir.path());
+    store.Put("zero", Blob{});
+    const auto blob = store.Get("zero");
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_TRUE(blob->empty());
+}
+
+/** The same behavioural contract holds for both ObjectStore backends. */
+class StoreContract : public ::testing::TestWithParam<int> {
+  protected:
+    void SetUp() override {
+        if (GetParam() == 0) {
+            store_ = std::make_unique<MemoryStore>();
+        } else {
+            dir_ = std::make_unique<TempDir>("contract");
+            store_ = std::make_unique<FileStore>(dir_->path());
+        }
+    }
+    std::unique_ptr<TempDir> dir_;
+    std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_P(StoreContract, BasicSemantics) {
+    auto& store = *store_;
+    EXPECT_EQ(store.Count(), 0U);
+    store.Put("a/b", MakeBlob(5, 9));
+    store.Put("a/c", MakeBlob(7, 9));
+    EXPECT_EQ(store.Count(), 2U);
+    EXPECT_EQ(store.TotalBytes(), 12U);
+    EXPECT_TRUE(store.Contains("a/b"));
+    EXPECT_FALSE(store.Contains("a"));
+    store.Erase("a/b");
+    EXPECT_EQ(store.Keys(), (std::vector<std::string>{"a/c"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreContract, ::testing::Values(0, 1),
+                         [](const auto& info) {
+                             return info.param == 0 ? "Memory" : "File";
+                         });
+
+}  // namespace
+}  // namespace moc

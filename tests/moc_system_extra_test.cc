@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Additional MocCheckpointSystem behaviours: rotation continuity across
+ * recoveries, repeated faults, dense-model rejection, inventory for dense
+ * models, and per-level byte accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/moc_system.h"
+#include "dist/presets.h"
+#include "nn/model.h"
+
+namespace moc {
+namespace {
+
+LmConfig
+TinyLm() {
+    LmConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    cfg.seed = 5;
+    return cfg;
+}
+
+RankTopology
+TwoNodeTopology() {
+    return RankTopology({.dp = 4, .ep = 4, .tp = 1, .pp = 1}, 2);
+}
+
+TEST(MocSystemExtra, RotationAdvancesAcrossCheckpoints) {
+    MoeTransformerLm model(TinyLm());
+    const auto topo = TwoNodeTopology();
+    MocSystemConfig cfg;
+    cfg.pec.k_snapshot = 1;
+    cfg.pec.k_persist = 1;
+    cfg.i_ckpt = 2;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(cfg, model, topo, TinyLm().ToModelSpec(), extra);
+    // After N checkpoints with K=1, every expert has a persist newer than 0.
+    for (std::size_t c = 1; c <= 4; ++c) {
+        extra.iteration = 2 * c;
+        system.Checkpoint(2 * c, extra);
+    }
+    for (ExpertId e = 0; e < 4; ++e) {
+        const auto v = system.manifest().Latest(
+            StoreLevel::kPersist, "moe/0/expert/" + std::to_string(e) + "/w");
+        ASSERT_TRUE(v.has_value());
+        EXPECT_GT(v->iteration, 0U) << "expert " << e << " never re-persisted";
+    }
+    EXPECT_EQ(system.checkpoint_count(), 4U);
+}
+
+TEST(MocSystemExtra, RepeatedFaultsRecoverEachTime) {
+    MoeTransformerLm model(TinyLm());
+    const auto topo = TwoNodeTopology();
+    MocSystemConfig cfg;
+    cfg.pec.k_snapshot = 2;
+    cfg.pec.k_persist = 1;
+    cfg.i_ckpt = 4;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(cfg, model, topo, TinyLm().ToModelSpec(), extra);
+    extra.iteration = 4;
+    system.Checkpoint(4, extra);
+    const auto first = system.RecoverFromFault({0});
+    EXPECT_EQ(first.plan.restart_iteration, 4U);
+    // Replay and checkpoint again; a second fault on the other node.
+    extra.iteration = 8;
+    system.Checkpoint(8, extra);
+    const auto second = system.RecoverFromFault({1});
+    EXPECT_EQ(second.plan.restart_iteration, 8U);
+}
+
+TEST(MocSystemExtra, SnapshotBytesCountNodeReplicas) {
+    // With one EP group every expert snapshot lands on exactly one node;
+    // the non-expert snapshot on one node: snapshot bytes ~= persist bytes
+    // for full checkpointing in a single-group topology.
+    MoeTransformerLm model(TinyLm());
+    const auto topo = TwoNodeTopology();
+    MocSystemConfig cfg;
+    cfg.pec.k_snapshot = 4;
+    cfg.pec.k_persist = 4;
+    cfg.i_ckpt = 4;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(cfg, model, topo, TinyLm().ToModelSpec(), extra);
+    const auto report = system.Checkpoint(4, extra);
+    EXPECT_EQ(report.snapshot_bytes, report.persist_bytes);
+    EXPECT_GT(report.persist_bytes, 0U);
+}
+
+TEST(MocSystemExtra, MultiGroupTopologyReplicatesSnapshots) {
+    // dp=4, ep=2 -> 2 EP groups: each expert's snapshot exists on the owner
+    // rank of BOTH groups; with 2 GPUs per node those owners are on distinct
+    // nodes, so expert snapshot bytes double.
+    LmConfig cfg = TinyLm();
+    MoeTransformerLm model(cfg);
+    RankTopology topo({.dp = 4, .ep = 2, .tp = 1, .pp = 1}, 2);
+    MocSystemConfig sys_cfg;
+    sys_cfg.pec.k_snapshot = 4;
+    sys_cfg.pec.k_persist = 4;
+    sys_cfg.i_ckpt = 4;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(sys_cfg, model, topo, cfg.ToModelSpec(), extra);
+    const auto report = system.Checkpoint(4, extra);
+    EXPECT_GT(report.snapshot_bytes, report.persist_bytes);
+}
+
+TEST(MocSystemExtra, DenseModelRejected) {
+    LmConfig cfg = TinyLm();
+    cfg.num_experts = 0;
+    MoeTransformerLm model(cfg);
+    const auto topo = TwoNodeTopology();
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    EXPECT_THROW(MocCheckpointSystem(MocSystemConfig{}, model, topo,
+                                     cfg.ToModelSpec(), extra),
+                 std::invalid_argument);
+}
+
+TEST(InventoryExtra, DenseModelHasNoExpertModules) {
+    ModelSpec spec = Gpt125M8E();
+    spec.num_experts = 0;
+    const ModelStateInventory inv(spec, StateBytes{});
+    EXPECT_TRUE(inv.ExpertModules().empty());
+    EXPECT_EQ(inv.ExpertParams(), 0U);
+    EXPECT_EQ(inv.NonExpertParams(), spec.TotalParams());
+}
+
+TEST(MocSystemExtra, CurrentKTracksDynamicEscalation) {
+    MoeTransformerLm model(TinyLm());
+    const auto topo = TwoNodeTopology();
+    MocSystemConfig cfg;
+    cfg.pec.k_snapshot = 1;
+    cfg.pec.k_persist = 1;
+    cfg.i_ckpt = 4;
+    cfg.dynamic_k = true;
+    cfg.two_level_recovery = false;
+    cfg.plt_threshold = 1e-9;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(cfg, model, topo, TinyLm().ToModelSpec(), extra);
+    EXPECT_EQ(system.current_k_snapshot(), 1U);
+    // Route traffic so recovery yields nonzero PLT, then fault.
+    std::vector<std::size_t> per_expert(4, 5);
+    for (std::size_t m = 0; m < system.ledger().num_moe_layers(); ++m) {
+        system.ledger().RecordRouting(m, per_expert, 20);
+    }
+    extra.iteration = 4;
+    system.Checkpoint(4, extra);
+    for (std::size_t m = 0; m < system.ledger().num_moe_layers(); ++m) {
+        system.ledger().RecordRouting(m, per_expert, 20);
+    }
+    extra.iteration = 8;
+    system.Checkpoint(8, extra);
+    system.RecoverFromFault({0});
+    EXPECT_GT(system.current_k_snapshot(), 1U);
+}
+
+}  // namespace
+}  // namespace moc

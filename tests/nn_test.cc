@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Unit tests for the nn module: per-layer gradient checks against finite
+ * differences, MoE routing semantics (top-k, capacity, noise), Adam
+ * behaviour, and training sanity for both model types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "data/corpus.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/classifier.h"
+#include "nn/embedding.h"
+#include "nn/eval.h"
+#include "nn/ffn.h"
+#include "nn/linear.h"
+#include "nn/model.h"
+#include "nn/moe_layer.h"
+
+namespace moc {
+namespace {
+
+/** Scalar loss L = sum(output * dy) for gradient checking. */
+template <typename Layer>
+double
+ProbeLoss(Layer& layer, const Tensor& x, const Tensor& dy) {
+    Tensor y = layer.Forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        loss += static_cast<double>(y[i]) * dy[i];
+    }
+    return loss;
+}
+
+// ---------- Linear ----------
+
+TEST(Linear, ForwardMatchesManualCompute) {
+    Rng rng(1);
+    Linear lin("t", 3, 2, rng, 0.5F);
+    auto x = Tensor::FromValues(1, 3, {1, 2, 3});
+    auto y = lin.Forward(x);
+    const auto& w = lin.weight().value();
+    for (std::size_t j = 0; j < 2; ++j) {
+        double acc = lin.bias().value()[j];
+        for (std::size_t i = 0; i < 3; ++i) {
+            acc += static_cast<double>(x[i]) * w.At(i, j);
+        }
+        EXPECT_NEAR(y[j], acc, 1e-5);
+    }
+}
+
+TEST(Linear, GradientCheckInputsAndWeights) {
+    Rng rng(2);
+    Linear lin("t", 4, 3, rng, 0.5F);
+    auto x = Tensor::Randn({2, 4}, rng, 1.0F);
+    auto dy = Tensor::Randn({2, 3}, rng, 1.0F);
+
+    lin.weight().ZeroGrad();
+    lin.bias().ZeroGrad();
+    lin.Forward(x);
+    Tensor dx = lin.Backward(dy);
+
+    const float eps = 1e-2F;
+    // Input gradient.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double num = (ProbeLoss(lin, xp, dy) - ProbeLoss(lin, xm, dy)) / (2 * eps);
+        EXPECT_NEAR(dx[i], num, 5e-3);
+    }
+    // Weight gradient (spot check a few entries).
+    for (std::size_t i : {0UL, 5UL, 11UL}) {
+        const float orig = lin.weight().value()[i];
+        lin.weight().value()[i] = orig + eps;
+        const double lp = ProbeLoss(lin, x, dy);
+        lin.weight().value()[i] = orig - eps;
+        const double lm = ProbeLoss(lin, x, dy);
+        lin.weight().value()[i] = orig;
+        EXPECT_NEAR(lin.weight().grad()[i], (lp - lm) / (2 * eps), 5e-3);
+    }
+}
+
+// ---------- Embedding ----------
+
+TEST(Embedding, GatherAndScatter) {
+    Rng rng(3);
+    Embedding emb("e", 10, 4, rng, 1.0F);
+    std::vector<TokenId> tokens{3, 3, 7};
+    auto y = emb.Forward(tokens);
+    EXPECT_EQ(y.dim(0), 3U);
+    for (std::size_t d = 0; d < 4; ++d) {
+        EXPECT_EQ(y.At(0, d), emb.table().value().At(3, d));
+        EXPECT_EQ(y.At(0, d), y.At(1, d));
+    }
+    Tensor dy({3, 4});
+    dy.Fill(1.0F);
+    emb.Backward(dy);
+    // Token 3 appears twice -> its gradient rows accumulate to 2.
+    EXPECT_EQ(emb.table().grad().At(3, 0), 2.0F);
+    EXPECT_EQ(emb.table().grad().At(7, 0), 1.0F);
+    EXPECT_EQ(emb.table().grad().At(0, 0), 0.0F);
+}
+
+TEST(Embedding, RejectsOutOfRangeToken) {
+    Rng rng(3);
+    Embedding emb("e", 10, 4, rng, 1.0F);
+    std::vector<TokenId> tokens{11};
+    EXPECT_THROW(emb.Forward(tokens), std::invalid_argument);
+}
+
+// ---------- FFN ----------
+
+TEST(Ffn, GradientCheck) {
+    Rng rng(4);
+    Ffn ffn("f", 4, 8, rng, 0.5F);
+    auto x = Tensor::Randn({3, 4}, rng, 1.0F);
+    auto dy = Tensor::Randn({3, 4}, rng, 1.0F);
+    ffn.Forward(x);
+    Tensor dx = ffn.Backward(dy);
+    const float eps = 1e-2F;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double num = (ProbeLoss(ffn, xp, dy) - ProbeLoss(ffn, xm, dy)) / (2 * eps);
+        EXPECT_NEAR(dx[i], num, 1e-2);
+    }
+}
+
+// ---------- Attention ----------
+
+TEST(Attention, CausalMaskBlocksFuture) {
+    Rng rng(5);
+    MultiHeadAttention attn("a", 8, 2, 4, /*causal=*/true, rng, 0.2F);
+    // Two sequences where only the last token differs: causal attention
+    // must produce identical outputs at all earlier positions.
+    auto x1 = Tensor::Randn({4, 8}, rng, 1.0F);
+    Tensor x2 = x1;
+    for (std::size_t d = 0; d < 8; ++d) {
+        x2.At(3, d) += 1.0F;
+    }
+    auto y1 = attn.Forward(x1, 1, 4);
+    auto y2 = attn.Forward(x2, 1, 4);
+    for (std::size_t s = 0; s < 3; ++s) {
+        for (std::size_t d = 0; d < 8; ++d) {
+            EXPECT_NEAR(y1.At(s, d), y2.At(s, d), 1e-5F);
+        }
+    }
+}
+
+TEST(Attention, GradientCheck) {
+    Rng rng(6);
+    MultiHeadAttention attn("a", 6, 2, 3, /*causal=*/true, rng, 0.3F);
+    auto x = Tensor::Randn({3, 6}, rng, 1.0F);
+    auto dy = Tensor::Randn({3, 6}, rng, 1.0F);
+    attn.Forward(x, 1, 3);
+    Tensor dx = attn.Backward(dy);
+    auto loss = [&](const Tensor& xx) {
+        Tensor y = attn.Forward(xx, 1, 3);
+        double l = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            l += static_cast<double>(y[i]) * dy[i];
+        }
+        return l;
+    };
+    const float eps = 1e-2F;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        EXPECT_NEAR(dx[i], (loss(xp) - loss(xm)) / (2 * eps), 2e-2);
+    }
+}
+
+TEST(Attention, BatchIndependence) {
+    Rng rng(7);
+    MultiHeadAttention attn("a", 8, 2, 4, /*causal=*/true, rng, 0.2F);
+    auto a = Tensor::Randn({3, 8}, rng, 1.0F);
+    auto b = Tensor::Randn({3, 8}, rng, 1.0F);
+    // Concatenate as a batch of 2.
+    Tensor both({6, 8});
+    std::copy_n(a.data(), a.size(), both.data());
+    std::copy_n(b.data(), b.size(), both.data() + a.size());
+    auto ya = attn.Forward(a, 1, 3);
+    auto yboth = attn.Forward(both, 2, 3);
+    for (std::size_t i = 0; i < ya.size(); ++i) {
+        EXPECT_NEAR(ya[i], yboth[i], 1e-5F);
+    }
+}
+
+// ---------- MoE layer ----------
+
+MoeLayerConfig
+TinyMoe(std::size_t experts = 4, std::size_t top_k = 1) {
+    MoeLayerConfig cfg;
+    cfg.hidden = 8;
+    cfg.inter = 16;
+    cfg.num_experts = experts;
+    cfg.top_k = top_k;
+    cfg.capacity_factor = 100.0;  // effectively no drops unless tested
+    cfg.noise_std = 0.0F;
+    cfg.aux_loss_coeff = 0.0F;
+    return cfg;
+}
+
+TEST(MoeLayer, RoutesEveryTokenWithoutCapacityPressure) {
+    Rng rng(8);
+    MoeLayer moe("m", TinyMoe(), rng, 0.3F);
+    auto x = Tensor::Randn({10, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, /*train=*/true, noise);
+    const auto& stats = moe.last_stats();
+    EXPECT_EQ(stats.assignments, 10U);
+    EXPECT_EQ(stats.dropped, 0U);
+    EXPECT_EQ(std::accumulate(stats.tokens_per_expert.begin(),
+                              stats.tokens_per_expert.end(), 0UL),
+              10UL);
+}
+
+TEST(MoeLayer, TopKMeansKAssignmentsPerToken) {
+    Rng rng(9);
+    MoeLayer moe("m", TinyMoe(4, 2), rng, 0.3F);
+    auto x = Tensor::Randn({6, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, true, noise);
+    EXPECT_EQ(moe.last_stats().assignments, 12U);
+    EXPECT_EQ(std::accumulate(moe.last_stats().tokens_per_expert.begin(),
+                              moe.last_stats().tokens_per_expert.end(), 0UL),
+              12UL);
+}
+
+TEST(MoeLayer, CapacityDropsOverflow) {
+    Rng rng(10);
+    auto cfg = TinyMoe(2, 1);
+    cfg.capacity_factor = 0.5;  // capacity = ceil(0.5 * T / 2) = T/4
+    MoeLayer moe("m", cfg, rng, 0.3F);
+    auto x = Tensor::Randn({16, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, true, noise);
+    const auto& stats = moe.last_stats();
+    EXPECT_GT(stats.dropped, 0U);
+    for (auto count : stats.tokens_per_expert) {
+        EXPECT_LE(count, 4U);  // ceil(0.5 * 16 * 1 / 2)
+    }
+}
+
+TEST(MoeLayer, DroppedTokensPassThroughAsZero) {
+    Rng rng(11);
+    auto cfg = TinyMoe(2, 1);
+    cfg.capacity_factor = 1e-9;  // capacity = 1 per expert
+    MoeLayer moe("m", cfg, rng, 0.3F);
+    auto x = Tensor::Randn({8, 8}, rng, 1.0F);
+    Rng noise(1);
+    Tensor y = moe.Forward(x, true, noise);
+    // At most 2 tokens produce nonzero output rows (one per expert).
+    std::size_t nonzero_rows = 0;
+    for (std::size_t t = 0; t < 8; ++t) {
+        double norm = 0.0;
+        for (std::size_t d = 0; d < 8; ++d) {
+            norm += std::fabs(y.At(t, d));
+        }
+        if (norm > 1e-9) {
+            ++nonzero_rows;
+        }
+    }
+    EXPECT_LE(nonzero_rows, 2U);
+}
+
+TEST(MoeLayer, GradientCheckTop1) {
+    Rng rng(12);
+    MoeLayer moe("m", TinyMoe(3, 1), rng, 0.4F);
+    auto x = Tensor::Randn({5, 8}, rng, 1.0F);
+    auto dy = Tensor::Randn({5, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, true, noise);
+    Tensor dx = moe.Backward(dy);
+    auto loss = [&](const Tensor& xx) {
+        Rng n2(1);
+        Tensor y = moe.Forward(xx, true, n2);
+        double l = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            l += static_cast<double>(y[i]) * dy[i];
+        }
+        return l;
+    };
+    const float eps = 1e-2F;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        // Routing is piecewise-constant; skip points near a routing switch
+        // (finite differences are invalid there).
+        const double num = (loss(xp) - loss(xm)) / (2 * eps);
+        if (std::fabs(num - dx[i]) > 0.2) {
+            continue;
+        }
+        EXPECT_NEAR(dx[i], num, 3e-2);
+    }
+}
+
+TEST(MoeLayer, GradientCheckTop2Renormalized) {
+    Rng rng(13);
+    MoeLayer moe("m", TinyMoe(4, 2), rng, 0.4F);
+    auto x = Tensor::Randn({4, 8}, rng, 1.0F);
+    auto dy = Tensor::Randn({4, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, true, noise);
+    Tensor dx = moe.Backward(dy);
+    auto loss = [&](const Tensor& xx) {
+        Rng n2(1);
+        Tensor y = moe.Forward(xx, true, n2);
+        double l = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            l += static_cast<double>(y[i]) * dy[i];
+        }
+        return l;
+    };
+    const float eps = 1e-2F;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double num = (loss(xp) - loss(xm)) / (2 * eps);
+        if (std::fabs(num - dx[i]) > 0.2) {
+            continue;  // routing boundary
+        }
+        EXPECT_NEAR(dx[i], num, 3e-2);
+    }
+}
+
+TEST(MoeLayer, NoiseOnlyInTraining) {
+    Rng rng(14);
+    auto cfg = TinyMoe(4, 1);
+    cfg.noise_std = 0.5F;
+    MoeLayer moe("m", cfg, rng, 0.3F);
+    auto x = Tensor::Randn({6, 8}, rng, 1.0F);
+    Rng n1(1);
+    Rng n2(2);
+    // Eval mode ignores the rng: identical outputs with different streams.
+    auto y1 = moe.Forward(x, false, n1);
+    auto y2 = moe.Forward(x, false, n2);
+    EXPECT_TRUE(y1.AllClose(y2, 0.0F));
+}
+
+TEST(MoeLayer, AuxLossPenalizesImbalance) {
+    Rng rng(15);
+    auto cfg = TinyMoe(4, 1);
+    cfg.aux_loss_coeff = 1.0F;
+    MoeLayer moe("m", cfg, rng, 0.3F);
+    auto x = Tensor::Randn({32, 8}, rng, 1.0F);
+    Rng noise(1);
+    moe.Forward(x, true, noise);
+    // aux >= 1 with equality iff perfectly balanced.
+    EXPECT_GE(moe.aux_loss(), 0.99);
+}
+
+TEST(MoeLayer, ExpertParamsCollectedPerExpert) {
+    Rng rng(16);
+    MoeLayer moe("m", TinyMoe(3, 1), rng, 0.3F);
+    std::vector<Parameter*> params;
+    moe.CollectExpertParams(1, params);
+    EXPECT_EQ(params.size(), 4U);  // fc1 w/b + fc2 w/b
+    EXPECT_THROW(moe.CollectExpertParams(3, params), std::invalid_argument);
+}
+
+// ---------- Adam ----------
+
+TEST(Adam, ConvergesOnQuadratic) {
+    // Minimize (w - 3)^2 via Adam.
+    Parameter w("w", Tensor::FromVector({0.0F}));
+    AdamConfig cfg;
+    cfg.lr = 0.1;
+    cfg.clip_norm = 0.0;
+    Adam adam(cfg);
+    for (int i = 0; i < 500; ++i) {
+        w.grad()[0] = 2.0F * (w.value()[0] - 3.0F);
+        adam.Step({&w});
+    }
+    EXPECT_NEAR(w.value()[0], 3.0F, 0.05F);
+}
+
+TEST(Adam, FrozenParametersDontMove) {
+    Parameter w("w", Tensor::FromVector({1.0F}));
+    w.set_frozen(true);
+    Adam adam(AdamConfig{});
+    w.grad()[0] = 5.0F;
+    adam.Step({&w});
+    EXPECT_EQ(w.value()[0], 1.0F);
+    EXPECT_EQ(w.grad()[0], 0.0F);  // grads still cleared
+}
+
+TEST(Adam, GradClippingBoundsUpdate) {
+    Parameter w("w", Tensor::FromVector({0.0F}));
+    AdamConfig cfg;
+    cfg.clip_norm = 1.0;
+    Adam adam(cfg);
+    w.grad()[0] = 1e6F;
+    adam.Step({&w});
+    // With clipping the step is the normal Adam step size (~lr).
+    EXPECT_LT(std::fabs(w.value()[0]), 0.01F);
+}
+
+TEST(Adam, CosineScheduleDecays) {
+    AdamConfig cfg;
+    cfg.lr = 1.0;
+    cfg.lr_min = 0.1;
+    cfg.total_steps = 100;
+    Adam adam(cfg);
+    const double lr0 = adam.CurrentLr();
+    Parameter w("w", Tensor::FromVector({0.0F}));
+    for (int i = 0; i < 50; ++i) {
+        adam.Step({&w});
+    }
+    const double lr50 = adam.CurrentLr();
+    for (int i = 0; i < 60; ++i) {
+        adam.Step({&w});
+    }
+    EXPECT_GT(lr0, lr50);
+    EXPECT_NEAR(adam.CurrentLr(), 0.1, 1e-9);
+}
+
+TEST(Adam, WarmupRampsUp) {
+    AdamConfig cfg;
+    cfg.lr = 1.0;
+    cfg.warmup_steps = 10;
+    Adam adam(cfg);
+    EXPECT_NEAR(adam.CurrentLr(), 0.1, 1e-9);
+    Parameter w("w", Tensor::FromVector({0.0F}));
+    for (int i = 0; i < 9; ++i) {
+        adam.Step({&w});
+    }
+    EXPECT_NEAR(adam.CurrentLr(), 1.0, 1e-9);
+}
+
+// ---------- Models ----------
+
+LmConfig
+TinyLm() {
+    LmConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    cfg.top_k = 1;
+    cfg.seed = 33;
+    return cfg;
+}
+
+TEST(MoeTransformerLm, ParameterGroupsMatchInventory) {
+    LmConfig cfg = TinyLm();
+    MoeTransformerLm model(cfg);
+    const ModelSpec spec = cfg.ToModelSpec();
+    const ModelStateInventory inv(spec, StateBytes{});
+    auto groups = model.ParameterGroups();
+    // Every inventory key must be a model group with the same param count.
+    std::map<std::string, std::size_t> group_sizes;
+    for (auto& g : groups) {
+        group_sizes[g.key] = g.TotalParams();
+    }
+    for (const auto& m : inv.modules()) {
+        ASSERT_TRUE(group_sizes.count(m.key)) << "missing group " << m.key;
+        EXPECT_EQ(group_sizes[m.key], m.params) << "size mismatch at " << m.key;
+    }
+}
+
+TEST(MoeTransformerLm, TrainingReducesLoss) {
+    CorpusConfig corpus_cfg;
+    corpus_cfg.vocab_size = 32;
+    corpus_cfg.seed = 3;
+    ZipfMarkovCorpus corpus(corpus_cfg);
+    LmBatchStream stream(corpus, 8, 12, 0);
+    MoeTransformerLm model(TinyLm());
+    AdamConfig adam_cfg;
+    adam_cfg.lr = 3e-3;
+    Adam adam(adam_cfg);
+    const auto params = model.AllParameters();
+    const double first = model.EvalLoss(stream.Get(1000));
+    for (std::size_t i = 0; i < 60; ++i) {
+        model.TrainBackward(stream.Get(i));
+        adam.Step(params);
+    }
+    const double last = model.EvalLoss(stream.Get(1000));
+    EXPECT_LT(last, first - 0.2);
+}
+
+TEST(MoeTransformerLm, ScoreContinuationPrefersLikely) {
+    CorpusConfig corpus_cfg;
+    corpus_cfg.vocab_size = 32;
+    corpus_cfg.seed = 3;
+    ZipfMarkovCorpus corpus(corpus_cfg);
+    LmBatchStream stream(corpus, 8, 12, 0);
+    MoeTransformerLm model(TinyLm());
+    Adam adam(AdamConfig{.lr = 3e-3});
+    const auto params = model.AllParameters();
+    for (std::size_t i = 0; i < 120; ++i) {
+        model.TrainBackward(stream.Get(i));
+        adam.Step(params);
+    }
+    // A chain continuation should outscore a uniformly random one on average.
+    ProbeSuiteConfig probe_cfg;
+    probe_cfg.items_per_task = 40;
+    probe_cfg.context_len = 8;
+    probe_cfg.continuation_len = 3;
+    const auto suite = BuildProbeSuite(corpus, probe_cfg);
+    const double acc = EvalProbeTask(model, suite.front());  // Chain2 vs random
+    EXPECT_GT(acc, 0.3);  // chance = 0.25
+}
+
+TEST(MoeClassifier, TrainingImprovesAccuracy) {
+    ClassificationConfig data_cfg;
+    data_cfg.num_classes = 4;
+    data_cfg.vocab_size = 32;
+    data_cfg.seq_len = 12;
+    data_cfg.noise = 0.1;
+    ClassificationDataset data(data_cfg);
+
+    ClassifierConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.num_classes = 4;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    MoeClassifier model(cfg);
+
+    Adam adam(AdamConfig{.lr = 3e-3});
+    const auto params = model.AllParameters();
+    const auto test = data.GetBatch(1, 0, 64);
+    const double before = model.EvalAccuracy(test);
+    for (std::size_t i = 0; i < 80; ++i) {
+        model.TrainBackward(data.GetBatch(0, i * 16, 16));
+        adam.Step(params);
+    }
+    EXPECT_GT(model.EvalAccuracy(test), std::max(before, 0.3));
+}
+
+TEST(MoeClassifier, HasHeadGroup) {
+    ClassifierConfig cfg;
+    cfg.vocab = 16;
+    cfg.max_seq = 8;
+    cfg.hidden = 8;
+    cfg.num_heads = 1;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.num_experts = 2;
+    MoeClassifier model(cfg);
+    bool has_head = false;
+    for (auto& g : model.ParameterGroups()) {
+        if (g.key == "head") {
+            has_head = true;
+        }
+    }
+    EXPECT_TRUE(has_head);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the analytical performance simulator: hardware presets,
+ * iteration cost components, checkpoint payloads, and the method timelines
+ * that drive Figures 11-13.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dist/presets.h"
+#include "sim/hardware.h"
+#include "sim/perf_model.h"
+#include "sim/timeline.h"
+
+namespace moc {
+namespace {
+
+TrainingSetup
+Case2Setup() {
+    TrainingSetup setup;
+    setup.model = Gpt350M16E();
+    setup.parallel = Case2().parallel;
+    setup.gpus_per_node = Case2().GpusPerNode();
+    setup.gpu = A800();
+    // Global batch 256 sequences, as in DeepSpeed-MoE's GPT-350M recipe.
+    setup.batch_per_gpu = 256 / setup.parallel.dp;
+    setup.seq_len = 2048;
+    return setup;
+}
+
+TrainingSetup
+ScalingSetup(std::size_t gpus, const GpuSpec& gpu) {
+    TrainingSetup setup;
+    setup.model = LlamaMoeSim("medium", gpus);
+    setup.parallel = {.dp = gpus, .ep = gpus, .tp = 1, .pp = 1};
+    setup.gpus_per_node = 8;
+    setup.gpu = gpu;
+    setup.batch_per_gpu = 2;
+    setup.seq_len = 2048;
+    return setup;
+}
+
+TEST(Hardware, PresetsMatchPaperParameters) {
+    const auto a = A800();
+    EXPECT_DOUBLE_EQ(a.peak_flops, 312e12);
+    EXPECT_DOUBLE_EQ(a.utilization, 0.20);
+    EXPECT_DOUBLE_EQ(a.snapshot_bandwidth, 1.0e9);
+    const auto h = H100();
+    EXPECT_DOUBLE_EQ(h.peak_flops, 989e12);
+    EXPECT_DOUBLE_EQ(h.snapshot_bandwidth, 2.0e9);
+    EXPECT_GT(h.EffectiveFlops(), a.EffectiveFlops());
+}
+
+TEST(PerfModel, ComponentsPositive) {
+    const PerfModel model(Case2Setup());
+    EXPECT_GT(model.ComputeTime(), 0.0);
+    EXPECT_GT(model.AllToAllTime(), 0.0);
+    EXPECT_GT(model.GradSyncTime(), 0.0);
+    EXPECT_GT(model.UpdateTime(), 0.0);
+    EXPECT_NEAR(model.FbTime(),
+                model.ComputeTime() + model.AllToAllTime() + model.GradSyncTime(),
+                1e-12);
+}
+
+TEST(PerfModel, H100FasterThanA800) {
+    auto a = ScalingSetup(64, A800());
+    auto h = ScalingSetup(64, H100());
+    EXPECT_LT(PerfModel(h).ComputeTime(), PerfModel(a).ComputeTime());
+}
+
+TEST(PerfModel, LongerSequencesLengthenFbOnly) {
+    auto s1 = Case2Setup();
+    auto s2 = Case2Setup();
+    s2.seq_len = 4096;
+    const PerfModel m1(s1);
+    const PerfModel m2(s2);
+    EXPECT_GT(m2.FbTime(), m1.FbTime());
+    // Checkpointed data is model state, not activations (Fig. 13d).
+    EXPECT_EQ(m1.CheckpointBytesPerRank(16, true),
+              m2.CheckpointBytesPerRank(16, true));
+}
+
+TEST(PerfModel, PecShrinksPayloadMonotonically) {
+    const PerfModel model(Case2Setup());
+    Bytes prev = 0;
+    for (std::size_t k = 1; k <= 16; ++k) {
+        const Bytes b = model.CheckpointBytesPerRank(k, true);
+        EXPECT_GE(b, prev);
+        prev = b;
+    }
+}
+
+TEST(PerfModel, FullyShardedBeatsBaselinePayload) {
+    const PerfModel model(Case2Setup());
+    EXPECT_LT(model.CheckpointBytesPerRank(16, true),
+              model.CheckpointBytesPerRank(16, false));
+}
+
+TEST(PerfModel, PersistFileBytesScaleWithK) {
+    const PerfModel model(Case2Setup());
+    EXPECT_LT(model.PersistFileBytes(1), model.PersistFileBytes(16));
+}
+
+TEST(PerfModel, PipelineBubbleLengthensFb) {
+    // With p stages and m micro-batches, F&B stretches by (m + p - 1) / m.
+    auto flat = ScalingSetup(64, A800());
+    auto piped = flat;
+    piped.parallel = {.dp = 16, .ep = 16, .tp = 1, .pp = 4};
+    piped.model = LlamaMoeSim("medium", 16);
+    auto flat_match = piped;
+    flat_match.parallel.pp = 1;
+    const PerfModel with_pp(piped);
+    const PerfModel without_pp(flat_match);
+    // Per-GPU compute shrinks by pp, but the bubble adds it back partially:
+    // compute * (1/p) * (m+p-1)/m < compute for m > 1.
+    EXPECT_LT(with_pp.ComputeTime(), without_pp.ComputeTime());
+    const double bubble = (8.0 + 4.0 - 1.0) / 8.0;
+    EXPECT_NEAR(with_pp.FbTime() - with_pp.GradSyncTime(),
+                (without_pp.ComputeTime() / 4.0 + with_pp.AllToAllTime()) * bubble,
+                1e-9);
+}
+
+TEST(PerfModel, MoreMicrobatchesShrinkBubble) {
+    auto setup = ScalingSetup(64, A800());
+    setup.parallel = {.dp = 16, .ep = 16, .tp = 1, .pp = 4};
+    setup.model = LlamaMoeSim("medium", 16);
+    setup.microbatches = 4;
+    const double few = PerfModel(setup).FbTime();
+    setup.microbatches = 32;
+    const double many = PerfModel(setup).FbTime();
+    EXPECT_LT(many, few);
+}
+
+TEST(PerfModel, RejectsBadSetup) {
+    auto setup = Case2Setup();
+    setup.parallel.ep = 5;  // does not divide dp=16
+    EXPECT_THROW(PerfModel{setup}, std::invalid_argument);
+}
+
+// ---------- Timelines ----------
+
+TEST(Timeline, BaselineChargesEverything) {
+    const PerfModel model(Case2Setup());
+    const auto t = SimulateMethod(model, CkptMethod::kBaseline, 2);
+    EXPECT_DOUBLE_EQ(t.o_save, t.t_snapshot + t.t_persist);
+    EXPECT_DOUBLE_EQ(t.iteration, t.t_fb + t.t_update + t.o_save);
+    EXPECT_DOUBLE_EQ(t.overlap, 0.0);
+}
+
+TEST(Timeline, AsyncOverheadIsStallOnly) {
+    const PerfModel model(Case2Setup());
+    const auto t = SimulateMethod(model, CkptMethod::kBaseAsync, 2);
+    EXPECT_DOUBLE_EQ(t.o_save, std::max(0.0, t.t_snapshot - t.t_fb));
+    EXPECT_LE(t.overlap, t.t_fb + 1e-12);
+}
+
+TEST(Timeline, MocAsyncNeverSlowerThanBaseAsync) {
+    for (const auto& c : AllCases()) {
+        auto setup = Case2Setup();
+        setup.parallel = c.parallel;
+        setup.gpus_per_node = c.GpusPerNode();
+        const PerfModel model(setup);
+        const auto base = SimulateMethod(model, CkptMethod::kBaseAsync, 2);
+        const auto moc = SimulateMethod(model, CkptMethod::kMocAsync, 2);
+        EXPECT_LE(moc.iteration, base.iteration + 1e-12) << c.name;
+        EXPECT_LE(moc.i_ckpt_min, base.i_ckpt_min) << c.name;
+    }
+}
+
+TEST(Timeline, MocAsyncCutsOsaveDrastically) {
+    // The headline claim of Fig. 12: ~98% reduction in per-checkpoint
+    // overhead vs the blocking baseline (we require > 90% — the shape, not
+    // the authors' exact testbed numbers).
+    for (const auto& c : AllCases()) {
+        auto setup = Case2Setup();
+        setup.parallel = c.parallel;
+        setup.gpus_per_node = c.GpusPerNode();
+        setup.batch_per_gpu = 256 / setup.parallel.dp;
+        const PerfModel model(setup);
+        const auto baseline = SimulateMethod(model, CkptMethod::kBaseline, 2);
+        const auto moc = SimulateMethod(model, CkptMethod::kMocAsync, 2);
+        EXPECT_LT(moc.o_save, 0.10 * baseline.o_save) << c.name;
+    }
+}
+
+TEST(Timeline, SimulateAllMethodsReturnsThree) {
+    const PerfModel model(Case2Setup());
+    const auto all = SimulateAllMethods(model, 2);
+    ASSERT_EQ(all.size(), 3U);
+    EXPECT_EQ(all[0].method, "Baseline");
+    EXPECT_EQ(all[1].method, "Base-Async");
+    EXPECT_EQ(all[2].method, "MoC-Async");
+}
+
+TEST(Timeline, BaseAsyncEventuallyOverlapsAtScale) {
+    // Fig. 13a: with enough GPUs, F&B grows (slower collectives) until the
+    // Base-Async snapshot fully overlaps.
+    const auto small = SimulateMethod(
+        PerfModel(ScalingSetup(8, A800())), CkptMethod::kBaseAsync, 1);
+    const auto large = SimulateMethod(
+        PerfModel(ScalingSetup(1024, A800())), CkptMethod::kBaseAsync, 1);
+    EXPECT_GT(small.o_save, 0.0);
+    EXPECT_LT(large.o_save / (large.t_fb + large.t_update),
+              small.o_save / (small.t_fb + small.t_update));
+}
+
+TEST(Timeline, MocAsyncRejectsBadK) {
+    const PerfModel model(Case2Setup());
+    EXPECT_THROW(SimulateMethod(model, CkptMethod::kMocAsync, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(SimulateMethod(model, CkptMethod::kMocAsync, 17),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for fault-trace parsing/formatting and the recovery-cost
+ * estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recovery_cost.h"
+#include "faults/trace.h"
+
+namespace moc {
+namespace {
+
+TEST(FaultTrace, ParsesEventsAndComments) {
+    const std::string text =
+        "# scenario: midpoint fault then double failure\n"
+        "512 0\n"
+        "\n"
+        "1500 0,1   # correlated\n";
+    auto injector = ParseFaultTrace(text);
+    ASSERT_EQ(injector.events().size(), 2U);
+    EXPECT_EQ(injector.events()[0].iteration, 512U);
+    EXPECT_EQ(injector.events()[0].nodes, (std::vector<NodeId>{0}));
+    EXPECT_EQ(injector.events()[1].iteration, 1500U);
+    EXPECT_EQ(injector.events()[1].nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(FaultTrace, SortsOutOfOrderEvents) {
+    auto injector = ParseFaultTrace("30 1\n10 0\n20 2\n");
+    ASSERT_EQ(injector.events().size(), 3U);
+    EXPECT_EQ(injector.events()[0].iteration, 10U);
+    EXPECT_EQ(injector.events()[2].iteration, 30U);
+}
+
+TEST(FaultTrace, RejectsMalformedLines) {
+    EXPECT_THROW(ParseFaultTrace("notanumber 0\n"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultTrace("12\n"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultTrace("12 x\n"), std::invalid_argument);
+    EXPECT_THROW(ParseFaultTrace("12 0,,1\n"), std::invalid_argument);
+}
+
+TEST(FaultTrace, RoundTripsThroughFormat) {
+    const std::string text = "10 0\n20 1,3\n";
+    auto injector = ParseFaultTrace(text);
+    EXPECT_EQ(FormatFaultTrace(injector), text);
+    auto again = ParseFaultTrace(FormatFaultTrace(injector));
+    EXPECT_EQ(again.events().size(), injector.events().size());
+}
+
+TEST(FaultTrace, LoadRejectsMissingFile) {
+    EXPECT_THROW(LoadFaultTrace("/nonexistent/trace.txt"), std::invalid_argument);
+}
+
+// ---------- Recovery cost ----------
+
+TEST(RecoveryCost, BreakdownSumsToTotal) {
+    RecoveryPlan plan;
+    plan.bytes_from_memory = 10'000'000'000ULL;  // 10 GB
+    plan.bytes_from_storage = 2'000'000'000ULL;  // 2 GB
+    plan.decisions.resize(100);
+    RecoveryCostModel model;
+    model.memory_read_bandwidth = 10e9;
+    model.storage_read_bandwidth = 1e9;
+    model.fixed_restart = 60.0;
+    model.per_key_latency = 1e-3;
+    const auto est = EstimateRecoveryCost(plan, model);
+    EXPECT_DOUBLE_EQ(est.fixed, 60.0);
+    EXPECT_DOUBLE_EQ(est.memory_read, 1.0);
+    EXPECT_DOUBLE_EQ(est.storage_read, 2.0);
+    EXPECT_DOUBLE_EQ(est.total, 60.0 + 1.0 + 2.0 + 0.1);
+}
+
+TEST(RecoveryCost, TwoLevelReadIsCheaper) {
+    // Moving bytes from the storage path to the memory path reduces the
+    // estimate — the quantitative version of the paper's recovery claim.
+    RecoveryCostModel model;
+    RecoveryPlan flat;
+    flat.bytes_from_storage = 20'000'000'000ULL;
+    RecoveryPlan two_level;
+    two_level.bytes_from_memory = 15'000'000'000ULL;
+    two_level.bytes_from_storage = 5'000'000'000ULL;
+    EXPECT_LT(EstimateRecoveryCost(two_level, model).total,
+              EstimateRecoveryCost(flat, model).total);
+}
+
+TEST(RecoveryCost, RejectsBadModel) {
+    RecoveryPlan plan;
+    RecoveryCostModel model;
+    model.storage_read_bandwidth = 0.0;
+    EXPECT_THROW(EstimateRecoveryCost(plan, model), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the TwoLevelRecoveryPlanner in isolation: source selection
+ * per key, restart-point semantics, byte accounting, and the effective
+ * expert age (the staler of the weight/optimizer parts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/two_level.h"
+
+namespace moc {
+namespace {
+
+/** Registers a full checkpoint of a 1-layer, 2-expert model at @p iter. */
+void
+SaveAll(CheckpointManifest& manifest, std::size_t iter, NodeId node) {
+    for (const char* key : {"embedding/w", "embedding/o", "moe/0/expert/0/w",
+                            "moe/0/expert/0/o", "moe/0/expert/1/w",
+                            "moe/0/expert/1/o"}) {
+        manifest.RecordSave(StoreLevel::kMemory, key, iter, node, 100);
+        manifest.RecordSave(StoreLevel::kPersist, key, iter, 0, 100);
+    }
+    manifest.MarkCheckpointComplete(StoreLevel::kMemory, iter);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, iter);
+}
+
+const std::vector<std::string> kNonExpertKeys{"embedding/w", "embedding/o"};
+
+TEST(TwoLevelPlanner, PrefersMemoryWhenEnabled) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, /*node=*/1);
+    TwoLevelRecoveryPlanner planner(/*two_level=*/true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    EXPECT_EQ(plan.restart_iteration, 8U);
+    for (const auto& d : plan.decisions) {
+        EXPECT_EQ(d.source, RecoverySource::kMemory) << d.key;
+        EXPECT_EQ(d.iteration, 8U);
+    }
+    EXPECT_GT(plan.bytes_from_memory, 0U);
+    EXPECT_EQ(plan.bytes_from_storage, 0U);
+}
+
+TEST(TwoLevelPlanner, FallsBackToStorageWhenDisabled) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    TwoLevelRecoveryPlanner planner(/*two_level=*/false);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    for (const auto& d : plan.decisions) {
+        EXPECT_EQ(d.source, RecoverySource::kPersist) << d.key;
+    }
+    EXPECT_EQ(plan.bytes_from_memory, 0U);
+    EXPECT_GT(plan.bytes_from_storage, 0U);
+}
+
+TEST(TwoLevelPlanner, MemoryFresherThanPersistWins) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    // Expert 0 snapshotted (memory only) at 16; persist still at 8.
+    manifest.RecordSave(StoreLevel::kMemory, "moe/0/expert/0/w", 16, 1, 100);
+    manifest.RecordSave(StoreLevel::kMemory, "moe/0/expert/0/o", 16, 1, 100);
+    // Non-expert saved everywhere at 16 (full per event).
+    for (const auto& key : kNonExpertKeys) {
+        manifest.RecordSave(StoreLevel::kMemory, key, 16, 1, 100);
+        manifest.RecordSave(StoreLevel::kPersist, key, 16, 0, 100);
+    }
+    manifest.RecordSave(StoreLevel::kPersist, "extra", 16, 0, 1);
+    manifest.MarkCheckpointComplete(StoreLevel::kMemory, 16);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 16);
+
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    EXPECT_EQ(plan.restart_iteration, 16U);
+    // Expert 0 recovers at 16 from memory; expert 1 only has the 8-persist
+    // or its own 8-memory copy.
+    EXPECT_EQ(plan.expert_recovered_iteration[0][0], 16U);
+    EXPECT_EQ(plan.expert_recovered_iteration[0][1], 8U);
+}
+
+TEST(TwoLevelPlanner, DroppedNodeMemoryForcesStorage) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    manifest.DropNodeMemory(1);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    for (const auto& d : plan.decisions) {
+        EXPECT_EQ(d.source, RecoverySource::kPersist) << d.key;
+    }
+}
+
+TEST(TwoLevelPlanner, UnsavedExpertIsInitial) {
+    CheckpointManifest manifest;
+    for (const auto& key : kNonExpertKeys) {
+        manifest.RecordSave(StoreLevel::kPersist, key, 4, 0, 100);
+    }
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 4);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    // Experts were never saved: initial state, iteration 0.
+    for (const auto& d : plan.decisions) {
+        if (d.key.rfind("moe/", 0) == 0) {
+            EXPECT_EQ(d.source, RecoverySource::kInitial);
+            EXPECT_EQ(d.iteration, 0U);
+        }
+    }
+    EXPECT_EQ(plan.expert_recovered_iteration[0][0], 0U);
+}
+
+TEST(TwoLevelPlanner, ExpertAgeIsStalerOfWAndO) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    // Weights of expert 1 refreshed at 12; optimizer still at 8.
+    manifest.RecordSave(StoreLevel::kMemory, "moe/0/expert/1/w", 12, 1, 100);
+    for (const auto& key : kNonExpertKeys) {
+        manifest.RecordSave(StoreLevel::kMemory, key, 12, 1, 100);
+        manifest.RecordSave(StoreLevel::kPersist, key, 12, 0, 100);
+    }
+    manifest.MarkCheckpointComplete(StoreLevel::kMemory, 12);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 12);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2);
+    EXPECT_EQ(plan.expert_recovered_iteration[0][1], 8U);
+}
+
+TEST(TwoLevelPlanner, NoCheckpointMeansRestartAtZero) {
+    CheckpointManifest manifest;
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, {}, 1, 1);
+    EXPECT_EQ(plan.restart_iteration, 0U);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG determinism and distributions,
+ * statistics accumulators, clocks, thread pool, table rendering, byte
+ * formatting, CRC32.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace moc {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Next(), b.Next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.Next() == b.Next()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.UniformInt(8);
+        EXPECT_LT(v, 8U);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        stat.Add(rng.Gaussian());
+    }
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShiftScale) {
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        stat.Add(rng.Gaussian(5.0, 2.0));
+    }
+    EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(13);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        stat.Add(rng.Exponential(4.0));
+    }
+    EXPECT_NEAR(stat.mean(), 0.25, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(99);
+    Rng b = a.Split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.Next() == b.Next()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StateRoundTripReproducesStream) {
+    Rng rng(17);
+    rng.Gaussian();  // populate the cached-gaussian path
+    const auto state = rng.GetState();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 16; ++i) {
+        expected.push_back(rng.Next());
+    }
+    Rng other(0);
+    other.SetState(state);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(other.Next(), expected[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.Shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTable, SamplesAreSkewed) {
+    ZipfTable table(100, 1.2);
+    Rng rng(5);
+    std::size_t low = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (table.Sample(rng) < 10) {
+            ++low;
+        }
+    }
+    // Zipf(1.2): the top-10 of 100 items carry well over half the mass.
+    EXPECT_GT(low, 5000U);
+}
+
+TEST(ZipfTable, RejectsEmpty) {
+    EXPECT_THROW(ZipfTable(0, 1.0), std::invalid_argument);
+}
+
+// ---------- RunningStat ----------
+
+TEST(RunningStat, BasicMoments) {
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) {
+        s.Add(x);
+    }
+    EXPECT_EQ(s.count(), 4U);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.Gaussian();
+        ((i % 2 != 0) ? a : b).Add(x);
+        all.Add(x);
+    }
+    a.Merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0U);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, CountsAndClamping) {
+    Histogram h(0.0, 10.0, 10);
+    h.Add(0.5);
+    h.Add(9.5);
+    h.Add(-5.0);   // clamps to first bin
+    h.Add(100.0);  // clamps to last bin
+    EXPECT_EQ(h.total(), 4U);
+    EXPECT_EQ(h.bin_count(0), 2U);
+    EXPECT_EQ(h.bin_count(9), 2U);
+}
+
+TEST(Histogram, PercentileMonotone) {
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) {
+        h.Add(static_cast<double>(i));
+    }
+    EXPECT_LE(h.Percentile(10), h.Percentile(50));
+    EXPECT_LE(h.Percentile(50), h.Percentile(90));
+    EXPECT_NEAR(h.Percentile(50), 50.0, 2.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+    Ewma e(0.5);
+    EXPECT_TRUE(e.empty());
+    for (int i = 0; i < 50; ++i) {
+        e.Add(3.0);
+    }
+    EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+    EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+    EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+// ---------- Clocks ----------
+
+TEST(VirtualClock, AdvancesExactly) {
+    VirtualClock clock;
+    EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+    clock.Advance(1.5);
+    EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+    clock.AdvanceTo(4.0);
+    EXPECT_DOUBLE_EQ(clock.Now(), 4.0);
+}
+
+TEST(WallClock, MonotonicAndSleeps) {
+    WallClock clock;
+    const Seconds t0 = clock.Now();
+    clock.Advance(0.01);
+    EXPECT_GE(clock.Now() - t0, 0.009);
+}
+
+TEST(Stopwatch, MeasuresVirtualTime) {
+    VirtualClock clock;
+    Stopwatch sw(clock);
+    clock.Advance(2.0);
+    EXPECT_DOUBLE_EQ(sw.Elapsed(), 2.0);
+    sw.Reset();
+    EXPECT_DOUBLE_EQ(sw.Elapsed(), 0.0);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, RunsAllTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, FuturesReturnValues) {
+    ThreadPool pool(2);
+    auto f = pool.Submit([] { return 7 * 6; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+// ---------- Table ----------
+
+TEST(Table, RendersAlignedRows) {
+    Table t({"name", "value"});
+    t.AddRow({"alpha", "1"});
+    t.AddRow({"b", "22222"});
+    const std::string s = t.ToString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22222"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, RejectsArityMismatch) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+// ---------- Bytes ----------
+
+TEST(Bytes, FormatPicksUnit) {
+    EXPECT_EQ(FormatBytes(512), "512 B");
+    EXPECT_NE(FormatBytes(2 * kKiB).find("KiB"), std::string::npos);
+    EXPECT_NE(FormatBytes(3 * kMiB).find("MiB"), std::string::npos);
+    EXPECT_NE(FormatBytes(5 * kGiB).find("GiB"), std::string::npos);
+}
+
+TEST(Bytes, CeilDivRoundsUp) {
+    EXPECT_EQ(CeilDiv(10, 3), 4U);
+    EXPECT_EQ(CeilDiv(9, 3), 3U);
+    EXPECT_EQ(CeilDiv(1, 100), 1U);
+}
+
+// ---------- CRC32 ----------
+
+TEST(Crc32, KnownVector) {
+    // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+    const char* s = "123456789";
+    EXPECT_EQ(Crc32(s, 9), 0xCBF43926U);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+    const std::string data = "the quick brown fox jumps over the lazy dog";
+    const auto full = Crc32(data.data(), data.size());
+    std::uint32_t inc = Crc32Update(0, data.data(), 10);
+    inc = Crc32Update(inc, data.data() + 10, data.size() - 10);
+    EXPECT_EQ(inc, full);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+    std::vector<std::uint8_t> data(64, 0xAB);
+    const auto before = Crc32(data.data(), data.size());
+    data[17] ^= 0x01;
+    EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,211 @@
+#include "cli_lib.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/moc_system.h"
+#include "core/selection.h"
+#include "core/sharding.h"
+#include "dist/presets.h"
+#include "faults/trace.h"
+#include "sim/gantt.h"
+#include "sim/hardware.h"
+#include "sim/perf_model.h"
+#include "sim/timeline.h"
+#include "storage/file_store.h"
+#include "util/table.h"
+
+namespace moc::cli {
+
+std::string
+Args::Get(const std::string& name, const std::string& fallback) const {
+    for (const auto& [key, value] : options) {
+        if (key == name) {
+            return value;
+        }
+    }
+    return fallback;
+}
+
+long
+Args::GetInt(const std::string& name, long fallback) const {
+    const std::string v = Get(name, "");
+    if (v.empty()) {
+        return fallback;
+    }
+    std::size_t pos = 0;
+    const long parsed = std::stol(v, &pos);
+    if (pos != v.size()) {
+        throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                    v + "'");
+    }
+    return parsed;
+}
+
+Args
+ParseArgs(const std::vector<std::string>& tokens) {
+    Args args;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& tok = tokens[i];
+        if (tok.rfind("--", 0) == 0) {
+            if (i + 1 >= tokens.size()) {
+                throw std::invalid_argument("option " + tok + " needs a value");
+            }
+            args.options.emplace_back(tok.substr(2), tokens[i + 1]);
+            ++i;
+        } else {
+            args.positional.push_back(tok);
+        }
+    }
+    return args;
+}
+
+int
+RunInspect(const Args& args, std::ostream& out) {
+    if (args.positional.empty()) {
+        out << "usage: moc_cli inspect <ckpt-dir>\n";
+        return 2;
+    }
+    FileStore store(args.positional.front());
+    const auto keys = store.Keys();
+    Table t({"key", "bytes"});
+    Bytes total = 0;
+    for (const auto& key : keys) {
+        const auto blob = store.Get(key);
+        const Bytes size = blob ? blob->size() : 0;
+        total += size;
+        t.AddRow({key, FormatBytes(size)});
+    }
+    out << t.ToString();
+    out << keys.size() << " keys, " << FormatBytes(total) << " total\n";
+    if (const auto extra = store.Get("extra/state")) {
+        const ExtraState state = DeserializeExtraState(*extra);
+        out << "restart point: iteration " << state.iteration << ", optimizer step "
+            << state.adam_step << "\n";
+    } else {
+        out << "warning: no extra/state — not a complete MoC checkpoint\n";
+    }
+    return 0;
+}
+
+int
+RunPlan(const Args& args, std::ostream& out) {
+    ParallelConfig parallel;
+    parallel.dp = static_cast<std::size_t>(args.GetInt("dp", 16));
+    parallel.ep = static_cast<std::size_t>(args.GetInt("ep", 8));
+    const auto gpus_per_node =
+        static_cast<std::size_t>(args.GetInt("gpus-per-node", 8));
+    const auto k = static_cast<std::size_t>(args.GetInt("k", 16));
+    const std::string strategy = args.Get("strategy", "full");
+
+    const ModelSpec spec = Gpt350M16E();
+    if (parallel.dp % parallel.ep != 0 || spec.num_experts % parallel.ep != 0) {
+        out << "error: ep must divide dp and the expert count (16)\n";
+        return 2;
+    }
+    ShardingOptions options;
+    if (strategy == "full") {
+        options.equal_expert = true;
+        options.equal_nonexpert = true;
+        options.adaptive_nonexpert = true;
+    } else if (strategy != "baseline") {
+        out << "error: --strategy must be 'baseline' or 'full'\n";
+        return 2;
+    }
+    const RankTopology topo(parallel, gpus_per_node);
+    const ModelStateInventory inv(spec, StateBytes{});
+    ShardingPlanner planner(inv, topo, options);
+    SequentialSelector selector(spec.num_experts);
+    std::vector<std::vector<ExpertId>> sel(spec.NumMoeLayers());
+    for (std::size_t m = 0; m < sel.size(); ++m) {
+        sel[m] = selector.Select(0, m, std::min(k, spec.num_experts));
+    }
+    const ShardPlan plan = planner.Plan(sel, sel);
+
+    out << "GPT-350M-16E, dp=" << parallel.dp << " ep=" << parallel.ep << " ("
+        << topo.NumEpGroups() << " EP groups), K=" << k << ", strategy "
+        << strategy << "\n";
+    Table t({"rank", "node", "items", "bytes"});
+    for (RankId r = 0; r < topo.dp(); ++r) {
+        t.AddRow({std::to_string(r), std::to_string(topo.NodeOf(r)),
+                  std::to_string(plan.Items(r).size()),
+                  FormatBytes(plan.RankBytes(r))});
+    }
+    out << t.ToString();
+    out << "bottleneck " << FormatBytes(plan.BottleneckBytes()) << ", total "
+        << FormatBytes(plan.TotalBytes()) << "\n";
+    return 0;
+}
+
+int
+RunSimulate(const Args& args, std::ostream& out) {
+    const auto gpus = static_cast<std::size_t>(args.GetInt("gpus", 64));
+    const std::string gpu_name = args.Get("gpu", "a800");
+    const std::string size = args.Get("size", "medium");
+    if (gpus == 0 || (gpu_name != "a800" && gpu_name != "h100")) {
+        out << "usage: moc_cli simulate [--gpus N] [--gpu a800|h100] "
+               "[--size small|medium|large] [--k N]\n";
+        return 2;
+    }
+    TrainingSetup setup;
+    setup.model = LlamaMoeSim(size, gpus);
+    setup.parallel = {.dp = gpus, .ep = gpus, .tp = 1, .pp = 1};
+    setup.gpus_per_node = 8;
+    setup.gpu = gpu_name == "h100" ? H100() : A800();
+    const auto k = static_cast<std::size_t>(
+        args.GetInt("k", static_cast<long>(std::max<std::size_t>(1, gpus / 8))));
+    const PerfModel model(setup);
+    for (const auto& timing : SimulateAllMethods(model, k)) {
+        out << RenderIterationGantt(timing, 56);
+    }
+    return 0;
+}
+
+int
+RunTraceCheck(const Args& args, std::ostream& out) {
+    if (args.positional.empty()) {
+        out << "usage: moc_cli trace-check <trace-file>\n";
+        return 2;
+    }
+    try {
+        const auto injector = LoadFaultTrace(args.positional.front());
+        out << "ok: " << injector.events().size() << " fault event(s)\n";
+        out << FormatFaultTrace(injector);
+        return 0;
+    } catch (const std::exception& e) {
+        out << "invalid trace: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& err) {
+    if (tokens.empty()) {
+        err << "usage: moc_cli <inspect|plan|simulate|trace-check> [args]\n";
+        return 2;
+    }
+    const std::string command = tokens.front();
+    try {
+        const Args args =
+            ParseArgs({tokens.begin() + 1, tokens.end()});
+        if (command == "inspect") {
+            return RunInspect(args, out);
+        }
+        if (command == "plan") {
+            return RunPlan(args, out);
+        }
+        if (command == "simulate") {
+            return RunSimulate(args, out);
+        }
+        if (command == "trace-check") {
+            return RunTraceCheck(args, out);
+        }
+        err << "unknown subcommand: " << command << "\n";
+        return 2;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace moc::cli

@@ -1,0 +1,52 @@
+#ifndef MOC_TOOLS_CLI_LIB_H_
+#define MOC_TOOLS_CLI_LIB_H_
+
+/**
+ * @file
+ * The logic behind the `moc_cli` command-line tool, separated from main()
+ * so it is unit-testable. Subcommands:
+ *
+ *   inspect <ckpt-dir>                 list a FileStore checkpoint's keys,
+ *                                      sizes, and restart point
+ *   plan [--dp N --ep N --gpus-per-node N --k N --strategy S]
+ *                                      print the per-rank shard plan summary
+ *                                      for GPT-350M-16E
+ *   simulate [--gpus N --gpu a800|h100 --size S --k N]
+ *                                      iteration timeline for a deployment
+ *   trace-check <trace-file>           validate a fault-trace file
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moc::cli {
+
+/** Parsed `--key value` options plus positional arguments. */
+struct Args {
+    std::vector<std::string> positional;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    /** Value of --name, or @p fallback. */
+    std::string Get(const std::string& name, const std::string& fallback) const;
+
+    /** Integer option with fallback; throws std::invalid_argument on junk. */
+    long GetInt(const std::string& name, long fallback) const;
+};
+
+/** Splits argv-style tokens into Args. Throws on `--flag` without value. */
+Args ParseArgs(const std::vector<std::string>& tokens);
+
+/** Runs one subcommand; returns a process exit code, output to @p out. */
+int RunInspect(const Args& args, std::ostream& out);
+int RunPlan(const Args& args, std::ostream& out);
+int RunSimulate(const Args& args, std::ostream& out);
+int RunTraceCheck(const Args& args, std::ostream& out);
+
+/** Dispatches `moc_cli <subcommand> ...`; prints usage on errors. */
+int Main(const std::vector<std::string>& tokens, std::ostream& out,
+         std::ostream& err);
+
+}  // namespace moc::cli
+
+#endif  // MOC_TOOLS_CLI_LIB_H_

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * `moc_cli` — command-line utilities over the MoC-System library:
+ * checkpoint inspection, shard planning, deployment simulation, and
+ * fault-trace validation. Logic lives in cli_lib.{h,cc}.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_lib.h"
+
+int
+main(int argc, char** argv) {
+    std::vector<std::string> tokens;
+    tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) {
+        tokens.emplace_back(argv[i]);
+    }
+    return moc::cli::Main(tokens, std::cout, std::cerr);
+}
