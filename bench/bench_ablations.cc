@@ -251,5 +251,6 @@ main() {
                     "(they partition optimizer state too); ZeRO-3 is balanced\n"
                     "even before checkpoint-side sharding.\n");
     }
+    WriteBenchMetrics("ablations");
     return 0;
 }

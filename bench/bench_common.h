@@ -9,10 +9,12 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "data/corpus.h"
 #include "nn/classifier.h"
 #include "nn/model.h"
+#include "obs/export.h"
 
 namespace moc::bench {
 
@@ -79,6 +81,20 @@ PrintHeader(const char* id, const char* title) {
     std::printf("\n================================================================\n");
     std::printf("%s — %s\n", id, title);
     std::printf("================================================================\n");
+}
+
+/**
+ * Dumps the metrics registry next to the harness's CSV results as
+ * `results/<bench_id>_metrics.json`, so every benchmark trajectory carries
+ * the stall/overlap/byte counters its run accumulated.
+ */
+inline void
+WriteBenchMetrics(const char* bench_id) {
+    const std::string path =
+        std::string("results/") + bench_id + "_metrics.json";
+    if (moc::obs::WriteMetricsJson(path)) {
+        std::printf("metrics written to %s\n", path.c_str());
+    }
 }
 
 }  // namespace moc::bench

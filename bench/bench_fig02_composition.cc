@@ -75,5 +75,6 @@ main() {
     std::printf("%s", t.ToString().c_str());
     std::printf("expected shape: expert states dominate the MoE checkpoint\n"
                 "(~86%%); PEC at K=1 returns it to roughly dense-model size.\n");
+    WriteBenchMetrics("fig02_composition");
     return 0;
 }

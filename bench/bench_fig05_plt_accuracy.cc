@@ -73,5 +73,6 @@ main() {
     std::printf("%s", table.ToString().c_str());
     std::printf("expected shape: PLT rises as K_pec falls and I_ckpt grows;\n"
                 "loss deltas stay small (|delta| << 1) at low PLT.\n");
+    WriteBenchMetrics("fig05_plt_accuracy");
     return 0;
 }

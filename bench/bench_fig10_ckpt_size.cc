@@ -86,5 +86,6 @@ main() {
     }
     std::printf("\nexpected shape: fully sharded << baseline; EE only helps with\n"
                 "multiple EP groups (Case3); AN <= EN under PEC (K=1).\n");
+    WriteBenchMetrics("fig10_ckpt_size");
     return 0;
 }

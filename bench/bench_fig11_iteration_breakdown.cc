@@ -57,5 +57,6 @@ main() {
     std::printf("\nexpected shape: durations fall with K; even full fully-sharded\n"
                 "saving beats the baseline; small K restores full overlap where\n"
                 "the baseline snapshot exceeded the F&B window.\n");
+    WriteBenchMetrics("fig11_iteration_breakdown");
     return 0;
 }

@@ -80,5 +80,6 @@ main() {
     }
     std::printf("\nexpected shape: >98%% O_save reduction and a 3-5x faster\n"
                 "checkpointing iteration vs the blocking baseline in all cases.\n");
+    WriteBenchMetrics("fig12_async_overhead");
     return 0;
 }

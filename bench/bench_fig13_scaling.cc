@@ -134,5 +134,6 @@ main() {
         std::printf("expected: full persist volume grows ~linearly with GPU count\n"
                     "(experts scale with GPUs); MoC-Persist cuts it sharply.\n");
     }
+    WriteBenchMetrics("fig13_scaling");
     return 0;
 }

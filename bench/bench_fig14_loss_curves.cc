@@ -147,5 +147,6 @@ main() {
     std::printf("%s", acc.ToString().c_str());
     std::printf("expected shape: accuracy climbs across epochs for all methods;\n"
                 "sequential vs load-aware selection are nearly identical.\n");
+    WriteBenchMetrics("fig14_loss_curves");
     return 0;
 }

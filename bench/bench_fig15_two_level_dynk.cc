@@ -119,5 +119,6 @@ main() {
     std::printf("expected shape: constant K accumulates PLT per fault; Dynamic-K\n"
                 "raises K (1 -> 2 -> 4 ... with the scaled budget) and flattens\n"
                 "the cumulative PLT.\n");
+    WriteBenchMetrics("fig15_two_level_dynk");
     return 0;
 }

@@ -72,5 +72,6 @@ main() {
     std::printf("%s", t.ToString().c_str());
     std::printf("expected shape: MoC wins under both strategies at every failure\n"
                 "rate; its optimal interval is much shorter, shrinking O_lost.\n");
+    WriteBenchMetrics("overhead_model");
     return 0;
 }

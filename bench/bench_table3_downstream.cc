@@ -112,5 +112,6 @@ main() {
     std::printf("expected shape: PEC variants within (or above) the baseline's\n"
                 "average accuracy band; 'Ckpt' column mirrors Table 3's relative\n"
                 "checkpoint volumes (W > O > WO).\n");
+    WriteBenchMetrics("table3_downstream");
     return 0;
 }

@@ -146,5 +146,6 @@ main() {
                 pec_avg * 100.0, pec_plt * 100.0);
     std::printf("expected shape: fine-tuned > Base on the shifted distribution;\n"
                 "FT-PEC ~= FT-Full; FT-w.o.E close behind full fine-tuning.\n");
+    WriteBenchMetrics("table4_finetune");
     return 0;
 }

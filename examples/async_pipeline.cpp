@@ -16,6 +16,7 @@
 
 #include "ckpt/async_agent.h"
 #include "ckpt/blocking.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 using namespace moc;
@@ -41,7 +42,8 @@ FakeState(std::uint8_t fill) {
 }  // namespace
 
 int
-main() {
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
     // Cost model: 10 MB/s snapshot, 4 MB/s persist -> a 400 KB checkpoint
     // costs 40 ms to snapshot and 100 ms to persist. The 25 ms F&B window
     // cannot fully hide the snapshot, so the agent reports partial stalls —

@@ -15,6 +15,7 @@
 #include "faults/trainer.h"
 #include "nn/eval.h"
 #include "util/table.h"
+#include "obs/export.h"
 
 using namespace moc;
 
@@ -47,7 +48,8 @@ Pretrain(MoeTransformerLm& model, const LmBatchStream& stream, std::size_t iters
 }  // namespace
 
 int
-main() {
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
     CorpusConfig base_cfg;
     base_cfg.vocab_size = 64;
     base_cfg.seed = 1234;

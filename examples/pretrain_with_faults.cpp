@@ -14,11 +14,13 @@
 #include "data/corpus.h"
 #include "faults/trainer.h"
 #include "util/table.h"
+#include "obs/export.h"
 
 using namespace moc;
 
 int
-main() {
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
     CorpusConfig corpus_cfg;
     corpus_cfg.vocab_size = 64;
     ZipfMarkovCorpus corpus(corpus_cfg);

@@ -18,11 +18,13 @@
 #include "nn/adam.h"
 #include "nn/eval.h"
 #include "nn/model.h"
+#include "obs/export.h"
 
 using namespace moc;
 
 int
-main() {
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
     // 1. Data: a deterministic synthetic corpus with learnable structure.
     CorpusConfig corpus_cfg;
     corpus_cfg.vocab_size = 64;

@@ -20,6 +20,7 @@
 #include "nn/eval.h"
 #include "nn/model.h"
 #include "storage/file_store.h"
+#include "obs/export.h"
 
 using namespace moc;
 
@@ -42,7 +43,8 @@ ModelCfg() {
 }  // namespace
 
 int
-main() {
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
     const std::filesystem::path ckpt_dir =
         std::filesystem::temp_directory_path() / "moc_save_resume_demo";
     std::filesystem::remove_all(ckpt_dir);

@@ -19,11 +19,15 @@
 #include "sim/perf_model.h"
 #include "sim/timeline.h"
 #include "util/table.h"
+#include "obs/export.h"
 
 using namespace moc;
 
 int
 main(int argc, char** argv) {
+    // Strips --metrics-out/--trace-out from argv before the positionals
+    // below are read; exports at exit.
+    const obs::ObsExportGuard obs_guard(argc, argv);
     const std::size_t gpus = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
     const std::string gpu_name = argc > 2 ? argv[2] : "a800";
     const std::string size = argc > 3 ? argv[3] : "medium";

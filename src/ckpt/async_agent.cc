@@ -1,5 +1,7 @@
 #include "ckpt/async_agent.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -51,6 +53,12 @@ AsyncCheckpointAgent::WaitSnapshotComplete() {
     if (waited && stalled > 0.0) {
         ++stats_.snapshot_stalls;
         stats_.total_stall_time += stalled;
+        static obs::Counter& stalls =
+            obs::MetricsRegistry::Instance().GetCounter("agent.stalls");
+        static obs::Gauge& stall_seconds =
+            obs::MetricsRegistry::Instance().GetGauge("agent.stall_seconds");
+        stalls.Add();
+        stall_seconds.Add(stalled);
     }
     return stalled;
 }
@@ -89,6 +97,7 @@ AsyncCheckpointAgent::SnapshotLoop() {
             iteration = pending_iteration_;
         }
         // GPU -> CPU copy into a snapshot buffer (costed).
+        const obs::TraceSpan span("agent.snapshot", "agent");
         const std::size_t idx = buffers_.AcquireForSnapshot();
         const Seconds copy_time =
             static_cast<double>(blob.size()) / cost_.snapshot_bandwidth;
@@ -97,6 +106,12 @@ AsyncCheckpointAgent::SnapshotLoop() {
         slot.data = std::move(blob);
         slot.iteration = iteration;
         buffers_.CompleteSnapshot(idx);
+        static obs::Counter& snapshot_bytes =
+            obs::MetricsRegistry::Instance().GetCounter("agent.snapshot_bytes");
+        static obs::Histogram& snapshot_seconds =
+            obs::MetricsRegistry::Instance().GetHistogram("agent.snapshot_seconds");
+        snapshot_bytes.Add(slot.data.size());
+        snapshot_seconds.Observe(copy_time * cost_.time_scale);
         {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.bytes_snapshotted += slot.data.size();
@@ -113,10 +128,17 @@ AsyncCheckpointAgent::PersistLoop() {
         if (!idx) {
             return;
         }
+        const obs::TraceSpan span("agent.persist", "agent");
         auto& slot = buffers_.Payload(*idx);
         const Seconds write_time = store_.WriteTime(slot.data.size());
         clock_.Advance(write_time * cost_.time_scale);
         store_.Put(key_prefix_ + "/ckpt", slot.data);
+        static obs::Counter& persist_bytes =
+            obs::MetricsRegistry::Instance().GetCounter("agent.persist_bytes");
+        static obs::Histogram& persist_seconds =
+            obs::MetricsRegistry::Instance().GetHistogram("agent.persist_seconds");
+        persist_bytes.Add(slot.data.size());
+        persist_seconds.Observe(write_time * cost_.time_scale);
         {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.bytes_persisted += slot.data.size();

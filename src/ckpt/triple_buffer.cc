@@ -1,8 +1,18 @@
 #include "ckpt/triple_buffer.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace moc {
+
+namespace {
+
+obs::Counter&
+BufferCounter(const char* name) {
+    return obs::MetricsRegistry::Instance().GetCounter(name);
+}
+
+}  // namespace
 
 TripleBuffer::TripleBuffer() {
     for (auto& s : states_) {
@@ -12,13 +22,21 @@ TripleBuffer::TripleBuffer() {
 
 std::size_t
 TripleBuffer::AcquireForSnapshot() {
+    static obs::Counter& full_waits = BufferCounter("buffer.full_waits");
     std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
     for (;;) {
         for (std::size_t i = 0; i < kNumBuffers; ++i) {
             if (states_[i] == BufferState::kFree) {
                 states_[i] = BufferState::kFilling;
                 return i;
             }
+        }
+        if (!waited) {
+            // All three buffers busy: the snapshot path is about to block —
+            // the "buffer-full" backpressure event of Fig. 9.
+            waited = true;
+            full_waits.Add();
         }
         cv_.wait(lock);
     }
@@ -43,6 +61,8 @@ TripleBuffer::CompleteSnapshot(std::size_t idx) {
     MOC_ASSERT(states_[idx] == BufferState::kFilling,
                "CompleteSnapshot on a buffer not being filled");
     states_[idx] = BufferState::kFilled;
+    static obs::Counter& snapshots = BufferCounter("buffer.snapshots");
+    snapshots.Add();
     cv_.notify_all();
 }
 
@@ -89,6 +109,8 @@ TripleBuffer::CompletePersist(std::size_t idx) {
         }
     }
     states_[idx] = BufferState::kRecovery;
+    static obs::Counter& persists = BufferCounter("buffer.persists");
+    persists.Add();
     cv_.notify_all();
 }
 

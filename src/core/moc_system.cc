@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
 
 namespace moc {
 
 namespace {
+
+/** Byte/event counters shared by every checkpoint event (initial included). */
+void
+RecordCheckpointMetrics(const CheckpointReport& report) {
+    static obs::Counter& events =
+        obs::MetricsRegistry::Instance().GetCounter("ckpt.events");
+    static obs::Counter& snapshot_bytes =
+        obs::MetricsRegistry::Instance().GetCounter("ckpt.snapshot_bytes");
+    static obs::Counter& persist_bytes =
+        obs::MetricsRegistry::Instance().GetCounter("ckpt.persist_bytes");
+    events.Add();
+    snapshot_bytes.Add(report.snapshot_bytes);
+    persist_bytes.Add(report.persist_bytes);
+}
 
 template <typename T>
 void
@@ -178,6 +194,7 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
     }
 
     // Initial full checkpoint at iteration 0: recovery is always defined.
+    const obs::TraceSpan span("ckpt.initial_checkpoint", "ckpt");
     CheckpointReport report;
     for (const auto& group : model_.ParameterGroups()) {
         SaveGroup(group, 0, /*weights=*/true, true, true, report);
@@ -186,6 +203,7 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
     storage_.Put("extra/state", SerializeExtraState(initial_extra));
     manifest_.MarkCheckpointComplete(StoreLevel::kMemory, 0);
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, 0);
+    RecordCheckpointMetrics(report);
 }
 
 std::vector<NodeId>
@@ -246,6 +264,7 @@ MocCheckpointSystem::ShouldCheckpoint(std::size_t iteration) const {
 
 CheckpointReport
 MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) {
+    const obs::TraceSpan span("ckpt.checkpoint", "ckpt");
     const PecSelection selection = planner_->Plan(ckpt_count_);
     CheckpointReport report;
     report.iteration = iteration;
@@ -277,6 +296,7 @@ MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) 
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, iteration);
     ledger_.RecordCheckpointEvent(iteration);
     ++ckpt_count_;
+    RecordCheckpointMetrics(report);
     return report;
 }
 
@@ -292,6 +312,7 @@ MocCheckpointSystem::RecordRouting(const std::vector<MoeLayer*>& layers) {
 
 RecoveryReport
 MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
+    const obs::TraceSpan span("ckpt.recover", "fault");
     for (NodeId node : failed_nodes) {
         memory_.FailNode(node);
         manifest_.DropNodeMemory(node);
@@ -358,6 +379,7 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
     }
 
     report.plt = ledger_.Plt();
+    const std::size_t k_before = planner_->config().k_snapshot;
     if (dynamic_k_ != nullptr) {
         // Scale both levels proportionally: recovery staleness is bounded by
         // the persist rotation, so K_persist must grow with K_pec.
@@ -367,6 +389,24 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
         planner_->SetK(k, std::min(k, persist));
     }
     report.k_after = planner_->config().k_snapshot;
+
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& events = registry.GetCounter("recovery.events");
+    static obs::Counter& memory_bytes =
+        registry.GetCounter("recovery.bytes_from_memory");
+    static obs::Counter& storage_bytes =
+        registry.GetCounter("recovery.bytes_from_storage");
+    static obs::Counter& transitions = registry.GetCounter("dynk.transitions");
+    static obs::Gauge& plt_gauge = registry.GetGauge("recovery.plt");
+    static obs::Gauge& k_gauge = registry.GetGauge("dynk.k_snapshot");
+    events.Add();
+    memory_bytes.Add(report.plan.bytes_from_memory);
+    storage_bytes.Add(report.plan.bytes_from_storage);
+    if (report.k_after != k_before) {
+        transitions.Add();
+    }
+    plt_gauge.Set(report.plt);
+    k_gauge.Set(static_cast<double>(report.k_after));
     return report;
 }
 

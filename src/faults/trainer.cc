@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace moc {
+
+namespace {
+
+/** Fault/recovery event accounting shared by both trainer drivers. */
+void
+RecordFaultMetrics(const RecoveryReport& report, std::size_t lost_iterations) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& injected = registry.GetCounter("faults.injected");
+    static obs::Counter& replayed =
+        registry.GetCounter("faults.replayed_iterations");
+    static obs::Gauge& plt = registry.GetGauge("faults.plt_after_recovery");
+    injected.Add();
+    replayed.Add(lost_iterations);
+    plt.Set(report.plt);
+}
+
+}  // namespace
 
 TrainLog
 RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_stream,
@@ -21,7 +40,11 @@ RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_s
 
     TrainLog log;
     std::size_t iter = 0;
+    static obs::Counter& iterations =
+        obs::MetricsRegistry::Instance().GetCounter("train.iterations");
     while (iter < config.total_iterations) {
+        const obs::TraceSpan iter_span("train.iteration", "train");
+        iterations.Add();
         const LmBatch batch = train_stream.Get(iter);
         const double loss = model.TrainBackward(batch);
         system.RecordRouting(model.MoeLayers());
@@ -37,9 +60,11 @@ RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_s
         }
 
         if (auto fault = injector.Poll(iter)) {
+            const obs::TraceSpan span("trainer.fault_recovery", "fault");
             RecoveryReport report = system.RecoverFromFault(fault->nodes);
             adam.set_step_count(report.extra.adam_step);
             model.gating_rng().SetState(report.extra.gating_rng);
+            RecordFaultMetrics(report, iter - report.extra.iteration);
             iter = report.extra.iteration;
             log.recoveries.push_back(std::move(report));
             continue;
@@ -110,9 +135,11 @@ RunFaultTolerantClassifierTraining(MoeClassifier& model,
             auto it = std::find(pending_faults.begin(), pending_faults.end(), epoch);
             if (it != pending_faults.end()) {
                 pending_faults.erase(it);
+                const obs::TraceSpan span("trainer.fault_recovery", "fault");
                 RecoveryReport report = system.RecoverFromFault({1});
                 adam.set_step_count(report.extra.adam_step);
                 model.gating_rng().SetState(report.extra.gating_rng);
+                RecordFaultMetrics(report, iter - report.extra.iteration);
                 iter = report.extra.iteration;
                 ++log.recoveries;
             }

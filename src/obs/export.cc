@@ -1,0 +1,211 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace moc::obs {
+
+namespace {
+
+std::string
+JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonNumber(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+bool
+WriteTextFile(const std::string& path, const std::string& content,
+              const char* what) {
+    try {
+        const std::filesystem::path p(path);
+        if (p.has_parent_path()) {
+            std::filesystem::create_directories(p.parent_path());
+        }
+        std::ofstream out(p, std::ios::trunc);
+        out << content;
+        out.flush();
+        if (!out) {
+            MOC_WARN << "failed writing " << what << " to " << path;
+            return false;
+        }
+        return true;
+    } catch (const std::filesystem::filesystem_error& e) {
+        MOC_WARN << "failed writing " << what << " to " << path << ": "
+                 << e.what();
+        return false;
+    }
+}
+
+}  // namespace
+
+std::string
+MetricsJson() {
+    const MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+            << "\": " << value;
+        first = false;
+    }
+    out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+        out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+            << "\": " << JsonNumber(value);
+        first = false;
+    }
+    out << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, data] : snap.histograms) {
+        out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+            << "\"count\": " << data.count << ", \"sum\": "
+            << JsonNumber(data.sum) << ", \"mean\": "
+            << JsonNumber(data.count > 0
+                              ? data.sum / static_cast<double>(data.count)
+                              : 0.0)
+            << ", \"buckets\": [";
+        for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+            const std::string le = i < data.bounds.size()
+                                       ? JsonNumber(data.bounds[i])
+                                       : std::string("\"+inf\"");
+            out << (i == 0 ? "" : ", ") << "{\"le\": " << le
+                << ", \"count\": " << data.bucket_counts[i] << "}";
+        }
+        out << "]}";
+        first = false;
+    }
+    out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+bool
+WriteMetricsJson(const std::string& path) {
+    return WriteTextFile(path, MetricsJson(), "metrics JSON");
+}
+
+std::string
+ChromeTraceJson() {
+    const auto events = Tracer::Instance().Collect();
+    std::ostringstream out;
+    out << "{\"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent& event : events) {
+        out << (first ? "" : ",") << "\n  {\"name\": \""
+            << JsonEscape(event.name) << "\", \"cat\": \""
+            << JsonEscape(event.category) << "\", \"ph\": \"X\", \"ts\": "
+            << JsonNumber(static_cast<double>(event.start_ns) / 1000.0)
+            << ", \"dur\": "
+            << JsonNumber(static_cast<double>(event.duration_ns) / 1000.0)
+            << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+        first = false;
+    }
+    out << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+    return out.str();
+}
+
+bool
+WriteChromeTrace(const std::string& path) {
+    return WriteTextFile(path, ChromeTraceJson(), "chrome trace");
+}
+
+ObsOptions
+ExtractObsOptions(std::vector<std::string>& tokens) {
+    ObsOptions options;
+    std::vector<std::string> kept;
+    kept.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& tok = tokens[i];
+        if (tok == "--metrics-out" || tok == "--trace-out") {
+            if (i + 1 >= tokens.size()) {
+                throw std::invalid_argument("option " + tok + " needs a value");
+            }
+            (tok == "--metrics-out" ? options.metrics_out : options.trace_out) =
+                tokens[++i];
+        } else {
+            kept.push_back(tok);
+        }
+    }
+    tokens = std::move(kept);
+    if (!options.trace_out.empty()) {
+        Tracer::Instance().set_enabled(true);
+    }
+    return options;
+}
+
+bool
+ExportObs(const ObsOptions& options) {
+    bool ok = true;
+    if (!options.metrics_out.empty()) {
+        ok = WriteMetricsJson(options.metrics_out) && ok;
+    }
+    if (!options.trace_out.empty()) {
+        ok = WriteChromeTrace(options.trace_out) && ok;
+    }
+    return ok;
+}
+
+ObsExportGuard::ObsExportGuard(int& argc, char** argv) {
+    std::vector<std::string> tokens;
+    tokens.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) {
+        tokens.emplace_back(argv[i]);
+    }
+    options_ = ExtractObsOptions(tokens);  // throws on a flag without a value
+    // Compact argv so the program's own parsing only sees its positionals.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--metrics-out" || arg == "--trace-out") {
+            ++i;  // skip the value; ExtractObsOptions guaranteed it exists
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argv[kept] = nullptr;
+    argc = kept;
+}
+
+ObsExportGuard::~ObsExportGuard() {
+    if (!options_.metrics_out.empty() && WriteMetricsJson(options_.metrics_out)) {
+        std::printf("metrics written to %s\n", options_.metrics_out.c_str());
+    }
+    if (!options_.trace_out.empty() && WriteChromeTrace(options_.trace_out)) {
+        std::printf("trace written to %s\n", options_.trace_out.c_str());
+    }
+}
+
+}  // namespace moc::obs

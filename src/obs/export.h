@@ -1,0 +1,76 @@
+#ifndef MOC_OBS_EXPORT_H_
+#define MOC_OBS_EXPORT_H_
+
+/**
+ * @file
+ * Exporters for the observability layer:
+ *
+ *  - a metrics dump as one JSON object (counters / gauges / histograms),
+ *    written next to bench results or wherever `--metrics-out` points;
+ *  - the trace rings as a Chrome-trace event file (open with
+ *    chrome://tracing or https://ui.perfetto.dev).
+ *
+ * Plus the shared `--metrics-out` / `--trace-out` flag handling used by
+ * `moc_cli` and the examples: `ExtractObsOptions` strips the flags from a
+ * token list, `ObsExportGuard` wires an entire main() in two lines.
+ */
+
+#include <string>
+#include <vector>
+
+namespace moc::obs {
+
+/** The full registry as a pretty-printed JSON object. */
+std::string MetricsJson();
+
+/**
+ * Writes MetricsJson() to @p path, creating parent directories.
+ * @return false (with a warning log) if the filesystem refuses.
+ */
+bool WriteMetricsJson(const std::string& path);
+
+/** All buffered trace events in Chrome trace-event JSON format. */
+std::string ChromeTraceJson();
+
+/** Writes ChromeTraceJson() to @p path, creating parent directories. */
+bool WriteChromeTrace(const std::string& path);
+
+/** Where a run should export its observability data (empty = don't). */
+struct ObsOptions {
+    std::string metrics_out;
+    std::string trace_out;
+};
+
+/**
+ * Removes `--metrics-out <path>` / `--trace-out <path>` from @p tokens and
+ * returns them. Enables the tracer when a trace path is given.
+ * @throws std::invalid_argument on a flag without a value.
+ */
+ObsOptions ExtractObsOptions(std::vector<std::string>& tokens);
+
+/** Writes whichever outputs @p options requests; true if all succeeded. */
+bool ExportObs(const ObsOptions& options);
+
+/**
+ * RAII main() wrapper for the examples: strips `--metrics-out`/`--trace-out`
+ * (and their values) out of argc/argv at construction — so the program's own
+ * argument parsing never sees them — enables tracing if asked, and performs
+ * the export at scope exit, announcing the written paths on stdout.
+ */
+class ObsExportGuard {
+  public:
+    ObsExportGuard(int& argc, char** argv);
+    ~ObsExportGuard();
+
+    ObsExportGuard(const ObsExportGuard&) = delete;
+    ObsExportGuard& operator=(const ObsExportGuard&) = delete;
+
+    const ObsOptions& options() const { return options_; }
+
+  private:
+    ObsOptions options_;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_EXPORT_H_

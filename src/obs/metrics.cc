@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace moc::obs {
+
+void
+Gauge::Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    MOC_CHECK_ARG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bounds must be strictly increasing");
+}
+
+void
+Histogram::Observe(double value) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> counts(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return counts;
+}
+
+void
+Histogram::Reset() {
+    for (auto& b : buckets_) {
+        b.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double>
+ExponentialBuckets(double start, double factor, std::size_t count) {
+    MOC_CHECK_ARG(start > 0.0 && factor > 1.0, "need start > 0 and factor > 1");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double bound = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(bound);
+        bound *= factor;
+    }
+    return bounds;
+}
+
+namespace {
+
+/** Default buckets: 1 us .. ~69 s in x4 steps (durations in seconds). */
+std::vector<double>
+DefaultBuckets() {
+    return ExponentialBuckets(1e-6, 4.0, 14);
+}
+
+}  // namespace
+
+MetricsRegistry&
+MetricsRegistry::Instance() {
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter&
+MetricsRegistry::GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+    auto& slot = counters_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+    auto& slot = gauges_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Histogram>(bounds.empty() ? DefaultBuckets()
+                                                          : std::move(bounds));
+    }
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    for (const auto& [name, counter] : counters_) {
+        snap.counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        snap.gauges[name] = gauge->value();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        HistogramData data;
+        data.bounds = histogram->bounds();
+        data.bucket_counts = histogram->bucket_counts();
+        data.count = histogram->count();
+        data.sum = histogram->sum();
+        snap.histograms[name] = std::move(data);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) {
+        counter->Reset();
+    }
+    for (auto& [name, gauge] : gauges_) {
+        gauge->Reset();
+    }
+    for (auto& [name, histogram] : histograms_) {
+        histogram->Reset();
+    }
+}
+
+}  // namespace moc::obs

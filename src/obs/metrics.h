@@ -1,0 +1,145 @@
+#ifndef MOC_OBS_METRICS_H_
+#define MOC_OBS_METRICS_H_
+
+/**
+ * @file
+ * Process-wide metrics: named atomic counters, gauges, and fixed-bucket
+ * histograms, registered once and updated lock-free from any thread.
+ *
+ * Call sites cache the reference in a function-local static so the hot path
+ * is a single relaxed atomic op:
+ *
+ * @code
+ *   static obs::Counter& bytes =
+ *       obs::MetricsRegistry::Instance().GetCounter("ckpt.persist_bytes");
+ *   bytes.Add(blob.size());
+ * @endcode
+ *
+ * The registry never removes or reallocates a registered metric, so cached
+ * references stay valid for the life of the process; ResetAll() zeroes
+ * values in place (for tests and repeated bench runs).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace moc::obs {
+
+/** Monotonic event/byte counter. */
+class Counter {
+  public:
+    void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written (or accumulated) double value, e.g. PLT or stall seconds. */
+class Gauge {
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    /** Atomic accumulate (CAS loop; gauges are not hot-path metrics). */
+    void Add(double delta);
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { Set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram of double observations. Bucket @c i counts values
+ * <= bounds[i] (cumulative-style "le" bounds, Prometheus convention); an
+ * implicit overflow bucket counts the rest. Tracks count and sum so means
+ * survive the export.
+ */
+class Histogram {
+  public:
+    /** @param bounds strictly increasing upper bounds; may be empty. */
+    explicit Histogram(std::vector<double> bounds);
+
+    void Observe(double value);
+
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    const std::vector<double>& bounds() const { return bounds_; }
+
+    /** Per-bucket counts; size() == bounds().size() + 1 (overflow last). */
+    std::vector<std::uint64_t> bucket_counts() const;
+
+    void Reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** `count` exponential bucket bounds: start, start*factor, ... */
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count);
+
+/** Point-in-time copy of one histogram, for export. */
+struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Point-in-time copy of the whole registry. */
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+};
+
+/**
+ * Process-wide registry of named metrics. Lookup takes a mutex; updates on
+ * the returned references are lock-free.
+ */
+class MetricsRegistry {
+  public:
+    static MetricsRegistry& Instance();
+
+    /** Returns the counter named @p name, creating it on first use. */
+    Counter& GetCounter(const std::string& name);
+
+    /** Returns the gauge named @p name, creating it on first use. */
+    Gauge& GetGauge(const std::string& name);
+
+    /**
+     * Returns the histogram named @p name. @p bounds is used only when the
+     * histogram does not exist yet (empty = default exponential buckets).
+     * @throws std::invalid_argument if @p name is registered as another kind.
+     */
+    Histogram& GetHistogram(const std::string& name,
+                            std::vector<double> bounds = {});
+
+    MetricsSnapshot Snapshot() const;
+
+    /** Zeroes every metric in place; cached references stay valid. */
+    void ResetAll();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_METRICS_H_

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace moc::obs {
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : capacity_(capacity), tid_(tid) {
+    events_.reserve(capacity_);
+}
+
+void
+TraceRing::Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+        events_.push_back(event);
+        return;
+    }
+    full_ = true;
+    ++dropped_;
+    events_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent>
+TraceRing::Events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!full_) {
+        return events_;
+    }
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    out.insert(out.end(), events_.begin() + static_cast<long>(head_),
+               events_.end());
+    out.insert(out.end(), events_.begin(),
+               events_.begin() + static_cast<long>(head_));
+    return out;
+}
+
+std::uint64_t
+TraceRing::dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+TraceRing::Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    head_ = 0;
+    full_ = false;
+    dropped_ = 0;
+}
+
+Tracer&
+Tracer::Instance() {
+    static Tracer* tracer = new Tracer();
+    return *tracer;
+}
+
+TraceRing&
+Tracer::ThreadRing() {
+    thread_local TraceRing* ring = nullptr;
+    if (ring == nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto tid = static_cast<std::uint32_t>(rings_.size());
+        rings_.push_back(std::make_unique<TraceRing>(kRingCapacity, tid));
+        ring = rings_.back().get();
+    }
+    return *ring;
+}
+
+void
+Tracer::Record(const TraceEvent& event) {
+    TraceEvent stamped = event;
+    TraceRing& ring = ThreadRing();
+    stamped.tid = ring.tid();
+    ring.Push(stamped);
+}
+
+std::vector<TraceEvent>
+Tracer::Collect() const {
+    std::vector<const TraceRing*> rings;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        rings.reserve(rings_.size());
+        for (const auto& ring : rings_) {
+            rings.push_back(ring.get());
+        }
+    }
+    std::vector<TraceEvent> events;
+    for (const TraceRing* ring : rings) {
+        const auto part = ring->Events();
+        events.insert(events.end(), part.begin(), part.end());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    return events;
+}
+
+std::uint64_t
+Tracer::TotalDropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t dropped = 0;
+    for (const auto& ring : rings_) {
+        dropped += ring->dropped();
+    }
+    return dropped;
+}
+
+void
+Tracer::Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+        ring->Clear();
+    }
+}
+
+std::uint64_t
+Tracer::NowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TraceSpan::~TraceSpan() {
+    if (!active_) {
+        return;
+    }
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_ns = start_ns_;
+    event.duration_ns = Tracer::NowNs() - start_ns_;
+    Tracer::Instance().Record(event);
+}
+
+}  // namespace moc::obs

@@ -1,0 +1,132 @@
+#ifndef MOC_OBS_TRACE_H_
+#define MOC_OBS_TRACE_H_
+
+/**
+ * @file
+ * Scoped trace spans recorded into per-thread ring buffers.
+ *
+ * `TraceSpan` is an RAII timer: construction stamps a start time, the
+ * destructor pushes a completed event into the calling thread's ring. When
+ * the tracer is disabled (the default) a span costs one relaxed atomic
+ * load and nothing is recorded, so instrumented hot paths stay near-free.
+ *
+ * Rings are fixed-capacity and overwrite the oldest events, bounding memory
+ * no matter how long a run is; `Tracer::Collect()` merges every thread's
+ * ring for export (see obs/export.h for the chrome://tracing emitter).
+ * Span names/categories must be string literals (they are stored as
+ * pointers, not copied).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace moc::obs {
+
+/** One completed span. */
+struct TraceEvent {
+    const char* name = "";
+    const char* category = "";
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+    /** Tracer-assigned dense thread id (stable per thread). */
+    std::uint32_t tid = 0;
+};
+
+/** Fixed-capacity overwrite-oldest event buffer for one thread. */
+class TraceRing {
+  public:
+    explicit TraceRing(std::size_t capacity, std::uint32_t tid);
+
+    void Push(const TraceEvent& event);
+
+    /** Buffered events, oldest first. */
+    std::vector<TraceEvent> Events() const;
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    void Clear();
+
+    std::uint32_t tid() const { return tid_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;  ///< next write slot once the ring has wrapped
+    bool full_ = false;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t tid_;
+};
+
+/**
+ * Process-wide trace collector. Owns one ring per thread that has ever
+ * recorded a span; rings live for the process so thread-cached pointers
+ * never dangle.
+ */
+class Tracer {
+  public:
+    static constexpr std::size_t kRingCapacity = 8192;
+
+    static Tracer& Instance();
+
+    void set_enabled(bool enabled) {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Records one completed event into the calling thread's ring. */
+    void Record(const TraceEvent& event);
+
+    /** Every thread's buffered events, sorted by start time. */
+    std::vector<TraceEvent> Collect() const;
+
+    /** Total events overwritten across all rings. */
+    std::uint64_t TotalDropped() const;
+
+    /** Empties every ring (rings themselves stay registered). */
+    void Clear();
+
+    /** Monotonic nanoseconds (steady clock). */
+    static std::uint64_t NowNs();
+
+  private:
+    Tracer() = default;
+
+    /** The calling thread's ring, registered on first use. */
+    TraceRing& ThreadRing();
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+    std::atomic<bool> enabled_{false};
+};
+
+/**
+ * RAII scoped timer; records into the thread's ring at scope exit when the
+ * tracer was enabled at construction.
+ */
+class TraceSpan {
+  public:
+    explicit TraceSpan(const char* name, const char* category = "moc")
+        : name_(name), category_(category),
+          active_(Tracer::Instance().enabled()),
+          start_ns_(active_ ? Tracer::NowNs() : 0) {}
+
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    const char* name_;
+    const char* category_;
+    bool active_;
+    std::uint64_t start_ns_;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_TRACE_H_

@@ -1,10 +1,13 @@
 #include "storage/file_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -38,6 +41,12 @@ ValidateKey(const std::string& key) {
     }
 }
 
+/** Seconds since the obs tracer epoch, for I/O latency histograms. */
+double
+NowSeconds() {
+    return static_cast<double>(obs::Tracer::NowNs()) * 1e-9;
+}
+
 }  // namespace
 
 FileStore::FileStore(fs::path root) : root_(std::move(root)) {
@@ -57,6 +66,8 @@ FileStore::PathFor(const std::string& key) const {
 
 void
 FileStore::Put(const std::string& key, Blob blob) {
+    const obs::TraceSpan span("filestore.put", "storage");
+    const double start = NowSeconds();
     const fs::path path = PathFor(key);
     std::lock_guard<std::mutex> lock(mu_);
     fs::create_directories(path.parent_path());
@@ -75,10 +86,18 @@ FileStore::Put(const std::string& key, Blob blob) {
         }
     }
     fs::rename(tmp, path);  // atomic replace on POSIX
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& write_bytes = registry.GetCounter("filestore.write_bytes");
+    static obs::Histogram& write_seconds =
+        registry.GetHistogram("filestore.write_seconds");
+    write_bytes.Add(blob.size());
+    write_seconds.Observe(NowSeconds() - start);
 }
 
 std::optional<Blob>
 FileStore::Get(const std::string& key) const {
+    const obs::TraceSpan span("filestore.get", "storage");
+    const double start = NowSeconds();
     const fs::path path = PathFor(key);
     std::lock_guard<std::mutex> lock(mu_);
     std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -102,6 +121,12 @@ FileStore::Get(const std::string& key) const {
         throw std::runtime_error("FileStore: CRC mismatch (torn write?) in " +
                                  path.string());
     }
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& read_bytes = registry.GetCounter("filestore.read_bytes");
+    static obs::Histogram& read_seconds =
+        registry.GetHistogram("filestore.read_seconds");
+    read_bytes.Add(blob.size());
+    read_seconds.Observe(NowSeconds() - start);
     return blob;
 }
 

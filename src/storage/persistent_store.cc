@@ -1,5 +1,6 @@
 #include "storage/persistent_store.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -11,6 +12,12 @@ PersistentStore::PersistentStore(const StorageIoModel& io) : io_(io) {
 
 void
 PersistentStore::Put(const std::string& key, Blob blob) {
+    static obs::Counter& writes =
+        obs::MetricsRegistry::Instance().GetCounter("store.writes");
+    static obs::Counter& write_bytes =
+        obs::MetricsRegistry::Instance().GetCounter("store.write_bytes");
+    writes.Add();
+    write_bytes.Add(blob.size());
     std::lock_guard<std::mutex> lock(mu_);
     bytes_written_ += blob.size();
     auto it = data_.find(key);
@@ -31,6 +38,12 @@ PersistentStore::Get(const std::string& key) const {
     if (it == data_.end()) {
         return std::nullopt;
     }
+    static obs::Counter& reads =
+        obs::MetricsRegistry::Instance().GetCounter("store.reads");
+    static obs::Counter& read_bytes =
+        obs::MetricsRegistry::Instance().GetCounter("store.read_bytes");
+    reads.Add();
+    read_bytes.Add(it->second.size());
     return it->second;
 }
 

@@ -33,7 +33,7 @@ Logger::Instance() {
 
 void
 Logger::Log(LogLevel level, const char* file, int line, const std::string& msg) {
-    if (level < level_) {
+    if (level < this->level()) {
         return;
     }
     const char* base = file;

@@ -10,6 +10,7 @@
  * (`MOC_PANIC`, `MOC_ASSERT`).
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -27,16 +28,19 @@ class Logger {
     /** Returns the singleton logger. */
     static Logger& Instance();
 
-    /** Sets the minimum level that will be emitted. */
-    void set_level(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    /** Sets the minimum level that will be emitted (any thread, any time). */
+    void set_level(LogLevel level) {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
     /** Emits one log line at @p level with source location info. */
     void Log(LogLevel level, const char* file, int line, const std::string& msg);
 
   private:
     Logger() = default;
-    LogLevel level_ = LogLevel::kInfo;
+    /** Atomic: Log() reads it while set_level may run on another thread. */
+    std::atomic<LogLevel> level_{LogLevel::kInfo};
 };
 
 namespace detail {

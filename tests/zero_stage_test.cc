@@ -139,7 +139,12 @@ TEST(ClusterEngine, MakespanSetByBottleneckRank) {
     io.latency = 0.0;
     io.write_bandwidth = 500e6;
     PersistentStore store(io);
-    ClusterCheckpointEngine engine(store, 4, FastCluster());
+    // Slow snapshot bandwidth so the modeled per-rank sleeps (~160ms for the
+    // bottleneck vs ~20ms for the rest) dwarf scheduler noise; sanitizer CI
+    // runs this test and sub-millisecond sleeps get reordered by preemption.
+    AgentCostModel cost = FastCluster();
+    cost.snapshot_bandwidth = 100e3;
+    ClusterCheckpointEngine engine(store, 4, cost);
 
     // Rank 2 carries 8x the payload of the others.
     ShardPlan plan(4);

@@ -5,6 +5,7 @@
 
 #include "core/moc_system.h"
 #include "core/selection.h"
+#include "obs/export.h"
 #include "core/sharding.h"
 #include "dist/presets.h"
 #include "faults/trace.h"
@@ -180,28 +181,33 @@ RunTraceCheck(const Args& args, std::ostream& out) {
 
 int
 Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& err) {
-    if (tokens.empty()) {
-        err << "usage: moc_cli <inspect|plan|simulate|trace-check> [args]\n";
-        return 2;
-    }
-    const std::string command = tokens.front();
     try {
-        const Args args =
-            ParseArgs({tokens.begin() + 1, tokens.end()});
+        std::vector<std::string> remaining = tokens;
+        const obs::ObsOptions obs_options = obs::ExtractObsOptions(remaining);
+        if (remaining.empty()) {
+            err << "usage: moc_cli <inspect|plan|simulate|trace-check> [args]\n"
+                   "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n";
+            return 2;
+        }
+        const std::string command = remaining.front();
+        const Args args = ParseArgs({remaining.begin() + 1, remaining.end()});
+        int code = 2;
         if (command == "inspect") {
-            return RunInspect(args, out);
+            code = RunInspect(args, out);
+        } else if (command == "plan") {
+            code = RunPlan(args, out);
+        } else if (command == "simulate") {
+            code = RunSimulate(args, out);
+        } else if (command == "trace-check") {
+            code = RunTraceCheck(args, out);
+        } else {
+            err << "unknown subcommand: " << command << "\n";
+            return 2;
         }
-        if (command == "plan") {
-            return RunPlan(args, out);
+        if (!obs::ExportObs(obs_options)) {
+            err << "warning: observability export failed\n";
         }
-        if (command == "simulate") {
-            return RunSimulate(args, out);
-        }
-        if (command == "trace-check") {
-            return RunTraceCheck(args, out);
-        }
-        err << "unknown subcommand: " << command << "\n";
-        return 2;
+        return code;
     } catch (const std::exception& e) {
         err << "error: " << e.what() << "\n";
         return 1;

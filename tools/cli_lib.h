@@ -14,6 +14,10 @@
  *   simulate [--gpus N --gpu a800|h100 --size S --k N]
  *                                      iteration timeline for a deployment
  *   trace-check <trace-file>           validate a fault-trace file
+ *
+ * Global flags (any subcommand): `--metrics-out <path>` dumps the process
+ * metrics registry as JSON on exit; `--trace-out <path>` enables tracing
+ * and writes a chrome://tracing event file on exit.
  */
 
 #include <iosfwd>
