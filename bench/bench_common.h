@@ -15,6 +15,8 @@
 #include "nn/classifier.h"
 #include "nn/model.h"
 #include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 
 namespace moc::bench {
 
@@ -85,8 +87,11 @@ PrintHeader(const char* id, const char* title) {
 
 /**
  * Dumps the metrics registry next to the harness's CSV results as
- * `results/<bench_id>_metrics.json`, so every benchmark trajectory carries
- * the stall/overlap/byte counters its run accumulated.
+ * `results/<bench_id>_metrics.json` and the event journal as
+ * `results/<bench_id>_events.jsonl`, so every benchmark trajectory carries
+ * the stall/overlap/byte counters and checkpoint/fault timeline its run
+ * accumulated, ready for `moc_cli report`. Latency-shaped histograms also
+ * get a p50/p95/p99 stdout summary (see obs::HistogramQuantile).
  */
 inline void
 WriteBenchMetrics(const char* bench_id) {
@@ -94,6 +99,26 @@ WriteBenchMetrics(const char* bench_id) {
         std::string("results/") + bench_id + "_metrics.json";
     if (moc::obs::WriteMetricsJson(path)) {
         std::printf("metrics written to %s\n", path.c_str());
+    }
+    const std::string events_path =
+        std::string("results/") + bench_id + "_events.jsonl";
+    if (moc::obs::EventJournal::Instance().size() > 0 &&
+        moc::obs::WriteEventsJsonl(events_path)) {
+        std::printf("events written to %s\n", events_path.c_str());
+    }
+    const auto snap = moc::obs::MetricsRegistry::Instance().Snapshot();
+    for (const char* name :
+         {"train.iteration_seconds", "ckpt.duration_seconds",
+          "recovery.duration_seconds"}) {
+        const auto it = snap.histograms.find(name);
+        if (it == snap.histograms.end() || it->second.count == 0) {
+            continue;
+        }
+        std::printf("%s p50/p95/p99: %.6f / %.6f / %.6f s (n=%llu)\n", name,
+                    moc::obs::HistogramP50(it->second),
+                    moc::obs::HistogramP95(it->second),
+                    moc::obs::HistogramP99(it->second),
+                    static_cast<unsigned long long>(it->second.count));
     }
 }
 

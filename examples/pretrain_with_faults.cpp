@@ -15,6 +15,8 @@
 #include "faults/trainer.h"
 #include "util/table.h"
 #include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 
 using namespace moc;
 
@@ -52,6 +54,11 @@ main(int argc, char** argv) {
     MoeTransformerLm ref_model(model_cfg);
     FaultInjector none(std::vector<FaultEvent>{});
     const auto ref = RunFaultTolerantLmTraining(ref_model, train, valid, cfg, none);
+
+    // The exports should describe the faulty run only, so drop everything the
+    // reference run accumulated.
+    obs::MetricsRegistry::Instance().ResetAll();
+    obs::EventJournal::Instance().Clear();
 
     // Poisson faults: expect ~4 over the run, hitting either node.
     MoeTransformerLm model(model_cfg);

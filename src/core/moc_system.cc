@@ -1,11 +1,17 @@
 #include "core/moc_system.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 
+#include "obs/expert_stats.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "tensor/serialize.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -14,16 +20,47 @@ namespace {
 
 /** Byte/event counters shared by every checkpoint event (initial included). */
 void
-RecordCheckpointMetrics(const CheckpointReport& report) {
+RecordCheckpointMetrics(const CheckpointReport& report, Seconds duration) {
     static obs::Counter& events =
         obs::MetricsRegistry::Instance().GetCounter("ckpt.events");
     static obs::Counter& snapshot_bytes =
         obs::MetricsRegistry::Instance().GetCounter("ckpt.snapshot_bytes");
     static obs::Counter& persist_bytes =
         obs::MetricsRegistry::Instance().GetCounter("ckpt.persist_bytes");
+    static obs::Histogram& seconds =
+        obs::MetricsRegistry::Instance().GetHistogram("ckpt.duration_seconds");
     events.Add();
     snapshot_bytes.Add(report.snapshot_bytes);
     persist_bytes.Add(report.persist_bytes);
+    seconds.Observe(duration);
+}
+
+/** A CRC-32 fingerprint of the run's MocSystemConfig, as run metadata. */
+std::string
+ConfigDigest(const MocSystemConfig& config, const ModelSpec& spec) {
+    std::ostringstream desc;
+    desc << "k_snapshot=" << config.pec.k_snapshot
+         << ";k_persist=" << config.pec.k_persist
+         << ";pec_w=" << config.pec.pec_on_weights
+         << ";pec_o=" << config.pec.pec_on_optimizer
+         << ";policy=" << static_cast<int>(config.pec.policy)
+         << ";i_ckpt=" << config.i_ckpt
+         << ";two_level=" << config.two_level_recovery
+         << ";fully_sharded=" << config.fully_sharded
+         << ";dynamic_k=" << config.dynamic_k
+         << ";plt_threshold=" << config.plt_threshold
+         << ";moe_layers=" << spec.NumMoeLayers()
+         << ";experts=" << spec.num_experts;
+    const std::string s = desc.str();
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "%08x", Crc32(s.data(), s.size()));
+    return hex;
+}
+
+/** Journal wall-clock pair around one checkpoint or recovery. */
+Seconds
+NsToSeconds(std::uint64_t begin_ns, std::uint64_t end_ns) {
+    return static_cast<double>(end_ns - begin_ns) / 1e9;
 }
 
 template <typename T>
@@ -193,8 +230,18 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
         }
     }
 
+    // Per-expert telemetry + run metadata restart with each bound system.
+    obs::ExpertStatsRegistry::Instance().Configure(spec.NumMoeLayers(),
+                                                   spec.num_experts);
+    obs::SetRunConfigDigest(ConfigDigest(config_, spec_));
+
     // Initial full checkpoint at iteration 0: recovery is always defined.
     const obs::TraceSpan span("ckpt.initial_checkpoint", "ckpt");
+    const std::uint64_t begin_ns = obs::Tracer::NowNs();
+    obs::EventJournal::Instance().Append(
+        {.kind = obs::EventKind::kCkptBegin,
+         .k = config_.pec.k_snapshot,
+         .detail = "initial full checkpoint"});
     CheckpointReport report;
     for (const auto& group : model_.ParameterGroups()) {
         SaveGroup(group, 0, /*weights=*/true, true, true, report);
@@ -203,7 +250,13 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
     storage_.Put("extra/state", SerializeExtraState(initial_extra));
     manifest_.MarkCheckpointComplete(StoreLevel::kMemory, 0);
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, 0);
-    RecordCheckpointMetrics(report);
+    obs::EventJournal::Instance().Append(
+        {.kind = obs::EventKind::kCkptEnd,
+         .bytes = report.snapshot_bytes + report.persist_bytes,
+         .plt = 0.0,
+         .k = config_.pec.k_snapshot,
+         .detail = "initial full checkpoint"});
+    RecordCheckpointMetrics(report, NsToSeconds(begin_ns, obs::Tracer::NowNs()));
 }
 
 std::vector<NodeId>
@@ -243,17 +296,36 @@ MocCheckpointSystem::SaveGroup(const ParamGroup& group, std::size_t iteration,
     } else {
         nodes = {NonExpertOwnerNode(group.key)};
     }
+    auto& journal = obs::EventJournal::Instance();
+    auto& expert_stats = obs::ExpertStatsRegistry::Instance();
     if (to_memory) {
         for (NodeId node : nodes) {
             memory_.Node(node).Put(key, blob);
             manifest_.RecordSave(StoreLevel::kMemory, key, iteration, node, size);
             report.snapshot_bytes += size;
+            journal.Append({.kind = obs::EventKind::kSnapshot,
+                            .iteration = iteration,
+                            .scope = static_cast<std::int64_t>(node),
+                            .bytes = size,
+                            .detail = key});
+        }
+        if (group.kind == ModuleKind::kExpert) {
+            expert_stats.OnSnapshot(group.moe_index, group.expert, iteration,
+                                    size * nodes.size());
         }
     }
     if (to_persist) {
         storage_.Put(key, blob);
         manifest_.RecordSave(StoreLevel::kPersist, key, iteration, 0, size);
         report.persist_bytes += size;
+        journal.Append({.kind = obs::EventKind::kPersist,
+                        .iteration = iteration,
+                        .bytes = size,
+                        .detail = key});
+        if (group.kind == ModuleKind::kExpert) {
+            expert_stats.OnPersist(group.moe_index, group.expert, iteration,
+                                   size);
+        }
     }
 }
 
@@ -265,6 +337,13 @@ MocCheckpointSystem::ShouldCheckpoint(std::size_t iteration) const {
 CheckpointReport
 MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) {
     const obs::TraceSpan span("ckpt.checkpoint", "ckpt");
+    const std::uint64_t begin_ns = obs::Tracer::NowNs();
+    obs::ExpertStatsRegistry::Instance().SetIteration(iteration);
+    obs::EventJournal::Instance().Append(
+        {.kind = obs::EventKind::kCkptBegin,
+         .iteration = iteration,
+         .k = planner_->config().k_snapshot,
+         .detail = {}});
     const PecSelection selection = planner_->Plan(ckpt_count_);
     CheckpointReport report;
     report.iteration = iteration;
@@ -296,7 +375,14 @@ MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) 
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, iteration);
     ledger_.RecordCheckpointEvent(iteration);
     ++ckpt_count_;
-    RecordCheckpointMetrics(report);
+    obs::EventJournal::Instance().Append(
+        {.kind = obs::EventKind::kCkptEnd,
+         .iteration = iteration,
+         .bytes = report.snapshot_bytes + report.persist_bytes,
+         .plt = ledger_.Plt(),
+         .k = planner_->config().k_snapshot,
+         .detail = {}});
+    RecordCheckpointMetrics(report, NsToSeconds(begin_ns, obs::Tracer::NowNs()));
     return report;
 }
 
@@ -313,6 +399,28 @@ MocCheckpointSystem::RecordRouting(const std::vector<MoeLayer*>& layers) {
 RecoveryReport
 MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
     const obs::TraceSpan span("ckpt.recover", "fault");
+    const std::uint64_t begin_ns = obs::Tracer::NowNs();
+    auto& journal = obs::EventJournal::Instance();
+    // The trainer advances the expert-stats iteration every step, so it is
+    // the best available "iteration at fault time" stamp.
+    const std::uint64_t fault_iteration =
+        obs::ExpertStatsRegistry::Instance().iteration();
+    {
+        std::ostringstream nodes;
+        for (std::size_t i = 0; i < failed_nodes.size(); ++i) {
+            nodes << (i == 0 ? "nodes=" : ",") << failed_nodes[i];
+        }
+        journal.Append({.kind = obs::EventKind::kFault,
+                        .iteration = fault_iteration,
+                        .scope = failed_nodes.empty()
+                                     ? obs::kGlobalScope
+                                     : static_cast<std::int64_t>(
+                                           failed_nodes.front()),
+                        .detail = nodes.str()});
+    }
+    journal.Append({.kind = obs::EventKind::kRecoveryBegin,
+                    .iteration = fault_iteration,
+                    .detail = {}});
     for (NodeId node : failed_nodes) {
         memory_.FailNode(node);
         manifest_.DropNodeMemory(node);
@@ -390,6 +498,31 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
     }
     report.k_after = planner_->config().k_snapshot;
 
+    // Per-expert attribution: clamp staleness bookkeeping to the restart
+    // point and refresh each cell's lost-token total from the ledger.
+    auto& expert_stats = obs::ExpertStatsRegistry::Instance();
+    expert_stats.OnRecovery(report.plan.restart_iteration);
+    for (std::size_t m = 0; m < ledger_.num_moe_layers(); ++m) {
+        for (ExpertId e = 0; e < ledger_.num_experts(); ++e) {
+            expert_stats.SetLostTokens(m, e, ledger_.LostTokens(m, e));
+        }
+    }
+
+    journal.Append({.kind = obs::EventKind::kRecoveryEnd,
+                    .iteration = report.plan.restart_iteration,
+                    .bytes = report.plan.bytes_from_memory +
+                             report.plan.bytes_from_storage,
+                    .plt = report.plt,
+                    .k = report.k_after,
+                    .detail = {}});
+    if (report.k_after != k_before) {
+        journal.Append({.kind = obs::EventKind::kDynamicKBump,
+                        .iteration = report.plan.restart_iteration,
+                        .plt = report.plt,
+                        .k = report.k_after,
+                        .detail = {}});
+    }
+
     auto& registry = obs::MetricsRegistry::Instance();
     static obs::Counter& events = registry.GetCounter("recovery.events");
     static obs::Counter& memory_bytes =
@@ -399,6 +532,8 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
     static obs::Counter& transitions = registry.GetCounter("dynk.transitions");
     static obs::Gauge& plt_gauge = registry.GetGauge("recovery.plt");
     static obs::Gauge& k_gauge = registry.GetGauge("dynk.k_snapshot");
+    static obs::Histogram& seconds =
+        registry.GetHistogram("recovery.duration_seconds");
     events.Add();
     memory_bytes.Add(report.plan.bytes_from_memory);
     storage_bytes.Add(report.plan.bytes_from_storage);
@@ -407,6 +542,7 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
     }
     plt_gauge.Set(report.plt);
     k_gauge.Set(static_cast<double>(report.k_after));
+    seconds.Observe(NsToSeconds(begin_ns, obs::Tracer::NowNs()));
     return report;
 }
 

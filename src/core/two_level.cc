@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -75,6 +76,30 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
             // then are (at least partially) lost.
             plan.expert_recovered_iteration[m][e] =
                 std::min(dw.iteration, od.iteration);
+        }
+    }
+
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& memory_units =
+        registry.GetCounter("recovery.units_from_memory");
+    static obs::Counter& storage_units =
+        registry.GetCounter("recovery.units_from_storage");
+    static obs::Histogram& staleness = registry.GetHistogram(
+        "recovery.expert_staleness_iters",
+        {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+    for (const RecoveryDecision& d : plan.decisions) {
+        if (d.source == RecoverySource::kMemory) {
+            memory_units.Add();
+        } else if (d.source == RecoverySource::kPersist) {
+            storage_units.Add();
+        }
+    }
+    for (const auto& layer : plan.expert_recovered_iteration) {
+        for (const std::size_t recovered : layer) {
+            const std::size_t stale = recovered < plan.restart_iteration
+                                          ? plan.restart_iteration - recovered
+                                          : 0;
+            staleness.Observe(static_cast<double>(stale));
         }
     }
     return plan;

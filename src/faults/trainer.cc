@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/expert_stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -24,6 +25,28 @@ RecordFaultMetrics(const RecoveryReport& report, std::size_t lost_iterations) {
     plt.Set(report.plt);
 }
 
+/** Per-iteration accounting shared by both trainer drivers. */
+void
+RecordIterationMetrics(std::size_t iteration, Seconds duration) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    static obs::Counter& iterations = registry.GetCounter("train.iterations");
+    static obs::Gauge& position = registry.GetGauge("train.iteration");
+    static obs::Histogram& seconds =
+        registry.GetHistogram("train.iteration_seconds");
+    iterations.Add();
+    position.Set(static_cast<double>(iteration));
+    seconds.Observe(duration);
+    // Anchor the staleness matrix to training progress, not just the last
+    // checkpoint, so exports mid-interval read correctly.
+    obs::ExpertStatsRegistry::Instance().SetIteration(iteration);
+}
+
+/** Monotonic wall seconds for iteration timing. */
+Seconds
+NowSeconds() {
+    return static_cast<double>(obs::Tracer::NowNs()) / 1e9;
+}
+
 }  // namespace
 
 TrainLog
@@ -40,16 +63,15 @@ RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_s
 
     TrainLog log;
     std::size_t iter = 0;
-    static obs::Counter& iterations =
-        obs::MetricsRegistry::Instance().GetCounter("train.iterations");
     while (iter < config.total_iterations) {
         const obs::TraceSpan iter_span("train.iteration", "train");
-        iterations.Add();
+        const Seconds iter_start = NowSeconds();
         const LmBatch batch = train_stream.Get(iter);
         const double loss = model.TrainBackward(batch);
         system.RecordRouting(model.MoeLayers());
         adam.Step(params);
         ++iter;
+        RecordIterationMetrics(iter, NowSeconds() - iter_start);
         log.train_losses.emplace_back(iter, loss);
 
         if (system.ShouldCheckpoint(iter)) {
@@ -116,12 +138,14 @@ RunFaultTolerantClassifierTraining(MoeClassifier& model,
 
     std::size_t iter = 0;
     while (iter < total) {
+        const Seconds iter_start = NowSeconds();
         const auto batch =
             data.GetBatch(/*split=*/0, iter * config.batch, config.batch);
         model.TrainBackward(batch);
         system.RecordRouting(model.MoeLayers());
         adam.Step(params);
         ++iter;
+        RecordIterationMetrics(iter, NowSeconds() - iter_start);
 
         if (system.ShouldCheckpoint(iter)) {
             const ExtraState extra{iter, adam.step_count(),

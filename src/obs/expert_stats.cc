@@ -1,0 +1,131 @@
+#include "obs/expert_stats.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace moc::obs {
+
+ExpertStatsRegistry&
+ExpertStatsRegistry::Instance() {
+    static ExpertStatsRegistry* registry = new ExpertStatsRegistry();
+    return *registry;
+}
+
+void
+ExpertStatsRegistry::Configure(std::size_t num_layers, std::size_t num_experts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    num_layers_ = num_layers;
+    num_experts_ = num_experts;
+    iteration_ = 0;
+    cells_.assign(num_layers * num_experts, ExpertStat{});
+    for (std::size_t m = 0; m < num_layers; ++m) {
+        for (std::size_t e = 0; e < num_experts; ++e) {
+            ExpertStat& cell = cells_[m * num_experts + e];
+            cell.layer = static_cast<std::uint32_t>(m);
+            cell.expert = static_cast<std::uint32_t>(e);
+        }
+    }
+}
+
+ExpertStat&
+ExpertStatsRegistry::Cell(std::size_t layer, std::size_t expert) {
+    MOC_CHECK_ARG(layer < num_layers_ && expert < num_experts_,
+                  "expert stats cell (" << layer << ", " << expert
+                                        << ") out of range");
+    return cells_[layer * num_experts_ + expert];
+}
+
+void
+ExpertStatsRegistry::SetIteration(std::uint64_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    iteration_ = iteration;
+}
+
+void
+ExpertStatsRegistry::OnSnapshot(std::size_t layer, std::size_t expert,
+                                std::uint64_t iteration, std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ExpertStat& cell = Cell(layer, expert);
+    cell.last_snapshot_iteration = iteration;
+    ++cell.snapshots;
+    cell.snapshot_bytes += bytes;
+}
+
+void
+ExpertStatsRegistry::OnPersist(std::size_t layer, std::size_t expert,
+                               std::uint64_t iteration, std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ExpertStat& cell = Cell(layer, expert);
+    cell.last_persist_iteration = iteration;
+    ++cell.persists;
+    cell.persist_bytes += bytes;
+}
+
+void
+ExpertStatsRegistry::SetLostTokens(std::size_t layer, std::size_t expert,
+                                   std::uint64_t tokens) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Cell(layer, expert).lost_tokens = tokens;
+}
+
+void
+ExpertStatsRegistry::OnRecovery(std::uint64_t restart_iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    iteration_ = std::min(iteration_, restart_iteration);
+    for (ExpertStat& cell : cells_) {
+        cell.last_snapshot_iteration =
+            std::min(cell.last_snapshot_iteration, restart_iteration);
+        cell.last_persist_iteration =
+            std::min(cell.last_persist_iteration, restart_iteration);
+    }
+}
+
+std::uint64_t
+ExpertStatsRegistry::iteration() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return iteration_;
+}
+
+std::size_t
+ExpertStatsRegistry::num_layers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_layers_;
+}
+
+std::size_t
+ExpertStatsRegistry::num_experts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_experts_;
+}
+
+std::vector<ExpertStat>
+ExpertStatsRegistry::Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ExpertStat> snap = cells_;
+    for (ExpertStat& cell : snap) {
+        cell.snapshot_staleness =
+            iteration_ > cell.last_snapshot_iteration
+                ? iteration_ - cell.last_snapshot_iteration
+                : 0;
+        cell.persist_staleness = iteration_ > cell.last_persist_iteration
+                                     ? iteration_ - cell.last_persist_iteration
+                                     : 0;
+    }
+    return snap;
+}
+
+void
+ExpertStatsRegistry::Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    iteration_ = 0;
+    for (ExpertStat& cell : cells_) {
+        const std::uint32_t layer = cell.layer;
+        const std::uint32_t expert = cell.expert;
+        cell = ExpertStat{};
+        cell.layer = layer;
+        cell.expert = expert;
+    }
+}
+
+}  // namespace moc::obs

@@ -1,0 +1,105 @@
+#ifndef MOC_OBS_EXPERT_STATS_H_
+#define MOC_OBS_EXPERT_STATS_H_
+
+/**
+ * @file
+ * Per-expert checkpoint telemetry: for every (MoE layer, expert) cell, when
+ * it was last snapshotted/persisted, how many bytes its checkpoints cost,
+ * and how many of its routed tokens have been permanently lost to faults.
+ *
+ * MocCheckpointSystem feeds this registry as it saves and recovers (see
+ * src/core/moc_system.cc); the exporters include it in the metrics snapshot
+ * (JSON `"experts"` array, Prometheus `moc_expert_*` samples), and
+ * `moc_cli report` turns it into the staleness summary. Sparse
+ * Checkpointing (arXiv:2412.15411) and Lazarus (arXiv:2407.04656) both
+ * argue that *which* expert state is stale after recovery is the quantity
+ * MoE fault-tolerance decisions hinge on — this makes it first-class.
+ *
+ * Configure() re-shapes and zeroes the grid (a new MocCheckpointSystem run
+ * starts clean); MetricsRegistry::ResetAll() also resets it so repeated
+ * bench iterations in one process don't leak attribution across runs.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace moc::obs {
+
+/** Telemetry of one (layer, expert) cell. */
+struct ExpertStat {
+    std::uint32_t layer = 0;
+    std::uint32_t expert = 0;
+    /** Iteration whose state the freshest memory snapshot holds. */
+    std::uint64_t last_snapshot_iteration = 0;
+    /** Iteration whose state persistent storage holds. */
+    std::uint64_t last_persist_iteration = 0;
+    /** Iterations since the last snapshot / persist (vs. the current
+     *  training iteration at snapshot time). */
+    std::uint64_t snapshot_staleness = 0;
+    std::uint64_t persist_staleness = 0;
+    /** How many checkpoint events included this expert, per level. */
+    std::uint64_t snapshots = 0;
+    std::uint64_t persists = 0;
+    /** Cumulative checkpoint bytes attributed to this expert, per level. */
+    std::uint64_t snapshot_bytes = 0;
+    std::uint64_t persist_bytes = 0;
+    /** Tokens permanently lost across all faults (PltLedger attribution). */
+    std::uint64_t lost_tokens = 0;
+};
+
+/**
+ * Process-wide grid of ExpertStat cells. Updates take a mutex; they happen
+ * per checkpoint/recovery event, never on the training hot path.
+ */
+class ExpertStatsRegistry {
+  public:
+    static ExpertStatsRegistry& Instance();
+
+    /** Re-shapes the grid to layers x experts and zeroes every cell. */
+    void Configure(std::size_t num_layers, std::size_t num_experts);
+
+    /** Advances the iteration that staleness is measured against. */
+    void SetIteration(std::uint64_t iteration);
+
+    void OnSnapshot(std::size_t layer, std::size_t expert,
+                    std::uint64_t iteration, std::uint64_t bytes);
+    void OnPersist(std::size_t layer, std::size_t expert,
+                   std::uint64_t iteration, std::uint64_t bytes);
+    void SetLostTokens(std::size_t layer, std::size_t expert,
+                       std::uint64_t tokens);
+
+    /**
+     * After a fault recovery replays history back to @p restart_iteration,
+     * clamps the last-saved bookkeeping so staleness can't reference erased
+     * iterations (mirrors MocCheckpointSystem::last_snap_iter_).
+     */
+    void OnRecovery(std::uint64_t restart_iteration);
+
+    std::size_t num_layers() const;
+    std::size_t num_experts() const;
+
+    /** The training iteration staleness is currently measured against. */
+    std::uint64_t iteration() const;
+
+    /** Row-major copy of the grid with staleness fields computed. */
+    std::vector<ExpertStat> Snapshot() const;
+
+    /** Zeroes every cell (shape kept). MetricsRegistry::ResetAll calls it. */
+    void Reset();
+
+  private:
+    ExpertStatsRegistry() = default;
+
+    ExpertStat& Cell(std::size_t layer, std::size_t expert);
+
+    mutable std::mutex mu_;
+    std::size_t num_layers_ = 0;
+    std::size_t num_experts_ = 0;
+    std::uint64_t iteration_ = 0;
+    std::vector<ExpertStat> cells_;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_EXPERT_STATS_H_

@@ -7,13 +7,14 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
 namespace moc::obs {
-
-namespace {
 
 std::string
 JsonEscape(const std::string& s) {
@@ -68,13 +69,11 @@ WriteTextFile(const std::string& path, const std::string& content,
     }
 }
 
-}  // namespace
-
 std::string
 MetricsJson() {
     const MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
     std::ostringstream out;
-    out << "{\n  \"counters\": {";
+    out << "{\n  \"meta\": {" << RunMetaJsonFields() << "},\n  \"counters\": {";
     bool first = true;
     for (const auto& [name, value] : snap.counters) {
         out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
@@ -108,7 +107,23 @@ MetricsJson() {
         out << "]}";
         first = false;
     }
-    out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+    out << (snap.histograms.empty() ? "" : "\n  ") << "},\n  \"experts\": [";
+    first = true;
+    for (const ExpertStat& cell : snap.experts) {
+        out << (first ? "" : ",") << "\n    {\"layer\": " << cell.layer
+            << ", \"expert\": " << cell.expert
+            << ", \"last_snapshot_iteration\": " << cell.last_snapshot_iteration
+            << ", \"last_persist_iteration\": " << cell.last_persist_iteration
+            << ", \"snapshot_staleness\": " << cell.snapshot_staleness
+            << ", \"persist_staleness\": " << cell.persist_staleness
+            << ", \"snapshots\": " << cell.snapshots
+            << ", \"persists\": " << cell.persists
+            << ", \"snapshot_bytes\": " << cell.snapshot_bytes
+            << ", \"persist_bytes\": " << cell.persist_bytes
+            << ", \"lost_tokens\": " << cell.lost_tokens << "}";
+        first = false;
+    }
+    out << (snap.experts.empty() ? "" : "\n  ") << "]\n}\n";
     return out.str();
 }
 
@@ -121,7 +136,7 @@ std::string
 ChromeTraceJson() {
     const auto events = Tracer::Instance().Collect();
     std::ostringstream out;
-    out << "{\"traceEvents\": [";
+    out << "{\"metadata\": {" << RunMetaJsonFields() << "},\n\"traceEvents\": [";
     bool first = true;
     for (const TraceEvent& event : events) {
         out << (first ? "" : ",") << "\n  {\"name\": \""
@@ -149,12 +164,21 @@ ExtractObsOptions(std::vector<std::string>& tokens) {
     kept.reserve(tokens.size());
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const std::string& tok = tokens[i];
-        if (tok == "--metrics-out" || tok == "--trace-out") {
+        std::string* slot = nullptr;
+        if (tok == "--metrics-out") {
+            slot = &options.metrics_out;
+        } else if (tok == "--trace-out") {
+            slot = &options.trace_out;
+        } else if (tok == "--events-out") {
+            slot = &options.events_out;
+        } else if (tok == "--prom-out") {
+            slot = &options.prom_out;
+        }
+        if (slot != nullptr) {
             if (i + 1 >= tokens.size()) {
                 throw std::invalid_argument("option " + tok + " needs a value");
             }
-            (tok == "--metrics-out" ? options.metrics_out : options.trace_out) =
-                tokens[++i];
+            *slot = tokens[++i];
         } else {
             kept.push_back(tok);
         }
@@ -175,10 +199,17 @@ ExportObs(const ObsOptions& options) {
     if (!options.trace_out.empty()) {
         ok = WriteChromeTrace(options.trace_out) && ok;
     }
+    if (!options.events_out.empty()) {
+        ok = WriteEventsJsonl(options.events_out) && ok;
+    }
+    if (!options.prom_out.empty()) {
+        ok = WriteMetricsPrometheus(options.prom_out) && ok;
+    }
     return ok;
 }
 
 ObsExportGuard::ObsExportGuard(int& argc, char** argv) {
+    SetRunCommandLine(argc, argv);
     std::vector<std::string> tokens;
     tokens.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
     for (int i = 1; i < argc; ++i) {
@@ -189,7 +220,8 @@ ObsExportGuard::ObsExportGuard(int& argc, char** argv) {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
-        if (arg == "--metrics-out" || arg == "--trace-out") {
+        if (arg == "--metrics-out" || arg == "--trace-out" ||
+            arg == "--events-out" || arg == "--prom-out") {
             ++i;  // skip the value; ExtractObsOptions guaranteed it exists
             continue;
         }
@@ -205,6 +237,14 @@ ObsExportGuard::~ObsExportGuard() {
     }
     if (!options_.trace_out.empty() && WriteChromeTrace(options_.trace_out)) {
         std::printf("trace written to %s\n", options_.trace_out.c_str());
+    }
+    if (!options_.events_out.empty() && WriteEventsJsonl(options_.events_out)) {
+        std::printf("events written to %s\n", options_.events_out.c_str());
+    }
+    if (!options_.prom_out.empty() &&
+        WriteMetricsPrometheus(options_.prom_out)) {
+        std::printf("prometheus metrics written to %s\n",
+                    options_.prom_out.c_str());
     }
 }
 

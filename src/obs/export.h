@@ -5,20 +5,36 @@
  * @file
  * Exporters for the observability layer:
  *
- *  - a metrics dump as one JSON object (counters / gauges / histograms),
- *    written next to bench results or wherever `--metrics-out` points;
+ *  - a metrics dump as one JSON object (run metadata header, counters /
+ *    gauges / histograms, per-expert telemetry), written next to bench
+ *    results or wherever `--metrics-out` points;
  *  - the trace rings as a Chrome-trace event file (open with
- *    chrome://tracing or https://ui.perfetto.dev).
+ *    chrome://tracing or https://ui.perfetto.dev);
+ *  - the event journal as JSONL (obs/journal.h) via `--events-out`;
+ *  - Prometheus text format (obs/prometheus.h) via `--prom-out`.
  *
- * Plus the shared `--metrics-out` / `--trace-out` flag handling used by
- * `moc_cli` and the examples: `ExtractObsOptions` strips the flags from a
- * token list, `ObsExportGuard` wires an entire main() in two lines.
+ * Plus the shared flag handling used by `moc_cli` and the examples:
+ * `ExtractObsOptions` strips the flags from a token list, `ObsExportGuard`
+ * wires an entire main() in two lines.
  */
 
 #include <string>
 #include <vector>
 
 namespace moc::obs {
+
+/** JSON string-escapes @p s (quotes, backslash, control characters). */
+std::string JsonEscape(const std::string& s);
+
+/** Shortest round-trippable decimal of @p value (%.9g). */
+std::string JsonNumber(double value);
+
+/**
+ * Writes @p content to @p path, creating parent directories; @p what names
+ * the artifact in the warning log on failure.
+ */
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   const char* what);
 
 /** The full registry as a pretty-printed JSON object. */
 std::string MetricsJson();
@@ -39,11 +55,14 @@ bool WriteChromeTrace(const std::string& path);
 struct ObsOptions {
     std::string metrics_out;
     std::string trace_out;
+    std::string events_out;
+    std::string prom_out;
 };
 
 /**
- * Removes `--metrics-out <path>` / `--trace-out <path>` from @p tokens and
- * returns them. Enables the tracer when a trace path is given.
+ * Removes `--metrics-out <path>` / `--trace-out <path>` / `--events-out
+ * <path>` / `--prom-out <path>` from @p tokens and returns them. Enables
+ * the tracer when a trace path is given.
  * @throws std::invalid_argument on a flag without a value.
  */
 ObsOptions ExtractObsOptions(std::vector<std::string>& tokens);
@@ -52,10 +71,11 @@ ObsOptions ExtractObsOptions(std::vector<std::string>& tokens);
 bool ExportObs(const ObsOptions& options);
 
 /**
- * RAII main() wrapper for the examples: strips `--metrics-out`/`--trace-out`
- * (and their values) out of argc/argv at construction — so the program's own
- * argument parsing never sees them — enables tracing if asked, and performs
- * the export at scope exit, announcing the written paths on stdout.
+ * RAII main() wrapper for the examples: strips the export flags (and their
+ * values) out of argc/argv at construction — so the program's own argument
+ * parsing never sees them — records the command line as run metadata,
+ * enables tracing if asked, and performs the export at scope exit,
+ * announcing the written paths on stdout.
  */
 class ObsExportGuard {
   public:

@@ -1,0 +1,170 @@
+#include "obs/journal.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.h"
+#include "obs/run_meta.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace moc::obs {
+
+namespace {
+
+struct KindName {
+    EventKind kind;
+    const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kCkptBegin, "ckpt_begin"},
+    {EventKind::kCkptEnd, "ckpt_end"},
+    {EventKind::kSnapshot, "snapshot"},
+    {EventKind::kPersist, "persist"},
+    {EventKind::kFault, "fault"},
+    {EventKind::kRecoveryBegin, "recovery_begin"},
+    {EventKind::kRecoveryEnd, "recovery_end"},
+    {EventKind::kDynamicKBump, "dynamic_k_bump"},
+};
+
+/** Nanoseconds at process start (first use), for relative wall stamps. */
+std::uint64_t
+ProcessEpochNs() {
+    static const std::uint64_t epoch = Tracer::NowNs();
+    return epoch;
+}
+
+}  // namespace
+
+const char*
+EventKindName(EventKind kind) {
+    for (const auto& entry : kKindNames) {
+        if (entry.kind == kind) {
+            return entry.name;
+        }
+    }
+    return "unknown";
+}
+
+EventKind
+EventKindFromName(const std::string& name) {
+    for (const auto& entry : kKindNames) {
+        if (name == entry.name) {
+            return entry.kind;
+        }
+    }
+    throw std::invalid_argument("unknown event type '" + name + "'");
+}
+
+EventJournal&
+EventJournal::Instance() {
+    static EventJournal* journal = new EventJournal();
+    return *journal;
+}
+
+std::uint64_t
+EventJournal::Append(JournalEvent event) {
+    // Latch the epoch before reading the clock: on the first-ever append the
+    // opposite order would latch an epoch *later* than now_ns and wrap.
+    const std::uint64_t epoch = ProcessEpochNs();
+    const std::uint64_t now_ns = Tracer::NowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = next_seq_++;
+    event.wall_s = static_cast<double>(now_ns - epoch) / 1e9;
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return event.seq;
+    }
+    const std::uint64_t seq = event.seq;
+    events_.push_back(std::move(event));
+    return seq;
+}
+
+std::vector<JournalEvent>
+EventJournal::Collect() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+std::size_t
+EventJournal::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+std::uint64_t
+EventJournal::dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+EventJournal::Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    next_seq_ = 0;
+    dropped_ = 0;
+}
+
+std::string
+EventsJsonl() {
+    const auto events = EventJournal::Instance().Collect();
+    std::ostringstream out;
+    out << "{\"type\": \"meta\", " << RunMetaJsonFields()
+        << ", \"events\": " << events.size() << "}\n";
+    for (const JournalEvent& e : events) {
+        out << "{\"type\": \"" << EventKindName(e.kind) << "\", \"seq\": "
+            << e.seq << ", \"t\": " << JsonNumber(e.wall_s)
+            << ", \"iter\": " << e.iteration << ", \"scope\": " << e.scope
+            << ", \"bytes\": " << e.bytes << ", \"plt\": " << JsonNumber(e.plt)
+            << ", \"k\": " << e.k << ", \"detail\": \"" << JsonEscape(e.detail)
+            << "\"}\n";
+    }
+    return out.str();
+}
+
+bool
+WriteEventsJsonl(const std::string& path) {
+    return WriteTextFile(path, EventsJsonl(), "event journal");
+}
+
+std::vector<JournalEvent>
+ParseEventsJsonl(const std::string& text) {
+    std::vector<JournalEvent> events;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        json::Value record;
+        try {
+            record = json::Parse(line);
+        } catch (const std::invalid_argument& e) {
+            throw std::invalid_argument("events line " + std::to_string(lineno) +
+                                        ": " + e.what());
+        }
+        const std::string type = record.At("type").AsString();
+        if (type == "meta") {
+            continue;
+        }
+        JournalEvent e;
+        e.kind = EventKindFromName(type);
+        e.seq = static_cast<std::uint64_t>(record.NumberOr("seq", 0.0));
+        e.wall_s = record.NumberOr("t", 0.0);
+        e.iteration = static_cast<std::uint64_t>(record.NumberOr("iter", 0.0));
+        e.scope = static_cast<std::int64_t>(
+            record.NumberOr("scope", static_cast<double>(kGlobalScope)));
+        e.bytes = static_cast<std::uint64_t>(record.NumberOr("bytes", 0.0));
+        e.plt = record.NumberOr("plt", -1.0);
+        e.k = static_cast<std::uint64_t>(record.NumberOr("k", 0.0));
+        e.detail = record.StringOr("detail", "");
+        events.push_back(std::move(e));
+    }
+    return events;
+}
+
+}  // namespace moc::obs

@@ -1,0 +1,126 @@
+#ifndef MOC_OBS_JOURNAL_H_
+#define MOC_OBS_JOURNAL_H_
+
+/**
+ * @file
+ * The structured event journal: a process-wide, append-only buffer of typed
+ * fault-tolerance events (checkpoints, snapshot/persist writes, faults,
+ * recoveries, Dynamic-K transitions).
+ *
+ * Where the metrics registry answers "how much, in total", the journal
+ * answers "what happened, when": every record is stamped with a sequence
+ * number, wall-clock seconds since process start, the training iteration,
+ * and the quantities the paper reasons about (bytes moved, PLT, K). The
+ * journal is exported as JSONL via `--events-out` (see obs/export.h) and
+ * read back by `moc_cli report` and the round-trip tests via
+ * ParseEventsJsonl().
+ *
+ * Events are emitted per checkpoint / fault, not per token, so a mutex-
+ * protected vector is plenty; a generous cap bounds memory on pathological
+ * runs (overflow increments dropped() instead of growing).
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace moc::obs {
+
+/** The typed event vocabulary (docs/OBSERVABILITY.md catalogues each). */
+enum class EventKind : std::uint8_t {
+    kCkptBegin,     ///< a checkpoint event started
+    kCkptEnd,       ///< ...and finished (bytes = snapshot + persist total)
+    kSnapshot,      ///< one unit written to node memory (detail = store key)
+    kPersist,       ///< one unit written to persistent storage
+    kFault,         ///< node failures injected (detail = "nodes=...")
+    kRecoveryBegin, ///< recovery planning/restore started
+    kRecoveryEnd,   ///< model restored (iteration = restart point)
+    kDynamicKBump,  ///< Dynamic-K escalated (k = new K_snapshot)
+};
+
+/** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */
+const char* EventKindName(EventKind kind);
+
+/** Inverse of EventKindName; throws std::invalid_argument on junk. */
+EventKind EventKindFromName(const std::string& name);
+
+/** Scope value meaning "the whole job" rather than one node. */
+inline constexpr std::int64_t kGlobalScope = -1;
+
+/** One journal record. Fields that don't apply to a kind keep defaults. */
+struct JournalEvent {
+    EventKind kind = EventKind::kSnapshot;
+    /** Append order, assigned by the journal. */
+    std::uint64_t seq = 0;
+    /** Wall-clock seconds since process start, stamped on Append. */
+    double wall_s = 0.0;
+    /** Training iteration the event refers to. */
+    std::uint64_t iteration = 0;
+    /** Node id the event is scoped to, or kGlobalScope. */
+    std::int64_t scope = kGlobalScope;
+    /** Bytes moved by the event (0 when not applicable). */
+    std::uint64_t bytes = 0;
+    /** Ledger PLT at the event, or a negative value for "not sampled". */
+    double plt = -1.0;
+    /** K_snapshot in force, 0 for "not sampled". */
+    std::uint64_t k = 0;
+    /** Free-form context: store key, failed node list, ... */
+    std::string detail;
+};
+
+/**
+ * Process-wide append-only event buffer.
+ */
+class EventJournal {
+  public:
+    /** Hard cap on buffered events; appends beyond it are counted, dropped. */
+    static constexpr std::size_t kMaxEvents = 1u << 20;
+
+    static EventJournal& Instance();
+
+    /**
+     * Stamps seq and wall_s on @p event and buffers it.
+     * @return the assigned sequence number.
+     */
+    std::uint64_t Append(JournalEvent event);
+
+    /** Copy of every buffered event, in append order. */
+    std::vector<JournalEvent> Collect() const;
+
+    std::size_t size() const;
+
+    /** Events discarded because the buffer hit kMaxEvents. */
+    std::uint64_t dropped() const;
+
+    /** Empties the buffer and restarts sequence numbering (for re-runs). */
+    void Clear();
+
+  private:
+    EventJournal() = default;
+
+    mutable std::mutex mu_;
+    std::vector<JournalEvent> events_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * The journal as JSON Lines: one run-metadata header record
+ * (`"type": "meta"`), then one record per event in append order.
+ */
+std::string EventsJsonl();
+
+/** Writes EventsJsonl() to @p path, creating parent directories. */
+bool WriteEventsJsonl(const std::string& path);
+
+/**
+ * Parses JSONL produced by EventsJsonl back into events. Blank lines and
+ * `"type": "meta"` records are skipped.
+ * @throws std::invalid_argument on malformed lines or unknown event types.
+ */
+std::vector<JournalEvent> ParseEventsJsonl(const std::string& text);
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_JOURNAL_H_

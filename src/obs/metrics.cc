@@ -52,6 +52,53 @@ Histogram::Reset() {
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double
+HistogramQuantile(const HistogramData& data, double q) {
+    MOC_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    if (data.count == 0 || data.bucket_counts.empty()) {
+        return 0.0;
+    }
+    const double target = q * static_cast<double>(data.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+        const std::uint64_t in_bucket = data.bucket_counts[i];
+        if (in_bucket == 0) {
+            cumulative += in_bucket;
+            continue;
+        }
+        const double below = static_cast<double>(cumulative);
+        cumulative += in_bucket;
+        if (static_cast<double>(cumulative) < target) {
+            continue;
+        }
+        if (i >= data.bounds.size()) {
+            // Overflow bucket: no finite upper edge to interpolate toward.
+            return data.bounds.empty() ? 0.0 : data.bounds.back();
+        }
+        const double upper = data.bounds[i];
+        const double lower = i == 0 ? 0.0 : data.bounds[i - 1];
+        const double fraction =
+            (target - below) / static_cast<double>(in_bucket);
+        return lower + (upper - lower) * fraction;
+    }
+    return data.bounds.empty() ? 0.0 : data.bounds.back();
+}
+
+double
+HistogramP50(const HistogramData& data) {
+    return HistogramQuantile(data, 0.50);
+}
+
+double
+HistogramP95(const HistogramData& data) {
+    return HistogramQuantile(data, 0.95);
+}
+
+double
+HistogramP99(const HistogramData& data) {
+    return HistogramQuantile(data, 0.99);
+}
+
 std::vector<double>
 ExponentialBuckets(double start, double factor, std::size_t count) {
     MOC_CHECK_ARG(start > 0.0 && factor > 1.0, "need start > 0 and factor > 1");
@@ -136,6 +183,7 @@ MetricsRegistry::Snapshot() const {
         data.sum = histogram->sum();
         snap.histograms[name] = std::move(data);
     }
+    snap.experts = ExpertStatsRegistry::Instance().Snapshot();
     return snap;
 }
 
@@ -151,6 +199,7 @@ MetricsRegistry::ResetAll() {
     for (auto& [name, histogram] : histograms_) {
         histogram->Reset();
     }
+    ExpertStatsRegistry::Instance().Reset();
 }
 
 }  // namespace moc::obs

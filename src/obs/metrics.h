@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/expert_stats.h"
+
 namespace moc::obs {
 
 /** Monotonic event/byte counter. */
@@ -97,11 +99,26 @@ struct HistogramData {
     double sum = 0.0;
 };
 
+/**
+ * Estimated quantile of a histogram via linear interpolation inside the
+ * bucket containing the target rank (the histogram_quantile() convention:
+ * the first bucket interpolates from 0, the overflow bucket clamps to the
+ * last finite bound). @p q in [0, 1]; returns 0 for an empty histogram.
+ */
+double HistogramQuantile(const HistogramData& data, double q);
+
+/** Convenience wrappers over HistogramQuantile. */
+double HistogramP50(const HistogramData& data);
+double HistogramP95(const HistogramData& data);
+double HistogramP99(const HistogramData& data);
+
 /** Point-in-time copy of the whole registry. */
 struct MetricsSnapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> histograms;
+    /** Per-expert telemetry grid (see obs/expert_stats.h), row-major. */
+    std::vector<ExpertStat> experts;
 };
 
 /**
@@ -128,7 +145,11 @@ class MetricsRegistry {
 
     MetricsSnapshot Snapshot() const;
 
-    /** Zeroes every metric in place; cached references stay valid. */
+    /**
+     * Zeroes every metric in place; cached references stay valid. Also
+     * resets the per-expert telemetry grid (ExpertStatsRegistry) so re-run
+     * paths don't leak attribution across runs in one process.
+     */
     void ResetAll();
 
   private:

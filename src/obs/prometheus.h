@@ -1,0 +1,51 @@
+#ifndef MOC_OBS_PROMETHEUS_H_
+#define MOC_OBS_PROMETHEUS_H_
+
+/**
+ * @file
+ * Prometheus text-format (exposition format 0.0.4) exporter for the metrics
+ * registry, alongside the JSON one in obs/export.h:
+ *
+ *  - counters/gauges become `moc_<name>` samples (dots -> underscores);
+ *  - histograms become the conventional `_bucket{le=...}` (cumulative),
+ *    `_sum`, and `_count` series;
+ *  - run metadata becomes a `moc_run_info{...} 1` info-style gauge;
+ *  - the per-expert telemetry grid becomes `moc_expert_*` samples labelled
+ *    `{layer="m",expert="e"}`.
+ *
+ * ParsePrometheusText() reads the format back for the round-trip tests and
+ * for scraping our own artifacts.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace moc::obs {
+
+/** One parsed exposition line: `name{labels} value`. */
+struct PromSample {
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/** `ckpt.persist_bytes` -> `moc_ckpt_persist_bytes`. */
+std::string PromMetricName(const std::string& name);
+
+/** The full registry (and expert grid) in Prometheus text format. */
+std::string MetricsPrometheus();
+
+/** Writes MetricsPrometheus() to @p path, creating parent directories. */
+bool WriteMetricsPrometheus(const std::string& path);
+
+/**
+ * Parses Prometheus text format: comments/blank lines skipped, one
+ * PromSample per sample line, in file order.
+ * @throws std::invalid_argument on lines that are not valid samples.
+ */
+std::vector<PromSample> ParsePrometheusText(const std::string& text);
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_PROMETHEUS_H_

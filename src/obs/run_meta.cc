@@ -1,0 +1,53 @@
+#include "obs/run_meta.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+
+#ifndef MOC_BUILD_TYPE
+#define MOC_BUILD_TYPE "unknown"
+#endif
+#ifndef MOC_GIT_SHA
+#define MOC_GIT_SHA "unknown"
+#endif
+
+namespace moc::obs {
+
+RunMetadata&
+RunMeta() {
+    static RunMetadata* meta = [] {
+        auto* m = new RunMetadata();
+        m->build_type = MOC_BUILD_TYPE;
+        m->git_sha = MOC_GIT_SHA;
+        return m;
+    }();
+    return *meta;
+}
+
+void
+SetRunCommandLine(int argc, const char* const* argv) {
+    std::ostringstream joined;
+    for (int i = 0; i < argc; ++i) {
+        joined << (i == 0 ? "" : " ") << argv[i];
+    }
+    RunMeta().command_line = joined.str();
+}
+
+void
+SetRunConfigDigest(const std::string& digest_hex) {
+    RunMeta().config_digest = digest_hex;
+}
+
+std::string
+RunMetaJsonFields() {
+    const RunMetadata& meta = RunMeta();
+    std::ostringstream out;
+    out << "\"schema\": \"" << JsonEscape(meta.schema) << "\", \"build_type\": \""
+        << JsonEscape(meta.build_type) << "\", \"git_sha\": \""
+        << JsonEscape(meta.git_sha) << "\", \"command_line\": \""
+        << JsonEscape(meta.command_line) << "\", \"config_digest\": \""
+        << JsonEscape(meta.config_digest) << "\"";
+    return out.str();
+}
+
+}  // namespace moc::obs

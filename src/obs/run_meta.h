@@ -1,0 +1,55 @@
+#ifndef MOC_OBS_RUN_META_H_
+#define MOC_OBS_RUN_META_H_
+
+/**
+ * @file
+ * Run metadata embedded in every observability export (metrics JSON,
+ * Prometheus text, event journal, Chrome trace) so the `results/` JSON
+ * artifacts and `moc_cli report` inputs are self-describing: which build
+ * produced them, from which commit, with which command line and config.
+ *
+ * Build type and git SHA are baked in at compile time (MOC_BUILD_TYPE /
+ * MOC_GIT_SHA, see src/obs/CMakeLists.txt); the command line is recorded by
+ * ObsExportGuard / moc_cli's Main, and the config digest by
+ * MocCheckpointSystem when a run binds one.
+ */
+
+#include <string>
+
+namespace moc::obs {
+
+/** Schema tag stamped into every export this layer writes. */
+inline constexpr const char* kExportSchema = "moc-obs/1";
+
+/** What we know about the producing run. */
+struct RunMetadata {
+    std::string schema = kExportSchema;
+    /** CMake build type ("Debug", "Release", ...; "unknown" outside CMake). */
+    std::string build_type;
+    /** Short git SHA at configure time, or "unknown". */
+    std::string git_sha;
+    /** argv[0..n] of the producing process, space-joined. */
+    std::string command_line;
+    /** CRC-32 (hex) of the bound MocSystemConfig, or empty. */
+    std::string config_digest;
+};
+
+/** The process-wide metadata record (compile-time fields pre-filled). */
+RunMetadata& RunMeta();
+
+/** Records the producing command line (called by the flag plumbing). */
+void SetRunCommandLine(int argc, const char* const* argv);
+
+/** Records the active config digest (called by MocCheckpointSystem). */
+void SetRunConfigDigest(const std::string& digest_hex);
+
+/**
+ * RunMeta() as the *members* of a JSON object (no surrounding braces), e.g.
+ * `"schema": "moc-obs/1", "build_type": "Release", ...` — splice-ready for
+ * the hand-rolled emitters.
+ */
+std::string RunMetaJsonFields();
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_RUN_META_H_

@@ -1,0 +1,92 @@
+#ifndef MOC_UTIL_JSON_H_
+#define MOC_UTIL_JSON_H_
+
+/**
+ * @file
+ * A minimal recursive-descent JSON reader.
+ *
+ * The observability layer *writes* JSON with hand-rolled emitters
+ * (obs/export.h); this is the matching reader, used by `moc_cli report` to
+ * ingest metrics dumps and event journals, and by the exporter round-trip
+ * tests. Numbers are stored as double (every value we emit fits), objects
+ * preserve key order via std::map, and parse errors throw
+ * std::invalid_argument with an offset-tagged message.
+ */
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moc::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/** One parsed JSON value (null, bool, number, string, array, or object). */
+class Value {
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() = default;
+    explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+    explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+    explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+    explicit Value(Array a);
+    explicit Value(Object o);
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+
+    /** Checked accessors; throw std::invalid_argument on a kind mismatch. */
+    bool AsBool() const;
+    double AsNumber() const;
+    const std::string& AsString() const;
+    const Array& AsArray() const;
+    const Object& AsObject() const;
+
+    /** Object member, or nullptr when absent (or not an object). */
+    const Value* Find(const std::string& key) const;
+
+    /** Object member that must exist; throws when absent. */
+    const Value& At(const std::string& key) const;
+
+    /** Member number/string with a fallback for absent keys. */
+    double NumberOr(const std::string& key, double fallback) const;
+    std::string StringOr(const std::string& key, std::string fallback) const;
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    /** unique_ptr keeps Value a complete type inside Array/Object. */
+    std::unique_ptr<Array> array_;
+    std::unique_ptr<Object> object_;
+
+  public:
+    Value(const Value& other);
+    Value& operator=(const Value& other);
+    Value(Value&&) noexcept = default;
+    Value& operator=(Value&&) noexcept = default;
+    ~Value() = default;
+};
+
+/**
+ * Parses one JSON document (trailing whitespace allowed, nothing else after).
+ * @throws std::invalid_argument on malformed input.
+ */
+Value Parse(std::string_view text);
+
+}  // namespace moc::json
+
+#endif  // MOC_UTIL_JSON_H_

@@ -2,7 +2,7 @@
  * @file
  * Unit tests for the util module: RNG determinism and distributions,
  * statistics accumulators, clocks, thread pool, table rendering, byte
- * formatting, CRC32.
+ * formatting, CRC32, and the JSON reader.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +15,7 @@
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/crc32.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -338,6 +339,64 @@ TEST(Crc32, DetectsBitFlip) {
     const auto before = Crc32(data.data(), data.size());
     data[17] ^= 0x01;
     EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+// ---------- JSON reader ----------
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json::Parse("null").is_null());
+    EXPECT_EQ(json::Parse("true").AsBool(), true);
+    EXPECT_EQ(json::Parse("false").AsBool(), false);
+    EXPECT_DOUBLE_EQ(json::Parse("-12.5e2").AsNumber(), -1250.0);
+    EXPECT_EQ(json::Parse("\"hi\"").AsString(), "hi");
+    EXPECT_EQ(json::Parse("  42 \n").AsNumber(), 42.0);  // outer whitespace
+}
+
+TEST(Json, ParsesStringEscapes) {
+    EXPECT_EQ(json::Parse("\"a\\\"b\\\\c\\nd\\te\"").AsString(), "a\"b\\c\nd\te");
+    // \u escape decodes to UTF-8.
+    EXPECT_EQ(json::Parse("\"\\u0041\\u00e9\"").AsString(), "A\xc3\xa9");
+}
+
+TEST(Json, ParsesNestedContainers) {
+    const json::Value v =
+        json::Parse("{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}}");
+    const json::Array& a = v.At("a").AsArray();
+    ASSERT_EQ(a.size(), 3U);
+    EXPECT_DOUBLE_EQ(a[1].AsNumber(), 2.0);
+    EXPECT_TRUE(a[2].At("b").AsBool());
+    EXPECT_TRUE(v.At("c").At("d").is_null());
+    EXPECT_EQ(v.Find("missing"), nullptr);
+    EXPECT_THROW(v.At("missing"), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(v.NumberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(v.StringOr("missing", "fb"), "fb");
+}
+
+TEST(Json, EmptyContainersAndDeepCopy) {
+    const json::Value v = json::Parse("{\"a\": [], \"o\": {}}");
+    EXPECT_TRUE(v.At("a").AsArray().empty());
+    EXPECT_TRUE(v.At("o").AsObject().empty());
+    json::Value copy = v;  // deep copy must not alias
+    EXPECT_TRUE(copy.At("a").AsArray().empty());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+    EXPECT_THROW(json::Parse(""), std::invalid_argument);
+    EXPECT_THROW(json::Parse("{"), std::invalid_argument);
+    EXPECT_THROW(json::Parse("[1,]"), std::invalid_argument);
+    EXPECT_THROW(json::Parse("{\"a\" 1}"), std::invalid_argument);
+    EXPECT_THROW(json::Parse("\"unterminated"), std::invalid_argument);
+    EXPECT_THROW(json::Parse("nul"), std::invalid_argument);
+    EXPECT_THROW(json::Parse("1 2"), std::invalid_argument);  // trailing junk
+    EXPECT_THROW(json::Parse("{1: 2}"), std::invalid_argument);
+}
+
+TEST(Json, KindMismatchThrows) {
+    const json::Value v = json::Parse("3");
+    EXPECT_THROW(v.AsString(), std::invalid_argument);
+    EXPECT_THROW(v.AsArray(), std::invalid_argument);
+    EXPECT_THROW(v.AsBool(), std::invalid_argument);
+    EXPECT_EQ(v.Find("x"), nullptr);  // Find on a non-object is just absent
 }
 
 }  // namespace

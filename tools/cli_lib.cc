@@ -185,8 +185,10 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
         std::vector<std::string> remaining = tokens;
         const obs::ObsOptions obs_options = obs::ExtractObsOptions(remaining);
         if (remaining.empty()) {
-            err << "usage: moc_cli <inspect|plan|simulate|trace-check> [args]\n"
-                   "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n";
+            err << "usage: moc_cli <inspect|plan|simulate|trace-check|report> "
+                   "[args]\n"
+                   "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n"
+                   "       [--events-out <jsonl>] [--prom-out <prom-text>]\n";
             return 2;
         }
         const std::string command = remaining.front();
@@ -200,6 +202,8 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
             code = RunSimulate(args, out);
         } else if (command == "trace-check") {
             code = RunTraceCheck(args, out);
+        } else if (command == "report") {
+            code = RunReport(args, out);
         } else {
             err << "unknown subcommand: " << command << "\n";
             return 2;

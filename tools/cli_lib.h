@@ -14,10 +14,17 @@
  *   simulate [--gpus N --gpu a800|h100 --size S --k N]
  *                                      iteration timeline for a deployment
  *   trace-check <trace-file>           validate a fault-trace file
+ *   report --metrics <json> [--events <jsonl>]
+ *                                      analyze a run's exports: recovery
+ *                                      timeline, PLT trajectory, expert
+ *                                      staleness, measured-vs-predicted
+ *                                      overhead (see tools/cli_report.cc)
  *
  * Global flags (any subcommand): `--metrics-out <path>` dumps the process
  * metrics registry as JSON on exit; `--trace-out <path>` enables tracing
- * and writes a chrome://tracing event file on exit.
+ * and writes a chrome://tracing event file on exit; `--events-out <path>`
+ * writes the event journal as JSONL; `--prom-out <path>` writes Prometheus
+ * text-format metrics.
  */
 
 #include <iosfwd>
@@ -46,6 +53,7 @@ int RunInspect(const Args& args, std::ostream& out);
 int RunPlan(const Args& args, std::ostream& out);
 int RunSimulate(const Args& args, std::ostream& out);
 int RunTraceCheck(const Args& args, std::ostream& out);
+int RunReport(const Args& args, std::ostream& out);
 
 /** Dispatches `moc_cli <subcommand> ...`; prints usage on errors. */
 int Main(const std::vector<std::string>& tokens, std::ostream& out,

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * `moc_cli report`: the run analyzer. Ingests a metrics JSON dump
+ * (`--metrics-out`) and an event journal (`--events-out`) from any MoC
+ * binary and prints:
+ *
+ *   - the recovery timeline (one row per fault, paired with its recovery),
+ *   - the PLT trajectory against the Dynamic-K threshold, with bump markers,
+ *   - a per-layer expert staleness / lost-token summary,
+ *   - a measured-vs-predicted section that evaluates the paper's overhead
+ *     model (src/core/overhead.h, Eq. 11-13) at the run's own operating
+ *     point and reports residuals.
+ *
+ * A machine-readable JSON object follows the `--- machine-readable
+ * (moc-report/1) ---` marker so tests and CI can check the numbers without
+ * scraping tables; `--report-json <path>` additionally writes it to a file.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli_lib.h"
+#include "core/dynamic_k.h"
+#include "core/overhead.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "util/bytes.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace moc::cli {
+
+namespace {
+
+/** Whole-file read; throws std::invalid_argument when unreadable. */
+std::string
+ReadFileOrThrow(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::invalid_argument("cannot read '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The metrics dump, decoded back into registry-shaped containers. */
+struct MetricsDump {
+    std::map<std::string, std::string> meta;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, obs::HistogramData> histograms;
+    std::vector<obs::ExpertStat> experts;
+
+    double Counter(const std::string& name) const {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0.0 : it->second;
+    }
+
+    const obs::HistogramData* Histogram(const std::string& name) const {
+        const auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    /** sum/count of a histogram, or 0 when absent/empty. */
+    double HistogramMean(const std::string& name) const {
+        const obs::HistogramData* h = Histogram(name);
+        return (h == nullptr || h->count == 0)
+                   ? 0.0
+                   : h->sum / static_cast<double>(h->count);
+    }
+
+    double HistogramSum(const std::string& name) const {
+        const obs::HistogramData* h = Histogram(name);
+        return h == nullptr ? 0.0 : h->sum;
+    }
+};
+
+std::uint64_t
+AsU64(const json::Value& v) {
+    return static_cast<std::uint64_t>(v.AsNumber());
+}
+
+MetricsDump
+ParseMetricsDump(const std::string& text) {
+    const json::Value root = json::Parse(text);
+    if (!root.is_object()) {
+        throw std::invalid_argument("metrics dump is not a JSON object");
+    }
+    MetricsDump dump;
+    if (const json::Value* meta = root.Find("meta")) {
+        for (const auto& [key, value] : meta->AsObject()) {
+            if (value.is_string()) {
+                dump.meta[key] = value.AsString();
+            }
+        }
+    }
+    if (const json::Value* counters = root.Find("counters")) {
+        for (const auto& [name, value] : counters->AsObject()) {
+            dump.counters[name] = value.AsNumber();
+        }
+    }
+    if (const json::Value* gauges = root.Find("gauges")) {
+        for (const auto& [name, value] : gauges->AsObject()) {
+            dump.gauges[name] = value.AsNumber();
+        }
+    }
+    if (const json::Value* histograms = root.Find("histograms")) {
+        for (const auto& [name, value] : histograms->AsObject()) {
+            obs::HistogramData h;
+            h.count = AsU64(value.At("count"));
+            h.sum = value.At("sum").AsNumber();
+            for (const json::Value& bucket : value.At("buckets").AsArray()) {
+                const json::Value& le = bucket.At("le");
+                if (le.is_number()) {  // the "+inf" bucket has a string le
+                    h.bounds.push_back(le.AsNumber());
+                }
+                h.bucket_counts.push_back(AsU64(bucket.At("count")));
+            }
+            dump.histograms[name] = std::move(h);
+        }
+    }
+    if (const json::Value* experts = root.Find("experts")) {
+        for (const json::Value& cell : experts->AsArray()) {
+            obs::ExpertStat stat;
+            stat.layer = static_cast<std::uint32_t>(cell.At("layer").AsNumber());
+            stat.expert = static_cast<std::uint32_t>(cell.At("expert").AsNumber());
+            stat.last_snapshot_iteration = AsU64(cell.At("last_snapshot_iteration"));
+            stat.last_persist_iteration = AsU64(cell.At("last_persist_iteration"));
+            stat.snapshot_staleness = AsU64(cell.At("snapshot_staleness"));
+            stat.persist_staleness = AsU64(cell.At("persist_staleness"));
+            stat.snapshots = AsU64(cell.At("snapshots"));
+            stat.persists = AsU64(cell.At("persists"));
+            stat.snapshot_bytes = AsU64(cell.At("snapshot_bytes"));
+            stat.persist_bytes = AsU64(cell.At("persist_bytes"));
+            stat.lost_tokens = AsU64(cell.At("lost_tokens"));
+            dump.experts.push_back(stat);
+        }
+    }
+    return dump;
+}
+
+/** One fault paired with the recovery that resolved it. */
+struct RecoveryRecord {
+    std::uint64_t fault_iteration = 0;
+    std::string failed_nodes;
+    std::uint64_t restart_iteration = 0;
+    double duration_s = 0.0;
+    std::uint64_t bytes = 0;
+    double plt_after = -1.0;
+    std::uint64_t k_after = 0;
+    bool k_bumped = false;
+};
+
+std::vector<RecoveryRecord>
+PairRecoveries(const std::vector<obs::JournalEvent>& events) {
+    std::vector<RecoveryRecord> records;
+    std::optional<RecoveryRecord> open;
+    double begin_wall = 0.0;
+    for (const obs::JournalEvent& e : events) {
+        switch (e.kind) {
+            case obs::EventKind::kFault:
+                open = RecoveryRecord{};
+                open->fault_iteration = e.iteration;
+                open->failed_nodes = e.detail;
+                begin_wall = e.wall_s;
+                break;
+            case obs::EventKind::kRecoveryBegin:
+                if (open) {
+                    begin_wall = e.wall_s;
+                }
+                break;
+            case obs::EventKind::kDynamicKBump:
+                if (open) {
+                    open->k_bumped = true;
+                }
+                break;
+            case obs::EventKind::kRecoveryEnd:
+                if (open) {
+                    open->restart_iteration = e.iteration;
+                    open->duration_s = e.wall_s - begin_wall;
+                    open->bytes = e.bytes;
+                    open->plt_after = e.plt;
+                    open->k_after = e.k;
+                    records.push_back(*open);
+                    open.reset();
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    return records;
+}
+
+/** A PLT sample point on the trajectory. */
+struct PltSample {
+    std::uint64_t iteration = 0;
+    double plt = 0.0;
+    const char* source = "";  // "ckpt" or "recovery"
+    std::uint64_t bumped_to_k = 0;  // 0 = no Dynamic-K bump at this point
+};
+
+std::vector<PltSample>
+PltTrajectory(const std::vector<obs::JournalEvent>& events) {
+    std::vector<PltSample> samples;
+    for (const obs::JournalEvent& e : events) {
+        if (e.kind == obs::EventKind::kCkptEnd && e.plt >= 0.0) {
+            samples.push_back({e.iteration, e.plt, "ckpt", 0});
+        } else if (e.kind == obs::EventKind::kRecoveryEnd && e.plt >= 0.0) {
+            samples.push_back({e.iteration, e.plt, "recovery", 0});
+        } else if (e.kind == obs::EventKind::kDynamicKBump && !samples.empty()) {
+            samples.back().bumped_to_k = e.k;
+        }
+    }
+    return samples;
+}
+
+/**
+ * The checkpoint interval the run actually used: the most common forward
+ * gap between consecutive `ckpt_end` iterations (recoveries rewind the
+ * iteration counter, so backward gaps are skipped). Falls back to
+ * I_total / checkpoints when the journal has too few checkpoints.
+ */
+double
+InferCheckpointInterval(const std::vector<obs::JournalEvent>& events,
+                        double i_total, double ckpt_events) {
+    std::map<std::uint64_t, std::size_t> gap_counts;
+    std::optional<std::uint64_t> prev;
+    for (const obs::JournalEvent& e : events) {
+        if (e.kind != obs::EventKind::kCkptEnd || e.iteration == 0) {
+            continue;  // iteration 0 is the initial full checkpoint
+        }
+        if (prev && e.iteration > *prev) {
+            ++gap_counts[e.iteration - *prev];
+        }
+        prev = e.iteration;
+    }
+    std::uint64_t best_gap = 0;
+    std::size_t best_count = 0;
+    for (const auto& [gap, count] : gap_counts) {
+        if (count > best_count) {
+            best_gap = gap;
+            best_count = count;
+        }
+    }
+    if (best_gap > 0) {
+        return static_cast<double>(best_gap);
+    }
+    return i_total / std::max(1.0, ckpt_events);
+}
+
+std::string
+Percent(double fraction, int digits = 3) {
+    return Table::Num(fraction * 100.0, digits) + "%";
+}
+
+/** A fixed-width bar with a threshold tick, for the PLT trajectory. */
+std::string
+PltBar(double plt, double threshold, double scale_max, std::size_t width) {
+    std::string bar(width, ' ');
+    const auto clamp_col = [&](double v) {
+        const double frac = scale_max > 0.0 ? v / scale_max : 0.0;
+        const auto col = static_cast<std::size_t>(frac * static_cast<double>(width));
+        return std::min(col, width - 1);
+    };
+    const std::size_t filled = plt > 0.0 ? clamp_col(plt) + 1 : 0;
+    for (std::size_t i = 0; i < filled; ++i) {
+        bar[i] = '#';
+    }
+    bar[clamp_col(threshold)] = '|';
+    return bar;
+}
+
+}  // namespace
+
+int
+RunReport(const Args& args, std::ostream& out) {
+    const std::string metrics_path = args.Get("metrics", "");
+    const std::string events_path = args.Get("events", "");
+    if (metrics_path.empty()) {
+        out << "usage: moc_cli report --metrics <metrics.json> "
+               "[--events <events.jsonl>]\n"
+               "       [--plt-threshold X] [--report-json <path>]\n";
+        return 2;
+    }
+
+    MetricsDump dump;
+    std::vector<obs::JournalEvent> events;
+    double threshold = kDefaultPltThreshold;
+    try {
+        dump = ParseMetricsDump(ReadFileOrThrow(metrics_path));
+        if (!events_path.empty()) {
+            events = obs::ParseEventsJsonl(ReadFileOrThrow(events_path));
+        }
+        const std::string t = args.Get("plt-threshold", "");
+        if (!t.empty()) {
+            threshold = std::stod(t);
+        }
+    } catch (const std::exception& e) {
+        out << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    out << "MoC run report\n";
+    Table meta({"meta", "value"});
+    for (const char* key : {"schema", "build_type", "git_sha", "config_digest",
+                            "command_line"}) {
+        const auto it = dump.meta.find(key);
+        meta.AddRow({key, it == dump.meta.end() ? "-" : it->second});
+    }
+    out << meta.ToString();
+
+    // -- recovery timeline ---------------------------------------------------
+    const std::vector<RecoveryRecord> recoveries = PairRecoveries(events);
+    out << "\n== recovery timeline ==\n";
+    if (events.empty()) {
+        out << "(no event journal given; pass --events <events.jsonl>)\n";
+    } else if (recoveries.empty()) {
+        out << "no faults recorded\n";
+    } else {
+        Table t({"#", "fault iter", "nodes", "restart iter", "lost iters",
+                 "recovery (s)", "restored", "PLT after", "K after"});
+        for (std::size_t i = 0; i < recoveries.size(); ++i) {
+            const RecoveryRecord& r = recoveries[i];
+            const std::uint64_t lost = r.fault_iteration > r.restart_iteration
+                                           ? r.fault_iteration - r.restart_iteration
+                                           : 0;
+            std::string k_after = std::to_string(r.k_after);
+            if (r.k_bumped) {
+                k_after += " (bumped)";
+            }
+            t.AddRow({std::to_string(i + 1), std::to_string(r.fault_iteration),
+                      r.failed_nodes, std::to_string(r.restart_iteration),
+                      std::to_string(lost), Table::Num(r.duration_s, 4),
+                      FormatBytes(r.bytes), Percent(r.plt_after), k_after});
+        }
+        out << t.ToString();
+    }
+
+    // -- PLT trajectory ------------------------------------------------------
+    const std::vector<PltSample> trajectory = PltTrajectory(events);
+    double max_plt = 0.0;
+    for (const PltSample& s : trajectory) {
+        max_plt = std::max(max_plt, s.plt);
+    }
+    out << "\n== PLT trajectory (threshold " << Percent(threshold) << ") ==\n";
+    if (trajectory.empty()) {
+        out << "no PLT samples in the journal\n";
+    } else {
+        const double scale_max = std::max(max_plt, threshold) * 1.25;
+        Table t({"iter", "event", "PLT", ""});
+        for (const PltSample& s : trajectory) {
+            std::string annotation = PltBar(s.plt, threshold, scale_max, 32);
+            if (s.bumped_to_k > 0) {
+                annotation += " <- Dynamic-K -> " + std::to_string(s.bumped_to_k);
+            }
+            t.AddRow({std::to_string(s.iteration), s.source, Percent(s.plt),
+                      annotation});
+        }
+        out << t.ToString();
+        out << "peak PLT " << Percent(max_plt) << " ("
+            << (max_plt <= threshold ? "within" : "EXCEEDS") << " the "
+            << Percent(threshold) << " budget)\n";
+    }
+
+    // -- expert staleness ----------------------------------------------------
+    out << "\n== expert staleness ==\n";
+    if (dump.experts.empty()) {
+        out << "no per-expert telemetry in the metrics dump\n";
+    } else {
+        std::map<std::size_t, std::vector<const obs::ExpertStat*>> layers;
+        for (const obs::ExpertStat& cell : dump.experts) {
+            layers[cell.layer].push_back(&cell);
+        }
+        Table t({"layer", "experts", "snap stale (mean/max)",
+                 "persist stale (mean/max)", "snapshots", "lost tokens"});
+        for (const auto& [layer, cells] : layers) {
+            double snap_sum = 0.0, persist_sum = 0.0;
+            std::uint64_t snap_max = 0, persist_max = 0, snapshots = 0, lost = 0;
+            for (const obs::ExpertStat* c : cells) {
+                snap_sum += static_cast<double>(c->snapshot_staleness);
+                persist_sum += static_cast<double>(c->persist_staleness);
+                snap_max = std::max(snap_max, c->snapshot_staleness);
+                persist_max = std::max(persist_max, c->persist_staleness);
+                snapshots += c->snapshots;
+                lost += c->lost_tokens;
+            }
+            const auto n = static_cast<double>(cells.size());
+            t.AddRow({std::to_string(layer), std::to_string(cells.size()),
+                      Table::Num(snap_sum / n, 1) + " / " + std::to_string(snap_max),
+                      Table::Num(persist_sum / n, 1) + " / " +
+                          std::to_string(persist_max),
+                      std::to_string(snapshots), std::to_string(lost)});
+        }
+        out << t.ToString();
+
+        std::vector<const obs::ExpertStat*> ranked;
+        for (const obs::ExpertStat& cell : dump.experts) {
+            if (cell.lost_tokens > 0) {
+                ranked.push_back(&cell);
+            }
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const obs::ExpertStat* a, const obs::ExpertStat* b) {
+                      return a->lost_tokens > b->lost_tokens;
+                  });
+        if (!ranked.empty()) {
+            Table top({"layer", "expert", "lost tokens", "snap stale",
+                       "last snapshot iter"});
+            const std::size_t n = std::min<std::size_t>(5, ranked.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                const obs::ExpertStat* c = ranked[i];
+                top.AddRow({std::to_string(c->layer), std::to_string(c->expert),
+                            std::to_string(c->lost_tokens),
+                            std::to_string(c->snapshot_staleness),
+                            std::to_string(c->last_snapshot_iteration)});
+            }
+            out << "top " << n << " experts by lost tokens:\n" << top.ToString();
+        }
+    }
+
+    // -- overhead model ------------------------------------------------------
+    // Operating point measured from the run itself.
+    const double i_total = dump.Counter("train.iterations");
+    const double faults = dump.Counter("faults.injected");
+    const double lambda = i_total > 0.0 ? faults / i_total : 0.0;
+    const double t_iter = dump.HistogramMean("train.iteration_seconds");
+    const double o_save = dump.HistogramMean("ckpt.duration_seconds");
+    const double o_restart = dump.HistogramMean("recovery.duration_seconds");
+    const double i_ckpt =
+        InferCheckpointInterval(events, i_total, dump.Counter("ckpt.events"));
+
+    FaultToleranceModel model;
+    model.i_total = i_total;
+    model.lambda = lambda;
+    model.t_iter = t_iter;
+    model.o_restart = o_restart;
+
+    const double predicted_faults = ExpectedFaults(model);
+    const double predicted_overhead =
+        i_ckpt > 0.0 ? TotalCheckpointOverhead(model, o_save, i_ckpt) : 0.0;
+    const bool optimal_defined = lambda > 0.0 && t_iter > 0.0 && o_save > 0.0;
+    const double optimal_interval =
+        optimal_defined ? OptimalInterval(model, o_save) : 0.0;
+
+    const double ckpt_seconds = dump.HistogramSum("ckpt.duration_seconds");
+    const double recovery_seconds = dump.HistogramSum("recovery.duration_seconds");
+    const double replay_seconds =
+        dump.Counter("faults.replayed_iterations") * t_iter;
+    const double measured_overhead = ckpt_seconds + recovery_seconds + replay_seconds;
+    const double residual_overhead = measured_overhead - predicted_overhead;
+
+    out << "\n== overhead model (measured vs Eq. 11-13) ==\n";
+    Table op({"operating point", "value"});
+    op.AddRow({"I_total (iterations)", Table::Num(i_total, 0)});
+    op.AddRow({"lambda (faults/iter)", Table::Num(lambda, 6)});
+    op.AddRow({"t_iter (s)", Table::Num(t_iter, 6)});
+    op.AddRow({"O_save (s/ckpt)", Table::Num(o_save, 6)});
+    op.AddRow({"O_restart (s/fault)", Table::Num(o_restart, 6)});
+    op.AddRow({"I_ckpt (iters)", Table::Num(i_ckpt, 1)});
+    out << op.ToString();
+    if (lambda == 0.0) {
+        out << "note: fault-free run; fault terms of the model are zero\n";
+    }
+    Table cmp({"quantity", "predicted", "measured", "residual"});
+    cmp.AddRow({"faults (Eq. 11)", Table::Num(predicted_faults, 2),
+                Table::Num(faults, 0), Table::Num(faults - predicted_faults, 2)});
+    cmp.AddRow({"overhead (Eq. 12/13, s)", Table::Num(predicted_overhead, 4),
+                Table::Num(measured_overhead, 4),
+                Table::Num(residual_overhead, 4)});
+    out << cmp.ToString();
+    out << "measured overhead = checkpointing " << Table::Num(ckpt_seconds, 4)
+        << "s + recovery " << Table::Num(recovery_seconds, 4) << "s + replay "
+        << Table::Num(replay_seconds, 4) << "s\n";
+    if (optimal_defined) {
+        out << "optimal interval I* (Eq. 13) = " << Table::Num(optimal_interval, 1)
+            << " iterations (run used " << Table::Num(i_ckpt, 1) << ")\n";
+    }
+    if (const obs::HistogramData* iter_h =
+            dump.Histogram("train.iteration_seconds")) {
+        out << "iteration seconds p50/p95/p99: "
+            << Table::Num(obs::HistogramP50(*iter_h), 6) << " / "
+            << Table::Num(obs::HistogramP95(*iter_h), 6) << " / "
+            << Table::Num(obs::HistogramP99(*iter_h), 6) << "\n";
+    }
+
+    // -- machine-readable section -------------------------------------------
+    std::uint64_t bumps = 0;
+    for (const obs::JournalEvent& e : events) {
+        bumps += e.kind == obs::EventKind::kDynamicKBump ? 1 : 0;
+    }
+    std::ostringstream machine;
+    machine << "{\"schema\": \"moc-report/1\",\n"
+            << " \"operating_point\": {\"i_total\": " << obs::JsonNumber(i_total)
+            << ", \"lambda\": " << obs::JsonNumber(lambda)
+            << ", \"t_iter\": " << obs::JsonNumber(t_iter)
+            << ", \"o_save\": " << obs::JsonNumber(o_save)
+            << ", \"o_restart\": " << obs::JsonNumber(o_restart)
+            << ", \"i_ckpt\": " << obs::JsonNumber(i_ckpt) << "},\n"
+            << " \"predicted\": {\"expected_faults\": "
+            << obs::JsonNumber(predicted_faults)
+            << ", \"total_overhead_s\": " << obs::JsonNumber(predicted_overhead)
+            << ", \"optimal_interval_iters\": "
+            << (optimal_defined ? obs::JsonNumber(optimal_interval) : "null")
+            << "},\n"
+            << " \"measured\": {\"faults\": " << obs::JsonNumber(faults)
+            << ", \"overhead_s\": " << obs::JsonNumber(measured_overhead)
+            << ", \"ckpt_seconds\": " << obs::JsonNumber(ckpt_seconds)
+            << ", \"recovery_seconds\": " << obs::JsonNumber(recovery_seconds)
+            << ", \"replay_seconds\": " << obs::JsonNumber(replay_seconds)
+            << "},\n"
+            << " \"residual\": {\"faults\": "
+            << obs::JsonNumber(faults - predicted_faults)
+            << ", \"overhead_s\": " << obs::JsonNumber(residual_overhead)
+            << "},\n"
+            << " \"plt\": {\"peak\": " << obs::JsonNumber(max_plt)
+            << ", \"threshold\": " << obs::JsonNumber(threshold)
+            << ", \"within_budget\": " << (max_plt <= threshold ? "true" : "false")
+            << "},\n"
+            << " \"events\": {\"total\": " << events.size()
+            << ", \"recoveries\": " << recoveries.size()
+            << ", \"dynamic_k_bumps\": " << bumps << "}}\n";
+    out << "\n--- machine-readable (moc-report/1) ---\n" << machine.str();
+
+    const std::string report_json = args.Get("report-json", "");
+    if (!report_json.empty() &&
+        !obs::WriteTextFile(report_json, machine.str(), "report JSON")) {
+        out << "error: cannot write '" << report_json << "'\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace moc::cli
