@@ -7,12 +7,30 @@
  * constant rate; Dynamic-K escalates the PEC budget as faults accumulate.
  * Prints the per-fault recovery trace, the evolving K, PLT, and the final
  * validation loss compared against an identical fault-free run.
+ *
+ * Storage flags (docs/FAULT_MODEL.md):
+ *   --ckpt-dir <path>   persist checkpoints to an on-disk FileStore, so
+ *                       `moc_cli fsck <path>` can scrub the result
+ *   --storage-faults    arm a transient-error window over the checkpoint
+ *                       backend mid-run (retries heal it; the final store
+ *                       stays clean)
+ *   --restore-only      skip training: manifest-aware cold start of a fresh
+ *                       model from --ckpt-dir, printing what restored
+ *                       degraded. Exits 0 on success, 2 when no generation
+ *                       is restorable.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
+#include "core/cold_start.h"
 #include "data/corpus.h"
 #include "faults/trainer.h"
+#include "storage/faulty_store.h"
+#include "storage/file_store.h"
+#include "storage/store_error.h"
 #include "util/table.h"
 #include "obs/export.h"
 #include "obs/journal.h"
@@ -20,9 +38,57 @@
 
 using namespace moc;
 
+namespace {
+
+/** Manifest-aware cold start from an on-disk checkpoint; exit code 0/2. */
+int
+RestoreOnly(const std::string& ckpt_dir, const LmConfig& model_cfg) {
+    FileStore disk(ckpt_dir);
+    CheckpointManifest manifest;
+    const auto manifest_blob = disk.Get("meta/manifest");
+    if (!manifest_blob) {
+        std::printf("no meta/manifest in %s\n", ckpt_dir.c_str());
+        return 2;
+    }
+    manifest.LoadFromJson(
+        std::string(manifest_blob->begin(), manifest_blob->end()));
+    MoeTransformerLm model(model_cfg);
+    try {
+        const ColdStartReport report = ColdStartFromStore(model, disk, manifest);
+        std::printf("restored generation %zu: %zu keys, %s read, "
+                    "%zu degraded, %zu missing\n",
+                    report.generation, report.keys_restored,
+                    FormatBytes(report.bytes_read).c_str(),
+                    report.degraded.size(), report.missing.size());
+        for (const DegradedKey& d : report.degraded) {
+            std::printf("  degraded: %s planned @%zu restored @%zu (%s)\n",
+                        d.key.c_str(), d.planned_iteration,
+                        d.restored_iteration, d.reason.c_str());
+        }
+        return 0;
+    } catch (const StoreError& e) {
+        std::printf("restore failed: %s\n", e.what());
+        return 2;
+    }
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv) {
     const obs::ObsExportGuard obs_guard(argc, argv);
+    std::string ckpt_dir;
+    bool restore_only = false;
+    bool storage_faults = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ckpt-dir") == 0 && i + 1 < argc) {
+            ckpt_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--restore-only") == 0) {
+            restore_only = true;
+        } else if (std::strcmp(argv[i], "--storage-faults") == 0) {
+            storage_faults = true;
+        }
+    }
     CorpusConfig corpus_cfg;
     corpus_cfg.vocab_size = 64;
     ZipfMarkovCorpus corpus(corpus_cfg);
@@ -37,6 +103,14 @@ main(int argc, char** argv) {
     model_cfg.head_dim = 16;
     model_cfg.num_layers = 4;
     model_cfg.num_experts = 16;
+
+    if (restore_only) {
+        if (ckpt_dir.empty()) {
+            std::printf("--restore-only requires --ckpt-dir <path>\n");
+            return 2;
+        }
+        return RestoreOnly(ckpt_dir, model_cfg);
+    }
 
     LmTrainerConfig cfg;
     cfg.moc.pec.k_snapshot = 4;
@@ -59,6 +133,32 @@ main(int argc, char** argv) {
     // reference run accumulated.
     obs::MetricsRegistry::Instance().ResetAll();
     obs::EventJournal::Instance().Clear();
+
+    // The faulty run optionally persists to disk, through a fault injector.
+    std::unique_ptr<FileStore> disk;
+    std::unique_ptr<FaultyStore> flaky;
+    std::unique_ptr<StorageFaultSchedule> schedule;
+    if (!ckpt_dir.empty()) {
+        disk = std::make_unique<FileStore>(ckpt_dir);
+        cfg.moc.persist_backend = disk.get();
+    }
+    if (storage_faults) {
+        if (disk == nullptr) {
+            std::printf("--storage-faults requires --ckpt-dir <path>\n");
+            return 2;
+        }
+        StorageFaultProfile profile;
+        profile.put_transient_error = 0.2;  // retryable; disk stays clean
+        profile.get_transient_error = 0.1;
+        flaky = std::make_unique<FaultyStore>(*disk, /*seed=*/7);
+        cfg.moc.persist_backend = flaky.get();
+        schedule = std::make_unique<StorageFaultSchedule>(
+            *flaky, std::vector<StorageFaultWindow>{
+                        {.begin_iteration = 60,
+                         .end_iteration = 120,
+                         .profile = profile}});
+        cfg.storage_faults = schedule.get();
+    }
 
     // Poisson faults: expect ~4 over the run, hitting either node.
     MoeTransformerLm model(model_cfg);

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/store_error.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -9,7 +10,26 @@ namespace moc {
 AsyncCheckpointAgent::AsyncCheckpointAgent(PersistentStore& store,
                                            std::string key_prefix,
                                            const AgentCostModel& cost)
-    : store_(store), key_prefix_(std::move(key_prefix)), cost_(cost) {
+    : store_(store),
+      write_time_([&store](Bytes bytes) { return store.WriteTime(bytes); }),
+      key_prefix_(std::move(key_prefix)),
+      cost_(cost) {
+    MOC_CHECK_ARG(cost.snapshot_bandwidth > 0.0 && cost.persist_bandwidth > 0.0,
+                  "agent bandwidths must be > 0");
+    MOC_CHECK_ARG(cost.time_scale >= 0.0, "time_scale must be >= 0");
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+    persist_thread_ = std::thread([this] { PersistLoop(); });
+}
+
+AsyncCheckpointAgent::AsyncCheckpointAgent(ObjectStore& store,
+                                           std::string key_prefix,
+                                           const AgentCostModel& cost)
+    : store_(store),
+      write_time_([bandwidth = cost.persist_bandwidth](Bytes bytes) {
+          return static_cast<double>(bytes) / bandwidth;
+      }),
+      key_prefix_(std::move(key_prefix)),
+      cost_(cost) {
     MOC_CHECK_ARG(cost.snapshot_bandwidth > 0.0 && cost.persist_bandwidth > 0.0,
                   "agent bandwidths must be > 0");
     MOC_CHECK_ARG(cost.time_scale >= 0.0, "time_scale must be >= 0");
@@ -130,20 +150,36 @@ AsyncCheckpointAgent::PersistLoop() {
         }
         const obs::TraceSpan span("agent.persist", "agent");
         auto& slot = buffers_.Payload(*idx);
-        const Seconds write_time = store_.WriteTime(slot.data.size());
+        const Seconds write_time = write_time_(slot.data.size());
         clock_.Advance(write_time * cost_.time_scale);
-        store_.Put(key_prefix_ + "/ckpt", slot.data);
+        bool persisted = true;
+        try {
+            store_.Put(key_prefix_ + "/ckpt", slot.data);
+        } catch (const StoreError& e) {
+            persisted = false;
+            static obs::Counter& failures =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "agent.persist_failures");
+            failures.Add();
+            MOC_WARN << "agent: persist of iteration " << slot.iteration
+                     << " failed (" << StoreErrorKindName(e.kind())
+                     << "); checkpoint dropped";
+        }
         static obs::Counter& persist_bytes =
             obs::MetricsRegistry::Instance().GetCounter("agent.persist_bytes");
         static obs::Histogram& persist_seconds =
             obs::MetricsRegistry::Instance().GetHistogram("agent.persist_seconds");
-        persist_bytes.Add(slot.data.size());
         persist_seconds.Observe(write_time * cost_.time_scale);
         {
             std::lock_guard<std::mutex> lock(mu_);
-            stats_.bytes_persisted += slot.data.size();
-            ++stats_.checkpoints_persisted;
-            latest_persisted_ = slot.iteration;
+            if (persisted) {
+                persist_bytes.Add(slot.data.size());
+                stats_.bytes_persisted += slot.data.size();
+                ++stats_.checkpoints_persisted;
+                latest_persisted_ = slot.iteration;
+            } else {
+                ++stats_.persist_failures;
+            }
         }
         buffers_.CompletePersist(*idx);
         cv_.notify_all();

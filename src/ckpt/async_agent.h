@@ -12,10 +12,12 @@
  */
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 
 #include "ckpt/triple_buffer.h"
+#include "storage/object_store.h"
 #include "storage/persistent_store.h"
 #include "util/clock.h"
 
@@ -43,6 +45,8 @@ struct AgentStats {
     Seconds total_stall_time = 0.0;
     Bytes bytes_snapshotted = 0;
     Bytes bytes_persisted = 0;
+    /** Persist writes the store rejected (StoreError); checkpoint dropped. */
+    std::size_t persist_failures = 0;
 };
 
 /**
@@ -56,6 +60,15 @@ class AsyncCheckpointAgent {
      *        checkpoints are stored as "<prefix>/ckpt" (latest wins).
      */
     AsyncCheckpointAgent(PersistentStore& store, std::string key_prefix,
+                         const AgentCostModel& cost);
+
+    /**
+     * Agent over any ObjectStore (a FileStore, a FaultyStore chain, ...);
+     * the persist phase is costed by cost.persist_bandwidth. A store that
+     * throws StoreError drops that checkpoint and counts a persist failure
+     * instead of killing the persist thread.
+     */
+    AsyncCheckpointAgent(ObjectStore& store, std::string key_prefix,
                          const AgentCostModel& cost);
 
     /** Stops the pipeline (drains pending persists first). */
@@ -88,7 +101,9 @@ class AsyncCheckpointAgent {
   private:
     void PersistLoop();
 
-    PersistentStore& store_;
+    ObjectStore& store_;
+    /** Simulated seconds one persist write of N bytes takes. */
+    std::function<Seconds(Bytes)> write_time_;
     std::string key_prefix_;
     AgentCostModel cost_;
     WallClock clock_;

@@ -9,6 +9,15 @@ BlockingCheckpointer::BlockingCheckpointer(PersistentStore& store,
                                            double snapshot_bandwidth,
                                            double persist_bandwidth,
                                            double time_scale)
+    : BlockingCheckpointer(static_cast<ObjectStore&>(store),
+                           std::move(key_prefix), snapshot_bandwidth,
+                           persist_bandwidth, time_scale) {}
+
+BlockingCheckpointer::BlockingCheckpointer(ObjectStore& store,
+                                           std::string key_prefix,
+                                           double snapshot_bandwidth,
+                                           double persist_bandwidth,
+                                           double time_scale)
     : store_(store),
       key_prefix_(std::move(key_prefix)),
       snapshot_bandwidth_(snapshot_bandwidth),

@@ -8,8 +8,10 @@
  * series of Fig. 12.
  */
 
+#include <functional>
 #include <string>
 
+#include "storage/object_store.h"
 #include "storage/persistent_store.h"
 #include "util/clock.h"
 
@@ -26,6 +28,14 @@ class BlockingCheckpointer {
                          double time_scale = 1.0);
 
     /**
+     * Baseline over any ObjectStore (a FileStore, a FaultyStore chain, ...);
+     * StoreError from the store propagates to the caller.
+     */
+    BlockingCheckpointer(ObjectStore& store, std::string key_prefix,
+                         double snapshot_bandwidth, double persist_bandwidth,
+                         double time_scale = 1.0);
+
+    /**
      * Performs the checkpoint inline; returns the time the caller was
      * blocked (snapshot + persist).
      */
@@ -36,7 +46,7 @@ class BlockingCheckpointer {
     }
 
   private:
-    PersistentStore& store_;
+    ObjectStore& store_;
     std::string key_prefix_;
     double snapshot_bandwidth_;
     double persist_bandwidth_;

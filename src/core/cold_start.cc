@@ -1,8 +1,37 @@
 #include "core/cold_start.h"
 
+#include "storage/store_error.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace moc {
+
+namespace {
+
+/**
+ * Reads one manifest-recorded version from @p store, accepting whichever
+ * copy (plain latest-wins key or generation twin) CRC-matches the record.
+ */
+std::optional<Blob>
+ReadVerified(const ObjectStore& store, const std::string& key,
+             const PersistVersion& version) {
+    const std::string sources[] = {
+        key, MocCheckpointSystem::GenKey(version.iteration, key)};
+    for (const auto& source : sources) {
+        try {
+            auto blob = store.Get(source);
+            if (blob.has_value() &&
+                Crc32c(blob->data(), blob->size()) == version.crc) {
+                return blob;
+            }
+        } catch (const std::runtime_error&) {
+            // Typed corruption from the backend; try the twin.
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
 
 ColdStartReport
 ColdStartFromStore(ParamSource& model, const ObjectStore& store) {
@@ -26,6 +55,76 @@ ColdStartFromStore(ParamSource& model, const ObjectStore& store) {
         }
     }
     return report;
+}
+
+ColdStartReport
+ColdStartFromStore(ParamSource& model, const ObjectStore& store,
+                   const CheckpointManifest& manifest) {
+    for (const std::size_t generation : manifest.EligibleGenerations()) {
+        ColdStartReport report;
+        report.generation = generation;
+        // "Extra" state defines the restart point; it must come from this
+        // generation exactly or the generation is unusable.
+        const auto extra_chain =
+            manifest.PersistFallbackChain("extra/state", generation);
+        if (extra_chain.empty() ||
+            extra_chain.front().iteration != generation) {
+            continue;
+        }
+        const auto extra_blob =
+            ReadVerified(store, "extra/state", extra_chain.front());
+        if (!extra_blob.has_value()) {
+            continue;
+        }
+        report.extra = DeserializeExtraState(*extra_blob);
+
+        bool generation_ok = true;
+        for (auto& group : model.ParameterGroups()) {
+            const bool is_expert = group.kind == ModuleKind::kExpert;
+            for (const bool weights : {true, false}) {
+                const std::string key = group.key + (weights ? "/w" : "/o");
+                const auto chain =
+                    manifest.PersistFallbackChain(key, generation);
+                if (chain.empty()) {
+                    report.missing.push_back(key);
+                    continue;
+                }
+                std::optional<Blob> blob;
+                std::size_t got = chain.front().iteration;
+                for (const auto& version : chain) {
+                    blob = ReadVerified(store, key, version);
+                    if (blob.has_value()) {
+                        got = version.iteration;
+                        break;
+                    }
+                }
+                if (!blob.has_value() ||
+                    (!is_expert && got != extra_chain.front().iteration)) {
+                    generation_ok = false;
+                    break;
+                }
+                if (got != chain.front().iteration) {
+                    report.degraded.push_back(
+                        {key, chain.front().iteration, got,
+                         "corrupt shard; restored older verified version"});
+                }
+                DeserializeParamList(*blob, group.params, weights);
+                ++report.keys_restored;
+                report.bytes_read += blob->size();
+            }
+            if (!generation_ok) {
+                break;
+            }
+        }
+        if (generation_ok) {
+            return report;
+        }
+        MOC_WARN << "cold start: generation " << generation
+                 << " unusable; trying an older one";
+    }
+    throw StoreError(StoreErrorKind::kCorrupt, "meta/manifest",
+                     "no checkpoint generation in this store can be "
+                     "restored with verification");
 }
 
 Bytes

@@ -27,6 +27,10 @@ struct ColdStartReport {
     Bytes bytes_read = 0;
     /** Units absent from the store and left at their fresh-init values. */
     std::vector<std::string> missing;
+    /** Units restored from an older verified version (manifest overload). */
+    std::vector<DegradedKey> degraded;
+    /** The checkpoint generation restored (manifest overload). */
+    std::size_t generation = 0;
 };
 
 /**
@@ -40,6 +44,19 @@ struct ColdStartReport {
  *         store has no "extra/state" (not a MoC checkpoint store).
  */
 ColdStartReport ColdStartFromStore(ParamSource& model, const ObjectStore& store);
+
+/**
+ * Manifest-aware cold start: restores from the newest eligible checkpoint
+ * generation, CRC-verifying every blob against the manifest record and
+ * walking each key's verified-version fallback chain (plain key, then the
+ * `gen/<iter>/...` twin) when the preferred copy is damaged. Keys restored
+ * below the planned iteration are listed in `degraded`; generations whose
+ * non-expert or extra state cannot be verified are skipped entirely.
+ *
+ * @throws StoreError{kCorrupt} when no generation can be restored.
+ */
+ColdStartReport ColdStartFromStore(ParamSource& model, const ObjectStore& store,
+                                   const CheckpointManifest& manifest);
 
 /**
  * Copies every key of @p src into @p dst (checkpoint export/import, e.g.

@@ -230,6 +230,49 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
         }
     }
 
+    MOC_CHECK_ARG(config.persist_generations >= 1,
+                  "persist_generations must be >= 1");
+
+    // The resilient persist path: retries + write verification over the
+    // configured backend, with read repair from surviving memory replicas
+    // and the versioned/plain twin key (docs/FAULT_MODEL.md).
+    persist_ = std::make_unique<ResilientStore>(
+        PersistBackend(), config_.retry,
+        [this](const std::string& damaged) -> std::optional<Blob> {
+            std::string plain = damaged;
+            std::optional<std::size_t> iteration;
+            if (damaged.rfind("gen/", 0) == 0) {
+                const auto slash = damaged.find('/', 4);
+                if (slash != std::string::npos) {
+                    plain = damaged.substr(slash + 1);
+                    iteration = static_cast<std::size_t>(
+                        std::stoull(damaged.substr(4, slash - 4)));
+                }
+            }
+            // Surviving memory replica of the same key (two-level bonus).
+            if (auto mem = manifest_.Latest(StoreLevel::kMemory, plain)) {
+                if (auto blob = memory_.Node(mem->node).Get(plain)) {
+                    return blob;
+                }
+            }
+            // The twin copy in the backend itself; the caller CRC-checks.
+            auto read_raw = [this](const std::string& key)
+                -> std::optional<Blob> {
+                try {
+                    return PersistBackend().Get(key);
+                } catch (const std::runtime_error&) {
+                    return std::nullopt;
+                }
+            };
+            if (iteration.has_value()) {
+                return read_raw(plain);
+            }
+            if (auto latest = manifest_.Latest(StoreLevel::kPersist, plain)) {
+                return read_raw(GenKey(latest->iteration, plain));
+            }
+            return std::nullopt;
+        });
+
     // Per-expert telemetry + run metadata restart with each bound system.
     obs::ExpertStatsRegistry::Instance().Configure(spec.NumMoeLayers(),
                                                    spec.num_experts);
@@ -247,9 +290,11 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
         SaveGroup(group, 0, /*weights=*/true, true, true, report);
         SaveGroup(group, 0, /*weights=*/false, true, true, report);
     }
-    storage_.Put("extra/state", SerializeExtraState(initial_extra));
+    PersistShard("extra/state", SerializeExtraState(initial_extra), 0,
+                 /*fatal_on_failure=*/true);
     manifest_.MarkCheckpointComplete(StoreLevel::kMemory, 0);
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, 0);
+    WriteManifestBlob();
     obs::EventJournal::Instance().Append(
         {.kind = obs::EventKind::kCkptEnd,
          .bytes = report.snapshot_bytes + report.persist_bytes,
@@ -257,6 +302,88 @@ MocCheckpointSystem::MocCheckpointSystem(const MocSystemConfig& config,
          .k = config_.pec.k_snapshot,
          .detail = "initial full checkpoint"});
     RecordCheckpointMetrics(report, NsToSeconds(begin_ns, obs::Tracer::NowNs()));
+}
+
+std::string
+MocCheckpointSystem::GenKey(std::size_t iteration, const std::string& key) {
+    return "gen/" + std::to_string(iteration) + "/" + key;
+}
+
+ObjectStore&
+MocCheckpointSystem::PersistBackend() {
+    return config_.persist_backend != nullptr ? *config_.persist_backend
+                                              : storage_;
+}
+
+void
+MocCheckpointSystem::PersistShard(const std::string& key, Blob blob,
+                                  std::size_t iteration,
+                                  bool fatal_on_failure) {
+    const Bytes size = blob.size();
+    // Manifest CRCs are CRC-32C: the blob's embedded per-tensor IEEE
+    // trailers make a same-polynomial outer CRC payload-blind (see
+    // util/crc32.h).
+    const std::uint32_t crc = Crc32c(blob.data(), blob.size());
+    bool verified = true;
+    try {
+        persist_->Put(key, blob);
+        persist_->Put(GenKey(iteration, key), std::move(blob));
+    } catch (const StoreError& e) {
+        if (fatal_on_failure) {
+            throw;
+        }
+        verified = false;
+        static obs::Counter& failures =
+            obs::MetricsRegistry::Instance().GetCounter(
+                "ckpt.persist_shard_failures");
+        failures.Add();
+        obs::EventJournal::Instance().Append(
+            {.kind = obs::EventKind::kStorageFault,
+             .iteration = iteration,
+             .bytes = size,
+             .detail = std::string("persist failed: ") + e.what()});
+        MOC_WARN << "ckpt: persist of " << key << " failed ("
+                 << StoreErrorKindName(e.kind())
+                 << "); shard recorded unverified";
+    }
+    manifest_.RecordPersistVersion(key, iteration, size, crc, verified);
+}
+
+void
+MocCheckpointSystem::WriteManifestBlob() {
+    const std::string json = manifest_.ToJson();
+    try {
+        persist_->Put("meta/manifest", Blob(json.begin(), json.end()));
+    } catch (const StoreError& e) {
+        obs::EventJournal::Instance().Append(
+            {.kind = obs::EventKind::kStorageFault,
+             .detail = std::string("manifest write failed: ") + e.what()});
+        MOC_WARN << "ckpt: manifest write failed: " << e.what();
+    }
+}
+
+std::optional<Blob>
+MocCheckpointSystem::ReadPersistVersion(const std::string& key,
+                                        const PersistVersion& version) const {
+    // The plain latest-wins key holds this version only when it is the
+    // newest; the generation twin is authoritative either way. Trying the
+    // plain key first lets GetChecked read-repair it in place.
+    std::vector<std::string> sources;
+    if (const auto latest = manifest_.Latest(StoreLevel::kPersist, key);
+        latest.has_value() && latest->iteration == version.iteration) {
+        sources.push_back(key);
+    }
+    sources.push_back(GenKey(version.iteration, key));
+    for (const auto& source : sources) {
+        try {
+            if (auto blob = persist_->GetChecked(source, version.crc)) {
+                return blob;
+            }
+        } catch (const StoreError&) {
+            // Damaged or retry-exhausted under this name; try the twin.
+        }
+    }
+    return std::nullopt;
 }
 
 std::vector<NodeId>
@@ -315,8 +442,9 @@ MocCheckpointSystem::SaveGroup(const ParamGroup& group, std::size_t iteration,
         }
     }
     if (to_persist) {
-        storage_.Put(key, blob);
-        manifest_.RecordSave(StoreLevel::kPersist, key, iteration, 0, size);
+        // The initial checkpoint must land: every later recovery bottoms
+        // out on generation 0.
+        PersistShard(key, blob, iteration, /*fatal_on_failure=*/iteration == 0);
         report.persist_bytes += size;
         journal.Append({.kind = obs::EventKind::kPersist,
                         .iteration = iteration,
@@ -370,9 +498,15 @@ MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) 
         }
     }
 
-    storage_.Put("extra/state", SerializeExtraState(extra));
+    PersistShard("extra/state", SerializeExtraState(extra), iteration,
+                 /*fatal_on_failure=*/false);
     manifest_.MarkCheckpointComplete(StoreLevel::kMemory, iteration);
     manifest_.MarkCheckpointComplete(StoreLevel::kPersist, iteration);
+    for (const auto& [key, gen] :
+         manifest_.PrunePersistGenerations(config_.persist_generations)) {
+        persist_->Erase(GenKey(gen, key));
+    }
+    WriteManifestBlob();
     ledger_.RecordCheckpointEvent(iteration);
     ++ckpt_count_;
     obs::EventJournal::Instance().Append(
@@ -440,38 +574,170 @@ MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
 
     TwoLevelRecoveryPlanner recovery_planner(config_.two_level_recovery);
     RecoveryReport report;
-    report.plan = recovery_planner.Plan(manifest_, nonexpert_keys,
-                                        ledger_.num_moe_layers(),
-                                        ledger_.num_experts());
+    static obs::Counter& degraded_counter =
+        obs::MetricsRegistry::Instance().GetCounter("recovery.degraded_keys");
+    static obs::Counter& fallback_counter =
+        obs::MetricsRegistry::Instance().GetCounter(
+            "recovery.generation_fallbacks");
 
-    for (const auto& decision : report.plan.decisions) {
-        if (decision.source == RecoverySource::kInitial) {
-            MOC_PANIC("unit " << decision.key
-                              << " has no recoverable version; the initial "
-                                 "checkpoint should prevent this");
+    // Restart candidates: verified generations newest-first, then sealed
+    // generations with unverified shards as last resorts (the strict
+    // per-key checks below still hold, so they either restore consistently
+    // or get marked corrupt); for legacy manifests with no generation
+    // records at all, the last completed checkpoint.
+    std::vector<std::size_t> candidates = manifest_.EligibleGenerations();
+    std::vector<std::size_t> last_resort;
+    for (const auto& info : manifest_.Generations()) {
+        if (info.sealed && !info.marked_corrupt && !info.eligible) {
+            last_resort.push_back(info.iteration);
         }
-        std::optional<Blob> blob;
-        if (decision.source == RecoverySource::kMemory) {
-            const auto version = manifest_.Latest(StoreLevel::kMemory, decision.key);
-            MOC_ASSERT(version.has_value(), "manifest/plan disagreement");
-            blob = memory_.Node(version->node).Get(decision.key);
-        } else {
-            blob = storage_.Get(decision.key);
-        }
-        MOC_ASSERT(blob.has_value(),
-                   "store lost a manifest-tracked key: " << decision.key);
-        const bool weights = decision.key.back() == 'w';
-        const auto group_it = by_key.find(BaseKey(decision.key));
-        MOC_CHECK_ARG(group_it != by_key.end(),
-                      "checkpointed key has no model group: " << decision.key);
-        DeserializeParamList(*blob, group_it->second->params, weights);
+    }
+    candidates.insert(candidates.end(), last_resort.rbegin(),
+                      last_resort.rend());
+    if (candidates.empty()) {
+        candidates.push_back(
+            manifest_.LastCompleteIteration(StoreLevel::kPersist).value_or(0));
     }
 
-    const auto extra_blob = storage_.Get("extra/state");
-    MOC_ASSERT(extra_blob.has_value(), "extra state missing from storage");
-    report.extra = DeserializeExtraState(*extra_blob);
+    bool restored = false;
+    std::map<std::string, std::size_t> restored_iteration;
+    for (std::size_t ci = 0; ci < candidates.size() && !restored; ++ci) {
+        const std::size_t restart = candidates[ci];
+        report.plan = recovery_planner.Plan(manifest_, nonexpert_keys,
+                                            ledger_.num_moe_layers(),
+                                            ledger_.num_experts(), restart);
+        report.degraded.clear();
+        restored_iteration.clear();
+        bool generation_ok = true;
+        for (const auto& decision : report.plan.decisions) {
+            if (decision.source == RecoverySource::kInitial) {
+                throw StoreError(StoreErrorKind::kCorrupt, decision.key,
+                                 "no recoverable version survives; even the "
+                                 "initial checkpoint is damaged");
+            }
+            const bool weights = decision.key.back() == 'w';
+            const auto group_it = by_key.find(BaseKey(decision.key));
+            MOC_CHECK_ARG(group_it != by_key.end(),
+                          "checkpointed key has no model group: " << decision.key);
+            const bool is_expert = group_it->second->kind == ModuleKind::kExpert;
+            std::optional<Blob> blob;
+            std::size_t got_iteration = decision.iteration;
+            if (decision.source == RecoverySource::kMemory) {
+                const auto version =
+                    manifest_.Latest(StoreLevel::kMemory, decision.key);
+                MOC_ASSERT(version.has_value(), "manifest/plan disagreement");
+                blob = memory_.Node(version->node).Get(decision.key);
+                MOC_ASSERT(blob.has_value(), "memory lost a manifest-tracked "
+                                             "key: " << decision.key);
+            } else {
+                // Walk the verified-version fallback chain; every damaged
+                // version is marked so later recoveries skip it.
+                for (const auto& version :
+                     manifest_.PersistFallbackChain(decision.key, restart)) {
+                    blob = ReadPersistVersion(decision.key, version);
+                    if (blob.has_value()) {
+                        got_iteration = version.iteration;
+                        break;
+                    }
+                    manifest_.MarkPersistCorrupt(decision.key,
+                                                 version.iteration);
+                    journal.Append(
+                        {.kind = obs::EventKind::kStorageFault,
+                         .iteration = version.iteration,
+                         .bytes = version.bytes,
+                         .detail = "corrupt shard " + decision.key + " @" +
+                                   std::to_string(version.iteration)});
+                }
+                if (!blob.has_value() && is_expert) {
+                    throw StoreError(StoreErrorKind::kCorrupt, decision.key,
+                                     "every persisted version of this unit is "
+                                     "corrupt and no memory replica survives");
+                }
+                if (!blob.has_value() ||
+                    (!is_expert && got_iteration != restart)) {
+                    // A non-expert unit must restore the restart generation
+                    // exactly (the plan itself may already point at an older
+                    // version when the restart shard never verified); this
+                    // generation is unusable.
+                    generation_ok = false;
+                    break;
+                }
+                if (got_iteration != decision.iteration) {
+                    degraded_counter.Add();
+                    report.degraded.push_back(
+                        {decision.key, decision.iteration, got_iteration,
+                         "corrupt shard; restored older verified version"});
+                    journal.Append(
+                        {.kind = obs::EventKind::kDegradedRecovery,
+                         .iteration = got_iteration,
+                         .detail = "key=" + decision.key + ";planned=" +
+                                   std::to_string(decision.iteration) +
+                                   ";restored=" +
+                                   std::to_string(got_iteration) +
+                                   ";reason=corrupt_shard"});
+                }
+            }
+            DeserializeParamList(*blob, group_it->second->params, weights);
+            restored_iteration[decision.key] = got_iteration;
+        }
+        if (generation_ok) {
+            // Other crucial states must come from the restart generation.
+            const auto extra_chain =
+                manifest_.PersistFallbackChain("extra/state", restart);
+            std::optional<Blob> extra_blob;
+            if (!extra_chain.empty() &&
+                extra_chain.front().iteration == restart) {
+                extra_blob =
+                    ReadPersistVersion("extra/state", extra_chain.front());
+                if (!extra_blob.has_value()) {
+                    manifest_.MarkPersistCorrupt("extra/state", restart);
+                }
+            } else if (extra_chain.empty()) {
+                // Legacy manifests never tracked extra state; read it raw.
+                extra_blob = storage_.Get("extra/state");
+            }
+            if (extra_blob.has_value()) {
+                report.extra = DeserializeExtraState(*extra_blob);
+                restored = true;
+            } else {
+                generation_ok = false;
+            }
+        }
+        if (!generation_ok) {
+            manifest_.MarkGenerationCorrupt(restart);
+            fallback_counter.Add();
+            ++report.generation_fallbacks;
+            journal.Append(
+                {.kind = obs::EventKind::kDegradedRecovery,
+                 .iteration = restart,
+                 .detail = "generation " + std::to_string(restart) +
+                           " unusable; falling back to an older one"});
+        }
+    }
+    if (!restored) {
+        WriteManifestBlob();  // record what recovery learned about damage
+        throw StoreError(StoreErrorKind::kCorrupt, "meta/manifest",
+                         "no restartable checkpoint generation survives");
+    }
     MOC_ASSERT(report.extra.iteration == report.plan.restart_iteration,
                "extra state iteration disagrees with the restart point");
+
+    // The effective expert age is what was actually restored, which may be
+    // older than planned when shards fell back.
+    for (std::size_t m = 0; m < ledger_.num_moe_layers(); ++m) {
+        for (ExpertId e = 0; e < ledger_.num_experts(); ++e) {
+            const std::string base =
+                "moe/" + std::to_string(m) + "/expert/" + std::to_string(e);
+            const auto w = restored_iteration.find(base + "/w");
+            const auto o = restored_iteration.find(base + "/o");
+            if (w != restored_iteration.end() &&
+                o != restored_iteration.end()) {
+                report.plan.expert_recovered_iteration[m][e] =
+                    std::min(w->second, o->second);
+            }
+        }
+    }
+    WriteManifestBlob();
 
     ledger_.OnFaultRecovery(report.plan.restart_iteration,
                             report.plan.expert_recovered_iteration);

@@ -27,6 +27,7 @@
 #include "storage/manifest.h"
 #include "storage/memory_store.h"
 #include "storage/persistent_store.h"
+#include "storage/resilient_store.h"
 #include "util/rng.h"
 
 namespace moc {
@@ -43,6 +44,16 @@ struct MocSystemConfig {
     /** Enable the Dynamic-K controller. */
     bool dynamic_k = false;
     double plt_threshold = kDefaultPltThreshold;
+    /**
+     * External persistent backend (e.g. a FileStore, possibly wrapped in a
+     * FaultyStore for injection runs). The caller keeps ownership and must
+     * outlive the system. nullptr = the internal simulated PersistentStore.
+     */
+    ObjectStore* persist_backend = nullptr;
+    /** Retry/verify policy of the resilient persist path. */
+    RetryPolicy retry{.initial_backoff_s = 1e-5, .max_backoff_s = 1e-3};
+    /** Verified checkpoint generations retained as fallback restart targets. */
+    std::size_t persist_generations = 2;
 };
 
 /** Non-tensor state saved with every checkpoint ("other crucial states"). */
@@ -59,6 +70,16 @@ struct CheckpointReport {
     Bytes persist_bytes = 0;
 };
 
+/** One unit restored from older bytes than the recovery plan wanted. */
+struct DegradedKey {
+    std::string key;
+    /** Iteration the plan chose (before damage was discovered on read). */
+    std::size_t planned_iteration = 0;
+    /** Iteration of the verified version actually restored. */
+    std::size_t restored_iteration = 0;
+    std::string reason;
+};
+
 /** Outcome of one fault recovery. */
 struct RecoveryReport {
     RecoveryPlan plan;
@@ -67,6 +88,10 @@ struct RecoveryReport {
     /** K_snapshot in force after Dynamic-K recalibration. */
     std::size_t k_after = 0;
     ExtraState extra;
+    /** Expert units that fell back to an older verified version. */
+    std::vector<DegradedKey> degraded;
+    /** Whole restart generations abandoned as corrupt during this recovery. */
+    std::size_t generation_fallbacks = 0;
 };
 
 /**
@@ -105,8 +130,13 @@ class MocCheckpointSystem {
     const CheckpointManifest& manifest() const { return manifest_; }
     NodeMemoryPool& memory() { return memory_; }
     PersistentStore& storage() { return storage_; }
+    /** The retry/verify wrapper every persist write and read goes through. */
+    ResilientStore& persist() { return *persist_; }
     const MocSystemConfig& config() const { return config_; }
     std::size_t checkpoint_count() const { return ckpt_count_; }
+
+    /** Versioned twin of @p key in checkpoint generation @p iteration. */
+    static std::string GenKey(std::size_t iteration, const std::string& key);
 
     /** Current K_snapshot (may have been raised by Dynamic-K). */
     std::size_t current_k_snapshot() const { return planner_->config().k_snapshot; }
@@ -121,6 +151,29 @@ class MocCheckpointSystem {
     void SaveGroup(const ParamGroup& group, std::size_t iteration, bool weights,
                    bool to_memory, bool to_persist, CheckpointReport& report);
 
+    /** The configured external backend, or the internal simulated store. */
+    ObjectStore& PersistBackend();
+
+    /**
+     * Persists @p blob under @p key and its generation twin through the
+     * resilient path, recording the (possibly unverified) version in the
+     * manifest. @p fatal_on_failure rethrows instead of degrading (the
+     * initial checkpoint must land or recovery is undefined).
+     */
+    void PersistShard(const std::string& key, Blob blob, std::size_t iteration,
+                      bool fatal_on_failure);
+
+    /** Writes the manifest JSON to meta/manifest (best-effort). */
+    void WriteManifestBlob();
+
+    /**
+     * Reads one persisted version of @p key, CRC-verified, trying the
+     * plain latest-wins key (when this is the newest version) and the
+     * generation twin. nullopt = every copy of this version is damaged.
+     */
+    std::optional<Blob> ReadPersistVersion(const std::string& key,
+                                           const PersistVersion& version) const;
+
     MocSystemConfig config_;
     ParamSource& model_;
     const RankTopology& topology_;
@@ -131,6 +184,8 @@ class MocCheckpointSystem {
     CheckpointManifest manifest_;
     NodeMemoryPool memory_;
     PersistentStore storage_;
+    /** Resilient wrapper over PersistBackend(); see docs/FAULT_MODEL.md. */
+    std::unique_ptr<ResilientStore> persist_;
     /** Static placement of non-expert groups (key -> DP rank). */
     std::map<std::string, RankId> nonexpert_rank_;
     /** last_snap_iter_[m][e]: iteration of that expert's last snapshot. */

@@ -9,21 +9,29 @@ namespace moc {
 
 RecoveryDecision
 TwoLevelRecoveryPlanner::DecideKey(const CheckpointManifest& manifest,
-                                   const std::string& key) const {
+                                   const std::string& key, std::size_t restart,
+                                   bool cap_to_restart) const {
     RecoveryDecision d;
     d.key = key;
     if (two_level_) {
-        if (auto mem = manifest.Latest(StoreLevel::kMemory, key)) {
+        // Never accept a snapshot from beyond the restart point: when
+        // recovery falls back to an older generation, a fresher replica
+        // holds updates that the replay from @p restart would re-apply.
+        if (auto mem = manifest.Latest(StoreLevel::kMemory, key);
+            mem.has_value() && mem->iteration <= restart &&
+            (!cap_to_restart || mem->iteration == restart)) {
             d.source = RecoverySource::kMemory;
             d.iteration = mem->iteration;
             d.bytes = mem->bytes;
             return d;
         }
     }
-    if (auto persist = manifest.Latest(StoreLevel::kPersist, key)) {
+    const auto chain = manifest.PersistFallbackChain(key, restart);
+    if (!chain.empty()) {
         d.source = RecoverySource::kPersist;
-        d.iteration = persist->iteration;
-        d.bytes = persist->bytes;
+        d.iteration = chain.front().iteration;
+        d.bytes = chain.front().bytes;
+        d.crc = chain.front().crc;
         return d;
     }
     d.source = RecoverySource::kInitial;
@@ -35,10 +43,12 @@ RecoveryPlan
 TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
                               const std::vector<std::string>& nonexpert_keys,
                               std::size_t num_moe_layers,
-                              std::size_t num_experts) const {
+                              std::size_t num_experts,
+                              std::optional<std::size_t> restart_override) const {
     RecoveryPlan plan;
-    plan.restart_iteration =
-        manifest.LastCompleteIteration(StoreLevel::kPersist).value_or(0);
+    plan.restart_iteration = restart_override.has_value()
+        ? *restart_override
+        : manifest.LastCompleteIteration(StoreLevel::kPersist).value_or(0);
     plan.expert_recovered_iteration.assign(
         num_moe_layers, std::vector<std::size_t>(num_experts, 0));
 
@@ -52,7 +62,8 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
     };
 
     for (const auto& key : nonexpert_keys) {
-        RecoveryDecision d = DecideKey(manifest, key);
+        RecoveryDecision d = DecideKey(manifest, key, plan.restart_iteration,
+                                       /*cap_to_restart=*/true);
         // A non-expert unit must restore to the restart point exactly: it is
         // saved in full at every checkpoint, so any fresher memory copy is
         // from the same event. Anything older indicates a corrupt manifest.
@@ -68,8 +79,12 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
         for (std::size_t e = 0; e < num_experts; ++e) {
             const std::string base =
                 "moe/" + std::to_string(m) + "/expert/" + std::to_string(e);
-            RecoveryDecision dw = DecideKey(manifest, base + "/w");
-            RecoveryDecision od = DecideKey(manifest, base + "/o");
+            RecoveryDecision dw = DecideKey(manifest, base + "/w",
+                                            plan.restart_iteration,
+                                            /*cap_to_restart=*/false);
+            RecoveryDecision od = DecideKey(manifest, base + "/o",
+                                            plan.restart_iteration,
+                                            /*cap_to_restart=*/false);
             account(dw);
             account(od);
             // The expert's effective age is its stalest part: updates since

@@ -13,6 +13,8 @@
  * charges.
  */
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,8 @@ struct RecoveryDecision {
     /** Iteration of the restored state (0 = initial weights). */
     std::size_t iteration = 0;
     Bytes bytes = 0;
+    /** Write-time CRC of the chosen persist version (0 otherwise). */
+    std::uint32_t crc = 0;
 };
 
 /** A complete recovery plan for one fault. */
@@ -65,16 +69,31 @@ class TwoLevelRecoveryPlanner {
      * @param nonexpert_keys store keys of non-expert units ("<module>/w|o").
      * @param num_moe_layers / @p num_experts expert-grid dimensions; expert
      *        store keys are "moe/<m>/expert/<e>/w" and ".../o".
+     * @param restart_override restart from this checkpoint generation
+     *        instead of the newest complete one — recovery uses it to fall
+     *        back to an older verified generation when the newest turns out
+     *        to be damaged on read (docs/FAULT_MODEL.md).
      */
     RecoveryPlan Plan(const CheckpointManifest& manifest,
                       const std::vector<std::string>& nonexpert_keys,
-                      std::size_t num_moe_layers, std::size_t num_experts) const;
+                      std::size_t num_moe_layers, std::size_t num_experts,
+                      std::optional<std::size_t> restart_override =
+                          std::nullopt) const;
 
     bool two_level() const { return two_level_; }
 
   private:
+    /**
+     * @param cap_to_restart accept a memory snapshot only when it captures
+     *        the restart iteration exactly (non-expert units: a fresher
+     *        memory copy would desynchronize them from an older restart
+     *        generation). Expert units take any surviving memory replica at
+     *        or below the restart point — within that bound it is always at
+     *        least as fresh as persistent storage.
+     */
     RecoveryDecision DecideKey(const CheckpointManifest& manifest,
-                               const std::string& key) const;
+                               const std::string& key, std::size_t restart,
+                               bool cap_to_restart) const;
 
     bool two_level_;
 };

@@ -1,0 +1,70 @@
+#include "faults/storage_faults.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/journal.h"
+#include "util/logging.h"
+
+namespace moc {
+
+StorageFaultSchedule::StorageFaultSchedule(
+    FaultyStore& store, std::vector<StorageFaultWindow> windows)
+    : store_(store), windows_(std::move(windows)) {
+    std::sort(windows_.begin(), windows_.end(),
+              [](const StorageFaultWindow& a, const StorageFaultWindow& b) {
+                  return a.begin_iteration < b.begin_iteration;
+              });
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+        MOC_CHECK_ARG(windows_[i].begin_iteration < windows_[i].end_iteration,
+                      "storage-fault window " << i << " is empty");
+        MOC_CHECK_ARG(i == 0 || windows_[i - 1].end_iteration <=
+                                    windows_[i].begin_iteration,
+                      "storage-fault windows overlap");
+    }
+}
+
+const StorageFaultWindow*
+StorageFaultSchedule::WindowAt(std::size_t iteration) const {
+    for (const auto& window : windows_) {
+        if (iteration >= window.begin_iteration &&
+            iteration < window.end_iteration) {
+            return &window;
+        }
+    }
+    return nullptr;
+}
+
+void
+StorageFaultSchedule::Apply(std::size_t iteration) {
+    std::size_t current = kNone;
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+        if (iteration >= windows_[i].begin_iteration &&
+            iteration < windows_[i].end_iteration) {
+            current = i;
+            break;
+        }
+    }
+    if (current == armed_window_) {
+        return;
+    }
+    auto& journal = obs::EventJournal::Instance();
+    if (current == kNone) {
+        store_.Disarm();
+        journal.Append({.kind = obs::EventKind::kStorageFault,
+                        .iteration = iteration,
+                        .detail = "storage faults disarmed"});
+    } else {
+        store_.Arm(windows_[current].profile);
+        journal.Append(
+            {.kind = obs::EventKind::kStorageFault,
+             .iteration = iteration,
+             .detail = "storage faults armed for iterations [" +
+                       std::to_string(windows_[current].begin_iteration) +
+                       ", " +
+                       std::to_string(windows_[current].end_iteration) + ")"});
+    }
+    armed_window_ = current;
+}
+
+}  // namespace moc

@@ -1,0 +1,60 @@
+#ifndef MOC_FAULTS_STORAGE_FAULTS_H_
+#define MOC_FAULTS_STORAGE_FAULTS_H_
+
+/**
+ * @file
+ * Iteration-scheduled storage-fault windows: arms and disarms a FaultyStore
+ * as training crosses configured iteration ranges, so an experiment can say
+ * "the checkpoint backend is flaky between iterations 40 and 80" the same
+ * way FaultInjector says "node 2 dies at iteration 100". Every transition
+ * is journaled as a storage_fault event.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/faulty_store.h"
+
+namespace moc {
+
+/** One contiguous window of storage trouble. */
+struct StorageFaultWindow {
+    /** First iteration (inclusive) the profile is armed. */
+    std::size_t begin_iteration = 0;
+    /** First iteration (exclusive) the store is healthy again. */
+    std::size_t end_iteration = 0;
+    StorageFaultProfile profile;
+};
+
+/**
+ * Applies fault windows to one FaultyStore as iterations advance. Windows
+ * may not overlap; Apply must see non-decreasing iterations (a training
+ * loop replaying after recovery simply re-applies the current window).
+ */
+class StorageFaultSchedule {
+  public:
+    /** @throws std::invalid_argument on overlapping or empty windows. */
+    StorageFaultSchedule(FaultyStore& store,
+                         std::vector<StorageFaultWindow> windows);
+
+    /**
+     * Arms/disarms the store for @p iteration. Safe to call every
+     * iteration; transitions are journaled once.
+     */
+    void Apply(std::size_t iteration);
+
+    /** The window covering @p iteration, if any. */
+    const StorageFaultWindow* WindowAt(std::size_t iteration) const;
+
+  private:
+    FaultyStore& store_;
+    std::vector<StorageFaultWindow> windows_;
+    /** Index into windows_ of the armed window, or npos. */
+    std::size_t armed_window_ = kNone;
+
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+}  // namespace moc
+
+#endif  // MOC_FAULTS_STORAGE_FAULTS_H_

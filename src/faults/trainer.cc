@@ -66,6 +66,9 @@ RunFaultTolerantLmTraining(MoeTransformerLm& model, const LmBatchStream& train_s
     while (iter < config.total_iterations) {
         const obs::TraceSpan iter_span("train.iteration", "train");
         const Seconds iter_start = NowSeconds();
+        if (config.storage_faults != nullptr) {
+            config.storage_faults->Apply(iter);
+        }
         const LmBatch batch = train_stream.Get(iter);
         const double loss = model.TrainBackward(batch);
         system.RecordRouting(model.MoeLayers());

@@ -13,6 +13,7 @@
 #include "core/moc_system.h"
 #include "data/classification.h"
 #include "faults/injector.h"
+#include "faults/storage_faults.h"
 #include "nn/adam.h"
 #include "nn/classifier.h"
 #include "nn/eval.h"
@@ -31,6 +32,12 @@ struct LmTrainerConfig {
     std::size_t eval_batches = 4;
     /** Evaluate every this many iterations (0 = final eval only). */
     std::size_t eval_every = 0;
+    /**
+     * Iteration-scheduled storage-fault windows over the checkpoint
+     * backend (nullptr = healthy storage). The schedule's FaultyStore must
+     * be the system's persist backend (moc.persist_backend) to matter.
+     */
+    StorageFaultSchedule* storage_faults = nullptr;
 };
 
 /** What one training run produced. */

@@ -26,6 +26,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kRecoveryBegin, "recovery_begin"},
     {EventKind::kRecoveryEnd, "recovery_end"},
     {EventKind::kDynamicKBump, "dynamic_k_bump"},
+    {EventKind::kStorageFault, "storage_fault"},
+    {EventKind::kDegradedRecovery, "degraded_recovery"},
 };
 
 /** Nanoseconds at process start (first use), for relative wall stamps. */

@@ -37,6 +37,10 @@ enum class EventKind : std::uint8_t {
     kRecoveryBegin, ///< recovery planning/restore started
     kRecoveryEnd,   ///< model restored (iteration = restart point)
     kDynamicKBump,  ///< Dynamic-K escalated (k = new K_snapshot)
+    kStorageFault,  ///< storage-fault window armed/disarmed, or a persist
+                    ///< shard write failed (detail says which)
+    kDegradedRecovery, ///< a key restored from older bytes than planned, or
+                       ///< the restart generation fell back (detail = why)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */

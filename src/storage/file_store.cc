@@ -6,8 +6,14 @@
 #include <fstream>
 #include <stdexcept>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/store_error.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -47,6 +53,34 @@ NowSeconds() {
     return static_cast<double>(obs::Tracer::NowNs()) * 1e-9;
 }
 
+/**
+ * Flushes @p path's data (or, for a directory, its entries) to stable
+ * storage. The atomic-rename protocol needs both: fsync the temp file
+ * before the rename so the data is durable under its new name, and fsync
+ * the parent directory after so the rename itself survives power loss.
+ * On Windows there is no directory fsync; this becomes a no-op there and
+ * the store degrades to ordinary (still atomic-on-crash) rename semantics.
+ */
+void
+SyncPath(const fs::path& path, const std::string& key) {
+#ifndef _WIN32
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        throw StoreError(StoreErrorKind::kTransient, key,
+                         "cannot open for fsync: " + path.string());
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        throw StoreError(StoreErrorKind::kTransient, key,
+                         "fsync failed for " + path.string());
+    }
+#else
+    (void)path;
+    (void)key;
+#endif
+}
+
 }  // namespace
 
 FileStore::FileStore(fs::path root) : root_(std::move(root)) {
@@ -75,17 +109,21 @@ FileStore::Put(const std::string& key, Blob blob) {
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
-            throw std::runtime_error("FileStore: cannot open " + tmp.string());
+            throw StoreError(StoreErrorKind::kTransient, key,
+                             "cannot open " + tmp.string());
         }
         out.write(reinterpret_cast<const char*>(blob.data()),
                   static_cast<std::streamsize>(blob.size()));
         const std::uint32_t crc = Crc32(blob.data(), blob.size());
         out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
         if (!out) {
-            throw std::runtime_error("FileStore: write failed for " + tmp.string());
+            throw StoreError(StoreErrorKind::kTransient, key,
+                             "write failed for " + tmp.string());
         }
     }
-    fs::rename(tmp, path);  // atomic replace on POSIX
+    SyncPath(tmp, key);        // data durable before it becomes visible
+    fs::rename(tmp, path);     // atomic replace on POSIX
+    SyncPath(path.parent_path(), key);  // the rename itself durable
     auto& registry = obs::MetricsRegistry::Instance();
     static obs::Counter& write_bytes = registry.GetCounter("filestore.write_bytes");
     static obs::Histogram& write_seconds =
@@ -104,9 +142,14 @@ FileStore::Get(const std::string& key) const {
     if (!in) {
         return std::nullopt;
     }
+    auto& registry_for_errors = obs::MetricsRegistry::Instance();
+    static obs::Counter& corrupt_reads =
+        registry_for_errors.GetCounter("store.corrupt_reads_total");
     const auto total = static_cast<std::size_t>(in.tellg());
     if (total < kTrailerSize) {
-        throw std::runtime_error("FileStore: truncated blob file " + path.string());
+        corrupt_reads.Add();
+        throw StoreError(StoreErrorKind::kCorrupt, key,
+                         "truncated blob file " + path.string());
     }
     Blob blob(total - kTrailerSize);
     std::uint32_t stored_crc = 0;
@@ -115,11 +158,13 @@ FileStore::Get(const std::string& key) const {
             static_cast<std::streamsize>(blob.size()));
     in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
     if (!in) {
-        throw std::runtime_error("FileStore: read failed for " + path.string());
+        throw StoreError(StoreErrorKind::kTransient, key,
+                         "read failed for " + path.string());
     }
     if (Crc32(blob.data(), blob.size()) != stored_crc) {
-        throw std::runtime_error("FileStore: CRC mismatch (torn write?) in " +
-                                 path.string());
+        corrupt_reads.Add();
+        throw StoreError(StoreErrorKind::kCorrupt, key,
+                         "CRC mismatch (torn write?) in " + path.string());
     }
     auto& registry = obs::MetricsRegistry::Instance();
     static obs::Counter& read_bytes = registry.GetCounter("filestore.read_bytes");

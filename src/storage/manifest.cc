@@ -1,5 +1,10 @@
 #include "storage/manifest.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -7,21 +12,35 @@ namespace moc {
 void
 CheckpointManifest::RecordSave(StoreLevel level, const std::string& key,
                                std::size_t iteration, NodeId node, Bytes bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (level == StoreLevel::kMemory) {
-        auto& replicas = memory_[key];
-        auto it = replicas.find(node);
-        if (it != replicas.end() && it->second.iteration > iteration) {
-            MOC_PANIC("manifest: non-monotonic memory save for key " << key);
-        }
-        replicas[node] = KeyVersion{iteration, node, bytes};
+    if (level == StoreLevel::kPersist) {
+        RecordPersistVersion(key, iteration, bytes, /*crc=*/0, /*verified=*/true);
         return;
     }
-    auto it = persist_.find(key);
-    if (it != persist_.end() && it->second.iteration > iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& replicas = memory_[key];
+    auto it = replicas.find(node);
+    if (it != replicas.end() && it->second.iteration > iteration) {
+        MOC_PANIC("manifest: non-monotonic memory save for key " << key);
+    }
+    replicas[node] = KeyVersion{iteration, node, bytes};
+}
+
+void
+CheckpointManifest::RecordPersistVersion(const std::string& key,
+                                         std::size_t iteration, Bytes bytes,
+                                         std::uint32_t crc, bool verified) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& history = persist_[key];
+    if (!history.empty() && history.back().iteration > iteration) {
         MOC_PANIC("manifest: non-monotonic persist save for key " << key);
     }
-    persist_[key] = KeyVersion{iteration, 0, bytes};
+    const PersistVersion version{iteration, bytes, crc, verified, false};
+    if (!history.empty() && history.back().iteration == iteration) {
+        history.back() = version;  // same-checkpoint re-record replaces
+    } else {
+        history.push_back(version);
+    }
+    generations_.try_emplace(iteration);
 }
 
 std::optional<KeyVersion>
@@ -44,7 +63,50 @@ CheckpointManifest::Latest(StoreLevel level, const std::string& key) const {
     if (it == persist_.end()) {
         return std::nullopt;
     }
-    return it->second;
+    for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+        if (!v->corrupt) {
+            return KeyVersion{v->iteration, 0, v->bytes};
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<PersistVersion>
+CheckpointManifest::PersistFallbackChain(const std::string& key,
+                                         std::size_t max_iteration) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PersistVersion> chain;
+    auto it = persist_.find(key);
+    if (it == persist_.end()) {
+        return chain;
+    }
+    for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+        if (v->iteration <= max_iteration && v->verified && !v->corrupt) {
+            chain.push_back(*v);
+        }
+    }
+    return chain;
+}
+
+void
+CheckpointManifest::MarkPersistCorrupt(const std::string& key,
+                                       std::size_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = persist_.find(key);
+    if (it == persist_.end()) {
+        return;
+    }
+    for (auto& version : it->second) {
+        if (version.iteration == iteration) {
+            version.corrupt = true;
+        }
+    }
+}
+
+void
+CheckpointManifest::MarkGenerationCorrupt(std::size_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    generations_[iteration].corrupt = true;
 }
 
 void
@@ -71,8 +133,10 @@ CheckpointManifest::KeysAt(StoreLevel level) const {
         }
     } else {
         keys.reserve(persist_.size());
-        for (const auto& [key, version] : persist_) {
-            keys.push_back(key);
+        for (const auto& [key, history] : persist_) {
+            if (!history.empty()) {
+                keys.push_back(key);
+            }
         }
     }
     return keys;
@@ -83,12 +147,192 @@ CheckpointManifest::MarkCheckpointComplete(StoreLevel level, std::size_t iterati
     std::lock_guard<std::mutex> lock(mu_);
     auto& slot = level == StoreLevel::kMemory ? memory_complete_ : persist_complete_;
     slot = iteration;
+    if (level == StoreLevel::kPersist) {
+        generations_[iteration].sealed = true;
+    }
 }
 
 std::optional<std::size_t>
 CheckpointManifest::LastCompleteIteration(StoreLevel level) const {
     std::lock_guard<std::mutex> lock(mu_);
     return level == StoreLevel::kMemory ? memory_complete_ : persist_complete_;
+}
+
+GenerationInfo
+CheckpointManifest::GenerationInfoLocked(std::size_t iteration,
+                                         const GenerationState& state) const {
+    GenerationInfo info;
+    info.iteration = iteration;
+    info.sealed = state.sealed;
+    info.marked_corrupt = state.corrupt;
+    for (const auto& [key, history] : persist_) {
+        for (const auto& version : history) {
+            if (version.iteration != iteration) {
+                continue;
+            }
+            ++info.shards;
+            if (version.verified) {
+                ++info.verified_shards;
+            }
+            if (version.corrupt) {
+                ++info.corrupt_shards;
+            }
+        }
+    }
+    info.eligible = info.sealed && !info.marked_corrupt &&
+                    info.corrupt_shards == 0 &&
+                    info.verified_shards == info.shards;
+    return info;
+}
+
+std::vector<GenerationInfo>
+CheckpointManifest::Generations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<GenerationInfo> infos;
+    infos.reserve(generations_.size());
+    for (const auto& [iteration, state] : generations_) {
+        infos.push_back(GenerationInfoLocked(iteration, state));
+    }
+    return infos;
+}
+
+std::vector<std::size_t>
+CheckpointManifest::EligibleGenerations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::size_t> eligible;
+    for (auto it = generations_.rbegin(); it != generations_.rend(); ++it) {
+        if (GenerationInfoLocked(it->first, it->second).eligible) {
+            eligible.push_back(it->first);
+        }
+    }
+    return eligible;
+}
+
+std::optional<std::size_t>
+CheckpointManifest::LatestEligibleGeneration() const {
+    const auto eligible = EligibleGenerations();
+    if (eligible.empty()) {
+        return std::nullopt;
+    }
+    return eligible.front();
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+CheckpointManifest::PrunePersistGenerations(std::size_t keep_generations) {
+    MOC_CHECK_ARG(keep_generations >= 1, "must keep at least one generation");
+    const auto eligible = EligibleGenerations();  // newest first
+    if (eligible.size() <= keep_generations) {
+        return {};
+    }
+    const std::size_t cutoff = eligible[keep_generations - 1];
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, std::size_t>> pruned;
+    for (auto& [key, history] : persist_) {
+        // The newest usable version at or below the cutoff still backs the
+        // oldest kept generation (PEC: unselected experts carry forward).
+        std::optional<std::size_t> needed;
+        for (auto v = history.rbegin(); v != history.rend(); ++v) {
+            if (v->iteration <= cutoff && v->verified && !v->corrupt) {
+                needed = v->iteration;
+                break;
+            }
+        }
+        auto keep = [&](const PersistVersion& v) {
+            return v.iteration >= cutoff ||
+                   (needed.has_value() && v.iteration == *needed);
+        };
+        for (const auto& version : history) {
+            if (!keep(version)) {
+                pruned.emplace_back(key, version.iteration);
+            }
+        }
+        history.erase(std::remove_if(history.begin(), history.end(),
+                                     [&](const PersistVersion& v) {
+                                         return !keep(v);
+                                     }),
+                      history.end());
+    }
+    // Generations below the cutoff are no longer restart candidates, even
+    // when carried-forward versions from them survive: their full shard
+    // sets are gone.
+    generations_.erase(generations_.begin(), generations_.lower_bound(cutoff));
+    return pruned;
+}
+
+std::string
+CheckpointManifest::ToJson() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << "{\n  \"format\": \"moc-manifest/1\",\n";
+    if (persist_complete_.has_value()) {
+        out << "  \"last_complete\": " << *persist_complete_ << ",\n";
+    }
+    out << "  \"generations\": [";
+    bool first = true;
+    for (const auto& [iteration, state] : generations_) {
+        out << (first ? "" : ",") << "\n    {\"iteration\": " << iteration
+            << ", \"sealed\": " << (state.sealed ? "true" : "false")
+            << ", \"corrupt\": " << (state.corrupt ? "true" : "false") << "}";
+        first = false;
+    }
+    out << "\n  ],\n  \"persist\": {";
+    first = true;
+    for (const auto& [key, history] : persist_) {
+        out << (first ? "" : ",") << "\n    \"" << obs::JsonEscape(key)
+            << "\": [";
+        bool first_version = true;
+        for (const auto& v : history) {
+            out << (first_version ? "" : ", ") << "{\"iteration\": "
+                << v.iteration << ", \"bytes\": " << v.bytes << ", \"crc\": "
+                << v.crc << ", \"verified\": " << (v.verified ? "true" : "false")
+                << ", \"corrupt\": " << (v.corrupt ? "true" : "false") << "}";
+            first_version = false;
+        }
+        out << "]";
+        first = false;
+    }
+    out << "\n  }\n}\n";
+    return out.str();
+}
+
+void
+CheckpointManifest::LoadFromJson(const std::string& text) {
+    const json::Value root = json::Parse(text);
+    MOC_CHECK_ARG(root.StringOr("format", "") == "moc-manifest/1",
+                  "not a moc-manifest/1 document");
+    std::map<std::string, std::vector<PersistVersion>> persist;
+    std::map<std::size_t, GenerationState> generations;
+    std::optional<std::size_t> complete;
+    for (const auto& [key, history] : root.At("persist").AsObject()) {
+        for (const auto& entry : history.AsArray()) {
+            PersistVersion v;
+            v.iteration =
+                static_cast<std::size_t>(entry.At("iteration").AsNumber());
+            v.bytes = static_cast<Bytes>(entry.At("bytes").AsNumber());
+            v.crc = static_cast<std::uint32_t>(entry.At("crc").AsNumber());
+            v.verified = entry.At("verified").AsBool();
+            v.corrupt = entry.At("corrupt").AsBool();
+            persist[key].push_back(v);
+        }
+        std::sort(persist[key].begin(), persist[key].end(),
+                  [](const PersistVersion& a, const PersistVersion& b) {
+                      return a.iteration < b.iteration;
+                  });
+    }
+    for (const auto& entry : root.At("generations").AsArray()) {
+        const auto iteration =
+            static_cast<std::size_t>(entry.At("iteration").AsNumber());
+        auto& state = generations[iteration];
+        state.sealed = entry.At("sealed").AsBool();
+        state.corrupt = entry.At("corrupt").AsBool();
+    }
+    if (const json::Value* last = root.Find("last_complete")) {
+        complete = static_cast<std::size_t>(last->AsNumber());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    persist_ = std::move(persist);
+    generations_ = std::move(generations);
+    persist_complete_ = complete;
 }
 
 }  // namespace moc

@@ -13,12 +13,28 @@
  * PEC recovery well-defined: on a fault, the recovery planner consults the
  * manifest to find, per key, the newest version still reachable
  * (Section 5.1 "Recovery").
+ *
+ * The persist level additionally keeps a bounded *history* of versions per
+ * key, each carrying the CRC of the bytes that were written and whether the
+ * write was verified (read back and CRC-checked). Versions group into
+ * checkpoint *generations* — all shards written at one checkpoint
+ * iteration — and a generation becomes an eligible restart target only
+ * once it is sealed (MarkCheckpointComplete) and every shard recorded in it
+ * verified. Recovery walks eligible generations newest-first and, per key,
+ * a verified-version fallback chain, so a corrupt shard degrades the
+ * restore instead of killing it (docs/FAULT_MODEL.md).
+ *
+ * The persist history serializes to JSON (`moc-manifest/1`) so an on-disk
+ * checkpoint directory carries its own integrity record for `moc_cli fsck`
+ * and cold starts.
  */
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dist/topology.h"
@@ -38,20 +54,75 @@ struct KeyVersion {
     Bytes bytes = 0;
 };
 
+/** One persisted version of one key, with its integrity record. */
+struct PersistVersion {
+    std::size_t iteration = 0;
+    Bytes bytes = 0;
+    /** CRC32 of the serialized shard at write time. */
+    std::uint32_t crc = 0;
+    /** Write was read back and CRC-matched (or predates verification). */
+    bool verified = true;
+    /** A later read found the stored bytes damaged beyond repair. */
+    bool corrupt = false;
+};
+
+/** Summary of one checkpoint generation, for fsck and reports. */
+struct GenerationInfo {
+    std::size_t iteration = 0;
+    /** Shards (persist versions) recorded at this iteration. */
+    std::size_t shards = 0;
+    std::size_t verified_shards = 0;
+    std::size_t corrupt_shards = 0;
+    /** MarkCheckpointComplete has sealed this generation. */
+    bool sealed = false;
+    /** Recovery found the generation unusable as a restart target. */
+    bool marked_corrupt = false;
+    /** Sealed, not marked corrupt, and every shard verified and intact. */
+    bool eligible = false;
+};
+
 /**
  * Thread-safe manifest over both checkpoint levels.
  */
 class CheckpointManifest {
   public:
-    /** Records that @p key was saved at @p level capturing @p iteration. */
+    /**
+     * Records that @p key was saved at @p level capturing @p iteration.
+     * Persist-level saves through this legacy entry point record an
+     * unverified-CRC version (crc 0, verified); prefer
+     * RecordPersistVersion for checked recovery.
+     */
     void RecordSave(StoreLevel level, const std::string& key, std::size_t iteration,
                     NodeId node, Bytes bytes);
 
     /**
+     * Records a persist-level version with its integrity metadata.
+     * Same-iteration re-records replace; older iterations panic
+     * (checkpoints are monotonic).
+     */
+    void RecordPersistVersion(const std::string& key, std::size_t iteration,
+                              Bytes bytes, std::uint32_t crc, bool verified);
+
+    /**
      * Freshest reachable version of @p key at @p level, if any. At the
-     * memory level this is the newest among surviving node replicas.
+     * memory level this is the newest among surviving node replicas; at
+     * the persist level, the newest version not marked corrupt.
      */
     std::optional<KeyVersion> Latest(StoreLevel level, const std::string& key) const;
+
+    /**
+     * Usable persist versions of @p key with iteration <= @p max_iteration,
+     * newest first: verified, not marked corrupt. Empty when nothing
+     * survives — the key is only recoverable from memory or initial state.
+     */
+    std::vector<PersistVersion> PersistFallbackChain(
+        const std::string& key, std::size_t max_iteration) const;
+
+    /** Marks one persist version damaged; it leaves every fallback chain. */
+    void MarkPersistCorrupt(const std::string& key, std::size_t iteration);
+
+    /** Marks a whole generation unusable as a restart target. */
+    void MarkGenerationCorrupt(std::size_t iteration);
 
     /** Invalidates all memory-level versions held by @p node (node crash). */
     void DropNodeMemory(NodeId node);
@@ -59,17 +130,62 @@ class CheckpointManifest {
     /** All keys present at @p level, sorted. */
     std::vector<std::string> KeysAt(StoreLevel level) const;
 
-    /** Marks checkpoint @p iteration complete at @p level. */
+    /**
+     * Marks checkpoint @p iteration complete at @p level. At the persist
+     * level this also seals generation @p iteration.
+     */
     void MarkCheckpointComplete(StoreLevel level, std::size_t iteration);
 
     /** Latest fully completed checkpoint iteration at @p level (or nullopt). */
     std::optional<std::size_t> LastCompleteIteration(StoreLevel level) const;
 
+    /** Every known generation, ascending by iteration. */
+    std::vector<GenerationInfo> Generations() const;
+
+    /** Iterations of eligible restart targets, newest first. */
+    std::vector<std::size_t> EligibleGenerations() const;
+
+    /** Newest eligible restart target, if any. */
+    std::optional<std::size_t> LatestEligibleGeneration() const;
+
+    /**
+     * Drops persist versions no eligible generation <= the cutoff still
+     * needs, keeping the newest @p keep_generations eligible generations
+     * (plus everything newer). A version below the cutoff survives while it
+     * is the newest usable version of its key at or below the cutoff (an
+     * unselected expert's shard backs later generations too). Returns the
+     * (key, iteration) pairs pruned so the caller can erase their blobs.
+     */
+    std::vector<std::pair<std::string, std::size_t>> PrunePersistGenerations(
+        std::size_t keep_generations);
+
+    /** Persist-level state as a `moc-manifest/1` JSON document. */
+    std::string ToJson() const;
+
+    /**
+     * Replaces the persist level (histories, generations, completion mark)
+     * with the contents of a ToJson document. Memory-level state is not
+     * serialized and is left untouched.
+     * @throws std::invalid_argument on malformed input.
+     */
+    void LoadFromJson(const std::string& text);
+
   private:
+    struct GenerationState {
+        bool sealed = false;
+        bool corrupt = false;
+    };
+
+    /** Caller holds mu_. */
+    GenerationInfo GenerationInfoLocked(std::size_t iteration,
+                                        const GenerationState& state) const;
+
     mutable std::mutex mu_;
     /** memory_[key][node] = that node's replica. */
     std::map<std::string, std::map<NodeId, KeyVersion>> memory_;
-    std::map<std::string, KeyVersion> persist_;
+    /** persist_[key] = version history, ascending by iteration. */
+    std::map<std::string, std::vector<PersistVersion>> persist_;
+    std::map<std::size_t, GenerationState> generations_;
     std::optional<std::size_t> memory_complete_;
     std::optional<std::size_t> persist_complete_;
 };

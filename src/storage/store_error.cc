@@ -1,0 +1,25 @@
+#include "storage/store_error.h"
+
+namespace moc {
+
+const char*
+StoreErrorKindName(StoreErrorKind kind) {
+    switch (kind) {
+        case StoreErrorKind::kTransient:
+            return "transient";
+        case StoreErrorKind::kCorrupt:
+            return "corrupt";
+        case StoreErrorKind::kTimeout:
+            return "timeout";
+    }
+    return "unknown";
+}
+
+StoreError::StoreError(StoreErrorKind kind, std::string key,
+                       const std::string& what)
+    : std::runtime_error("store error (" + std::string(StoreErrorKindName(kind)) +
+                         (key.empty() ? "" : ", key " + key) + "): " + what),
+      kind_(kind),
+      key_(std::move(key)) {}
+
+}  // namespace moc

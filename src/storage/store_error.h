@@ -1,0 +1,52 @@
+#ifndef MOC_STORAGE_STORE_ERROR_H_
+#define MOC_STORAGE_STORE_ERROR_H_
+
+/**
+ * @file
+ * The typed storage-error taxonomy (docs/FAULT_MODEL.md).
+ *
+ * Every recoverable failure of the persistent checkpoint path is reported
+ * as a StoreError so callers can distinguish "retry it" (kTransient) from
+ * "the bytes are damaged, fall back to another copy" (kCorrupt) from "the
+ * retry budget ran out" (kTimeout). Deriving from std::runtime_error keeps
+ * untyped catch sites working.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace moc {
+
+/** Failure classes of a storage operation. */
+enum class StoreErrorKind {
+    /** The operation failed but retrying may succeed (flaky I/O). */
+    kTransient,
+    /** The stored bytes are damaged (CRC mismatch, truncation). */
+    kCorrupt,
+    /** The retry/backoff budget or the per-op deadline was exhausted. */
+    kTimeout,
+};
+
+/** Stable name of @p kind ("transient", "corrupt", "timeout"). */
+const char* StoreErrorKindName(StoreErrorKind kind);
+
+/**
+ * A typed storage failure, carrying the failing key.
+ */
+class StoreError : public std::runtime_error {
+  public:
+    StoreError(StoreErrorKind kind, std::string key, const std::string& what);
+
+    StoreErrorKind kind() const { return kind_; }
+
+    /** The store key the failing operation addressed (may be empty). */
+    const std::string& key() const { return key_; }
+
+  private:
+    StoreErrorKind kind_;
+    std::string key_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_STORAGE_STORE_ERROR_H_

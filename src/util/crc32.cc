@@ -7,29 +7,21 @@ namespace moc {
 namespace {
 
 std::array<std::uint32_t, 256>
-MakeTable() {
+MakeTable(std::uint32_t poly) {
     std::array<std::uint32_t, 256> table{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int k = 0; k < 8; ++k) {
-            c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+            c = (c & 1U) ? poly ^ (c >> 1) : c >> 1;
         }
         table[i] = c;
     }
     return table;
 }
 
-const std::array<std::uint32_t, 256>&
-GetTable() {
-    static const auto table = MakeTable();
-    return table;
-}
-
-}  // namespace
-
 std::uint32_t
-Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
-    const auto& table = GetTable();
+TableUpdate(const std::array<std::uint32_t, 256>& table, std::uint32_t crc,
+            const void* data, std::size_t len) {
     const auto* p = static_cast<const unsigned char*>(data);
     crc = ~crc;
     for (std::size_t i = 0; i < len; ++i) {
@@ -38,9 +30,28 @@ Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
     return ~crc;
 }
 
+}  // namespace
+
+std::uint32_t
+Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
+    static const auto table = MakeTable(0xEDB88320U);
+    return TableUpdate(table, crc, data, len);
+}
+
 std::uint32_t
 Crc32(const void* data, std::size_t len) {
     return Crc32Update(0, data, len);
+}
+
+std::uint32_t
+Crc32cUpdate(std::uint32_t crc, const void* data, std::size_t len) {
+    static const auto table = MakeTable(0x82F63B78U);
+    return TableUpdate(table, crc, data, len);
+}
+
+std::uint32_t
+Crc32c(const void* data, std::size_t len) {
+    return Crc32cUpdate(0, data, len);
 }
 
 }  // namespace moc

@@ -140,5 +140,95 @@ TEST(Cli, InspectWithoutArgIsUsageError) {
     EXPECT_EQ(Main({"inspect"}, out, err), 2);
 }
 
+/** Builds a real two-generation checkpoint directory for fsck tests. */
+std::filesystem::path
+MakeCheckpointDir(const std::string& name) {
+    LmConfig cfg;
+    cfg.vocab = 32;
+    cfg.max_seq = 12;
+    cfg.hidden = 16;
+    cfg.num_heads = 2;
+    cfg.head_dim = 8;
+    cfg.num_layers = 2;
+    cfg.ffn_mult = 2;
+    cfg.num_experts = 4;
+    MoeTransformerLm model(cfg);
+    RankTopology topo({.dp = 4, .ep = 4, .tp = 1, .pp = 1}, 2);
+    MocSystemConfig sys_cfg;
+    sys_cfg.pec.k_snapshot = 4;
+    sys_cfg.pec.k_persist = 4;
+    sys_cfg.i_ckpt = 4;
+    ExtraState extra{0, 0, model.gating_rng().GetState()};
+    MocCheckpointSystem system(sys_cfg, model, topo, cfg.ToModelSpec(), extra);
+    for (const std::size_t iter : {8, 12}) {
+        extra.iteration = iter;
+        extra.adam_step = iter;
+        system.Checkpoint(iter, extra);
+    }
+    const auto dir = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+    FileStore disk(dir);
+    CopyStore(system.storage(), disk);
+    return dir;
+}
+
+/** Flips one payload byte of @p file in place. */
+void
+CorruptFile(const std::filesystem::path& file) {
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(16);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+}
+
+TEST(Cli, FsckWithoutArgIsUsageError) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"fsck"}, out, err), 2);
+}
+
+TEST(Cli, FsckCleanStoreExitsZero) {
+    const auto dir = MakeCheckpointDir("moc_cli_fsck_clean");
+    const auto json = dir / "fsck.json";
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"fsck", dir.string(), "--json", json.string()}, out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("clean:"), std::string::npos) << out.str();
+    std::ifstream in(json);
+    std::stringstream doc;
+    doc << in.rdbuf();
+    EXPECT_NE(doc.str().find("\"moc-fsck/1\""), std::string::npos);
+    EXPECT_NE(doc.str().find("\"exit_code\": 0"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, FsckDamagedTwinIsRepairable) {
+    const auto dir = MakeCheckpointDir("moc_cli_fsck_repairable");
+    CorruptFile(dir / "gen" / "8" / "moe" / "0" / "expert" / "0" / "w.blob");
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"fsck", dir.string()}, out, err), 1) << out.str();
+    EXPECT_NE(out.str().find("damaged file"), std::string::npos) << out.str();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, FsckAllExtraStateCopiesGoneIsFatal) {
+    const auto dir = MakeCheckpointDir("moc_cli_fsck_fatal");
+    CorruptFile(dir / "extra" / "state.blob");
+    CorruptFile(dir / "gen" / "8" / "extra" / "state.blob");
+    CorruptFile(dir / "gen" / "12" / "extra" / "state.blob");
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"fsck", dir.string()}, out, err), 2) << out.str();
+    EXPECT_NE(out.str().find("FATAL"), std::string::npos) << out.str();
+    std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace moc

@@ -1,8 +1,9 @@
 /**
  * @file
  * Unit tests for the on-disk FileStore: round trips, nested keys, torn-write
- * detection, key validation, and interchangeability with MemoryStore
- * through the ObjectStore interface.
+ * detection, crash-consistency damage (truncation, bit flips, zero fill),
+ * key validation, and interchangeability with MemoryStore through the
+ * ObjectStore interface.
  */
 
 #include <gtest/gtest.h>
@@ -10,8 +11,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "storage/file_store.h"
 #include "storage/memory_store.h"
+#include "storage/store_error.h"
 
 namespace fs = std::filesystem;
 
@@ -107,6 +110,89 @@ TEST(FileStore, DetectsTornWrite) {
         f.write(&evil, 1);
     }
     EXPECT_THROW(store.Get("k"), std::runtime_error);
+}
+
+/** Overwrites byte range [offset, offset+n) of @p file with @p value. */
+void
+Smash(const fs::path& file, std::size_t offset, std::size_t n, char value) {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(offset));
+    for (std::size_t i = 0; i < n; ++i) {
+        f.write(&value, 1);
+    }
+}
+
+obs::Counter&
+CorruptReads() {
+    return obs::MetricsRegistry::Instance().GetCounter(
+        "store.corrupt_reads_total");
+}
+
+/** Every crash-consistency damage mode maps to the typed kCorrupt error. */
+TEST(FileStoreCrash, BitFlipIsTypedCorrupt) {
+    TempDir dir("bitflip");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(128, 0xAB));
+    Smash(dir.path() / "k.blob", 40, 1, 0x12);
+    const std::uint64_t before = CorruptReads().value();
+    try {
+        store.Get("k");
+        FAIL() << "corrupt blob read back without error";
+    } catch (const StoreError& e) {
+        EXPECT_EQ(e.kind(), StoreErrorKind::kCorrupt);
+        EXPECT_EQ(e.key(), "k");
+    }
+    EXPECT_EQ(CorruptReads().value(), before + 1);
+}
+
+TEST(FileStoreCrash, TruncationIsTypedCorrupt) {
+    TempDir dir("truncate");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(256, 0x33));
+    // A crash mid-write leaves a short file: payload and trailer cut off.
+    fs::resize_file(dir.path() / "k.blob", 100);
+    try {
+        store.Get("k");
+        FAIL() << "truncated blob read back without error";
+    } catch (const StoreError& e) {
+        EXPECT_EQ(e.kind(), StoreErrorKind::kCorrupt);
+    }
+}
+
+TEST(FileStoreCrash, FileShorterThanTrailerIsTypedCorrupt) {
+    TempDir dir("stub");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(64, 0x11));
+    fs::resize_file(dir.path() / "k.blob", 2);  // shorter than the CRC
+    const std::uint64_t before = CorruptReads().value();
+    try {
+        store.Get("k");
+        FAIL() << "trailer-less blob read back without error";
+    } catch (const StoreError& e) {
+        EXPECT_EQ(e.kind(), StoreErrorKind::kCorrupt);
+    }
+    EXPECT_EQ(CorruptReads().value(), before + 1);
+}
+
+TEST(FileStoreCrash, ZeroFillIsTypedCorrupt) {
+    TempDir dir("zerofill");
+    FileStore store(dir.path());
+    store.Put("k", MakeBlob(512, 0x55));
+    // Journal replay after power loss can leave a zero-filled extent.
+    Smash(dir.path() / "k.blob", 0, 512 + sizeof(std::uint32_t), 0x00);
+    EXPECT_THROW(store.Get("k"), StoreError);
+    // The typed error still satisfies legacy std::runtime_error catch sites.
+    EXPECT_THROW(store.Get("k"), std::runtime_error);
+}
+
+TEST(FileStoreCrash, DamageToOneKeyLeavesOthersReadable) {
+    TempDir dir("isolation");
+    FileStore store(dir.path());
+    store.Put("good", MakeBlob(64, 0x01));
+    store.Put("bad", MakeBlob(64, 0x02));
+    Smash(dir.path() / "bad.blob", 10, 4, 0x7F);
+    EXPECT_THROW(store.Get("bad"), StoreError);
+    EXPECT_EQ(store.Get("good")->size(), 64U);
 }
 
 TEST(FileStore, RejectsBadKeys) {

@@ -11,6 +11,8 @@
 #include "core/adaptive.h"
 #include "core/moc_system.h"
 #include "data/probes.h"
+#include "obs/metrics.h"
+#include "storage/store_error.h"
 #include "dist/presets.h"
 #include "faults/trainer.h"
 #include "nn/eval.h"
@@ -64,7 +66,9 @@ TEST(Integration, IdenticalSeedsYieldIdenticalTraining) {
 
 TEST(Integration, CheckpointBlobsSurviveStoreRoundTrip) {
     // Serialize a group through the system, flip a byte in storage, and
-    // confirm the CRC layer rejects it on recovery.
+    // confirm the CRC layer detects it on recovery: a damaged copy is
+    // read-repaired from its generation twin, and when every copy is
+    // damaged recovery fails with a typed StoreError.
     MoeTransformerLm model(TinyLm());
     RankTopology topo({.dp = 4, .ep = 4, .tp = 1, .pp = 1}, 2);
     MocSystemConfig cfg;
@@ -78,19 +82,35 @@ TEST(Integration, CheckpointBlobsSurviveStoreRoundTrip) {
     auto& storage = system.storage();
     const auto keys = storage.Keys();
     ASSERT_FALSE(keys.empty());
-    // Corrupt one tensor-bearing key.
+    // Corrupt the plain (latest-wins) copy of one tensor-bearing key.
     std::string victim;
     for (const auto& k : keys) {
-        if (k.find("/w") != std::string::npos) {
+        if (k.rfind("gen/", 0) != 0 && k.find("/w") != std::string::npos) {
             victim = k;
             break;
         }
     }
     ASSERT_FALSE(victim.empty());
-    auto blob = *storage.Get(victim);
+    const auto pristine = *storage.Get(victim);
+    auto blob = pristine;
     blob[blob.size() / 2] ^= 0x1;
     storage.Put(victim, blob);
-    EXPECT_THROW(system.RecoverFromFault({0}), std::runtime_error);
+
+    auto& repairs = obs::MetricsRegistry::Instance().GetCounter(
+        "store.read_repairs_total");
+    const std::uint64_t repairs_before = repairs.value();
+    const RecoveryReport report = system.RecoverFromFault({0});
+    EXPECT_EQ(report.extra.iteration, 0u);
+    EXPECT_TRUE(report.degraded.empty());
+    EXPECT_GT(repairs.value(), repairs_before);
+    // The repair wrote the intact twin back over the damaged plain copy.
+    EXPECT_EQ(*storage.Get(victim), pristine);
+
+    // Damage every persisted copy AND all memory replicas (both nodes
+    // fail): no repair source is left, so the typed error surfaces.
+    storage.Put(victim, blob);
+    storage.Put(MocCheckpointSystem::GenKey(0, victim), blob);
+    EXPECT_THROW(system.RecoverFromFault({0, 1}), StoreError);
 }
 
 TEST(Integration, RealModelSerializedSizesTrackInventory) {

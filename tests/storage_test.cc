@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "storage/manifest.h"
 #include "storage/memory_store.h"
 #include "storage/persistent_store.h"
@@ -191,6 +194,100 @@ TEST(Manifest, KeysAtListsLevelKeys) {
               (std::vector<std::string>{"a", "b"}));
     EXPECT_EQ(manifest.KeysAt(StoreLevel::kMemory),
               (std::vector<std::string>{"m"}));
+}
+
+TEST(Manifest, GenerationEligibleOnlyWhenSealedAndAllVerified) {
+    CheckpointManifest manifest;
+    manifest.RecordPersistVersion("a", 4, 10, 111, /*verified=*/true);
+    manifest.RecordPersistVersion("b", 4, 10, 222, /*verified=*/false);
+    // Unsealed: not eligible even once every shard verifies.
+    EXPECT_TRUE(manifest.EligibleGenerations().empty());
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 4);
+    EXPECT_TRUE(manifest.EligibleGenerations().empty());  // b unverified
+    manifest.RecordPersistVersion("b", 4, 10, 222, /*verified=*/true);
+    EXPECT_EQ(manifest.EligibleGenerations(),
+              (std::vector<std::size_t>{4}));
+    EXPECT_EQ(manifest.LatestEligibleGeneration().value(), 4U);
+}
+
+TEST(Manifest, CorruptShardRemovesGenerationEligibility) {
+    CheckpointManifest manifest;
+    manifest.RecordPersistVersion("a", 4, 10, 111, true);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 4);
+    manifest.RecordPersistVersion("a", 8, 10, 112, true);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 8);
+    EXPECT_EQ(manifest.EligibleGenerations(),
+              (std::vector<std::size_t>{8, 4}));  // newest first
+    manifest.MarkPersistCorrupt("a", 8);
+    EXPECT_EQ(manifest.EligibleGenerations(),
+              (std::vector<std::size_t>{4}));
+    manifest.MarkGenerationCorrupt(4);
+    EXPECT_TRUE(manifest.EligibleGenerations().empty());
+}
+
+TEST(Manifest, FallbackChainSkipsCorruptAndUnverified) {
+    CheckpointManifest manifest;
+    manifest.RecordPersistVersion("k", 4, 10, 1, true);
+    manifest.RecordPersistVersion("k", 8, 10, 2, false);
+    manifest.RecordPersistVersion("k", 12, 10, 3, true);
+    manifest.RecordPersistVersion("k", 16, 10, 4, true);
+    manifest.MarkPersistCorrupt("k", 16);
+    const auto chain = manifest.PersistFallbackChain("k", 16);
+    ASSERT_EQ(chain.size(), 2U);  // 16 corrupt, 8 unverified
+    EXPECT_EQ(chain[0].iteration, 12U);
+    EXPECT_EQ(chain[1].iteration, 4U);
+    // max_iteration caps the newest candidate.
+    const auto capped = manifest.PersistFallbackChain("k", 8);
+    ASSERT_EQ(capped.size(), 1U);
+    EXPECT_EQ(capped[0].iteration, 4U);
+}
+
+TEST(Manifest, PruneKeepsVersionsBackingNewerGenerations) {
+    CheckpointManifest manifest;
+    // "full" is rewritten every checkpoint; "pec" only at iteration 4
+    // (an unselected expert whose old shard backs later generations).
+    for (const std::size_t iter : {4, 8, 12, 16}) {
+        manifest.RecordPersistVersion("full", iter, 10, iter, true);
+        manifest.MarkCheckpointComplete(StoreLevel::kPersist, iter);
+    }
+    manifest.RecordPersistVersion("pec", 4, 10, 99, true);
+    const auto pruned = manifest.PrunePersistGenerations(2);
+    // Keeping generations {16, 12}: full@4 and full@8 go; pec@4 stays
+    // because it is still the newest usable version of its key.
+    EXPECT_EQ(pruned,
+              (std::vector<std::pair<std::string, std::size_t>>{
+                  {"full", 4}, {"full", 8}}));
+    EXPECT_EQ(manifest.PersistFallbackChain("full", 16).size(), 2U);
+    EXPECT_EQ(manifest.PersistFallbackChain("pec", 16).size(), 1U);
+}
+
+TEST(Manifest, JsonRoundTripPreservesPersistState) {
+    CheckpointManifest manifest;
+    manifest.RecordPersistVersion("a", 4, 10, 111, true);
+    manifest.RecordPersistVersion("b", 4, 20, 222, false);
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, 4);
+    manifest.RecordPersistVersion("a", 8, 12, 113, true);
+    manifest.MarkPersistCorrupt("a", 8);
+    manifest.MarkGenerationCorrupt(8);
+
+    CheckpointManifest loaded;
+    loaded.LoadFromJson(manifest.ToJson());
+    EXPECT_EQ(loaded.ToJson(), manifest.ToJson());
+    const auto generations = loaded.Generations();
+    ASSERT_EQ(generations.size(), 2U);
+    EXPECT_TRUE(generations[0].sealed);
+    EXPECT_EQ(generations[0].verified_shards, 1U);  // b stays unverified
+    EXPECT_TRUE(generations[1].marked_corrupt);
+    EXPECT_EQ(generations[1].corrupt_shards, 1U);
+    EXPECT_TRUE(loaded.PersistFallbackChain("a", 8).front().iteration == 4);
+    EXPECT_EQ(loaded.LastCompleteIteration(StoreLevel::kPersist).value(), 4U);
+}
+
+TEST(Manifest, LoadFromJsonRejectsGarbage) {
+    CheckpointManifest manifest;
+    EXPECT_THROW(manifest.LoadFromJson("not json"), std::invalid_argument);
+    EXPECT_THROW(manifest.LoadFromJson("{\"format\":\"other/9\"}"),
+                 std::invalid_argument);
 }
 
 }  // namespace

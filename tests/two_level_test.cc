@@ -129,5 +129,51 @@ TEST(TwoLevelPlanner, NoCheckpointMeansRestartAtZero) {
     EXPECT_EQ(plan.restart_iteration, 0U);
 }
 
+TEST(TwoLevelPlanner, RestartOverrideReplansAtOlderGeneration) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    SaveAll(manifest, 16, 1);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2,
+                                   /*restart_override=*/8);
+    EXPECT_EQ(plan.restart_iteration, 8U);
+    for (const auto& d : plan.decisions) {
+        // Nothing may come from beyond the overridden restart point.
+        EXPECT_LE(d.iteration, 8U) << d.key;
+    }
+}
+
+TEST(TwoLevelPlanner, RestartOverrideRejectsFresherNonExpertMemory) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    SaveAll(manifest, 16, 1);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2, 8);
+    for (const auto& d : plan.decisions) {
+        const bool is_expert = d.key.find("/expert/") != std::string::npos;
+        if (!is_expert && d.key != "extra/state") {
+            // The 16-iteration memory snapshot must not leak into an
+            // 8-iteration restart: non-experts come from persist@8.
+            EXPECT_EQ(d.source, RecoverySource::kPersist) << d.key;
+            EXPECT_EQ(d.iteration, 8U) << d.key;
+        }
+    }
+}
+
+TEST(TwoLevelPlanner, RestartOverrideKeepsExpertMemoryAtOrBelowRestart) {
+    CheckpointManifest manifest;
+    SaveAll(manifest, 8, 1);
+    // Expert 1 memory snapshot refreshed at 12; restart overridden to 8.
+    manifest.RecordSave(StoreLevel::kMemory, "moe/0/expert/1/w", 12, 1, 100);
+    manifest.RecordSave(StoreLevel::kMemory, "moe/0/expert/1/o", 12, 1, 100);
+    TwoLevelRecoveryPlanner planner(true);
+    const auto plan = planner.Plan(manifest, kNonExpertKeys, 1, 2, 8);
+    EXPECT_EQ(plan.restart_iteration, 8U);
+    for (const auto& d : plan.decisions) {
+        EXPECT_LE(d.iteration, 8U) << d.key;
+    }
+    EXPECT_EQ(plan.expert_recovered_iteration[0][1], 8U);
+}
+
 }  // namespace
 }  // namespace moc

@@ -341,6 +341,48 @@ TEST(Crc32, DetectsBitFlip) {
     EXPECT_NE(Crc32(data.data(), data.size()), before);
 }
 
+TEST(Crc32c, KnownVector) {
+    // CRC-32C("123456789") = 0xE3069283 (Castagnoli check value).
+    const char* s = "123456789";
+    EXPECT_EQ(Crc32c(s, 9), 0xE3069283U);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+    const std::string data = "the quick brown fox jumps over the lazy dog";
+    const auto full = Crc32c(data.data(), data.size());
+    std::uint32_t inc = Crc32cUpdate(0, data.data(), 10);
+    inc = Crc32cUpdate(inc, data.data() + 10, data.size() - 10);
+    EXPECT_EQ(inc, full);
+}
+
+/**
+ * Regression: an outer CRC over sections that each embed their own
+ * same-polynomial trailer is constant regardless of the payloads —
+ * `crc(M || crc(M))` drives the register to a fixed residue. Checkpoint
+ * blobs have exactly this shape (per-tensor IEEE trailers), which once
+ * let a lost write of a same-shaped stale shard pass verification. The
+ * verification checksum must therefore use a different polynomial.
+ */
+TEST(Crc32c, DifferentPolynomialSeesThroughEmbeddedTrailers) {
+    const auto section_with_trailer = [](std::uint8_t fill) {
+        std::vector<std::uint8_t> section(40, fill);
+        const std::uint32_t crc = Crc32(section.data(), section.size());
+        for (int i = 0; i < 4; ++i) {
+            section.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+        }
+        return section;
+    };
+    const auto blob_a = section_with_trailer(0x11);
+    const auto blob_b = section_with_trailer(0x77);
+    ASSERT_NE(blob_a, blob_b);
+    // The IEEE outer CRC collides: it never saw the payload.
+    EXPECT_EQ(Crc32(blob_a.data(), blob_a.size()),
+              Crc32(blob_b.data(), blob_b.size()));
+    // The Castagnoli outer CRC distinguishes the payloads.
+    EXPECT_NE(Crc32c(blob_a.data(), blob_a.size()),
+              Crc32c(blob_b.data(), blob_b.size()));
+}
+
 // ---------- JSON reader ----------
 
 TEST(Json, ParsesScalars) {

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * `moc_cli fsck`: scrubs a FileStore checkpoint directory against its own
+ * manifest (`meta/manifest`, format moc-manifest/1). Three passes:
+ *
+ *   1. physical — every stored file is read back through the CRC trailer,
+ *      so torn writes and bit rot surface as damaged files;
+ *   2. logical — every persist version the manifest records is located
+ *      (plain key or `gen/<iter>/<key>` twin) and its bytes re-hashed
+ *      against the recorded CRC;
+ *   3. restartability — per sealed generation, checks that the extra state
+ *      and every non-expert shard are intact at exactly that iteration and
+ *      every expert shard at some iteration at or below it (PEC carries
+ *      unselected experts forward).
+ *
+ * Exit codes: 0 = clean; 1 = damage found but at least one generation is
+ * still restartable (repairable — recovery will degrade, not die); 2 =
+ * fatal (no restartable generation, or the manifest itself is unreadable
+ * alongside damage). `--json <path>` writes a moc-fsck/1 document listing
+ * every damaged file so CI can assert detection coverage.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_lib.h"
+#include "core/moc_system.h"
+#include "obs/export.h"
+#include "storage/file_store.h"
+#include "storage/manifest.h"
+#include "storage/store_error.h"
+#include "util/crc32.h"
+#include "util/table.h"
+
+namespace moc::cli {
+
+namespace {
+
+/** One physical key's scrub outcome. */
+struct FileHealth {
+    bool readable = false;
+    /** Payload bytes (without the CRC trailer) when readable. */
+    Bytes bytes = 0;
+    std::uint32_t crc = 0;
+    /** What Get() reported when unreadable. */
+    std::string error;
+};
+
+/** Reads every physical key once, classifying damage by typed kind. */
+std::map<std::string, FileHealth>
+ScrubFiles(const FileStore& store) {
+    std::map<std::string, FileHealth> health;
+    for (const auto& key : store.Keys()) {
+        FileHealth h;
+        try {
+            if (const auto blob = store.Get(key)) {
+                h.readable = true;
+                h.bytes = blob->size();
+                // CRC-32C to match what the manifest records (see
+                // util/crc32.h for why it differs from the trailers).
+                h.crc = Crc32c(blob->data(), blob->size());
+            } else {
+                h.error = "missing";
+            }
+        } catch (const StoreError& e) {
+            h.error = std::string(StoreErrorKindName(e.kind())) + ": " +
+                      e.what();
+        }
+        health.emplace(key, std::move(h));
+    }
+    return health;
+}
+
+/** True when an intact copy of (@p key, @p version) exists on disk. */
+bool
+VersionIntact(const std::map<std::string, FileHealth>& files,
+              const std::string& key, const PersistVersion& version) {
+    const std::string candidates[] = {
+        MocCheckpointSystem::GenKey(version.iteration, key), key};
+    for (const auto& physical : candidates) {
+        const auto it = files.find(physical);
+        if (it == files.end() || !it->second.readable) {
+            continue;
+        }
+        if (it->second.bytes != version.bytes) {
+            continue;
+        }
+        if (version.crc != 0 && it->second.crc != version.crc) {
+            continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+/** Expert shards carry forward across generations; others do not. */
+bool
+IsExpertKey(const std::string& key) {
+    return key.find("/expert/") != std::string::npos;
+}
+
+/** A manifest-recorded version found damaged or missing on disk. */
+struct MissingVersion {
+    std::string key;
+    std::size_t iteration = 0;
+};
+
+}  // namespace
+
+int
+RunFsck(const Args& args, std::ostream& out) {
+    if (args.positional.empty()) {
+        out << "usage: moc_cli fsck <ckpt-dir> [--json <path>]\n";
+        return 2;
+    }
+    const std::string root = args.positional.front();
+    const FileStore store(root);
+    const auto files = ScrubFiles(store);
+
+    std::vector<std::string> damaged_files;
+    for (const auto& [key, health] : files) {
+        if (!health.readable) {
+            damaged_files.push_back(key);
+        }
+    }
+
+    // Without a parseable manifest we can only report physical damage.
+    CheckpointManifest manifest;
+    bool have_manifest = false;
+    std::string manifest_error;
+    {
+        const auto it = files.find("meta/manifest");
+        if (it == files.end()) {
+            manifest_error = "meta/manifest not found";
+        } else if (!it->second.readable) {
+            manifest_error = "meta/manifest unreadable (" + it->second.error +
+                             ")";
+        } else {
+            try {
+                const auto blob = store.Get("meta/manifest");
+                manifest.LoadFromJson(
+                    std::string(blob->begin(), blob->end()));
+                have_manifest = true;
+            } catch (const std::exception& e) {
+                manifest_error = e.what();
+            }
+        }
+    }
+
+    std::vector<MissingVersion> missing;
+    struct GenHealth {
+        GenerationInfo info;
+        bool restartable = false;
+    };
+    std::vector<GenHealth> generations;
+    std::vector<std::size_t> restartable;
+    if (have_manifest) {
+        const auto keys = manifest.KeysAt(StoreLevel::kPersist);
+        // Logical pass: every usable version the manifest records must have
+        // an intact copy; versions the manifest already knows are damaged
+        // (unverified or marked corrupt) are not re-counted.
+        std::map<std::string, std::vector<PersistVersion>> chains;
+        for (const auto& key : keys) {
+            auto chain = manifest.PersistFallbackChain(
+                key, static_cast<std::size_t>(-1));
+            for (const auto& version : chain) {
+                if (!VersionIntact(files, key, version)) {
+                    missing.push_back({key, version.iteration});
+                }
+            }
+            chains.emplace(key, std::move(chain));
+        }
+        const auto damaged = [&](const std::string& key, std::size_t iter) {
+            for (const auto& mv : missing) {
+                if (mv.key == key && mv.iteration == iter) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        // Restartability pass, per sealed generation.
+        for (const auto& info : manifest.Generations()) {
+            GenHealth gen{info, info.sealed && !info.marked_corrupt};
+            if (gen.restartable) {
+                for (const auto& [key, chain] : chains) {
+                    bool ok = false;
+                    for (const auto& version : chain) {
+                        if (version.iteration > info.iteration ||
+                            damaged(key, version.iteration)) {
+                            continue;
+                        }
+                        // Non-expert shards (and extra state) must be from
+                        // this very generation; experts may carry forward.
+                        ok = IsExpertKey(key) ||
+                             version.iteration == info.iteration;
+                        break;
+                    }
+                    if (!ok) {
+                        gen.restartable = false;
+                        break;
+                    }
+                }
+            }
+            if (gen.restartable) {
+                restartable.push_back(info.iteration);
+            }
+            generations.push_back(gen);
+        }
+    }
+
+    const bool damage = !damaged_files.empty() || !missing.empty();
+    int code = 0;
+    if (!have_manifest) {
+        code = damage ? 1 : 0;
+    } else if (damage) {
+        code = restartable.empty() ? 2 : 1;
+    } else if (restartable.empty() && !generations.empty()) {
+        code = 2;
+    }
+
+    out << "fsck " << root << ": " << files.size() << " files, "
+        << damaged_files.size() << " damaged\n";
+    if (!have_manifest) {
+        out << "warning: no usable manifest (" << manifest_error
+            << ") — physical scrub only\n";
+    }
+    for (const auto& key : damaged_files) {
+        out << "  damaged file: " << key << " (" << files.at(key).error
+            << ")\n";
+    }
+    for (const auto& mv : missing) {
+        out << "  missing version: " << mv.key << " @" << mv.iteration
+            << "\n";
+    }
+    if (have_manifest) {
+        Table t({"generation", "shards", "sealed", "restartable"});
+        for (const auto& gen : generations) {
+            t.AddRow({std::to_string(gen.info.iteration),
+                      std::to_string(gen.info.shards),
+                      gen.info.sealed ? "yes" : "no",
+                      gen.restartable ? "yes" : "no"});
+        }
+        out << t.ToString();
+        if (restartable.empty()) {
+            out << "FATAL: no restartable generation\n";
+        } else if (damage) {
+            out << "repairable: restart will degrade to generation "
+                << restartable.back() << "\n";
+        } else {
+            out << "clean: " << restartable.size()
+                << " restartable generation(s), newest "
+                << restartable.back() << "\n";
+        }
+    }
+
+    const std::string json_path = args.Get("json", "");
+    if (!json_path.empty()) {
+        std::ostringstream j;
+        j << "{\n  \"format\": \"moc-fsck/1\",\n  \"root\": \""
+          << obs::JsonEscape(root) << "\",\n  \"exit_code\": " << code
+          << ",\n  \"files\": " << files.size()
+          << ",\n  \"have_manifest\": " << (have_manifest ? "true" : "false")
+          << ",\n  \"damaged_files\": [";
+        for (std::size_t i = 0; i < damaged_files.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << "\""
+              << obs::JsonEscape(damaged_files[i]) << "\"";
+        }
+        j << "],\n  \"missing_versions\": [";
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << "{\"key\": \""
+              << obs::JsonEscape(missing[i].key)
+              << "\", \"iteration\": " << missing[i].iteration << "}";
+        }
+        j << "],\n  \"restartable_generations\": [";
+        for (std::size_t i = 0; i < restartable.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << restartable[i];
+        }
+        j << "]\n}\n";
+        if (!obs::WriteTextFile(json_path, j.str(), "fsck report")) {
+            out << "warning: cannot write " << json_path << "\n";
+        }
+    }
+    return code;
+}
+
+}  // namespace moc::cli

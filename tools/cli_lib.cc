@@ -185,7 +185,8 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
         std::vector<std::string> remaining = tokens;
         const obs::ObsOptions obs_options = obs::ExtractObsOptions(remaining);
         if (remaining.empty()) {
-            err << "usage: moc_cli <inspect|plan|simulate|trace-check|report> "
+            err << "usage: moc_cli "
+                   "<inspect|plan|simulate|trace-check|report|fsck> "
                    "[args]\n"
                    "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n"
                    "       [--events-out <jsonl>] [--prom-out <prom-text>]\n";
@@ -204,6 +205,8 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
             code = RunTraceCheck(args, out);
         } else if (command == "report") {
             code = RunReport(args, out);
+        } else if (command == "fsck") {
+            code = RunFsck(args, out);
         } else {
             err << "unknown subcommand: " << command << "\n";
             return 2;

@@ -14,6 +14,12 @@
  *   simulate [--gpus N --gpu a800|h100 --size S --k N]
  *                                      iteration timeline for a deployment
  *   trace-check <trace-file>           validate a fault-trace file
+ *   fsck <ckpt-dir> [--json <path>]    scrub a FileStore checkpoint against
+ *                                      its manifest: CRC every file, locate
+ *                                      every recorded shard version, judge
+ *                                      per-generation restartability. Exit
+ *                                      0 clean / 1 repairable / 2 fatal
+ *                                      (see tools/cli_fsck.cc)
  *   report --metrics <json> [--events <jsonl>]
  *                                      analyze a run's exports: recovery
  *                                      timeline, PLT trajectory, expert
@@ -54,6 +60,7 @@ int RunPlan(const Args& args, std::ostream& out);
 int RunSimulate(const Args& args, std::ostream& out);
 int RunTraceCheck(const Args& args, std::ostream& out);
 int RunReport(const Args& args, std::ostream& out);
+int RunFsck(const Args& args, std::ostream& out);
 
 /** Dispatches `moc_cli <subcommand> ...`; prints usage on errors. */
 int Main(const std::vector<std::string>& tokens, std::ostream& out,

@@ -4,7 +4,10 @@
  * (`--metrics-out`) and an event journal (`--events-out`) from any MoC
  * binary and prints:
  *
- *   - the recovery timeline (one row per fault, paired with its recovery),
+ *   - the recovery timeline (one row per fault, paired with its recovery,
+ *     including how many keys restored degraded),
+ *   - a storage-health section (retries, corruption, read repairs, injected
+ *     faults, generation fallbacks — see docs/FAULT_MODEL.md),
  *   - the PLT trajectory against the Dynamic-K threshold, with bump markers,
  *   - a per-layer expert staleness / lost-token summary,
  *   - a measured-vs-predicted section that evaluates the paper's overhead
@@ -160,6 +163,10 @@ struct RecoveryRecord {
     double plt_after = -1.0;
     std::uint64_t k_after = 0;
     bool k_bumped = false;
+    /** Keys restored from an older generation than planned. */
+    std::uint64_t degraded_keys = 0;
+    /** Whole-generation fallbacks during this recovery. */
+    std::uint64_t generation_fallbacks = 0;
 };
 
 std::vector<RecoveryRecord>
@@ -183,6 +190,17 @@ PairRecoveries(const std::vector<obs::JournalEvent>& events) {
             case obs::EventKind::kDynamicKBump:
                 if (open) {
                     open->k_bumped = true;
+                }
+                break;
+            case obs::EventKind::kDegradedRecovery:
+                if (open) {
+                    // Per-key degradations carry "key=..."; generation-level
+                    // fallbacks carry a "generation ..." detail.
+                    if (e.detail.rfind("key=", 0) == 0) {
+                        ++open->degraded_keys;
+                    } else {
+                        ++open->generation_fallbacks;
+                    }
                 }
                 break;
             case obs::EventKind::kRecoveryEnd:
@@ -330,7 +348,8 @@ RunReport(const Args& args, std::ostream& out) {
         out << "no faults recorded\n";
     } else {
         Table t({"#", "fault iter", "nodes", "restart iter", "lost iters",
-                 "recovery (s)", "restored", "PLT after", "K after"});
+                 "recovery (s)", "restored", "degraded", "PLT after",
+                 "K after"});
         for (std::size_t i = 0; i < recoveries.size(); ++i) {
             const RecoveryRecord& r = recoveries[i];
             const std::uint64_t lost = r.fault_iteration > r.restart_iteration
@@ -340,10 +359,16 @@ RunReport(const Args& args, std::ostream& out) {
             if (r.k_bumped) {
                 k_after += " (bumped)";
             }
+            std::string degraded = std::to_string(r.degraded_keys) + " keys";
+            if (r.generation_fallbacks > 0) {
+                degraded +=
+                    ", " + std::to_string(r.generation_fallbacks) + " gen";
+            }
             t.AddRow({std::to_string(i + 1), std::to_string(r.fault_iteration),
                       r.failed_nodes, std::to_string(r.restart_iteration),
                       std::to_string(lost), Table::Num(r.duration_s, 4),
-                      FormatBytes(r.bytes), Percent(r.plt_after), k_after});
+                      FormatBytes(r.bytes), degraded, Percent(r.plt_after),
+                      k_after});
         }
         out << t.ToString();
     }
@@ -427,6 +452,55 @@ RunReport(const Args& args, std::ostream& out) {
                             std::to_string(c->last_snapshot_iteration)});
             }
             out << "top " << n << " experts by lost tokens:\n" << top.ToString();
+        }
+    }
+
+    // -- storage health ------------------------------------------------------
+    // The resilient-store / fault-injection counters (docs/FAULT_MODEL.md).
+    const double retries = dump.Counter("store.retries_total");
+    const double corrupt_reads = dump.Counter("store.corrupt_reads_total");
+    const double read_repairs = dump.Counter("store.read_repairs_total");
+    const double put_verify_failures =
+        dump.Counter("store.put_verify_failures_total");
+    const double store_timeouts = dump.Counter("store.timeouts_total");
+    const double shard_failures = dump.Counter("ckpt.persist_shard_failures");
+    const double degraded_keys = dump.Counter("recovery.degraded_keys");
+    const double generation_fallbacks =
+        dump.Counter("recovery.generation_fallbacks");
+    double injected_faults = 0.0;
+    for (const char* name :
+         {"faultystore.transient_errors", "faultystore.torn_writes",
+          "faultystore.bit_flips", "faultystore.lost_writes",
+          "faultystore.corrupt_reads", "faultystore.latency_spikes"}) {
+        injected_faults += dump.Counter(name);
+    }
+    std::uint64_t storage_fault_events = 0;
+    for (const obs::JournalEvent& e : events) {
+        storage_fault_events += e.kind == obs::EventKind::kStorageFault ? 1 : 0;
+    }
+    const bool storage_trouble = retries + corrupt_reads + read_repairs +
+                                     put_verify_failures + store_timeouts +
+                                     shard_failures + degraded_keys +
+                                     generation_fallbacks + injected_faults >
+                                 0.0;
+    out << "\n== storage health ==\n";
+    if (!storage_trouble) {
+        out << "healthy: no retries, corruption, or degraded recoveries\n";
+    } else {
+        Table st({"storage", "count"});
+        st.AddRow({"injected faults", Table::Num(injected_faults, 0)});
+        st.AddRow({"retries", Table::Num(retries, 0)});
+        st.AddRow({"corrupt reads", Table::Num(corrupt_reads, 0)});
+        st.AddRow({"read repairs", Table::Num(read_repairs, 0)});
+        st.AddRow({"put verify failures", Table::Num(put_verify_failures, 0)});
+        st.AddRow({"timeouts", Table::Num(store_timeouts, 0)});
+        st.AddRow({"persist shard failures", Table::Num(shard_failures, 0)});
+        st.AddRow({"degraded recovery keys", Table::Num(degraded_keys, 0)});
+        st.AddRow({"generation fallbacks", Table::Num(generation_fallbacks, 0)});
+        out << st.ToString();
+        if (storage_fault_events > 0) {
+            out << storage_fault_events
+                << " storage_fault event(s) in the journal\n";
         }
     }
 
@@ -528,6 +602,19 @@ RunReport(const Args& args, std::ostream& out) {
             << ", \"threshold\": " << obs::JsonNumber(threshold)
             << ", \"within_budget\": " << (max_plt <= threshold ? "true" : "false")
             << "},\n"
+            << " \"storage\": {\"injected_faults\": "
+            << obs::JsonNumber(injected_faults)
+            << ", \"retries\": " << obs::JsonNumber(retries)
+            << ", \"corrupt_reads\": " << obs::JsonNumber(corrupt_reads)
+            << ", \"read_repairs\": " << obs::JsonNumber(read_repairs)
+            << ", \"put_verify_failures\": "
+            << obs::JsonNumber(put_verify_failures)
+            << ", \"timeouts\": " << obs::JsonNumber(store_timeouts)
+            << ", \"persist_shard_failures\": " << obs::JsonNumber(shard_failures)
+            << ", \"degraded_keys\": " << obs::JsonNumber(degraded_keys)
+            << ", \"generation_fallbacks\": "
+            << obs::JsonNumber(generation_fallbacks)
+            << ", \"storage_fault_events\": " << storage_fault_events << "},\n"
             << " \"events\": {\"total\": " << events.size()
             << ", \"recoveries\": " << recoveries.size()
             << ", \"dynamic_k_bumps\": " << bumps << "}}\n";
