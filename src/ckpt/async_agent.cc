@@ -1,5 +1,6 @@
 #include "ckpt/async_agent.h"
 
+#include "ckpt/persist_pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/store_error.h"
@@ -58,6 +59,29 @@ AsyncCheckpointAgent::RequestCheckpoint(Blob state, std::size_t iteration) {
     snapshot_pending_ = true;
     snapshot_in_flight_ = true;
     pending_blob_ = std::move(state);
+    pending_shards_.clear();
+    pending_iteration_ = iteration;
+    ++stats_.checkpoints_requested;
+    cv_.notify_all();
+}
+
+void
+AsyncCheckpointAgent::AttachPipeline(PersistPipeline* pipeline) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_ = pipeline;
+}
+
+void
+AsyncCheckpointAgent::RequestShardedCheckpoint(std::vector<NamedShard> shards,
+                                               std::size_t iteration) {
+    WaitSnapshotComplete();
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(pipeline_ != nullptr,
+                  "sharded checkpoints need an attached PersistPipeline");
+    snapshot_pending_ = true;
+    snapshot_in_flight_ = true;
+    pending_blob_.clear();
+    pending_shards_ = std::move(shards);
     pending_iteration_ = iteration;
     ++stats_.checkpoints_requested;
     cv_.notify_all();
@@ -105,6 +129,7 @@ void
 AsyncCheckpointAgent::SnapshotLoop() {
     for (;;) {
         Blob blob;
+        std::vector<NamedShard> shards;
         std::size_t iteration = 0;
         {
             std::unique_lock<std::mutex> lock(mu_);
@@ -114,27 +139,36 @@ AsyncCheckpointAgent::SnapshotLoop() {
             }
             snapshot_pending_ = false;
             blob = std::move(pending_blob_);
+            shards = std::move(pending_shards_);
+            pending_blob_.clear();
+            pending_shards_.clear();
             iteration = pending_iteration_;
         }
-        // GPU -> CPU copy into a snapshot buffer (costed).
+        // GPU -> CPU copy into a snapshot buffer (costed by total bytes,
+        // whether the payload is one blob or keyed shards).
         const obs::TraceSpan span("agent.snapshot", "agent");
         const std::size_t idx = buffers_.AcquireForSnapshot();
+        Bytes total = blob.size();
+        for (const auto& shard : shards) {
+            total += shard.data.size();
+        }
         const Seconds copy_time =
-            static_cast<double>(blob.size()) / cost_.snapshot_bandwidth;
+            static_cast<double>(total) / cost_.snapshot_bandwidth;
         clock_.Advance(copy_time * cost_.time_scale);
         auto& slot = buffers_.Payload(idx);
         slot.data = std::move(blob);
+        slot.shards = std::move(shards);
         slot.iteration = iteration;
         buffers_.CompleteSnapshot(idx);
         static obs::Counter& snapshot_bytes =
             obs::MetricsRegistry::Instance().GetCounter("agent.snapshot_bytes");
         static obs::Histogram& snapshot_seconds =
             obs::MetricsRegistry::Instance().GetHistogram("agent.snapshot_seconds");
-        snapshot_bytes.Add(slot.data.size());
+        snapshot_bytes.Add(total);
         snapshot_seconds.Observe(copy_time * cost_.time_scale);
         {
             std::lock_guard<std::mutex> lock(mu_);
-            stats_.bytes_snapshotted += slot.data.size();
+            stats_.bytes_snapshotted += total;
             snapshot_in_flight_ = false;
         }
         cv_.notify_all();
@@ -150,6 +184,12 @@ AsyncCheckpointAgent::PersistLoop() {
         }
         const obs::TraceSpan span("agent.persist", "agent");
         auto& slot = buffers_.Payload(*idx);
+        if (!slot.shards.empty()) {
+            PersistShards(slot);
+            buffers_.CompletePersist(*idx);
+            cv_.notify_all();
+            continue;
+        }
         const Seconds write_time = write_time_(slot.data.size());
         clock_.Advance(write_time * cost_.time_scale);
         bool persisted = true;
@@ -184,6 +224,38 @@ AsyncCheckpointAgent::PersistLoop() {
         buffers_.CompletePersist(*idx);
         cv_.notify_all();
     }
+}
+
+void
+AsyncCheckpointAgent::PersistShards(TripleBuffer::Slot& slot) {
+    PersistPipeline* pipeline = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pipeline = pipeline_;
+    }
+    MOC_ASSERT(pipeline != nullptr, "sharded slot without a pipeline");
+    // The pipeline's workers charge the write cost and run the commit
+    // protocol (versioned keys, verify, dedup, manifest records); the agent
+    // only waits for its own batch so the buffer can rotate.
+    const auto batch = pipeline->MakeBatch();
+    for (auto& shard : slot.shards) {
+        pipeline->Submit(key_prefix_ + "/" + shard.key, std::move(shard.data),
+                         slot.iteration, batch);
+    }
+    batch->Wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.bytes_persisted += batch->bytes_written();
+        stats_.shards_persisted += batch->written();
+        stats_.shards_deduped += batch->deduped();
+        if (batch->failed() == 0) {
+            ++stats_.checkpoints_persisted;
+            latest_persisted_ = slot.iteration;
+        } else {
+            ++stats_.persist_failures;
+        }
+    }
+    slot.shards.clear();
 }
 
 }  // namespace moc

@@ -23,6 +23,8 @@
 
 namespace moc {
 
+class PersistPipeline;
+
 /** Transfer-rate model of the agent's two phases. */
 struct AgentCostModel {
     /** GPU -> CPU copy bandwidth, bytes/s. */
@@ -47,6 +49,10 @@ struct AgentStats {
     Bytes bytes_persisted = 0;
     /** Persist writes the store rejected (StoreError); checkpoint dropped. */
     std::size_t persist_failures = 0;
+    /** Keyed shards physically written (per-shard persist path). */
+    std::size_t shards_persisted = 0;
+    /** Keyed shards recorded by dedup reference instead of re-persisted. */
+    std::size_t shards_deduped = 0;
 };
 
 /**
@@ -84,6 +90,24 @@ class AsyncCheckpointAgent {
     void RequestCheckpoint(Blob state, std::size_t iteration);
 
     /**
+     * Routes this agent's persist phase through @p pipeline: shards of a
+     * sharded checkpoint are submitted as keyed writes
+     * ("<prefix>/<shard.key>@<iteration>") instead of one latest-wins
+     * blob. The pipeline must outlive the agent. Call before the first
+     * RequestShardedCheckpoint.
+     */
+    void AttachPipeline(PersistPipeline* pipeline);
+
+    /**
+     * Initiates an asynchronous *sharded* checkpoint: the snapshot phase
+     * copies every shard (costed by their total bytes), the persist phase
+     * drains them through the attached PersistPipeline as per-shard keyed
+     * writes. Requires AttachPipeline.
+     */
+    void RequestShardedCheckpoint(std::vector<NamedShard> shards,
+                                  std::size_t iteration);
+
+    /**
      * Blocks until the most recently requested snapshot has finished its
      * GPU->CPU phase — the paper's pre-weight-update barrier. Returns the
      * time spent waiting.
@@ -101,6 +125,9 @@ class AsyncCheckpointAgent {
   private:
     void PersistLoop();
 
+    /** Drains one sharded slot through the attached pipeline. */
+    void PersistShards(TripleBuffer::Slot& slot);
+
     ObjectStore& store_;
     /** Simulated seconds one persist write of N bytes takes. */
     std::function<Seconds(Bytes)> write_time_;
@@ -113,9 +140,12 @@ class AsyncCheckpointAgent {
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
+    /** Per-shard persist sink; nullptr = legacy latest-wins blob path. */
+    PersistPipeline* pipeline_ = nullptr;
     /** Pending snapshot request handed to the snapshot thread. */
     bool snapshot_pending_ = false;
     Blob pending_blob_;
+    std::vector<NamedShard> pending_shards_;
     std::size_t pending_iteration_ = 0;
     bool snapshot_in_flight_ = false;
     bool stop_ = false;

@@ -2,31 +2,112 @@
 
 #include <thread>
 
+#include "storage/store_error.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace moc {
 
+namespace {
+
+/** FNV-1a 64-bit hash of @p key, the per-key PRNG seed. */
+std::uint64_t
+HashKey(const std::string& key) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+Blob
+SyntheticShardBytes(const ShardItem& item, std::uint64_t salt) {
+    // Fabricate a payload of the planned size (scaled: 1 planned MiB ->
+    // 1 synthetic KiB keeps memory small while preserving ratios). Filled
+    // from a per-(key, salt) seeded PRNG: a constant fill would let dedup
+    // succeed across *different* keys and let bit-flip fault tests pass
+    // vacuously on same-byte collisions.
+    const std::size_t size =
+        std::max<std::size_t>(1, static_cast<std::size_t>(item.bytes / 1024));
+    Rng rng(HashKey(item.key) ^ salt);
+    Blob blob(size);
+    std::size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        std::uint64_t word = rng.Next();
+        for (std::size_t b = 0; b < 8; ++b) {
+            blob[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+    }
+    if (i < size) {
+        std::uint64_t word = rng.Next();
+        for (; i < size; ++i) {
+            blob[i] = static_cast<std::uint8_t>(word);
+            word >>= 8;
+        }
+    }
+    return blob;
+}
+
 BlobProvider
-SyntheticBlobProvider() {
-    return [](const ShardItem& item) {
-        // Fabricate a payload of the planned size (scaled: 1 planned MiB ->
-        // 1 synthetic KiB keeps memory small while preserving ratios).
-        const std::size_t size =
-            std::max<std::size_t>(1, static_cast<std::size_t>(item.bytes / 1024));
-        return Blob(size, static_cast<std::uint8_t>(item.key.size() & 0xFF));
-    };
+SyntheticBlobProvider(std::uint64_t salt) {
+    return [salt](const ShardItem& item) { return SyntheticShardBytes(item, salt); };
 }
 
 ClusterCheckpointEngine::ClusterCheckpointEngine(PersistentStore& store,
                                                  std::size_t num_ranks,
-                                                 const AgentCostModel& cost)
-    : store_(store) {
-    MOC_CHECK_ARG(num_ranks >= 1, "need at least one rank");
-    agents_.reserve(num_ranks);
+                                                 const AgentCostModel& cost,
+                                                 const ClusterEngineOptions& options)
+    : store_(store), options_(options) {
+    Init(num_ranks, cost, [&store](Bytes bytes) { return store.WriteTime(bytes); });
     for (std::size_t r = 0; r < num_ranks; ++r) {
         agents_.push_back(std::make_unique<AsyncCheckpointAgent>(
             store, "rank" + std::to_string(r), cost));
+        agents_.back()->AttachPipeline(pipeline_.get());
     }
+}
+
+ClusterCheckpointEngine::ClusterCheckpointEngine(ObjectStore& store,
+                                                 std::size_t num_ranks,
+                                                 const AgentCostModel& cost,
+                                                 const ClusterEngineOptions& options)
+    : store_(store), options_(options) {
+    Init(num_ranks, cost, [bandwidth = cost.persist_bandwidth](Bytes bytes) {
+        return static_cast<double>(bytes) / bandwidth;
+    });
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+        agents_.push_back(std::make_unique<AsyncCheckpointAgent>(
+            store, "rank" + std::to_string(r), cost));
+        agents_.back()->AttachPipeline(pipeline_.get());
+    }
+}
+
+void
+ClusterCheckpointEngine::Init(std::size_t num_ranks, const AgentCostModel& cost,
+                              WriteCostFn write_cost) {
+    MOC_CHECK_ARG(num_ranks >= 1, "need at least one rank");
+    if (options_.manifest != nullptr) {
+        manifest_ = options_.manifest;
+    } else {
+        owned_manifest_ = std::make_unique<CheckpointManifest>();
+        manifest_ = owned_manifest_.get();
+    }
+    if (options_.per_shard) {
+        PersistPipelineOptions pipe;
+        pipe.workers = options_.persist_workers != 0 ? options_.persist_workers
+                                                     : num_ranks;
+        pipe.queue_capacity = options_.queue_capacity != 0
+                                  ? options_.queue_capacity
+                                  : 4 * pipe.workers;
+        pipe.verify = options_.verify;
+        pipe.dedup = options_.dedup;
+        pipe.time_scale = cost.time_scale;
+        pipeline_ = std::make_unique<PersistPipeline>(store_, *manifest_,
+                                                      std::move(write_cost), pipe);
+    }
+    agents_.reserve(num_ranks);
 }
 
 ClusterRunStats
@@ -35,28 +116,64 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
     MOC_CHECK_ARG(plan.num_ranks() == agents_.size(),
                   "plan rank count " << plan.num_ranks() << " != engine ranks "
                                      << agents_.size());
+    MOC_CHECK_ARG(!has_executed_ || iteration > last_iteration_,
+                  "checkpoint iterations must be strictly increasing (got "
+                      << iteration << " after " << last_iteration_ << ")");
     ClusterRunStats stats;
+    stats.generation = iteration;
     stats.per_rank_snapshot.assign(agents_.size(), 0.0);
+    stats.per_rank_serialize.assign(agents_.size(), 0.0);
+
+    if (pipeline_) {
+        pipeline_->BeginGeneration(iteration);
+    }
+    // Monolithic mode reports per-call deltas of the agents' lifetime
+    // totals (a second Execute used to double-count the first).
+    std::vector<AgentStats> before;
+    if (!pipeline_) {
+        before.reserve(agents_.size());
+        for (const auto& agent : agents_) {
+            before.push_back(agent->stats());
+        }
+    }
 
     WallClock clock;
     const Seconds start = clock.Now();
 
-    // Each rank serializes its items and hands one blob to its agent; the
+    // Each rank serializes its items and hands them to its agent; the
     // snapshot phases run concurrently across ranks (they sleep, not spin).
     std::vector<std::thread> workers;
     workers.reserve(agents_.size());
     for (std::size_t r = 0; r < agents_.size(); ++r) {
         workers.emplace_back([this, &plan, &provider, &stats, iteration, r] {
             WallClock rank_clock;
-            const Seconds rank_start = rank_clock.Now();
-            Blob payload;
-            for (const auto& item : plan.Items(r)) {
-                const Blob piece = provider(item);
-                payload.insert(payload.end(), piece.begin(), piece.end());
+            // CPU-side serialization is timed apart from the GPU->CPU
+            // snapshot: folding it into the snapshot phase inflated the
+            // Fig. 12 overlap numbers.
+            const Seconds serialize_start = rank_clock.Now();
+            if (pipeline_) {
+                std::vector<NamedShard> shards;
+                shards.reserve(plan.Items(r).size());
+                for (const auto& item : plan.Items(r)) {
+                    shards.push_back(NamedShard{item.key, provider(item)});
+                }
+                stats.per_rank_serialize[r] = rank_clock.Now() - serialize_start;
+                const Seconds snapshot_start = rank_clock.Now();
+                agents_[r]->RequestShardedCheckpoint(std::move(shards), iteration);
+                agents_[r]->WaitSnapshotComplete();
+                stats.per_rank_snapshot[r] = rank_clock.Now() - snapshot_start;
+            } else {
+                Blob payload;
+                for (const auto& item : plan.Items(r)) {
+                    const Blob piece = provider(item);
+                    payload.insert(payload.end(), piece.begin(), piece.end());
+                }
+                stats.per_rank_serialize[r] = rank_clock.Now() - serialize_start;
+                const Seconds snapshot_start = rank_clock.Now();
+                agents_[r]->RequestCheckpoint(std::move(payload), iteration);
+                agents_[r]->WaitSnapshotComplete();
+                stats.per_rank_snapshot[r] = rank_clock.Now() - snapshot_start;
             }
-            agents_[r]->RequestCheckpoint(std::move(payload), iteration);
-            agents_[r]->WaitSnapshotComplete();
-            stats.per_rank_snapshot[r] = rank_clock.Now() - rank_start;
         });
     }
     for (auto& w : workers) {
@@ -67,12 +184,38 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
     for (auto& agent : agents_) {
         agent->Drain();
     }
-    stats.total_makespan = clock.Now() - start;
-    for (const auto& agent : agents_) {
-        const auto agent_stats = agent->stats();
-        stats.keys_persisted += agent_stats.checkpoints_persisted;
-        stats.bytes_persisted += agent_stats.bytes_persisted;
+    if (pipeline_) {
+        const GenerationCommitStats gen = pipeline_->FinishGeneration();
+        stats.keys_persisted = gen.shards_written;
+        stats.bytes_persisted = gen.bytes_written;
+        stats.keys_deduped = gen.shards_deduped;
+        stats.bytes_deduped = gen.bytes_deduped;
+        stats.persist_failures = gen.failures;
+        stats.sealed = gen.sealed;
+        if (!options_.manifest_key.empty()) {
+            const std::string json = manifest_->ToJson();
+            try {
+                store_.Put(options_.manifest_key, Blob(json.begin(), json.end()));
+            } catch (const StoreError& e) {
+                MOC_WARN << "cluster: manifest write failed ("
+                         << StoreErrorKindName(e.kind())
+                         << "); offline audit will lag one generation";
+            }
+        }
+    } else {
+        for (std::size_t r = 0; r < agents_.size(); ++r) {
+            const AgentStats after = agents_[r]->stats();
+            stats.keys_persisted +=
+                after.checkpoints_persisted - before[r].checkpoints_persisted;
+            stats.bytes_persisted +=
+                after.bytes_persisted - before[r].bytes_persisted;
+            stats.persist_failures +=
+                after.persist_failures - before[r].persist_failures;
+        }
     }
+    stats.total_makespan = clock.Now() - start;
+    last_iteration_ = iteration;
+    has_executed_ = true;
     return stats;
 }
 

@@ -8,13 +8,26 @@
  * analytical model only predicts — the makespan set by the bottleneck rank
  * (Section 6.2.1's "the duration of the blocking checkpointing process is
  * primarily determined by the bottleneck rank").
+ *
+ * The persist path implements the cluster commit protocol
+ * (docs/FAULT_MODEL.md): every ShardItem is written under its own versioned
+ * key "rank<r>/<item.key>@<iteration>", drained by a bounded persist worker
+ * pool that CRC-verifies each write and dedups shards unchanged since the
+ * last sealed generation; the generation is sealed in the manifest — and
+ * only then offered as a restart target — when every rank's every shard
+ * landed and verified. A legacy monolithic mode (one latest-wins blob per
+ * rank, no manifest) remains for A/B measurement of exactly the torn-
+ * checkpoint failure mode the protocol removes.
  */
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "ckpt/async_agent.h"
+#include "ckpt/persist_pipeline.h"
 #include "core/sharding.h"
+#include "storage/manifest.h"
 #include "storage/persistent_store.h"
 #include "util/clock.h"
 
@@ -23,19 +36,71 @@ namespace moc {
 /** Produces the serialized payload for one shard item. */
 using BlobProvider = std::function<Blob(const ShardItem& item)>;
 
-/** A provider that fabricates a blob of the item's planned size. */
-BlobProvider SyntheticBlobProvider();
+/**
+ * Deterministic synthetic payload for one shard item: size-preserving
+ * (1 planned MiB -> 1 synthetic KiB) and filled from a PRNG seeded by the
+ * item's key and @p salt, so two items never share content by accident and
+ * a re-serialization of the same (key, salt) is bit-identical — the
+ * property content-hash dedup keys on.
+ */
+Blob SyntheticShardBytes(const ShardItem& item, std::uint64_t salt = 0);
 
-/** Measured outcome of one cluster checkpoint. */
+/**
+ * A provider that fabricates each item's blob via SyntheticShardBytes.
+ * Same @p salt -> identical bytes per key (dedup hits); bump the salt for
+ * keys whose state "trained" between events.
+ */
+BlobProvider SyntheticBlobProvider(std::uint64_t salt = 0);
+
+/** Persist-path configuration of the engine. */
+struct ClusterEngineOptions {
+    /** Per-shard keyed commit protocol; false = legacy monolithic blobs. */
+    bool per_shard = true;
+    /** Content-hash dedup against the last sealed generation. */
+    bool dedup = true;
+    /** Read back and CRC-verify every shard write before recording it. */
+    bool verify = true;
+    /** Persist pool workers; 0 = one per rank. */
+    std::size_t persist_workers = 0;
+    /** Bounded submit queue depth; 0 = 4x workers. */
+    std::size_t queue_capacity = 0;
+    /**
+     * Generation registry. nullptr = the engine owns a private manifest
+     * (see manifest()). The caller keeps ownership otherwise.
+     */
+    CheckpointManifest* manifest = nullptr;
+    /**
+     * Store key the manifest JSON is written to after every event
+     * (best-effort), so offline tools (`moc_cli fsck`) can audit the
+     * directory. Empty = don't write.
+     */
+    std::string manifest_key = "meta/manifest";
+};
+
+/** Measured outcome of one cluster checkpoint (all fields per-call). */
 struct ClusterRunStats {
     /** Wall time until every rank finished its snapshot phase. */
     Seconds snapshot_makespan = 0.0;
     /** Wall time until every rank's persist drained. */
     Seconds total_makespan = 0.0;
-    /** Per-rank snapshot durations. */
+    /** Per-rank GPU->CPU snapshot durations (copy + stall only). */
     std::vector<Seconds> per_rank_snapshot;
+    /** Per-rank CPU-side blob serialization durations (provider calls). */
+    std::vector<Seconds> per_rank_serialize;
+    /** Shards (or monolithic blobs) physically persisted by this call. */
     std::size_t keys_persisted = 0;
+    /** Physical bytes written by this call. */
     Bytes bytes_persisted = 0;
+    /** Shards recorded by dedup reference instead of re-persisted. */
+    std::size_t keys_deduped = 0;
+    /** Bytes dedup avoided re-persisting. */
+    Bytes bytes_deduped = 0;
+    /** Shard writes that failed (StoreError or verify mismatch). */
+    std::size_t persist_failures = 0;
+    /** The generation this event committed (per-shard mode). */
+    std::size_t generation = 0;
+    /** Commit protocol outcome; always false in monolithic mode. */
+    bool sealed = false;
 };
 
 /**
@@ -44,28 +109,52 @@ struct ClusterRunStats {
 class ClusterCheckpointEngine {
   public:
     /**
-     * @param store shared persistent backend.
+     * @param store shared persistent backend (write cost from store.io()).
      * @param num_ranks agents to spawn.
      * @param cost per-agent transfer-rate model (use a small time_scale:
      *        phase durations sleep for real).
      */
     ClusterCheckpointEngine(PersistentStore& store, std::size_t num_ranks,
-                            const AgentCostModel& cost);
+                            const AgentCostModel& cost,
+                            const ClusterEngineOptions& options = {});
 
     /**
-     * Executes one checkpoint event: every rank concatenates its items via
+     * Engine over any ObjectStore (a FileStore, a FaultyStore chain, ...);
+     * write cost from cost.persist_bandwidth.
+     */
+    ClusterCheckpointEngine(ObjectStore& store, std::size_t num_ranks,
+                            const AgentCostModel& cost,
+                            const ClusterEngineOptions& options = {});
+
+    /**
+     * Executes one checkpoint event: every rank serializes its items via
      * @p provider and checkpoints through its own agent. Blocks until all
-     * persists drain. Note: keys_persisted / bytes_persisted report the
-     * agents' lifetime totals (cumulative across Execute calls).
+     * persists drain and the commit protocol ran. All ClusterRunStats
+     * fields report this call only (per-call deltas, not agent lifetime
+     * totals). Iterations must be strictly increasing across calls.
      */
     ClusterRunStats Execute(const ShardPlan& plan, const BlobProvider& provider,
                             std::size_t iteration);
 
     std::size_t num_ranks() const { return agents_.size(); }
 
+    /** The generation registry the commit protocol writes to. */
+    const CheckpointManifest& manifest() const { return *manifest_; }
+
+    const ClusterEngineOptions& options() const { return options_; }
+
   private:
-    PersistentStore& store_;
+    void Init(std::size_t num_ranks, const AgentCostModel& cost,
+              WriteCostFn write_cost);
+
+    ObjectStore& store_;
+    ClusterEngineOptions options_;
+    std::unique_ptr<CheckpointManifest> owned_manifest_;
+    CheckpointManifest* manifest_ = nullptr;
+    std::unique_ptr<PersistPipeline> pipeline_;
     std::vector<std::unique_ptr<AsyncCheckpointAgent>> agents_;
+    std::size_t last_iteration_ = 0;
+    bool has_executed_ = false;
 };
 
 }  // namespace moc

@@ -1,0 +1,297 @@
+#include "ckpt/persist_pipeline.h"
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/store_error.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace moc {
+
+void
+ShardBatch::Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t
+ShardBatch::written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return written_;
+}
+
+std::size_t
+ShardBatch::deduped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return deduped_;
+}
+
+std::size_t
+ShardBatch::failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+}
+
+Bytes
+ShardBatch::bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+}
+
+PersistPipeline::PersistPipeline(ObjectStore& store, CheckpointManifest& manifest,
+                                 WriteCostFn write_cost,
+                                 const PersistPipelineOptions& options)
+    : store_(store),
+      manifest_(manifest),
+      write_cost_(std::move(write_cost)),
+      options_(options) {
+    MOC_CHECK_ARG(options.workers >= 1, "pipeline needs at least one worker");
+    MOC_CHECK_ARG(options.queue_capacity >= 1, "queue capacity must be >= 1");
+    MOC_CHECK_ARG(options.time_scale >= 0.0, "time_scale must be >= 0");
+    workers_.reserve(options.workers);
+    for (std::size_t i = 0; i < options.workers; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+PersistPipeline::~PersistPipeline() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+PersistPipeline::BeginGeneration(std::size_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(!open_generation_.has_value(),
+                  "generation " << *open_generation_
+                                << " still open; finish it first");
+    open_generation_ = iteration;
+    gen_stats_ = GenerationCommitStats{};
+    gen_stats_.iteration = iteration;
+    staged_records_.clear();
+}
+
+std::shared_ptr<ShardBatch>
+PersistPipeline::MakeBatch() {
+    return std::make_shared<ShardBatch>();
+}
+
+void
+PersistPipeline::Submit(std::string key, Blob blob, std::size_t iteration,
+                        std::shared_ptr<ShardBatch> batch) {
+    if (batch) {
+        std::lock_guard<std::mutex> lock(batch->mu_);
+        ++batch->pending_;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(open_generation_.has_value() && *open_generation_ == iteration,
+                  "submit for iteration " << iteration
+                                          << " outside its open generation");
+    queue_cv_.wait(lock, [this] {
+        return queue_.size() < options_.queue_capacity || stop_;
+    });
+    MOC_CHECK_ARG(!stop_, "pipeline is shutting down");
+    ++gen_stats_.shards;
+    queue_.push_back(Job{std::move(key), std::move(blob), iteration,
+                         std::move(batch)});
+    queue_cv_.notify_all();
+}
+
+GenerationCommitStats
+PersistPipeline::FinishGeneration() {
+    std::unique_lock<std::mutex> lock(mu_);
+    MOC_CHECK_ARG(open_generation_.has_value(), "no generation open");
+    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+
+    const std::size_t iteration = *open_generation_;
+    gen_stats_.sealed =
+        gen_stats_.failures == 0 &&
+        gen_stats_.shards_written + gen_stats_.shards_deduped == gen_stats_.shards;
+    const GenerationCommitStats stats = gen_stats_;
+    if (stats.sealed) {
+        for (auto& [key, entry] : staged_records_) {
+            sealed_baseline_[key] = entry;
+        }
+    }
+    staged_records_.clear();
+    open_generation_.reset();
+    lock.unlock();
+
+    static obs::Counter& sealed_ctr =
+        obs::MetricsRegistry::Instance().GetCounter("cluster.generations_sealed");
+    static obs::Counter& unsealed_ctr =
+        obs::MetricsRegistry::Instance().GetCounter(
+            "cluster.generations_unsealed");
+    obs::JournalEvent event;
+    event.kind = obs::EventKind::kClusterSeal;
+    event.iteration = iteration;
+    event.bytes = stats.bytes_written;
+    if (stats.sealed) {
+        // Seal AFTER every shard verified: recovery never sees a generation
+        // that is complete in the manifest but torn in the store.
+        manifest_.MarkCheckpointComplete(StoreLevel::kPersist, iteration);
+        sealed_ctr.Add();
+        obs::MetricsRegistry::Instance()
+            .GetGauge("cluster.last_sealed_generation")
+            .Set(static_cast<double>(iteration));
+        event.detail = "sealed shards=" + std::to_string(stats.shards) +
+                       " written=" + std::to_string(stats.shards_written) +
+                       " deduped=" + std::to_string(stats.shards_deduped);
+    } else {
+        unsealed_ctr.Add();
+        event.detail = "unsealed failures=" + std::to_string(stats.failures) +
+                       " shards=" + std::to_string(stats.shards);
+        MOC_WARN << "cluster: generation " << iteration << " left unsealed ("
+                 << stats.failures << " of " << stats.shards
+                 << " shards failed); recovery falls back to the previous "
+                    "sealed generation";
+    }
+    obs::EventJournal::Instance().Append(std::move(event));
+    return stats;
+}
+
+void
+PersistPipeline::WorkerLoop() {
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            queue_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+            if (queue_.empty()) {
+                return;  // stop_ and nothing left to drain
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+            queue_cv_.notify_all();  // space freed for blocked submitters
+        }
+        Execute(std::move(job));
+    }
+}
+
+void
+PersistPipeline::Execute(Job job) {
+    const obs::TraceSpan span("cluster.persist_shard", "cluster");
+    const Seconds start = clock_.Now();
+    const std::uint32_t crc = Crc32c(job.blob.data(), job.blob.size());
+    const Bytes size = job.blob.size();
+
+    // Dedup: identical content to the last sealed generation's entry is
+    // recorded by reference, not re-persisted.
+    if (options_.dedup) {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto it = sealed_baseline_.find(job.key);
+        if (it != sealed_baseline_.end() && it->second.crc == crc &&
+            it->second.bytes == size) {
+            const SealedEntry entry{crc, size, it->second.physical_iteration};
+            staged_records_.emplace_back(job.key, entry);
+            lock.unlock();
+            manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
+                                           /*verified=*/true,
+                                           entry.physical_iteration);
+            static obs::Counter& dedup_ctr =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "cluster.shards_deduped");
+            static obs::Counter& dedup_bytes =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "cluster.bytes_deduped");
+            dedup_ctr.Add();
+            dedup_bytes.Add(size);
+            CompleteJob(job, /*written=*/false, /*deduped=*/true,
+                        /*failed=*/false, /*bytes=*/0);
+            return;
+        }
+    }
+
+    if (write_cost_) {
+        clock_.Advance(write_cost_(size) * options_.time_scale);
+    }
+    const std::string physical = VersionedShardKey(job.key, job.iteration);
+    bool written = false;
+    bool verified = !options_.verify;  // unverified mode trusts the write
+    try {
+        store_.Put(physical, job.blob);
+        written = true;
+        if (options_.verify) {
+            const auto readback = store_.Get(physical);
+            verified = readback.has_value() && readback->size() == size &&
+                       Crc32c(readback->data(), readback->size()) == crc;
+        }
+    } catch (const StoreError& e) {
+        obs::JournalEvent fault;
+        fault.kind = obs::EventKind::kStorageFault;
+        fault.iteration = job.iteration;
+        fault.bytes = size;
+        fault.detail = "cluster shard " + job.key + " " +
+                       (written ? "verify read" : "write") + " failed (" +
+                       StoreErrorKindName(e.kind()) + ")";
+        obs::EventJournal::Instance().Append(std::move(fault));
+    }
+
+    const bool ok = written && verified;
+    if (written) {
+        // A landed-but-unverified write is still recorded (fsck and the
+        // fallback chains must know the version exists), but it can never
+        // seal its generation.
+        manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
+                                       verified);
+    }
+    if (ok) {
+        std::lock_guard<std::mutex> lock(mu_);
+        staged_records_.emplace_back(job.key, SealedEntry{crc, size,
+                                                          job.iteration});
+    }
+
+    static obs::Counter& written_ctr =
+        obs::MetricsRegistry::Instance().GetCounter("cluster.shards_written");
+    static obs::Counter& written_bytes =
+        obs::MetricsRegistry::Instance().GetCounter("cluster.bytes_written");
+    static obs::Counter& failures_ctr =
+        obs::MetricsRegistry::Instance().GetCounter("cluster.persist_failures");
+    static obs::Histogram& latency =
+        obs::MetricsRegistry::Instance().GetHistogram(
+            "cluster.shard_persist_seconds");
+    latency.Observe(clock_.Now() - start);
+    if (ok) {
+        written_ctr.Add();
+        written_bytes.Add(size);
+    } else {
+        failures_ctr.Add();
+    }
+    CompleteJob(job, ok, /*deduped=*/false, /*failed=*/!ok, ok ? size : 0);
+}
+
+void
+PersistPipeline::CompleteJob(const Job& job, bool written, bool deduped,
+                             bool failed, Bytes bytes) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gen_stats_.shards_written += written ? 1 : 0;
+        gen_stats_.shards_deduped += deduped ? 1 : 0;
+        gen_stats_.failures += failed ? 1 : 0;
+        gen_stats_.bytes_written += bytes;
+        gen_stats_.bytes_deduped += deduped ? job.blob.size() : 0;
+        --in_flight_;
+    }
+    drain_cv_.notify_all();
+    if (job.batch) {
+        {
+            std::lock_guard<std::mutex> lock(job.batch->mu_);
+            job.batch->written_ += written ? 1 : 0;
+            job.batch->deduped_ += deduped ? 1 : 0;
+            job.batch->failed_ += failed ? 1 : 0;
+            job.batch->bytes_written_ += bytes;
+            --job.batch->pending_;
+        }
+        job.batch->cv_.notify_all();
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,206 @@
+#ifndef MOC_CKPT_PERSIST_PIPELINE_H_
+#define MOC_CKPT_PERSIST_PIPELINE_H_
+
+/**
+ * @file
+ * The cluster persist pipeline: a bounded pool of persist workers draining
+ * per-shard keyed writes into the persistent store, with the commit
+ * protocol that makes a cluster checkpoint atomic at the generation level
+ * (docs/FAULT_MODEL.md, "Cluster commit protocol"):
+ *
+ *  - every shard is written under its *versioned* key
+ *    ("<rank>/<unit>@<iteration>", see VersionedShardKey), never
+ *    latest-wins, so a failing event cannot damage an older generation;
+ *  - each write is CRC-32C hashed and (optionally) read back and verified
+ *    before the manifest records it;
+ *  - a shard whose content hash matches the last *sealed* generation's
+ *    entry is recorded by reference instead of re-persisted — under PEC
+ *    with K << N most expert shards are unchanged between events, so
+ *    persisted bytes drop sharply (dedup);
+ *  - the generation is sealed — and only then becomes an eligible restart
+ *    target — when every rank's every shard landed and verified; any
+ *    failure leaves it unsealed and recovery falls back to the previous
+ *    sealed generation.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/manifest.h"
+#include "storage/object_store.h"
+#include "util/clock.h"
+
+namespace moc {
+
+/** Simulated seconds one persist write of N bytes takes (nullable). */
+using WriteCostFn = std::function<Seconds(Bytes)>;
+
+/** Tuning knobs of the pipeline. */
+struct PersistPipelineOptions {
+    /** Persist workers draining the shard queue. */
+    std::size_t workers = 4;
+    /** Bounded queue depth; Submit blocks when full (backpressure). */
+    std::size_t queue_capacity = 16;
+    /** Read every write back and compare its CRC-32C before recording. */
+    bool verify = true;
+    /** Skip re-persisting shards unchanged since the last sealed gen. */
+    bool dedup = true;
+    /** Wall-time scale applied to the write-cost sleeps. */
+    double time_scale = 1.0;
+};
+
+/** Per-generation outcome of the commit protocol. */
+struct GenerationCommitStats {
+    std::size_t iteration = 0;
+    /** Shards submitted to this generation. */
+    std::size_t shards = 0;
+    /** Shards physically written (and verified, if enabled). */
+    std::size_t shards_written = 0;
+    /** Shards recorded by reference to an older identical blob. */
+    std::size_t shards_deduped = 0;
+    /** Shard writes that failed (StoreError or verification mismatch). */
+    std::size_t failures = 0;
+    Bytes bytes_written = 0;
+    /** Bytes dedup avoided re-persisting. */
+    Bytes bytes_deduped = 0;
+    /** All shards landed and verified; the generation is a restart target. */
+    bool sealed = false;
+};
+
+/**
+ * Completion handle for one batch of shard submissions (one rank's slice of
+ * a checkpoint event). The submitter waits on it to learn when its shards
+ * have drained, without blocking on other ranks' shards.
+ */
+class ShardBatch {
+  public:
+    /** Blocks until every shard submitted with this batch completed. */
+    void Wait();
+
+    /** Batch outcome; valid after Wait(). */
+    std::size_t written() const;
+    std::size_t deduped() const;
+    std::size_t failed() const;
+    Bytes bytes_written() const;
+
+  private:
+    friend class PersistPipeline;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t pending_ = 0;
+    std::size_t written_ = 0;
+    std::size_t deduped_ = 0;
+    std::size_t failed_ = 0;
+    Bytes bytes_written_ = 0;
+};
+
+/**
+ * Bounded persist worker pool implementing the cluster commit protocol.
+ * Thread-safe: rank threads submit concurrently; workers drain concurrently.
+ */
+class PersistPipeline {
+  public:
+    /**
+     * @param store destination of shard blobs (shared by all ranks).
+     * @param manifest generation/version registry the protocol commits to.
+     * @param write_cost simulated write duration, or nullptr for none.
+     */
+    PersistPipeline(ObjectStore& store, CheckpointManifest& manifest,
+                    WriteCostFn write_cost,
+                    const PersistPipelineOptions& options = {});
+
+    /** Drains the queue and joins the workers. */
+    ~PersistPipeline();
+
+    PersistPipeline(const PersistPipeline&) = delete;
+    PersistPipeline& operator=(const PersistPipeline&) = delete;
+
+    /**
+     * Opens generation @p iteration for shard submissions. Generations are
+     * monotonic and non-overlapping: the previous one must be finished.
+     */
+    void BeginGeneration(std::size_t iteration);
+
+    /** Creates a completion handle for one submitter's shard batch. */
+    std::shared_ptr<ShardBatch> MakeBatch();
+
+    /**
+     * Enqueues one keyed shard write for the open generation. Blocks while
+     * the queue is at capacity. @p batch (optional) is signalled when this
+     * shard completes.
+     */
+    void Submit(std::string key, Blob blob, std::size_t iteration,
+                std::shared_ptr<ShardBatch> batch = nullptr);
+
+    /**
+     * Waits until every submitted shard of the open generation drained,
+     * then runs the seal rule: all shards written and verified -> the
+     * manifest generation is sealed (MarkCheckpointComplete) and becomes
+     * the dedup baseline for the next event; otherwise it stays unsealed
+     * and is never offered as a restart target. Emits a `cluster_seal`
+     * journal event either way.
+     */
+    GenerationCommitStats FinishGeneration();
+
+    const PersistPipelineOptions& options() const { return options_; }
+
+  private:
+    struct Job {
+        std::string key;
+        Blob blob;
+        std::size_t iteration = 0;
+        std::shared_ptr<ShardBatch> batch;
+    };
+
+    /** Content identity of a sealed shard, for dedup. */
+    struct SealedEntry {
+        std::uint32_t crc = 0;
+        Bytes bytes = 0;
+        /** Iteration whose physical blob holds the content. */
+        std::size_t physical_iteration = 0;
+    };
+
+    void WorkerLoop();
+    void Execute(Job job);
+    void CompleteJob(const Job& job, bool written, bool deduped, bool failed,
+                     Bytes bytes);
+
+    ObjectStore& store_;
+    CheckpointManifest& manifest_;
+    WriteCostFn write_cost_;
+    PersistPipelineOptions options_;
+    WallClock clock_;
+
+    std::mutex mu_;
+    std::condition_variable queue_cv_;   ///< waiting for space or work
+    std::condition_variable drain_cv_;   ///< waiting for in-flight == 0
+    std::deque<Job> queue_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+
+    /** Open generation state (guarded by mu_). */
+    std::optional<std::size_t> open_generation_;
+    GenerationCommitStats gen_stats_;
+    /** Records staged for the open generation, folded into the dedup
+        baseline on seal. */
+    std::vector<std::pair<std::string, SealedEntry>> staged_records_;
+
+    /** key -> content identity in the last sealed generation. */
+    std::map<std::string, SealedEntry> sealed_baseline_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_CKPT_PERSIST_PIPELINE_H_

@@ -22,10 +22,19 @@
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "storage/object_store.h"
 
 namespace moc {
+
+/** One keyed shard of a checkpoint event (the per-shard persist path). */
+struct NamedShard {
+    /** Store key of the unit, without rank prefix or version suffix. */
+    std::string key;
+    Blob data;
+};
 
 /** Lifecycle states of one buffer. */
 enum class BufferState {
@@ -46,7 +55,10 @@ class TripleBuffer {
 
     /** Payload of one buffer. */
     struct Slot {
+        /** Monolithic payload (legacy latest-wins persist path). */
         Blob data;
+        /** Keyed shards (per-shard persist path); empty in blob mode. */
+        std::vector<NamedShard> shards;
         std::size_t iteration = 0;
     };
 

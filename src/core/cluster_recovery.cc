@@ -1,0 +1,101 @@
+#include "core/cluster_recovery.h"
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+/**
+ * Reads one manifest-recorded version, accepting whichever copy (the
+ * versioned shard key of the physical iteration, or the plain latest-wins
+ * key) CRC-matches the record.
+ */
+std::optional<Blob>
+ReadShardVerified(const ObjectStore& store, const std::string& key,
+                  const PersistVersion& version) {
+    const std::string sources[] = {
+        VersionedShardKey(key, version.PhysicalIteration()), key};
+    for (const auto& source : sources) {
+        try {
+            auto blob = store.Get(source);
+            if (blob.has_value() && blob->size() == version.bytes &&
+                Crc32c(blob->data(), blob->size()) == version.crc) {
+                return blob;
+            }
+        } catch (const std::runtime_error&) {
+            // Typed corruption from the backend; try the next candidate.
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ClusterRestorePlan>
+PlanClusterRestore(const CheckpointManifest& manifest,
+                   std::optional<std::size_t> max_iteration) {
+    for (const std::size_t generation : manifest.EligibleGenerations()) {
+        if (max_iteration.has_value() && generation > *max_iteration) {
+            continue;
+        }
+        ClusterRestorePlan plan;
+        plan.generation = generation;
+        for (const auto& key : manifest.KeysAt(StoreLevel::kPersist)) {
+            const auto chain = manifest.PersistFallbackChain(key, generation);
+            if (chain.empty()) {
+                plan.missing.push_back(key);
+                continue;
+            }
+            const PersistVersion& chosen = chain.front();
+            plan.shards.push_back(ShardRestorePlan{
+                key, chosen.iteration,
+                VersionedShardKey(key, chosen.PhysicalIteration()), chosen.crc,
+                chosen.bytes});
+            if (chosen.iteration != generation) {
+                plan.degraded.push_back(
+                    {key, generation, chosen.iteration,
+                     "no usable version at the target generation"});
+            }
+        }
+        return plan;
+    }
+    return std::nullopt;
+}
+
+ClusterRestoreResult
+ExecuteClusterRestore(const CheckpointManifest& manifest,
+                      const ObjectStore& store, const ClusterRestorePlan& plan) {
+    ClusterRestoreResult result;
+    result.generation = plan.generation;
+    for (const auto& shard : plan.shards) {
+        std::optional<Blob> blob;
+        std::size_t restored_iteration = shard.iteration;
+        for (const auto& version :
+             manifest.PersistFallbackChain(shard.key, plan.generation)) {
+            blob = ReadShardVerified(store, shard.key, version);
+            if (blob.has_value()) {
+                restored_iteration = version.iteration;
+                break;
+            }
+        }
+        if (!blob.has_value()) {
+            result.damaged.push_back(shard.key);
+            MOC_WARN << "cluster restore: every candidate of " << shard.key
+                     << " failed verification";
+            continue;
+        }
+        if (restored_iteration != shard.iteration) {
+            result.degraded.push_back(
+                {shard.key, shard.iteration, restored_iteration,
+                 "planned version damaged; restored older verified version"});
+        }
+        result.bytes_read += blob->size();
+        result.blobs.emplace(shard.key, std::move(*blob));
+        ++result.shards_restored;
+    }
+    return result;
+}
+
+}  // namespace moc

@@ -28,6 +28,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kDynamicKBump, "dynamic_k_bump"},
     {EventKind::kStorageFault, "storage_fault"},
     {EventKind::kDegradedRecovery, "degraded_recovery"},
+    {EventKind::kClusterSeal, "cluster_seal"},
 };
 
 /** Nanoseconds at process start (first use), for relative wall stamps. */

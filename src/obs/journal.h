@@ -41,6 +41,9 @@ enum class EventKind : std::uint8_t {
                     ///< shard write failed (detail says which)
     kDegradedRecovery, ///< a key restored from older bytes than planned, or
                        ///< the restart generation fell back (detail = why)
+    kClusterSeal,      ///< a cluster checkpoint generation finished its
+                       ///< commit protocol (detail = sealed/unsealed + shard
+                       ///< counts; bytes = physical bytes written)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */

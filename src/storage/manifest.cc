@@ -9,6 +9,11 @@
 
 namespace moc {
 
+std::string
+VersionedShardKey(const std::string& key, std::size_t iteration) {
+    return key + "@" + std::to_string(iteration);
+}
+
 void
 CheckpointManifest::RecordSave(StoreLevel level, const std::string& key,
                                std::size_t iteration, NodeId node, Bytes bytes) {
@@ -28,13 +33,16 @@ CheckpointManifest::RecordSave(StoreLevel level, const std::string& key,
 void
 CheckpointManifest::RecordPersistVersion(const std::string& key,
                                          std::size_t iteration, Bytes bytes,
-                                         std::uint32_t crc, bool verified) {
+                                         std::uint32_t crc, bool verified,
+                                         std::optional<std::size_t> ref) {
+    MOC_CHECK_ARG(!ref.has_value() || *ref < iteration,
+                  "dedup ref must point at an older iteration");
     std::lock_guard<std::mutex> lock(mu_);
     auto& history = persist_[key];
     if (!history.empty() && history.back().iteration > iteration) {
         MOC_PANIC("manifest: non-monotonic persist save for key " << key);
     }
-    const PersistVersion version{iteration, bytes, crc, verified, false};
+    const PersistVersion version{iteration, bytes, crc, verified, false, ref};
     if (!history.empty() && history.back().iteration == iteration) {
         history.back() = version;  // same-checkpoint re-record replaces
     } else {
@@ -285,7 +293,11 @@ CheckpointManifest::ToJson() const {
             out << (first_version ? "" : ", ") << "{\"iteration\": "
                 << v.iteration << ", \"bytes\": " << v.bytes << ", \"crc\": "
                 << v.crc << ", \"verified\": " << (v.verified ? "true" : "false")
-                << ", \"corrupt\": " << (v.corrupt ? "true" : "false") << "}";
+                << ", \"corrupt\": " << (v.corrupt ? "true" : "false");
+            if (v.ref.has_value()) {
+                out << ", \"ref\": " << *v.ref;
+            }
+            out << "}";
             first_version = false;
         }
         out << "]";
@@ -312,6 +324,9 @@ CheckpointManifest::LoadFromJson(const std::string& text) {
             v.crc = static_cast<std::uint32_t>(entry.At("crc").AsNumber());
             v.verified = entry.At("verified").AsBool();
             v.corrupt = entry.At("corrupt").AsBool();
+            if (const json::Value* ref = entry.Find("ref")) {
+                v.ref = static_cast<std::size_t>(ref->AsNumber());
+            }
             persist[key].push_back(v);
         }
         std::sort(persist[key].begin(), persist[key].end(),

@@ -64,7 +64,25 @@ struct PersistVersion {
     bool verified = true;
     /** A later read found the stored bytes damaged beyond repair. */
     bool corrupt = false;
+    /**
+     * Dedup-by-reference: the shard's content was identical (same CRC-32C
+     * and size) to an already-persisted version, so no bytes were written
+     * for this version — the physical blob lives at the referenced
+     * iteration instead (docs/FAULT_MODEL.md, "cluster commit protocol").
+     */
+    std::optional<std::size_t> ref;
+
+    /** Iteration whose physical blob backs this version. */
+    std::size_t PhysicalIteration() const { return ref.value_or(iteration); }
 };
+
+/**
+ * Store key of one versioned shard write: "<key>@<iteration>". The cluster
+ * persist pipeline writes every shard under its versioned key, so no
+ * generation is ever damaged by a latest-wins overwrite from a newer,
+ * possibly failing, checkpoint event.
+ */
+std::string VersionedShardKey(const std::string& key, std::size_t iteration);
 
 /** Summary of one checkpoint generation, for fsck and reports. */
 struct GenerationInfo {
@@ -98,10 +116,12 @@ class CheckpointManifest {
     /**
      * Records a persist-level version with its integrity metadata.
      * Same-iteration re-records replace; older iterations panic
-     * (checkpoints are monotonic).
+     * (checkpoints are monotonic). @p ref records dedup-by-reference: the
+     * version's bytes physically live at that older iteration.
      */
     void RecordPersistVersion(const std::string& key, std::size_t iteration,
-                              Bytes bytes, std::uint32_t crc, bool verified);
+                              Bytes bytes, std::uint32_t crc, bool verified,
+                              std::optional<std::size_t> ref = std::nullopt);
 
     /**
      * Freshest reachable version of @p key at @p level, if any. At the

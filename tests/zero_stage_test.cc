@@ -114,7 +114,7 @@ FastCluster() {
     return cost;
 }
 
-TEST(ClusterEngine, ExecutesPlanAndPersistsEveryRank) {
+TEST(ClusterEngine, ExecutesPlanAndPersistsEveryRankPerShard) {
     StorageIoModel io;
     io.latency = 0.0;
     io.write_bandwidth = 50e6;
@@ -129,7 +129,34 @@ TEST(ClusterEngine, ExecutesPlanAndPersistsEveryRank) {
     EXPECT_EQ(stats.keys_persisted, 4U);
     EXPECT_GT(stats.bytes_persisted, 0U);
     EXPECT_GE(stats.total_makespan, stats.snapshot_makespan);
+    EXPECT_TRUE(stats.sealed);
+    EXPECT_EQ(stats.generation, 1U);
+    // Every shard sits under its own versioned key; nothing latest-wins.
     for (RankId r = 0; r < 4; ++r) {
+        const std::string key =
+            "rank" + std::to_string(r) + "/unit/" + std::to_string(r);
+        EXPECT_TRUE(store.Contains(VersionedShardKey(key, 1))) << key;
+        EXPECT_FALSE(store.Contains("rank" + std::to_string(r) + "/ckpt"));
+    }
+    EXPECT_EQ(engine.manifest().LatestEligibleGeneration(), 1U);
+    // The manifest JSON itself lands in the store for offline audits.
+    EXPECT_TRUE(store.Contains("meta/manifest"));
+}
+
+TEST(ClusterEngine, MonolithicModeKeepsLatestWinsBlobs) {
+    PersistentStore store;
+    ClusterEngineOptions opt;
+    opt.per_shard = false;
+    ClusterCheckpointEngine engine(store, 2, FastCluster(), opt);
+
+    ShardPlan plan(2);
+    for (RankId r = 0; r < 2; ++r) {
+        plan.Add(r, {"unit/" + std::to_string(r), 256 * kKiB, false});
+    }
+    const auto stats = engine.Execute(plan, SyntheticBlobProvider(), 1);
+    EXPECT_EQ(stats.keys_persisted, 2U);  // one blob per rank
+    EXPECT_FALSE(stats.sealed);           // no commit protocol in this mode
+    for (RankId r = 0; r < 2; ++r) {
         EXPECT_TRUE(store.Contains("rank" + std::to_string(r) + "/ckpt"));
     }
 }

@@ -6,18 +6,23 @@
  *   1. physical — every stored file is read back through the CRC trailer,
  *      so torn writes and bit rot surface as damaged files;
  *   2. logical — every persist version the manifest records is located
- *      (plain key or `gen/<iter>/<key>` twin) and its bytes re-hashed
- *      against the recorded CRC;
+ *      (versioned shard key `<key>@<iter>` at its physical iteration —
+ *      dedup refs resolved — plain key, or `gen/<iter>/<key>` twin) and its
+ *      bytes re-hashed against the recorded CRC;
  *   3. restartability — per sealed generation, checks that the extra state
  *      and every non-expert shard are intact at exactly that iteration and
  *      every expert shard at some iteration at or below it (PEC carries
- *      unselected experts forward).
+ *      unselected experts forward). An *unsealed* generation with recorded
+ *      shards is a torn checkpoint event: the directory is classified
+ *      repairable (never clean) while one exists, since restart must fall
+ *      back past it.
  *
- * Exit codes: 0 = clean; 1 = damage found but at least one generation is
- * still restartable (repairable — recovery will degrade, not die); 2 =
- * fatal (no restartable generation, or the manifest itself is unreadable
- * alongside damage). `--json <path>` writes a moc-fsck/1 document listing
- * every damaged file so CI can assert detection coverage.
+ * Exit codes: 0 = clean; 1 = damage or a torn generation found but at
+ * least one generation is still restartable (repairable — recovery will
+ * degrade, not die); 2 = fatal (no restartable generation, or the manifest
+ * itself is unreadable alongside damage). `--json <path>` writes a
+ * moc-fsck/1 document listing every damaged file and torn generation so CI
+ * can assert detection coverage.
  */
 
 #include <cstdint>
@@ -83,7 +88,11 @@ ScrubFiles(const FileStore& store) {
 bool
 VersionIntact(const std::map<std::string, FileHealth>& files,
               const std::string& key, const PersistVersion& version) {
+    // Dedup-by-reference versions wrote no bytes of their own: the physical
+    // blob lives at the referenced iteration (PhysicalIteration).
     const std::string candidates[] = {
+        VersionedShardKey(key, version.PhysicalIteration()),
+        MocCheckpointSystem::GenKey(version.PhysicalIteration(), key),
         MocCheckpointSystem::GenKey(version.iteration, key), key};
     for (const auto& physical : candidates) {
         const auto it = files.find(physical);
@@ -162,6 +171,7 @@ RunFsck(const Args& args, std::ostream& out) {
     };
     std::vector<GenHealth> generations;
     std::vector<std::size_t> restartable;
+    std::vector<std::size_t> torn;
     if (have_manifest) {
         const auto keys = manifest.KeysAt(StoreLevel::kPersist);
         // Logical pass: every usable version the manifest records must have
@@ -186,8 +196,15 @@ RunFsck(const Args& args, std::ostream& out) {
             }
             return false;
         };
-        // Restartability pass, per sealed generation.
+        // Restartability pass, per sealed generation. An unsealed
+        // generation with recorded shards is *torn* — a checkpoint event
+        // that died mid-persist. Its shards may all be individually intact,
+        // but the set is incomplete by definition, so the directory is
+        // never "clean" while one exists (recovery must fall back).
         for (const auto& info : manifest.Generations()) {
+            if (!info.sealed && info.shards > 0) {
+                torn.push_back(info.iteration);
+            }
             GenHealth gen{info, info.sealed && !info.marked_corrupt};
             if (gen.restartable) {
                 for (const auto& [key, chain] : chains) {
@@ -220,7 +237,7 @@ RunFsck(const Args& args, std::ostream& out) {
     int code = 0;
     if (!have_manifest) {
         code = damage ? 1 : 0;
-    } else if (damage) {
+    } else if (damage || !torn.empty()) {
         code = restartable.empty() ? 2 : 1;
     } else if (restartable.empty() && !generations.empty()) {
         code = 2;
@@ -240,6 +257,10 @@ RunFsck(const Args& args, std::ostream& out) {
         out << "  missing version: " << mv.key << " @" << mv.iteration
             << "\n";
     }
+    for (const auto iteration : torn) {
+        out << "  torn generation: " << iteration
+            << " (unsealed; checkpoint event died mid-persist)\n";
+    }
     if (have_manifest) {
         Table t({"generation", "shards", "sealed", "restartable"});
         for (const auto& gen : generations) {
@@ -251,7 +272,7 @@ RunFsck(const Args& args, std::ostream& out) {
         out << t.ToString();
         if (restartable.empty()) {
             out << "FATAL: no restartable generation\n";
-        } else if (damage) {
+        } else if (damage || !torn.empty()) {
             out << "repairable: restart will degrade to generation "
                 << restartable.back() << "\n";
         } else {
@@ -278,6 +299,10 @@ RunFsck(const Args& args, std::ostream& out) {
             j << (i == 0 ? "" : ", ") << "{\"key\": \""
               << obs::JsonEscape(missing[i].key)
               << "\", \"iteration\": " << missing[i].iteration << "}";
+        }
+        j << "],\n  \"torn_generations\": [";
+        for (std::size_t i = 0; i < torn.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << torn[i];
         }
         j << "],\n  \"restartable_generations\": [";
         for (std::size_t i = 0; i < restartable.size(); ++i) {
