@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/corpus.h"
 #include "nn/classifier.h"
@@ -85,6 +87,9 @@ PrintHeader(const char* id, const char* title) {
     std::printf("================================================================\n");
 }
 
+/** Ordered (name, value) headline scalars a harness wants gated in CI. */
+using BenchScalars = std::vector<std::pair<std::string, double>>;
+
 /**
  * Dumps the metrics registry next to the harness's CSV results as
  * `results/<bench_id>_metrics.json` and the event journal as
@@ -92,9 +97,33 @@ PrintHeader(const char* id, const char* title) {
  * the stall/overlap/byte counters and checkpoint/fault timeline its run
  * accumulated, ready for `moc_cli report`. Latency-shaped histograms also
  * get a p50/p95/p99 stdout summary (see obs::HistogramQuantile).
+ *
+ * Every harness additionally writes `results/BENCH_<bench_id>.json`
+ * (schema `moc-bench/1`): run metadata plus the @p scalars it nominates as
+ * headline numbers. Nominate *deterministic* quantities — bytes, counts,
+ * ratios — not wall-clock timings; `tools/bench_gate.py` diffs them against
+ * the checked-in baseline under `bench/baselines/` with a tolerance gate.
  */
 inline void
-WriteBenchMetrics(const char* bench_id) {
+WriteBenchMetrics(const char* bench_id, const BenchScalars& scalars = {}) {
+    {
+        std::string j = "{\n  \"schema\": \"moc-bench/1\",\n  \"bench\": \"";
+        j += moc::obs::JsonEscape(bench_id);
+        j += "\",\n  \"run_meta\": {\"harness\": \"bench_";
+        j += moc::obs::JsonEscape(bench_id);
+        j += "\", \"results_dir\": \"results\"},\n  \"scalars\": {";
+        for (std::size_t i = 0; i < scalars.size(); ++i) {
+            j += i == 0 ? "\n" : ",\n";
+            j += "    \"" + moc::obs::JsonEscape(scalars[i].first) +
+                 "\": " + moc::obs::JsonNumber(scalars[i].second);
+        }
+        j += scalars.empty() ? "}\n}\n" : "\n  }\n}\n";
+        const std::string summary_path =
+            std::string("results/BENCH_") + bench_id + ".json";
+        if (moc::obs::WriteTextFile(summary_path, j, "bench summary")) {
+            std::printf("bench summary written to %s\n", summary_path.c_str());
+        }
+    }
     const std::string path =
         std::string("results/") + bench_id + "_metrics.json";
     if (moc::obs::WriteMetricsJson(path)) {

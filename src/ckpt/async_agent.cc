@@ -51,7 +51,8 @@ AsyncCheckpointAgent::~AsyncCheckpointAgent() {
 }
 
 void
-AsyncCheckpointAgent::RequestCheckpoint(Blob state, std::size_t iteration) {
+AsyncCheckpointAgent::RequestCheckpoint(Blob state, std::size_t iteration,
+                                        const obs::TraceContext& ctx) {
     // Finish any previous snapshot first: a training process has a single
     // outstanding snapshot at a time.
     WaitSnapshotComplete();
@@ -61,6 +62,7 @@ AsyncCheckpointAgent::RequestCheckpoint(Blob state, std::size_t iteration) {
     pending_blob_ = std::move(state);
     pending_shards_.clear();
     pending_iteration_ = iteration;
+    pending_ctx_ = ctx;
     ++stats_.checkpoints_requested;
     cv_.notify_all();
 }
@@ -73,7 +75,8 @@ AsyncCheckpointAgent::AttachPipeline(PersistPipeline* pipeline) {
 
 void
 AsyncCheckpointAgent::RequestShardedCheckpoint(std::vector<NamedShard> shards,
-                                               std::size_t iteration) {
+                                               std::size_t iteration,
+                                               const obs::TraceContext& ctx) {
     WaitSnapshotComplete();
     std::lock_guard<std::mutex> lock(mu_);
     MOC_CHECK_ARG(pipeline_ != nullptr,
@@ -83,6 +86,7 @@ AsyncCheckpointAgent::RequestShardedCheckpoint(std::vector<NamedShard> shards,
     pending_blob_.clear();
     pending_shards_ = std::move(shards);
     pending_iteration_ = iteration;
+    pending_ctx_ = ctx;
     ++stats_.checkpoints_requested;
     cv_.notify_all();
 }
@@ -131,6 +135,7 @@ AsyncCheckpointAgent::SnapshotLoop() {
         Blob blob;
         std::vector<NamedShard> shards;
         std::size_t iteration = 0;
+        obs::TraceContext ctx;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_.wait(lock, [this] { return snapshot_pending_ || stop_; });
@@ -143,9 +148,12 @@ AsyncCheckpointAgent::SnapshotLoop() {
             pending_blob_.clear();
             pending_shards_.clear();
             iteration = pending_iteration_;
+            ctx = pending_ctx_;
         }
         // GPU -> CPU copy into a snapshot buffer (costed by total bytes,
         // whether the payload is one blob or keyed shards).
+        ctx.phase = "snapshot";
+        const obs::TraceContextScope ctx_scope(ctx);
         const obs::TraceSpan span("agent.snapshot", "agent");
         const std::size_t idx = buffers_.AcquireForSnapshot();
         Bytes total = blob.size();
@@ -159,6 +167,7 @@ AsyncCheckpointAgent::SnapshotLoop() {
         slot.data = std::move(blob);
         slot.shards = std::move(shards);
         slot.iteration = iteration;
+        slot.ctx = ctx;
         buffers_.CompleteSnapshot(idx);
         static obs::Counter& snapshot_bytes =
             obs::MetricsRegistry::Instance().GetCounter("agent.snapshot_bytes");
@@ -182,8 +191,11 @@ AsyncCheckpointAgent::PersistLoop() {
         if (!idx) {
             return;
         }
-        const obs::TraceSpan span("agent.persist", "agent");
         auto& slot = buffers_.Payload(*idx);
+        obs::TraceContext ctx = slot.ctx;
+        ctx.phase = "persist";
+        const obs::TraceContextScope ctx_scope(ctx);
+        const obs::TraceSpan span("agent.persist", "agent");
         if (!slot.shards.empty()) {
             PersistShards(slot);
             buffers_.CompletePersist(*idx);
@@ -240,7 +252,7 @@ AsyncCheckpointAgent::PersistShards(TripleBuffer::Slot& slot) {
     const auto batch = pipeline->MakeBatch();
     for (auto& shard : slot.shards) {
         pipeline->Submit(key_prefix_ + "/" + shard.key, std::move(shard.data),
-                         slot.iteration, batch);
+                         slot.iteration, batch, slot.ctx);
     }
     batch->Wait();
     {

@@ -86,8 +86,12 @@ class AsyncCheckpointAgent {
     /**
      * Initiates an asynchronous checkpoint of @p state for @p iteration.
      * Blocks only if all three buffers are busy (itself a stall, counted).
+     * @p ctx (optional) is the checkpoint-event identity stamped on the
+     * snapshot/persist spans this request produces (obs/trace.h); it rides
+     * the triple-buffer slot across the agent's thread hops.
      */
-    void RequestCheckpoint(Blob state, std::size_t iteration);
+    void RequestCheckpoint(Blob state, std::size_t iteration,
+                           const obs::TraceContext& ctx = {});
 
     /**
      * Routes this agent's persist phase through @p pipeline: shards of a
@@ -105,7 +109,8 @@ class AsyncCheckpointAgent {
      * writes. Requires AttachPipeline.
      */
     void RequestShardedCheckpoint(std::vector<NamedShard> shards,
-                                  std::size_t iteration);
+                                  std::size_t iteration,
+                                  const obs::TraceContext& ctx = {});
 
     /**
      * Blocks until the most recently requested snapshot has finished its
@@ -147,6 +152,7 @@ class AsyncCheckpointAgent {
     Blob pending_blob_;
     std::vector<NamedShard> pending_shards_;
     std::size_t pending_iteration_ = 0;
+    obs::TraceContext pending_ctx_;
     bool snapshot_in_flight_ = false;
     bool stop_ = false;
     std::optional<std::size_t> latest_persisted_;

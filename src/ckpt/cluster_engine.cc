@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/trace.h"
 #include "storage/store_error.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -104,6 +105,12 @@ ClusterCheckpointEngine::Init(std::size_t num_ranks, const AgentCostModel& cost,
         pipe.verify = options_.verify;
         pipe.dedup = options_.dedup;
         pipe.time_scale = cost.time_scale;
+        if (options_.shard_deadline_s > 0.0 || options_.seal_deadline_s > 0.0) {
+            watchdog_ = std::make_unique<obs::StallWatchdog>();
+            pipe.watchdog = watchdog_.get();
+            pipe.shard_budget_s = options_.shard_deadline_s;
+            pipe.seal_budget_s = options_.seal_deadline_s;
+        }
         pipeline_ = std::make_unique<PersistPipeline>(store_, *manifest_,
                                                       std::move(write_cost), pipe);
     }
@@ -147,6 +154,15 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
     for (std::size_t r = 0; r < agents_.size(); ++r) {
         workers.emplace_back([this, &plan, &provider, &stats, iteration, r] {
             WallClock rank_clock;
+            // The flight-recorder identity of this rank's lane: every span
+            // and journal record downstream (snapshot thread, persist
+            // workers, seal) is stamped with it.
+            obs::TraceContext ctx;
+            ctx.generation = iteration;
+            ctx.iteration = iteration;
+            ctx.rank = static_cast<std::int32_t>(r);
+            ctx.phase = "serialize";
+            const obs::TraceContextScope ctx_scope(ctx);
             // CPU-side serialization is timed apart from the GPU->CPU
             // snapshot: folding it into the snapshot phase inflated the
             // Fig. 12 overlap numbers.
@@ -154,23 +170,32 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
             if (pipeline_) {
                 std::vector<NamedShard> shards;
                 shards.reserve(plan.Items(r).size());
-                for (const auto& item : plan.Items(r)) {
-                    shards.push_back(NamedShard{item.key, provider(item)});
+                {
+                    const obs::TraceSpan span("cluster.serialize", "cluster");
+                    for (const auto& item : plan.Items(r)) {
+                        shards.push_back(NamedShard{item.key, provider(item)});
+                    }
                 }
                 stats.per_rank_serialize[r] = rank_clock.Now() - serialize_start;
                 const Seconds snapshot_start = rank_clock.Now();
-                agents_[r]->RequestShardedCheckpoint(std::move(shards), iteration);
+                agents_[r]->RequestShardedCheckpoint(std::move(shards),
+                                                     iteration, ctx);
                 agents_[r]->WaitSnapshotComplete();
                 stats.per_rank_snapshot[r] = rank_clock.Now() - snapshot_start;
             } else {
                 Blob payload;
-                for (const auto& item : plan.Items(r)) {
-                    const Blob piece = provider(item);
-                    payload.insert(payload.end(), piece.begin(), piece.end());
+                {
+                    const obs::TraceSpan span("cluster.serialize", "cluster");
+                    for (const auto& item : plan.Items(r)) {
+                        const Blob piece = provider(item);
+                        payload.insert(payload.end(), piece.begin(),
+                                       piece.end());
+                    }
                 }
                 stats.per_rank_serialize[r] = rank_clock.Now() - serialize_start;
                 const Seconds snapshot_start = rank_clock.Now();
-                agents_[r]->RequestCheckpoint(std::move(payload), iteration);
+                agents_[r]->RequestCheckpoint(std::move(payload), iteration,
+                                              ctx);
                 agents_[r]->WaitSnapshotComplete();
                 stats.per_rank_snapshot[r] = rank_clock.Now() - snapshot_start;
             }

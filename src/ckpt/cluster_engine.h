@@ -75,6 +75,15 @@ struct ClusterEngineOptions {
      * directory. Empty = don't write.
      */
     std::string manifest_key = "meta/manifest";
+    /**
+     * Stall-watchdog deadline for one shard write+verify, wall seconds.
+     * Any positive budget makes the engine own a StallWatchdog and wire it
+     * into the persist pipeline; an op over budget journals a `stall`
+     * event and bumps obs.stall.* (see obs/watchdog.h). 0 = off.
+     */
+    double shard_deadline_s = 0.0;
+    /** Stall-watchdog deadline for the seal barrier's drain (0 = off). */
+    double seal_deadline_s = 0.0;
 };
 
 /** Measured outcome of one cluster checkpoint (all fields per-call). */
@@ -151,6 +160,9 @@ class ClusterCheckpointEngine {
     ClusterEngineOptions options_;
     std::unique_ptr<CheckpointManifest> owned_manifest_;
     CheckpointManifest* manifest_ = nullptr;
+    /** Declared before pipeline_ so it outlives the pipeline, which holds
+        a raw pointer to it. */
+    std::unique_ptr<obs::StallWatchdog> watchdog_;
     std::unique_ptr<PersistPipeline> pipeline_;
     std::vector<std::unique_ptr<AsyncCheckpointAgent>> agents_;
     std::size_t last_iteration_ = 0;

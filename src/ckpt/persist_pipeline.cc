@@ -85,7 +85,8 @@ PersistPipeline::MakeBatch() {
 
 void
 PersistPipeline::Submit(std::string key, Blob blob, std::size_t iteration,
-                        std::shared_ptr<ShardBatch> batch) {
+                        std::shared_ptr<ShardBatch> batch,
+                        const obs::TraceContext& ctx) {
     if (batch) {
         std::lock_guard<std::mutex> lock(batch->mu_);
         ++batch->pending_;
@@ -100,7 +101,7 @@ PersistPipeline::Submit(std::string key, Blob blob, std::size_t iteration,
     MOC_CHECK_ARG(!stop_, "pipeline is shutting down");
     ++gen_stats_.shards;
     queue_.push_back(Job{std::move(key), std::move(blob), iteration,
-                         std::move(batch)});
+                         std::move(batch), ctx});
     queue_cv_.notify_all();
 }
 
@@ -108,9 +109,24 @@ GenerationCommitStats
 PersistPipeline::FinishGeneration() {
     std::unique_lock<std::mutex> lock(mu_);
     MOC_CHECK_ARG(open_generation_.has_value(), "no generation open");
-    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-
     const std::size_t iteration = *open_generation_;
+    // The seal barrier: its span starts when the last submitter calls in
+    // and ends once the slowest shard drained — on the flight recorder it
+    // is the join node every rank's persist lane feeds into.
+    obs::TraceContext ctx;
+    ctx.generation = iteration;
+    ctx.iteration = iteration;
+    ctx.phase = "seal";
+    const obs::TraceContextScope ctx_scope(ctx);
+    const obs::TraceSpan span("cluster.seal", "cluster");
+    {
+        const obs::WatchdogOp guard(options_.watchdog, "seal",
+                                    options_.seal_budget_s, ctx,
+                                    "gen=" + std::to_string(iteration));
+        drain_cv_.wait(lock,
+                       [this] { return queue_.empty() && in_flight_ == 0; });
+    }
+
     gen_stats_.sealed =
         gen_stats_.failures == 0 &&
         gen_stats_.shards_written + gen_stats_.shards_deduped == gen_stats_.shards;
@@ -178,7 +194,9 @@ PersistPipeline::WorkerLoop() {
 
 void
 PersistPipeline::Execute(Job job) {
-    const obs::TraceSpan span("cluster.persist_shard", "cluster");
+    obs::TraceContext ctx = job.ctx;
+    ctx.phase = "persist";
+    const obs::TraceContextScope ctx_scope(ctx);
     const Seconds start = clock_.Now();
     const std::uint32_t crc = Crc32c(job.blob.data(), job.blob.size());
     const Bytes size = job.blob.size();
@@ -210,16 +228,31 @@ PersistPipeline::Execute(Job job) {
         }
     }
 
-    if (write_cost_) {
-        clock_.Advance(write_cost_(size) * options_.time_scale);
-    }
     const std::string physical = VersionedShardKey(job.key, job.iteration);
     bool written = false;
     bool verified = !options_.verify;  // unverified mode trusts the write
+    // The watchdog covers the whole write+verify: a latency spike inside
+    // Put (FaultyStore) or a hung filesystem fires a `stall` event while
+    // this op is still blocked.
+    const obs::WatchdogOp stall_guard(options_.watchdog, "persist",
+                                      options_.shard_budget_s, ctx,
+                                      "key=" + job.key);
     try {
-        store_.Put(physical, job.blob);
-        written = true;
+        {
+            const obs::TraceSpan write_span("cluster.persist_shard",
+                                            "cluster");
+            if (write_cost_) {
+                clock_.Advance(write_cost_(size) * options_.time_scale);
+            }
+            store_.Put(physical, job.blob);
+            written = true;
+        }
         if (options_.verify) {
+            obs::TraceContext verify_ctx = job.ctx;
+            verify_ctx.phase = "verify";
+            const obs::TraceContextScope verify_scope(verify_ctx);
+            const obs::TraceSpan verify_span("cluster.verify_shard",
+                                             "cluster");
             const auto readback = store_.Get(physical);
             verified = readback.has_value() && readback->size() == size &&
                        Crc32c(readback->data(), readback->size()) == crc;

@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 #include "util/clock.h"
@@ -56,6 +58,13 @@ struct PersistPipelineOptions {
     bool dedup = true;
     /** Wall-time scale applied to the write-cost sleeps. */
     double time_scale = 1.0;
+    /** Stall monitor for in-flight ops (optional; must outlive the
+        pipeline). Armed only when a budget below is positive. */
+    obs::StallWatchdog* watchdog = nullptr;
+    /** Deadline budget for one shard write+verify, wall seconds (0 = off). */
+    double shard_budget_s = 0.0;
+    /** Deadline budget for the seal barrier's drain wait (0 = off). */
+    double seal_budget_s = 0.0;
 };
 
 /** Per-generation outcome of the commit protocol. */
@@ -137,10 +146,13 @@ class PersistPipeline {
     /**
      * Enqueues one keyed shard write for the open generation. Blocks while
      * the queue is at capacity. @p batch (optional) is signalled when this
-     * shard completes.
+     * shard completes. @p ctx (optional) is the checkpoint-event identity
+     * the worker installs while executing the job, so persist/verify spans
+     * land in the submitting rank's lane of the flight recorder.
      */
     void Submit(std::string key, Blob blob, std::size_t iteration,
-                std::shared_ptr<ShardBatch> batch = nullptr);
+                std::shared_ptr<ShardBatch> batch = nullptr,
+                const obs::TraceContext& ctx = {});
 
     /**
      * Waits until every submitted shard of the open generation drained,
@@ -160,6 +172,7 @@ class PersistPipeline {
         Blob blob;
         std::size_t iteration = 0;
         std::shared_ptr<ShardBatch> batch;
+        obs::TraceContext ctx;
     };
 
     /** Content identity of a sealed shard, for dedup. */

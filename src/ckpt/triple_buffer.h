@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "storage/object_store.h"
 
 namespace moc {
@@ -60,6 +61,9 @@ class TripleBuffer {
         /** Keyed shards (per-shard persist path); empty in blob mode. */
         std::vector<NamedShard> shards;
         std::size_t iteration = 0;
+        /** Checkpoint-event identity, carried across the snapshot->persist
+            thread hop for the flight recorder (obs/critical_path.h). */
+        obs::TraceContext ctx;
     };
 
     TripleBuffer();

@@ -1,5 +1,6 @@
 #include "core/cluster_recovery.h"
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -67,6 +68,14 @@ PlanClusterRestore(const CheckpointManifest& manifest,
 ClusterRestoreResult
 ExecuteClusterRestore(const CheckpointManifest& manifest,
                       const ObjectStore& store, const ClusterRestorePlan& plan) {
+    // Restore spans carry the generation being restored, so a recovery
+    // shows up as its own lane in the flight recorder.
+    obs::TraceContext ctx;
+    ctx.generation = plan.generation;
+    ctx.iteration = plan.generation;
+    ctx.phase = "restore";
+    const obs::TraceContextScope ctx_scope(ctx);
+    const obs::TraceSpan span("cluster.restore", "cluster");
     ClusterRestoreResult result;
     result.generation = plan.generation;
     for (const auto& shard : plan.shards) {

@@ -464,6 +464,11 @@ MocCheckpointSystem::ShouldCheckpoint(std::size_t iteration) const {
 
 CheckpointReport
 MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) {
+    obs::TraceContext trace_ctx;
+    trace_ctx.generation = iteration;
+    trace_ctx.iteration = iteration;
+    trace_ctx.phase = "ckpt";
+    const obs::TraceContextScope trace_scope(trace_ctx);
     const obs::TraceSpan span("ckpt.checkpoint", "ckpt");
     const std::uint64_t begin_ns = obs::Tracer::NowNs();
     obs::ExpertStatsRegistry::Instance().SetIteration(iteration);
@@ -532,6 +537,9 @@ MocCheckpointSystem::RecordRouting(const std::vector<MoeLayer*>& layers) {
 
 RecoveryReport
 MocCheckpointSystem::RecoverFromFault(const std::vector<NodeId>& failed_nodes) {
+    obs::TraceContext trace_ctx;
+    trace_ctx.phase = "recover";
+    const obs::TraceContextScope trace_scope(trace_ctx);
     const obs::TraceSpan span("ckpt.recover", "fault");
     const std::uint64_t begin_ns = obs::Tracer::NowNs();
     auto& journal = obs::EventJournal::Instance();

@@ -16,6 +16,24 @@
 
 namespace moc::obs {
 
+namespace {
+
+/**
+ * Nanoseconds as fractional microseconds with full precision. %.9g would
+ * round large steady-clock stamps to ~100 µs, destroying span ordering for
+ * trace round-trips (obs/critical_path.h).
+ */
+std::string
+TraceMicros(std::uint64_t ns) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+}  // namespace
+
 std::string
 JsonEscape(const std::string& s) {
     std::string out;
@@ -142,10 +160,19 @@ ChromeTraceJson() {
         out << (first ? "" : ",") << "\n  {\"name\": \""
             << JsonEscape(event.name) << "\", \"cat\": \""
             << JsonEscape(event.category) << "\", \"ph\": \"X\", \"ts\": "
-            << JsonNumber(static_cast<double>(event.start_ns) / 1000.0)
-            << ", \"dur\": "
-            << JsonNumber(static_cast<double>(event.duration_ns) / 1000.0)
-            << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+            << TraceMicros(event.start_ns) << ", \"dur\": "
+            << TraceMicros(event.duration_ns)
+            << ", \"pid\": 1, \"tid\": " << event.tid;
+        // Checkpoint-event identity rides in "args" so chrome://tracing
+        // shows it per-span and moc_cli trace can re-assemble generations.
+        if (event.generation != 0 || event.rank >= 0 ||
+            event.phase[0] != '\0') {
+            out << ", \"args\": {\"gen\": " << event.generation
+                << ", \"iter\": " << event.iteration
+                << ", \"rank\": " << event.rank << ", \"phase\": \""
+                << JsonEscape(event.phase) << "\"}";
+        }
+        out << "}";
         first = false;
     }
     out << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";

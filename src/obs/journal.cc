@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "util/json.h"
@@ -29,6 +30,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kStorageFault, "storage_fault"},
     {EventKind::kDegradedRecovery, "degraded_recovery"},
     {EventKind::kClusterSeal, "cluster_seal"},
+    {EventKind::kStall, "stall"},
 };
 
 /** Nanoseconds at process start (first use), for relative wall stamps. */
@@ -72,11 +74,26 @@ EventJournal::Append(JournalEvent event) {
     // opposite order would latch an epoch *later* than now_ns and wrap.
     const std::uint64_t epoch = ProcessEpochNs();
     const std::uint64_t now_ns = Tracer::NowNs();
+    // Stamp checkpoint-event identity from the thread's trace context, so
+    // journal records correlate with spans without every call site having to
+    // thread generation/rank by hand. Explicit fields win over the context.
+    const TraceContext& ctx = CurrentTraceContext();
+    if (event.gen == 0) {
+        event.gen = ctx.generation;
+    }
+    if (event.scope == kGlobalScope && ctx.rank >= 0) {
+        event.scope = ctx.rank;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     event.seq = next_seq_++;
     event.wall_s = static_cast<double>(now_ns - epoch) / 1e9;
     if (events_.size() >= kMaxEvents) {
         ++dropped_;
+        // Surfaced by `moc_cli report`: nonzero means the exported journal
+        // is a prefix of what actually happened.
+        static Counter& dropped_ctr =
+            MetricsRegistry::Instance().GetCounter("obs.journal.dropped");
+        dropped_ctr.Add();
         return event.seq;
     }
     const std::uint64_t seq = event.seq;
@@ -120,7 +137,8 @@ EventsJsonl() {
         out << "{\"type\": \"" << EventKindName(e.kind) << "\", \"seq\": "
             << e.seq << ", \"t\": " << JsonNumber(e.wall_s)
             << ", \"iter\": " << e.iteration << ", \"scope\": " << e.scope
-            << ", \"bytes\": " << e.bytes << ", \"plt\": " << JsonNumber(e.plt)
+            << ", \"gen\": " << e.gen << ", \"bytes\": " << e.bytes
+            << ", \"plt\": " << JsonNumber(e.plt)
             << ", \"k\": " << e.k << ", \"detail\": \"" << JsonEscape(e.detail)
             << "\"}\n";
     }
@@ -161,6 +179,7 @@ ParseEventsJsonl(const std::string& text) {
         e.iteration = static_cast<std::uint64_t>(record.NumberOr("iter", 0.0));
         e.scope = static_cast<std::int64_t>(
             record.NumberOr("scope", static_cast<double>(kGlobalScope)));
+        e.gen = static_cast<std::uint64_t>(record.NumberOr("gen", 0.0));
         e.bytes = static_cast<std::uint64_t>(record.NumberOr("bytes", 0.0));
         e.plt = record.NumberOr("plt", -1.0);
         e.k = static_cast<std::uint64_t>(record.NumberOr("k", 0.0));

@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
     kClusterSeal,      ///< a cluster checkpoint generation finished its
                        ///< commit protocol (detail = sealed/unsealed + shard
                        ///< counts; bytes = physical bytes written)
+    kStall,            ///< the stall watchdog (obs/watchdog.h) caught an
+                       ///< in-flight checkpoint op over its phase deadline
+                       ///< (scope = rank, detail = phase/key/budget/elapsed)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */
@@ -66,6 +69,9 @@ struct JournalEvent {
     std::uint64_t iteration = 0;
     /** Node id the event is scoped to, or kGlobalScope. */
     std::int64_t scope = kGlobalScope;
+    /** Cluster checkpoint generation (0 = none); stamped on Append from the
+        thread's TraceContext when the caller leaves it 0. */
+    std::uint64_t gen = 0;
     /** Bytes moved by the event (0 when not applicable). */
     std::uint64_t bytes = 0;
     /** Ledger PLT at the event, or a negative value for "not sampled". */
@@ -87,7 +93,9 @@ class EventJournal {
     static EventJournal& Instance();
 
     /**
-     * Stamps seq and wall_s on @p event and buffers it.
+     * Stamps seq, wall_s, and (from the calling thread's TraceContext, when
+     * the caller left them defaulted) gen and scope on @p event, then
+     * buffers it.
      * @return the assigned sequence number.
      */
     std::uint64_t Append(JournalEvent event);

@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace moc::obs {
+
+namespace {
+
+/** The calling thread's installed context (default = inactive). */
+TraceContext&
+ThreadContext() {
+    thread_local TraceContext ctx;
+    return ctx;
+}
+
+}  // namespace
+
+const TraceContext&
+CurrentTraceContext() {
+    return ThreadContext();
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : saved_(ThreadContext()) {
+    ThreadContext() = ctx;
+}
+
+TraceContextScope::~TraceContextScope() {
+    ThreadContext() = saved_;
+}
 
 TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
     : capacity_(capacity), tid_(tid) {
@@ -21,6 +48,11 @@ TraceRing::Push(const TraceEvent& event) {
     ++dropped_;
     events_[head_] = event;
     head_ = (head_ + 1) % capacity_;
+    // Surfaced by `moc_cli report`: a nonzero value means the exported
+    // trace is a suffix of what actually happened.
+    static Counter& dropped_ctr =
+        MetricsRegistry::Instance().GetCounter("obs.trace.dropped");
+    dropped_ctr.Add();
 }
 
 std::vector<TraceEvent>
@@ -136,6 +168,11 @@ TraceSpan::~TraceSpan() {
     event.category = category_;
     event.start_ns = start_ns_;
     event.duration_ns = Tracer::NowNs() - start_ns_;
+    const TraceContext& ctx = CurrentTraceContext();
+    event.generation = ctx.generation;
+    event.iteration = ctx.iteration;
+    event.rank = ctx.rank;
+    event.phase = ctx.phase;
     Tracer::Instance().Record(event);
 }
 

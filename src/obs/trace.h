@@ -15,6 +15,13 @@
  * ring for export (see obs/export.h for the chrome://tracing emitter).
  * Span names/categories must be string literals (they are stored as
  * pointers, not copied).
+ *
+ * Cross-rank correlation: a `TraceContext` names the checkpoint event a
+ * span belongs to (generation, iteration, rank, phase). It is installed
+ * per-thread with `TraceContextScope` and carried across thread hops by the
+ * checkpoint stack (triple-buffer slots, persist-pipeline jobs), so the
+ * merged rings can be re-assembled into per-generation causal DAGs
+ * (obs/critical_path.h) — the flight recorder of docs/OBSERVABILITY.md.
  */
 
 #include <atomic>
@@ -25,6 +32,48 @@
 
 namespace moc::obs {
 
+/**
+ * Identity of the checkpoint event a span or journal record belongs to.
+ * Default-constructed means "no checkpoint context" (nothing is stamped).
+ * `phase` must be a string literal (stored as a pointer, like span names).
+ */
+struct TraceContext {
+    /** Cluster checkpoint generation id (0 = none). */
+    std::uint64_t generation = 0;
+    /** Training iteration the event belongs to. */
+    std::uint64_t iteration = 0;
+    /** Cluster rank (-1 = not rank-scoped). */
+    std::int32_t rank = -1;
+    /** Checkpoint phase: "serialize", "snapshot", "persist", "verify",
+        "seal", "recover", ... (empty = none). */
+    const char* phase = "";
+
+    /** True when any identifying field is set. */
+    bool Active() const {
+        return generation != 0 || rank >= 0 || phase[0] != '\0';
+    }
+};
+
+/** The calling thread's current context (inactive when none installed). */
+const TraceContext& CurrentTraceContext();
+
+/**
+ * RAII: installs @p ctx as the calling thread's trace context and restores
+ * the previous one at scope exit. Construct *before* the TraceSpans that
+ * should be stamped with it (members destruct in reverse order).
+ */
+class TraceContextScope {
+  public:
+    explicit TraceContextScope(const TraceContext& ctx);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope&) = delete;
+    TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+  private:
+    TraceContext saved_;
+};
+
 /** One completed span. */
 struct TraceEvent {
     const char* name = "";
@@ -33,6 +82,11 @@ struct TraceEvent {
     std::uint64_t duration_ns = 0;
     /** Tracer-assigned dense thread id (stable per thread). */
     std::uint32_t tid = 0;
+    /** Checkpoint-event identity (see TraceContext); stamped at record. */
+    std::uint64_t generation = 0;
+    std::uint64_t iteration = 0;
+    std::int32_t rank = -1;
+    const char* phase = "";
 };
 
 /** Fixed-capacity overwrite-oldest event buffer for one thread. */

@@ -1,0 +1,160 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace moc::obs {
+
+namespace {
+
+Counter&
+StallEventsCounter() {
+    static Counter& ctr =
+        MetricsRegistry::Instance().GetCounter("obs.stall.events");
+    return ctr;
+}
+
+Gauge&
+StallActiveGauge() {
+    static Gauge& gauge =
+        MetricsRegistry::Instance().GetGauge("obs.stall.active");
+    return gauge;
+}
+
+Histogram&
+OverrunHistogram() {
+    static Histogram& hist = MetricsRegistry::Instance().GetHistogram(
+        "obs.stall.overrun_seconds",
+        ExponentialBuckets(0.001, 2.0, 16));
+    return hist;
+}
+
+std::string
+StallDetail(const char* phase, const std::string& detail, double budget_s,
+            double elapsed_s) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "phase=%s budget_s=%.3f elapsed_s=%.3f", phase, budget_s,
+                  elapsed_s);
+    std::string out = buf;
+    if (!detail.empty()) {
+        out += " ";
+        out += detail;
+    }
+    return out;
+}
+
+}  // namespace
+
+StallWatchdog::StallWatchdog(double poll_interval_s)
+    : poll_interval_s_(poll_interval_s > 0.0 ? poll_interval_s : 0.002) {
+    thread_ = std::thread([this] { PollLoop(); });
+}
+
+StallWatchdog::~StallWatchdog() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+std::uint64_t
+StallWatchdog::OpBegin(const char* phase, double budget_s,
+                       const TraceContext& ctx, std::string detail) {
+    Op op;
+    op.phase = phase;
+    op.budget_s = budget_s;
+    op.start_ns = Tracer::NowNs();
+    op.ctx = ctx;
+    op.detail = std::move(detail);
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    ops_.emplace(id, std::move(op));
+    return id;
+}
+
+void
+StallWatchdog::OpEnd(std::uint64_t id) {
+    Op op;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = ops_.find(id);
+        if (it == ops_.end()) {
+            return;
+        }
+        op = std::move(it->second);
+        ops_.erase(it);
+    }
+    const double elapsed_s =
+        static_cast<double>(Tracer::NowNs() - op.start_ns) / 1e9;
+    if (elapsed_s > op.budget_s) {
+        OverrunHistogram().Observe(elapsed_s - op.budget_s);
+    }
+    if (op.fired) {
+        StallActiveGauge().Add(-1.0);
+    }
+}
+
+std::uint64_t
+StallWatchdog::stalls_fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_total_;
+}
+
+void
+StallWatchdog::PollLoop() {
+    const auto interval = std::chrono::duration<double>(poll_interval_s_);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        cv_.wait_for(lock, interval);
+        if (stop_) {
+            return;
+        }
+        const std::uint64_t now_ns = Tracer::NowNs();
+        // Gather overruns under the lock, journal them outside it: the
+        // journal and metrics take their own locks and must not nest.
+        struct Fired {
+            const char* phase;
+            double budget_s;
+            double elapsed_s;
+            TraceContext ctx;
+            std::string detail;
+        };
+        std::vector<Fired> fired;
+        for (auto& [id, op] : ops_) {
+            const double elapsed_s =
+                static_cast<double>(now_ns - op.start_ns) / 1e9;
+            if (!op.fired && elapsed_s > op.budget_s) {
+                op.fired = true;
+                ++fired_total_;
+                fired.push_back(
+                    {op.phase, op.budget_s, elapsed_s, op.ctx, op.detail});
+            }
+        }
+        lock.unlock();
+        for (const Fired& f : fired) {
+            StallEventsCounter().Add();
+            StallActiveGauge().Add(1.0);
+            JournalEvent event;
+            event.kind = EventKind::kStall;
+            event.iteration = f.ctx.iteration;
+            event.gen = f.ctx.generation;
+            if (f.ctx.rank >= 0) {
+                event.scope = f.ctx.rank;
+            }
+            event.detail =
+                StallDetail(f.phase, f.detail, f.budget_s, f.elapsed_s);
+            EventJournal::Instance().Append(event);
+        }
+        lock.lock();
+    }
+}
+
+}  // namespace moc::obs

@@ -1,0 +1,112 @@
+#ifndef MOC_OBS_WATCHDOG_H_
+#define MOC_OBS_WATCHDOG_H_
+
+/**
+ * @file
+ * The stall watchdog: a background poller that watches in-flight checkpoint
+ * operations against per-phase deadline budgets.
+ *
+ * Without it, a hung or slow shard write (a FaultyStore latency spike, a
+ * misbehaving filesystem) is invisible until the generation simply never
+ * seals — the seal barrier waits forever and nothing is logged. The
+ * watchdog turns that silence into signal: each persist/seal op registers
+ * with its TraceContext and a budget; a poll thread fires once per overrun
+ * op, appending a `stall` journal event (obs/journal.h) scoped to the
+ * stalled rank and bumping the `obs.stall.*` metrics. The op keeps running
+ * — detection, not cancellation — and its total overrun is recorded on
+ * completion.
+ *
+ * Use the RAII `WatchdogOp` at call sites; it is a no-op when the watchdog
+ * is absent or the budget is unset, so instrumented paths cost nothing in
+ * the default configuration.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace moc::obs {
+
+/** Background deadline monitor for in-flight checkpoint ops. */
+class StallWatchdog {
+  public:
+    /** @param poll_interval_s how often the poller scans in-flight ops. */
+    explicit StallWatchdog(double poll_interval_s = 0.002);
+
+    /** Joins the poll thread; in-flight ops are simply forgotten. */
+    ~StallWatchdog();
+
+    StallWatchdog(const StallWatchdog&) = delete;
+    StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+    /**
+     * Registers an in-flight op. @p phase must be a string literal;
+     * @p detail names the op in the stall event (e.g. the store key).
+     * @return a token for OpEnd.
+     */
+    std::uint64_t OpBegin(const char* phase, double budget_s,
+                          const TraceContext& ctx, std::string detail);
+
+    /** Completes the op; records its overrun (if any) in the histogram. */
+    void OpEnd(std::uint64_t id);
+
+    /** Stalls detected so far (monotonic; for tests). */
+    std::uint64_t stalls_fired() const;
+
+  private:
+    struct Op {
+        const char* phase = "";
+        double budget_s = 0.0;
+        std::uint64_t start_ns = 0;
+        TraceContext ctx;
+        std::string detail;
+        bool fired = false;  ///< stall already journaled for this op
+    };
+
+    void PollLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::map<std::uint64_t, Op> ops_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t fired_total_ = 0;
+    double poll_interval_s_;
+    std::thread thread_;
+};
+
+/**
+ * RAII registration of one op with an optional watchdog. No-op when
+ * @p watchdog is null or @p budget_s is not positive.
+ */
+class WatchdogOp {
+  public:
+    WatchdogOp(StallWatchdog* watchdog, const char* phase, double budget_s,
+               const TraceContext& ctx, std::string detail)
+        : watchdog_(budget_s > 0.0 ? watchdog : nullptr),
+          id_(watchdog_ != nullptr
+                  ? watchdog_->OpBegin(phase, budget_s, ctx, std::move(detail))
+                  : 0) {}
+
+    ~WatchdogOp() {
+        if (watchdog_ != nullptr) {
+            watchdog_->OpEnd(id_);
+        }
+    }
+
+    WatchdogOp(const WatchdogOp&) = delete;
+    WatchdogOp& operator=(const WatchdogOp&) = delete;
+
+  private:
+    StallWatchdog* watchdog_;
+    std::uint64_t id_;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_WATCHDOG_H_

@@ -218,6 +218,45 @@ TEST(Cli, FsckDamagedTwinIsRepairable) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(Cli, FsckNonexistentDirExitsTwoWithoutCreatingIt) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "moc_cli_fsck_no_such_dir";
+    std::filesystem::remove_all(dir);
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"fsck", dir.string()}, out, err), 2) << out.str();
+    EXPECT_NE(out.str().find("not a directory"), std::string::npos)
+        << out.str();
+    // The scrub must not have conjured the directory into existence.
+    EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(Cli, ReportMissingMetricsFileExitsTwo) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"report", "--metrics", "/no/such/metrics.json"}, out, err),
+              2)
+        << out.str();
+}
+
+TEST(Cli, ReportUnparsableMetricsExitsTwo) {
+    const auto path =
+        std::filesystem::temp_directory_path() / "moc_cli_bad_metrics.json";
+    std::ofstream(path) << "this is not json {";
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"report", "--metrics", path.string()}, out, err), 2)
+        << out.str();
+    std::filesystem::remove(path);
+}
+
+TEST(Cli, TraceMissingFileExitsTwo) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(Main({"trace", "--trace", "/no/such/trace.json"}, out, err), 2)
+        << out.str();
+}
+
 TEST(Cli, FsckAllExtraStateCopiesGoneIsFatal) {
     const auto dir = MakeCheckpointDir("moc_cli_fsck_fatal");
     CorruptFile(dir / "extra" / "state.blob");

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the checkpoint flight recorder: the critical-path profiler on a
+ * hand-built golden trace, TraceContext propagation through a real cluster
+ * persist, and the stall watchdog under injected storage latency spikes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt/cluster_engine.h"
+#include "obs/critical_path.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "storage/faulty_store.h"
+#include "storage/persistent_store.h"
+
+namespace moc {
+namespace {
+
+using obs::AnalyzeFlight;
+using obs::FlightSpan;
+using obs::TraceContext;
+
+/** One span of the synthetic 4-rank golden trace. */
+FlightSpan
+Span(const char* name, const char* phase, std::int32_t rank,
+     std::uint64_t start_us, std::uint64_t dur_us, std::uint32_t tid,
+     std::uint64_t gen = 7) {
+    FlightSpan s;
+    s.name = name;
+    s.category = "cluster";
+    s.phase = phase;
+    s.rank = rank;
+    s.start_ns = start_us * 1000;
+    s.duration_ns = dur_us * 1000;
+    s.tid = tid;
+    s.generation = gen;
+    s.iteration = gen;
+    return s;
+}
+
+/**
+ * A hand-built generation with a known shape: ranks 0/1/3 finish early,
+ * rank 2 serializes+snapshots+persists longest, the seal barrier ends the
+ * generation. Times in µs from generation start at t=1000.
+ */
+std::vector<FlightSpan>
+GoldenSpans() {
+    std::vector<FlightSpan> spans;
+    for (std::int32_t r = 0; r < 4; ++r) {
+        const auto tid = static_cast<std::uint32_t>(10 + r);
+        const std::uint64_t ser = r == 2 ? 400 : 100;
+        const std::uint64_t snap = r == 2 ? 800 : 300;
+        spans.push_back(Span("cluster.serialize", "serialize", r, 1000, ser,
+                             tid));
+        spans.push_back(
+            Span("agent.snapshot", "snapshot", r, 1000 + ser, snap, tid));
+        // Two persist shards per rank on a worker thread; rank 2's second
+        // shard is the overall straggler, ending at t=6000.
+        const auto wtid = static_cast<std::uint32_t>(20 + r);
+        const std::uint64_t p0 = 1000 + ser + snap + 50;
+        const std::uint64_t pdur = r == 2 ? 1500 : 500;
+        spans.push_back(
+            Span("cluster.persist_shard", "persist", r, p0, pdur, wtid));
+        spans.push_back(Span("cluster.persist_shard", "persist", r, p0 + pdur,
+                             pdur, wtid));
+        spans.push_back(Span("cluster.verify_shard", "verify", r,
+                             p0 + 2 * pdur, r == 2 ? 750 : 100, wtid));
+    }
+    // Seal barrier: starts before the straggler ends, ends the generation.
+    spans.push_back(Span("cluster.seal", "seal", -1, 5900, 200, 99));
+    // Noise: a span from another generation must not leak in.
+    spans.push_back(Span("cluster.seal", "seal", -1, 9000, 10, 99, 8));
+    return spans;
+}
+
+TEST(CriticalPath, GoldenFourRankTrace) {
+    const auto analysis = AnalyzeFlight(GoldenSpans());
+    ASSERT_EQ(analysis.generations.size(), 2u);
+    const auto& gen = analysis.generations.front();
+    EXPECT_EQ(gen.generation, 7u);
+    EXPECT_EQ(gen.straggler, 2);
+    ASSERT_EQ(gen.ranks.size(), 4u);
+    EXPECT_EQ(gen.ranks[2].slack_ns, 0u);
+    EXPECT_GT(gen.ranks[0].slack_ns, 0u);
+    EXPECT_EQ(gen.ranks[2].shards, 2u);
+
+    // The telescoped critical path must cover the wall time exactly.
+    EXPECT_EQ(gen.wall_ns, (6100u - 1000u) * 1000u);
+    EXPECT_EQ(gen.critical_ns, gen.wall_ns);
+
+    // Causal phase order along the path: serialize before snapshot before
+    // any persist/verify, seal last.
+    ASSERT_GE(gen.critical_path.size(), 4u);
+    EXPECT_EQ(gen.critical_path.front().phase, "serialize");
+    EXPECT_EQ(gen.critical_path.front().rank, 2);
+    EXPECT_EQ(gen.critical_path.back().phase, "seal");
+    std::map<std::string, std::size_t> first_index;
+    for (std::size_t i = 0; i < gen.critical_path.size(); ++i) {
+        first_index.emplace(gen.critical_path[i].phase, i);
+    }
+    EXPECT_LT(first_index.at("serialize"), first_index.at("snapshot"));
+    ASSERT_TRUE(first_index.count("persist") || first_index.count("verify"));
+
+    // Phase attribution sums (with waits) to the wall time too.
+    std::uint64_t total = 0;
+    for (const auto& [phase, ns] : gen.phase_ns) {
+        total += ns;
+    }
+    EXPECT_EQ(total, gen.wall_ns);
+}
+
+TEST(CriticalPath, ChromeTraceRoundTrip) {
+    auto& tracer = obs::Tracer::Instance();
+    tracer.Clear();
+    tracer.set_enabled(true);
+    {
+        TraceContext ctx;
+        ctx.generation = 41;
+        ctx.iteration = 41;
+        ctx.rank = 3;
+        ctx.phase = "persist";
+        const obs::TraceContextScope scope(ctx);
+        const obs::TraceSpan span("cluster.persist_shard", "cluster");
+    }
+    {
+        const obs::TraceSpan span("plain.span", "misc");  // no context
+    }
+    tracer.set_enabled(false);
+    const auto parsed = obs::ParseChromeTraceJson(obs::ChromeTraceJson());
+    tracer.Clear();
+
+    const FlightSpan* stamped = nullptr;
+    bool saw_plain = false;
+    for (const auto& s : parsed) {
+        if (s.name == "cluster.persist_shard") {
+            stamped = &s;
+        }
+        saw_plain = saw_plain || s.name == "plain.span";
+    }
+    ASSERT_NE(stamped, nullptr);
+    EXPECT_TRUE(saw_plain);
+    EXPECT_EQ(stamped->generation, 41u);
+    EXPECT_EQ(stamped->iteration, 41u);
+    EXPECT_EQ(stamped->rank, 3);
+    EXPECT_EQ(stamped->phase, "persist");
+
+    // Round-tripped spans analyze exactly like live ones.
+    const auto analysis = AnalyzeFlight(parsed);
+    ASSERT_EQ(analysis.generations.size(), 1u);
+    EXPECT_EQ(analysis.generations.front().straggler, 3);
+}
+
+/** PEC-shaped 2-rank plan used by the e2e propagation/watchdog tests. */
+ShardPlan
+SmallPlan(std::size_t ranks) {
+    ShardPlan plan(ranks);
+    for (RankId r = 0; r < ranks; ++r) {
+        plan.Add(r, {"dense/" + std::to_string(r), 16 * kMiB, false});
+        plan.Add(r, {"expert/" + std::to_string(r) + "/w", 8 * kMiB, false});
+    }
+    return plan;
+}
+
+AgentCostModel
+FastCost() {
+    AgentCostModel cost;
+    cost.snapshot_bandwidth = 1e9;
+    cost.persist_bandwidth = 1e9;
+    cost.time_scale = 1.0;
+    return cost;
+}
+
+TEST(FlightRecorder, ContextPropagatesThroughClusterPersist) {
+    auto& tracer = obs::Tracer::Instance();
+    tracer.Clear();
+    obs::EventJournal::Instance().Clear();
+    tracer.set_enabled(true);
+    constexpr std::size_t kIteration = 977;  // unique generation id
+    {
+        PersistentStore store({.write_bandwidth = 1e9,
+                               .read_bandwidth = 1e9,
+                               .latency = 0.0});
+        ClusterCheckpointEngine engine(store, 2, FastCost());
+        const auto stats = engine.Execute(SmallPlan(2),
+                                          SyntheticBlobProvider(1), kIteration);
+        EXPECT_TRUE(stats.sealed);
+    }
+    tracer.set_enabled(false);
+    const auto spans = obs::CollectFlightSpans();
+    tracer.Clear();
+
+    std::map<std::string, std::set<std::int32_t>> ranks_by_phase;
+    std::size_t seal_spans = 0;
+    for (const auto& s : spans) {
+        if (s.generation != kIteration) {
+            continue;
+        }
+        EXPECT_EQ(s.iteration, kIteration) << s.name;
+        if (!s.phase.empty() && s.rank >= 0) {
+            ranks_by_phase[s.phase].insert(s.rank);
+        }
+        seal_spans += s.name == "cluster.seal" ? 1 : 0;
+    }
+    // Every rank contributed a serialize, snapshot, and persist span, and
+    // the seal barrier was stamped with the generation.
+    EXPECT_EQ(ranks_by_phase["serialize"], (std::set<std::int32_t>{0, 1}));
+    EXPECT_EQ(ranks_by_phase["snapshot"], (std::set<std::int32_t>{0, 1}));
+    EXPECT_EQ(ranks_by_phase["persist"], (std::set<std::int32_t>{0, 1}));
+    EXPECT_EQ(seal_spans, 1u);
+
+    const auto analysis = AnalyzeFlight(spans);
+    bool found = false;
+    for (const auto& gen : analysis.generations) {
+        if (gen.generation != kIteration) {
+            continue;
+        }
+        found = true;
+        EXPECT_EQ(gen.critical_ns, gen.wall_ns);
+        EXPECT_GE(gen.straggler, 0);
+        EXPECT_EQ(gen.ranks.size(), 2u);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Watchdog, FiresOnLatencySpikeAndJournalsStall) {
+    obs::EventJournal::Instance().Clear();
+    constexpr std::size_t kIteration = 983;  // unique generation id
+    PersistentStore base({.write_bandwidth = 1e9,
+                          .read_bandwidth = 1e9,
+                          .latency = 0.0});
+    FaultyStore store(base, /*seed=*/11);
+    StorageFaultProfile profile;
+    profile.latency_spike = 1.0;  // every write sleeps
+    profile.latency_spike_seconds = 0.1;
+    store.Arm(profile);
+    ClusterEngineOptions opt;
+    opt.shard_deadline_s = 0.02;  // well under the spike
+    {
+        ClusterCheckpointEngine engine(store, 2, FastCost(), opt);
+        const auto stats = engine.Execute(SmallPlan(2),
+                                          SyntheticBlobProvider(2), kIteration);
+        EXPECT_TRUE(stats.sealed);
+    }
+    store.Disarm();
+
+    std::size_t stalls = 0;
+    for (const auto& e : obs::EventJournal::Instance().Collect()) {
+        if (e.kind != obs::EventKind::kStall || e.gen != kIteration) {
+            continue;
+        }
+        ++stalls;
+        EXPECT_GE(e.scope, 0);
+        EXPECT_NE(e.detail.find("phase=persist"), std::string::npos);
+        EXPECT_NE(e.detail.find("budget_s=0.020"), std::string::npos);
+    }
+    EXPECT_GE(stalls, 1u);
+}
+
+TEST(Watchdog, CleanRunJournalsNoStalls) {
+    obs::EventJournal::Instance().Clear();
+    constexpr std::size_t kIteration = 991;  // unique generation id
+    PersistentStore store({.write_bandwidth = 1e9,
+                           .read_bandwidth = 1e9,
+                           .latency = 0.0});
+    ClusterEngineOptions opt;
+    opt.shard_deadline_s = 5.0;  // generous: never overrun
+    opt.seal_deadline_s = 5.0;
+    {
+        ClusterCheckpointEngine engine(store, 2, FastCost(), opt);
+        const auto stats = engine.Execute(SmallPlan(2),
+                                          SyntheticBlobProvider(3), kIteration);
+        EXPECT_TRUE(stats.sealed);
+    }
+    for (const auto& e : obs::EventJournal::Instance().Collect()) {
+        EXPECT_FALSE(e.kind == obs::EventKind::kStall && e.gen == kIteration)
+            << e.detail;
+    }
+}
+
+TEST(Watchdog, DirectOpLifecycle) {
+    obs::StallWatchdog watchdog(/*poll_interval_s=*/0.001);
+    TraceContext ctx;
+    ctx.generation = 5;
+    ctx.rank = 1;
+    {
+        // Over-budget op: must fire exactly once despite many polls.
+        const std::uint64_t id =
+            watchdog.OpBegin("persist", 0.005, ctx, "key=x");
+        while (watchdog.stalls_fired() == 0) {
+        }
+        watchdog.OpEnd(id);
+    }
+    EXPECT_EQ(watchdog.stalls_fired(), 1u);
+    {
+        // Under-budget op: never fires.
+        const std::uint64_t id =
+            watchdog.OpBegin("seal", 10.0, ctx, "key=y");
+        watchdog.OpEnd(id);
+    }
+    EXPECT_EQ(watchdog.stalls_fired(), 1u);
+}
+
+}  // namespace
+}  // namespace moc

@@ -199,8 +199,10 @@ TEST(Report, FaultFreeRunDisablesFaultTerms) {
 TEST(Report, MalformedInputsFailCleanly) {
     TempDir dir;
     {
+        // Missing/unparsable inputs are exit code 2, the CLI's usage-error
+        // convention, so CI scripts can tell them from analysis findings.
         const auto missing = Report({"--metrics", dir.File("nope.json")});
-        EXPECT_EQ(missing.first, 1);
+        EXPECT_EQ(missing.first, 2);
         EXPECT_NE(missing.second.find("error:"), std::string::npos);
     }
     {
@@ -209,7 +211,7 @@ TEST(Report, MalformedInputsFailCleanly) {
     }
     {
         const auto malformed = Report({"--metrics", dir.File("bad.json")});
-        EXPECT_EQ(malformed.first, 1);
+        EXPECT_EQ(malformed.first, 2);
         EXPECT_NE(malformed.second.find("error:"), std::string::npos);
     }
     {
@@ -221,7 +223,7 @@ TEST(Report, MalformedInputsFailCleanly) {
     {
         const auto bad_events = Report({"--metrics", dir.File("ok.json"),
                                         "--events", dir.File("bad.jsonl")});
-        EXPECT_EQ(bad_events.first, 1);
+        EXPECT_EQ(bad_events.first, 2);
         EXPECT_NE(bad_events.second.find("error:"), std::string::npos);
     }
     {

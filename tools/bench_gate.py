@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diff a bench run's moc-bench/1 summary against its checked-in baseline.
+
+Usage:
+    bench_gate.py --baseline bench/baselines/BENCH_persist_pipeline.json \
+                  --candidate results/BENCH_persist_pipeline.json \
+                  [--tolerance 0.02]
+
+Every scalar the baseline records must be present in the candidate and agree
+within the relative tolerance (absolute for baseline values of 0). Scalars
+only the candidate has are reported but do not fail the gate — they become
+gated once added to the baseline. Exit 0 on pass, 1 on any violation,
+2 on unreadable/invalid input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "moc-bench/1":
+        print(f"bench_gate: {path}: schema is {doc.get('schema')!r}, "
+              "expected 'moc-bench/1'", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc.get("scalars"), dict):
+        print(f"bench_gate: {path}: missing 'scalars' object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="relative tolerance (default 0.02)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline.get("bench") != candidate.get("bench"):
+        print(f"bench_gate: bench mismatch: baseline is "
+              f"{baseline.get('bench')!r}, candidate is "
+              f"{candidate.get('bench')!r}", file=sys.stderr)
+        sys.exit(2)
+
+    base = baseline["scalars"]
+    cand = candidate["scalars"]
+    failures = []
+    print(f"bench_gate: {baseline.get('bench')} "
+          f"({len(base)} gated scalar(s), tolerance {args.tolerance:g})")
+    for name in sorted(base):
+        want = base[name]
+        if name not in cand:
+            failures.append(f"{name}: missing from candidate")
+            print(f"  FAIL {name}: baseline {want:g}, candidate missing")
+            continue
+        got = cand[name]
+        delta = abs(got - want)
+        limit = abs(want) * args.tolerance if want != 0 else args.tolerance
+        ok = delta <= limit
+        status = "ok  " if ok else "FAIL"
+        rel = f" ({delta / abs(want) * 100:.2f}%)" if want != 0 else ""
+        print(f"  {status} {name}: baseline {want:g}, candidate {got:g}{rel}")
+        if not ok:
+            failures.append(
+                f"{name}: {got:g} vs baseline {want:g} exceeds tolerance")
+    for name in sorted(set(cand) - set(base)):
+        print(f"  note {name}: {cand[name]:g} (not in baseline, ungated)")
+
+    if failures:
+        print(f"bench_gate: FAILED ({len(failures)} violation(s))",
+              file=sys.stderr)
+        sys.exit(1)
+    print("bench_gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

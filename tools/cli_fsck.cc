@@ -26,6 +26,7 @@
  */
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -131,6 +132,12 @@ RunFsck(const Args& args, std::ostream& out) {
         return 2;
     }
     const std::string root = args.positional.front();
+    // FileStore's constructor creates missing directories, which would turn
+    // a typo'd path into a silently "clean" empty scrub.
+    if (!std::filesystem::is_directory(root)) {
+        out << "error: '" << root << "' is not a directory\n";
+        return 2;
+    }
     const FileStore store(root);
     const auto files = ScrubFiles(store);
 

@@ -186,7 +186,7 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
         const obs::ObsOptions obs_options = obs::ExtractObsOptions(remaining);
         if (remaining.empty()) {
             err << "usage: moc_cli "
-                   "<inspect|plan|simulate|trace-check|report|fsck> "
+                   "<inspect|plan|simulate|trace-check|report|fsck|trace> "
                    "[args]\n"
                    "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n"
                    "       [--events-out <jsonl>] [--prom-out <prom-text>]\n";
@@ -207,6 +207,8 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
             code = RunReport(args, out);
         } else if (command == "fsck") {
             code = RunFsck(args, out);
+        } else if (command == "trace") {
+            code = RunTrace(args, out);
         } else {
             err << "unknown subcommand: " << command << "\n";
             return 2;

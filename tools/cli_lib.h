@@ -25,6 +25,12 @@
  *                                      timeline, PLT trajectory, expert
  *                                      staleness, measured-vs-predicted
  *                                      overhead (see tools/cli_report.cc)
+ *   trace --trace <chrome.json> [--events <jsonl>]
+ *                                      flight-recorder analysis of a
+ *                                      checkpoint trace: per-generation
+ *                                      critical path, straggler ranking,
+ *                                      per-phase O_save attribution, stall
+ *                                      events (see tools/cli_trace.cc)
  *
  * Global flags (any subcommand): `--metrics-out <path>` dumps the process
  * metrics registry as JSON on exit; `--trace-out <path>` enables tracing
@@ -61,6 +67,7 @@ int RunSimulate(const Args& args, std::ostream& out);
 int RunTraceCheck(const Args& args, std::ostream& out);
 int RunReport(const Args& args, std::ostream& out);
 int RunFsck(const Args& args, std::ostream& out);
+int RunTrace(const Args& args, std::ostream& out);
 
 /** Dispatches `moc_cli <subcommand> ...`; prints usage on errors. */
 int Main(const std::vector<std::string>& tokens, std::ostream& out,

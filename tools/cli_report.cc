@@ -326,8 +326,10 @@ RunReport(const Args& args, std::ostream& out) {
             threshold = std::stod(t);
         }
     } catch (const std::exception& e) {
+        // Missing or unparsable inputs are a usage-level failure (exit 2,
+        // like fsck), distinct from analysis findings.
         out << "error: " << e.what() << "\n";
-        return 1;
+        return 2;
     }
 
     out << "MoC run report\n";
@@ -504,6 +506,31 @@ RunReport(const Args& args, std::ostream& out) {
         }
     }
 
+    // -- observability health ------------------------------------------------
+    // Dropped trace/journal records mean the exports this report reads are
+    // incomplete — flag it loudly rather than report over a silent gap.
+    const double trace_dropped = dump.Counter("obs.trace.dropped");
+    const double journal_dropped = dump.Counter("obs.journal.dropped");
+    std::uint64_t stall_events = 0;
+    for (const obs::JournalEvent& e : events) {
+        stall_events += e.kind == obs::EventKind::kStall ? 1 : 0;
+    }
+    if (trace_dropped > 0.0) {
+        out << "\nWARNING: " << Table::Num(trace_dropped, 0)
+            << " trace span(s) dropped (ring overflow) — the exported trace "
+               "is a suffix of the run\n";
+    }
+    if (journal_dropped > 0.0) {
+        out << "\nWARNING: " << Table::Num(journal_dropped, 0)
+            << " journal event(s) dropped (buffer full) — the event journal "
+               "is a prefix of the run\n";
+    }
+    if (stall_events > 0) {
+        out << "\n" << stall_events
+            << " stall event(s) in the journal (checkpoint ops over their "
+               "deadline budget; run `moc_cli trace` for the critical path)\n";
+    }
+
     // -- overhead model ------------------------------------------------------
     // Operating point measured from the run itself.
     const double i_total = dump.Counter("train.iterations");
@@ -617,7 +644,11 @@ RunReport(const Args& args, std::ostream& out) {
             << ", \"storage_fault_events\": " << storage_fault_events << "},\n"
             << " \"events\": {\"total\": " << events.size()
             << ", \"recoveries\": " << recoveries.size()
-            << ", \"dynamic_k_bumps\": " << bumps << "}}\n";
+            << ", \"dynamic_k_bumps\": " << bumps
+            << ", \"stalls\": " << stall_events << "},\n"
+            << " \"obs_health\": {\"trace_dropped\": "
+            << obs::JsonNumber(trace_dropped) << ", \"journal_dropped\": "
+            << obs::JsonNumber(journal_dropped) << "}}\n";
     out << "\n--- machine-readable (moc-report/1) ---\n" << machine.str();
 
     const std::string report_json = args.Get("report-json", "");
