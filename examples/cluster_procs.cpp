@@ -1,0 +1,350 @@
+/**
+ * @file
+ * The multi-process cluster gauntlet: N real rank processes and a
+ * coordinator process speaking the checkpoint barrier protocol
+ * (ckpt/rank_coordinator.h) over TCP (net/socket_transport.h), against a
+ * shared on-disk checkpoint directory. This is the driver behind the CI
+ * transport-gauntlet job; `tools/moc_launcher` forks the fleet:
+ *
+ *   moc_launcher --binary cluster_procs --ranks 3 --events 3 \
+ *       --ckpt-dir /tmp/gauntlet --fault kill:rank=1:event=2:phase=persist:after=3
+ *
+ * Per checkpoint event the coordinator broadcasts kCkptBegin; each rank
+ * persists its shards under versioned keys through a ResilientStore
+ * (verified writes), then reports kRankDone with per-shard integrity
+ * records. The coordinator seals the generation in the manifest only when
+ * every rank's every shard verified (the recovery invariant) and writes
+ * the manifest for offline audit (`moc_cli fsck`).
+ *
+ * The `--fault` spec (src/faults/proc_faults.h) makes a rank SIGKILL
+ * (vanish: peer sees EOF) or SIGSTOP (freeze: peer sees heartbeat
+ * silence) itself at a chosen point. Either way the coordinator journals
+ * `peer_death`, leaves the generation unsealed, stops checkpointing, and
+ * replans recovery from the newest *sealed* generation — never the torn
+ * one.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/cluster_engine.h"
+#include "ckpt/rank_coordinator.h"
+#include "core/cluster_recovery.h"
+#include "faults/proc_faults.h"
+#include "net/socket_transport.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+#include "storage/file_store.h"
+#include "storage/resilient_store.h"
+#include "util/crc32.h"
+#include "util/table.h"
+
+using namespace moc;
+
+namespace {
+
+/** `--name value` lookup over argv (after ObsExportGuard stripped its own). */
+const char*
+FlagStr(int argc, char** argv, const char* name, const char* fallback) {
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag) {
+            return argv[i + 1];
+        }
+    }
+    return fallback;
+}
+
+double
+FlagDouble(int argc, char** argv, const char* name, double fallback) {
+    const char* value = FlagStr(argc, argv, name, nullptr);
+    return value != nullptr ? std::atof(value) : fallback;
+}
+
+std::size_t
+FlagSize(int argc, char** argv, const char* name, std::size_t fallback) {
+    return static_cast<std::size_t>(
+        FlagDouble(argc, argv, name, static_cast<double>(fallback)));
+}
+
+/** Every `--fault <spec>` occurrence. */
+std::vector<ProcFaultSpec>
+FlagFaults(int argc, char** argv) {
+    std::vector<ProcFaultSpec> specs;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--fault") {
+            specs.push_back(ParseProcFaultSpec(argv[i + 1]));
+        }
+    }
+    return specs;
+}
+
+/** The shard plan every process derives identically from the rank count. */
+ShardPlan
+BuildGauntletPlan(std::size_t ranks) {
+    ShardPlan plan(ranks);
+    for (RankId r = 0; r < ranks; ++r) {
+        plan.Add(r, {"dense/" + std::to_string(r), 64 * kMiB, false});
+        for (std::size_t e = 0; e < 4; ++e) {
+            const std::size_t id = r * 4 + e;
+            plan.Add(r, {"expert/" + std::to_string(id) + "/w", 16 * kMiB,
+                         false});
+        }
+    }
+    return plan;
+}
+
+/** Atomically publishes the coordinator's bound port for the ranks. */
+void
+WritePortFile(const std::string& path, std::uint16_t port) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        out << port << "\n";
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+/** Polls the port file until the coordinator published it. */
+std::uint16_t
+AwaitPortFile(const std::string& path, Seconds timeout_s) {
+    const WallClock clock;
+    const Seconds deadline = clock.Now() + timeout_s;
+    while (clock.Now() < deadline) {
+        std::ifstream in(path);
+        unsigned port = 0;
+        if (in >> port && port > 0 && port <= 65535) {
+            return static_cast<std::uint16_t>(port);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return 0;
+}
+
+int
+RunCoordinator(std::size_t ranks, std::size_t events,
+               const std::string& ckpt_dir, const std::string& port_file,
+               const net::SocketOptions& net_opts, Seconds join_timeout_s,
+               Seconds barrier_deadline_s) {
+    FileStore store(ckpt_dir);
+    auto transport =
+        net::SocketTransport::Listen(0, net::kCoordinatorPeer, net_opts);
+    WritePortFile(port_file, transport->port());
+    std::printf("coordinator: listening on 127.0.0.1:%u, waiting for %zu "
+                "rank(s)\n",
+                transport->port(), ranks);
+    if (!transport->WaitForPeers(ranks, join_timeout_s)) {
+        std::fprintf(stderr, "coordinator: only %zu/%zu ranks joined\n",
+                     transport->Peers().size(), ranks);
+        return 1;
+    }
+
+    std::vector<net::PeerId> participants;
+    for (std::size_t r = 0; r < ranks; ++r) {
+        participants.push_back(static_cast<net::PeerId>(r));
+    }
+    CheckpointCoordinator coordinator(*transport, std::move(participants));
+    CheckpointManifest manifest;
+
+    auto write_manifest = [&store, &manifest]() {
+        const std::string json = manifest.ToJson();
+        store.Put("meta/manifest", Blob(json.begin(), json.end()));
+    };
+
+    Table t({"generation", "sealed", "reports", "dead", "wait (s)"});
+    bool death = false;
+    for (std::size_t event = 1; event <= events && !death; ++event) {
+        obs::TraceContext ctx;
+        ctx.generation = event;
+        ctx.iteration = event;
+        ctx.phase = "barrier";
+        const obs::TraceContextScope scope(ctx);
+        coordinator.BeginGeneration(event, ctx);
+        WallClock clock;
+        const Seconds wait_start = clock.Now();
+        BarrierResult barrier;
+        {
+            const obs::TraceSpan span("net.barrier.wait", "net");
+            barrier = coordinator.AwaitReports(event, barrier_deadline_s);
+        }
+        RecordReports(manifest, barrier);
+        const bool sealed = SealIfComplete(manifest, event, barrier);
+        write_manifest();
+        t.AddRow({std::to_string(event), sealed ? "yes" : "no",
+                  std::to_string(barrier.reports.size()),
+                  std::to_string(barrier.dead.size()),
+                  Table::Num(clock.Now() - wait_start, 3)});
+        if (!barrier.dead.empty() || barrier.timed_out) {
+            // The recovery invariant in action: once a rank is dead the
+            // cluster stops advancing checkpoints — later generations
+            // could never seal (a participant is missing), and piling up
+            // unsealed generations only obscures the restart target.
+            death = true;
+        }
+    }
+    coordinator.Shutdown();
+    std::printf("%s", t.ToString().c_str());
+
+    std::size_t deaths_journaled = 0;
+    for (const auto& e : obs::EventJournal::Instance().Collect()) {
+        deaths_journaled += e.kind == obs::EventKind::kPeerDeath ? 1 : 0;
+    }
+    std::printf("peer_death events journaled: %zu\n", deaths_journaled);
+
+    // Replan restore from the newest sealed generation. A clean run
+    // restores the last event; a faulted run proves the torn generation
+    // was skipped.
+    const auto plan = PlanClusterRestore(manifest);
+    if (!plan) {
+        std::fprintf(stderr, "coordinator: no sealed generation to restore "
+                             "from\n");
+        return 1;
+    }
+    const ClusterRestoreResult restored =
+        ExecuteClusterRestore(manifest, store, *plan);
+    std::printf("recovered generation=%zu shards=%zu damaged=%zu "
+                "missing=%zu degraded=%zu\n",
+                restored.generation, restored.shards_restored,
+                restored.damaged.size(), plan->missing.size(),
+                restored.degraded.size());
+    const bool ok = restored.damaged.empty() && plan->missing.empty() &&
+                    restored.shards_restored > 0;
+    std::printf("gauntlet: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+int
+RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
+        const std::string& port_file, const net::SocketOptions& net_opts,
+        Seconds join_timeout_s, std::vector<ProcFaultSpec> fault_specs) {
+    const std::uint16_t port = AwaitPortFile(port_file, join_timeout_s);
+    if (port == 0) {
+        std::fprintf(stderr, "rank %zu: coordinator port never appeared\n",
+                     rank);
+        return 1;
+    }
+    auto transport = net::SocketTransport::Connect(
+        "127.0.0.1", port, static_cast<net::PeerId>(rank), net_opts);
+
+    FileStore base(ckpt_dir);
+    ResilientStore store(base);
+    const ShardPlan plan = BuildGauntletPlan(ranks);
+    ProcFaultSchedule faults(std::move(fault_specs), rank);
+    RankParticipant participant(*transport);
+
+    while (true) {
+        const auto begin = participant.AwaitBegin(join_timeout_s);
+        if (!begin) {
+            std::fprintf(stderr, "rank %zu: no begin within deadline\n",
+                         rank);
+            return 1;
+        }
+        if (begin->shutdown) {
+            // Announce the disconnect so the coordinator retires this
+            // connection instead of declaring a death on the EOF.
+            transport->Send(net::kCoordinatorPeer, net::MsgType::kGoodbye,
+                            {});
+            break;
+        }
+        const auto event = static_cast<std::size_t>(begin->iteration);
+        obs::TraceContext ctx;
+        ctx.generation = begin->ctx.generation;
+        ctx.iteration = begin->iteration;
+        ctx.rank = static_cast<std::int32_t>(rank);
+        ctx.phase = "persist";
+        const obs::TraceContextScope scope(ctx);
+        const obs::TraceSpan span("gauntlet.persist", "cluster");
+
+        std::vector<ShardReport> reports;
+        bool ok = true;
+        std::size_t shards_done = 0;
+        for (const auto& item : plan.Items(rank)) {
+            // The fault schedule fires *between* shard writes, so a kill
+            // mid-generation leaves exactly `after` durable shards — a
+            // genuinely torn generation for fsck to find.
+            faults.Poll(event, "persist", shards_done);
+            ShardReport report;
+            report.key = "rank" + std::to_string(rank) + "/" + item.key;
+            report.iteration = event;
+            const Blob blob = SyntheticShardBytes(item, event);
+            report.bytes = blob.size();
+            report.crc = Crc32c(blob.data(), blob.size());
+            try {
+                store.Put(VersionedShardKey(report.key, event), blob);
+                report.verified = true;  // ResilientStore read-back verified
+            } catch (const StoreError&) {
+                report.failed = true;
+                ok = false;
+            }
+            reports.push_back(std::move(report));
+            ++shards_done;
+        }
+        faults.Poll(event, "barrier", shards_done);
+        participant.SendDone(begin->iteration, std::move(reports), ok, ctx);
+    }
+    std::printf("rank %zu: shutdown after clean run\n", rank);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv) {
+    const obs::ObsExportGuard obs_guard(argc, argv);
+    const std::string role = FlagStr(argc, argv, "role", "");
+    const std::size_t ranks = FlagSize(argc, argv, "ranks", 3);
+    const std::size_t events = FlagSize(argc, argv, "events", 3);
+    const std::size_t rank = FlagSize(argc, argv, "rank", 0);
+    const std::string ckpt_dir =
+        FlagStr(argc, argv, "ckpt-dir", "/tmp/moc_gauntlet");
+    // Sibling of the checkpoint dir, NOT inside it: fsck scrubs every file
+    // under the store root and would flag a CRC-less port file as damage.
+    const std::string default_port_file = ckpt_dir + ".port";
+    const std::string port_file =
+        FlagStr(argc, argv, "port-file", default_port_file.c_str());
+    const double join_timeout_s =
+        FlagDouble(argc, argv, "join-timeout-s", 30.0);
+    const double barrier_deadline_s =
+        FlagDouble(argc, argv, "barrier-deadline-s", 10.0);
+
+    net::SocketOptions net_opts;
+    net_opts.heartbeat.interval_s =
+        FlagDouble(argc, argv, "hb-interval-s", 0.05);
+    net_opts.heartbeat.miss_limit = FlagSize(argc, argv, "hb-miss", 5);
+
+    if (role != "coordinator" && role != "rank") {
+        std::printf(
+            "usage: cluster_procs --role coordinator|rank [--rank R]\n"
+            "    [--ranks N] [--events N] [--ckpt-dir DIR] [--port-file F]\n"
+            "    [--hb-interval-s S] [--hb-miss N] [--barrier-deadline-s S]\n"
+            "    [--join-timeout-s S] [--fault SPEC]...\n"
+            "  fault SPEC: kill|stop:rank=R:event=E[:phase=persist|barrier]"
+            "[:after=N]\n"
+            "(normally launched as a fleet by tools/moc_launcher)\n");
+        return 2;
+    }
+    if (ranks == 0 || events == 0 || (role == "rank" && rank >= ranks)) {
+        std::fprintf(stderr, "cluster_procs: bad --ranks/--events/--rank\n");
+        return 2;
+    }
+
+    try {
+        if (role == "coordinator") {
+            return RunCoordinator(ranks, events, ckpt_dir, port_file,
+                                  net_opts, join_timeout_s,
+                                  barrier_deadline_s);
+        }
+        return RunRank(rank, ranks, ckpt_dir, port_file, net_opts,
+                       join_timeout_s, FlagFaults(argc, argv));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "cluster_procs(%s): %s\n", role.c_str(),
+                     e.what());
+        return 1;
+    }
+}

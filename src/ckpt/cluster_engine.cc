@@ -114,6 +114,20 @@ ClusterCheckpointEngine::Init(std::size_t num_ranks, const AgentCostModel& cost,
         pipeline_ = std::make_unique<PersistPipeline>(store_, *manifest_,
                                                       std::move(write_cost), pipe);
     }
+    // The begin/done barrier of every Execute runs over real Transport
+    // endpoints (in-process mailboxes here; TCP in the multi-process
+    // gauntlet), so the coordination protocol is exercised on every run.
+    coord_transport_ =
+        std::make_unique<net::InprocTransport>(hub_, net::kCoordinatorPeer);
+    std::vector<net::PeerId> participants;
+    rank_transports_.reserve(num_ranks);
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+        rank_transports_.push_back(std::make_unique<net::InprocTransport>(
+            hub_, static_cast<net::PeerId>(r)));
+        participants.push_back(static_cast<net::PeerId>(r));
+    }
+    coordinator_ = std::make_unique<CheckpointCoordinator>(
+        *coord_transport_, std::move(participants));
     agents_.reserve(num_ranks);
 }
 
@@ -147,6 +161,15 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
     WallClock clock;
     const Seconds start = clock.Now();
 
+    // Announce the event over the transport: every rank's begin arrives as
+    // a kCkptBegin message carrying the generation identity in its header,
+    // and the coordinator collects each rank's kRankDone as the barrier.
+    obs::TraceContext barrier_ctx;
+    barrier_ctx.generation = iteration;
+    barrier_ctx.iteration = iteration;
+    barrier_ctx.phase = "barrier";
+    coordinator_->BeginGeneration(iteration, barrier_ctx);
+
     // Each rank serializes its items and hands them to its agent; the
     // snapshot phases run concurrently across ranks (they sleep, not spin).
     std::vector<std::thread> workers;
@@ -154,12 +177,19 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
     for (std::size_t r = 0; r < agents_.size(); ++r) {
         workers.emplace_back([this, &plan, &provider, &stats, iteration, r] {
             WallClock rank_clock;
-            // The flight-recorder identity of this rank's lane: every span
+            RankParticipant participant(*rank_transports_[r]);
+            const auto begin =
+                participant.AwaitBegin(options_.barrier_deadline_s);
+            if (!begin || begin->shutdown) {
+                return;  // no begin arrived: the barrier reports us missing
+            }
+            // The flight-recorder identity of this rank's lane comes off
+            // the wire (the kCkptBegin header), not local state: every span
             // and journal record downstream (snapshot thread, persist
             // workers, seal) is stamped with it.
             obs::TraceContext ctx;
-            ctx.generation = iteration;
-            ctx.iteration = iteration;
+            ctx.generation = begin->ctx.generation;
+            ctx.iteration = begin->iteration;
             ctx.rank = static_cast<std::int32_t>(r);
             ctx.phase = "serialize";
             const obs::TraceContextScope ctx_scope(ctx);
@@ -199,7 +229,28 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
                 agents_[r]->WaitSnapshotComplete();
                 stats.per_rank_snapshot[r] = rank_clock.Now() - snapshot_start;
             }
+            // Snapshot landed: report done over the transport. Shard
+            // integrity reports stay empty in-process — the pipeline
+            // records them in the manifest directly; the multi-process
+            // ranks (examples/cluster_procs) carry them in this message.
+            participant.SendDone(begin->iteration, {}, /*ok=*/true, ctx);
         });
+    }
+    {
+        const obs::TraceContextScope barrier_scope(barrier_ctx);
+        const obs::TraceSpan span("net.barrier.wait", "net");
+        const Seconds wait_start = clock.Now();
+        const BarrierResult barrier = coordinator_->AwaitReports(
+            iteration, options_.barrier_deadline_s);
+        stats.barrier_wait = clock.Now() - wait_start;
+        stats.barrier_complete = barrier.complete;
+        if (!barrier.complete) {
+            MOC_WARN << "cluster: transport barrier incomplete for iteration "
+                     << iteration << " (" << barrier.reports.size() << "/"
+                     << agents_.size() << " reported, " << barrier.dead.size()
+                     << " dead" << (barrier.timed_out ? ", timed out" : "")
+                     << ")";
+        }
     }
     for (auto& w : workers) {
         w.join();

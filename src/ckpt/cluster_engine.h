@@ -26,7 +26,9 @@
 
 #include "ckpt/async_agent.h"
 #include "ckpt/persist_pipeline.h"
+#include "ckpt/rank_coordinator.h"
 #include "core/sharding.h"
+#include "net/inproc_transport.h"
 #include "storage/manifest.h"
 #include "storage/persistent_store.h"
 #include "util/clock.h"
@@ -84,10 +86,21 @@ struct ClusterEngineOptions {
     double shard_deadline_s = 0.0;
     /** Stall-watchdog deadline for the seal barrier's drain (0 = off). */
     double seal_deadline_s = 0.0;
+    /**
+     * Deadline for the transport barrier: how long the coordinator waits
+     * for every rank's kRankDone before treating the event as incomplete
+     * (see ckpt/rank_coordinator.h). In-process ranks only miss it when a
+     * rank thread wedges, so the default is generous.
+     */
+    double barrier_deadline_s = 30.0;
 };
 
 /** Measured outcome of one cluster checkpoint (all fields per-call). */
 struct ClusterRunStats {
+    /** The transport barrier saw every rank's kRankDone in time. */
+    bool barrier_complete = false;
+    /** Wall time the coordinator spent waiting on the kRankDone barrier. */
+    Seconds barrier_wait = 0.0;
     /** Wall time until every rank finished its snapshot phase. */
     Seconds snapshot_makespan = 0.0;
     /** Wall time until every rank's persist drained. */
@@ -160,6 +173,16 @@ class ClusterCheckpointEngine {
     ClusterEngineOptions options_;
     std::unique_ptr<CheckpointManifest> owned_manifest_;
     CheckpointManifest* manifest_ = nullptr;
+    /**
+     * Rank coordination fabric: the begin/done barrier of every Execute
+     * runs over these InprocTransport endpoints — the same protocol
+     * (ckpt/rank_coordinator.h) the multi-process gauntlet speaks over
+     * TCP. Declared before agents_ so endpoints outlive rank users.
+     */
+    net::InprocHub hub_;
+    std::unique_ptr<net::InprocTransport> coord_transport_;
+    std::vector<std::unique_ptr<net::InprocTransport>> rank_transports_;
+    std::unique_ptr<CheckpointCoordinator> coordinator_;
     /** Declared before pipeline_ so it outlives the pipeline, which holds
         a raw pointer to it. */
     std::unique_ptr<obs::StallWatchdog> watchdog_;

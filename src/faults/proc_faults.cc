@@ -1,0 +1,144 @@
+#include "faults/proc_faults.h"
+
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace moc {
+
+namespace {
+
+/** Splits "a:b:c" on ':'. */
+std::vector<std::string>
+SplitColon(const std::string& text) {
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(text);
+    while (std::getline(in, part, ':')) {
+        parts.push_back(part);
+    }
+    return parts;
+}
+
+std::size_t
+ParseCount(const std::string& value, const char* what) {
+    try {
+        std::size_t pos = 0;
+        const unsigned long long n = std::stoull(value, &pos);
+        MOC_CHECK_ARG(pos == value.size(), "trailing junk in " << what);
+        return static_cast<std::size_t>(n);
+    } catch (const std::invalid_argument&) {
+        throw;
+    } catch (const std::exception&) {
+        throw std::invalid_argument(std::string("bad ") + what + " '" +
+                                    value + "'");
+    }
+}
+
+}  // namespace
+
+ProcFaultSpec
+ParseProcFaultSpec(const std::string& text) {
+    const std::vector<std::string> parts = SplitColon(text);
+    MOC_CHECK_ARG(!parts.empty(), "empty fault spec");
+    ProcFaultSpec spec;
+    if (parts[0] == "kill") {
+        spec.action = ProcFaultAction::kKill;
+    } else if (parts[0] == "stop") {
+        spec.action = ProcFaultAction::kStop;
+    } else {
+        throw std::invalid_argument("fault action must be kill|stop, got '" +
+                                    parts[0] + "'");
+    }
+    bool have_rank = false;
+    bool have_event = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        MOC_CHECK_ARG(eq != std::string::npos,
+                      "fault spec field '" << parts[i] << "' is not key=value");
+        const std::string key = parts[i].substr(0, eq);
+        const std::string value = parts[i].substr(eq + 1);
+        if (key == "rank") {
+            spec.rank = ParseCount(value, "fault rank");
+            have_rank = true;
+        } else if (key == "event") {
+            spec.event = ParseCount(value, "fault event");
+            have_event = true;
+        } else if (key == "phase") {
+            MOC_CHECK_ARG(value == "persist" || value == "barrier",
+                          "fault phase must be persist|barrier, got '"
+                              << value << "'");
+            spec.phase = value;
+        } else if (key == "after") {
+            spec.after_shards = ParseCount(value, "fault after count");
+        } else {
+            throw std::invalid_argument("unknown fault spec key '" + key +
+                                        "'");
+        }
+    }
+    MOC_CHECK_ARG(have_rank && have_event,
+                  "fault spec needs rank= and event=");
+    return spec;
+}
+
+std::string
+ProcFaultSpecString(const ProcFaultSpec& spec) {
+    std::ostringstream out;
+    out << (spec.action == ProcFaultAction::kKill ? "kill" : "stop")
+        << ":rank=" << spec.rank << ":event=" << spec.event
+        << ":phase=" << spec.phase;
+    if (spec.phase == "persist") {
+        out << ":after=" << spec.after_shards;
+    }
+    return out.str();
+}
+
+ProcFaultSchedule::ProcFaultSchedule(std::vector<ProcFaultSpec> specs,
+                                     std::size_t self_rank)
+    : self_rank_(self_rank) {
+    armed_.reserve(specs.size());
+    for (auto& spec : specs) {
+        armed_.push_back(Armed{std::move(spec), false});
+    }
+}
+
+void
+ProcFaultSchedule::Poll(std::size_t event, const char* phase,
+                        std::size_t shards_done) {
+    for (auto& armed : armed_) {
+        const ProcFaultSpec& spec = armed.spec;
+        if (armed.fired || spec.rank != self_rank_ || spec.event != event ||
+            spec.phase != phase) {
+            continue;
+        }
+        if (spec.phase == "persist" && shards_done < spec.after_shards) {
+            continue;
+        }
+        armed.fired = true;
+        // The log line lands before the signal so a gauntlet transcript
+        // shows what was injected even when the process never returns.
+        MOC_WARN << "proc-fault: rank " << self_rank_ << " firing "
+                 << ProcFaultSpecString(spec) << " (shards_done="
+                 << shards_done << ")";
+        if (spec.action == ProcFaultAction::kKill) {
+            std::raise(SIGKILL);
+        } else {
+            std::raise(SIGSTOP);
+        }
+    }
+}
+
+std::size_t
+ProcFaultSchedule::pending() const {
+    std::size_t n = 0;
+    for (const auto& armed : armed_) {
+        if (!armed.fired && armed.spec.rank == self_rank_) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+}  // namespace moc

@@ -1,0 +1,91 @@
+#ifndef MOC_FAULTS_PROC_FAULTS_H_
+#define MOC_FAULTS_PROC_FAULTS_H_
+
+/**
+ * @file
+ * Process-level fault self-injection for the multi-process gauntlet
+ * (examples/cluster_procs via tools/moc_launcher): a rank process carries a
+ * schedule of "kill or stop yourself at this point" specs and polls it at
+ * instrumented points of the checkpoint loop, the process-grade sibling of
+ * StorageFaultSchedule's iteration windows.
+ *
+ *  - kill: raise(SIGKILL) — the process vanishes mid-write; its peer sees
+ *    connection EOF and declares death immediately. Models a crashed rank.
+ *  - stop: raise(SIGSTOP) — the process freezes with its sockets open;
+ *    its peer hears nothing and declares death by heartbeat timeout.
+ *    Models a partitioned or wedged rank. (The launcher SIGKILLs stopped
+ *    children on teardown; SIGKILL works on stopped processes.)
+ *
+ * Specs parse from launcher flags: "kill:rank=1:event=2:phase=persist:after=3"
+ * means rank 1 SIGKILLs itself during checkpoint event 2's persist phase
+ * after 3 shards landed. Phases: "persist" (polled per shard, `after`
+ * counts shards already written) and "barrier" (polled once, right before
+ * kRankDone would be sent — the shards all landed but the coordinator
+ * never hears; `after` is ignored).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moc {
+
+/** What the faulty process does to itself. */
+enum class ProcFaultAction {
+    kKill,  ///< raise(SIGKILL): vanish, peers see EOF
+    kStop,  ///< raise(SIGSTOP): freeze, peers see heartbeat silence
+};
+
+/** One scheduled process fault. */
+struct ProcFaultSpec {
+    ProcFaultAction action = ProcFaultAction::kKill;
+    /** Rank that injures itself. */
+    std::size_t rank = 0;
+    /** Checkpoint event (iteration) the fault fires in. */
+    std::size_t event = 0;
+    /** Poll point: "persist" or "barrier". */
+    std::string phase = "persist";
+    /** Shards persisted before the fault fires (persist phase only). */
+    std::size_t after_shards = 0;
+};
+
+/**
+ * Parses "kill:rank=1:event=2:phase=persist:after=3" (phase and after
+ * optional). @throws std::invalid_argument on junk.
+ */
+ProcFaultSpec ParseProcFaultSpec(const std::string& text);
+
+/** Human-readable round trip of @p spec, for logs. */
+std::string ProcFaultSpecString(const ProcFaultSpec& spec);
+
+/**
+ * The schedule one rank process polls. Poll() raises the configured signal
+ * when (event, phase, shards_done) matches a spec for this rank — it does
+ * not return from a kill, and returns (much) later from a stop.
+ */
+class ProcFaultSchedule {
+  public:
+    ProcFaultSchedule(std::vector<ProcFaultSpec> specs, std::size_t self_rank);
+
+    /**
+     * Fires any spec matching this rank at (@p event, @p phase,
+     * @p shards_done). Each spec fires at most once per process life.
+     */
+    void Poll(std::size_t event, const char* phase, std::size_t shards_done = 0);
+
+    /** Specs this rank still carries (for logs). */
+    std::size_t pending() const;
+
+  private:
+    struct Armed {
+        ProcFaultSpec spec;
+        bool fired = false;
+    };
+
+    std::vector<Armed> armed_;
+    std::size_t self_rank_;
+};
+
+}  // namespace moc
+
+#endif  // MOC_FAULTS_PROC_FAULTS_H_

@@ -1,0 +1,192 @@
+#ifndef MOC_NET_FRAME_H_
+#define MOC_NET_FRAME_H_
+
+/**
+ * @file
+ * The wire codec of the transport layer (docs/TRANSPORT.md): fixed-header
+ * frames carrying a typed message, the sender's session epoch, and the
+ * checkpoint TraceContext, closed by a CRC-32C trailer over the whole
+ * frame.
+ *
+ * Layout (little-endian, kHeaderSize = 48 bytes):
+ *
+ *   offset size field
+ *   0      4    magic "MOCF"
+ *   4      1    version (kWireVersion)
+ *   5      1    type (MsgType)
+ *   6      1    phase (PhaseId, the TraceContext phase)
+ *   7      1    flags (reserved, 0)
+ *   8      4    src_peer
+ *   12     4    epoch      (sender's session epoch; stale epochs rejected)
+ *   16     8    seq        (sender-local, monotonically increasing)
+ *   24     8    generation (TraceContext)
+ *   32     8    iteration  (TraceContext)
+ *   40     4    rank       (TraceContext, int32)
+ *   44     4    payload_len
+ *   48     ..   payload
+ *   48+n   4    CRC-32C over bytes [0, 48+n)
+ *
+ * `FrameDecoder` is an incremental parser tolerant of everything a real
+ * byte stream does to framing: partial reads (frames split at any byte),
+ * torn frames (a sender died mid-write), junk between frames, and bit
+ * damage (the CRC trailer rejects the frame and the decoder resynchronizes
+ * on the next magic). A damaged frame is *dropped*, never delivered —
+ * request/reply retries (transport.h) recover the loss.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "obs/trace.h"
+#include "storage/object_store.h"
+
+namespace moc::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 48;
+inline constexpr std::size_t kTrailerSize = 4;
+/** Upper bound on one frame's payload; bigger lengths are junk. */
+inline constexpr std::size_t kMaxPayload = 16u << 20;
+
+/** Typed message vocabulary of the transport (docs/TRANSPORT.md). */
+enum class MsgType : std::uint8_t {
+    kHello = 1,     ///< connect handshake: "peer <src_peer> joining"
+    kWelcome = 2,   ///< handshake reply: header epoch = assigned session epoch
+    kHeartbeat = 3, ///< liveness beacon; never queued for Recv
+    kGoodbye = 4,   ///< orderly close announcement
+    kData = 5,      ///< application payload
+    kCkptBegin = 6, ///< coordinator -> rank: start checkpoint `iteration`
+    kRankDone = 7,  ///< rank -> coordinator: shard reports for `iteration`
+    kPeerDeath = 8, ///< synthetic, local only: a peer was declared dead
+    kShutdown = 9,  ///< coordinator -> rank: run is over, exit cleanly
+};
+
+/** Stable wire name of @p type ("hello", "ckpt_begin", ...). */
+const char* MsgTypeName(MsgType type);
+
+/**
+ * Checkpoint phases as one wire byte. TraceContext stores its phase as a
+ * string literal; the codec maps the known literals onto this enum so the
+ * receiving process can re-install an identical context.
+ */
+enum class PhaseId : std::uint8_t {
+    kNone = 0,
+    kSerialize,
+    kSnapshot,
+    kPersist,
+    kVerify,
+    kSeal,
+    kRecover,
+    kBarrier,
+};
+
+/** The string literal of @p id ("" for kNone); stable storage. */
+const char* PhaseLiteral(PhaseId id);
+
+/** Best-effort inverse of PhaseLiteral; unknown phases map to kNone. */
+PhaseId PhaseIdOf(const char* phase);
+
+/** One decoded (or to-be-encoded) frame. */
+struct Frame {
+    MsgType type = MsgType::kData;
+    std::uint8_t flags = 0;
+    std::uint32_t src_peer = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t seq = 0;
+    /** Checkpoint-event identity carried in the header. */
+    obs::TraceContext ctx;
+    Blob payload;
+};
+
+/** Serializes @p frame into one contiguous wire image. */
+Blob EncodeFrame(const Frame& frame);
+
+/**
+ * Incremental frame parser over an arbitrary byte stream.
+ * Not thread-safe; each connection owns one.
+ */
+class FrameDecoder {
+  public:
+    /** Codec health counters, for net.* metrics. */
+    struct Stats {
+        std::uint64_t frames = 0;       ///< frames successfully decoded
+        std::uint64_t crc_rejects = 0;  ///< frames dropped on CRC mismatch
+        std::uint64_t junk_bytes = 0;   ///< bytes discarded hunting for magic
+        std::uint64_t resyncs = 0;      ///< times the decoder skipped junk
+    };
+
+    /** Appends @p len raw stream bytes. */
+    void Feed(const void* data, std::size_t len);
+
+    /**
+     * Extracts the next complete, CRC-valid frame, or nullopt when the
+     * buffered bytes hold none (call Feed with more stream first). Damaged
+     * or torn frames are skipped with resynchronization on the next magic.
+     */
+    std::optional<Frame> Next();
+
+    const Stats& stats() const { return stats_; }
+
+    /** Bytes buffered but not yet consumed (a partial frame's prefix). */
+    std::size_t pending_bytes() const { return buffer_.size() - offset_; }
+
+  private:
+    /** Discards @p n bytes as junk, counting one resync. */
+    void SkipJunk(std::size_t n);
+
+    std::vector<std::uint8_t> buffer_;
+    std::size_t offset_ = 0;
+    Stats stats_;
+};
+
+/**
+ * Bounds-checked payload builder: PODs little-endian, strings and byte
+ * ranges length-prefixed (u32) — the writePod/writeString idiom.
+ */
+class PayloadWriter {
+  public:
+    void U8(std::uint8_t v);
+    void U32(std::uint32_t v);
+    void U64(std::uint64_t v);
+    void I64(std::int64_t v);
+    void F64(double v);
+    void Str(const std::string& s);
+    void Raw(const void* data, std::size_t len);
+
+    Blob Take() { return std::move(bytes_); }
+    const Blob& bytes() const { return bytes_; }
+
+  private:
+    Blob bytes_;
+};
+
+/**
+ * Bounds-checked payload parser; every read throws std::runtime_error on
+ * truncation, so a malformed payload surfaces as a typed failure instead
+ * of reading past the buffer.
+ */
+class PayloadReader {
+  public:
+    explicit PayloadReader(const Blob& bytes) : bytes_(bytes) {}
+
+    std::uint8_t U8();
+    std::uint32_t U32();
+    std::uint64_t U64();
+    std::int64_t I64();
+    double F64();
+    std::string Str();
+
+    std::size_t remaining() const { return bytes_.size() - offset_; }
+
+  private:
+    /** Asserts @p n more bytes exist. @throws std::runtime_error. */
+    void Need(std::size_t n) const;
+
+    const Blob& bytes_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_FRAME_H_

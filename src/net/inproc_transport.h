@@ -1,0 +1,120 @@
+#ifndef MOC_NET_INPROC_TRANSPORT_H_
+#define MOC_NET_INPROC_TRANSPORT_H_
+
+/**
+ * @file
+ * The in-process Transport: peers are threads sharing an `InprocHub` of
+ * bounded mailboxes. This is the fast default for unit tests and for the
+ * in-process ClusterCheckpointEngine barrier — same message vocabulary,
+ * same epoch semantics, same in-band kPeerDeath delivery as the socket
+ * transport, with none of the kernel in the loop.
+ *
+ * Frames still round-trip through EncodeFrame/FrameDecoder, so the wire
+ * codec (and its CRC) is exercised on every message even in-process.
+ *
+ * Epoch semantics mirror SocketTransport: every Attach of a peer id admits
+ * a fresh session epoch via the hub's EpochGate; sends stamped with an
+ * older epoch are dropped (net.stale_frames), which is how tests model a
+ * zombie rank acking after its replacement rejoined. Detach (or endpoint
+ * destruction) synthesizes a kPeerDeath message into every other mailbox.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "net/liveness.h"
+#include "net/transport.h"
+
+namespace moc::net {
+
+/**
+ * Shared mailbox fabric for InprocTransport endpoints. Thread-safe; must
+ * outlive every endpoint attached to it.
+ */
+class InprocHub {
+  public:
+    /** Per-peer mailbox capacity; sends beyond it drop (net.queue_drops). */
+    explicit InprocHub(std::size_t queue_capacity = 1024);
+
+    /** Opens a mailbox for @p peer and admits a new session epoch. */
+    std::uint32_t Attach(PeerId peer);
+
+    /**
+     * Closes @p peer's mailbox and delivers a synthetic kPeerDeath for it
+     * to every other attached peer (@p orderly suppresses the death, for
+     * Goodbye-style clean shutdown).
+     */
+    void Detach(PeerId peer, bool orderly = false);
+
+    /**
+     * Routes one encoded frame from @p from (session @p epoch) to @p to.
+     * Stale epochs and unknown destinations are dropped.
+     */
+    bool Route(PeerId from, std::uint32_t epoch, PeerId to, const Blob& wire);
+
+    /** Blocks up to @p timeout_s for @p peer's next message. */
+    std::optional<Message> Wait(PeerId peer, Seconds timeout_s);
+
+    /** Pushes @p message back to the front of @p peer's mailbox. */
+    void Requeue(PeerId peer, Message message);
+
+    /** Currently attached peers other than @p self. */
+    std::vector<PeerId> PeersExcept(PeerId self) const;
+
+    bool Attached(PeerId peer) const;
+
+    const EpochGate& epochs() const { return epochs_; }
+
+  private:
+    struct Mailbox {
+        std::deque<Message> queue;
+        std::condition_variable cv;
+        bool open = true;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::map<PeerId, std::shared_ptr<Mailbox>> mailboxes_;
+    EpochGate epochs_;
+};
+
+/**
+ * Transport endpoint over an InprocHub. One per logical peer; create a
+ * second endpoint with the same peer id to model a rejoin (the new session
+ * epoch supersedes the old endpoint, whose sends then drop as stale).
+ */
+class InprocTransport final : public Transport {
+  public:
+    InprocTransport(InprocHub& hub, PeerId self);
+    ~InprocTransport() override;
+
+    PeerId self() const override { return self_; }
+    std::uint32_t epoch() const override { return epoch_; }
+    bool Send(PeerId to, MsgType type, Blob payload,
+              const obs::TraceContext& ctx = {}) override;
+    std::optional<Message> Recv(Seconds timeout_s) override;
+    void Requeue(Message message) override;
+    std::vector<PeerId> Peers() const override;
+    bool Alive(PeerId peer) const override;
+    void Close() override;
+
+    /** Leaves the hub without a synthesized death (orderly goodbye). */
+    void CloseOrderly();
+
+  private:
+    void Leave(bool orderly);
+
+    InprocHub& hub_;
+    PeerId self_;
+    std::uint32_t epoch_;
+    std::uint64_t next_seq_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_INPROC_TRANSPORT_H_

@@ -1,0 +1,95 @@
+#include "net/liveness.h"
+
+#include "util/logging.h"
+
+namespace moc::net {
+
+HeartbeatMonitor::HeartbeatMonitor(const HeartbeatOptions& options)
+    : options_(options) {
+    MOC_CHECK_ARG(options.interval_s > 0.0, "heartbeat interval must be > 0");
+    MOC_CHECK_ARG(options.miss_limit >= 1, "heartbeat miss limit must be >= 1");
+}
+
+void
+HeartbeatMonitor::Register(PeerId peer, Seconds now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    peers_[peer] = PeerState{now, false};
+}
+
+void
+HeartbeatMonitor::Heard(PeerId peer, Seconds now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = peers_.find(peer);
+    if (it == peers_.end() || it->second.dead) {
+        // A frame from an untracked or already-buried peer does not revive
+        // it: revival requires a fresh session (Register via reconnect).
+        return;
+    }
+    it->second.last_heard = now;
+}
+
+void
+HeartbeatMonitor::Remove(PeerId peer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    peers_.erase(peer);
+}
+
+std::vector<PeerId>
+HeartbeatMonitor::Expired(Seconds now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PeerId> expired;
+    const Seconds timeout = options_.DeathTimeout();
+    for (auto& [peer, state] : peers_) {
+        if (!state.dead && now - state.last_heard > timeout) {
+            state.dead = true;
+            expired.push_back(peer);
+        }
+    }
+    return expired;
+}
+
+bool
+HeartbeatMonitor::Alive(PeerId peer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = peers_.find(peer);
+    return it != peers_.end() && !it->second.dead;
+}
+
+Seconds
+HeartbeatMonitor::SilentFor(PeerId peer, Seconds now) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = peers_.find(peer);
+    return it == peers_.end() ? 0.0 : now - it->second.last_heard;
+}
+
+std::uint32_t
+EpochGate::Admit(PeerId peer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++epochs_[peer];
+}
+
+bool
+EpochGate::Accept(PeerId peer, std::uint32_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = epochs_.find(peer);
+    if (it != epochs_.end() && epoch == it->second) {
+        return true;
+    }
+    ++stale_rejected_;
+    return false;
+}
+
+std::uint32_t
+EpochGate::Current(PeerId peer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = epochs_.find(peer);
+    return it == epochs_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+EpochGate::stale_rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stale_rejected_;
+}
+
+}  // namespace moc::net

@@ -1,0 +1,119 @@
+#ifndef MOC_NET_LIVENESS_H_
+#define MOC_NET_LIVENESS_H_
+
+/**
+ * @file
+ * The heartbeat/reconnect state machines of the transport layer, factored
+ * out of the socket code so they are deterministic pure logic driven by
+ * injected time — the unit- and TSan-testable core of the
+ * paranoid-pirate-style liveness protocol (docs/TRANSPORT.md):
+ *
+ *  - `HeartbeatMonitor` tracks when each peer was last heard from and
+ *    declares a peer dead after `miss_limit` heartbeat intervals of
+ *    silence. Death is declared exactly once per session; hearing from the
+ *    peer again (a reconnect with a fresh epoch) revives it.
+ *  - `EpochGate` assigns monotonically increasing session epochs and
+ *    admits only frames of the current epoch, so a rank that died, lost
+ *    its connection, or was partitioned away cannot ack a stale
+ *    generation after it rejoins: its old epoch's frames are rejected.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace moc::net {
+
+/** A transport-level peer identity (ranks 0..N-1, coordinator, ...). */
+using PeerId = std::uint32_t;
+
+/** Reserved peer id of the cluster coordinator endpoint. */
+inline constexpr PeerId kCoordinatorPeer = 0xFFFF0000u;
+
+/** Liveness knobs: a peer is dead after miss_limit * interval_s silence. */
+struct HeartbeatOptions {
+    /** Beacon period. */
+    Seconds interval_s = 0.05;
+    /** Consecutive missed intervals before a peer is declared dead. */
+    std::size_t miss_limit = 5;
+
+    Seconds DeathTimeout() const {
+        return interval_s * static_cast<double>(miss_limit);
+    }
+};
+
+/**
+ * Tracks per-peer last-heard times against a death timeout. Thread-safe.
+ */
+class HeartbeatMonitor {
+  public:
+    explicit HeartbeatMonitor(const HeartbeatOptions& options = {});
+
+    /** Starts (or revives) tracking @p peer as alive at @p now. */
+    void Register(PeerId peer, Seconds now);
+
+    /** Any frame from @p peer counts as a heartbeat. */
+    void Heard(PeerId peer, Seconds now);
+
+    /** Stops tracking @p peer (orderly goodbye; no death declared). */
+    void Remove(PeerId peer);
+
+    /**
+     * Peers whose silence exceeded the death timeout at @p now. Each death
+     * is reported exactly once; a later Register revives the peer.
+     */
+    std::vector<PeerId> Expired(Seconds now);
+
+    /** True while @p peer is tracked and not declared dead. */
+    bool Alive(PeerId peer) const;
+
+    /** Seconds @p peer has been silent at @p now (0 when untracked). */
+    Seconds SilentFor(PeerId peer, Seconds now) const;
+
+    const HeartbeatOptions& options() const { return options_; }
+
+  private:
+    struct PeerState {
+        Seconds last_heard = 0.0;
+        bool dead = false;
+    };
+
+    HeartbeatOptions options_;
+    mutable std::mutex mu_;
+    std::map<PeerId, PeerState> peers_;
+};
+
+/**
+ * Session-epoch admission control. Thread-safe.
+ *
+ * Every (re)connect of a peer admits a new epoch (strictly increasing per
+ * peer); frames carrying any older epoch are rejected. This is what makes
+ * rejoin safe: an ack sent before a partition, delivered after the rank
+ * reconnected, can no longer be mistaken for progress of the new session.
+ */
+class EpochGate {
+  public:
+    /** Opens a new session for @p peer; returns its epoch (1, 2, ...). */
+    std::uint32_t Admit(PeerId peer);
+
+    /** True when @p epoch is @p peer's current session. */
+    bool Accept(PeerId peer, std::uint32_t epoch);
+
+    /** @p peer's current epoch (0 = never admitted). */
+    std::uint32_t Current(PeerId peer) const;
+
+    /** Frames rejected as stale since construction. */
+    std::uint64_t stale_rejected() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<PeerId, std::uint32_t> epochs_;
+    std::uint64_t stale_rejected_ = 0;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_LIVENESS_H_

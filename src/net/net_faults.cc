@@ -1,0 +1,119 @@
+#include "net/net_faults.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace moc::net {
+
+namespace {
+
+obs::Counter&
+FaultCounter(const char* name) {
+    return obs::MetricsRegistry::Instance().GetCounter(name);
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport& inner,
+                                 const NetFaultProfile& profile)
+    : inner_(inner), profile_(profile), rng_(profile.seed) {
+    MOC_CHECK_ARG(profile.drop >= 0.0 && profile.drop <= 1.0 &&
+                      profile.duplicate >= 0.0 && profile.duplicate <= 1.0 &&
+                      profile.reorder >= 0.0 && profile.reorder <= 1.0 &&
+                      profile.delay >= 0.0 && profile.delay <= 1.0,
+                  "fault probabilities must be in [0, 1]");
+}
+
+bool
+FaultyTransport::Send(PeerId to, MsgType type, Blob payload,
+                      const obs::TraceContext& ctx) {
+    static obs::Counter& dropped = FaultCounter("net.faults.dropped");
+    static obs::Counter& duplicated = FaultCounter("net.faults.duplicated");
+    static obs::Counter& reordered = FaultCounter("net.faults.reordered");
+    static obs::Counter& delayed = FaultCounter("net.faults.delayed");
+
+    if (profile_.spare_heartbeats && type == MsgType::kHeartbeat) {
+        return inner_.Send(to, type, std::move(payload), ctx);
+    }
+
+    bool do_duplicate = false;
+    Seconds sleep_s = 0.0;
+    std::optional<Held> release;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const double coin = rng_.Uniform();
+        double edge = profile_.drop;
+        if (coin < edge) {
+            ++stats_.dropped;
+            dropped.Add();
+            return true;  // "sent" as far as the caller can tell
+        }
+        if (coin < (edge += profile_.duplicate)) {
+            ++stats_.duplicated;
+            duplicated.Add();
+            do_duplicate = true;
+        } else if (coin < (edge += profile_.reorder)) {
+            if (!held_) {
+                // Hold this frame; it goes out after the next send.
+                ++stats_.reordered;
+                reordered.Add();
+                held_ = Held{to, type, std::move(payload), ctx};
+                return true;
+            }
+        } else if (coin < edge + profile_.delay) {
+            ++stats_.delayed;
+            delayed.Add();
+            sleep_s = profile_.delay_s;
+        }
+        if (held_) {
+            release = std::move(held_);
+            held_.reset();
+        }
+    }
+    if (sleep_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+    bool ok = inner_.Send(to, type, payload, ctx);
+    if (do_duplicate) {
+        inner_.Send(to, type, payload, ctx);
+    }
+    if (release) {
+        // The held frame follows the one that just passed: swapped order.
+        inner_.Send(release->to, release->type, std::move(release->payload),
+                    release->ctx);
+    }
+    return ok;
+}
+
+std::optional<Message>
+FaultyTransport::Recv(Seconds timeout_s) {
+    return inner_.Recv(timeout_s);
+}
+
+FaultyTransport::Stats
+FaultyTransport::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+FaultyTransport::Close() {
+    std::optional<Held> release;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (held_) {
+            release = std::move(held_);
+            held_.reset();
+        }
+    }
+    if (release) {
+        inner_.Send(release->to, release->type, std::move(release->payload),
+                    release->ctx);
+    }
+    inner_.Close();
+}
+
+}  // namespace moc::net

@@ -1,0 +1,91 @@
+#ifndef MOC_NET_NET_FAULTS_H_
+#define MOC_NET_NET_FAULTS_H_
+
+/**
+ * @file
+ * Seeded message-level fault injection for the transport layer, the
+ * network sibling of storage/faulty_store.h: a `FaultyTransport` wraps any
+ * Transport and drops, delays, duplicates, or reorders frames on Send
+ * according to a deterministic per-seed coin stream.
+ *
+ * The profile is probabilistic but the stream is seeded, so a failing test
+ * or gauntlet run replays exactly from its seed — the same reproducibility
+ * contract as StorageFaultProfile. Heartbeats pass through un-faulted by
+ * default (`spare_heartbeats`) so liveness tests can perturb data traffic
+ * without also amputating the protocol under test.
+ */
+
+#include <mutex>
+#include <optional>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace moc::net {
+
+/** Per-send fault probabilities; disjoint draws in the order listed. */
+struct NetFaultProfile {
+    /** Probability a frame is silently dropped. */
+    double drop = 0.0;
+    /** Probability a frame is sent twice. */
+    double duplicate = 0.0;
+    /** Probability a frame is held back and sent after the next one. */
+    double reorder = 0.0;
+    /** Probability a frame is delayed by delay_s before sending. */
+    double delay = 0.0;
+    /** Sleep applied to delayed frames. */
+    Seconds delay_s = 0.01;
+    /** Seed of the fault coin stream. */
+    std::uint64_t seed = 0x5EEDULL;
+    /** Leave kHeartbeat frames un-faulted (keep liveness honest). */
+    bool spare_heartbeats = true;
+};
+
+/**
+ * Transport decorator applying NetFaultProfile on the send path. Receive
+ * passes through untouched. Thread-safe to the same degree as the inner
+ * transport (the coin stream and reorder slot are mutex-protected).
+ */
+class FaultyTransport final : public Transport {
+  public:
+    FaultyTransport(Transport& inner, const NetFaultProfile& profile);
+
+    PeerId self() const override { return inner_.self(); }
+    std::uint32_t epoch() const override { return inner_.epoch(); }
+    bool Send(PeerId to, MsgType type, Blob payload,
+              const obs::TraceContext& ctx = {}) override;
+    std::optional<Message> Recv(Seconds timeout_s) override;
+    void Requeue(Message message) override { inner_.Requeue(std::move(message)); }
+    std::vector<PeerId> Peers() const override { return inner_.Peers(); }
+    bool Alive(PeerId peer) const override { return inner_.Alive(peer); }
+    void Close() override;
+
+    /** Frames affected so far, per fault class. */
+    struct Stats {
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t reordered = 0;
+        std::uint64_t delayed = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct Held {
+        PeerId to;
+        MsgType type;
+        Blob payload;
+        obs::TraceContext ctx;
+    };
+
+    Transport& inner_;
+    NetFaultProfile profile_;
+    mutable std::mutex mu_;
+    Rng rng_;
+    /** The frame held back by a pending reorder, if any. */
+    std::optional<Held> held_;
+    Stats stats_;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_NET_FAULTS_H_

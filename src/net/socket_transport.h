@@ -1,0 +1,149 @@
+#ifndef MOC_NET_SOCKET_TRANSPORT_H_
+#define MOC_NET_SOCKET_TRANSPORT_H_
+
+/**
+ * @file
+ * The TCP Transport: real inter-process messaging for multi-process
+ * cluster runs (examples/cluster_procs via tools/moc_launcher), built on
+ * the frame codec (frame.h) and the liveness state machines (liveness.h).
+ *
+ * Topology is hub-and-spoke: the coordinator `Listen`s, each rank
+ * `Connect`s and introduces itself with kHello; the coordinator admits a
+ * session epoch (EpochGate) and answers kWelcome carrying that epoch in
+ * the frame header. From then on both sides:
+ *
+ *  - run a reader thread per connection feeding a FrameDecoder — partial
+ *    reads and torn frames are handled by the codec, CRC rejects are
+ *    dropped and counted (net.crc_rejected);
+ *  - exchange kHeartbeat beacons every `heartbeat.interval_s`; a peer
+ *    silent for `miss_limit` intervals is declared dead (SIGSTOP'd or
+ *    partitioned process), as is a peer whose socket reaches EOF
+ *    (SIGKILL'd process). Death is journaled as `peer_death`, counted
+ *    (net.peer_deaths), and delivered in-band as a kPeerDeath message;
+ *  - reject frames from superseded sessions: when a rank reconnects the
+ *    coordinator admits a new epoch, and frames still in flight from the
+ *    old connection are dropped (net.stale_frames) — a rejoining rank
+ *    cannot ack a stale generation.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/liveness.h"
+#include "net/transport.h"
+
+namespace moc::net {
+
+/** Socket transport knobs. */
+struct SocketOptions {
+    HeartbeatOptions heartbeat;
+    /** Connect-side retry while the listener is not up yet. */
+    CallPolicy connect_retry;
+    /** Receive-queue capacity; frames beyond it drop (net.queue_drops). */
+    std::size_t queue_capacity = 1024;
+};
+
+/**
+ * TCP implementation of Transport. Construct via Listen (coordinator) or
+ * Connect (rank). All public methods are thread-safe.
+ */
+class SocketTransport final : public Transport {
+  public:
+    /**
+     * Binds 127.0.0.1:@p port (0 = ephemeral; see port()) and accepts
+     * peers in the background as @p self.
+     */
+    static std::unique_ptr<SocketTransport> Listen(
+        std::uint16_t port, PeerId self, const SocketOptions& options = {});
+
+    /**
+     * Connects to @p host:@p port as @p self, retrying per
+     * options.connect_retry, and completes the kHello/kWelcome handshake.
+     * @throws std::runtime_error when the handshake cannot be completed.
+     */
+    static std::unique_ptr<SocketTransport> Connect(
+        const std::string& host, std::uint16_t port, PeerId self,
+        const SocketOptions& options = {});
+
+    ~SocketTransport() override;
+
+    PeerId self() const override { return self_; }
+    std::uint32_t epoch() const override;
+    bool Send(PeerId to, MsgType type, Blob payload,
+              const obs::TraceContext& ctx = {}) override;
+    std::optional<Message> Recv(Seconds timeout_s) override;
+    void Requeue(Message message) override;
+    std::vector<PeerId> Peers() const override;
+    bool Alive(PeerId peer) const override;
+    void Close() override;
+
+    /** The locally bound port (listener; meaningful after Listen). */
+    std::uint16_t port() const { return port_; }
+
+    /** Blocks up to @p timeout_s until @p n peers completed the handshake. */
+    bool WaitForPeers(std::size_t n, Seconds timeout_s);
+
+  private:
+    struct Connection {
+        int fd = -1;
+        PeerId peer = 0;
+        /** The session epoch this connection was admitted under. */
+        std::uint32_t epoch = 0;
+        std::thread reader;
+        std::mutex send_mu;
+        std::atomic<bool> closed{false};
+    };
+
+    SocketTransport(PeerId self, const SocketOptions& options);
+
+    void StartListener(std::uint16_t port);
+    void AcceptLoop();
+    void ReaderLoop(std::shared_ptr<Connection> conn);
+    void HeartbeatLoop();
+    /** Registers @p conn as @p peer's live connection (admitting an epoch
+        on the listener side), superseding any previous one. */
+    void AdoptConnection(const std::shared_ptr<Connection>& conn, PeerId peer);
+    void DeclareDead(PeerId peer, const char* cause, Seconds silent_s);
+    void Enqueue(Message message);
+    bool SendOn(const std::shared_ptr<Connection>& conn, MsgType type,
+                Blob payload, const obs::TraceContext& ctx);
+    std::shared_ptr<Connection> FindConnection(PeerId peer) const;
+    static void CloseFd(int fd);
+
+    const PeerId self_;
+    const SocketOptions options_;
+    WallClock clock_;
+
+    std::atomic<bool> running_{true};
+    bool listener_ = false;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+    std::thread heartbeat_thread_;
+
+    mutable std::mutex conn_mu_;
+    std::map<PeerId, std::shared_ptr<Connection>> connections_;
+    /** Connections accepted but not yet past kHello. */
+    std::vector<std::shared_ptr<Connection>> pending_;
+    /** Superseded/dead connections kept for reader-thread joining. */
+    std::vector<std::shared_ptr<Connection>> retired_;
+    HeartbeatMonitor monitor_;
+    EpochGate epochs_;
+    /** The epoch the remote listener assigned us (connect side). */
+    std::atomic<std::uint32_t> session_epoch_{0};
+    std::atomic<std::uint64_t> next_seq_{0};
+
+    mutable std::mutex recv_mu_;
+    std::condition_variable recv_cv_;
+    std::deque<Message> recv_queue_;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_SOCKET_TRANSPORT_H_

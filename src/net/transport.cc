@@ -1,0 +1,118 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace moc::net {
+
+namespace {
+
+/** Jittered wait for attempt @p attempt (0-based), clamped to the cap. */
+Seconds
+AttemptTimeout(const CallPolicy& policy, std::size_t attempt, Rng& rng) {
+    Seconds wait = policy.initial_timeout_s;
+    for (std::size_t i = 0; i < attempt; ++i) {
+        wait *= policy.backoff_multiplier;
+    }
+    wait = std::min(wait, policy.max_timeout_s);
+    if (policy.jitter > 0.0) {
+        wait *= rng.Uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+    }
+    return std::max(wait, 1e-6);
+}
+
+}  // namespace
+
+std::optional<Message>
+Call(Transport& transport, PeerId to, MsgType type, Blob payload,
+     MsgType reply_type, const CallPolicy& policy,
+     const obs::TraceContext& ctx) {
+    MOC_CHECK_ARG(policy.max_attempts >= 1, "call needs >= 1 attempt");
+    static obs::Counter& retries =
+        obs::MetricsRegistry::Instance().GetCounter("net.call.retries");
+    static obs::Counter& timeouts =
+        obs::MetricsRegistry::Instance().GetCounter("net.call.timeouts");
+
+    // Per-call jitter stream: deterministic given the policy seed and the
+    // request identity, independent across concurrent callers.
+    Rng rng(policy.seed ^ (static_cast<std::uint64_t>(to) << 32) ^
+            ctx.iteration);
+    const WallClock clock;
+    const Seconds start = clock.Now();
+    std::vector<Message> preserved;
+
+    auto restore = [&transport, &preserved]() {
+        // Requeue pushes to the front, so walk backwards to restore order.
+        for (auto it = preserved.rbegin(); it != preserved.rend(); ++it) {
+            transport.Requeue(std::move(*it));
+        }
+    };
+
+    for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            retries.Add();
+        }
+        transport.Send(to, type, payload, ctx);
+        Seconds wait = AttemptTimeout(policy, attempt, rng);
+        Seconds deadline = clock.Now() + wait;
+        if (policy.op_deadline_s > 0.0) {
+            deadline = std::min(deadline, start + policy.op_deadline_s);
+        }
+        while (true) {
+            const Seconds remain = deadline - clock.Now();
+            if (remain <= 0.0) {
+                break;  // this attempt timed out; maybe resend
+            }
+            auto msg = transport.Recv(remain);
+            if (!msg) {
+                break;
+            }
+            if (msg->type == reply_type && msg->from == to) {
+                restore();
+                return msg;
+            }
+            if (msg->type == MsgType::kPeerDeath && msg->from == to) {
+                // The peer we are calling was declared dead: retrying is
+                // pointless, so surface the death to the caller instead.
+                restore();
+                return msg;
+            }
+            preserved.push_back(std::move(*msg));
+        }
+        if (policy.op_deadline_s > 0.0 &&
+            clock.Now() - start >= policy.op_deadline_s) {
+            break;
+        }
+        if (!transport.Alive(to)) {
+            break;
+        }
+    }
+    timeouts.Add();
+    restore();
+    return std::nullopt;
+}
+
+void
+JournalPeerDeath(PeerId peer, std::uint32_t epoch, const char* cause,
+                 Seconds silent_s, Seconds timeout_s) {
+    static obs::Counter& deaths =
+        obs::MetricsRegistry::Instance().GetCounter("net.peer_deaths");
+    deaths.Add();
+    obs::JournalEvent event;
+    event.kind = obs::EventKind::kPeerDeath;
+    if (peer != kCoordinatorPeer) {
+        event.scope = static_cast<std::int64_t>(peer);
+    }
+    std::ostringstream detail;
+    detail << "peer=" << peer << " epoch=" << epoch << " cause=" << cause
+           << " silent_s=" << silent_s << " timeout_s=" << timeout_s;
+    event.detail = detail.str();
+    obs::EventJournal::Instance().Append(std::move(event));
+}
+
+}  // namespace moc::net

@@ -1,0 +1,131 @@
+#ifndef MOC_NET_TRANSPORT_H_
+#define MOC_NET_TRANSPORT_H_
+
+/**
+ * @file
+ * The rank-communication abstraction (docs/TRANSPORT.md): typed, framed,
+ * CRC-checked messages between peers, with request/reply under per-op
+ * deadlines and bounded seeded-jitter retries (the lazy-pirate pattern,
+ * mirroring ResilientStore's RetryPolicy for storage).
+ *
+ * Two implementations:
+ *  - `InprocTransport` (inproc_transport.h) — in-process mailboxes, the
+ *    fast default for unit tests and the in-process cluster engine;
+ *  - `SocketTransport` (socket_transport.h) — TCP with heartbeat liveness,
+ *    session-epoch reconnect, and torn-frame tolerance, for real
+ *    multi-process runs (examples/cluster_procs, tools/moc_launcher).
+ *
+ * Peer death — however detected (EOF, heartbeat timeout, hub detach) — is
+ * delivered in-band as a synthetic MsgType::kPeerDeath message, so a
+ * receiver blocked in Recv wakes and learns which peer died, and is
+ * journaled as a `peer_death` event (obs/journal.h).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/liveness.h"
+#include "util/clock.h"
+
+namespace moc::net {
+
+/** One received message (the deliverable subset of a Frame). */
+struct Message {
+    MsgType type = MsgType::kData;
+    /** Sending peer (for kPeerDeath: the peer that died). */
+    PeerId from = 0;
+    /** Sender's session epoch at send time. */
+    std::uint32_t epoch = 0;
+    /** Sender-local sequence number. */
+    std::uint64_t seq = 0;
+    /** Checkpoint-event identity from the frame header. */
+    obs::TraceContext ctx;
+    Blob payload;
+};
+
+/** Retry/backoff/deadline knobs for request/reply (mirrors RetryPolicy). */
+struct CallPolicy {
+    /** Send attempts per call (>= 1). */
+    std::size_t max_attempts = 4;
+    /** Reply wait before the first resend; doubles (multiplier) after. */
+    Seconds initial_timeout_s = 0.05;
+    double backoff_multiplier = 2.0;
+    Seconds max_timeout_s = 1.0;
+    /** Uniform +/- fraction applied to each wait (0 = none). */
+    double jitter = 0.25;
+    /** Wall-clock budget for the whole call, retries included (0 = none). */
+    Seconds op_deadline_s = 5.0;
+    /** Seed of the jitter stream. */
+    std::uint64_t seed = 0x5EEDULL;
+};
+
+/**
+ * Bidirectional message endpoint. All methods are thread-safe; Recv may be
+ * called from one thread at a time.
+ */
+class Transport {
+  public:
+    virtual ~Transport() = default;
+
+    /** This endpoint's peer id. */
+    virtual PeerId self() const = 0;
+
+    /** This endpoint's current session epoch. */
+    virtual std::uint32_t epoch() const = 0;
+
+    /**
+     * Sends one message to @p to. Returns false when the peer is unknown,
+     * declared dead, or the connection is gone (the lazy-pirate retry in
+     * Call — or the caller — decides what to do about it).
+     */
+    virtual bool Send(PeerId to, MsgType type, Blob payload,
+                      const obs::TraceContext& ctx = {}) = 0;
+
+    /**
+     * Blocks up to @p timeout_s for the next message (heartbeats are
+     * consumed internally and never surface). Returns nullopt on timeout
+     * or after Close().
+     */
+    virtual std::optional<Message> Recv(Seconds timeout_s) = 0;
+
+    /**
+     * Pushes @p message back to the front of the receive queue — used by
+     * Call to preserve messages that arrive while it waits for its reply.
+     */
+    virtual void Requeue(Message message) = 0;
+
+    /** Peers currently connected and not declared dead. */
+    virtual std::vector<PeerId> Peers() const = 0;
+
+    /** True while @p peer is connected and not declared dead. */
+    virtual bool Alive(PeerId peer) const = 0;
+
+    /** Stops delivery; pending and future Recv calls return nullopt. */
+    virtual void Close() = 0;
+};
+
+/**
+ * Request/reply with bounded retries (lazy pirate): sends @p type to
+ * @p to, waits for a @p reply_type message from @p to, and resends with
+ * exponential backoff and seeded jitter until the reply arrives, the
+ * attempt budget runs out, the op deadline passes, or the peer is declared
+ * dead. Unrelated messages that arrive while waiting are requeued in
+ * order. Counts net.call.{retries,timeouts}.
+ */
+std::optional<Message> Call(Transport& transport, PeerId to, MsgType type,
+                            Blob payload, MsgType reply_type,
+                            const CallPolicy& policy = {},
+                            const obs::TraceContext& ctx = {});
+
+/**
+ * Journals one `peer_death` event (scope = @p peer as a node id when it is
+ * a rank, detail = cause + silence + epoch) and bumps net.peer_deaths.
+ */
+void JournalPeerDeath(PeerId peer, std::uint32_t epoch, const char* cause,
+                      Seconds silent_s, Seconds timeout_s);
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_TRANSPORT_H_

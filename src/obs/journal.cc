@@ -31,6 +31,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kDegradedRecovery, "degraded_recovery"},
     {EventKind::kClusterSeal, "cluster_seal"},
     {EventKind::kStall, "stall"},
+    {EventKind::kPeerDeath, "peer_death"},
 };
 
 /** Nanoseconds at process start (first use), for relative wall stamps. */

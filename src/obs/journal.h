@@ -47,6 +47,10 @@ enum class EventKind : std::uint8_t {
     kStall,            ///< the stall watchdog (obs/watchdog.h) caught an
                        ///< in-flight checkpoint op over its phase deadline
                        ///< (scope = rank, detail = phase/key/budget/elapsed)
+    kPeerDeath,        ///< the transport declared a peer dead — connection
+                       ///< EOF or heartbeat timeout (scope = peer when it is
+                       ///< a rank, detail = cause/silence/epoch; see
+                       ///< docs/TRANSPORT.md)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit tests for the in-process transport, the liveness state machines
+ * (HeartbeatMonitor / EpochGate), the lazy-pirate Call retry loop, and the
+ * seeded message-fault decorator (net/net_faults.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc_transport.h"
+#include "net/net_faults.h"
+#include "net/transport.h"
+
+namespace moc::net {
+namespace {
+
+TEST(NetTransport, InprocSendRecvRoundTrip) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    InprocTransport b(hub, 2);
+
+    obs::TraceContext ctx;
+    ctx.generation = 4;
+    ctx.iteration = 128;
+    ctx.rank = 1;
+    ctx.phase = "persist";
+    ASSERT_TRUE(a.Send(2, MsgType::kData, {1, 2, 3}, ctx));
+
+    auto msg = b.Recv(1.0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, MsgType::kData);
+    EXPECT_EQ(msg->from, 1U);
+    EXPECT_EQ(msg->payload, (Blob{1, 2, 3}));
+    // The TraceContext rides the frame header through the codec.
+    EXPECT_EQ(msg->ctx.generation, 4U);
+    EXPECT_EQ(msg->ctx.iteration, 128U);
+    EXPECT_EQ(msg->ctx.rank, 1);
+    EXPECT_STREQ(msg->ctx.phase, "persist");
+}
+
+TEST(NetTransport, RecvTimesOutEmpty) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    EXPECT_FALSE(a.Recv(0.01).has_value());
+}
+
+TEST(NetTransport, SendToUnknownPeerFails) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    EXPECT_FALSE(a.Send(42, MsgType::kData, {}));
+}
+
+TEST(NetTransport, DetachDeliversPeerDeathInBand) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    {
+        InprocTransport doomed(hub, 2);
+        doomed.Close();  // non-orderly: synthesizes a death
+    }
+    auto msg = a.Recv(1.0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, MsgType::kPeerDeath);
+    EXPECT_EQ(msg->from, 2U);
+    EXPECT_FALSE(a.Alive(2));
+}
+
+TEST(NetTransport, OrderlyGoodbyeSuppressesDeath) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    {
+        InprocTransport leaver(hub, 2);
+        leaver.CloseOrderly();
+    }
+    EXPECT_FALSE(a.Recv(0.02).has_value());
+}
+
+TEST(NetTransport, RejoinSupersedesOldEpochAndDropsStaleSends) {
+    InprocHub hub;
+    InprocTransport coordinator(hub, 100);
+    auto zombie = std::make_unique<InprocTransport>(hub, 2);
+    const std::uint32_t old_epoch = zombie->epoch();
+
+    // The rank "rejoins": a fresh endpoint with the same peer id admits a
+    // new session epoch, superseding the zombie.
+    InprocTransport rejoined(hub, 2);
+    EXPECT_GT(rejoined.epoch(), old_epoch);
+
+    // The zombie's ack must be dropped (stale epoch), not delivered.
+    EXPECT_FALSE(zombie->Send(100, MsgType::kRankDone, {9}));
+    EXPECT_FALSE(coordinator.Recv(0.02).has_value());
+    EXPECT_GE(hub.epochs().stale_rejected(), 1U);
+
+    // The rejoined endpoint's frames flow.
+    ASSERT_TRUE(rejoined.Send(100, MsgType::kRankDone, {7}));
+    auto msg = coordinator.Recv(1.0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload, (Blob{7}));
+    EXPECT_EQ(msg->epoch, rejoined.epoch());
+
+    // Destroying the zombie must not kill the successor's mailbox.
+    zombie.reset();
+    ASSERT_TRUE(rejoined.Send(100, MsgType::kData, {}));
+    EXPECT_TRUE(hub.Attached(2));
+}
+
+TEST(NetTransport, RequeuePreservesFrontOrder) {
+    InprocHub hub;
+    InprocTransport a(hub, 1);
+    InprocTransport b(hub, 2);
+    ASSERT_TRUE(a.Send(2, MsgType::kData, {1}));
+    ASSERT_TRUE(a.Send(2, MsgType::kData, {2}));
+
+    auto first = b.Recv(1.0);
+    ASSERT_TRUE(first.has_value());
+    b.Requeue(*first);
+    auto again = b.Recv(1.0);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->payload, (Blob{1}));
+    auto second = b.Recv(1.0);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->payload, (Blob{2}));
+}
+
+TEST(NetTransport, CallRetriesUntilReplyArrives) {
+    InprocHub hub;
+    InprocTransport client(hub, 1);
+    InprocTransport server(hub, 2);
+
+    std::thread responder([&server] {
+        // Ignore the first two attempts; answer the third.
+        std::size_t seen = 0;
+        while (seen < 3) {
+            auto msg = server.Recv(2.0);
+            if (!msg || msg->type != MsgType::kData) {
+                continue;
+            }
+            if (++seen == 3) {
+                server.Send(1, MsgType::kRankDone, {42});
+            }
+        }
+    });
+
+    CallPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_timeout_s = 0.02;
+    policy.op_deadline_s = 5.0;
+    auto reply = Call(client, 2, MsgType::kData, {7}, MsgType::kRankDone,
+                      policy);
+    responder.join();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::kRankDone);
+    EXPECT_EQ(reply->payload, (Blob{42}));
+}
+
+TEST(NetTransport, CallGivesUpAfterAttemptBudget) {
+    InprocHub hub;
+    InprocTransport client(hub, 1);
+    InprocTransport silent(hub, 2);
+
+    CallPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_timeout_s = 0.01;
+    policy.max_timeout_s = 0.02;
+    policy.op_deadline_s = 1.0;
+    auto reply =
+        Call(client, 2, MsgType::kData, {}, MsgType::kRankDone, policy);
+    EXPECT_FALSE(reply.has_value());
+}
+
+TEST(NetTransport, CallPreservesUnrelatedMessages) {
+    InprocHub hub;
+    InprocTransport client(hub, 1);
+    InprocTransport server(hub, 2);
+    InprocTransport bystander(hub, 3);
+
+    // An unrelated message lands while Call waits; it must survive.
+    ASSERT_TRUE(bystander.Send(1, MsgType::kData, {0xAA}));
+    std::thread responder([&server] {
+        auto msg = server.Recv(2.0);
+        if (msg) {
+            server.Send(1, MsgType::kRankDone, {1});
+        }
+    });
+    auto reply = Call(client, 2, MsgType::kData, {}, MsgType::kRankDone);
+    responder.join();
+    ASSERT_TRUE(reply.has_value());
+
+    auto kept = client.Recv(1.0);
+    ASSERT_TRUE(kept.has_value());
+    EXPECT_EQ(kept->from, 3U);
+    EXPECT_EQ(kept->payload, (Blob{0xAA}));
+}
+
+TEST(NetTransport, CallReturnsPeerDeathWhenTargetDies) {
+    InprocHub hub;
+    InprocTransport client(hub, 1);
+    auto victim = std::make_unique<InprocTransport>(hub, 2);
+
+    std::thread killer([&victim] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        victim->Close();
+    });
+    CallPolicy policy;
+    policy.max_attempts = 10;
+    policy.initial_timeout_s = 0.01;
+    policy.op_deadline_s = 5.0;
+    auto reply =
+        Call(client, 2, MsgType::kData, {}, MsgType::kRankDone, policy);
+    killer.join();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::kPeerDeath);
+    EXPECT_EQ(reply->from, 2U);
+}
+
+TEST(NetLiveness, MonitorDeclaresDeathAfterMissLimit) {
+    HeartbeatOptions options;
+    options.interval_s = 1.0;
+    options.miss_limit = 3;
+    HeartbeatMonitor monitor(options);
+    monitor.Register(7, 0.0);
+
+    EXPECT_TRUE(monitor.Alive(7));
+    EXPECT_TRUE(monitor.Expired(2.9).empty());
+    auto dead = monitor.Expired(3.1);
+    ASSERT_EQ(dead.size(), 1U);
+    EXPECT_EQ(dead[0], 7U);
+    EXPECT_FALSE(monitor.Alive(7));
+    // Death is declared exactly once.
+    EXPECT_TRUE(monitor.Expired(10.0).empty());
+}
+
+TEST(NetLiveness, HeardResetsTheSilenceClock) {
+    HeartbeatOptions options;
+    options.interval_s = 1.0;
+    options.miss_limit = 3;
+    HeartbeatMonitor monitor(options);
+    monitor.Register(7, 0.0);
+    monitor.Heard(7, 2.5);
+    EXPECT_TRUE(monitor.Expired(4.0).empty());
+    EXPECT_DOUBLE_EQ(monitor.SilentFor(7, 4.0), 1.5);
+    ASSERT_EQ(monitor.Expired(6.0).size(), 1U);
+}
+
+TEST(NetLiveness, HeardDoesNotReviveTheDeadButRegisterDoes) {
+    HeartbeatOptions options;
+    options.interval_s = 0.1;
+    options.miss_limit = 2;
+    HeartbeatMonitor monitor(options);
+    monitor.Register(7, 0.0);
+    ASSERT_EQ(monitor.Expired(1.0).size(), 1U);
+
+    // A late frame from the dead session must not resurrect it...
+    monitor.Heard(7, 1.1);
+    EXPECT_FALSE(monitor.Alive(7));
+    // ...but an explicit re-Register (a reconnect) does.
+    monitor.Register(7, 2.0);
+    EXPECT_TRUE(monitor.Alive(7));
+}
+
+TEST(NetLiveness, RemoveIsAnOrderlyGoodbye) {
+    HeartbeatMonitor monitor;
+    monitor.Register(7, 0.0);
+    monitor.Remove(7);
+    EXPECT_FALSE(monitor.Alive(7));
+    EXPECT_TRUE(monitor.Expired(1e9).empty());
+}
+
+TEST(NetLiveness, EpochGateRejectsStaleSessions) {
+    EpochGate gate;
+    EXPECT_EQ(gate.Current(5), 0U);
+    const std::uint32_t first = gate.Admit(5);
+    EXPECT_EQ(first, 1U);
+    EXPECT_TRUE(gate.Accept(5, first));
+
+    const std::uint32_t second = gate.Admit(5);
+    EXPECT_EQ(second, 2U);
+    EXPECT_FALSE(gate.Accept(5, first));  // the old session is gone
+    EXPECT_TRUE(gate.Accept(5, second));
+    EXPECT_EQ(gate.stale_rejected(), 1U);
+    // Epochs are per peer.
+    EXPECT_EQ(gate.Admit(6), 1U);
+}
+
+TEST(NetFaults, SeededDropIsDeterministic) {
+    const auto run = [](std::uint64_t seed) {
+        InprocHub hub;
+        InprocTransport sender(hub, 1);
+        InprocTransport receiver(hub, 2);
+        NetFaultProfile profile;
+        profile.drop = 0.5;
+        profile.seed = seed;
+        FaultyTransport faulty(sender, profile);
+        std::vector<int> delivered;
+        for (int i = 0; i < 64; ++i) {
+            faulty.Send(2, MsgType::kData, {static_cast<std::uint8_t>(i)});
+        }
+        while (auto msg = receiver.Recv(0.01)) {
+            delivered.push_back(msg->payload.at(0));
+        }
+        return delivered;
+    };
+    const auto a = run(0xABCD);
+    const auto b = run(0xABCD);
+    const auto c = run(0x1234);
+    EXPECT_EQ(a, b);           // same seed, same carnage
+    EXPECT_NE(a, c);           // different seed, different stream
+    EXPECT_LT(a.size(), 64U);  // something actually dropped
+    EXPECT_GT(a.size(), 0U);
+}
+
+TEST(NetFaults, DuplicateSendsTwice) {
+    InprocHub hub;
+    InprocTransport sender(hub, 1);
+    InprocTransport receiver(hub, 2);
+    NetFaultProfile profile;
+    profile.duplicate = 1.0;
+    FaultyTransport faulty(sender, profile);
+    ASSERT_TRUE(faulty.Send(2, MsgType::kData, {5}));
+
+    auto first = receiver.Recv(0.5);
+    auto second = receiver.Recv(0.5);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(first->payload, second->payload);
+    EXPECT_EQ(faulty.stats().duplicated, 1U);
+}
+
+TEST(NetFaults, ReorderHoldsOneFrameBack) {
+    InprocHub hub;
+    InprocTransport sender(hub, 1);
+    InprocTransport receiver(hub, 2);
+    NetFaultProfile profile;
+    profile.reorder = 1.0;
+    FaultyTransport faulty(sender, profile);
+
+    // First send is held; second send is reordered ahead of it — but only
+    // one frame is ever in the hold slot.
+    ASSERT_TRUE(faulty.Send(2, MsgType::kData, {1}));
+    EXPECT_FALSE(receiver.Recv(0.02).has_value());
+    ASSERT_TRUE(faulty.Send(2, MsgType::kData, {2}));
+
+    std::vector<std::uint8_t> order;
+    while (auto msg = receiver.Recv(0.05)) {
+        order.push_back(msg->payload.at(0));
+    }
+    ASSERT_EQ(order.size(), 2U);
+    EXPECT_EQ(order[0], 2);  // the later frame overtook the held one
+    EXPECT_EQ(order[1], 1);
+    EXPECT_GE(faulty.stats().reordered, 1U);
+}
+
+TEST(NetFaults, CloseFlushesHeldFrame) {
+    InprocHub hub;
+    InprocTransport sender(hub, 1);
+    InprocTransport receiver(hub, 2);
+    NetFaultProfile profile;
+    profile.reorder = 1.0;
+    {
+        FaultyTransport faulty(sender, profile);
+        ASSERT_TRUE(faulty.Send(2, MsgType::kData, {9}));
+        faulty.Close();
+    }
+    auto msg = receiver.Recv(0.5);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload, (Blob{9}));
+}
+
+TEST(NetFaults, SparedHeartbeatsPassThroughUnfaulted) {
+    InprocHub hub;
+    InprocTransport sender(hub, 1);
+    InprocTransport receiver(hub, 2);
+    NetFaultProfile profile;
+    profile.drop = 1.0;  // drop every data frame
+    FaultyTransport faulty(sender, profile);
+
+    EXPECT_TRUE(faulty.Send(2, MsgType::kHeartbeat, {}));
+    EXPECT_EQ(faulty.stats().dropped, 0U);
+    // A dropped data frame still reports success — the loss is silent,
+    // exactly like the network — but nothing is delivered.
+    EXPECT_TRUE(faulty.Send(2, MsgType::kData, {1}));
+    EXPECT_EQ(faulty.stats().dropped, 1U);
+    bool saw_data = false;
+    while (auto msg = receiver.Recv(0.02)) {
+        saw_data |= msg->type == MsgType::kData;
+    }
+    EXPECT_FALSE(saw_data);
+}
+
+}  // namespace
+}  // namespace moc::net

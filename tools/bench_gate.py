@@ -18,12 +18,21 @@ import json
 import sys
 
 
+def numeric(value):
+    """True for real numbers; bool is a subclass of int but not a scalar."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"bench_gate: {path}: top-level JSON is "
+              f"{type(doc).__name__}, expected an object", file=sys.stderr)
         sys.exit(2)
     if doc.get("schema") != "moc-bench/1":
         print(f"bench_gate: {path}: schema is {doc.get('schema')!r}, "
@@ -33,6 +42,11 @@ def load(path):
         print(f"bench_gate: {path}: missing 'scalars' object",
               file=sys.stderr)
         sys.exit(2)
+    for name, value in doc["scalars"].items():
+        if not numeric(value):
+            print(f"bench_gate: {path}: scalar {name!r} is "
+                  f"{value!r}, expected a number", file=sys.stderr)
+            sys.exit(2)
     return doc
 
 

@@ -512,8 +512,10 @@ RunReport(const Args& args, std::ostream& out) {
     const double trace_dropped = dump.Counter("obs.trace.dropped");
     const double journal_dropped = dump.Counter("obs.journal.dropped");
     std::uint64_t stall_events = 0;
+    std::uint64_t peer_deaths = 0;
     for (const obs::JournalEvent& e : events) {
         stall_events += e.kind == obs::EventKind::kStall ? 1 : 0;
+        peer_deaths += e.kind == obs::EventKind::kPeerDeath ? 1 : 0;
     }
     if (trace_dropped > 0.0) {
         out << "\nWARNING: " << Table::Num(trace_dropped, 0)
@@ -529,6 +531,12 @@ RunReport(const Args& args, std::ostream& out) {
         out << "\n" << stall_events
             << " stall event(s) in the journal (checkpoint ops over their "
                "deadline budget; run `moc_cli trace` for the critical path)\n";
+    }
+    if (peer_deaths > 0) {
+        out << "\n" << peer_deaths
+            << " peer_death event(s) in the journal (ranks declared dead by "
+               "EOF or heartbeat timeout; generations they left incomplete "
+               "stay unsealed)\n";
     }
 
     // -- overhead model ------------------------------------------------------
@@ -645,7 +653,8 @@ RunReport(const Args& args, std::ostream& out) {
             << " \"events\": {\"total\": " << events.size()
             << ", \"recoveries\": " << recoveries.size()
             << ", \"dynamic_k_bumps\": " << bumps
-            << ", \"stalls\": " << stall_events << "},\n"
+            << ", \"stalls\": " << stall_events
+            << ", \"peer_deaths\": " << peer_deaths << "},\n"
             << " \"obs_health\": {\"trace_dropped\": "
             << obs::JsonNumber(trace_dropped) << ", \"journal_dropped\": "
             << obs::JsonNumber(journal_dropped) << "}}\n";

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Process launcher for the multi-process cluster gauntlet: forks one
+ * coordinator and N rank processes of `examples/cluster_procs` (or any
+ * binary speaking its flags), supervises them, and reports the
+ * coordinator's verdict.
+ *
+ *   moc_launcher --binary build/examples/cluster_procs --ranks 3 \
+ *       --events 3 --ckpt-dir /tmp/gauntlet \
+ *       --fault kill:rank=1:event=2:phase=persist:after=3
+ *
+ * Supervision rules:
+ *  - every flag the launcher does not consume is passed through to every
+ *    child (plus `--role`/`--rank`); per-role observability exports get
+ *    distinct file names via `--events-out-dir`;
+ *  - the run's exit code is the coordinator's exit code — a rank dying is
+ *    the *experiment*, not a launcher failure;
+ *  - when the coordinator exits, every surviving child is SIGKILLed
+ *    (SIGKILL also reaps SIGSTOPped ranks left frozen by a `stop:` fault);
+ *  - `--timeout-s` bounds the whole run: on expiry everything is killed
+ *    and the launcher exits 124 (the `timeout(1)` convention).
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Child {
+    pid_t pid = -1;
+    std::string role;  // "coordinator" or "rank<k>"
+    bool exited = false;
+    bool reported = false;
+    int status = 0;
+};
+
+/** `--name value` lookup. */
+const char*
+FlagStr(int argc, char** argv, const char* name, const char* fallback) {
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag) {
+            return argv[i + 1];
+        }
+    }
+    return fallback;
+}
+
+double
+FlagDouble(int argc, char** argv, const char* name, double fallback) {
+    const char* value = FlagStr(argc, argv, name, nullptr);
+    return value != nullptr ? std::atof(value) : fallback;
+}
+
+/** Flags the launcher consumes; everything else passes through. */
+bool
+LauncherFlag(const std::string& flag) {
+    return flag == "--binary" || flag == "--timeout-s" ||
+           flag == "--events-out-dir" || flag == "--metrics-out-dir";
+}
+
+pid_t
+Spawn(const std::string& binary, const std::vector<std::string>& args) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const auto& arg : args) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(binary.c_str(), argv.data());
+        std::fprintf(stderr, "moc_launcher: execv %s: %s\n", binary.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+void
+KillSurvivors(std::vector<Child>& children) {
+    for (auto& child : children) {
+        if (!child.exited && child.pid > 0) {
+            // SIGKILL delivers to SIGSTOPped processes too — a rank a
+            // `stop:` fault froze is reaped here, not leaked.
+            ::kill(child.pid, SIGKILL);
+        }
+    }
+    for (auto& child : children) {
+        if (!child.exited && child.pid > 0) {
+            ::waitpid(child.pid, &child.status, 0);
+            child.exited = true;
+        }
+    }
+}
+
+void
+ReportChild(Child& child) {
+    if (child.reported) {
+        return;
+    }
+    child.reported = true;
+    if (WIFSIGNALED(child.status)) {
+        std::printf("moc_launcher: %s (pid %d) killed by signal %d%s\n",
+                    child.role.c_str(), child.pid, WTERMSIG(child.status),
+                    WTERMSIG(child.status) == SIGKILL ? " (SIGKILL)" : "");
+    } else if (WIFEXITED(child.status)) {
+        std::printf("moc_launcher: %s (pid %d) exited %d\n",
+                    child.role.c_str(), child.pid,
+                    WEXITSTATUS(child.status));
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv) {
+    const char* binary = FlagStr(argc, argv, "binary", nullptr);
+    const double timeout_s = FlagDouble(argc, argv, "timeout-s", 120.0);
+    const char* events_dir = FlagStr(argc, argv, "events-out-dir", nullptr);
+    const char* metrics_dir = FlagStr(argc, argv, "metrics-out-dir", nullptr);
+    const auto ranks =
+        static_cast<std::size_t>(FlagDouble(argc, argv, "ranks", 3));
+    if (binary == nullptr || ranks == 0) {
+        std::printf("usage: moc_launcher --binary PATH [--ranks N] "
+                    "[--timeout-s S] [--events-out-dir DIR] "
+                    "[--metrics-out-dir DIR] "
+                    "[passthrough flags for the binary...]\n");
+        return 2;
+    }
+
+    // Pass-through: every flag pair the launcher didn't consume.
+    std::vector<std::string> shared;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i][0] == '-' && argv[i][1] == '-') {
+            if (LauncherFlag(argv[i])) {
+                ++i;
+                continue;
+            }
+            shared.push_back(argv[i]);
+            shared.push_back(argv[i + 1]);
+            ++i;
+        }
+    }
+
+    std::vector<Child> children;
+    {
+        std::vector<std::string> args = shared;
+        args.emplace_back("--role");
+        args.emplace_back("coordinator");
+        if (events_dir != nullptr) {
+            args.emplace_back("--events-out");
+            args.emplace_back(std::string(events_dir) +
+                              "/coordinator.events.jsonl");
+        }
+        if (metrics_dir != nullptr) {
+            args.emplace_back("--metrics-out");
+            args.emplace_back(std::string(metrics_dir) +
+                              "/coordinator.metrics.json");
+        }
+        children.push_back(Child{Spawn(binary, args), "coordinator"});
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+        std::vector<std::string> args = shared;
+        args.emplace_back("--role");
+        args.emplace_back("rank");
+        args.emplace_back("--rank");
+        args.emplace_back(std::to_string(r));
+        if (events_dir != nullptr) {
+            args.emplace_back("--events-out");
+            args.emplace_back(std::string(events_dir) + "/rank" +
+                              std::to_string(r) + ".events.jsonl");
+        }
+        if (metrics_dir != nullptr) {
+            args.emplace_back("--metrics-out");
+            args.emplace_back(std::string(metrics_dir) + "/rank" +
+                              std::to_string(r) + ".metrics.json");
+        }
+        children.push_back(
+            Child{Spawn(binary, args), "rank" + std::to_string(r)});
+    }
+    for (const auto& child : children) {
+        if (child.pid < 0) {
+            std::fprintf(stderr, "moc_launcher: fork failed\n");
+            KillSurvivors(children);
+            return 1;
+        }
+    }
+    std::printf("moc_launcher: %zu rank(s) + coordinator launched from %s\n",
+                ranks, binary);
+
+    // Supervise: poll for exits until the coordinator finishes or the
+    // global timeout expires. Rank deaths in between are logged and left
+    // for the coordinator to handle — they are the experiment.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_s));
+    Child* coordinator = &children.front();
+    while (!coordinator->exited) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr,
+                         "moc_launcher: timeout after %.1fs, killing fleet\n",
+                         timeout_s);
+            KillSurvivors(children);
+            return 124;
+        }
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
+        }
+        for (auto& child : children) {
+            if (child.pid == pid) {
+                child.exited = true;
+                child.status = status;
+                ReportChild(child);
+                break;
+            }
+        }
+    }
+
+    KillSurvivors(children);
+    for (auto& child : children) {
+        if (&child != coordinator) {
+            ReportChild(child);
+        }
+    }
+    const int code = WIFEXITED(coordinator->status)
+                         ? WEXITSTATUS(coordinator->status)
+                         : 128 + WTERMSIG(coordinator->status);
+    std::printf("moc_launcher: coordinator verdict %d\n", code);
+    return code;
+}
