@@ -22,8 +22,20 @@
  * `peer_death`, leaves the generation unsealed, stops checkpointing, and
  * replans recovery from the newest *sealed* generation — never the torn
  * one.
+ *
+ * The cluster observability plane rides the same fleet
+ * (docs/OBSERVABILITY.md, "Cluster plane"): each rank streams kTelemetry
+ * samples from a background publisher (net/telemetry.h) and republishes at
+ * phase edges; the coordinator taps every barrier message into
+ * obs::ClusterAggregator, which flags stragglers *during* the run.
+ * `--ballast-rank R --ballast-ms M` makes rank R sleep M ms between shard
+ * writes — a deliberate straggler for the detector to catch. Ranks
+ * re-export their observability artifacts after every generation, so a
+ * SIGKILL'd rank still leaves a (possibly torn) journal for the
+ * launcher's post-teardown merge.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -37,8 +49,11 @@
 #include "core/cluster_recovery.h"
 #include "faults/proc_faults.h"
 #include "net/socket_transport.h"
+#include "net/telemetry.h"
+#include "obs/cluster_view.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "storage/file_store.h"
 #include "storage/resilient_store.h"
@@ -150,6 +165,25 @@ RunCoordinator(std::size_t ranks, std::size_t events,
         participants.push_back(static_cast<net::PeerId>(r));
     }
     CheckpointCoordinator coordinator(*transport, std::move(participants));
+    // The cluster plane taps every barrier message: kTelemetry feeds the
+    // aggregator (straggler detection fires here, DURING the run),
+    // kPeerDeath folds transport verdicts into the health view.
+    obs::ClusterAggregator& cluster = obs::ClusterAggregator::Instance();
+    coordinator.SetMessageObserver([&cluster](const net::Message& msg) {
+        if (msg.type == net::MsgType::kTelemetry) {
+            try {
+                cluster.Observe(
+                    net::DecodeTelemetry(msg.payload),
+                    static_cast<std::int64_t>(obs::Tracer::NowNs()));
+            } catch (const std::exception&) {
+                // A truncated frame from a dying rank; liveness is the
+                // transport's job, not the telemetry decoder's.
+            }
+        } else if (msg.type == net::MsgType::kPeerDeath) {
+            cluster.ObservePeerDeath(static_cast<std::int32_t>(msg.from),
+                                     "transport");
+        }
+    });
     CheckpointManifest manifest;
 
     auto write_manifest = [&store, &manifest]() {
@@ -192,10 +226,30 @@ RunCoordinator(std::size_t ranks, std::size_t events,
     std::printf("%s", t.ToString().c_str());
 
     std::size_t deaths_journaled = 0;
+    std::size_t stragglers_journaled = 0;
     for (const auto& e : obs::EventJournal::Instance().Collect()) {
         deaths_journaled += e.kind == obs::EventKind::kPeerDeath ? 1 : 0;
+        stragglers_journaled += e.kind == obs::EventKind::kStraggler ? 1 : 0;
     }
     std::printf("peer_death events journaled: %zu\n", deaths_journaled);
+    std::printf("straggler events journaled: %zu\n", stragglers_journaled);
+
+    const auto health = cluster.Health();
+    if (!health.empty()) {
+        Table ht({"rank", "alive", "phase", "gen", "slack (s)", "straggler",
+                  "samples"});
+        for (const auto& h : health) {
+            ht.AddRow({std::to_string(h.rank),
+                       h.alive ? "yes" : "DEAD (" + h.death_cause + ")",
+                       h.phase.empty() ? "idle" : h.phase,
+                       std::to_string(h.generation),
+                       Table::Num(h.slack_s, 3), h.straggler ? "YES" : "no",
+                       std::to_string(h.samples)});
+        }
+        std::printf("cluster health (%llu telemetry samples):\n%s",
+                    static_cast<unsigned long long>(cluster.samples()),
+                    ht.ToString().c_str());
+    }
 
     // Replan restore from the newest sealed generation. A clean run
     // restores the last event; a faulted run proves the torn generation
@@ -222,7 +276,8 @@ RunCoordinator(std::size_t ranks, std::size_t events,
 int
 RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         const std::string& port_file, const net::SocketOptions& net_opts,
-        Seconds join_timeout_s, std::vector<ProcFaultSpec> fault_specs) {
+        Seconds join_timeout_s, std::vector<ProcFaultSpec> fault_specs,
+        double ballast_ms, const obs::ObsOptions& obs_options) {
     const std::uint16_t port = AwaitPortFile(port_file, join_timeout_s);
     if (port == 0) {
         std::fprintf(stderr, "rank %zu: coordinator port never appeared\n",
@@ -237,6 +292,15 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
     const ShardPlan plan = BuildGauntletPlan(ranks);
     ProcFaultSchedule faults(std::move(fault_specs), rank);
     RankParticipant participant(*transport);
+
+    // Stream this rank's pulse to the coordinator. The publisher samples
+    // in the background; phase edges additionally PublishNow() so the
+    // aggregator sees transitions promptly.
+    net::TelemetryPublisher::Options tel_opts;
+    tel_opts.coordinator = net::kCoordinatorPeer;
+    tel_opts.rank = static_cast<std::int32_t>(rank);
+    net::TelemetryPublisher telemetry(*transport, tel_opts);
+    telemetry.Start();
 
     while (true) {
         const auto begin = participant.AwaitBegin(join_timeout_s);
@@ -260,6 +324,8 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         ctx.phase = "persist";
         const obs::TraceContextScope scope(ctx);
         const obs::TraceSpan span("gauntlet.persist", "cluster");
+        obs::SetRankActivity("persist", ctx.generation, begin->iteration);
+        telemetry.PublishNow();
 
         std::vector<ShardReport> reports;
         bool ok = true;
@@ -269,6 +335,12 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
             // mid-generation leaves exactly `after` durable shards — a
             // genuinely torn generation for fsck to find.
             faults.Poll(event, "persist", shards_done);
+            if (ballast_ms > 0.0) {
+                // The deliberate straggler: drag out this rank's persist
+                // so the cluster-median detector has something to catch.
+                std::this_thread::sleep_for(std::chrono::duration<double,
+                                            std::milli>(ballast_ms));
+            }
             ShardReport report;
             report.key = "rank" + std::to_string(rank) + "/" + item.key;
             report.iteration = event;
@@ -287,7 +359,13 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         }
         faults.Poll(event, "barrier", shards_done);
         participant.SendDone(begin->iteration, std::move(reports), ok, ctx);
+        obs::SetRankActivity("", ctx.generation, begin->iteration);
+        telemetry.PublishNow();
+        // Re-export after every generation: a rank SIGKILL'd next gen
+        // still leaves artifacts for the launcher's cluster merge.
+        obs::ExportObs(obs_options);
     }
+    telemetry.Stop();
     std::printf("rank %zu: shutdown after clean run\n", rank);
     return 0;
 }
@@ -324,8 +402,11 @@ main(int argc, char** argv) {
             "    [--ranks N] [--events N] [--ckpt-dir DIR] [--port-file F]\n"
             "    [--hb-interval-s S] [--hb-miss N] [--barrier-deadline-s S]\n"
             "    [--join-timeout-s S] [--fault SPEC]...\n"
+            "    [--ballast-rank R --ballast-ms M]\n"
             "  fault SPEC: kill|stop:rank=R:event=E[:phase=persist|barrier]"
             "[:after=N]\n"
+            "  ballast: rank R sleeps M ms between shard writes — a\n"
+            "  deliberate straggler for the cluster plane to flag\n"
             "(normally launched as a fleet by tools/moc_launcher)\n");
         return 2;
     }
@@ -333,6 +414,16 @@ main(int argc, char** argv) {
         std::fprintf(stderr, "cluster_procs: bad --ranks/--events/--rank\n");
         return 2;
     }
+    // Role-stamp every export so the launcher's merge (obs/merge.h) can
+    // attribute events and spans without relying on file names.
+    obs::SetRunRole(role == "coordinator"
+                        ? role
+                        : "rank" + std::to_string(rank));
+    const double ballast_rank = FlagDouble(argc, argv, "ballast-rank", -1.0);
+    const double ballast_ms =
+        role == "rank" && ballast_rank == static_cast<double>(rank)
+            ? FlagDouble(argc, argv, "ballast-ms", 0.0)
+            : 0.0;
 
     try {
         if (role == "coordinator") {
@@ -341,7 +432,8 @@ main(int argc, char** argv) {
                                   barrier_deadline_s);
         }
         return RunRank(rank, ranks, ckpt_dir, port_file, net_opts,
-                       join_timeout_s, FlagFaults(argc, argv));
+                       join_timeout_s, FlagFaults(argc, argv), ballast_ms,
+                       obs_guard.options());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "cluster_procs(%s): %s\n", role.c_str(),
                      e.what());

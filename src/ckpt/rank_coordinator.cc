@@ -122,6 +122,9 @@ CheckpointCoordinator::AwaitReports(std::uint64_t iteration,
         if (!msg) {
             continue;  // deadline check decides
         }
+        if (observer_) {
+            observer_(*msg);
+        }
         if (msg->type == MsgType::kRankDone && pending.count(msg->from)) {
             RankDone done;
             try {

@@ -22,6 +22,7 @@
  * it can never become a restart target (docs/FAULT_MODEL.md).
  */
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -107,9 +108,21 @@ class CheckpointCoordinator {
         return participants_;
     }
 
+    /**
+     * Installs a tap on every message AwaitReports receives, *before* the
+     * barrier dispatch — how the cluster observability plane sees
+     * kTelemetry (and kPeerDeath) frames without owning the receive queue
+     * (examples/cluster_procs feeds obs::ClusterAggregator through this).
+     * The observer must not call back into the coordinator.
+     */
+    void SetMessageObserver(std::function<void(const net::Message&)> observer) {
+        observer_ = std::move(observer);
+    }
+
   private:
     net::Transport& transport_;
     std::vector<net::PeerId> participants_;
+    std::function<void(const net::Message&)> observer_;
 };
 
 /** What a rank's AwaitBegin observed. */

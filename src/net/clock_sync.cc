@@ -1,0 +1,62 @@
+#include "net/clock_sync.h"
+
+namespace moc::net {
+
+ClockOffsetEstimator::ClockOffsetEstimator(std::size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+ClockEstimate
+ClockOffsetEstimator::Add(const ClockSample& sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sample.RttNs() < 0) {
+        // A reordered pong matched against the wrong ping, or garbled
+        // stamps: physically impossible, keep the window clean.
+        ++rejected_;
+    } else {
+        ++accepted_;
+        recent_.push_back(sample);
+        if (recent_.size() > window_) {
+            recent_.pop_front();
+        }
+    }
+    ClockEstimate estimate;
+    estimate.samples = accepted_;
+    const ClockSample* best = nullptr;
+    for (const ClockSample& s : recent_) {
+        if (best == nullptr || s.RttNs() < best->RttNs()) {
+            best = &s;
+        }
+    }
+    if (best != nullptr) {
+        estimate.offset_ns = best->OffsetNs();
+        estimate.rtt_ns = best->RttNs();
+    }
+    return estimate;
+}
+
+std::optional<ClockEstimate>
+ClockOffsetEstimator::Estimate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (recent_.empty()) {
+        return std::nullopt;
+    }
+    const ClockSample* best = nullptr;
+    for (const ClockSample& s : recent_) {
+        if (best == nullptr || s.RttNs() < best->RttNs()) {
+            best = &s;
+        }
+    }
+    ClockEstimate estimate;
+    estimate.offset_ns = best->OffsetNs();
+    estimate.rtt_ns = best->RttNs();
+    estimate.samples = accepted_;
+    return estimate;
+}
+
+std::uint64_t
+ClockOffsetEstimator::rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+}  // namespace moc::net

@@ -1,0 +1,96 @@
+#ifndef MOC_NET_CLOCK_SYNC_H_
+#define MOC_NET_CLOCK_SYNC_H_
+
+/**
+ * @file
+ * Cristian-style clock alignment for the cluster observability plane
+ * (docs/OBSERVABILITY.md, "Cluster plane"). Every process stamps its spans
+ * and journal events with its own `steady_clock` (obs/trace.h), which is
+ * meaningless across processes; to merge per-role flight recordings onto
+ * one cluster timeline each rank estimates its offset against the
+ * coordinator's clock with a ping/pong exchange:
+ *
+ *   rank                    coordinator
+ *    t0  -- kTimePing  -->   t1 (receive)
+ *    t3  <-- kTimePong --    t2 (reply; echoes t0, carries t1 and t2)
+ *
+ *   rtt    = (t3 - t0) - (t2 - t1)
+ *   offset = ((t1 - t0) + (t2 - t3)) / 2       (coordinator - rank)
+ *
+ * A single sample's error is bounded by the path asymmetry, so the
+ * estimator keeps a sliding window of samples and reports the offset from
+ * the minimum-RTT sample — the exchange least distorted by queueing. The
+ * first samples are taken right after the kHello/kWelcome handshake and
+ * refreshed alongside every heartbeat (net/socket_transport.h), so the
+ * estimate tracks drift for the life of the connection.
+ *
+ * All arithmetic is on caller-supplied timestamps: the estimator owns no
+ * clock, which is what makes it deterministic under test (seeded
+ * FaultyTransport jitter, simulated skew).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace moc::net {
+
+/** One completed ping/pong exchange, all stamps in nanoseconds. */
+struct ClockSample {
+    std::int64_t t0 = 0;  ///< requester's clock at ping send
+    std::int64_t t1 = 0;  ///< responder's clock at ping receive
+    std::int64_t t2 = 0;  ///< responder's clock at pong send
+    std::int64_t t3 = 0;  ///< requester's clock at pong receive
+
+    /** Round-trip time minus the responder's turnaround. */
+    std::int64_t RttNs() const { return (t3 - t0) - (t2 - t1); }
+
+    /** Responder clock minus requester clock, assuming a symmetric path. */
+    std::int64_t OffsetNs() const {
+        return ((t1 - t0) + (t2 - t3)) / 2;
+    }
+};
+
+/** The estimator's current belief. */
+struct ClockEstimate {
+    /** Responder (coordinator) clock minus local clock, nanoseconds. */
+    std::int64_t offset_ns = 0;
+    /** RTT of the sample the offset came from (its error bound). */
+    std::int64_t rtt_ns = 0;
+    /** Samples ingested since construction. */
+    std::uint64_t samples = 0;
+};
+
+/**
+ * Min-RTT-filtered offset estimator over a sliding sample window.
+ * Thread-safe: fed from the transport reader thread, read from exporters.
+ */
+class ClockOffsetEstimator {
+  public:
+    /** @p window bounds how many recent samples the filter considers, so a
+        long-lived connection tracks drift instead of pinning the estimate
+        to one lucky exchange from minutes ago. */
+    explicit ClockOffsetEstimator(std::size_t window = 32);
+
+    /** Ingests one exchange; samples with negative RTT (reordered or
+        damaged stamps) are rejected. @return the updated estimate. */
+    ClockEstimate Add(const ClockSample& sample);
+
+    /** Current estimate, or nullopt before the first accepted sample. */
+    std::optional<ClockEstimate> Estimate() const;
+
+    /** Samples rejected for a negative RTT. */
+    std::uint64_t rejected() const;
+
+  private:
+    const std::size_t window_;
+    mutable std::mutex mu_;
+    std::deque<ClockSample> recent_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+}  // namespace moc::net
+
+#endif  // MOC_NET_CLOCK_SYNC_H_

@@ -69,6 +69,9 @@ MsgTypeName(MsgType type) {
         case MsgType::kRankDone: return "rank_done";
         case MsgType::kPeerDeath: return "peer_death";
         case MsgType::kShutdown: return "shutdown";
+        case MsgType::kTimePing: return "time_ping";
+        case MsgType::kTimePong: return "time_pong";
+        case MsgType::kTelemetry: return "telemetry";
     }
     return "unknown";
 }
@@ -162,7 +165,7 @@ FrameDecoder::Next() {
         const std::uint32_t payload_len = GetU32(p + 44);
         const std::uint8_t type = p[5];
         if (p[4] != kWireVersion || payload_len > kMaxPayload || type == 0 ||
-            type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+            type > kMaxMsgType) {
             // A magic collision inside junk, or a garbled header: not a
             // frame. Skip one byte and rescan.
             SkipJunk(1);

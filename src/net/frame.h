@@ -60,7 +60,17 @@ enum class MsgType : std::uint8_t {
     kRankDone = 7,  ///< rank -> coordinator: shard reports for `iteration`
     kPeerDeath = 8, ///< synthetic, local only: a peer was declared dead
     kShutdown = 9,  ///< coordinator -> rank: run is over, exit cleanly
+    kTimePing = 10, ///< clock-alignment probe: payload = sender's clock t0
+    kTimePong = 11, ///< reply: echoes t0, carries responder's t1 and t2
+                    ///< (net/clock_sync.h); never queued for Recv
+    kTelemetry = 12, ///< rank -> coordinator: periodic metric deltas +
+                     ///< in-flight phase summary (net/telemetry.h); dropped,
+                     ///< never blocked, under backpressure
 };
+
+/** The highest MsgType value; the decoder rejects bytes beyond it. */
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kTelemetry);
 
 /** Stable wire name of @p type ("hello", "ckpt_begin", ...). */
 const char* MsgTypeName(MsgType type);

@@ -14,6 +14,8 @@
 
 #include "net/frame.h"
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -143,6 +145,18 @@ SocketTransport::Connect(const std::string& host, std::uint16_t port,
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     t->monitor_.Register(kCoordinatorPeer, clock.Now());
+    // Align clocks while the connection is idle: a short burst of probes
+    // right after the handshake seeds the min-RTT filter before application
+    // traffic adds queueing noise; heartbeats keep it fresh afterwards.
+    for (int i = 0; i < 3; ++i) {
+        t->SendPing(conn);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const Seconds align_deadline = clock.Now() + 0.25;
+    while (!t->offset_estimator_.Estimate() && !conn->closed.load() &&
+           clock.Now() < align_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     t->heartbeat_thread_ = std::thread([p = t.get()] { p->HeartbeatLoop(); });
     return t;
 }
@@ -260,6 +274,60 @@ SocketTransport::ReaderLoop(std::shared_ptr<Connection> conn) {
             if (frame->type == MsgType::kHeartbeat) {
                 continue;  // consumed by liveness, never surfaced
             }
+            if (frame->type == MsgType::kTimePing) {
+                // Clock probe: echo t0 back with our receive/reply stamps.
+                // Never surfaced to Recv; a garbled probe gets no reply.
+                const auto t1 =
+                    static_cast<std::int64_t>(obs::Tracer::NowNs());
+                std::int64_t t0 = 0;
+                try {
+                    PayloadReader probe(frame->payload);
+                    t0 = probe.I64();
+                } catch (const std::exception&) {
+                    continue;
+                }
+                PayloadWriter pong;
+                pong.I64(t0);
+                pong.I64(t1);
+                pong.I64(static_cast<std::int64_t>(obs::Tracer::NowNs()));
+                SendOn(conn, MsgType::kTimePong, pong.Take(), {});
+                continue;
+            }
+            if (frame->type == MsgType::kTimePong) {
+                static obs::Counter& rejects =
+                    NetCounter("net.clock.rejected");
+                ClockSample sample;
+                sample.t3 = static_cast<std::int64_t>(obs::Tracer::NowNs());
+                try {
+                    PayloadReader pong(frame->payload);
+                    sample.t0 = pong.I64();
+                    sample.t1 = pong.I64();
+                    sample.t2 = pong.I64();
+                } catch (const std::exception&) {
+                    rejects.Add();
+                    continue;
+                }
+                const std::uint64_t before_rejected =
+                    offset_estimator_.rejected();
+                const ClockEstimate est = offset_estimator_.Add(sample);
+                if (offset_estimator_.rejected() != before_rejected) {
+                    rejects.Add();
+                    continue;
+                }
+                static obs::Gauge& offset_gauge =
+                    obs::MetricsRegistry::Instance().GetGauge(
+                        "net.clock.offset_ns");
+                static obs::Gauge& rtt_gauge =
+                    obs::MetricsRegistry::Instance().GetGauge(
+                        "net.clock.rtt_ns");
+                offset_gauge.Set(static_cast<double>(est.offset_ns));
+                rtt_gauge.Set(static_cast<double>(est.rtt_ns));
+                // Exporters stamp this into every artifact (run_meta.h),
+                // which is what lets the merge rebase this process's
+                // timeline onto the coordinator's.
+                obs::SetClusterClockOffsetNs(est.offset_ns);
+                continue;
+            }
             if (frame->type == MsgType::kGoodbye) {
                 // Orderly close announcement: retire the connection now so
                 // the EOF that follows is a farewell, not a death.
@@ -316,6 +384,11 @@ SocketTransport::HeartbeatLoop() {
             if (!conn->closed.load() &&
                 SendOn(conn, MsgType::kHeartbeat, {}, {})) {
                 beats.Add();
+            }
+            if (!listener_ && !conn->closed.load()) {
+                // Piggyback a clock probe on the heartbeat cadence so the
+                // offset estimate tracks drift for the connection's life.
+                SendPing(conn);
             }
         }
         const Seconds now = clock_.Now();
@@ -392,12 +465,31 @@ SocketTransport::DeclareDead(PeerId peer, const char* cause,
 }
 
 void
+SocketTransport::SendPing(const std::shared_ptr<Connection>& conn) {
+    static obs::Counter& pings = NetCounter("net.clock.pings");
+    PayloadWriter probe;
+    probe.I64(static_cast<std::int64_t>(obs::Tracer::NowNs()));
+    if (SendOn(conn, MsgType::kTimePing, probe.Take(), {})) {
+        pings.Add();
+    }
+}
+
+void
 SocketTransport::Enqueue(Message message) {
     static obs::Counter& drops = NetCounter("net.queue_drops");
     {
         std::lock_guard<std::mutex> lock(recv_mu_);
         if (recv_queue_.size() >= options_.queue_capacity) {
             drops.Add();
+            if (message.type == MsgType::kTelemetry) {
+                // Telemetry is declared shed-first: its loss is routine
+                // backpressure, surfaced on its own counter so the report
+                // can distinguish it from dropped application frames.
+                static obs::Counter& shed =
+                    obs::MetricsRegistry::Instance().GetCounter(
+                        "obs.telemetry.dropped");
+                shed.Add();
+            }
             return;
         }
         recv_queue_.push_back(std::move(message));

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <thread>
 
+#include "net/clock_sync.h"
 #include "net/liveness.h"
 #include "net/transport.h"
 
@@ -89,6 +90,16 @@ class SocketTransport final : public Transport {
     /** Blocks up to @p timeout_s until @p n peers completed the handshake. */
     bool WaitForPeers(std::size_t n, Seconds timeout_s);
 
+    /**
+     * This endpoint's coordinator-relative clock offset (net/clock_sync.h):
+     * probed at handshake, refreshed alongside every heartbeat. nullopt on
+     * the listener side (the coordinator *is* the reference clock) and
+     * before the first completed exchange.
+     */
+    std::optional<ClockEstimate> ClockOffset() const {
+        return offset_estimator_.Estimate();
+    }
+
   private:
     struct Connection {
         int fd = -1;
@@ -110,6 +121,8 @@ class SocketTransport final : public Transport {
         on the listener side), superseding any previous one. */
     void AdoptConnection(const std::shared_ptr<Connection>& conn, PeerId peer);
     void DeclareDead(PeerId peer, const char* cause, Seconds silent_s);
+    /** Fires one kTimePing probe stamped with the local clock. */
+    void SendPing(const std::shared_ptr<Connection>& conn);
     void Enqueue(Message message);
     bool SendOn(const std::shared_ptr<Connection>& conn, MsgType type,
                 Blob payload, const obs::TraceContext& ctx);
@@ -138,6 +151,8 @@ class SocketTransport final : public Transport {
     /** The epoch the remote listener assigned us (connect side). */
     std::atomic<std::uint32_t> session_epoch_{0};
     std::atomic<std::uint64_t> next_seq_{0};
+    /** Coordinator-relative offset, fed by kTimePong frames. */
+    ClockOffsetEstimator offset_estimator_;
 
     mutable std::mutex recv_mu_;
     std::condition_variable recv_cv_;

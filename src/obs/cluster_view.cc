@@ -1,0 +1,238 @@
+#include "obs/cluster_view.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace moc::obs {
+
+namespace {
+
+/** Process-wide current activity, published by drivers at phase edges. */
+struct ActivityCell {
+    std::mutex mu;
+    RankActivity value;
+};
+
+ActivityCell&
+Activity() {
+    static ActivityCell* cell = new ActivityCell();
+    return *cell;
+}
+
+/** One decimal-friendly "x.xxxs" rendering for journal details. */
+std::string
+Seconds(double s) {
+    std::ostringstream out;
+    out.precision(4);
+    out << s << "s";
+    return out.str();
+}
+
+}  // namespace
+
+void
+SetRankActivity(const char* phase, std::uint64_t generation,
+                std::uint64_t iteration) {
+    ActivityCell& cell = Activity();
+    std::lock_guard<std::mutex> lock(cell.mu);
+    cell.value.phase = (phase == nullptr) ? "" : phase;
+    cell.value.generation = generation;
+    cell.value.iteration = iteration;
+    cell.value.since_ns = static_cast<std::int64_t>(Tracer::NowNs());
+}
+
+RankActivity
+GetRankActivity() {
+    ActivityCell& cell = Activity();
+    std::lock_guard<std::mutex> lock(cell.mu);
+    return cell.value;
+}
+
+ClusterAggregator&
+ClusterAggregator::Instance() {
+    static ClusterAggregator* aggregator = new ClusterAggregator();
+    return *aggregator;
+}
+
+void
+ClusterAggregator::SetPolicy(const StragglerPolicy& policy) {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy;
+}
+
+void
+ClusterAggregator::Observe(const TelemetrySample& sample,
+                           std::int64_t local_now_ns) {
+    static Counter& observed =
+        MetricsRegistry::Instance().GetCounter("obs.cluster.samples");
+    observed.Add();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_samples_;
+    RankState& state = ranks_[sample.rank];
+    // A phase transition closes out the previous phase: its best-estimate
+    // duration (new phase start, else publish stamp, minus old start — all
+    // sender-clock) feeds the cluster median the detector compares against.
+    const TelemetrySample& prev = state.last;
+    const bool had_phase = state.samples > 0 && !prev.phase.empty();
+    const bool transition =
+        had_phase &&
+        (prev.phase != sample.phase || prev.generation != sample.generation);
+    if (transition && prev.phase_since_ns > 0) {
+        const std::int64_t end_ns = sample.phase_since_ns > 0
+                                        ? sample.phase_since_ns
+                                        : sample.sent_ns;
+        const double duration_s =
+            static_cast<double>(end_ns - prev.phase_since_ns) / 1e9;
+        if (duration_s > 0) {
+            completed_s_[{prev.generation, prev.phase}].push_back(duration_s);
+        }
+        state.straggler = false;  // it finished; the flag is per in-flight lag
+    }
+    state.last = sample;
+    state.last_heard_ns = local_now_ns;
+    ++state.samples;
+    state.ring.push_back(sample);
+    if (state.ring.size() > kRingCapacity) {
+        state.ring.pop_front();
+    }
+    DetectStraggler(state);
+}
+
+void
+ClusterAggregator::DetectStraggler(RankState& state) {
+    const TelemetrySample& s = state.last;
+    if (s.phase.empty() || s.phase_since_ns <= 0 ||
+        s.sent_ns <= s.phase_since_ns) {
+        return;
+    }
+    const double elapsed_s =
+        static_cast<double>(s.sent_ns - s.phase_since_ns) / 1e9;
+    const auto it = completed_s_.find({s.generation, s.phase});
+    if (it == completed_s_.end() || it->second.size() < policy_.min_peers) {
+        return;  // too few finishers to call anyone slow yet
+    }
+    const double median_s = Median(it->second);
+    if (median_s <= 0 || elapsed_s < policy_.min_s ||
+        elapsed_s <= policy_.ratio * median_s) {
+        return;
+    }
+    state.straggler = true;
+    auto& flagged = flagged_[{s.generation, s.rank}];
+    if (flagged) {
+        return;  // journal once per (generation, rank)
+    }
+    flagged = true;
+    static Counter& stragglers =
+        MetricsRegistry::Instance().GetCounter("obs.cluster.stragglers");
+    stragglers.Add();
+    JournalEvent event;
+    event.kind = EventKind::kStraggler;
+    event.scope = s.rank;
+    event.gen = s.generation;
+    event.iteration = s.iteration;
+    std::ostringstream detail;
+    detail << "phase=" << s.phase << " elapsed=" << Seconds(elapsed_s)
+           << " median=" << Seconds(median_s)
+           << " peers_done=" << it->second.size();
+    event.detail = detail.str();
+    EventJournal::Instance().Append(std::move(event));
+}
+
+void
+ClusterAggregator::ObservePeerDeath(std::int32_t rank,
+                                    const std::string& cause) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RankState& state = ranks_[rank];
+    state.alive = false;
+    state.death_cause = cause;
+}
+
+std::vector<ClusterAggregator::RankHealth>
+ClusterAggregator::Health() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RankHealth> rows;
+    rows.reserve(ranks_.size());
+    for (const auto& [rank, state] : ranks_) {
+        RankHealth row;
+        row.rank = rank;
+        row.alive = state.alive;
+        row.death_cause = state.death_cause;
+        row.samples = state.samples;
+        row.last_heard_ns = state.last_heard_ns;
+        row.straggler = state.straggler;
+        if (state.samples > 0) {
+            const TelemetrySample& s = state.last;
+            row.phase = s.phase;
+            row.generation = s.generation;
+            row.iteration = s.iteration;
+            if (!s.phase.empty() && s.phase_since_ns > 0 &&
+                s.sent_ns > s.phase_since_ns) {
+                row.elapsed_in_phase_s =
+                    static_cast<double>(s.sent_ns - s.phase_since_ns) / 1e9;
+            }
+            const auto it = completed_s_.find({s.generation, s.phase});
+            if (it != completed_s_.end() && !it->second.empty()) {
+                row.cluster_median_s = Median(it->second);
+                row.slack_s = row.cluster_median_s - row.elapsed_in_phase_s;
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<TelemetrySample>
+ClusterAggregator::Series(std::int32_t rank) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = ranks_.find(rank);
+    if (it == ranks_.end()) {
+        return {};
+    }
+    return {it->second.ring.begin(), it->second.ring.end()};
+}
+
+std::uint64_t
+ClusterAggregator::samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_samples_;
+}
+
+std::vector<std::int32_t>
+ClusterAggregator::Stragglers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::int32_t> out;
+    for (const auto& [rank, state] : ranks_) {
+        if (state.straggler) {
+            out.push_back(rank);
+        }
+    }
+    return out;
+}
+
+void
+ClusterAggregator::Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ranks_.clear();
+    completed_s_.clear();
+    flagged_.clear();
+    total_samples_ = 0;
+}
+
+double
+ClusterAggregator::Median(std::vector<double> durations_s) {
+    if (durations_s.empty()) {
+        return -1.0;
+    }
+    std::sort(durations_s.begin(), durations_s.end());
+    const std::size_t mid = durations_s.size() / 2;
+    if (durations_s.size() % 2 == 1) {
+        return durations_s[mid];
+    }
+    return (durations_s[mid - 1] + durations_s[mid]) / 2.0;
+}
+
+}  // namespace moc::obs

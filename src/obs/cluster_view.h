@@ -1,0 +1,184 @@
+#ifndef MOC_OBS_CLUSTER_VIEW_H_
+#define MOC_OBS_CLUSTER_VIEW_H_
+
+/**
+ * @file
+ * The coordinator-side cluster view: per-rank telemetry time series, a
+ * cluster-wide straggler detector, and one merged health table that folds
+ * live telemetry together with transport liveness (peer death causes).
+ *
+ * Ranks publish TelemetrySample records over the transport (kTelemetry
+ * frames, encoded by net/telemetry.h — this header stays net-free so the
+ * obs layer keeps its no-upward-dependency rule). The coordinator feeds
+ * every decoded sample into ClusterAggregator::Observe(), which:
+ *
+ *   - keeps a bounded ring of recent samples per rank (the time series the
+ *     report surfaces),
+ *   - tracks completed phase durations per generation, and
+ *   - flags a rank as a *straggler* while it sits in a phase N× longer
+ *     than the cluster median of completed durations for that phase and
+ *     generation — journaled as a kStraggler event *during* the run, not
+ *     post-hoc, so an operator watching the journal sees the slow rank
+ *     while it is still slow.
+ *
+ * Detection compares sender-side stamps only (sample.sent_ns minus
+ * sample.phase_since_ns, both on the sender's clock), so it needs no clock
+ * alignment to be correct; alignment (net/clock_sync.h) is for merging
+ * timelines, not for detecting lag.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moc::obs {
+
+/**
+ * One rank's periodic self-report. Pure data; the wire codec lives in
+ * net/telemetry.h. Counter readings are *cumulative*, not deltas — a
+ * dropped sample loses freshness, never data, which is what lets the
+ * publisher coalesce instead of retrying under backpressure.
+ */
+struct TelemetrySample {
+    std::int32_t rank = -1;
+    std::uint64_t generation = 0;
+    std::uint64_t iteration = 0;
+    /** In-flight checkpoint phase ("persist", ...; empty = idle). */
+    std::string phase;
+    /** Sender clock (Tracer ns) when the current phase began (0 = idle). */
+    std::int64_t phase_since_ns = 0;
+    /** Sender clock (Tracer ns) when the sample was published. */
+    std::int64_t sent_ns = 0;
+    /** The sender's coordinator-relative clock offset at publish time. */
+    std::int64_t clock_offset_ns = 0;
+    /** Selected cumulative counter readings (bounded; name, value). */
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/** What this process is doing right now, for the telemetry sampler. */
+struct RankActivity {
+    std::string phase;  ///< empty = idle
+    std::uint64_t generation = 0;
+    std::uint64_t iteration = 0;
+    std::int64_t since_ns = 0;  ///< Tracer ns at the last phase change
+};
+
+/**
+ * Publishes the calling process's current checkpoint activity. TraceContext
+ * is thread-local and invisible to the sampler thread, so drivers call this
+ * explicitly at phase boundaries (phase = nullptr or "" marks idle).
+ */
+void SetRankActivity(const char* phase, std::uint64_t generation,
+                     std::uint64_t iteration);
+
+/** The last published activity (since_ns = 0 before any publish). */
+RankActivity GetRankActivity();
+
+/** Tunables for the cluster-median straggler detector. */
+struct StragglerPolicy {
+    /** Flag when elapsed > ratio x median completed duration. */
+    double ratio = 4.0;
+    /** ...and elapsed exceeds this floor (debounces microsecond phases). */
+    double min_s = 0.05;
+    /** ...and at least this many peers completed the phase this gen. */
+    std::size_t min_peers = 2;
+};
+
+/**
+ * Aggregates rank telemetry into one cluster health view. Thread-safe; the
+ * coordinator's transport reader and its driver loop both touch it.
+ */
+class ClusterAggregator {
+  public:
+    /** Per-rank ring capacity; older samples fall off. */
+    static constexpr std::size_t kRingCapacity = 256;
+
+    /** One rank's row in the merged health table. */
+    struct RankHealth {
+        std::int32_t rank = -1;
+        bool alive = true;
+        /** Transport-declared death cause ("eof", "heartbeat_timeout"). */
+        std::string death_cause;
+        std::string phase;  ///< last reported in-flight phase
+        std::uint64_t generation = 0;
+        std::uint64_t iteration = 0;
+        /** Seconds in the current phase as of the last sample (sender clock). */
+        double elapsed_in_phase_s = 0.0;
+        /** Median completed duration of that phase this gen, or < 0. */
+        double cluster_median_s = -1.0;
+        /** cluster_median_s - elapsed_in_phase_s; negative = behind. */
+        double slack_s = 0.0;
+        /** Currently flagged as a straggler. */
+        bool straggler = false;
+        std::uint64_t samples = 0;  ///< samples observed from this rank
+        std::int64_t last_heard_ns = 0;  ///< local clock at last sample
+    };
+
+    static ClusterAggregator& Instance();
+
+    /** Replaces the detector tunables (call before the run starts). */
+    void SetPolicy(const StragglerPolicy& policy);
+
+    /**
+     * Folds one decoded sample in; @p local_now_ns is the receiver's clock
+     * at decode time. Journals kStraggler (once per rank and generation)
+     * when the detector fires, and bumps `obs.cluster.stragglers`.
+     */
+    void Observe(const TelemetrySample& sample, std::int64_t local_now_ns);
+
+    /** Folds a transport death verdict into the health view. */
+    void ObservePeerDeath(std::int32_t rank, const std::string& cause);
+
+    /** The merged health table, one row per rank ever heard from. */
+    std::vector<RankHealth> Health() const;
+
+    /** Recent samples from @p rank, oldest first (empty if unknown). */
+    std::vector<TelemetrySample> Series(std::int32_t rank) const;
+
+    /** Total samples observed across all ranks. */
+    std::uint64_t samples() const;
+
+    /** Ranks currently flagged as stragglers. */
+    std::vector<std::int32_t> Stragglers() const;
+
+    /** Forgets everything (tests and re-runs). */
+    void Reset();
+
+  private:
+    struct RankState {
+        std::deque<TelemetrySample> ring;
+        TelemetrySample last;
+        bool alive = true;
+        std::string death_cause;
+        std::int64_t last_heard_ns = 0;
+        std::uint64_t samples = 0;
+        bool straggler = false;
+    };
+
+    ClusterAggregator() = default;
+
+    /** Runs the detector for @p state's latest sample. Caller holds mu_. */
+    void DetectStraggler(RankState& state);
+
+    /** Median of @p durations_s (unsorted copy in, < 0 when empty). */
+    static double Median(std::vector<double> durations_s);
+
+    mutable std::mutex mu_;
+    StragglerPolicy policy_;
+    std::map<std::int32_t, RankState> ranks_;
+    /** Completed durations, keyed by (generation, phase). */
+    std::map<std::pair<std::uint64_t, std::string>, std::vector<double>>
+        completed_s_;
+    /** (generation, rank) pairs already journaled, to flag once. */
+    std::map<std::pair<std::uint64_t, std::int32_t>, bool> flagged_;
+    std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_CLUSTER_VIEW_H_

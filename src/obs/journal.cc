@@ -32,16 +32,18 @@ constexpr KindName kKindNames[] = {
     {EventKind::kClusterSeal, "cluster_seal"},
     {EventKind::kStall, "stall"},
     {EventKind::kPeerDeath, "peer_death"},
+    {EventKind::kStraggler, "straggler"},
 };
 
-/** Nanoseconds at process start (first use), for relative wall stamps. */
+}  // namespace
+
 std::uint64_t
-ProcessEpochNs() {
+JournalEpochNs() {
+    // Latched at first use (first append or first export), for relative
+    // wall stamps.
     static const std::uint64_t epoch = Tracer::NowNs();
     return epoch;
 }
-
-}  // namespace
 
 const char*
 EventKindName(EventKind kind) {
@@ -73,7 +75,7 @@ std::uint64_t
 EventJournal::Append(JournalEvent event) {
     // Latch the epoch before reading the clock: on the first-ever append the
     // opposite order would latch an epoch *later* than now_ns and wrap.
-    const std::uint64_t epoch = ProcessEpochNs();
+    const std::uint64_t epoch = JournalEpochNs();
     const std::uint64_t now_ns = Tracer::NowNs();
     // Stamp checkpoint-event identity from the thread's trace context, so
     // journal records correlate with spans without every call site having to
@@ -133,6 +135,7 @@ EventsJsonl() {
     const auto events = EventJournal::Instance().Collect();
     std::ostringstream out;
     out << "{\"type\": \"meta\", " << RunMetaJsonFields()
+        << ", \"clock_epoch_ns\": " << JournalEpochNs()
         << ", \"events\": " << events.size() << "}\n";
     for (const JournalEvent& e : events) {
         out << "{\"type\": \"" << EventKindName(e.kind) << "\", \"seq\": "
@@ -141,7 +144,11 @@ EventsJsonl() {
             << ", \"gen\": " << e.gen << ", \"bytes\": " << e.bytes
             << ", \"plt\": " << JsonNumber(e.plt)
             << ", \"k\": " << e.k << ", \"detail\": \"" << JsonEscape(e.detail)
-            << "\"}\n";
+            << "\"";
+        if (!e.role.empty()) {
+            out << ", \"role\": \"" << JsonEscape(e.role) << "\"";
+        }
+        out << "}\n";
     }
     return out.str();
 }
@@ -185,6 +192,7 @@ ParseEventsJsonl(const std::string& text) {
         e.plt = record.NumberOr("plt", -1.0);
         e.k = static_cast<std::uint64_t>(record.NumberOr("k", 0.0));
         e.detail = record.StringOr("detail", "");
+        e.role = record.StringOr("role", "");
         events.push_back(std::move(e));
     }
     return events;

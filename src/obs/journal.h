@@ -51,6 +51,10 @@ enum class EventKind : std::uint8_t {
                        ///< EOF or heartbeat timeout (scope = peer when it is
                        ///< a rank, detail = cause/silence/epoch; see
                        ///< docs/TRANSPORT.md)
+    kStraggler,        ///< the cluster aggregator (obs/cluster_view.h)
+                       ///< flagged one rank far behind the cluster median in
+                       ///< its current phase (scope = rank, detail =
+                       ///< phase/elapsed/median)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */
@@ -82,6 +86,11 @@ struct JournalEvent {
     double plt = -1.0;
     /** K_snapshot in force, 0 for "not sampled". */
     std::uint64_t k = 0;
+    /** Cluster role the event came from; empty in-process, filled by the
+        multi-file merge (obs/merge.h) so a cluster journal stays
+        attributable per process. The explicit initializer keeps existing
+        designated-initializer call sites warning-free. */
+    std::string role{};
     /** Free-form context: store key, failed node list, ... */
     std::string detail;
 };
@@ -123,6 +132,14 @@ class EventJournal {
     std::uint64_t next_seq_ = 0;
     std::uint64_t dropped_ = 0;
 };
+
+/**
+ * Nanoseconds (Tracer clock) latched at the journal's first append — the
+ * zero point of every event's wall_s. Exported in the JSONL meta record as
+ * `clock_epoch_ns` so a merge can rebase relative stamps onto an absolute
+ * (and, with `clock_offset_ns`, coordinator-aligned) timeline.
+ */
+std::uint64_t JournalEpochNs();
 
 /**
  * The journal as JSON Lines: one run-metadata header record

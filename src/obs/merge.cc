@@ -1,0 +1,279 @@
+#include "obs/merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.h"
+#include "obs/run_meta.h"
+#include "util/json.h"
+
+namespace moc::obs {
+
+namespace {
+
+/** Fractional microseconds with nanosecond digits (see obs/export.cc). */
+std::string
+TraceMicros(std::uint64_t ns) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+}  // namespace
+
+std::string
+RoleFromFilename(const std::string& path) {
+    std::size_t start = path.find_last_of("/\\");
+    start = start == std::string::npos ? 0 : start + 1;
+    std::size_t end = path.find('.', start);
+    if (end == std::string::npos) {
+        end = path.size();
+    }
+    return path.substr(start, end - start);
+}
+
+RoleEvents
+ParseRoleEventsJsonl(const std::string& text,
+                     const std::string& fallback_role) {
+    RoleEvents out;
+    out.role = fallback_role;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        json::Value record;
+        try {
+            record = json::Parse(line);
+        } catch (const std::invalid_argument&) {
+            // The torn tail of a killed process, or stray output. Count it
+            // and keep going: partial journals are the whole point.
+            ++out.skipped_lines;
+            continue;
+        }
+        std::string type;
+        try {
+            type = record.At("type").AsString();
+        } catch (const std::invalid_argument&) {
+            ++out.skipped_lines;
+            continue;
+        }
+        if (type == "meta") {
+            out.has_meta = true;
+            const std::string meta_role = record.StringOr("role", "");
+            if (!meta_role.empty()) {
+                out.role = meta_role;
+            }
+            out.clock_offset_ns = static_cast<std::int64_t>(
+                record.NumberOr("clock_offset_ns", 0.0));
+            out.clock_epoch_ns = static_cast<std::int64_t>(
+                record.NumberOr("clock_epoch_ns", 0.0));
+            continue;
+        }
+        JournalEvent e;
+        try {
+            e.kind = EventKindFromName(type);
+        } catch (const std::invalid_argument&) {
+            ++out.skipped_lines;
+            continue;
+        }
+        e.seq = static_cast<std::uint64_t>(record.NumberOr("seq", 0.0));
+        e.wall_s = record.NumberOr("t", 0.0);
+        e.iteration =
+            static_cast<std::uint64_t>(record.NumberOr("iter", 0.0));
+        e.scope = static_cast<std::int64_t>(
+            record.NumberOr("scope", static_cast<double>(kGlobalScope)));
+        e.gen = static_cast<std::uint64_t>(record.NumberOr("gen", 0.0));
+        e.bytes = static_cast<std::uint64_t>(record.NumberOr("bytes", 0.0));
+        e.plt = record.NumberOr("plt", -1.0);
+        e.k = static_cast<std::uint64_t>(record.NumberOr("k", 0.0));
+        e.detail = record.StringOr("detail", "");
+        e.role = record.StringOr("role", "");
+        out.events.push_back(std::move(e));
+    }
+    return out;
+}
+
+MergedEvents
+MergeRoleEvents(const std::vector<RoleEvents>& inputs) {
+    MergedEvents merged;
+    merged.roles = inputs.size();
+    for (const RoleEvents& input : inputs) {
+        merged.skipped_lines += input.skipped_lines;
+        for (const JournalEvent& e : input.events) {
+            ClusterEvent ce;
+            ce.event = e;
+            if (ce.event.role.empty()) {
+                ce.event.role = input.role;
+            }
+            // Relative stamp -> local absolute -> coordinator clock.
+            ce.abs_ns = input.clock_epoch_ns +
+                        static_cast<std::int64_t>(
+                            std::llround(e.wall_s * 1e9)) +
+                        input.clock_offset_ns;
+            merged.events.push_back(std::move(ce));
+        }
+    }
+    std::sort(merged.events.begin(), merged.events.end(),
+              [](const ClusterEvent& a, const ClusterEvent& b) {
+                  if (a.abs_ns != b.abs_ns) {
+                      return a.abs_ns < b.abs_ns;
+                  }
+                  if (a.event.role != b.event.role) {
+                      return a.event.role < b.event.role;
+                  }
+                  return a.event.seq < b.event.seq;
+              });
+    if (!merged.events.empty()) {
+        merged.base_ns = merged.events.front().abs_ns;
+    }
+    return merged;
+}
+
+std::string
+ClusterEventsJsonl(const MergedEvents& merged) {
+    std::ostringstream out;
+    out << "{\"type\": \"meta\", \"schema\": \"moc-cluster/1\", \"roles\": "
+        << merged.roles << ", \"skipped_lines\": " << merged.skipped_lines
+        << ", \"base_ns\": " << merged.base_ns
+        << ", \"events\": " << merged.events.size() << "}\n";
+    for (const ClusterEvent& ce : merged.events) {
+        const JournalEvent& e = ce.event;
+        const double t =
+            static_cast<double>(ce.abs_ns - merged.base_ns) / 1e9;
+        out << "{\"type\": \"" << EventKindName(e.kind) << "\", \"seq\": "
+            << e.seq << ", \"t\": " << JsonNumber(t)
+            << ", \"iter\": " << e.iteration << ", \"scope\": " << e.scope
+            << ", \"gen\": " << e.gen << ", \"bytes\": " << e.bytes
+            << ", \"plt\": " << JsonNumber(e.plt) << ", \"k\": " << e.k
+            << ", \"detail\": \"" << JsonEscape(e.detail)
+            << "\", \"role\": \"" << JsonEscape(e.role) << "\"}\n";
+    }
+    return out.str();
+}
+
+RoleSpans
+ParseRoleTrace(const std::string& text, const std::string& fallback_role) {
+    RoleSpans out;
+    out.role = fallback_role;
+    out.spans = ParseChromeTraceJson(text);  // throws on malformed JSON
+    const json::Value doc = json::Parse(text);
+    if (const json::Value* meta = doc.Find("metadata")) {
+        const std::string meta_role = meta->StringOr("role", "");
+        if (!meta_role.empty()) {
+            out.role = meta_role;
+        }
+        out.clock_offset_ns = static_cast<std::int64_t>(
+            meta->NumberOr("clock_offset_ns", 0.0));
+    }
+    return out;
+}
+
+std::vector<FlightSpan>
+MergeRoleSpans(const std::vector<RoleSpans>& inputs) {
+    std::vector<FlightSpan> merged;
+    for (const RoleSpans& input : inputs) {
+        for (FlightSpan span : input.spans) {
+            span.start_ns = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(span.start_ns) +
+                input.clock_offset_ns);
+            merged.push_back(std::move(span));
+        }
+    }
+    return merged;
+}
+
+std::string
+MergedChromeTraceJson(const std::vector<RoleSpans>& inputs) {
+    // Re-zero to the earliest rebased span so the merged trace opens at
+    // t=0 instead of some process's steady-clock uptime.
+    std::int64_t base = 0;
+    bool have_base = false;
+    for (const RoleSpans& input : inputs) {
+        for (const FlightSpan& span : input.spans) {
+            const std::int64_t abs =
+                static_cast<std::int64_t>(span.start_ns) +
+                input.clock_offset_ns;
+            if (!have_base || abs < base) {
+                base = abs;
+                have_base = true;
+            }
+        }
+    }
+    std::ostringstream out;
+    out << "{\"metadata\": {\"schema\": \"moc-cluster/1\", \"roles\": "
+        << inputs.size() << ", \"base_ns\": " << base
+        << "},\n\"traceEvents\": [";
+    bool first = true;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const RoleSpans& input = inputs[i];
+        const std::uint64_t pid = i + 1;
+        out << (first ? "" : ",") << "\n  {\"name\": \"process_name\", "
+            << "\"ph\": \"M\", \"pid\": " << pid
+            << ", \"args\": {\"name\": \"" << JsonEscape(input.role)
+            << "\"}}";
+        first = false;
+        for (const FlightSpan& span : input.spans) {
+            const std::int64_t abs =
+                static_cast<std::int64_t>(span.start_ns) +
+                input.clock_offset_ns - base;
+            out << ",\n  {\"name\": \"" << JsonEscape(span.name)
+                << "\", \"cat\": \"" << JsonEscape(span.category)
+                << "\", \"ph\": \"X\", \"ts\": "
+                << TraceMicros(static_cast<std::uint64_t>(
+                       abs < 0 ? 0 : abs))
+                << ", \"dur\": " << TraceMicros(span.duration_ns)
+                << ", \"pid\": " << pid << ", \"tid\": " << span.tid;
+            if (span.generation != 0 || span.rank >= 0 ||
+                !span.phase.empty()) {
+                out << ", \"args\": {\"gen\": " << span.generation
+                    << ", \"iter\": " << span.iteration
+                    << ", \"rank\": " << span.rank << ", \"phase\": \""
+                    << JsonEscape(span.phase) << "\"}";
+            }
+            out << "}";
+        }
+    }
+    out << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+    return out.str();
+}
+
+std::string
+ClusterMetricsJson(
+    const std::vector<std::pair<std::string, std::string>>& role_texts,
+    std::size_t* skipped) {
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"moc-cluster/1\",\n  \"roles\": {";
+    bool first = true;
+    std::size_t bad = 0;
+    for (const auto& [role, text] : role_texts) {
+        try {
+            json::Parse(text);
+        } catch (const std::invalid_argument&) {
+            ++bad;  // a killed process's torn dump: skip, count, continue
+            continue;
+        }
+        // Indent the validated document so the merged file stays readable.
+        std::string body = text;
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' ')) {
+            body.pop_back();
+        }
+        out << (first ? "" : ",") << "\n    \"" << JsonEscape(role)
+            << "\": " << body;
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    if (skipped != nullptr) {
+        *skipped = bad;
+    }
+    return out.str();
+}
+
+}  // namespace moc::obs

@@ -1,0 +1,140 @@
+#ifndef MOC_OBS_MERGE_H_
+#define MOC_OBS_MERGE_H_
+
+/**
+ * @file
+ * Merging per-role observability artifacts onto one cluster timeline
+ * (docs/OBSERVABILITY.md, "Cluster plane").
+ *
+ * Each process of a multi-process run (examples/cluster_procs under
+ * tools/moc_launcher) exports its own journal, metrics, and trace, every
+ * timestamp on its own steady clock. Two stamps make them mergeable:
+ *
+ *  - `clock_epoch_ns` (journal meta) — the local clock value wall_s counts
+ *    from, so a relative event stamp becomes absolute local ns;
+ *  - `clock_offset_ns` (run metadata, in every artifact) — the
+ *    coordinator-relative offset estimated by the transport
+ *    (net/clock_sync.h), so absolute local ns becomes coordinator ns.
+ *
+ * An event's coordinator-clock stamp is therefore
+ * `clock_epoch_ns + t * 1e9 + clock_offset_ns`; a trace span's is
+ * `start_ns + clock_offset_ns`. Merged outputs are re-zeroed to the
+ * earliest stamp across inputs so `t` stays human-sized.
+ *
+ * Parsing is deliberately *tolerant*: a SIGKILL'd rank leaves a journal
+ * whose last line may be torn mid-write, and a merge that refused such
+ * files would lose exactly the evidence a post-mortem needs. Malformed
+ * lines are skipped and counted (`skipped_lines`), never fatal. The strict
+ * parser (obs/journal.h ParseEventsJsonl) remains the single-file
+ * round-trip contract.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/journal.h"
+
+namespace moc::obs {
+
+/** "out/rank3.events.jsonl" -> "rank3": the basename up to its first dot,
+    matching tools/moc_launcher's per-role artifact naming — the fallback
+    role when a file's own metadata carries none. */
+std::string RoleFromFilename(const std::string& path);
+
+/** One per-role journal file, parsed with its rebase stamps. */
+struct RoleEvents {
+    std::string role;
+    /** Coordinator clock minus this role's clock (run metadata). */
+    std::int64_t clock_offset_ns = 0;
+    /** Local clock value that wall_s counts from (journal meta). */
+    std::int64_t clock_epoch_ns = 0;
+    std::vector<JournalEvent> events;
+    /** Malformed lines skipped (torn tails of killed processes). */
+    std::size_t skipped_lines = 0;
+    /** Whether a meta record was seen (absent in badly torn files). */
+    bool has_meta = false;
+};
+
+/**
+ * Tolerant journal parse. Uses the meta record's role when present,
+ * @p fallback_role otherwise (typically derived from the file name).
+ * Never throws on content: malformed lines are counted in skipped_lines.
+ */
+RoleEvents ParseRoleEventsJsonl(const std::string& text,
+                                const std::string& fallback_role);
+
+/** One journal event on the merged coordinator timeline. */
+struct ClusterEvent {
+    JournalEvent event;  ///< role filled from the producing file
+    /** Coordinator-clock absolute stamp. */
+    std::int64_t abs_ns = 0;
+};
+
+/** The merged, time-ordered cluster journal. */
+struct MergedEvents {
+    /** Ascending abs_ns (ties broken by role then seq). */
+    std::vector<ClusterEvent> events;
+    /** The earliest abs_ns across inputs — the merged zero point. */
+    std::int64_t base_ns = 0;
+    std::size_t skipped_lines = 0;
+    std::size_t roles = 0;
+};
+
+/** Rebases and interleaves per-role journals onto one timeline. */
+MergedEvents MergeRoleEvents(const std::vector<RoleEvents>& inputs);
+
+/**
+ * The merged journal as JSONL, line format identical to EventsJsonl()
+ * (plus a `role` on every event), so `moc_cli report --events` reads a
+ * cluster journal exactly like a single-process one. `t` is seconds since
+ * base_ns on the coordinator clock.
+ */
+std::string ClusterEventsJsonl(const MergedEvents& merged);
+
+/** One per-role Chrome trace, parsed with its rebase stamp. */
+struct RoleSpans {
+    std::string role;
+    std::int64_t clock_offset_ns = 0;
+    std::vector<FlightSpan> spans;
+};
+
+/**
+ * Parses a ChromeTraceJson export plus its embedded metadata (role,
+ * clock_offset_ns). Uses @p fallback_role when the metadata has none.
+ * @throws std::invalid_argument on malformed JSON (traces are written
+ *         atomically at exit; a torn trace is a real error).
+ */
+RoleSpans ParseRoleTrace(const std::string& text,
+                         const std::string& fallback_role);
+
+/**
+ * All input spans rebased onto the coordinator clock (start_ns +=
+ * clock_offset_ns), concatenated — ready for AnalyzeFlight, which then
+ * reconstructs critical paths *across* processes.
+ */
+std::vector<FlightSpan> MergeRoleSpans(const std::vector<RoleSpans>& inputs);
+
+/**
+ * The merged spans as one Chrome trace: one pid per role (with
+ * process_name metadata events), timestamps rebased and re-zeroed to the
+ * earliest span, checkpoint context in args. Loads in chrome://tracing
+ * as one cluster timeline.
+ */
+std::string MergedChromeTraceJson(const std::vector<RoleSpans>& inputs);
+
+/**
+ * Merges per-role metrics JSON files into one document:
+ * `{"schema": "moc-cluster/1", "roles": {"<role>": <metrics>, ...}}`.
+ * Unparsable inputs are skipped and counted in @p skipped (partial files
+ * from killed ranks); pass nullptr to discard the count.
+ */
+std::string ClusterMetricsJson(
+    const std::vector<std::pair<std::string, std::string>>& role_texts,
+    std::size_t* skipped);
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_MERGE_H_

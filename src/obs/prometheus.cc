@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/cluster_view.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/run_meta.h"
@@ -67,7 +68,7 @@ MetricsPrometheus() {
         << "\",git_sha=\"" << PromEscapeLabel(meta.git_sha)
         << "\",command_line=\"" << PromEscapeLabel(meta.command_line)
         << "\",config_digest=\"" << PromEscapeLabel(meta.config_digest)
-        << "\"} 1\n";
+        << "\",role=\"" << PromEscapeLabel(meta.role) << "\"} 1\n";
 
     for (const auto& [name, value] : snap.counters) {
         const std::string prom = PromMetricName(name);
@@ -108,6 +109,33 @@ MetricsPrometheus() {
                         &ExpertStat::snapshot_bytes);
         EmitExpertGauge(out, "moc_expert_persist_bytes_total", snap.experts,
                         &ExpertStat::persist_bytes);
+    }
+
+    // Coordinator-side cluster health (obs/cluster_view.h): one labelled
+    // sample per rank heard from, mirroring the per-expert gauge idiom.
+    const auto health = ClusterAggregator::Instance().Health();
+    if (!health.empty()) {
+        out << "# TYPE moc_rank_phase gauge\n";
+        for (const auto& row : health) {
+            out << "moc_rank_phase{rank=\"" << row.rank << "\",phase=\""
+                << PromEscapeLabel(row.phase.empty() ? "idle" : row.phase)
+                << "\"} 1\n";
+        }
+        out << "# TYPE moc_rank_slack_seconds gauge\n";
+        for (const auto& row : health) {
+            out << "moc_rank_slack_seconds{rank=\"" << row.rank << "\"} "
+                << JsonNumber(row.slack_s) << "\n";
+        }
+        out << "# TYPE moc_rank_alive gauge\n";
+        for (const auto& row : health) {
+            out << "moc_rank_alive{rank=\"" << row.rank << "\"} "
+                << (row.alive ? 1 : 0) << "\n";
+        }
+        out << "# TYPE moc_rank_straggler gauge\n";
+        for (const auto& row : health) {
+            out << "moc_rank_straggler{rank=\"" << row.rank << "\"} "
+                << (row.straggler ? 1 : 0) << "\n";
+        }
     }
     return out.str();
 }

@@ -1,5 +1,6 @@
 #include "obs/run_meta.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "obs/export.h"
@@ -12,6 +13,14 @@
 #endif
 
 namespace moc::obs {
+
+namespace {
+
+/** Refreshed continuously by the transport's reader thread, read by every
+    exporter: an atomic, not a RunMetadata field. */
+std::atomic<std::int64_t> g_cluster_clock_offset_ns{0};
+
+}  // namespace
 
 RunMetadata&
 RunMeta() {
@@ -38,6 +47,21 @@ SetRunConfigDigest(const std::string& digest_hex) {
     RunMeta().config_digest = digest_hex;
 }
 
+void
+SetRunRole(const std::string& role) {
+    RunMeta().role = role;
+}
+
+void
+SetClusterClockOffsetNs(std::int64_t offset_ns) {
+    g_cluster_clock_offset_ns.store(offset_ns, std::memory_order_relaxed);
+}
+
+std::int64_t
+ClusterClockOffsetNs() {
+    return g_cluster_clock_offset_ns.load(std::memory_order_relaxed);
+}
+
 std::string
 RunMetaJsonFields() {
     const RunMetadata& meta = RunMeta();
@@ -46,7 +70,9 @@ RunMetaJsonFields() {
         << JsonEscape(meta.build_type) << "\", \"git_sha\": \""
         << JsonEscape(meta.git_sha) << "\", \"command_line\": \""
         << JsonEscape(meta.command_line) << "\", \"config_digest\": \""
-        << JsonEscape(meta.config_digest) << "\"";
+        << JsonEscape(meta.config_digest) << "\", \"role\": \""
+        << JsonEscape(meta.role) << "\", \"clock_offset_ns\": "
+        << ClusterClockOffsetNs();
     return out.str();
 }
 

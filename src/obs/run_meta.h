@@ -14,6 +14,7 @@
  * MocCheckpointSystem when a run binds one.
  */
 
+#include <cstdint>
 #include <string>
 
 namespace moc::obs {
@@ -32,6 +33,9 @@ struct RunMetadata {
     std::string command_line;
     /** CRC-32 (hex) of the bound MocSystemConfig, or empty. */
     std::string config_digest;
+    /** Cluster role of the producing process ("coordinator", "rank2", or
+        empty for single-process runs). */
+    std::string role;
 };
 
 /** The process-wide metadata record (compile-time fields pre-filled). */
@@ -42,6 +46,22 @@ void SetRunCommandLine(int argc, const char* const* argv);
 
 /** Records the active config digest (called by MocCheckpointSystem). */
 void SetRunConfigDigest(const std::string& digest_hex);
+
+/** Records this process's cluster role (called by cluster drivers). */
+void SetRunRole(const std::string& role);
+
+/**
+ * Publishes the coordinator-relative clock offset (coordinator clock minus
+ * local clock, nanoseconds; see net/clock_sync.h). The transport refreshes
+ * it on every accepted ping/pong sample; exporters stamp the value current
+ * at export time into every artifact so per-role traces and journals can
+ * be rebased onto the coordinator's timeline (obs/merge.h). Zero — the
+ * default — means "already on the coordinator clock".
+ */
+void SetClusterClockOffsetNs(std::int64_t offset_ns);
+
+/** The last published coordinator-relative offset (0 until aligned). */
+std::int64_t ClusterClockOffsetNs();
 
 /**
  * RunMeta() as the *members* of a JSON object (no surrounding braces), e.g.

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the merged cluster flight recorder (obs/merge.h):
+ * tolerant parsing of torn per-role journals, the clock-rebase math that
+ * puts every role on the coordinator timeline, the merged JSONL/Chrome
+ * trace emitters, and a golden cross-process critical path over two
+ * rebased role traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/journal.h"
+#include "obs/merge.h"
+#include "util/json.h"
+
+namespace moc::obs {
+namespace {
+
+TEST(ClusterMerge, RoleFromFilenameTakesBasenameToFirstDot) {
+    EXPECT_EQ(RoleFromFilename("out/rank3.events.jsonl"), "rank3");
+    EXPECT_EQ(RoleFromFilename("/a/b/coordinator.metrics.json"),
+              "coordinator");
+    EXPECT_EQ(RoleFromFilename("noext"), "noext");
+    EXPECT_EQ(RoleFromFilename("dir.with.dots/rank0.trace.json"), "rank0");
+}
+
+TEST(ClusterMerge, TolerantParseSkipsTornTailAndCounts) {
+    // A SIGKILL'd rank's journal: good meta, one good event, then a line
+    // torn mid-write and one non-JSON stderr stray.
+    const std::string text =
+        "{\"type\": \"meta\", \"role\": \"rank1\", \"clock_offset_ns\": "
+        "500, \"clock_epoch_ns\": 1000, \"events\": 2}\n"
+        "{\"type\": \"cluster_seal\", \"seq\": 4, \"t\": 1.5, \"iter\": 3, "
+        "\"scope\": -1, \"gen\": 3, \"bytes\": 64, \"plt\": -1, \"k\": 0, "
+        "\"detail\": \"sealed\"}\n"
+        "{\"type\": \"straggler\", \"seq\": 5, \"t\": 1.6, \"ite\n"
+        "not json at all\n";
+    const RoleEvents parsed = ParseRoleEventsJsonl(text, "fallback");
+    EXPECT_EQ(parsed.role, "rank1");  // meta wins over the fallback
+    EXPECT_TRUE(parsed.has_meta);
+    EXPECT_EQ(parsed.clock_offset_ns, 500);
+    EXPECT_EQ(parsed.clock_epoch_ns, 1000);
+    ASSERT_EQ(parsed.events.size(), 1u);
+    EXPECT_EQ(parsed.events[0].kind, EventKind::kClusterSeal);
+    EXPECT_EQ(parsed.skipped_lines, 2u);
+}
+
+TEST(ClusterMerge, FallbackRoleUsedWithoutMeta) {
+    const RoleEvents parsed = ParseRoleEventsJsonl(
+        "{\"type\": \"cluster_seal\", \"seq\": 0, \"t\": 0.5}\n", "rank7");
+    EXPECT_EQ(parsed.role, "rank7");
+    EXPECT_FALSE(parsed.has_meta);
+    ASSERT_EQ(parsed.events.size(), 1u);
+}
+
+/** A role journal with one event at @p wall_s on the role's own clock. */
+RoleEvents
+OneEventRole(const std::string& role, std::int64_t epoch_ns,
+             std::int64_t offset_ns, double wall_s) {
+    RoleEvents r;
+    r.role = role;
+    r.clock_epoch_ns = epoch_ns;
+    r.clock_offset_ns = offset_ns;
+    JournalEvent e;
+    e.kind = EventKind::kClusterSeal;
+    e.wall_s = wall_s;
+    r.events.push_back(e);
+    return r;
+}
+
+TEST(ClusterMerge, RebaseOrdersEventsAcrossSkewedClocks) {
+    // Role A: epoch 1 s, offset 0, event at t=1.5 -> abs 2.5 s.
+    // Role B: epoch 2 s, offset +0.25 s, event at t=0.1 -> abs 2.35 s.
+    // On their raw wall_s stamps A's event looks *earlier* (1.5 vs 0.1
+    // would sort B first anyway) — use stamps where naive order flips:
+    // B's raw t (0.1) is smaller, but its rebased stamp lands first too;
+    // flip A to prove rebasing, not raw order, decides.
+    const auto a = OneEventRole("a", 1'000'000'000, 0, 1.5);
+    const auto b = OneEventRole("b", 2'000'000'000, 250'000'000, 0.1);
+    const MergedEvents merged = MergeRoleEvents({a, b});
+    ASSERT_EQ(merged.events.size(), 2u);
+    EXPECT_EQ(merged.roles, 2u);
+    EXPECT_EQ(merged.events[0].event.role, "b");
+    EXPECT_EQ(merged.events[0].abs_ns, 2'350'000'000);
+    EXPECT_EQ(merged.events[1].event.role, "a");
+    EXPECT_EQ(merged.events[1].abs_ns, 2'500'000'000);
+    EXPECT_EQ(merged.base_ns, 2'350'000'000);
+}
+
+TEST(ClusterMerge, ClusterJsonlRoundTripsThroughTolerantParser) {
+    const auto a = OneEventRole("a", 1'000'000'000, 0, 1.5);
+    const auto b = OneEventRole("b", 2'000'000'000, 250'000'000, 0.1);
+    const std::string jsonl = ClusterEventsJsonl(MergeRoleEvents({a, b}));
+
+    // Line format matches EventsJsonl plus a role on every event, so the
+    // tolerant parser reads it back with zero skips.
+    const RoleEvents back = ParseRoleEventsJsonl(jsonl, "cluster");
+    EXPECT_EQ(back.skipped_lines, 0u);
+    ASSERT_EQ(back.events.size(), 2u);
+    EXPECT_EQ(back.events[0].role, "b");
+    EXPECT_DOUBLE_EQ(back.events[0].wall_s, 0.0);  // re-zeroed to base
+    EXPECT_EQ(back.events[1].role, "a");
+    EXPECT_NEAR(back.events[1].wall_s, 0.15, 1e-9);
+
+    // The meta line carries the merged-schema header.
+    const json::Value meta = json::Parse(jsonl.substr(0, jsonl.find('\n')));
+    EXPECT_EQ(meta.At("schema").AsString(), "moc-cluster/1");
+    EXPECT_EQ(static_cast<int>(meta.At("roles").AsNumber()), 2);
+}
+
+/** One persist span for @p rank in generation 1 on a role's local clock. */
+FlightSpan
+PersistSpan(std::int32_t rank, std::uint64_t start_ns,
+            std::uint64_t duration_ns) {
+    FlightSpan s;
+    s.name = "gauntlet.persist";
+    s.category = "cluster";
+    s.phase = "persist";
+    s.start_ns = start_ns;
+    s.duration_ns = duration_ns;
+    s.generation = 1;
+    s.iteration = 1;
+    s.rank = rank;
+    return s;
+}
+
+TEST(ClusterMerge, GoldenCrossProcessCriticalPath) {
+    // Two role traces on different clocks. Rank 0's clock reads ~10 s,
+    // rank 1's reads ~90 s; without rebasing, rank 1's span would dwarf
+    // the timeline. After rebasing both onto the coordinator clock the
+    // spans overlap, and the critical path lands on rank 1 — whose
+    // persist genuinely ran 400 ms against rank 0's 100 ms.
+    RoleSpans rank0;
+    rank0.role = "rank0";
+    rank0.clock_offset_ns = 2'000'000'000;  // coordinator - rank0 = +2 s
+    rank0.spans = {PersistSpan(0, 10'000'000'000, 100'000'000)};
+    RoleSpans rank1;
+    rank1.role = "rank1";
+    rank1.clock_offset_ns = -78'000'000'000;  // coordinator - rank1 = -78 s
+    rank1.spans = {PersistSpan(1, 90'000'000'000, 400'000'000)};
+
+    const std::vector<FlightSpan> merged = MergeRoleSpans({rank0, rank1});
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].start_ns, 12'000'000'000u);
+    EXPECT_EQ(merged[1].start_ns, 12'000'000'000u);
+
+    const FlightAnalysis analysis = AnalyzeFlight(merged);
+    ASSERT_EQ(analysis.generations.size(), 1u);
+    const GenerationProfile& gen = analysis.generations[0];
+    EXPECT_EQ(gen.straggler, 1);
+    EXPECT_EQ(gen.wall_ns, 400'000'000u);
+    ASSERT_FALSE(gen.critical_path.empty());
+    EXPECT_EQ(gen.critical_path.back().rank, 1);
+    EXPECT_EQ(gen.critical_path.back().phase, "persist");
+}
+
+TEST(ClusterMerge, MergedChromeTraceRebasesAndLabelsRoles) {
+    RoleSpans rank0;
+    rank0.role = "rank0";
+    rank0.clock_offset_ns = 1'000'000;
+    rank0.spans = {PersistSpan(0, 5'000'000, 2'000'000)};
+    RoleSpans rank1;
+    rank1.role = "rank1";
+    rank1.clock_offset_ns = -1'000'000;
+    rank1.spans = {PersistSpan(1, 9'000'000, 3'000'000)};
+
+    const std::string trace = MergedChromeTraceJson({rank0, rank1});
+    const json::Value doc = json::Parse(trace);
+    EXPECT_EQ(doc.At("metadata").At("schema").AsString(), "moc-cluster/1");
+    EXPECT_EQ(static_cast<int>(doc.At("metadata").At("roles").AsNumber()),
+              2);
+    // Re-zeroed: the earliest rebased span (rank0 at 6 ms) starts at 0.
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  doc.At("metadata").At("base_ns").AsNumber()),
+              6'000'000);
+
+    // The spans parse back with context intact and rebased, re-zeroed
+    // starts: rank1's span at (9 - 1) - 6 = 2 ms.
+    const std::vector<FlightSpan> spans = ParseChromeTraceJson(trace);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].rank, 0);
+    EXPECT_EQ(spans[0].start_ns, 0u);
+    EXPECT_EQ(spans[1].rank, 1);
+    EXPECT_EQ(spans[1].start_ns, 2'000'000u);
+    EXPECT_EQ(spans[1].generation, 1u);
+}
+
+TEST(ClusterMerge, ParseRoleTraceThrowsOnTornTrace) {
+    EXPECT_THROW(ParseRoleTrace("{\"traceEvents\": [", "rank0"),
+                 std::invalid_argument);
+}
+
+TEST(ClusterMerge, ClusterMetricsSkipsTornDumps) {
+    std::size_t skipped = 0;
+    const std::string merged = ClusterMetricsJson(
+        {{"coordinator", "{\"counters\": {\"a\": 1}}"},
+         {"rank0", "{\"counters\": {\"b\": "}},  // torn mid-write
+        &skipped);
+    EXPECT_EQ(skipped, 1u);
+    const json::Value doc = json::Parse(merged);
+    EXPECT_EQ(doc.At("schema").AsString(), "moc-cluster/1");
+    EXPECT_NE(doc.At("roles").Find("coordinator"), nullptr);
+    EXPECT_EQ(doc.At("roles").Find("rank0"), nullptr);
+}
+
+}  // namespace
+}  // namespace moc::obs

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the cluster observability plane's live half: the clock
+ * offset estimator (net/clock_sync.h) under seeded delay and reorder, the
+ * kTelemetry wire codec and the drop-never-block publisher
+ * (net/telemetry.h), and the coordinator-side aggregator with its
+ * cluster-median straggler detector (obs/cluster_view.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/clock_sync.h"
+#include "net/inproc_transport.h"
+#include "net/telemetry.h"
+#include "obs/cluster_view.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace moc {
+namespace {
+
+// ---------------------------------------------------------------- clock ---
+
+TEST(ClusterClock, SingleSymmetricExchangeRecoversOffset) {
+    net::ClockOffsetEstimator estimator;
+    // Responder's clock runs 5 ms ahead; 100 us each way on the wire.
+    net::ClockSample s;
+    s.t0 = 1'000'000;
+    s.t1 = s.t0 + 100'000 + 5'000'000;
+    s.t2 = s.t1 + 10'000;
+    s.t3 = s.t0 + 210'000;
+    const net::ClockEstimate est = estimator.Add(s);
+    EXPECT_EQ(est.offset_ns, 5'000'000);
+    EXPECT_EQ(est.rtt_ns, 200'000);
+    EXPECT_EQ(est.samples, 1u);
+}
+
+TEST(ClusterClock, MinRttFilterConvergesUnderSeededDelay) {
+    // True offset 2 ms. Every exchange suffers random asymmetric queueing
+    // delay; one clean exchange should dominate the estimate because the
+    // filter picks the minimum-RTT sample, whose asymmetry error is least.
+    constexpr std::int64_t kTrueOffset = 2'000'000;
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<std::int64_t> noise(0, 400'000);
+    net::ClockOffsetEstimator estimator;
+    std::int64_t now = 10'000'000;
+    for (int i = 0; i < 30; ++i) {
+        const std::int64_t up = 50'000 + noise(rng);
+        const std::int64_t down = 50'000 + noise(rng);
+        net::ClockSample s;
+        s.t0 = now;
+        s.t1 = s.t0 + up + kTrueOffset;
+        s.t2 = s.t1 + 5'000;
+        s.t3 = s.t0 + up + 5'000 + down;
+        estimator.Add(s);
+        now += 1'000'000;
+    }
+    const auto est = estimator.Estimate();
+    ASSERT_TRUE(est.has_value());
+    // The min-RTT sample's error is bounded by half its path asymmetry,
+    // itself bounded by half the best-seen RTT spread.
+    EXPECT_NEAR(static_cast<double>(est->offset_ns),
+                static_cast<double>(kTrueOffset),
+                static_cast<double>(est->rtt_ns) / 2.0);
+    EXPECT_EQ(est->samples, 30u);
+    EXPECT_EQ(estimator.rejected(), 0u);
+}
+
+TEST(ClusterClock, NegativeRttSamplesAreRejected) {
+    net::ClockOffsetEstimator estimator;
+    net::ClockSample good;
+    good.t0 = 0;
+    good.t1 = 1'000'000;
+    good.t2 = 1'010'000;
+    good.t3 = 100'000;
+    estimator.Add(good);
+
+    // A reordered/garbled exchange: turnaround longer than the round trip.
+    net::ClockSample bad = good;
+    bad.t2 = bad.t1 + 500'000;
+    estimator.Add(bad);
+    EXPECT_EQ(estimator.rejected(), 1u);
+    const auto est = estimator.Estimate();
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(est->samples, 1u);  // the bad sample never entered the window
+    EXPECT_EQ(est->offset_ns, good.OffsetNs());
+}
+
+TEST(ClusterClock, SlidingWindowTracksDrift) {
+    net::ClockOffsetEstimator estimator(/*window=*/4);
+    // Early samples see offset A, later ones offset B; once A's samples
+    // age out of the window, the estimate must follow B.
+    const auto feed = [&](std::int64_t offset, std::int64_t t0) {
+        net::ClockSample s;
+        s.t0 = t0;
+        s.t1 = t0 + 50'000 + offset;
+        s.t2 = s.t1 + 1'000;
+        s.t3 = t0 + 101'000;
+        estimator.Add(s);
+    };
+    for (int i = 0; i < 4; ++i) {
+        feed(1'000'000, i * 1'000'000);
+    }
+    EXPECT_EQ(estimator.Estimate()->offset_ns, 1'000'000);
+    for (int i = 4; i < 8; ++i) {
+        feed(3'000'000, i * 1'000'000);
+    }
+    EXPECT_EQ(estimator.Estimate()->offset_ns, 3'000'000);
+}
+
+// ------------------------------------------------------------ telemetry ---
+
+obs::TelemetrySample
+SampleFixture() {
+    obs::TelemetrySample s;
+    s.rank = 3;
+    s.generation = 7;
+    s.iteration = 42;
+    s.phase = "persist";
+    s.phase_since_ns = 111'222'333;
+    s.sent_ns = 999'888'777;
+    s.clock_offset_ns = -5'000;
+    s.counters = {{"ckpt.events", 12.0}, {"net.frames", 3456.5}};
+    return s;
+}
+
+TEST(ClusterTelemetry, CodecRoundTripsEveryField) {
+    const obs::TelemetrySample in = SampleFixture();
+    const obs::TelemetrySample out =
+        net::DecodeTelemetry(net::EncodeTelemetry(in));
+    EXPECT_EQ(out.rank, in.rank);
+    EXPECT_EQ(out.generation, in.generation);
+    EXPECT_EQ(out.iteration, in.iteration);
+    EXPECT_EQ(out.phase, in.phase);
+    EXPECT_EQ(out.phase_since_ns, in.phase_since_ns);
+    EXPECT_EQ(out.sent_ns, in.sent_ns);
+    EXPECT_EQ(out.clock_offset_ns, in.clock_offset_ns);
+    ASSERT_EQ(out.counters.size(), in.counters.size());
+    for (std::size_t i = 0; i < in.counters.size(); ++i) {
+        EXPECT_EQ(out.counters[i].first, in.counters[i].first);
+        EXPECT_DOUBLE_EQ(out.counters[i].second, in.counters[i].second);
+    }
+}
+
+TEST(ClusterTelemetry, DecodeThrowsOnTruncation) {
+    Blob wire = net::EncodeTelemetry(SampleFixture());
+    wire.resize(wire.size() / 2);
+    EXPECT_THROW(net::DecodeTelemetry(wire), std::runtime_error);
+}
+
+TEST(ClusterTelemetry, PublisherDropsInsteadOfBlockingOnFullMailbox) {
+    const std::uint64_t dropped_before = obs::MetricsRegistry::Instance()
+                                      .GetCounter("obs.telemetry.dropped")
+                                      .value();
+    // A 2-slot coordinator mailbox that nobody drains: the third and later
+    // publishes must shed, and PublishNow must return promptly each time.
+    net::InprocHub hub(/*queue_capacity=*/2);
+    net::InprocTransport coordinator(hub, net::kCoordinatorPeer);
+    net::InprocTransport rank(hub, 1);
+
+    net::TelemetryPublisher::Options options;
+    options.coordinator = net::kCoordinatorPeer;
+    options.rank = 1;
+    net::TelemetryPublisher publisher(rank, options);
+    std::size_t sent = 0;
+    std::size_t shed = 0;
+    for (int i = 0; i < 10; ++i) {
+        (publisher.PublishNow() ? sent : shed) += 1;
+    }
+    EXPECT_EQ(sent, 2u);
+    EXPECT_EQ(shed, 8u);
+    EXPECT_EQ(publisher.published(), 2u);
+    EXPECT_EQ(publisher.dropped(), 8u);
+    const std::uint64_t dropped_after = obs::MetricsRegistry::Instance()
+                                     .GetCounter("obs.telemetry.dropped")
+                                     .value();
+    EXPECT_GE(dropped_after - dropped_before, 8u);
+
+    // The two accepted samples decode into real telemetry.
+    const auto msg = coordinator.Recv(1.0);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, net::MsgType::kTelemetry);
+    const obs::TelemetrySample s = net::DecodeTelemetry(msg->payload);
+    EXPECT_EQ(s.rank, 1);
+    EXPECT_GT(s.sent_ns, 0);
+}
+
+// ----------------------------------------------------------- aggregator ---
+
+class ClusterViewTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        obs::ClusterAggregator::Instance().Reset();
+        obs::EventJournal::Instance().Clear();
+    }
+
+    /** Feeds a sample for @p rank sitting in @p phase since @p since_ns. */
+    static void Feed(std::int32_t rank, const char* phase,
+                     std::int64_t since_ns, std::int64_t sent_ns,
+                     std::uint64_t gen = 1) {
+        obs::TelemetrySample s;
+        s.rank = rank;
+        s.generation = gen;
+        s.iteration = gen;
+        s.phase = phase;
+        s.phase_since_ns = since_ns;
+        s.sent_ns = sent_ns;
+        obs::ClusterAggregator::Instance().Observe(s, sent_ns);
+    }
+
+    static std::size_t StragglerEvents() {
+        std::size_t n = 0;
+        for (const auto& e : obs::EventJournal::Instance().Collect()) {
+            n += e.kind == obs::EventKind::kStraggler ? 1 : 0;
+        }
+        return n;
+    }
+};
+
+TEST_F(ClusterViewTest, FlagsRankFarBehindClusterMedian) {
+    // Ranks 0 and 1 complete a 100 ms persist (idle samples close the
+    // phase); rank 2 then reports 600 ms elapsed and still going.
+    Feed(0, "persist", 10'000'000, 110'000'000);
+    Feed(1, "persist", 10'000'000, 110'000'000);
+    Feed(0, "", 110'000'000, 115'000'000);
+    Feed(1, "", 110'000'000, 115'000'000);
+    Feed(2, "persist", 10'000'000, 610'000'000);
+
+    auto& agg = obs::ClusterAggregator::Instance();
+    EXPECT_EQ(agg.Stragglers(), std::vector<std::int32_t>{2});
+    EXPECT_EQ(StragglerEvents(), 1u);
+
+    bool found = false;
+    for (const auto& h : agg.Health()) {
+        if (h.rank == 2) {
+            found = true;
+            EXPECT_TRUE(h.straggler);
+            EXPECT_LT(h.slack_s, 0.0);  // behind the median
+            EXPECT_NEAR(h.cluster_median_s, 0.1, 1e-9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(ClusterViewTest, JournalsOncePerRankAndGeneration) {
+    Feed(0, "persist", 10'000'000, 110'000'000);
+    Feed(1, "persist", 10'000'000, 110'000'000);
+    Feed(0, "", 110'000'000, 115'000'000);
+    Feed(1, "", 110'000'000, 115'000'000);
+    Feed(2, "persist", 10'000'000, 610'000'000);
+    Feed(2, "persist", 10'000'000, 710'000'000);  // still behind, same gen
+    EXPECT_EQ(StragglerEvents(), 1u);
+
+    // A new generation re-arms the journal.
+    Feed(0, "persist", 10'000'000, 110'000'000, /*gen=*/2);
+    Feed(1, "persist", 10'000'000, 110'000'000, /*gen=*/2);
+    Feed(0, "", 110'000'000, 115'000'000, /*gen=*/2);
+    Feed(1, "", 110'000'000, 115'000'000, /*gen=*/2);
+    Feed(2, "persist", 10'000'000, 610'000'000, /*gen=*/2);
+    EXPECT_EQ(StragglerEvents(), 2u);
+}
+
+TEST_F(ClusterViewTest, NeedsMinPeersBeforeFlagging) {
+    // Only one peer completed the phase: the median is not trustworthy.
+    Feed(0, "persist", 10'000'000, 110'000'000);
+    Feed(0, "", 110'000'000, 115'000'000);
+    Feed(2, "persist", 10'000'000, 910'000'000);
+    EXPECT_TRUE(obs::ClusterAggregator::Instance().Stragglers().empty());
+    EXPECT_EQ(StragglerEvents(), 0u);
+}
+
+TEST_F(ClusterViewTest, PeerDeathFoldsIntoHealthView) {
+    Feed(0, "persist", 10'000'000, 50'000'000);
+    obs::ClusterAggregator::Instance().ObservePeerDeath(0, "eof");
+    const auto health = obs::ClusterAggregator::Instance().Health();
+    ASSERT_EQ(health.size(), 1u);
+    EXPECT_FALSE(health[0].alive);
+    EXPECT_EQ(health[0].death_cause, "eof");
+
+    // Death of a rank never heard from still creates a row.
+    obs::ClusterAggregator::Instance().ObservePeerDeath(7,
+                                                        "heartbeat_timeout");
+    EXPECT_EQ(obs::ClusterAggregator::Instance().Health().size(), 2u);
+}
+
+TEST_F(ClusterViewTest, SeriesKeepsBoundedRing) {
+    for (int i = 0; i < 300; ++i) {
+        Feed(1, "persist", 1, 1'000'000 * (i + 1));
+    }
+    const auto series = obs::ClusterAggregator::Instance().Series(1);
+    EXPECT_EQ(series.size(), obs::ClusterAggregator::kRingCapacity);
+    // Oldest first; the newest sample is the last one fed.
+    EXPECT_EQ(series.back().sent_ns, 1'000'000 * 300);
+}
+
+}  // namespace
+}  // namespace moc

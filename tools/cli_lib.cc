@@ -28,6 +28,17 @@ Args::Get(const std::string& name, const std::string& fallback) const {
     return fallback;
 }
 
+std::vector<std::string>
+Args::GetAll(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [key, value] : options) {
+        if (key == name) {
+            values.push_back(value);
+        }
+    }
+    return values;
+}
+
 long
 Args::GetInt(const std::string& name, long fallback) const {
     const std::string v = Get(name, "");

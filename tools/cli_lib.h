@@ -24,13 +24,20 @@
  *                                      analyze a run's exports: recovery
  *                                      timeline, PLT trajectory, expert
  *                                      staleness, measured-vs-predicted
- *                                      overhead (see tools/cli_report.cc)
+ *                                      overhead (see tools/cli_report.cc).
+ *                                      Both flags repeat: multiple per-role
+ *                                      files are merged onto one
+ *                                      coordinator-aligned timeline
+ *                                      (obs/merge.h) with a cluster health
+ *                                      section
  *   trace --trace <chrome.json> [--events <jsonl>]
  *                                      flight-recorder analysis of a
  *                                      checkpoint trace: per-generation
  *                                      critical path, straggler ranking,
  *                                      per-phase O_save attribution, stall
- *                                      events (see tools/cli_trace.cc)
+ *                                      events (see tools/cli_trace.cc).
+ *                                      --trace/--events repeat for merged
+ *                                      cross-process analysis
  *
  * Global flags (any subcommand): `--metrics-out <path>` dumps the process
  * metrics registry as JSON on exit; `--trace-out <path>` enables tracing
@@ -52,6 +59,9 @@ struct Args {
 
     /** Value of --name, or @p fallback. */
     std::string Get(const std::string& name, const std::string& fallback) const;
+
+    /** Every value of a repeated --name, in command-line order. */
+    std::vector<std::string> GetAll(const std::string& name) const;
 
     /** Integer option with fallback; throws std::invalid_argument on junk. */
     long GetInt(const std::string& name, long fallback) const;

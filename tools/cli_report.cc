@@ -36,6 +36,7 @@
 #include "core/overhead.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/json.h"
@@ -60,6 +61,9 @@ ReadFileOrThrow(const std::string& path) {
 /** The metrics dump, decoded back into registry-shaped containers. */
 struct MetricsDump {
     std::map<std::string, std::string> meta;
+    /** Numeric run-meta fields (clock_offset_ns), kept apart from the
+        string table the meta section prints. */
+    std::map<std::string, double> meta_numbers;
     std::map<std::string, double> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, obs::HistogramData> histograms;
@@ -105,6 +109,8 @@ ParseMetricsDump(const std::string& text) {
         for (const auto& [key, value] : meta->AsObject()) {
             if (value.is_string()) {
                 dump.meta[key] = value.AsString();
+            } else if (value.is_number()) {
+                dump.meta_numbers[key] = value.AsNumber();
             }
         }
     }
@@ -304,22 +310,57 @@ PltBar(double plt, double threshold, double scale_max, std::size_t width) {
 
 int
 RunReport(const Args& args, std::ostream& out) {
-    const std::string metrics_path = args.Get("metrics", "");
-    const std::string events_path = args.Get("events", "");
-    if (metrics_path.empty()) {
+    const std::vector<std::string> metrics_paths = args.GetAll("metrics");
+    const std::vector<std::string> events_paths = args.GetAll("events");
+    if (metrics_paths.empty()) {
         out << "usage: moc_cli report --metrics <metrics.json> "
-               "[--events <events.jsonl>]\n"
+               "[--metrics <role2.json> ...]\n"
+               "       [--events <events.jsonl>] [--events <role2.jsonl> ...]\n"
                "       [--plt-threshold X] [--report-json <path>]\n";
         return 2;
     }
 
-    MetricsDump dump;
+    // Per-role metrics dumps, in CLI order. The coordinator's dump (by
+    // role metadata) anchors the single-run sections below; with one
+    // --metrics this is exactly the old single-file behavior.
+    std::vector<std::pair<std::string, MetricsDump>> role_dumps;
     std::vector<obs::JournalEvent> events;
+    std::size_t merged_skipped = 0;
+    std::size_t event_roles = 0;
     double threshold = kDefaultPltThreshold;
     try {
-        dump = ParseMetricsDump(ReadFileOrThrow(metrics_path));
-        if (!events_path.empty()) {
-            events = obs::ParseEventsJsonl(ReadFileOrThrow(events_path));
+        for (const std::string& path : metrics_paths) {
+            MetricsDump d = ParseMetricsDump(ReadFileOrThrow(path));
+            const auto it = d.meta.find("role");
+            std::string role = it != d.meta.end() && !it->second.empty()
+                                   ? it->second
+                                   : obs::RoleFromFilename(path);
+            role_dumps.emplace_back(std::move(role), std::move(d));
+        }
+        if (events_paths.size() == 1) {
+            // Single journal: the strict parser stays the contract.
+            events = obs::ParseEventsJsonl(ReadFileOrThrow(events_paths[0]));
+            event_roles = 1;
+        } else if (events_paths.size() > 1) {
+            // Multiple journals: rebase onto the coordinator clock and
+            // interleave. Tolerant parse — a SIGKILL'd rank's torn tail
+            // must not sink the cluster post-mortem.
+            std::vector<obs::RoleEvents> role_events;
+            for (const std::string& path : events_paths) {
+                role_events.push_back(obs::ParseRoleEventsJsonl(
+                    ReadFileOrThrow(path), obs::RoleFromFilename(path)));
+            }
+            obs::MergedEvents merged = obs::MergeRoleEvents(role_events);
+            merged_skipped = merged.skipped_lines;
+            event_roles = merged.roles;
+            events.reserve(merged.events.size());
+            for (obs::ClusterEvent& ce : merged.events) {
+                // Re-stamp onto the merged zero so downstream timing
+                // (recovery durations, checkpoint intervals) spans roles.
+                ce.event.wall_s =
+                    static_cast<double>(ce.abs_ns - merged.base_ns) / 1e9;
+                events.push_back(std::move(ce.event));
+            }
         }
         const std::string t = args.Get("plt-threshold", "");
         if (!t.empty()) {
@@ -331,13 +372,27 @@ RunReport(const Args& args, std::ostream& out) {
         out << "error: " << e.what() << "\n";
         return 2;
     }
+    const MetricsDump& dump = [&]() -> const MetricsDump& {
+        for (const auto& [role, d] : role_dumps) {
+            if (role == "coordinator") {
+                return d;
+            }
+        }
+        return role_dumps.front().second;
+    }();
 
     out << "MoC run report\n";
+    if (merged_skipped > 0) {
+        out << "warning: skipped " << merged_skipped
+            << " malformed journal line(s) while merging\n";
+    }
     Table meta({"meta", "value"});
     for (const char* key : {"schema", "build_type", "git_sha", "config_digest",
-                            "command_line"}) {
+                            "role", "command_line"}) {
         const auto it = dump.meta.find(key);
-        meta.AddRow({key, it == dump.meta.end() ? "-" : it->second});
+        meta.AddRow({key, it == dump.meta.end() || it->second.empty()
+                              ? "-"
+                              : it->second});
     }
     out << meta.ToString();
 
@@ -539,6 +594,72 @@ RunReport(const Args& args, std::ostream& out) {
                "stay unsealed)\n";
     }
 
+    // -- cluster health ------------------------------------------------------
+    // The cross-process view (docs/OBSERVABILITY.md, "Cluster plane"):
+    // per-role clock offsets and telemetry counters from the merged metrics,
+    // straggler and peer-death events from the merged journal.
+    std::vector<const obs::JournalEvent*> straggler_events;
+    std::vector<const obs::JournalEvent*> death_events;
+    for (const obs::JournalEvent& e : events) {
+        if (e.kind == obs::EventKind::kStraggler) {
+            straggler_events.push_back(&e);
+        } else if (e.kind == obs::EventKind::kPeerDeath) {
+            death_events.push_back(&e);
+        }
+    }
+    const bool cluster_run = role_dumps.size() > 1 || event_roles > 1 ||
+                             !straggler_events.empty();
+    double telemetry_sent = 0.0;
+    double telemetry_dropped = 0.0;
+    for (const auto& [role, d] : role_dumps) {
+        telemetry_sent += d.Counter("obs.telemetry.sent");
+        telemetry_dropped += d.Counter("obs.telemetry.dropped");
+    }
+    if (cluster_run) {
+        out << "\n== cluster health ==\n";
+        Table roles({"role", "clock offset (ms)", "telemetry sent",
+                     "telemetry dropped", "stragglers seen"});
+        for (const auto& [role, d] : role_dumps) {
+            const auto off = d.meta_numbers.find("clock_offset_ns");
+            roles.AddRow(
+                {role,
+                 off == d.meta_numbers.end()
+                     ? "-"
+                     : Table::Num(off->second / 1e6, 3),
+                 Table::Num(d.Counter("obs.telemetry.sent"), 0),
+                 Table::Num(d.Counter("obs.telemetry.dropped"), 0),
+                 Table::Num(d.Counter("obs.cluster.stragglers"), 0)});
+        }
+        out << roles.ToString();
+        if (telemetry_dropped > 0.0) {
+            out << "WARNING: " << Table::Num(telemetry_dropped, 0)
+                << " telemetry sample(s) shed (publisher never blocks; the "
+                   "live cluster view lost freshness, not correctness)\n";
+        }
+        if (straggler_events.empty()) {
+            out << "no stragglers flagged\n";
+        } else {
+            Table st({"t (s)", "rank", "gen", "iter", "detail"});
+            for (const obs::JournalEvent* e : straggler_events) {
+                st.AddRow({Table::Num(e->wall_s, 3),
+                           std::to_string(e->scope),
+                           std::to_string(e->gen),
+                           std::to_string(e->iteration), e->detail});
+            }
+            out << "straggler event(s) flagged DURING the run:\n"
+                << st.ToString();
+        }
+        if (!death_events.empty()) {
+            Table dt({"t (s)", "role", "peer", "detail"});
+            for (const obs::JournalEvent* e : death_events) {
+                dt.AddRow({Table::Num(e->wall_s, 3),
+                           e->role.empty() ? "-" : e->role,
+                           std::to_string(e->scope), e->detail});
+            }
+            out << "peer death attribution:\n" << dt.ToString();
+        }
+    }
+
     // -- overhead model ------------------------------------------------------
     // Operating point measured from the run itself.
     const double i_total = dump.Counter("train.iterations");
@@ -655,6 +776,21 @@ RunReport(const Args& args, std::ostream& out) {
             << ", \"dynamic_k_bumps\": " << bumps
             << ", \"stalls\": " << stall_events
             << ", \"peer_deaths\": " << peer_deaths << "},\n"
+            << " \"cluster\": {\"metrics_roles\": " << role_dumps.size()
+            << ", \"event_roles\": " << event_roles
+            << ", \"skipped_lines\": " << merged_skipped
+            << ", \"telemetry_sent\": " << obs::JsonNumber(telemetry_sent)
+            << ", \"telemetry_dropped\": "
+            << obs::JsonNumber(telemetry_dropped)
+            << ", \"straggler_events\": " << straggler_events.size()
+            << ", \"stragglers\": [";
+    for (std::size_t i = 0; i < straggler_events.size(); ++i) {
+        const obs::JournalEvent* e = straggler_events[i];
+        machine << (i == 0 ? "" : ", ") << "{\"rank\": " << e->scope
+                << ", \"gen\": " << e->gen << ", \"seq\": " << e->seq
+                << ", \"detail\": \"" << obs::JsonEscape(e->detail) << "\"}";
+    }
+    machine << "]},\n"
             << " \"obs_health\": {\"trace_dropped\": "
             << obs::JsonNumber(trace_dropped) << ", \"journal_dropped\": "
             << obs::JsonNumber(journal_dropped) << "}}\n";

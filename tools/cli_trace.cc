@@ -36,6 +36,7 @@
 #include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/merge.h"
 #include "util/table.h"
 
 namespace moc::cli {
@@ -134,30 +135,67 @@ AnnotatedChromeTrace(const std::vector<obs::FlightSpan>& spans) {
 
 int
 RunTrace(const Args& args, std::ostream& out) {
-    const std::string trace_path = args.Get("trace", "");
-    const std::string events_path = args.Get("events", "");
-    if (trace_path.empty()) {
+    const std::vector<std::string> trace_paths = args.GetAll("trace");
+    const std::vector<std::string> events_paths = args.GetAll("events");
+    if (trace_paths.empty()) {
         out << "usage: moc_cli trace --trace <chrome-trace.json> "
-               "[--events <events.jsonl>]\n"
+               "[--trace <...>] [--events <events.jsonl>] [--events <...>]\n"
                "       [--annotated-out <chrome-trace.json>] "
                "[--trace-json <path>]\n"
                "       [--i-total N] [--lambda X] [--t-iter X] [--i-ckpt N]\n";
         return 2;
     }
+    const bool merged_traces = trace_paths.size() > 1;
+    const bool merged_events = events_paths.size() > 1;
 
     std::vector<obs::FlightSpan> spans;
     std::vector<obs::JournalEvent> journal;
+    std::vector<obs::RoleSpans> role_spans;
     try {
-        const auto trace_text = ReadFile(trace_path);
-        if (!trace_text) {
-            out << "error: cannot read '" << trace_path << "'\n";
-            return 2;
+        for (const std::string& trace_path : trace_paths) {
+            const auto trace_text = ReadFile(trace_path);
+            if (!trace_text) {
+                out << "error: cannot read '" << trace_path << "'\n";
+                return 2;
+            }
+            if (merged_traces) {
+                role_spans.push_back(obs::ParseRoleTrace(
+                    *trace_text, obs::RoleFromFilename(trace_path)));
+            } else {
+                spans = obs::ParseChromeTraceJson(*trace_text);
+            }
         }
-        spans = obs::ParseChromeTraceJson(*trace_text);
-        if (!events_path.empty()) {
-            const auto events_text = ReadFile(events_path);
+        if (merged_traces) {
+            // Every span rebased onto the coordinator clock
+            // (obs/merge.h), so the critical path runs across processes.
+            spans = obs::MergeRoleSpans(role_spans);
+        }
+        if (merged_events) {
+            std::vector<obs::RoleEvents> role_events;
+            for (const std::string& events_path : events_paths) {
+                const auto events_text = ReadFile(events_path);
+                if (!events_text) {
+                    out << "error: cannot read '" << events_path << "'\n";
+                    return 2;
+                }
+                role_events.push_back(obs::ParseRoleEventsJsonl(
+                    *events_text, obs::RoleFromFilename(events_path)));
+            }
+            const obs::MergedEvents merged =
+                obs::MergeRoleEvents(role_events);
+            if (merged.skipped_lines > 0) {
+                out << "warning: skipped " << merged.skipped_lines
+                    << " malformed journal line(s) while merging\n";
+            }
+            journal.reserve(merged.events.size());
+            for (const obs::ClusterEvent& ce : merged.events) {
+                journal.push_back(ce.event);
+            }
+        } else if (!events_paths.empty()) {
+            const auto events_text = ReadFile(events_paths.front());
             if (!events_text) {
-                out << "error: cannot read '" << events_path << "'\n";
+                out << "error: cannot read '" << events_paths.front()
+                    << "'\n";
                 return 2;
             }
             journal = obs::ParseEventsJsonl(*events_text);
@@ -170,6 +208,17 @@ RunTrace(const Args& args, std::ostream& out) {
     const obs::FlightAnalysis analysis = obs::AnalyzeFlight(spans);
     out << "MoC checkpoint flight recorder: " << spans.size() << " span(s), "
         << analysis.generations.size() << " generation(s)\n";
+    if (merged_traces) {
+        out << "merged " << trace_paths.size()
+            << " role trace(s) onto the coordinator clock:";
+        for (const obs::RoleSpans& rs : role_spans) {
+            out << " " << rs.role << " (offset "
+                << Table::Num(static_cast<double>(rs.clock_offset_ns) / 1e6,
+                              3)
+                << " ms)";
+        }
+        out << "\n";
+    }
     if (analysis.generations.empty()) {
         out << "no checkpoint generations in the trace (spans need a "
                "TraceContext; run with --trace-out on a cluster persist)\n";
@@ -329,7 +378,8 @@ RunTrace(const Args& args, std::ostream& out) {
     machine << (analysis.generations.empty() ? "" : "\n ") << "],\n"
             << " \"stalls_total\": " << stalls_total
             << ", \"i_ckpt\": " << obs::JsonNumber(i_ckpt)
-            << ", \"spans\": " << spans.size() << "}\n";
+            << ", \"spans\": " << spans.size()
+            << ", \"trace_files\": " << trace_paths.size() << "}\n";
 
     if (stalls_total > 0) {
         out << "\n" << stalls_total

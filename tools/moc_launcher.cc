@@ -13,6 +13,11 @@
  *  - every flag the launcher does not consume is passed through to every
  *    child (plus `--role`/`--rank`); per-role observability exports get
  *    distinct file names via `--events-out-dir`;
+ *  - `--obs-out-dir DIR` wires per-role journal/metrics/trace exports into
+ *    DIR and, after teardown — on *every* exit path, including timeout and
+ *    SIGKILL'd ranks — merges them onto the coordinator clock as
+ *    DIR/cluster_events.jsonl, cluster_trace.json, cluster_metrics.json
+ *    (obs/merge.h; torn artifacts of killed ranks are skipped + counted);
  *  - the run's exit code is the coordinator's exit code — a rank dying is
  *    the *experiment*, not a launcher failure;
  *  - when the coordinator exits, every surviving child is SIGKILLed
@@ -21,6 +26,7 @@
  *    and the launcher exits 124 (the `timeout(1)` convention).
  */
 
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -31,9 +37,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/merge.h"
 
 namespace {
 
@@ -67,7 +79,8 @@ FlagDouble(int argc, char** argv, const char* name, double fallback) {
 bool
 LauncherFlag(const std::string& flag) {
     return flag == "--binary" || flag == "--timeout-s" ||
-           flag == "--events-out-dir" || flag == "--metrics-out-dir";
+           flag == "--events-out-dir" || flag == "--metrics-out-dir" ||
+           flag == "--obs-out-dir";
 }
 
 pid_t
@@ -105,6 +118,84 @@ KillSurvivors(std::vector<Child>& children) {
     }
 }
 
+/** Whole-file read; empty + false when unreadable (never-started rank). */
+bool
+ReadFileIfAny(const std::string& path, std::string* text) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *text = buf.str();
+    return true;
+}
+
+/**
+ * Merges the per-role artifacts under @p dir onto the coordinator clock.
+ * Runs after teardown on every exit path: the artifacts of SIGKILL'd or
+ * timed-out ranks are exactly the evidence a post-mortem needs, so missing
+ * files and torn tails are warnings with counts, never failures.
+ */
+void
+MergeObsArtifacts(const std::string& dir,
+                  const std::vector<std::string>& roles) {
+    std::vector<moc::obs::RoleEvents> role_events;
+    std::vector<moc::obs::RoleSpans> role_spans;
+    std::vector<std::pair<std::string, std::string>> role_metrics;
+    std::size_t torn_traces = 0;
+    for (const std::string& role : roles) {
+        std::string text;
+        if (ReadFileIfAny(dir + "/" + role + ".events.jsonl", &text)) {
+            role_events.push_back(
+                moc::obs::ParseRoleEventsJsonl(text, role));
+        }
+        if (ReadFileIfAny(dir + "/" + role + ".trace.json", &text)) {
+            try {
+                role_spans.push_back(moc::obs::ParseRoleTrace(text, role));
+            } catch (const std::exception&) {
+                ++torn_traces;  // killed mid-write; the journal still merges
+            }
+        }
+        if (ReadFileIfAny(dir + "/" + role + ".metrics.json", &text)) {
+            role_metrics.emplace_back(role, std::move(text));
+        }
+    }
+
+    const moc::obs::MergedEvents merged =
+        moc::obs::MergeRoleEvents(role_events);
+    moc::obs::WriteTextFile(dir + "/cluster_events.jsonl",
+                            moc::obs::ClusterEventsJsonl(merged),
+                            "cluster journal");
+    moc::obs::WriteTextFile(dir + "/cluster_trace.json",
+                            moc::obs::MergedChromeTraceJson(role_spans),
+                            "cluster trace");
+    std::size_t torn_metrics = 0;
+    moc::obs::WriteTextFile(
+        dir + "/cluster_metrics.json",
+        moc::obs::ClusterMetricsJson(role_metrics, &torn_metrics),
+        "cluster metrics");
+
+    std::printf("moc_launcher: merged %zu/%zu role journal(s) (%zu events) "
+                "into %s/cluster_events.jsonl\n",
+                role_events.size(), roles.size(), merged.events.size(),
+                dir.c_str());
+    if (merged.skipped_lines > 0) {
+        std::printf("moc_launcher: warning: skipped %zu malformed journal "
+                    "line(s) (torn tails of killed ranks)\n",
+                    merged.skipped_lines);
+    }
+    if (torn_traces > 0) {
+        std::printf("moc_launcher: warning: %zu role trace(s) unreadable\n",
+                    torn_traces);
+    }
+    if (torn_metrics > 0) {
+        std::printf("moc_launcher: warning: %zu role metrics dump(s) "
+                    "unreadable\n",
+                    torn_metrics);
+    }
+}
+
 void
 ReportChild(Child& child) {
     if (child.reported) {
@@ -128,16 +219,23 @@ int
 main(int argc, char** argv) {
     const char* binary = FlagStr(argc, argv, "binary", nullptr);
     const double timeout_s = FlagDouble(argc, argv, "timeout-s", 120.0);
-    const char* events_dir = FlagStr(argc, argv, "events-out-dir", nullptr);
-    const char* metrics_dir = FlagStr(argc, argv, "metrics-out-dir", nullptr);
+    const char* obs_dir = FlagStr(argc, argv, "obs-out-dir", nullptr);
+    // --obs-out-dir implies per-role journal + metrics exports there too.
+    const char* events_dir =
+        FlagStr(argc, argv, "events-out-dir", obs_dir);
+    const char* metrics_dir =
+        FlagStr(argc, argv, "metrics-out-dir", obs_dir);
     const auto ranks =
         static_cast<std::size_t>(FlagDouble(argc, argv, "ranks", 3));
     if (binary == nullptr || ranks == 0) {
         std::printf("usage: moc_launcher --binary PATH [--ranks N] "
-                    "[--timeout-s S] [--events-out-dir DIR] "
-                    "[--metrics-out-dir DIR] "
+                    "[--timeout-s S] [--obs-out-dir DIR] "
+                    "[--events-out-dir DIR] [--metrics-out-dir DIR] "
                     "[passthrough flags for the binary...]\n");
         return 2;
+    }
+    if (obs_dir != nullptr) {
+        ::mkdir(obs_dir, 0755);  // EEXIST is fine
     }
 
     // Pass-through: every flag pair the launcher didn't consume.
@@ -169,6 +267,11 @@ main(int argc, char** argv) {
             args.emplace_back(std::string(metrics_dir) +
                               "/coordinator.metrics.json");
         }
+        if (obs_dir != nullptr) {
+            args.emplace_back("--trace-out");
+            args.emplace_back(std::string(obs_dir) +
+                              "/coordinator.trace.json");
+        }
         children.push_back(Child{Spawn(binary, args), "coordinator"});
     }
     for (std::size_t r = 0; r < ranks; ++r) {
@@ -186,6 +289,11 @@ main(int argc, char** argv) {
             args.emplace_back("--metrics-out");
             args.emplace_back(std::string(metrics_dir) + "/rank" +
                               std::to_string(r) + ".metrics.json");
+        }
+        if (obs_dir != nullptr) {
+            args.emplace_back("--trace-out");
+            args.emplace_back(std::string(obs_dir) + "/rank" +
+                              std::to_string(r) + ".trace.json");
         }
         children.push_back(
             Child{Spawn(binary, args), "rank" + std::to_string(r)});
@@ -214,6 +322,13 @@ main(int argc, char** argv) {
                          "moc_launcher: timeout after %.1fs, killing fleet\n",
                          timeout_s);
             KillSurvivors(children);
+            if (obs_dir != nullptr) {
+                std::vector<std::string> roles;
+                for (const auto& child : children) {
+                    roles.push_back(child.role);
+                }
+                MergeObsArtifacts(obs_dir, roles);
+            }
             return 124;
         }
         int status = 0;
@@ -237,6 +352,13 @@ main(int argc, char** argv) {
         if (&child != coordinator) {
             ReportChild(child);
         }
+    }
+    if (obs_dir != nullptr) {
+        std::vector<std::string> roles;
+        for (const auto& child : children) {
+            roles.push_back(child.role);
+        }
+        MergeObsArtifacts(obs_dir, roles);
     }
     const int code = WIFEXITED(coordinator->status)
                          ? WEXITSTATUS(coordinator->status)
