@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Placement-policy sweep at simulated cluster scale: solves the elastic
+ * expert placement problem (core/placement.h) cold and across membership
+ * churn (one rank killed, then rejoining) for every policy at 64 → 10k
+ * ranks, and reports moved bytes, balance, and solve latency per policy.
+ *
+ * The headline scalars gated by CI (`bench/baselines/BENCH_placement.json`)
+ * are the *deterministic* moved-byte counts at the small and mid scales —
+ * a regression there means the solver started thrashing replicas on
+ * membership change, the exact cost the min-move objective exists to
+ * avoid. Wall-clock latencies are printed for eyeballs, never gated.
+ *
+ * Usage: bench_placement [--max-ranks N]   (default 10240; CI smoke passes
+ * 1024 so the gated scalars stay cheap to reproduce on shared runners.)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/placement.h"
+#include "util/bytes.h"
+
+namespace moc::bench {
+namespace {
+
+std::vector<ExpertSpec>
+MakeExperts(std::size_t ranks) {
+    // Two experts per rank, 16 MiB each, with a skewed hot/cold load mix.
+    std::vector<ExpertSpec> experts(ranks * 2);
+    for (std::size_t id = 0; id < experts.size(); ++id) {
+        experts[id].id = id;
+        experts[id].bytes = 16 * kMiB;
+        experts[id].load = 1.0 + static_cast<double>(id % 13);
+    }
+    return experts;
+}
+
+std::vector<std::size_t>
+AllRanks(std::size_t n) {
+    std::vector<std::size_t> ranks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ranks[i] = i;
+    }
+    return ranks;
+}
+
+double
+SolveMs(PlacementProblem& problem, PlacementPlan& out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = SolvePlacement(problem);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int
+Run(std::size_t max_ranks) {
+    PrintHeader("placement", "elastic expert placement policy sweep");
+
+    const std::size_t scales[] = {64, 1024, 10240};
+    const PlacementPolicy policies[] = {PlacementPolicy::kLoadAware,
+                                        PlacementPolicy::kMinMove,
+                                        PlacementPolicy::kRoundRobin};
+    BenchScalars scalars;
+    std::printf("%-12s %7s %9s %9s %9s %12s %12s\n", "policy", "ranks",
+                "cold_ms", "max_load", "mean", "kill_MiB", "rejoin_MiB");
+    for (const std::size_t ranks : scales) {
+        if (ranks > max_ranks) {
+            std::printf("(skipping %zu ranks: --max-ranks %zu)\n", ranks,
+                        max_ranks);
+            continue;
+        }
+        for (const PlacementPolicy policy : policies) {
+            PlacementProblem problem;
+            problem.experts = MakeExperts(ranks);
+            problem.live_ranks = AllRanks(ranks);
+            problem.replicas = 2;
+            problem.policy = policy;
+
+            PlacementPlan cold;
+            const double cold_ms = SolveMs(problem, cold);
+            const PlacementCheck check = VerifyPlacement(problem, cold);
+            if (!check.ok) {
+                std::fprintf(stderr, "placement invalid (%s, %zu ranks): %s\n",
+                             PlacementPolicyName(policy), ranks,
+                             check.error.c_str());
+                return 1;
+            }
+
+            // Kill one rank mid-cluster: re-solve over the survivors.
+            PlacementProblem shrink = problem;
+            shrink.live_ranks.erase(shrink.live_ranks.begin() +
+                                    static_cast<std::ptrdiff_t>(ranks / 3));
+            shrink.current = cold.assignments;
+            PlacementPlan after_kill;
+            SolveMs(shrink, after_kill);
+            if (!VerifyPlacement(shrink, after_kill).ok) {
+                std::fprintf(stderr, "post-kill placement invalid (%s)\n",
+                             PlacementPolicyName(policy));
+                return 1;
+            }
+
+            // The killed rank rejoins: re-solve over the full set again.
+            PlacementProblem grow = problem;
+            grow.current = after_kill.assignments;
+            PlacementPlan after_rejoin;
+            SolveMs(grow, after_rejoin);
+            if (!VerifyPlacement(grow, after_rejoin).ok) {
+                std::fprintf(stderr, "post-rejoin placement invalid (%s)\n",
+                             PlacementPolicyName(policy));
+                return 1;
+            }
+
+            std::printf("%-12s %7zu %9.1f %9.1f %9.1f %12.0f %12.0f\n",
+                        PlacementPolicyName(policy), ranks, cold_ms,
+                        check.max_load, check.mean_load,
+                        static_cast<double>(after_kill.moved_bytes) /
+                            static_cast<double>(kMiB),
+                        static_cast<double>(after_rejoin.moved_bytes) /
+                            static_cast<double>(kMiB));
+
+            // Gate moved bytes at the reproducible scales only; the 10k row
+            // is for the scaling figure, not the CI smoke.
+            if (ranks <= 1024) {
+                const std::string prefix =
+                    std::string(PlacementPolicyName(policy)) + "." +
+                    std::to_string(ranks);
+                scalars.emplace_back(
+                    prefix + ".kill_moved_bytes",
+                    static_cast<double>(after_kill.moved_bytes));
+                scalars.emplace_back(
+                    prefix + ".rejoin_moved_bytes",
+                    static_cast<double>(after_rejoin.moved_bytes));
+            }
+        }
+    }
+    WriteBenchMetrics("placement", scalars);
+    return 0;
+}
+
+}  // namespace
+}  // namespace moc::bench
+
+int
+main(int argc, char** argv) {
+    std::size_t max_ranks = 10240;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-ranks") == 0) {
+            max_ranks = static_cast<std::size_t>(std::strtoull(
+                argv[i + 1], nullptr, 10));
+        }
+    }
+    return moc::bench::Run(max_ranks);
+}

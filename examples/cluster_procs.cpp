@@ -40,13 +40,17 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ckpt/cluster_engine.h"
+#include "ckpt/membership.h"
 #include "ckpt/rank_coordinator.h"
 #include "core/cluster_recovery.h"
+#include "core/placement.h"
 #include "faults/proc_faults.h"
 #include "net/socket_transport.h"
 #include "net/telemetry.h"
@@ -57,6 +61,7 @@
 #include "obs/trace.h"
 #include "storage/file_store.h"
 #include "storage/resilient_store.h"
+#include "util/bytes.h"
 #include "util/crc32.h"
 #include "util/table.h"
 
@@ -113,6 +118,58 @@ BuildGauntletPlan(std::size_t ranks) {
         }
     }
     return plan;
+}
+
+/**
+ * The synthetic expert grid of the elastic gauntlet: four experts per
+ * initial rank, 16 MiB each, with a deterministic hotness ramp so the
+ * load-aware solver has real imbalance to chew on.
+ */
+std::vector<ExpertSpec>
+GauntletExperts(std::size_t ranks) {
+    std::vector<ExpertSpec> experts;
+    experts.reserve(ranks * 4);
+    for (std::size_t id = 0; id < ranks * 4; ++id) {
+        ExpertSpec e;
+        e.id = id;
+        e.bytes = 16 * kMiB;
+        e.load = 1.0 + static_cast<double>(id % 5);
+        experts.push_back(e);
+    }
+    return experts;
+}
+
+/** The pre-elastic layout: expert id lives on rank id/4 (BuildGauntletPlan). */
+std::map<std::size_t, std::vector<std::size_t>>
+InitialAssignments(std::size_t ranks) {
+    std::map<std::size_t, std::vector<std::size_t>> assignments;
+    for (std::size_t id = 0; id < ranks * 4; ++id) {
+        assignments[id] = {id / 4};
+    }
+    return assignments;
+}
+
+/** Shard items rank @p rank persists under @p placement (elastic mode). */
+std::vector<ShardItem>
+ElasticItems(std::size_t rank, const PlacementPlan& placement) {
+    std::vector<ShardItem> items;
+    items.push_back({"dense/" + std::to_string(rank), 64 * kMiB, false});
+    for (const auto& [id, hosts] : placement.assignments) {
+        for (const std::size_t host : hosts) {
+            if (host == rank) {
+                items.push_back({"expert/" + std::to_string(id) + "/w",
+                                 16 * kMiB, false});
+            }
+        }
+    }
+    return items;
+}
+
+/** The shard key an expert's state lives under on a given rank. */
+std::string
+ExpertShardKey(std::size_t rank, std::size_t expert) {
+    return "rank" + std::to_string(rank) + "/expert/" +
+           std::to_string(expert) + "/w";
 }
 
 /** Atomically publishes the coordinator's bound port for the ranks. */
@@ -273,11 +330,296 @@ RunCoordinator(std::size_t ranks, std::size_t events,
     return ok ? 0 : 1;
 }
 
+/**
+ * The elastic variant of the coordinator (--elastic 1): a MembershipTable
+ * decides who checkpoints, a rank death *continues* the run — the torn
+ * generation is marked aborted, the dead rank evicted, expert placement
+ * re-solved over the survivors — and a respawned rank rejoins through the
+ * kJoinRequest/kJoinAccept handshake with a fresh epoch, under which
+ * subsequent generations seal against current live membership. The final
+ * restore goes through a RankRemap so the chosen sealed generation loads
+ * whatever membership is live *now*, even when its sealing world was
+ * bigger (docs/FAULT_MODEL.md, "Elastic recovery").
+ */
+int
+RunElasticCoordinator(std::size_t ranks, std::size_t events,
+                      const std::string& ckpt_dir,
+                      const std::string& port_file,
+                      const net::SocketOptions& net_opts,
+                      Seconds join_timeout_s, Seconds barrier_deadline_s) {
+    FileStore store(ckpt_dir);
+    auto transport =
+        net::SocketTransport::Listen(0, net::kCoordinatorPeer, net_opts);
+    WritePortFile(port_file, transport->port());
+    std::printf("coordinator: elastic, listening on 127.0.0.1:%u, waiting "
+                "for %zu rank(s)\n",
+                transport->port(), ranks);
+    if (!transport->WaitForPeers(ranks, join_timeout_s)) {
+        std::fprintf(stderr, "coordinator: only %zu/%zu ranks joined\n",
+                     transport->Peers().size(), ranks);
+        return 1;
+    }
+
+    ckpt::MembershipTable membership;
+    CheckpointManifest manifest;
+    // Per-generation assignments, for remapped restores: the restore target
+    // keys depend on who owned each expert when the generation sealed.
+    std::map<std::size_t, std::map<std::size_t, std::vector<std::size_t>>>
+        gen_assignments;
+
+    PlacementProblem problem;
+    problem.experts = GauntletExperts(ranks);
+    problem.replicas = 1;
+    problem.policy = PlacementPolicy::kLoadAware;
+    problem.current = InitialAssignments(ranks);
+    PlacementPlan placement;
+
+    auto write_manifest = [&store, &manifest]() {
+        const std::string json = manifest.ToJson();
+        store.Put("meta/manifest", Blob(json.begin(), json.end()));
+    };
+    auto write_membership = [&store, &membership]() {
+        const std::string json = membership.ToJson();
+        store.Put("meta/membership", Blob(json.begin(), json.end()));
+    };
+    auto resolve_placement = [&membership, &problem, &placement]() {
+        problem.live_ranks = membership.LiveRanks();
+        problem.current = placement.assignments.empty()
+                              ? problem.current
+                              : placement.assignments;
+        placement = SolvePlacement(problem);
+        placement.version = membership.version();
+        std::printf("coordinator: placement v%llu over %zu rank(s), moved "
+                    "%zu replica(s) (%s)\n",
+                    static_cast<unsigned long long>(placement.version),
+                    problem.live_ranks.size(), placement.moved_replicas,
+                    FormatBytes(placement.moved_bytes).c_str());
+    };
+
+    obs::ClusterAggregator& cluster = obs::ClusterAggregator::Instance();
+    CheckpointCoordinator coordinator(*transport, {});
+    coordinator.SetMessageObserver([&cluster](const net::Message& msg) {
+        if (msg.type == net::MsgType::kTelemetry) {
+            try {
+                cluster.Observe(
+                    net::DecodeTelemetry(msg.payload),
+                    static_cast<std::int64_t>(obs::Tracer::NowNs()));
+            } catch (const std::exception&) {
+            }
+        } else if (msg.type == net::MsgType::kPeerDeath) {
+            cluster.ObservePeerDeath(static_cast<std::int32_t>(msg.from),
+                                     "transport");
+        }
+    });
+
+    bool had_rejoin = false;
+    // One admission + reply, shared by the initial handshake loop and the
+    // post-barrier rejoin path.
+    auto handle_join = [&](const net::Message& msg) -> bool {
+        ckpt::JoinRequest request;
+        try {
+            request = ckpt::DecodeJoinRequest(msg.payload);
+        } catch (const std::runtime_error&) {
+            return false;
+        }
+        ckpt::JoinAccept verdict = membership.OnJoinRequest(
+            static_cast<std::size_t>(msg.from), msg.epoch,
+            request.incarnation);
+        if (verdict.accepted) {
+            const bool rejoin =
+                membership.Info(static_cast<std::size_t>(msg.from)).state ==
+                ckpt::MemberState::kRejoined;
+            had_rejoin = had_rejoin || rejoin;
+            resolve_placement();
+            std::printf("coordinator: rank %u %s (membership v%llu)\n",
+                        msg.from, rejoin ? "REJOINED" : "joined",
+                        static_cast<unsigned long long>(
+                            verdict.membership_version));
+        } else {
+            std::printf("coordinator: rank %u join REJECTED: %s\n", msg.from,
+                        verdict.reason.c_str());
+        }
+        verdict.placement = placement;
+        transport->Send(msg.from, net::MsgType::kJoinAccept,
+                        ckpt::EncodeJoinAccept(verdict));
+        write_membership();
+        return verdict.accepted;
+    };
+
+    // Initial admission: every rank asks in over kJoinRequest right after
+    // its transport handshake; the membership table records its epoch.
+    {
+        std::size_t admitted = 0;
+        const WallClock clock;
+        const Seconds deadline = clock.Now() + join_timeout_s;
+        while (admitted < ranks && clock.Now() < deadline) {
+            auto msg = transport->Recv(0.1);
+            if (!msg) {
+                continue;
+            }
+            if (msg->type == net::MsgType::kJoinRequest) {
+                if (handle_join(*msg)) {
+                    ++admitted;
+                }
+            }
+            // Telemetry before admission is dropped; the run hasn't begun.
+        }
+        if (admitted < ranks) {
+            std::fprintf(stderr,
+                         "coordinator: only %zu/%zu ranks admitted\n",
+                         admitted, ranks);
+            return 1;
+        }
+    }
+
+    Table t({"generation", "sealed", "reports", "dead", "live", "wait (s)"});
+    bool sealed_after_rejoin = false;
+    for (std::size_t event = 1; event <= events; ++event) {
+        const std::vector<std::size_t> live = membership.LiveRanks();
+        std::vector<net::PeerId> participants;
+        for (const std::size_t r : live) {
+            participants.push_back(static_cast<net::PeerId>(r));
+        }
+        coordinator.SetParticipants(participants);
+
+        obs::TraceContext ctx;
+        ctx.generation = event;
+        ctx.iteration = event;
+        ctx.phase = "barrier";
+        const obs::TraceContextScope scope(ctx);
+        net::PayloadWriter extra_writer;
+        ckpt::EncodePlacementAssignments(placement, extra_writer);
+        const Blob extra = extra_writer.Take();
+        coordinator.BeginGeneration(event, ctx, &extra);
+        gen_assignments[event] = placement.assignments;
+
+        WallClock clock;
+        const Seconds wait_start = clock.Now();
+        BarrierResult barrier;
+        {
+            const obs::TraceSpan span("net.barrier.wait", "net");
+            barrier = coordinator.AwaitReports(event, barrier_deadline_s);
+        }
+        RecordReports(manifest, barrier);
+        const bool sealed = SealIfComplete(manifest, event, barrier);
+        for (const auto& done : barrier.reports) {
+            membership.MarkLive(static_cast<std::size_t>(done.rank));
+        }
+        if (sealed && had_rejoin) {
+            sealed_after_rejoin = true;
+        }
+        if (!barrier.dead.empty()) {
+            // The elastic path: evict, abort the torn generation, replan
+            // placement over the survivors, and KEEP CHECKPOINTING.
+            for (const net::PeerId dead : barrier.dead) {
+                membership.OnPeerDeath(static_cast<std::size_t>(dead),
+                                       "transport");
+            }
+            manifest.MarkGenerationAborted(event);
+            resolve_placement();
+        }
+        if (barrier.timed_out) {
+            // Silent but transport-alive ranks: suspects, still members.
+            std::set<net::PeerId> heard;
+            for (const auto& done : barrier.reports) {
+                heard.insert(done.rank);
+            }
+            for (const net::PeerId dead : barrier.dead) {
+                heard.insert(dead);
+            }
+            for (const net::PeerId p : participants) {
+                if (heard.count(p) == 0) {
+                    membership.MarkSuspect(static_cast<std::size_t>(p));
+                }
+            }
+        }
+        // Joins surfaced mid-barrier are admitted here, after the seal
+        // decision: a rejoiner first participates in the *next* generation
+        // and can never ack the one its old incarnation died in.
+        for (const auto& join : barrier.joins) {
+            handle_join(join);
+        }
+        write_manifest();
+        write_membership();
+        t.AddRow({std::to_string(event), sealed ? "yes" : "no",
+                  std::to_string(barrier.reports.size()),
+                  std::to_string(barrier.dead.size()),
+                  std::to_string(membership.LiveRanks().size()),
+                  Table::Num(clock.Now() - wait_start, 3)});
+    }
+    coordinator.Shutdown();
+    std::printf("%s", t.ToString().c_str());
+
+    std::size_t deaths_journaled = 0;
+    std::size_t stragglers_journaled = 0;
+    std::size_t resurrections_journaled = 0;
+    std::size_t membership_changes = 0;
+    std::size_t membership_rejoins = 0;
+    for (const auto& e : obs::EventJournal::Instance().Collect()) {
+        deaths_journaled += e.kind == obs::EventKind::kPeerDeath ? 1 : 0;
+        stragglers_journaled += e.kind == obs::EventKind::kStraggler ? 1 : 0;
+        membership_changes +=
+            e.kind == obs::EventKind::kMembershipChange ? 1 : 0;
+        if (e.kind == obs::EventKind::kRejoin) {
+            if (e.detail.rfind("resurrected", 0) == 0) {
+                ++resurrections_journaled;
+            } else {
+                ++membership_rejoins;
+            }
+        }
+    }
+    std::printf("peer_death events journaled: %zu\n", deaths_journaled);
+    std::printf("straggler events journaled: %zu\n", stragglers_journaled);
+    std::printf("membership_change events journaled: %zu\n",
+                membership_changes);
+    std::printf("membership rejoins journaled: %zu\n", membership_rejoins);
+    std::printf("resurrections journaled: %zu\n", resurrections_journaled);
+    std::printf("sealed after rejoin: %s\n",
+                sealed_after_rejoin ? "yes" : "no");
+
+    // Restore against whatever membership is live NOW. When the chosen
+    // sealed generation was written by a bigger world, the remap retargets
+    // the dead ranks' shards onto the members that absorbed their experts.
+    const std::vector<std::size_t> live = membership.LiveRanks();
+    if (live.empty()) {
+        std::fprintf(stderr, "coordinator: no live ranks to restore onto\n");
+        return 1;
+    }
+    const auto probe = PlanClusterRestore(manifest);
+    if (!probe) {
+        std::fprintf(stderr, "coordinator: no sealed generation to restore "
+                             "from\n");
+        return 1;
+    }
+    RankRemap remap = BuildRankRemap(ranks, live);
+    const auto sealed_assignments = gen_assignments.find(probe->generation);
+    if (sealed_assignments != gen_assignments.end()) {
+        AddExpertMoves(remap, sealed_assignments->second,
+                       placement.assignments, ExpertShardKey);
+    }
+    const auto plan = PlanClusterRestore(manifest, std::nullopt,
+                                         remap.empty() ? nullptr : &remap);
+    const ClusterRestoreResult restored =
+        ExecuteClusterRestore(manifest, store, *plan);
+    std::printf("recovered generation=%zu shards=%zu damaged=%zu "
+                "missing=%zu degraded=%zu\n",
+                restored.generation, restored.shards_restored,
+                restored.damaged.size(), plan->missing.size(),
+                restored.degraded.size());
+    std::printf("restore remap: %zu rank(s), %zu key override(s)\n",
+                remap.ranks.size(), remap.keys.size());
+    const bool ok = restored.damaged.empty() && plan->missing.empty() &&
+                    restored.shards_restored > 0;
+    std::printf("gauntlet: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
 int
 RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         const std::string& port_file, const net::SocketOptions& net_opts,
         Seconds join_timeout_s, std::vector<ProcFaultSpec> fault_specs,
-        double ballast_ms, const obs::ObsOptions& obs_options) {
+        double ballast_ms, const obs::ObsOptions& obs_options,
+        bool elastic = false, std::size_t respawned = 0) {
     const std::uint16_t port = AwaitPortFile(port_file, join_timeout_s);
     if (port == 0) {
         std::fprintf(stderr, "rank %zu: coordinator port never appeared\n",
@@ -290,8 +632,64 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
     FileStore base(ckpt_dir);
     ResilientStore store(base);
     const ShardPlan plan = BuildGauntletPlan(ranks);
+    // A respawned incarnation never re-fires the fault that killed its
+    // predecessor: the spec targeted the original incarnation's event, and
+    // re-raising it would just kill the rejoiner forever.
+    if (respawned > 0) {
+        fault_specs.clear();
+    }
     ProcFaultSchedule faults(std::move(fault_specs), rank);
     RankParticipant participant(*transport);
+
+    // The elastic admission handshake: announce this incarnation, wait for
+    // the coordinator's verdict. A stale epoch (a zombie from before the
+    // respawn) is rejected here, never at the barrier.
+    PlacementPlan current_placement;
+    if (elastic) {
+        ckpt::JoinRequest request;
+        request.rank = rank;
+        request.incarnation = respawned + 1;
+        transport->Send(net::kCoordinatorPeer, net::MsgType::kJoinRequest,
+                        ckpt::EncodeJoinRequest(request));
+        const WallClock clock;
+        const Seconds deadline = clock.Now() + join_timeout_s;
+        bool admitted = false;
+        while (!admitted && clock.Now() < deadline) {
+            auto msg = transport->Recv(0.1);
+            if (!msg) {
+                continue;
+            }
+            if (msg->type == net::MsgType::kJoinAccept) {
+                const ckpt::JoinAccept verdict =
+                    ckpt::DecodeJoinAccept(msg->payload);
+                if (!verdict.accepted) {
+                    std::fprintf(stderr, "rank %zu: join rejected: %s\n",
+                                 rank, verdict.reason.c_str());
+                    return 1;
+                }
+                current_placement = verdict.placement;
+                admitted = true;
+            } else if (msg->type == net::MsgType::kPeerDeath) {
+                std::fprintf(stderr,
+                             "rank %zu: coordinator died before admission\n",
+                             rank);
+                return 1;
+            }
+            // No kCkptBegin can precede the verdict: the coordinator admits
+            // joins between barriers and TCP preserves ordering, so the
+            // kJoinAccept always lands before the next begin frame.
+        }
+        if (!admitted) {
+            std::fprintf(stderr, "rank %zu: no join verdict within "
+                                 "deadline\n",
+                         rank);
+            return 1;
+        }
+        std::printf("rank %zu: admitted (incarnation %zu, placement v%llu)\n",
+                    rank, respawned + 1,
+                    static_cast<unsigned long long>(
+                        current_placement.version));
+    }
 
     // Stream this rank's pulse to the coordinator. The publisher samples
     // in the background; phase edges additionally PublishNow() so the
@@ -327,10 +725,29 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         obs::SetRankActivity("persist", ctx.generation, begin->iteration);
         telemetry.PublishNow();
 
+        // Elastic begins carry the placement the coordinator solved for
+        // this generation; the shard list follows it, not the static plan.
+        std::vector<ShardItem> items;
+        if (elastic) {
+            if (!begin->extra.empty()) {
+                try {
+                    net::PayloadReader extra_reader(begin->extra);
+                    current_placement =
+                        ckpt::DecodePlacementAssignments(extra_reader);
+                } catch (const std::runtime_error&) {
+                    // Keep the last good placement; the coordinator's done
+                    // report will still CRC-match whatever we persist.
+                }
+            }
+            items = ElasticItems(rank, current_placement);
+        } else {
+            items = plan.Items(rank);
+        }
+
         std::vector<ShardReport> reports;
         bool ok = true;
         std::size_t shards_done = 0;
-        for (const auto& item : plan.Items(rank)) {
+        for (const auto& item : items) {
             // The fault schedule fires *between* shard writes, so a kill
             // mid-generation leaves exactly `after` durable shards — a
             // genuinely torn generation for fsck to find.
@@ -390,6 +807,10 @@ main(int argc, char** argv) {
         FlagDouble(argc, argv, "join-timeout-s", 30.0);
     const double barrier_deadline_s =
         FlagDouble(argc, argv, "barrier-deadline-s", 10.0);
+    const bool elastic = FlagSize(argc, argv, "elastic", 0) != 0;
+    // Stamped by moc_launcher --respawn supervision on re-forked ranks;
+    // doubles as the incarnation counter in the join handshake.
+    const std::size_t respawned = FlagSize(argc, argv, "respawned", 0);
 
     net::SocketOptions net_opts;
     net_opts.heartbeat.interval_s =
@@ -402,9 +823,13 @@ main(int argc, char** argv) {
             "    [--ranks N] [--events N] [--ckpt-dir DIR] [--port-file F]\n"
             "    [--hb-interval-s S] [--hb-miss N] [--barrier-deadline-s S]\n"
             "    [--join-timeout-s S] [--fault SPEC]...\n"
-            "    [--ballast-rank R --ballast-ms M]\n"
-            "  fault SPEC: kill|stop:rank=R:event=E[:phase=persist|barrier]"
-            "[:after=N]\n"
+            "    [--ballast-rank R --ballast-ms M] [--elastic 1]\n"
+            "  fault SPEC: kill|stop|respawn:rank=R:event=E"
+            "[:phase=persist|barrier][:after=N]\n"
+            "  elastic: membership-driven barriers — deaths evict + replan\n"
+            "  expert placement and the run continues; respawned ranks\n"
+            "  rejoin via the kJoinRequest handshake (moc_launcher\n"
+            "  --respawn N re-forks signal-killed ranks)\n"
             "  ballast: rank R sleeps M ms between shard writes — a\n"
             "  deliberate straggler for the cluster plane to flag\n"
             "(normally launched as a fleet by tools/moc_launcher)\n");
@@ -427,13 +852,18 @@ main(int argc, char** argv) {
 
     try {
         if (role == "coordinator") {
-            return RunCoordinator(ranks, events, ckpt_dir, port_file,
-                                  net_opts, join_timeout_s,
-                                  barrier_deadline_s);
+            return elastic ? RunElasticCoordinator(ranks, events, ckpt_dir,
+                                                   port_file, net_opts,
+                                                   join_timeout_s,
+                                                   barrier_deadline_s)
+                           : RunCoordinator(ranks, events, ckpt_dir,
+                                            port_file, net_opts,
+                                            join_timeout_s,
+                                            barrier_deadline_s);
         }
         return RunRank(rank, ranks, ckpt_dir, port_file, net_opts,
                        join_timeout_s, FlagFaults(argc, argv), ballast_ms,
-                       obs_guard.options());
+                       obs_guard.options(), elastic, respawned);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "cluster_procs(%s): %s\n", role.c_str(),
                      e.what());

@@ -85,9 +85,13 @@ CheckpointCoordinator::CheckpointCoordinator(net::Transport& transport,
 
 std::size_t
 CheckpointCoordinator::BeginGeneration(std::uint64_t iteration,
-                                       const obs::TraceContext& ctx) {
+                                       const obs::TraceContext& ctx,
+                                       const Blob* extra) {
     net::PayloadWriter w;
     w.U64(iteration);
+    if (extra != nullptr && !extra->empty()) {
+        w.Raw(extra->data(), extra->size());
+    }
     const Blob payload = w.Take();
     std::size_t reached = 0;
     for (const PeerId rank : participants_) {
@@ -141,6 +145,10 @@ CheckpointCoordinator::AwaitReports(std::uint64_t iteration,
                    pending.count(msg->from)) {
             pending.erase(msg->from);
             result.dead.push_back(msg->from);
+        } else if (msg->type == MsgType::kJoinRequest) {
+            // Never admitted mid-generation: surfaced to the control loop,
+            // which runs the membership handshake after the seal decision.
+            result.joins.push_back(std::move(*msg));
         }
         // Everything else (a duplicate report, a non-participant frame) is
         // dropped: the coordinator control loop owns this queue.
@@ -193,7 +201,14 @@ RankParticipant::AwaitBegin(Seconds timeout_s) {
         if (msg->type == MsgType::kCkptBegin) {
             BeginEvent event;
             try {
-                event.iteration = net::PayloadReader(msg->payload).U64();
+                net::PayloadReader reader(msg->payload);
+                event.iteration = reader.U64();
+                if (reader.remaining() > 0) {
+                    event.extra.assign(msg->payload.end() -
+                                           static_cast<std::ptrdiff_t>(
+                                               reader.remaining()),
+                                       msg->payload.end());
+                }
             } catch (const std::runtime_error&) {
                 continue;
             }

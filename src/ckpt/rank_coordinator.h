@@ -74,6 +74,14 @@ struct BarrierResult {
     std::vector<RankDone> reports;
     /** Participants declared dead while the barrier waited. */
     std::vector<net::PeerId> dead;
+    /**
+     * kJoinRequest frames that arrived mid-barrier — a respawned rank
+     * asking back in. The barrier itself never admits anyone (the
+     * in-flight generation's participant set is fixed); the control loop
+     * hands these to the MembershipTable *after* the seal decision, so a
+     * rejoiner first participates in the next generation.
+     */
+    std::vector<net::Message> joins;
 
     /** complete, every report ok, every shard verified. */
     bool AllVerified() const;
@@ -88,9 +96,16 @@ class CheckpointCoordinator {
     CheckpointCoordinator(net::Transport& transport,
                           std::vector<net::PeerId> participants);
 
-    /** Broadcasts kCkptBegin for @p iteration; returns ranks reached. */
+    /**
+     * Broadcasts kCkptBegin for @p iteration; returns ranks reached.
+     * @param extra appended after the iteration word — the elastic control
+     *        loop ships the current placement assignments here
+     *        (ckpt/membership.h codecs). Pre-elastic ranks never read past
+     *        the iteration, so the extension is wire-compatible.
+     */
     std::size_t BeginGeneration(std::uint64_t iteration,
-                                const obs::TraceContext& ctx);
+                                const obs::TraceContext& ctx,
+                                const Blob* extra = nullptr);
 
     /**
      * Collects kRankDone messages for @p iteration until every participant
@@ -106,6 +121,16 @@ class CheckpointCoordinator {
     /** Participants not yet declared dead by an earlier barrier. */
     const std::vector<net::PeerId>& participants() const {
         return participants_;
+    }
+
+    /**
+     * Replaces the participant set for subsequent generations — how
+     * elastic membership drives the barrier: after every membership
+     * transition the control loop installs MembershipTable::LiveRanks()
+     * here, so seals are always against *current* live membership.
+     */
+    void SetParticipants(std::vector<net::PeerId> participants) {
+        participants_ = std::move(participants);
     }
 
     /**
@@ -132,6 +157,9 @@ struct BeginEvent {
     obs::TraceContext ctx;
     /** kShutdown arrived instead: the run is over. */
     bool shutdown = false;
+    /** Payload bytes after the iteration word (the placement assignments
+        under elastic membership; empty from a pre-elastic coordinator). */
+    Blob extra;
 };
 
 /**

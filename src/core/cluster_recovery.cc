@@ -1,5 +1,7 @@
 #include "core/cluster_recovery.h"
 
+#include <set>
+
 #include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -36,22 +38,33 @@ ReadShardVerified(const ObjectStore& store, const std::string& key,
 
 std::optional<ClusterRestorePlan>
 PlanClusterRestore(const CheckpointManifest& manifest,
-                   std::optional<std::size_t> max_iteration) {
+                   std::optional<std::size_t> max_iteration,
+                   const RankRemap* remap) {
     for (const std::size_t generation : manifest.EligibleGenerations()) {
         if (max_iteration.has_value() && generation > *max_iteration) {
             continue;
         }
         ClusterRestorePlan plan;
         plan.generation = generation;
+        std::set<std::string> targets;
         for (const auto& key : manifest.KeysAt(StoreLevel::kPersist)) {
             const auto chain = manifest.PersistFallbackChain(key, generation);
             if (chain.empty()) {
                 plan.missing.push_back(key);
                 continue;
             }
+            const std::string target =
+                remap != nullptr ? remap->Apply(key) : key;
+            if (!targets.insert(target).second) {
+                // Two source keys landed on one survivor key; keep the
+                // first (deterministic: KeysAt is sorted) and surface the
+                // loser rather than silently dropping bytes.
+                plan.missing.push_back(key);
+                continue;
+            }
             const PersistVersion& chosen = chain.front();
             plan.shards.push_back(ShardRestorePlan{
-                key, chosen.iteration,
+                key, target, chosen.iteration,
                 VersionedShardKey(key, chosen.PhysicalIteration()), chosen.crc,
                 chosen.bytes});
             if (chosen.iteration != generation) {
@@ -101,7 +114,9 @@ ExecuteClusterRestore(const CheckpointManifest& manifest,
                  "planned version damaged; restored older verified version"});
         }
         result.bytes_read += blob->size();
-        result.blobs.emplace(shard.key, std::move(*blob));
+        result.blobs.emplace(
+            shard.target_key.empty() ? shard.key : shard.target_key,
+            std::move(*blob));
         ++result.shards_restored;
     }
     return result;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/moc_system.h"
+#include "core/placement.h"
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 
@@ -32,8 +33,15 @@ namespace moc {
 
 /** One shard the restore plan will read. */
 struct ShardRestorePlan {
-    /** Logical key ("rank0/expert/3/w"). */
+    /** Logical key the generation was written under ("rank0/expert/3/w"). */
     std::string key;
+    /**
+     * Logical key the restored bytes belong to *now* — key rewritten
+     * through the rank remap when the restore targets a different
+     * membership than the one that sealed the generation; equal to key
+     * otherwise.
+     */
+    std::string target_key;
     /** Iteration of the version chosen for this key. */
     std::size_t iteration = 0;
     /** Store key of the blob backing it (dedup refs resolved). */
@@ -71,10 +79,21 @@ struct ClusterRestoreResult {
  * below @p max_iteration (no bound when nullopt). Unsealed generations are
  * never considered, whatever shards they managed to write. Returns nullopt
  * when no eligible generation exists.
+ *
+ * @param remap when non-null, every shard's target_key is the remapped
+ *        key — this is what makes recovery world-size independent: a
+ *        generation sealed by N ranks restores onto M != N survivors, with
+ *        dead ranks' shards retargeted onto the members that absorb them
+ *        (BuildRankRemap / AddExpertMoves). The *source* keys and fallback
+ *        chains are untouched: the bytes are read exactly as the dead world
+ *        wrote them. Should two source keys remap onto one target, the
+ *        first restored wins and the rest are reported damaged-by-collision
+ *        in the plan's missing list.
  */
 std::optional<ClusterRestorePlan> PlanClusterRestore(
     const CheckpointManifest& manifest,
-    std::optional<std::size_t> max_iteration = std::nullopt);
+    std::optional<std::size_t> max_iteration = std::nullopt,
+    const RankRemap* remap = nullptr);
 
 /**
  * Executes @p plan against @p store: reads every planned shard's physical

@@ -1,0 +1,338 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace moc {
+
+namespace {
+
+/** Load one replica of @p expert adds to its host under load splitting. */
+double
+Contribution(const ExpertSpec& expert, std::size_t replica_count) {
+    return replica_count == 0 ? expert.load
+                              : expert.load / static_cast<double>(replica_count);
+}
+
+/** The live rank currently carrying the least load, excluding @p taken. */
+std::size_t
+ColdestRank(const std::map<std::size_t, double>& load,
+            const std::unordered_set<std::size_t>& taken) {
+    std::size_t best = 0;
+    double best_load = 0.0;
+    bool found = false;
+    for (const auto& [rank, l] : load) {
+        if (taken.count(rank) != 0) {
+            continue;
+        }
+        if (!found || l < best_load) {
+            best = rank;
+            best_load = l;
+            found = true;
+        }
+    }
+    if (!found) {
+        throw std::logic_error("placement: no rank left to place onto");
+    }
+    return best;
+}
+
+}  // namespace
+
+const char*
+PlacementPolicyName(PlacementPolicy policy) {
+    switch (policy) {
+        case PlacementPolicy::kLoadAware: return "load_aware";
+        case PlacementPolicy::kMinMove: return "min_move";
+        case PlacementPolicy::kRoundRobin: return "round_robin";
+    }
+    return "unknown";
+}
+
+const std::vector<std::size_t>*
+PlacementPlan::Hosts(std::size_t expert) const {
+    const auto it = assignments.find(expert);
+    return it == assignments.end() ? nullptr : &it->second;
+}
+
+PlacementPlan
+SolvePlacement(const PlacementProblem& problem) {
+    if (problem.live_ranks.empty()) {
+        throw std::invalid_argument("placement: empty live rank set");
+    }
+    std::vector<std::size_t> live = problem.live_ranks;
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    const std::unordered_set<std::size_t> live_set(live.begin(), live.end());
+    const std::size_t want =
+        std::max<std::size_t>(1, std::min(problem.replicas, live.size()));
+
+    PlacementPlan plan;
+    for (std::size_t rank : live) {
+        plan.rank_load[rank] = 0.0;
+    }
+
+    // Hot experts first: the greedy bound max <= mean + max_contribution
+    // holds for longest-processing-time-first list scheduling, and hot
+    // experts placed early land on genuinely cold ranks.
+    std::vector<const ExpertSpec*> order;
+    order.reserve(problem.experts.size());
+    for (const ExpertSpec& e : problem.experts) {
+        order.push_back(&e);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const ExpertSpec* a, const ExpertSpec* b) {
+                         return a->load > b->load;
+                     });
+
+    const bool from_scratch = problem.policy == PlacementPolicy::kRoundRobin;
+    std::size_t rr_cursor = 0;
+    for (const ExpertSpec* expert : order) {
+        std::vector<std::size_t>& hosts = plan.assignments[expert->id];
+        std::unordered_set<std::size_t> taken;
+        if (!from_scratch) {
+            // Survivors stay put — that is the whole moved-bytes story.
+            const auto prev_it = problem.current.find(expert->id);
+            if (prev_it != problem.current.end()) {
+                for (std::size_t rank : prev_it->second) {
+                    if (live_set.count(rank) != 0 && taken.insert(rank).second &&
+                        hosts.size() < want) {
+                        hosts.push_back(rank);
+                    }
+                }
+            }
+        }
+        const double contrib = Contribution(*expert, want);
+        const bool known_before =
+            problem.current.find(expert->id) != problem.current.end();
+        while (hosts.size() < want) {
+            std::size_t rank;
+            if (from_scratch) {
+                // Pure striping; skips ranks already hosting this expert.
+                do {
+                    rank = live[rr_cursor % live.size()];
+                    ++rr_cursor;
+                } while (taken.count(rank) != 0);
+            } else {
+                rank = ColdestRank(plan.rank_load, taken);
+            }
+            taken.insert(rank);
+            hosts.push_back(rank);
+            if (known_before) {
+                plan.moved_bytes += expert->bytes;
+                ++plan.moved_replicas;
+            }
+        }
+        for (std::size_t rank : hosts) {
+            plan.rank_load[rank] += contrib;
+        }
+    }
+
+    if (problem.policy == PlacementPolicy::kLoadAware) {
+        // Bounded local search: migrate a replica off the hottest rank onto
+        // the coldest rank not hosting its expert, while that strictly
+        // shrinks the spread. Each move costs the expert's bytes, so the cap
+        // keeps moved_bytes from ballooning chasing the last percent.
+        std::unordered_map<std::size_t, const ExpertSpec*> by_id;
+        for (const ExpertSpec& e : problem.experts) {
+            by_id[e.id] = &e;
+        }
+        // One move per placed replica is enough for the local search to
+        // converge (each move strictly shrinks the load spread); a cap tied
+        // to live.size() alone starves convergence after churn pins many
+        // surviving replicas on the wrong ranks.
+        std::size_t cap = problem.rebalance_cap != 0
+                              ? problem.rebalance_cap
+                              : std::max<std::size_t>(live.size(),
+                                                      order.size() * want);
+        while (cap-- > 0) {
+            auto hot = std::max_element(
+                plan.rank_load.begin(), plan.rank_load.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+            bool moved = false;
+            for (auto& [expert_id, hosts] : plan.assignments) {
+                const auto host_it =
+                    std::find(hosts.begin(), hosts.end(), hot->first);
+                if (host_it == hosts.end()) {
+                    continue;
+                }
+                const ExpertSpec* expert = by_id.at(expert_id);
+                const double contrib = Contribution(*expert, hosts.size());
+                const std::unordered_set<std::size_t> taken(hosts.begin(),
+                                                            hosts.end());
+                std::size_t cold;
+                try {
+                    cold = ColdestRank(plan.rank_load, taken);
+                } catch (const std::logic_error&) {
+                    continue;  // expert already everywhere
+                }
+                // Strict improvement with slack: moving must shrink the
+                // hot/cold gap by more than the moved contribution, or we'd
+                // oscillate the same replica back and forth.
+                if (hot->second - plan.rank_load[cold] <= contrib) {
+                    continue;
+                }
+                hosts.erase(host_it);
+                hosts.push_back(cold);
+                hot->second -= contrib;
+                plan.rank_load[cold] += contrib;
+                plan.moved_bytes += expert->bytes;
+                ++plan.moved_replicas;
+                moved = true;
+                break;
+            }
+            if (!moved) {
+                break;
+            }
+        }
+    }
+    return plan;
+}
+
+PlacementCheck
+VerifyPlacement(const PlacementProblem& problem, const PlacementPlan& plan) {
+    PlacementCheck check;
+    auto fail = [&check](const std::string& why) {
+        if (check.ok) {
+            check.ok = false;
+            check.error = why;
+        }
+    };
+    std::vector<std::size_t> live = problem.live_ranks;
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    const std::unordered_set<std::size_t> live_set(live.begin(), live.end());
+    const std::size_t want =
+        std::max<std::size_t>(1, std::min(problem.replicas, live.size()));
+
+    std::map<std::size_t, double> load;
+    for (std::size_t rank : live) {
+        load[rank] = 0.0;
+    }
+    for (const ExpertSpec& expert : problem.experts) {
+        const auto it = plan.assignments.find(expert.id);
+        if (it == plan.assignments.end()) {
+            fail("expert " + std::to_string(expert.id) + " unplaced");
+            continue;
+        }
+        const std::vector<std::size_t>& hosts = it->second;
+        if (hosts.size() < want) {
+            fail("expert " + std::to_string(expert.id) + " has " +
+                 std::to_string(hosts.size()) + " replicas, wants " +
+                 std::to_string(want));
+        }
+        const std::set<std::size_t> uniq(hosts.begin(), hosts.end());
+        if (uniq.size() != hosts.size()) {
+            fail("expert " + std::to_string(expert.id) +
+                 " placed twice on one rank");
+        }
+        const double contrib = Contribution(expert, hosts.size());
+        check.max_contribution = std::max(check.max_contribution, contrib);
+        for (std::size_t rank : hosts) {
+            if (live_set.count(rank) == 0) {
+                fail("expert " + std::to_string(expert.id) + " on dead rank " +
+                     std::to_string(rank));
+                continue;
+            }
+            load[rank] += contrib;
+        }
+    }
+    double total = 0.0;
+    bool first = true;
+    for (const auto& [rank, l] : load) {
+        (void)rank;
+        total += l;
+        check.max_load = first ? l : std::max(check.max_load, l);
+        check.min_load = first ? l : std::min(check.min_load, l);
+        first = false;
+    }
+    check.mean_load = load.empty() ? 0.0 : total / static_cast<double>(load.size());
+    if (problem.policy != PlacementPolicy::kRoundRobin &&
+        check.max_load >
+            check.mean_load + check.max_contribution + 1e-9) {
+        std::ostringstream why;
+        why << "load imbalance: max " << check.max_load << " > mean "
+            << check.mean_load << " + max contribution "
+            << check.max_contribution;
+        fail(why.str());
+    }
+    return check;
+}
+
+std::string
+RankRemap::Apply(const std::string& key) const {
+    const auto exact = keys.find(key);
+    if (exact != keys.end()) {
+        return exact->second;
+    }
+    // "rank<r>/rest" → "rank<m>/rest" when r is remapped.
+    if (key.compare(0, 4, "rank") != 0) {
+        return key;
+    }
+    const std::size_t slash = key.find('/', 4);
+    if (slash == std::string::npos || slash == 4) {
+        return key;
+    }
+    std::size_t rank = 0;
+    for (std::size_t i = 4; i < slash; ++i) {
+        if (key[i] < '0' || key[i] > '9') {
+            return key;
+        }
+        rank = rank * 10 + static_cast<std::size_t>(key[i] - '0');
+    }
+    const auto it = ranks.find(rank);
+    if (it == ranks.end()) {
+        return key;
+    }
+    return "rank" + std::to_string(it->second) + key.substr(slash);
+}
+
+RankRemap
+BuildRankRemap(std::size_t old_world_size,
+               const std::vector<std::size_t>& survivors) {
+    if (survivors.empty()) {
+        throw std::invalid_argument("rank remap: no survivors");
+    }
+    std::vector<std::size_t> live = survivors;
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    const std::unordered_set<std::size_t> live_set(live.begin(), live.end());
+    RankRemap remap;
+    for (std::size_t rank = 0; rank < old_world_size; ++rank) {
+        if (live_set.count(rank) == 0) {
+            remap.ranks[rank] = live[rank % live.size()];
+        }
+    }
+    return remap;
+}
+
+void
+AddExpertMoves(
+    RankRemap& remap,
+    const std::map<std::size_t, std::vector<std::size_t>>& before,
+    const std::map<std::size_t, std::vector<std::size_t>>& after,
+    const std::function<std::string(std::size_t rank, std::size_t expert)>&
+        key_of) {
+    for (const auto& [expert, old_hosts] : before) {
+        if (old_hosts.empty()) {
+            continue;
+        }
+        const auto it = after.find(expert);
+        if (it == after.end() || it->second.empty()) {
+            continue;
+        }
+        const std::size_t old_primary = old_hosts.front();
+        const std::size_t new_primary = it->second.front();
+        if (old_primary != new_primary) {
+            remap.keys[key_of(old_primary, expert)] =
+                key_of(new_primary, expert);
+        }
+    }
+}
+
+}  // namespace moc

@@ -1,0 +1,155 @@
+#ifndef MOC_CORE_PLACEMENT_H_
+#define MOC_CORE_PLACEMENT_H_
+
+/**
+ * @file
+ * The load-aware expert placement solver of the elastic membership
+ * subsystem (Lazarus, arXiv:2407.04656): given the live rank set, the
+ * previous expert->replica assignment, and per-expert token load, emit a
+ * versioned PlacementPlan that
+ *
+ *  - keeps at least R replicas of every expert (clamped to the live rank
+ *    count) so a further rank death cannot erase an expert's only copy;
+ *  - minimizes moved bytes by keeping every replica that survived the
+ *    membership change where it already is;
+ *  - balances hot-expert load: a replica contributes its expert's load
+ *    divided by the expert's replica count (routing spreads across
+ *    replicas), and new replicas land on the least-loaded ranks, followed
+ *    by a bounded local-search rebalance pass.
+ *
+ * The coordinator solves a new plan whenever it admits or evicts a rank
+ * (examples/cluster_procs --elastic) and broadcasts it with kCkptBegin /
+ * kJoinAccept (ckpt/membership.h); recovery applies the inverse mapping as
+ * a RankRemap so a generation sealed by N ranks restores onto the current
+ * M != N members (core/cluster_recovery.h).
+ *
+ * The solver is pure and deterministic — no transport, no clocks — so the
+ * sim/bench side can sweep policies at 10k-rank scale (bench_placement).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace moc {
+
+/** One expert the solver must place. */
+struct ExpertSpec {
+    /** Globally unique expert id. */
+    std::size_t id = 0;
+    /** Bytes one replica occupies (what a move costs). */
+    Bytes bytes = 0;
+    /** Routed-token load (ExpertStatsRegistry token counts, or synthetic). */
+    double load = 1.0;
+};
+
+/** How the solver trades movement against balance (bench_placement sweeps). */
+enum class PlacementPolicy {
+    /** Keep survivors, fill replicas on least-loaded ranks, then rebalance. */
+    kLoadAware,
+    /** Keep survivors, fill on least-loaded ranks, no rebalance pass. */
+    kMinMove,
+    /** Deterministic round-robin from scratch; ignores the previous plan. */
+    kRoundRobin,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+/** One placement problem instance. */
+struct PlacementProblem {
+    std::vector<ExpertSpec> experts;
+    /** Ranks currently live (sorted or not; the solver sorts a copy). */
+    std::vector<std::size_t> live_ranks;
+    /** Target replicas per expert; clamped to live_ranks.size(). */
+    std::size_t replicas = 1;
+    /** Previous assignment (expert id -> hosting ranks); empty = cold start. */
+    std::map<std::size_t, std::vector<std::size_t>> current;
+    PlacementPolicy policy = PlacementPolicy::kLoadAware;
+    /** Cap on local-search rebalance moves (0 = solver default). */
+    std::size_t rebalance_cap = 0;
+};
+
+/** The solver's verdict: a versioned expert->replica assignment. */
+struct PlacementPlan {
+    /** Monotonic plan version; the caller stamps it (membership version). */
+    std::uint64_t version = 0;
+    /** expert id -> hosting ranks, primary first, each rank at most once. */
+    std::map<std::size_t, std::vector<std::size_t>> assignments;
+    /** Bytes that must be copied to ranks that did not host the expert
+        before (0 on a cold start: everything loads from the store anyway). */
+    Bytes moved_bytes = 0;
+    std::size_t moved_replicas = 0;
+    /** Final per-rank load under the load-splitting model. */
+    std::map<std::size_t, double> rank_load;
+
+    /** Ranks hosting @p expert (empty when unknown). */
+    const std::vector<std::size_t>* Hosts(std::size_t expert) const;
+};
+
+/** Solves @p problem. @throws std::invalid_argument on an empty rank set. */
+PlacementPlan SolvePlacement(const PlacementProblem& problem);
+
+/** The invariants a correct plan must satisfy (tests and the soak). */
+struct PlacementCheck {
+    bool ok = true;
+    /** First violated invariant, empty when ok. */
+    std::string error;
+    double max_load = 0.0;
+    double min_load = 0.0;
+    double mean_load = 0.0;
+    /** Largest single-replica load contribution (the balance slack term). */
+    double max_contribution = 0.0;
+};
+
+/**
+ * Checks @p plan against @p problem: every expert keeps
+ * min(replicas, live) distinct replicas, all on live ranks, and the final
+ * load obeys the greedy bound max <= mean + max_contribution (+eps).
+ */
+PlacementCheck VerifyPlacement(const PlacementProblem& problem,
+                               const PlacementPlan& plan);
+
+/**
+ * Rewrites logical shard keys of a dead world onto the current membership:
+ * exact-key overrides first (expert shards that moved to a specific new
+ * owner), then "rank<r>/..." prefix rewrites for whole dead ranks. Keys
+ * matching neither pass through unchanged.
+ */
+struct RankRemap {
+    /** Old rank -> rank that absorbs its keys. */
+    std::map<std::size_t, std::size_t> ranks;
+    /** Exact logical-key overrides (take precedence over rank rewrites). */
+    std::map<std::string, std::string> keys;
+
+    bool empty() const { return ranks.empty() && keys.empty(); }
+    std::string Apply(const std::string& key) const;
+};
+
+/**
+ * Ranks-only remap: every old rank in [0, old_world_size) absent from
+ * @p survivors maps onto a survivor (round-robin over the sorted survivor
+ * list, by old rank id — deterministic). Survivors map to themselves
+ * implicitly (no entry).
+ */
+RankRemap BuildRankRemap(std::size_t old_world_size,
+                         const std::vector<std::size_t>& survivors);
+
+/**
+ * Adds exact-key overrides for every expert whose primary owner changed
+ * between @p before and @p after; @p key_of names the shard key an expert's
+ * state lives under on a given rank (e.g. "rank2/expert/7/w").
+ */
+void AddExpertMoves(
+    RankRemap& remap,
+    const std::map<std::size_t, std::vector<std::size_t>>& before,
+    const std::map<std::size_t, std::vector<std::size_t>>& after,
+    const std::function<std::string(std::size_t rank, std::size_t expert)>&
+        key_of);
+
+}  // namespace moc
+
+#endif  // MOC_CORE_PLACEMENT_H_

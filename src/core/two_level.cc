@@ -10,14 +10,17 @@ namespace moc {
 RecoveryDecision
 TwoLevelRecoveryPlanner::DecideKey(const CheckpointManifest& manifest,
                                    const std::string& key, std::size_t restart,
-                                   bool cap_to_restart) const {
+                                   bool cap_to_restart,
+                                   const std::vector<NodeId>* survivors) const {
     RecoveryDecision d;
     d.key = key;
     if (two_level_) {
         // Never accept a snapshot from beyond the restart point: when
         // recovery falls back to an older generation, a fresher replica
         // holds updates that the replay from @p restart would re-apply.
-        if (auto mem = manifest.Latest(StoreLevel::kMemory, key);
+        if (auto mem = survivors != nullptr
+                           ? manifest.LatestMemoryAmong(key, *survivors)
+                           : manifest.Latest(StoreLevel::kMemory, key);
             mem.has_value() && mem->iteration <= restart &&
             (!cap_to_restart || mem->iteration == restart)) {
             d.source = RecoverySource::kMemory;
@@ -44,7 +47,8 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
                               const std::vector<std::string>& nonexpert_keys,
                               std::size_t num_moe_layers,
                               std::size_t num_experts,
-                              std::optional<std::size_t> restart_override) const {
+                              std::optional<std::size_t> restart_override,
+                              const std::vector<NodeId>* survivors) const {
     RecoveryPlan plan;
     plan.restart_iteration = restart_override.has_value()
         ? *restart_override
@@ -63,7 +67,7 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
 
     for (const auto& key : nonexpert_keys) {
         RecoveryDecision d = DecideKey(manifest, key, plan.restart_iteration,
-                                       /*cap_to_restart=*/true);
+                                       /*cap_to_restart=*/true, survivors);
         // A non-expert unit must restore to the restart point exactly: it is
         // saved in full at every checkpoint, so any fresher memory copy is
         // from the same event. Anything older indicates a corrupt manifest.
@@ -81,10 +85,12 @@ TwoLevelRecoveryPlanner::Plan(const CheckpointManifest& manifest,
                 "moe/" + std::to_string(m) + "/expert/" + std::to_string(e);
             RecoveryDecision dw = DecideKey(manifest, base + "/w",
                                             plan.restart_iteration,
-                                            /*cap_to_restart=*/false);
+                                            /*cap_to_restart=*/false,
+                                            survivors);
             RecoveryDecision od = DecideKey(manifest, base + "/o",
                                             plan.restart_iteration,
-                                            /*cap_to_restart=*/false);
+                                            /*cap_to_restart=*/false,
+                                            survivors);
             account(dw);
             account(od);
             // The expert's effective age is its stalest part: updates since

@@ -73,12 +73,18 @@ class TwoLevelRecoveryPlanner {
      *        instead of the newest complete one — recovery uses it to fall
      *        back to an older verified generation when the newest turns out
      *        to be damaged on read (docs/FAULT_MODEL.md).
+     * @param survivors when non-null, only memory replicas held by these
+     *        nodes count — the world-size-independent form of recovery: a
+     *        plan for M survivors of an N-node world, without mutating the
+     *        manifest the way DropNodeMemory does. Persist-level fallback
+     *        chains are unaffected (storage outlives nodes).
      */
     RecoveryPlan Plan(const CheckpointManifest& manifest,
                       const std::vector<std::string>& nonexpert_keys,
                       std::size_t num_moe_layers, std::size_t num_experts,
                       std::optional<std::size_t> restart_override =
-                          std::nullopt) const;
+                          std::nullopt,
+                      const std::vector<NodeId>* survivors = nullptr) const;
 
     bool two_level() const { return two_level_; }
 
@@ -93,7 +99,8 @@ class TwoLevelRecoveryPlanner {
      */
     RecoveryDecision DecideKey(const CheckpointManifest& manifest,
                                const std::string& key, std::size_t restart,
-                               bool cap_to_restart) const;
+                               bool cap_to_restart,
+                               const std::vector<NodeId>* survivors) const;
 
     bool two_level_;
 };

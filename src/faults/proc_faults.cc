@@ -48,9 +48,11 @@ ParseProcFaultSpec(const std::string& text) {
         spec.action = ProcFaultAction::kKill;
     } else if (parts[0] == "stop") {
         spec.action = ProcFaultAction::kStop;
+    } else if (parts[0] == "respawn") {
+        spec.action = ProcFaultAction::kRespawn;
     } else {
-        throw std::invalid_argument("fault action must be kill|stop, got '" +
-                                    parts[0] + "'");
+        throw std::invalid_argument(
+            "fault action must be kill|stop|respawn, got '" + parts[0] + "'");
     }
     bool have_rank = false;
     bool have_event = false;
@@ -86,8 +88,10 @@ ParseProcFaultSpec(const std::string& text) {
 std::string
 ProcFaultSpecString(const ProcFaultSpec& spec) {
     std::ostringstream out;
-    out << (spec.action == ProcFaultAction::kKill ? "kill" : "stop")
-        << ":rank=" << spec.rank << ":event=" << spec.event
+    const char* action = spec.action == ProcFaultAction::kKill    ? "kill"
+                         : spec.action == ProcFaultAction::kStop ? "stop"
+                                                                 : "respawn";
+    out << action << ":rank=" << spec.rank << ":event=" << spec.event
         << ":phase=" << spec.phase;
     if (spec.phase == "persist") {
         out << ":after=" << spec.after_shards;
@@ -122,10 +126,12 @@ ProcFaultSchedule::Poll(std::size_t event, const char* phase,
         MOC_WARN << "proc-fault: rank " << self_rank_ << " firing "
                  << ProcFaultSpecString(spec) << " (shards_done="
                  << shards_done << ")";
-        if (spec.action == ProcFaultAction::kKill) {
-            std::raise(SIGKILL);
-        } else {
+        if (spec.action == ProcFaultAction::kStop) {
             std::raise(SIGSTOP);
+        } else {
+            // kill and respawn both vanish here; only the launcher treats
+            // them differently (respawn re-forks the rank).
+            std::raise(SIGKILL);
         }
     }
 }

@@ -22,6 +22,10 @@
  * counts shards already written) and "barrier" (polled once, right before
  * kRankDone would be sent — the shards all landed but the coordinator
  * never hears; `after` is ignored).
+ *
+ * A "respawn:..." spec is a kill at the poll site; the difference lives in
+ * tools/moc_launcher, which re-forks a respawn-marked rank after its
+ * signal death so it can run the elastic rejoin handshake.
  */
 
 #include <cstddef>
@@ -34,6 +38,10 @@ namespace moc {
 enum class ProcFaultAction {
     kKill,  ///< raise(SIGKILL): vanish, peers see EOF
     kStop,  ///< raise(SIGSTOP): freeze, peers see heartbeat silence
+    kRespawn, ///< raise(SIGKILL), but the spec also tells the launcher to
+              ///< re-fork the rank — the elastic rejoin scenario: die
+              ///< mid-persist, come back with a fresh epoch, ask back in
+              ///< over kJoinRequest (docs/FAULT_MODEL.md)
 };
 
 /** One scheduled process fault. */

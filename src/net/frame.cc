@@ -72,6 +72,8 @@ MsgTypeName(MsgType type) {
         case MsgType::kTimePing: return "time_ping";
         case MsgType::kTimePong: return "time_pong";
         case MsgType::kTelemetry: return "telemetry";
+        case MsgType::kJoinRequest: return "join_request";
+        case MsgType::kJoinAccept: return "join_accept";
     }
     return "unknown";
 }

@@ -66,11 +66,18 @@ enum class MsgType : std::uint8_t {
     kTelemetry = 12, ///< rank -> coordinator: periodic metric deltas +
                      ///< in-flight phase summary (net/telemetry.h); dropped,
                      ///< never blocked, under backpressure
+    kJoinRequest = 13, ///< rank -> coordinator: membership admission ask —
+                       ///< sent after the transport handshake, carrying the
+                       ///< rank's incarnation count (ckpt/membership.h); the
+                       ///< frame epoch is the rank's fresh session epoch
+    kJoinAccept = 14,  ///< coordinator -> rank: admission verdict + the
+                       ///< membership version and current PlacementPlan the
+                       ///< rank must checkpoint under
 };
 
 /** The highest MsgType value; the decoder rejects bytes beyond it. */
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kTelemetry);
+    static_cast<std::uint8_t>(MsgType::kJoinAccept);
 
 /** Stable wire name of @p type ("hello", "ckpt_begin", ...). */
 const char* MsgTypeName(MsgType type);

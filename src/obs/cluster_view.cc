@@ -73,6 +73,29 @@ ClusterAggregator::Observe(const TelemetrySample& sample,
     std::lock_guard<std::mutex> lock(mu_);
     ++total_samples_;
     RankState& state = ranks_[sample.rank];
+    if (!state.alive) {
+        // Fresh telemetry from a rank the transport had declared dead: it
+        // respawned and rejoined. Flip it back to alive — the death verdict
+        // described the *previous* incarnation — and journal the
+        // resurrection once per death/rejoin cycle.
+        state.alive = true;
+        const std::string was = state.death_cause;
+        state.death_cause.clear();
+        if (state.resurrection_pending) {
+            state.resurrection_pending = false;
+            static Counter& resurrections =
+                MetricsRegistry::Instance().GetCounter(
+                    "obs.cluster.resurrections");
+            resurrections.Add();
+            JournalEvent event;
+            event.kind = EventKind::kRejoin;
+            event.scope = sample.rank;
+            event.gen = sample.generation;
+            event.iteration = sample.iteration;
+            event.detail = "resurrected was=" + was;
+            EventJournal::Instance().Append(std::move(event));
+        }
+    }
     // A phase transition closes out the previous phase: its best-estimate
     // duration (new phase start, else publish stamp, minus old start — all
     // sender-clock) feeds the cluster median the detector compares against.
@@ -149,6 +172,7 @@ ClusterAggregator::ObservePeerDeath(std::int32_t rank,
     RankState& state = ranks_[rank];
     state.alive = false;
     state.death_cause = cause;
+    state.resurrection_pending = true;
 }
 
 std::vector<ClusterAggregator::RankHealth>

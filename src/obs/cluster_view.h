@@ -131,7 +131,13 @@ class ClusterAggregator {
      */
     void Observe(const TelemetrySample& sample, std::int64_t local_now_ns);
 
-    /** Folds a transport death verdict into the health view. */
+    /**
+     * Folds a transport death verdict into the health view. Not permanent:
+     * a later telemetry sample from the rank (a respawned incarnation that
+     * rejoined) flips it back to alive, clears the cause, and journals one
+     * `rejoin` resurrection event per death/rejoin cycle
+     * (`obs.cluster.resurrections`).
+     */
     void ObservePeerDeath(std::int32_t rank, const std::string& cause);
 
     /** The merged health table, one row per rank ever heard from. */
@@ -158,6 +164,9 @@ class ClusterAggregator {
         std::int64_t last_heard_ns = 0;
         std::uint64_t samples = 0;
         bool straggler = false;
+        /** Set by a death, cleared by the resurrecting sample — so each
+            death/rejoin cycle journals exactly one rejoin event. */
+        bool resurrection_pending = false;
     };
 
     ClusterAggregator() = default;

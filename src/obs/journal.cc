@@ -33,6 +33,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kStall, "stall"},
     {EventKind::kPeerDeath, "peer_death"},
     {EventKind::kStraggler, "straggler"},
+    {EventKind::kMembershipChange, "membership_change"},
+    {EventKind::kRejoin, "rejoin"},
 };
 
 }  // namespace

@@ -55,6 +55,13 @@ enum class EventKind : std::uint8_t {
                        ///< flagged one rank far behind the cluster median in
                        ///< its current phase (scope = rank, detail =
                        ///< phase/elapsed/median)
+    kMembershipChange, ///< the membership table (ckpt/membership.h) moved a
+                       ///< rank between states (scope = rank, detail =
+                       ///< from->to + cause/epoch + membership version)
+    kRejoin,           ///< a previously dead rank was heard from again under
+                       ///< a fresh epoch — admitted by the membership table
+                       ///< or resurrected in the cluster health view
+                       ///< (scope = rank, detail = epoch/incarnation)
 };
 
 /** Stable wire name of @p kind ("ckpt_begin", "snapshot", ...). */

@@ -79,6 +79,30 @@ CheckpointManifest::Latest(StoreLevel level, const std::string& key) const {
     return std::nullopt;
 }
 
+std::optional<KeyVersion>
+CheckpointManifest::LatestMemoryAmong(const std::string& key,
+                                      const std::vector<NodeId>& nodes) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memory_.find(key);
+    if (it == memory_.end()) {
+        return std::nullopt;
+    }
+    const KeyVersion* best = nullptr;
+    for (const NodeId node : nodes) {
+        const auto replica = it->second.find(node);
+        if (replica == it->second.end()) {
+            continue;
+        }
+        if (best == nullptr || replica->second.iteration > best->iteration) {
+            best = &replica->second;
+        }
+    }
+    if (best == nullptr) {
+        return std::nullopt;
+    }
+    return *best;
+}
+
 std::vector<PersistVersion>
 CheckpointManifest::PersistFallbackChain(const std::string& key,
                                          std::size_t max_iteration) const {
@@ -115,6 +139,12 @@ void
 CheckpointManifest::MarkGenerationCorrupt(std::size_t iteration) {
     std::lock_guard<std::mutex> lock(mu_);
     generations_[iteration].corrupt = true;
+}
+
+void
+CheckpointManifest::MarkGenerationAborted(std::size_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    generations_[iteration].aborted = true;
 }
 
 void
@@ -173,6 +203,7 @@ CheckpointManifest::GenerationInfoLocked(std::size_t iteration,
     info.iteration = iteration;
     info.sealed = state.sealed;
     info.marked_corrupt = state.corrupt;
+    info.aborted = state.aborted;
     for (const auto& [key, history] : persist_) {
         for (const auto& version : history) {
             if (version.iteration != iteration) {
@@ -187,7 +218,7 @@ CheckpointManifest::GenerationInfoLocked(std::size_t iteration,
             }
         }
     }
-    info.eligible = info.sealed && !info.marked_corrupt &&
+    info.eligible = info.sealed && !info.marked_corrupt && !info.aborted &&
                     info.corrupt_shards == 0 &&
                     info.verified_shards == info.shards;
     return info;
@@ -280,7 +311,8 @@ CheckpointManifest::ToJson() const {
     for (const auto& [iteration, state] : generations_) {
         out << (first ? "" : ",") << "\n    {\"iteration\": " << iteration
             << ", \"sealed\": " << (state.sealed ? "true" : "false")
-            << ", \"corrupt\": " << (state.corrupt ? "true" : "false") << "}";
+            << ", \"corrupt\": " << (state.corrupt ? "true" : "false")
+            << ", \"aborted\": " << (state.aborted ? "true" : "false") << "}";
         first = false;
     }
     out << "\n  ],\n  \"persist\": {";
@@ -340,6 +372,10 @@ CheckpointManifest::LoadFromJson(const std::string& text) {
         auto& state = generations[iteration];
         state.sealed = entry.At("sealed").AsBool();
         state.corrupt = entry.At("corrupt").AsBool();
+        // Absent in pre-elastic documents: those never aborted generations.
+        if (const json::Value* aborted = entry.Find("aborted")) {
+            state.aborted = aborted->AsBool();
+        }
     }
     if (const json::Value* last = root.Find("last_complete")) {
         complete = static_cast<std::size_t>(last->AsNumber());

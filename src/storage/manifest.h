@@ -95,6 +95,13 @@ struct GenerationInfo {
     bool sealed = false;
     /** Recovery found the generation unusable as a restart target. */
     bool marked_corrupt = false;
+    /**
+     * The coordinator abandoned this generation deliberately — a participant
+     * died mid-barrier and elastic membership replanned around it. Never a
+     * restart target, but also not *torn*: fsck reports it as an
+     * acknowledged casualty instead of damage.
+     */
+    bool aborted = false;
     /** Sealed, not marked corrupt, and every shard verified and intact. */
     bool eligible = false;
 };
@@ -131,6 +138,15 @@ class CheckpointManifest {
     std::optional<KeyVersion> Latest(StoreLevel level, const std::string& key) const;
 
     /**
+     * Freshest memory-level version of @p key held by one of @p nodes — the
+     * non-destructive form of DropNodeMemory for world-size-independent
+     * recovery: planning a restore onto a survivor subset without editing
+     * the manifest.
+     */
+    std::optional<KeyVersion> LatestMemoryAmong(
+        const std::string& key, const std::vector<NodeId>& nodes) const;
+
+    /**
      * Usable persist versions of @p key with iteration <= @p max_iteration,
      * newest first: verified, not marked corrupt. Empty when nothing
      * survives — the key is only recoverable from memory or initial state.
@@ -143,6 +159,13 @@ class CheckpointManifest {
 
     /** Marks a whole generation unusable as a restart target. */
     void MarkGenerationCorrupt(std::size_t iteration);
+
+    /**
+     * Marks generation @p iteration deliberately abandoned (a membership
+     * change tore its barrier). It will never seal and never be eligible;
+     * fsck classifies it separately from torn damage.
+     */
+    void MarkGenerationAborted(std::size_t iteration);
 
     /** Invalidates all memory-level versions held by @p node (node crash). */
     void DropNodeMemory(NodeId node);
@@ -194,6 +217,7 @@ class CheckpointManifest {
     struct GenerationState {
         bool sealed = false;
         bool corrupt = false;
+        bool aborted = false;
     };
 
     /** Caller holds mu_. */

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The membership state machine (ckpt/membership.h): epoch-gated rejoin
+ * (zombie join requests carrying a stale epoch can never re-enter), the
+ * join wire codecs, the persisted membership document round-trip, and the
+ * ClusterAggregator resurrection path a rejoin drives through the health
+ * view (exactly one `rejoin` journal event per death/rejoin cycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ckpt/membership.h"
+#include "obs/cluster_view.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace moc {
+namespace {
+
+using ckpt::MemberState;
+using ckpt::MembershipTable;
+
+std::size_t
+CountJournal(obs::EventKind kind) {
+    const auto events = obs::EventJournal::Instance().Collect();
+    return static_cast<std::size_t>(
+        std::count_if(events.begin(), events.end(),
+                      [kind](const obs::JournalEvent& e) {
+                          return e.kind == kind;
+                      }));
+}
+
+class MembershipTest : public ::testing::Test {
+  protected:
+    void SetUp() override { obs::EventJournal::Instance().Clear(); }
+};
+
+// ---------- state machine ----------
+
+TEST_F(MembershipTest, LifecycleTransitionsAndVersionBumps) {
+    MembershipTable table;
+    table.AdmitInitial(0, /*epoch=*/1);
+    EXPECT_EQ(table.Info(0).state, MemberState::kJoined);
+    EXPECT_EQ(table.Info(0).incarnation, 1U);
+
+    const std::uint64_t v0 = table.version();
+    table.MarkLive(0);
+    EXPECT_EQ(table.Info(0).state, MemberState::kLive);
+    EXPECT_GT(table.version(), v0);
+
+    table.MarkSuspect(0);
+    EXPECT_EQ(table.Info(0).state, MemberState::kSuspect);
+    // A suspect sits out new barriers until it proves itself live again.
+    EXPECT_TRUE(table.LiveRanks().empty());
+
+    table.MarkLive(0);
+    EXPECT_EQ(table.Info(0).state, MemberState::kLive);
+    EXPECT_EQ(table.LiveRanks(), std::vector<std::size_t>{0});
+
+    table.OnPeerDeath(0, "heartbeat_timeout");
+    EXPECT_EQ(table.Info(0).state, MemberState::kDead);
+    EXPECT_EQ(table.Info(0).death_cause, "heartbeat_timeout");
+    EXPECT_TRUE(table.LiveRanks().empty());
+
+    // Every transition journaled exactly once.
+    EXPECT_EQ(CountJournal(obs::EventKind::kMembershipChange), 5U);
+}
+
+TEST_F(MembershipTest, DeadRankIgnoresMarkLiveAndRepeatDeaths) {
+    MembershipTable table;
+    table.AdmitInitial(1, 1);
+    table.OnPeerDeath(1, "eof");
+    const std::uint64_t v = table.version();
+    table.MarkLive(1);  // no resurrection without a join handshake
+    EXPECT_EQ(table.Info(1).state, MemberState::kDead);
+    table.OnPeerDeath(1, "eof");  // idempotent per death
+    EXPECT_EQ(table.version(), v);
+}
+
+TEST_F(MembershipTest, FreshEpochRejoinsDeadRank) {
+    MembershipTable table;
+    table.AdmitInitial(2, /*epoch=*/3);
+    table.MarkLive(2);
+    table.OnPeerDeath(2, "eof");
+
+    const ckpt::JoinAccept verdict = table.OnJoinRequest(2, /*epoch=*/4,
+                                                         /*incarnation=*/1);
+    EXPECT_TRUE(verdict.accepted);
+    EXPECT_EQ(verdict.membership_version, table.version());
+    const ckpt::MemberInfo info = table.Info(2);
+    EXPECT_EQ(info.state, MemberState::kRejoined);
+    EXPECT_EQ(info.epoch, 4U);
+    EXPECT_EQ(info.incarnation, 2U);  // max(table + 1, claimed + 1)
+    EXPECT_TRUE(info.death_cause.empty());
+    EXPECT_EQ(table.LiveRanks(), std::vector<std::size_t>{2});
+    EXPECT_EQ(CountJournal(obs::EventKind::kRejoin), 1U);
+}
+
+TEST_F(MembershipTest, StaleEpochZombieIsRejected) {
+    MembershipTable table;
+    table.AdmitInitial(3, /*epoch=*/7);
+    table.OnPeerDeath(3, "eof");
+
+    // The old incarnation (or a partitioned twin) asks to come back under
+    // the epoch it was admitted with — or anything older. Never.
+    for (const std::uint32_t stale : {7U, 6U, 0U}) {
+        const ckpt::JoinAccept verdict = table.OnJoinRequest(3, stale, 2);
+        EXPECT_FALSE(verdict.accepted) << "epoch " << stale;
+        EXPECT_FALSE(verdict.reason.empty());
+        EXPECT_EQ(table.Info(3).state, MemberState::kDead);
+    }
+    EXPECT_EQ(CountJournal(obs::EventKind::kRejoin), 0U);
+
+    // The genuinely fresh incarnation still gets in afterwards.
+    EXPECT_TRUE(table.OnJoinRequest(3, 8, 2).accepted);
+}
+
+TEST_F(MembershipTest, UnknownRankJoinsViaRequest) {
+    MembershipTable table;
+    table.AdmitInitial(0, 1);
+    const ckpt::JoinAccept verdict = table.OnJoinRequest(9, 2, 1);
+    EXPECT_TRUE(verdict.accepted);
+    EXPECT_EQ(table.size(), 2U);
+    const auto live = table.LiveRanks();
+    EXPECT_NE(std::find(live.begin(), live.end(), 9U), live.end());
+}
+
+// ---------- wire codecs ----------
+
+TEST_F(MembershipTest, JoinCodecsRoundTrip) {
+    ckpt::JoinRequest request;
+    request.rank = 12;
+    request.incarnation = 3;
+    const ckpt::JoinRequest req2 =
+        ckpt::DecodeJoinRequest(ckpt::EncodeJoinRequest(request));
+    EXPECT_EQ(req2.rank, 12U);
+    EXPECT_EQ(req2.incarnation, 3U);
+
+    ckpt::JoinAccept accept;
+    accept.accepted = true;
+    accept.membership_version = 41;
+    accept.placement.version = 7;
+    accept.placement.assignments[0] = {1, 2};
+    accept.placement.assignments[5] = {0};
+    const ckpt::JoinAccept acc2 =
+        ckpt::DecodeJoinAccept(ckpt::EncodeJoinAccept(accept));
+    EXPECT_TRUE(acc2.accepted);
+    EXPECT_EQ(acc2.membership_version, 41U);
+    EXPECT_EQ(acc2.placement.version, 7U);
+    EXPECT_EQ(acc2.placement.assignments, accept.placement.assignments);
+
+    ckpt::JoinAccept reject;
+    reject.accepted = false;
+    reject.reason = "stale epoch";
+    const ckpt::JoinAccept rej2 =
+        ckpt::DecodeJoinAccept(ckpt::EncodeJoinAccept(reject));
+    EXPECT_FALSE(rej2.accepted);
+    EXPECT_EQ(rej2.reason, "stale epoch");
+}
+
+TEST_F(MembershipTest, JoinCodecsThrowOnTruncation) {
+    ckpt::JoinRequest request;
+    request.rank = 1;
+    Blob wire = ckpt::EncodeJoinRequest(request);
+    wire.resize(wire.size() / 2);
+    EXPECT_THROW(ckpt::DecodeJoinRequest(wire), std::runtime_error);
+}
+
+TEST_F(MembershipTest, MembershipJsonRoundTrips) {
+    MembershipTable table;
+    table.AdmitInitial(0, 1);
+    table.AdmitInitial(1, 1);
+    table.MarkLive(0);
+    table.OnPeerDeath(1, "eof");
+    table.OnJoinRequest(1, 2, 2);
+
+    const ckpt::MembershipSnapshot snapshot =
+        ckpt::ParseMembershipJson(table.ToJson());
+    EXPECT_EQ(snapshot.version, table.version());
+    ASSERT_EQ(snapshot.members.size(), 2U);
+    EXPECT_EQ(snapshot.LiveRanks(), table.LiveRanks());
+    for (const auto& member : snapshot.members) {
+        const ckpt::MemberInfo truth = table.Info(member.rank);
+        EXPECT_EQ(member.state, truth.state) << "rank " << member.rank;
+        EXPECT_EQ(member.epoch, truth.epoch);
+        EXPECT_EQ(member.incarnation, truth.incarnation);
+    }
+
+    EXPECT_THROW(ckpt::ParseMembershipJson("{}"), std::invalid_argument);
+    EXPECT_THROW(ckpt::ParseMembershipJson("not json"),
+                 std::invalid_argument);
+}
+
+// ---------- aggregator resurrection ----------
+
+TEST_F(MembershipTest, AggregatorResurrectionJournalsExactlyOnce) {
+    auto& cluster = obs::ClusterAggregator::Instance();
+    cluster.Reset();
+    const std::uint64_t before = obs::MetricsRegistry::Instance()
+                                     .GetCounter("obs.cluster.resurrections")
+                                     .value();
+
+    obs::TelemetrySample s;
+    s.rank = 1;
+    s.generation = 1;
+    s.sent_ns = 1'000;
+    cluster.Observe(s, 1'000);
+    cluster.ObservePeerDeath(1, "eof");
+    {
+        const auto health = cluster.Health();
+        ASSERT_EQ(health.size(), 1U);
+        EXPECT_FALSE(health[0].alive);
+        EXPECT_EQ(health[0].death_cause, "eof");
+    }
+
+    // Fresh telemetry from the respawned incarnation resurrects the row...
+    s.sent_ns = 2'000;
+    cluster.Observe(s, 2'000);
+    const auto health = cluster.Health();
+    ASSERT_EQ(health.size(), 1U);
+    EXPECT_TRUE(health[0].alive);
+    EXPECT_TRUE(health[0].death_cause.empty());
+
+    // ...journaling one `rejoin` with the resurrection detail prefix.
+    std::size_t resurrections = 0;
+    for (const auto& e : obs::EventJournal::Instance().Collect()) {
+        if (e.kind == obs::EventKind::kRejoin &&
+            e.detail.rfind("resurrected", 0) == 0) {
+            EXPECT_EQ(e.scope, 1);
+            ++resurrections;
+        }
+    }
+    EXPECT_EQ(resurrections, 1U);
+    EXPECT_EQ(obs::MetricsRegistry::Instance()
+                  .GetCounter("obs.cluster.resurrections")
+                  .value(),
+              before + 1);
+
+    // A second sample is just a sample — no duplicate resurrection.
+    s.sent_ns = 3'000;
+    cluster.Observe(s, 3'000);
+    EXPECT_EQ(CountJournal(obs::EventKind::kRejoin), 1U);
+    cluster.Reset();
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The elastic placement solver (core/placement.h): replica floors, move
+ * minimization, the greedy load-balance bound, the seeded join/leave churn
+ * soak, and the RankRemap that makes cluster recovery world-size
+ * independent (a generation sealed by N ranks restoring onto N-1
+ * survivors must yield byte-identical shards under remapped keys).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "core/cluster_recovery.h"
+#include "core/placement.h"
+#include "storage/manifest.h"
+#include "storage/memory_store.h"
+#include "util/crc32.h"
+
+namespace moc {
+namespace {
+
+std::vector<ExpertSpec>
+Experts(std::size_t n, Bytes bytes = 1 * kMiB) {
+    std::vector<ExpertSpec> experts;
+    for (std::size_t id = 0; id < n; ++id) {
+        ExpertSpec e;
+        e.id = id;
+        e.bytes = bytes;
+        e.load = 1.0 + static_cast<double>(id % 7);
+        experts.push_back(e);
+    }
+    return experts;
+}
+
+std::vector<std::size_t>
+Ranks(std::size_t n) {
+    std::vector<std::size_t> ranks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ranks[i] = i;
+    }
+    return ranks;
+}
+
+// ---------- solver invariants ----------
+
+TEST(Placement, ColdStartPlacesEveryExpertWithRequestedReplicas) {
+    PlacementProblem problem;
+    problem.experts = Experts(16);
+    problem.live_ranks = Ranks(4);
+    problem.replicas = 2;
+    const PlacementPlan plan = SolvePlacement(problem);
+
+    EXPECT_EQ(plan.assignments.size(), 16U);
+    for (const auto& [id, hosts] : plan.assignments) {
+        EXPECT_EQ(hosts.size(), 2U) << "expert " << id;
+        const std::set<std::size_t> distinct(hosts.begin(), hosts.end());
+        EXPECT_EQ(distinct.size(), hosts.size()) << "duplicate replica host";
+    }
+    // A cold start moves nothing: every replica loads from the store anyway.
+    EXPECT_EQ(plan.moved_bytes, 0U);
+    const PlacementCheck check = VerifyPlacement(problem, plan);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Placement, ReplicasClampToLiveRankCount) {
+    PlacementProblem problem;
+    problem.experts = Experts(4);
+    problem.live_ranks = Ranks(2);
+    problem.replicas = 5;  // only 2 distinct hosts exist
+    const PlacementPlan plan = SolvePlacement(problem);
+    for (const auto& [id, hosts] : plan.assignments) {
+        EXPECT_EQ(hosts.size(), 2U) << "expert " << id;
+    }
+    EXPECT_TRUE(VerifyPlacement(problem, plan).ok);
+}
+
+TEST(Placement, EmptyRankSetThrows) {
+    PlacementProblem problem;
+    problem.experts = Experts(2);
+    EXPECT_THROW(SolvePlacement(problem), std::invalid_argument);
+}
+
+TEST(Placement, SurvivingReplicasStayPut) {
+    PlacementProblem problem;
+    problem.experts = Experts(12);
+    problem.live_ranks = Ranks(4);
+    problem.replicas = 1;
+    problem.policy = PlacementPolicy::kMinMove;
+    const PlacementPlan before = SolvePlacement(problem);
+
+    // Rank 3 dies: only its replicas may move.
+    std::size_t on_dead_rank = 0;
+    for (const auto& [id, hosts] : before.assignments) {
+        on_dead_rank += hosts.front() == 3 ? 1 : 0;
+    }
+    problem.live_ranks = {0, 1, 2};
+    problem.current = before.assignments;
+    const PlacementPlan after = SolvePlacement(problem);
+
+    EXPECT_EQ(after.moved_replicas, on_dead_rank);
+    for (const auto& [id, hosts] : before.assignments) {
+        if (hosts.front() != 3) {
+            EXPECT_EQ(after.assignments.at(id).front(), hosts.front())
+                << "surviving replica of expert " << id << " moved";
+        }
+    }
+    EXPECT_TRUE(VerifyPlacement(problem, after).ok);
+}
+
+TEST(Placement, LoadAwareObeysGreedyBalanceBound) {
+    PlacementProblem problem;
+    problem.experts = Experts(64);
+    problem.live_ranks = Ranks(8);
+    problem.replicas = 2;
+    problem.policy = PlacementPolicy::kLoadAware;
+    const PlacementPlan plan = SolvePlacement(problem);
+    const PlacementCheck check = VerifyPlacement(problem, plan);
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_LE(check.max_load,
+              check.mean_load + check.max_contribution + 1e-9);
+}
+
+TEST(Placement, RoundRobinIsDeterministicAndIgnoresHistory) {
+    PlacementProblem problem;
+    problem.experts = Experts(10);
+    problem.live_ranks = Ranks(3);
+    problem.policy = PlacementPolicy::kRoundRobin;
+    const PlacementPlan a = SolvePlacement(problem);
+    problem.current = a.assignments;  // history must not change the answer
+    const PlacementPlan b = SolvePlacement(problem);
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_TRUE(VerifyPlacement(problem, b).ok);
+}
+
+// ---------- seeded churn soak ----------
+
+TEST(Placement, ChurnSoakKeepsInvariantsAcross25Seeds) {
+    // 25 seeds of join/leave churn: after every membership change the
+    // re-solved plan must keep >= R replicas per expert on live ranks and
+    // obey the balance bound; moved bytes never exceed the total placed.
+    for (std::uint32_t seed = 0; seed < 25; ++seed) {
+        std::mt19937 rng(seed);
+        PlacementProblem problem;
+        problem.experts = Experts(32, 2 * kMiB);
+        problem.replicas = 2;
+        std::set<std::size_t> live = {0, 1, 2, 3, 4, 5};
+        problem.live_ranks = {live.begin(), live.end()};
+        PlacementPlan plan = SolvePlacement(problem);
+        ASSERT_TRUE(VerifyPlacement(problem, plan).ok);
+
+        for (int round = 0; round < 12; ++round) {
+            // Leave (if > 2 remain) or join a fresh / returning rank.
+            if (live.size() > 2 && rng() % 2 == 0) {
+                auto it = live.begin();
+                std::advance(it, rng() % live.size());
+                live.erase(it);
+            } else {
+                live.insert(rng() % 12);
+            }
+            problem.live_ranks = {live.begin(), live.end()};
+            problem.current = plan.assignments;
+            plan = SolvePlacement(problem);
+
+            const PlacementCheck check = VerifyPlacement(problem, plan);
+            ASSERT_TRUE(check.ok)
+                << "seed " << seed << " round " << round << ": "
+                << check.error;
+            // Bounded movement: at worst every replica is refilled once by
+            // the greedy pass and moved once by the local search.
+            ASSERT_LE(plan.moved_replicas, 2 * 32 * problem.replicas)
+                << "seed " << seed << " round " << round;
+        }
+    }
+}
+
+// ---------- RankRemap ----------
+
+TEST(RankRemap, ExactKeysWinOverPrefixRewrites) {
+    RankRemap remap;
+    remap.ranks[2] = 0;
+    remap.keys["rank2/expert/7/w"] = "rank1/expert/7/w";
+    EXPECT_EQ(remap.Apply("rank2/expert/7/w"), "rank1/expert/7/w");
+    EXPECT_EQ(remap.Apply("rank2/dense/2"), "rank0/dense/2");
+    EXPECT_EQ(remap.Apply("rank1/dense/1"), "rank1/dense/1");
+    EXPECT_EQ(remap.Apply("meta/manifest"), "meta/manifest");
+}
+
+TEST(RankRemap, BuildRankRemapCoversEveryDeadRankDeterministically) {
+    const RankRemap remap = BuildRankRemap(6, {0, 2, 5});
+    EXPECT_EQ(remap.ranks.size(), 3U);  // ranks 1, 3, 4 died
+    for (const std::size_t dead : {1U, 3U, 4U}) {
+        const auto it = remap.ranks.find(dead);
+        ASSERT_NE(it, remap.ranks.end());
+        EXPECT_TRUE(it->second == 0 || it->second == 2 || it->second == 5);
+    }
+    EXPECT_EQ(remap.ranks.count(0), 0U);  // survivors map to themselves
+    // Deterministic: same inputs, same remap.
+    const RankRemap again = BuildRankRemap(6, {5, 0, 2});
+    EXPECT_EQ(remap.ranks, again.ranks);
+}
+
+TEST(RankRemap, AddExpertMovesTracksPrimaryOwnerChanges) {
+    std::map<std::size_t, std::vector<std::size_t>> before;
+    before[0] = {1};
+    before[1] = {2};
+    std::map<std::size_t, std::vector<std::size_t>> after;
+    after[0] = {1};  // unchanged -> no override
+    after[1] = {0};  // moved -> override
+    RankRemap remap;
+    AddExpertMoves(remap, before, after, [](std::size_t r, std::size_t e) {
+        return "rank" + std::to_string(r) + "/expert/" + std::to_string(e) +
+               "/w";
+    });
+    EXPECT_EQ(remap.keys.size(), 1U);
+    EXPECT_EQ(remap.keys.at("rank2/expert/1/w"), "rank0/expert/1/w");
+}
+
+// ---------- world-size-independent restore ----------
+
+/** Seals one generation of @p world ranks (one shard each) at @p iter. */
+void
+SealGeneration(CheckpointManifest& manifest, MemoryStore& store,
+               std::size_t world, std::size_t iter) {
+    for (std::size_t r = 0; r < world; ++r) {
+        const std::string key = "rank" + std::to_string(r) + "/dense/" +
+                                std::to_string(r);
+        Blob blob(1024, static_cast<std::uint8_t>(0x10 + r + iter));
+        const std::uint32_t crc = Crc32c(blob.data(), blob.size());
+        store.Put(VersionedShardKey(key, iter), std::move(blob));
+        manifest.RecordPersistVersion(key, iter, 1024, crc, true,
+                                      std::nullopt);
+    }
+    manifest.MarkCheckpointComplete(StoreLevel::kPersist, iter);
+}
+
+TEST(ClusterRecovery, RemappedRestoreIsEquivalentOnFewerSurvivors) {
+    CheckpointManifest manifest;
+    MemoryStore store;
+    SealGeneration(manifest, store, 4, 1);
+
+    // Baseline: the full 4-rank restore.
+    const auto full = PlanClusterRestore(manifest);
+    ASSERT_TRUE(full.has_value());
+    const auto full_result = ExecuteClusterRestore(manifest, store, *full);
+    ASSERT_EQ(full_result.shards_restored, 4U);
+
+    // Rank 3 is gone: restore the same generation onto survivors {0,1,2}.
+    const RankRemap remap = BuildRankRemap(4, {0, 1, 2});
+    const auto remapped = PlanClusterRestore(manifest, std::nullopt, &remap);
+    ASSERT_TRUE(remapped.has_value());
+    EXPECT_EQ(remapped->generation, full->generation);
+    const auto result = ExecuteClusterRestore(manifest, store, *remapped);
+    EXPECT_TRUE(result.damaged.empty());
+    EXPECT_EQ(result.shards_restored, 4U);
+
+    // Equivalence: every source key's bytes survive, under the remapped
+    // target key; survivors' keys are untouched.
+    for (std::size_t r = 0; r < 3; ++r) {
+        const std::string key =
+            "rank" + std::to_string(r) + "/dense/" + std::to_string(r);
+        EXPECT_EQ(result.blobs.at(key), full_result.blobs.at(key));
+    }
+    const std::string absorbed = remap.Apply("rank3/dense/3");
+    EXPECT_NE(absorbed, "rank3/dense/3");
+    EXPECT_EQ(result.blobs.at(absorbed), full_result.blobs.at("rank3/dense/3"));
+}
+
+TEST(ClusterRecovery, RemapCollisionReportsLoserAsMissing) {
+    CheckpointManifest manifest;
+    MemoryStore store;
+    SealGeneration(manifest, store, 2, 1);
+
+    // Force both source keys onto one target: the first restored wins and
+    // the loser is reported, never silently overwritten.
+    RankRemap remap;
+    remap.keys["rank1/dense/1"] = "rank0/dense/0";
+    const auto plan = PlanClusterRestore(manifest, std::nullopt, &remap);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->missing.size(), 1U);
+    const auto result = ExecuteClusterRestore(manifest, store, *plan);
+    EXPECT_EQ(result.shards_restored, 1U);
+}
+
+}  // namespace
+}  // namespace moc

@@ -15,14 +15,25 @@
  *      unselected experts forward). An *unsealed* generation with recorded
  *      shards is a torn checkpoint event: the directory is classified
  *      repairable (never clean) while one exists, since restart must fall
- *      back past it.
+ *      back past it. A generation the coordinator *aborted* (elastic
+ *      membership: a rank died mid-barrier and the run moved on) is an
+ *      acknowledged casualty, not a torn one — it never dirties the
+ *      directory;
+ *   4. membership — when the elastic coordinator persisted its membership
+ *      table (`meta/membership`, format moc-membership/1), each generation's
+ *      referenced ranks (the `rank<r>/` key prefixes it recorded) are
+ *      checked against *current* live membership. A generation referencing
+ *      an evicted rank is classified orphaned: still restartable, but only
+ *      through a rank remap (core/placement.h), so the directory is not
+ *      clean.
  *
- * Exit codes: 0 = clean; 1 = damage or a torn generation found but at
- * least one generation is still restartable (repairable — recovery will
- * degrade, not die); 2 = fatal (no restartable generation, or the manifest
- * itself is unreadable alongside damage). `--json <path>` writes a
- * moc-fsck/1 document listing every damaged file and torn generation so CI
- * can assert detection coverage.
+ * Exit codes: 0 = clean; 1 = damage, a torn generation, or an orphaned
+ * generation found but at least one generation is still restartable
+ * (repairable — recovery will degrade or remap, not die); 2 = fatal (no
+ * restartable generation, or the manifest itself is unreadable alongside
+ * damage). `--json <path>` writes a moc-fsck/1 document listing every
+ * damaged file, torn/aborted generation, and orphaned generation so CI can
+ * assert detection coverage.
  */
 
 #include <cstdint>
@@ -37,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/membership.h"
 #include "cli_lib.h"
 #include "core/moc_system.h"
 #include "obs/export.h"
@@ -123,6 +135,26 @@ struct MissingVersion {
     std::size_t iteration = 0;
 };
 
+/** The rank a `rank<r>/...` shard key belongs to, or nullopt. */
+std::optional<std::size_t>
+KeyRank(const std::string& key) {
+    if (key.rfind("rank", 0) != 0) {
+        return std::nullopt;
+    }
+    std::size_t pos = 4;
+    std::size_t rank = 0;
+    bool any = false;
+    while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+        rank = rank * 10 + static_cast<std::size_t>(key[pos] - '0');
+        ++pos;
+        any = true;
+    }
+    if (!any || pos >= key.size() || key[pos] != '/') {
+        return std::nullopt;
+    }
+    return rank;
+}
+
 }  // namespace
 
 int
@@ -171,14 +203,36 @@ RunFsck(const Args& args, std::ostream& out) {
         }
     }
 
+    // The elastic coordinator persists its membership table next to the
+    // manifest; without one (pre-elastic run) the membership pass is
+    // skipped entirely.
+    std::optional<ckpt::MembershipSnapshot> membership;
+    {
+        const auto it = files.find("meta/membership");
+        if (it != files.end() && it->second.readable) {
+            try {
+                const auto blob = store.Get("meta/membership");
+                membership = ckpt::ParseMembershipJson(
+                    std::string(blob->begin(), blob->end()));
+            } catch (const std::exception&) {
+                // Torn membership doc: skip the pass, the scrub already
+                // reported the damage if the file failed its CRC.
+            }
+        }
+    }
+
     std::vector<MissingVersion> missing;
     struct GenHealth {
         GenerationInfo info;
         bool restartable = false;
+        /** Ranks this generation references that are no longer live. */
+        std::vector<std::size_t> orphan_ranks;
     };
     std::vector<GenHealth> generations;
     std::vector<std::size_t> restartable;
     std::vector<std::size_t> torn;
+    std::vector<std::size_t> aborted;
+    std::vector<std::size_t> orphaned;
     if (have_manifest) {
         const auto keys = manifest.KeysAt(StoreLevel::kPersist);
         // Logical pass: every usable version the manifest records must have
@@ -208,11 +262,42 @@ RunFsck(const Args& args, std::ostream& out) {
         // that died mid-persist. Its shards may all be individually intact,
         // but the set is incomplete by definition, so the directory is
         // never "clean" while one exists (recovery must fall back).
+        std::set<std::size_t> live_ranks;
+        if (membership) {
+            const auto live = membership->LiveRanks();
+            live_ranks.insert(live.begin(), live.end());
+        }
         for (const auto& info : manifest.Generations()) {
-            if (!info.sealed && info.shards > 0) {
+            if (!info.sealed && info.shards > 0 && !info.aborted) {
                 torn.push_back(info.iteration);
             }
-            GenHealth gen{info, info.sealed && !info.marked_corrupt};
+            if (info.aborted) {
+                aborted.push_back(info.iteration);
+            }
+            GenHealth gen{info, info.sealed && !info.marked_corrupt, {}};
+            if (membership && gen.restartable) {
+                // Membership pass: a sealed generation that recorded shards
+                // for a rank no longer live can only restore through a
+                // remap — flag it so operators know plain restart is gone.
+                std::set<std::size_t> refs;
+                for (const auto& [key, chain] : chains) {
+                    for (const auto& version : chain) {
+                        if (version.iteration == info.iteration) {
+                            if (const auto rank = KeyRank(key)) {
+                                refs.insert(*rank);
+                            }
+                        }
+                    }
+                }
+                for (const std::size_t rank : refs) {
+                    if (live_ranks.count(rank) == 0) {
+                        gen.orphan_ranks.push_back(rank);
+                    }
+                }
+                if (!gen.orphan_ranks.empty()) {
+                    orphaned.push_back(info.iteration);
+                }
+            }
             if (gen.restartable) {
                 for (const auto& [key, chain] : chains) {
                     bool ok = false;
@@ -244,7 +329,7 @@ RunFsck(const Args& args, std::ostream& out) {
     int code = 0;
     if (!have_manifest) {
         code = damage ? 1 : 0;
-    } else if (damage || !torn.empty()) {
+    } else if (damage || !torn.empty() || !orphaned.empty()) {
         code = restartable.empty() ? 2 : 1;
     } else if (restartable.empty() && !generations.empty()) {
         code = 2;
@@ -268,18 +353,42 @@ RunFsck(const Args& args, std::ostream& out) {
         out << "  torn generation: " << iteration
             << " (unsealed; checkpoint event died mid-persist)\n";
     }
+    for (const auto iteration : aborted) {
+        out << "  aborted generation: " << iteration
+            << " (coordinator abandoned it on a membership change; "
+               "acknowledged, not torn)\n";
+    }
+    for (const auto& gen : generations) {
+        for (const std::size_t rank : gen.orphan_ranks) {
+            out << "  orphaned generation: " << gen.info.iteration
+                << " references rank " << rank
+                << " absent from live membership (restore needs a remap)\n";
+        }
+    }
     if (have_manifest) {
-        Table t({"generation", "shards", "sealed", "restartable"});
+        Table t({"generation", "shards", "sealed", "restartable", "note"});
         for (const auto& gen : generations) {
+            std::string note;
+            if (gen.info.aborted) {
+                note = "aborted";
+            } else if (!gen.orphan_ranks.empty()) {
+                note = "orphaned (" + std::to_string(gen.orphan_ranks.size())
+                       + " evicted rank(s))";
+            }
             t.AddRow({std::to_string(gen.info.iteration),
                       std::to_string(gen.info.shards),
                       gen.info.sealed ? "yes" : "no",
-                      gen.restartable ? "yes" : "no"});
+                      gen.restartable ? "yes" : "no", note});
         }
         out << t.ToString();
+        if (membership) {
+            out << "membership: v" << membership->version << ", "
+                << membership->LiveRanks().size() << "/"
+                << membership->members.size() << " live\n";
+        }
         if (restartable.empty()) {
             out << "FATAL: no restartable generation\n";
-        } else if (damage || !torn.empty()) {
+        } else if (damage || !torn.empty() || !orphaned.empty()) {
             out << "repairable: restart will degrade to generation "
                 << restartable.back() << "\n";
         } else {
@@ -311,7 +420,19 @@ RunFsck(const Args& args, std::ostream& out) {
         for (std::size_t i = 0; i < torn.size(); ++i) {
             j << (i == 0 ? "" : ", ") << torn[i];
         }
-        j << "],\n  \"restartable_generations\": [";
+        j << "],\n  \"aborted_generations\": [";
+        for (std::size_t i = 0; i < aborted.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << aborted[i];
+        }
+        j << "],\n  \"orphaned_generations\": [";
+        for (std::size_t i = 0; i < orphaned.size(); ++i) {
+            j << (i == 0 ? "" : ", ") << orphaned[i];
+        }
+        j << "],\n  \"membership_live_ranks\": "
+          << (membership ? membership->LiveRanks().size() : 0)
+          << ",\n  \"have_membership\": "
+          << (membership ? "true" : "false")
+          << ",\n  \"restartable_generations\": [";
         for (std::size_t i = 0; i < restartable.size(); ++i) {
             j << (i == 0 ? "" : ", ") << restartable[i];
         }

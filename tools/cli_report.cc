@@ -600,15 +600,22 @@ RunReport(const Args& args, std::ostream& out) {
     // straggler and peer-death events from the merged journal.
     std::vector<const obs::JournalEvent*> straggler_events;
     std::vector<const obs::JournalEvent*> death_events;
+    std::vector<const obs::JournalEvent*> membership_events;
+    std::size_t rejoin_count = 0;
     for (const obs::JournalEvent& e : events) {
         if (e.kind == obs::EventKind::kStraggler) {
             straggler_events.push_back(&e);
         } else if (e.kind == obs::EventKind::kPeerDeath) {
             death_events.push_back(&e);
+        } else if (e.kind == obs::EventKind::kMembershipChange ||
+                   e.kind == obs::EventKind::kRejoin) {
+            membership_events.push_back(&e);
+            rejoin_count += e.kind == obs::EventKind::kRejoin ? 1 : 0;
         }
     }
     const bool cluster_run = role_dumps.size() > 1 || event_roles > 1 ||
-                             !straggler_events.empty();
+                             !straggler_events.empty() ||
+                             !membership_events.empty();
     double telemetry_sent = 0.0;
     double telemetry_dropped = 0.0;
     for (const auto& [role, d] : role_dumps) {
@@ -657,6 +664,23 @@ RunReport(const Args& args, std::ostream& out) {
                            std::to_string(e->scope), e->detail});
             }
             out << "peer death attribution:\n" << dt.ToString();
+        }
+        // The elastic membership timeline: every state transition the
+        // coordinator's MembershipTable journaled, in merged-clock order —
+        // how an operator reads a death -> evict -> rejoin cycle after the
+        // fact (docs/FAULT_MODEL.md, "Elastic recovery").
+        if (!membership_events.empty()) {
+            Table mt({"t (s)", "kind", "rank", "detail"});
+            for (const obs::JournalEvent* e : membership_events) {
+                mt.AddRow({Table::Num(e->wall_s, 3),
+                           e->kind == obs::EventKind::kRejoin
+                               ? "rejoin"
+                               : "membership_change",
+                           std::to_string(e->scope), e->detail});
+            }
+            out << "membership timeline (" << membership_events.size()
+                << " transition(s), " << rejoin_count << " rejoin(s)):\n"
+                << mt.ToString();
         }
     }
 
@@ -783,6 +807,9 @@ RunReport(const Args& args, std::ostream& out) {
             << ", \"telemetry_dropped\": "
             << obs::JsonNumber(telemetry_dropped)
             << ", \"straggler_events\": " << straggler_events.size()
+            << ", \"membership_changes\": "
+            << (membership_events.size() - rejoin_count)
+            << ", \"rejoins\": " << rejoin_count
             << ", \"stragglers\": [";
     for (std::size_t i = 0; i < straggler_events.size(); ++i) {
         const obs::JournalEvent* e = straggler_events[i];

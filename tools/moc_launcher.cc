@@ -55,6 +55,11 @@ struct Child {
     bool exited = false;
     bool reported = false;
     int status = 0;
+    /** The argv it was spawned with, kept for --respawn re-forks. */
+    std::vector<std::string> args;
+    bool rank_child = false;
+    /** Times this rank has been re-forked after a signal death. */
+    std::size_t respawns = 0;
 };
 
 /** `--name value` lookup. */
@@ -80,7 +85,7 @@ bool
 LauncherFlag(const std::string& flag) {
     return flag == "--binary" || flag == "--timeout-s" ||
            flag == "--events-out-dir" || flag == "--metrics-out-dir" ||
-           flag == "--obs-out-dir";
+           flag == "--obs-out-dir" || flag == "--respawn";
 }
 
 pid_t
@@ -219,6 +224,12 @@ int
 main(int argc, char** argv) {
     const char* binary = FlagStr(argc, argv, "binary", nullptr);
     const double timeout_s = FlagDouble(argc, argv, "timeout-s", 120.0);
+    // --respawn N: a rank killed by a signal is re-forked (same argv plus
+    // --respawned <count>) up to N times per rank — the supervisor half of
+    // the elastic rejoin story. The coordinator is never respawned: it owns
+    // the run's identity and verdict.
+    const auto respawn_budget =
+        static_cast<std::size_t>(FlagDouble(argc, argv, "respawn", 0));
     const char* obs_dir = FlagStr(argc, argv, "obs-out-dir", nullptr);
     // --obs-out-dir implies per-role journal + metrics exports there too.
     const char* events_dir =
@@ -229,7 +240,7 @@ main(int argc, char** argv) {
         static_cast<std::size_t>(FlagDouble(argc, argv, "ranks", 3));
     if (binary == nullptr || ranks == 0) {
         std::printf("usage: moc_launcher --binary PATH [--ranks N] "
-                    "[--timeout-s S] [--obs-out-dir DIR] "
+                    "[--timeout-s S] [--respawn N] [--obs-out-dir DIR] "
                     "[--events-out-dir DIR] [--metrics-out-dir DIR] "
                     "[passthrough flags for the binary...]\n");
         return 2;
@@ -272,7 +283,11 @@ main(int argc, char** argv) {
             args.emplace_back(std::string(obs_dir) +
                               "/coordinator.trace.json");
         }
-        children.push_back(Child{Spawn(binary, args), "coordinator"});
+        Child child;
+        child.pid = Spawn(binary, args);
+        child.role = "coordinator";
+        child.args = std::move(args);
+        children.push_back(std::move(child));
     }
     for (std::size_t r = 0; r < ranks; ++r) {
         std::vector<std::string> args = shared;
@@ -295,8 +310,12 @@ main(int argc, char** argv) {
             args.emplace_back(std::string(obs_dir) + "/rank" +
                               std::to_string(r) + ".trace.json");
         }
-        children.push_back(
-            Child{Spawn(binary, args), "rank" + std::to_string(r)});
+        Child child;
+        child.pid = Spawn(binary, args);
+        child.role = "rank" + std::to_string(r);
+        child.args = std::move(args);
+        child.rank_child = true;
+        children.push_back(std::move(child));
     }
     for (const auto& child : children) {
         if (child.pid < 0) {
@@ -342,6 +361,24 @@ main(int argc, char** argv) {
                 child.exited = true;
                 child.status = status;
                 ReportChild(child);
+                if (child.rank_child && WIFSIGNALED(status) &&
+                    child.respawns < respawn_budget) {
+                    // The elastic rejoin path: same argv, fresh process,
+                    // fresh transport epoch. --respawned tells the rank its
+                    // incarnation (and to skip re-arming its fault specs —
+                    // the death already happened).
+                    ++child.respawns;
+                    std::vector<std::string> args = child.args;
+                    args.emplace_back("--respawned");
+                    args.emplace_back(std::to_string(child.respawns));
+                    child.pid = Spawn(binary, args);
+                    child.exited = false;
+                    child.reported = false;
+                    std::printf("moc_launcher: respawned %s (attempt %zu, "
+                                "pid %d)\n",
+                                child.role.c_str(), child.respawns,
+                                child.pid);
+                }
                 break;
             }
         }
