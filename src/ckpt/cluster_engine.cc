@@ -104,6 +104,9 @@ ClusterCheckpointEngine::Init(std::size_t num_ranks, const AgentCostModel& cost,
                                   : 4 * pipe.workers;
         pipe.verify = options_.verify;
         pipe.dedup = options_.dedup;
+        pipe.delta = options_.delta;
+        pipe.delta_chunk_bytes = options_.delta_chunk_bytes;
+        pipe.max_delta_chain = options_.max_delta_chain;
         pipe.time_scale = cost.time_scale;
         if (options_.shard_deadline_s > 0.0 || options_.seal_deadline_s > 0.0) {
             watchdog_ = std::make_unique<obs::StallWatchdog>();
@@ -266,6 +269,9 @@ ClusterCheckpointEngine::Execute(const ShardPlan& plan, const BlobProvider& prov
         stats.bytes_persisted = gen.bytes_written;
         stats.keys_deduped = gen.shards_deduped;
         stats.bytes_deduped = gen.bytes_deduped;
+        stats.keys_delta = gen.shards_delta;
+        stats.bytes_delta_saved = gen.bytes_delta_saved;
+        stats.forced_full = gen.forced_full;
         stats.persist_failures = gen.failures;
         stats.sealed = gen.sealed;
         if (!options_.manifest_key.empty()) {

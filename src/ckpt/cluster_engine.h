@@ -60,6 +60,13 @@ struct ClusterEngineOptions {
     bool per_shard = true;
     /** Content-hash dedup against the last sealed generation. */
     bool dedup = true;
+    /** Delta-encode changed shards against the last sealed generation
+        (ckpt/persist_pipeline.h). Per-shard mode only. */
+    bool delta = false;
+    /** Chunk granularity of the delta diff. */
+    std::size_t delta_chunk_bytes = 64 * 1024;
+    /** Deltas allowed on one full write before a full write is forced. */
+    std::size_t max_delta_chain = 8;
     /** Read back and CRC-verify every shard write before recording it. */
     bool verify = true;
     /** Persist pool workers; 0 = one per rank. */
@@ -117,6 +124,12 @@ struct ClusterRunStats {
     std::size_t keys_deduped = 0;
     /** Bytes dedup avoided re-persisting. */
     Bytes bytes_deduped = 0;
+    /** Shards persisted as changed-chunk delta records. */
+    std::size_t keys_delta = 0;
+    /** Logical bytes delta encoding avoided re-persisting. */
+    Bytes bytes_delta_saved = 0;
+    /** Full writes forced because a delta chain hit max_delta_chain. */
+    std::size_t forced_full = 0;
     /** Shard writes that failed (StoreError or verify mismatch). */
     std::size_t persist_failures = 0;
     /** The generation this event committed (per-shard mode). */

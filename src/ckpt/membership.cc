@@ -147,14 +147,14 @@ ParseMembershipJson(const std::string& text) {
         throw std::invalid_argument("not a moc-membership/1 document");
     }
     MembershipSnapshot snap;
-    snap.version = static_cast<std::uint64_t>(doc.NumberOr("version", 0.0));
+    snap.version = doc.U64Or("version", 0);
     for (const json::Value& entry : doc.At("members").AsArray()) {
         MemberInfo m;
-        m.rank = static_cast<std::size_t>(entry.At("rank").AsNumber());
+        m.rank = static_cast<std::size_t>(entry.At("rank").AsU64());
         m.state = StateFromName(entry.At("state").AsString());
-        m.epoch = static_cast<std::uint32_t>(entry.NumberOr("epoch", 0.0));
+        m.epoch = static_cast<std::uint32_t>(entry.U64Or("epoch", 0));
         m.incarnation =
-            static_cast<std::uint32_t>(entry.NumberOr("incarnation", 1.0));
+            static_cast<std::uint32_t>(entry.U64Or("incarnation", 1));
         m.death_cause = entry.StringOr("death_cause", "");
         snap.members.push_back(std::move(m));
     }

@@ -3,8 +3,10 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/delta_codec.h"
 #include "storage/store_error.h"
 #include "util/crc32.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace moc {
@@ -159,7 +161,8 @@ PersistPipeline::FinishGeneration() {
             .Set(static_cast<double>(iteration));
         event.detail = "sealed shards=" + std::to_string(stats.shards) +
                        " written=" + std::to_string(stats.shards_written) +
-                       " deduped=" + std::to_string(stats.shards_deduped);
+                       " deduped=" + std::to_string(stats.shards_deduped) +
+                       " delta=" + std::to_string(stats.shards_delta);
     } else {
         unsealed_ctr.Add();
         event.detail = "unsealed failures=" + std::to_string(stats.failures) +
@@ -199,36 +202,95 @@ PersistPipeline::Execute(Job job) {
     const obs::TraceContextScope ctx_scope(ctx);
     const Seconds start = clock_.Now();
     const std::uint32_t crc = Crc32c(job.blob.data(), job.blob.size());
+    const std::uint64_t fnv = Fnv1a64(job.blob.data(), job.blob.size());
     const Bytes size = job.blob.size();
 
-    // Dedup: identical content to the last sealed generation's entry is
-    // recorded by reference, not re-persisted.
-    if (options_.dedup) {
-        std::unique_lock<std::mutex> lock(mu_);
+    std::optional<SealedEntry> baseline;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
         const auto it = sealed_baseline_.find(job.key);
-        if (it != sealed_baseline_.end() && it->second.crc == crc &&
-            it->second.bytes == size) {
-            const SealedEntry entry{crc, size, it->second.physical_iteration};
-            staged_records_.emplace_back(job.key, entry);
-            lock.unlock();
-            manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
-                                           /*verified=*/true,
-                                           entry.physical_iteration);
-            static obs::Counter& dedup_ctr =
-                obs::MetricsRegistry::Instance().GetCounter(
-                    "cluster.shards_deduped");
-            static obs::Counter& dedup_bytes =
-                obs::MetricsRegistry::Instance().GetCounter(
-                    "cluster.bytes_deduped");
-            dedup_ctr.Add();
-            dedup_bytes.Add(size);
-            CompleteJob(job, /*written=*/false, /*deduped=*/true,
-                        /*failed=*/false, /*bytes=*/0);
-            return;
+        if (it != sealed_baseline_.end()) {
+            baseline = it->second;
         }
     }
 
-    const std::string physical = VersionedShardKey(job.key, job.iteration);
+    // Dedup: identical content to the last sealed generation's entry is
+    // recorded by reference, not re-persisted. Identity is the triple
+    // (size, CRC-32C, FNV-1a 64): a 32-bit hash alone collides under
+    // realistic shard counts, and a false dedup silently restores the
+    // wrong expert weights.
+    if (options_.dedup && baseline && baseline->crc == crc &&
+        baseline->fnv == fnv && baseline->bytes == size) {
+        const SealedEntry entry = *baseline;  // keeps chain + chunk ids
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            staged_records_.emplace_back(job.key, entry);
+        }
+        manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
+                                       /*verified=*/true,
+                                       entry.physical_iteration);
+        static obs::Counter& dedup_ctr =
+            obs::MetricsRegistry::Instance().GetCounter(
+                "cluster.shards_deduped");
+        static obs::Counter& dedup_bytes =
+            obs::MetricsRegistry::Instance().GetCounter(
+                "cluster.bytes_deduped");
+        dedup_ctr.Add();
+        dedup_bytes.Add(size);
+        CompleteJob(job, /*written=*/false, /*deduped=*/true,
+                    /*failed=*/false, /*bytes=*/0);
+        return;
+    }
+
+    // Delta: a changed shard whose size matches the baseline diffs against
+    // it chunk-by-chunk; when only part of the grid changed and the chain
+    // is still under its bound, persist the changed chunks instead of the
+    // whole blob. Everything else falls through to a full write.
+    std::shared_ptr<const std::vector<ChunkId>> chunks;
+    std::vector<std::uint32_t> changed;
+    bool as_delta = false;
+    if (options_.delta) {
+        chunks = std::make_shared<const std::vector<ChunkId>>(
+            HashChunks(job.blob, options_.delta_chunk_bytes));
+        if (baseline && baseline->bytes == size && baseline->chunks &&
+            baseline->chunks->size() == chunks->size()) {
+            for (std::size_t i = 0; i < chunks->size(); ++i) {
+                if ((*chunks)[i] != (*baseline->chunks)[i]) {
+                    changed.push_back(static_cast<std::uint32_t>(i));
+                }
+            }
+            if (!changed.empty() && changed.size() < chunks->size()) {
+                if (baseline->chain_length < options_.max_delta_chain) {
+                    as_delta = true;
+                } else {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++gen_stats_.forced_full;
+                    static obs::Counter& forced_ctr =
+                        obs::MetricsRegistry::Instance().GetCounter(
+                            "cluster.delta.forced_full");
+                    forced_ctr.Add();
+                }
+            }
+        }
+    }
+
+    // The base iteration always holds a physically resolvable version of
+    // this key (a full blob, or a shorter delta chain), so restore and
+    // fsck can walk the chain without chasing dedup refs first.
+    const std::size_t delta_base = baseline ? baseline->physical_iteration : 0;
+    Blob payload;
+    if (as_delta) {
+        payload = EncodeDelta(job.blob, changed, options_.delta_chunk_bytes,
+                              delta_base);
+    }
+    const Blob& wire = as_delta ? payload : job.blob;
+    const Bytes wire_size = wire.size();
+    const std::uint32_t wire_crc =
+        as_delta ? Crc32c(wire.data(), wire.size()) : crc;
+    const std::string physical =
+        as_delta ? DeltaShardKey(job.key, job.iteration)
+                 : VersionedShardKey(job.key, job.iteration);
+
     bool written = false;
     bool verified = !options_.verify;  // unverified mode trusts the write
     // The watchdog covers the whole write+verify: a latency spike inside
@@ -242,9 +304,9 @@ PersistPipeline::Execute(Job job) {
             const obs::TraceSpan write_span("cluster.persist_shard",
                                             "cluster");
             if (write_cost_) {
-                clock_.Advance(write_cost_(size) * options_.time_scale);
+                clock_.Advance(write_cost_(wire_size) * options_.time_scale);
             }
-            store_.Put(physical, job.blob);
+            store_.Put(physical, wire);
             written = true;
         }
         if (options_.verify) {
@@ -254,14 +316,14 @@ PersistPipeline::Execute(Job job) {
             const obs::TraceSpan verify_span("cluster.verify_shard",
                                              "cluster");
             const auto readback = store_.Get(physical);
-            verified = readback.has_value() && readback->size() == size &&
-                       Crc32c(readback->data(), readback->size()) == crc;
+            verified = readback.has_value() && readback->size() == wire_size &&
+                       Crc32c(readback->data(), readback->size()) == wire_crc;
         }
     } catch (const StoreError& e) {
         obs::JournalEvent fault;
         fault.kind = obs::EventKind::kStorageFault;
         fault.iteration = job.iteration;
-        fault.bytes = size;
+        fault.bytes = wire_size;
         fault.detail = "cluster shard " + job.key + " " +
                        (written ? "verify read" : "write") + " failed (" +
                        StoreErrorKindName(e.kind()) + ")";
@@ -273,13 +335,29 @@ PersistPipeline::Execute(Job job) {
         // A landed-but-unverified write is still recorded (fsck and the
         // fallback chains must know the version exists), but it can never
         // seal its generation.
-        manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
-                                       verified);
+        if (as_delta) {
+            manifest_.RecordPersistDelta(job.key, job.iteration, size, crc,
+                                         verified, delta_base, wire_size,
+                                         wire_crc);
+        } else {
+            manifest_.RecordPersistVersion(job.key, job.iteration, size, crc,
+                                           verified);
+        }
     }
     if (ok) {
+        SealedEntry entry;
+        entry.crc = crc;
+        entry.fnv = fnv;
+        entry.bytes = size;
+        entry.physical_iteration = job.iteration;
+        entry.chain_length = as_delta ? baseline->chain_length + 1 : 0;
+        entry.chunks = chunks;
         std::lock_guard<std::mutex> lock(mu_);
-        staged_records_.emplace_back(job.key, SealedEntry{crc, size,
-                                                          job.iteration});
+        staged_records_.emplace_back(job.key, std::move(entry));
+        if (as_delta) {
+            ++gen_stats_.shards_delta;
+            gen_stats_.bytes_delta_saved += size - wire_size;
+        }
     }
 
     static obs::Counter& written_ctr =
@@ -294,11 +372,25 @@ PersistPipeline::Execute(Job job) {
     latency.Observe(clock_.Now() - start);
     if (ok) {
         written_ctr.Add();
-        written_bytes.Add(size);
+        written_bytes.Add(wire_size);
+        if (as_delta) {
+            static obs::Counter& delta_ctr =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "cluster.delta.shards");
+            static obs::Counter& delta_bytes =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "cluster.delta.bytes_written");
+            static obs::Counter& delta_saved =
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "cluster.delta.bytes_saved");
+            delta_ctr.Add();
+            delta_bytes.Add(wire_size);
+            delta_saved.Add(size - wire_size);
+        }
     } else {
         failures_ctr.Add();
     }
-    CompleteJob(job, ok, /*deduped=*/false, /*failed=*/!ok, ok ? size : 0);
+    CompleteJob(job, ok, /*deduped=*/false, /*failed=*/!ok, ok ? wire_size : 0);
 }
 
 void

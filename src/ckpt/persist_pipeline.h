@@ -13,10 +13,18 @@
  *    latest-wins, so a failing event cannot damage an older generation;
  *  - each write is CRC-32C hashed and (optionally) read back and verified
  *    before the manifest records it;
- *  - a shard whose content hash matches the last *sealed* generation's
+ *  - a shard whose content identity — (byte size, CRC-32C, FNV-1a 64), two
+ *    structurally unrelated hashes so a 32-bit collision cannot silently
+ *    alias two different blobs — matches the last *sealed* generation's
  *    entry is recorded by reference instead of re-persisted — under PEC
  *    with K << N most expert shards are unchanged between events, so
  *    persisted bytes drop sharply (dedup);
+ *  - a *changed* shard is chunk-diffed against the last sealed generation's
+ *    blob (storage/delta_codec.h): when only some chunks changed, a delta
+ *    record (bitmap + changed chunks) is persisted instead of the full blob
+ *    — a hot expert that changed 1% of its weights persists ~1% of its
+ *    bytes. Chains are bounded by max_delta_chain; at the bound (or on a
+ *    size change, or when every chunk changed) a full write is forced;
  *  - the generation is sealed — and only then becomes an eligible restart
  *    target — when every rank's every shard landed and verified; any
  *    failure leaves it unsealed and recovery falls back to the previous
@@ -37,6 +45,7 @@
 
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "storage/delta_codec.h"
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 #include "util/clock.h"
@@ -56,6 +65,16 @@ struct PersistPipelineOptions {
     bool verify = true;
     /** Skip re-persisting shards unchanged since the last sealed gen. */
     bool dedup = true;
+    /** Delta-encode changed shards against the last sealed generation. */
+    bool delta = false;
+    /** Chunk granularity of the delta diff. */
+    std::size_t delta_chunk_bytes = 64 * 1024;
+    /**
+     * Deltas allowed on top of one full write before the next changed
+     * shard is forced full again. Bounds restore cost and the number of
+     * generations a damaged base can take down.
+     */
+    std::size_t max_delta_chain = 8;
     /** Wall-time scale applied to the write-cost sleeps. */
     double time_scale = 1.0;
     /** Stall monitor for in-flight ops (optional; must outlive the
@@ -76,11 +95,19 @@ struct GenerationCommitStats {
     std::size_t shards_written = 0;
     /** Shards recorded by reference to an older identical blob. */
     std::size_t shards_deduped = 0;
+    /** Shards persisted as changed-chunk delta records (subset of
+        shards_written). */
+    std::size_t shards_delta = 0;
+    /** Full writes forced because a chain reached max_delta_chain. */
+    std::size_t forced_full = 0;
     /** Shard writes that failed (StoreError or verification mismatch). */
     std::size_t failures = 0;
     Bytes bytes_written = 0;
     /** Bytes dedup avoided re-persisting. */
     Bytes bytes_deduped = 0;
+    /** Logical bytes delta encoding avoided re-persisting (logical size
+        minus delta record size, summed over delta shards). */
+    Bytes bytes_delta_saved = 0;
     /** All shards landed and verified; the generation is a restart target. */
     bool sealed = false;
 };
@@ -175,12 +202,20 @@ class PersistPipeline {
         obs::TraceContext ctx;
     };
 
-    /** Content identity of a sealed shard, for dedup. */
+    /** Content identity of a sealed shard, for dedup and delta diffing. */
     struct SealedEntry {
         std::uint32_t crc = 0;
+        /** Second, structurally unrelated hash: two same-size blobs that
+            collide on CRC-32C must still not dedup against each other. */
+        std::uint64_t fnv = 0;
         Bytes bytes = 0;
         /** Iteration whose physical blob holds the content. */
         std::size_t physical_iteration = 0;
+        /** Deltas already stacked on the last full write of this key. */
+        std::size_t chain_length = 0;
+        /** Per-chunk identities of the sealed blob (delta mode only);
+            shared so staging a dedup ref doesn't copy the vector. */
+        std::shared_ptr<const std::vector<ChunkId>> chunks;
     };
 
     void WorkerLoop();

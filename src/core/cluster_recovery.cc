@@ -3,6 +3,7 @@
 #include <set>
 
 #include "obs/trace.h"
+#include "storage/delta_codec.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -10,21 +11,82 @@ namespace moc {
 
 namespace {
 
+/** Ceiling on ref/delta indirections while reconstructing one version —
+    far above any real chain (max_delta_chain defaults to 8); guards
+    against a corrupted manifest sending the walk in circles. */
+constexpr std::size_t kMaxChainDepth = 64;
+
 /**
- * Reads one manifest-recorded version, accepting whichever copy (the
- * versioned shard key of the physical iteration, or the plain latest-wins
- * key) CRC-matches the record.
+ * Reconstructs one manifest-recorded version's logical bytes and verifies
+ * them against the record:
+ *
+ *  - a dedup ref recurses into the referenced iteration's version;
+ *  - a delta version reads its record at DeltaShardKey (verified against
+ *    the record's physical delta_bytes/delta_crc), recursively
+ *    reconstructs the base iteration, and applies the delta;
+ *  - a full version reads the versioned shard key (or the plain
+ *    latest-wins key, for pre-protocol blobs).
+ *
+ * Every path ends with the logical (size, CRC-32C) check, so a chain whose
+ * base is damaged — or whose manifest entry went missing — yields nullopt
+ * and the caller falls back down the key's verified chain.
  */
 std::optional<Blob>
-ReadShardVerified(const ObjectStore& store, const std::string& key,
-                  const PersistVersion& version) {
+ReconstructVerified(const CheckpointManifest& manifest, const ObjectStore& store,
+                    const std::string& key, const PersistVersion& version,
+                    std::size_t depth = 0) {
+    if (depth >= kMaxChainDepth) {
+        return std::nullopt;
+    }
+    const auto logical_ok = [&version](const Blob& blob) {
+        return blob.size() == version.bytes &&
+               Crc32c(blob.data(), blob.size()) == version.crc;
+    };
+    if (version.ref.has_value()) {
+        const auto base = manifest.FindPersistVersion(key, *version.ref);
+        if (base.has_value() && !base->ref.has_value()) {
+            auto blob =
+                ReconstructVerified(manifest, store, key, *base, depth + 1);
+            if (blob.has_value() && logical_ok(*blob)) {
+                return blob;
+            }
+        }
+        // Fall through: older manifests recorded refs without keeping the
+        // base entry reachable; try the physical blob directly.
+    } else if (version.is_delta()) {
+        try {
+            const auto record =
+                store.Get(DeltaShardKey(key, version.iteration));
+            if (!record.has_value() || record->size() != version.delta_bytes ||
+                Crc32c(record->data(), record->size()) != version.delta_crc) {
+                return std::nullopt;
+            }
+            const auto base =
+                manifest.FindPersistVersion(key, *version.delta_base);
+            if (!base.has_value()) {
+                return std::nullopt;
+            }
+            const auto base_blob =
+                ReconstructVerified(manifest, store, key, *base, depth + 1);
+            if (!base_blob.has_value()) {
+                return std::nullopt;
+            }
+            Blob blob = ApplyDelta(*record, *base_blob);
+            if (logical_ok(blob)) {
+                return blob;
+            }
+        } catch (const std::exception&) {
+            // Typed corruption from the backend, or a malformed record
+            // (ParseDelta/ApplyDelta throw): the chain is broken here.
+        }
+        return std::nullopt;
+    }
     const std::string sources[] = {
         VersionedShardKey(key, version.PhysicalIteration()), key};
     for (const auto& source : sources) {
         try {
             auto blob = store.Get(source);
-            if (blob.has_value() && blob->size() == version.bytes &&
-                Crc32c(blob->data(), blob->size()) == version.crc) {
+            if (blob.has_value() && logical_ok(*blob)) {
                 return blob;
             }
         } catch (const std::runtime_error&) {
@@ -65,8 +127,10 @@ PlanClusterRestore(const CheckpointManifest& manifest,
             const PersistVersion& chosen = chain.front();
             plan.shards.push_back(ShardRestorePlan{
                 key, target, chosen.iteration,
-                VersionedShardKey(key, chosen.PhysicalIteration()), chosen.crc,
-                chosen.bytes});
+                chosen.is_delta()
+                    ? DeltaShardKey(key, chosen.iteration)
+                    : VersionedShardKey(key, chosen.PhysicalIteration()),
+                chosen.crc, chosen.bytes});
             if (chosen.iteration != generation) {
                 plan.degraded.push_back(
                     {key, generation, chosen.iteration,
@@ -96,7 +160,7 @@ ExecuteClusterRestore(const CheckpointManifest& manifest,
         std::size_t restored_iteration = shard.iteration;
         for (const auto& version :
              manifest.PersistFallbackChain(shard.key, plan.generation)) {
-            blob = ReadShardVerified(store, shard.key, version);
+            blob = ReconstructVerified(manifest, store, shard.key, version);
             if (blob.has_value()) {
                 restored_iteration = version.iteration;
                 break;

@@ -14,9 +14,13 @@
  * mode of latest-wins keying).
  *
  * Within the chosen generation each key resolves through its verified
- * fallback chain, and dedup-by-reference versions resolve to the physical
- * blob of the iteration that actually holds the bytes
- * (PersistVersion::PhysicalIteration).
+ * fallback chain; dedup-by-reference versions resolve to the physical blob
+ * of the iteration that actually holds the bytes
+ * (PersistVersion::PhysicalIteration), and delta versions reconstruct by
+ * walking the record chain down to a full write and applying the changed
+ * chunks back up (storage/delta_codec.h). A chain broken anywhere — a
+ * damaged or missing base — fails the logical CRC check and the key falls
+ * back to an older verified version.
  */
 
 #include <map>

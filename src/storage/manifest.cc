@@ -1,6 +1,7 @@
 #include "storage/manifest.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "obs/export.h"
@@ -42,13 +43,64 @@ CheckpointManifest::RecordPersistVersion(const std::string& key,
     if (!history.empty() && history.back().iteration > iteration) {
         MOC_PANIC("manifest: non-monotonic persist save for key " << key);
     }
-    const PersistVersion version{iteration, bytes, crc, verified, false, ref};
+    PersistVersion version;
+    version.iteration = iteration;
+    version.bytes = bytes;
+    version.crc = crc;
+    version.verified = verified;
+    version.ref = ref;
     if (!history.empty() && history.back().iteration == iteration) {
         history.back() = version;  // same-checkpoint re-record replaces
     } else {
         history.push_back(version);
     }
     generations_.try_emplace(iteration);
+}
+
+void
+CheckpointManifest::RecordPersistDelta(const std::string& key,
+                                       std::size_t iteration, Bytes bytes,
+                                       std::uint32_t crc, bool verified,
+                                       std::size_t delta_base,
+                                       Bytes delta_bytes,
+                                       std::uint32_t delta_crc) {
+    MOC_CHECK_ARG(delta_base < iteration,
+                  "delta base must be an older iteration");
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& history = persist_[key];
+    if (!history.empty() && history.back().iteration > iteration) {
+        MOC_PANIC("manifest: non-monotonic persist save for key " << key);
+    }
+    PersistVersion version;
+    version.iteration = iteration;
+    version.bytes = bytes;
+    version.crc = crc;
+    version.verified = verified;
+    version.delta_base = delta_base;
+    version.delta_bytes = delta_bytes;
+    version.delta_crc = delta_crc;
+    if (!history.empty() && history.back().iteration == iteration) {
+        history.back() = version;
+    } else {
+        history.push_back(version);
+    }
+    generations_.try_emplace(iteration);
+}
+
+std::optional<PersistVersion>
+CheckpointManifest::FindPersistVersion(const std::string& key,
+                                       std::size_t iteration) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = persist_.find(key);
+    if (it == persist_.end()) {
+        return std::nullopt;
+    }
+    for (const auto& version : it->second) {
+        if (version.iteration == iteration) {
+            return version;
+        }
+    }
+    return std::nullopt;
 }
 
 std::optional<KeyVersion>
@@ -276,9 +328,34 @@ CheckpointManifest::PrunePersistGenerations(std::size_t keep_generations) {
                 break;
             }
         }
+        // A kept version that is a delta (or a dedup ref) is only usable
+        // while its base chain survives: close the kept set over delta_base
+        // and ref edges before pruning, or reclamation would strand every
+        // chain whose full write predates the cutoff.
+        std::set<std::size_t> kept;
+        for (const auto& v : history) {
+            if (v.iteration >= cutoff ||
+                (needed.has_value() && v.iteration == *needed)) {
+                kept.insert(v.iteration);
+            }
+        }
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (const auto& v : history) {
+                if (kept.count(v.iteration) == 0) {
+                    continue;
+                }
+                for (const std::optional<std::size_t>& dep :
+                     {v.delta_base, v.ref}) {
+                    if (dep.has_value() && kept.insert(*dep).second) {
+                        grew = true;
+                    }
+                }
+            }
+        }
         auto keep = [&](const PersistVersion& v) {
-            return v.iteration >= cutoff ||
-                   (needed.has_value() && v.iteration == *needed);
+            return kept.count(v.iteration) != 0;
         };
         for (const auto& version : history) {
             if (!keep(version)) {
@@ -329,6 +406,11 @@ CheckpointManifest::ToJson() const {
             if (v.ref.has_value()) {
                 out << ", \"ref\": " << *v.ref;
             }
+            if (v.delta_base.has_value()) {
+                out << ", \"delta_base\": " << *v.delta_base
+                    << ", \"delta_bytes\": " << v.delta_bytes
+                    << ", \"delta_crc\": " << v.delta_crc;
+            }
             out << "}";
             first_version = false;
         }
@@ -350,14 +432,22 @@ CheckpointManifest::LoadFromJson(const std::string& text) {
     for (const auto& [key, history] : root.At("persist").AsObject()) {
         for (const auto& entry : history.AsArray()) {
             PersistVersion v;
+            // AsU64, not AsNumber: iterations and byte counts past 2^53
+            // must not round through a double on reload.
             v.iteration =
-                static_cast<std::size_t>(entry.At("iteration").AsNumber());
-            v.bytes = static_cast<Bytes>(entry.At("bytes").AsNumber());
-            v.crc = static_cast<std::uint32_t>(entry.At("crc").AsNumber());
+                static_cast<std::size_t>(entry.At("iteration").AsU64());
+            v.bytes = static_cast<Bytes>(entry.At("bytes").AsU64());
+            v.crc = static_cast<std::uint32_t>(entry.At("crc").AsU64());
             v.verified = entry.At("verified").AsBool();
             v.corrupt = entry.At("corrupt").AsBool();
             if (const json::Value* ref = entry.Find("ref")) {
-                v.ref = static_cast<std::size_t>(ref->AsNumber());
+                v.ref = static_cast<std::size_t>(ref->AsU64());
+            }
+            if (const json::Value* base = entry.Find("delta_base")) {
+                v.delta_base = static_cast<std::size_t>(base->AsU64());
+                v.delta_bytes = static_cast<Bytes>(entry.U64Or("delta_bytes", 0));
+                v.delta_crc =
+                    static_cast<std::uint32_t>(entry.U64Or("delta_crc", 0));
             }
             persist[key].push_back(v);
         }
@@ -368,7 +458,7 @@ CheckpointManifest::LoadFromJson(const std::string& text) {
     }
     for (const auto& entry : root.At("generations").AsArray()) {
         const auto iteration =
-            static_cast<std::size_t>(entry.At("iteration").AsNumber());
+            static_cast<std::size_t>(entry.At("iteration").AsU64());
         auto& state = generations[iteration];
         state.sealed = entry.At("sealed").AsBool();
         state.corrupt = entry.At("corrupt").AsBool();
@@ -378,7 +468,7 @@ CheckpointManifest::LoadFromJson(const std::string& text) {
         }
     }
     if (const json::Value* last = root.Find("last_complete")) {
-        complete = static_cast<std::size_t>(last->AsNumber());
+        complete = static_cast<std::size_t>(last->AsU64());
     }
     std::lock_guard<std::mutex> lock(mu_);
     persist_ = std::move(persist);

@@ -65,12 +65,27 @@ struct PersistVersion {
     /** A later read found the stored bytes damaged beyond repair. */
     bool corrupt = false;
     /**
-     * Dedup-by-reference: the shard's content was identical (same CRC-32C
-     * and size) to an already-persisted version, so no bytes were written
-     * for this version — the physical blob lives at the referenced
-     * iteration instead (docs/FAULT_MODEL.md, "cluster commit protocol").
+     * Dedup-by-reference: the shard's content was identical (same size,
+     * CRC-32C, and FNV-1a 64) to an already-persisted version, so no bytes
+     * were written for this version — the physical blob lives at the
+     * referenced iteration instead (docs/FAULT_MODEL.md, "cluster commit
+     * protocol").
      */
     std::optional<std::size_t> ref;
+
+    /**
+     * Delta encoding: only the chunks that changed since the version at
+     * this iteration were persisted, as a delta record under
+     * DeltaShardKey(key, iteration). `bytes`/`crc` above still describe the
+     * *logical* (reconstructed) blob; `delta_bytes`/`delta_crc` describe
+     * the physical record, so both restore and fsck can verify each
+     * representation. Mutually exclusive with `ref`.
+     */
+    std::optional<std::size_t> delta_base;
+    Bytes delta_bytes = 0;
+    std::uint32_t delta_crc = 0;
+
+    bool is_delta() const { return delta_base.has_value(); }
 
     /** Iteration whose physical blob backs this version. */
     std::size_t PhysicalIteration() const { return ref.value_or(iteration); }
@@ -129,6 +144,21 @@ class CheckpointManifest {
     void RecordPersistVersion(const std::string& key, std::size_t iteration,
                               Bytes bytes, std::uint32_t crc, bool verified,
                               std::optional<std::size_t> ref = std::nullopt);
+
+    /**
+     * Records a delta-encoded persist version: logical content
+     * (@p bytes, @p crc) materialized by applying the record at
+     * DeltaShardKey(key, iteration) — physical identity @p delta_bytes /
+     * @p delta_crc — on top of the version at @p delta_base.
+     */
+    void RecordPersistDelta(const std::string& key, std::size_t iteration,
+                            Bytes bytes, std::uint32_t crc, bool verified,
+                            std::size_t delta_base, Bytes delta_bytes,
+                            std::uint32_t delta_crc);
+
+    /** The recorded version of @p key at exactly @p iteration, if any. */
+    std::optional<PersistVersion> FindPersistVersion(
+        const std::string& key, std::size_t iteration) const;
 
     /**
      * Freshest reachable version of @p key at @p level, if any. At the

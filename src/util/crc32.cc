@@ -6,26 +6,54 @@ namespace moc {
 
 namespace {
 
-std::array<std::uint32_t, 256>
-MakeTable(std::uint32_t poly) {
-    std::array<std::uint32_t, 256> table{};
+/**
+ * Slice-by-8 table set: table[0] is the classic bytewise table; table[k]
+ * advances a byte through k additional zero bytes, so eight lookups fold
+ * eight message bytes into the register per iteration instead of one.
+ * Same polynomial, bit-identical outputs to the bytewise loop (locked in
+ * by the golden-vector and cross-check tests) — only the checkpoint
+ * critical path's cost per byte changes.
+ */
+using SliceTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+SliceTables
+MakeTables(std::uint32_t poly) {
+    SliceTables tables{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int k = 0; k < 8; ++k) {
             c = (c & 1U) ? poly ^ (c >> 1) : c >> 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
     }
-    return table;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = tables[0][i];
+        for (std::size_t t = 1; t < 8; ++t) {
+            c = tables[0][c & 0xFFU] ^ (c >> 8);
+            tables[t][i] = c;
+        }
+    }
+    return tables;
 }
 
 std::uint32_t
-TableUpdate(const std::array<std::uint32_t, 256>& table, std::uint32_t crc,
-            const void* data, std::size_t len) {
+TableUpdate(const SliceTables& t, std::uint32_t crc, const void* data,
+            std::size_t len) {
     const auto* p = static_cast<const unsigned char*>(data);
     crc = ~crc;
+    // Byte-at-a-time until the hot loop can take full 8-byte strides.
+    while (len >= 8) {
+        // Bytes are composed manually (not a uint64 load): alignment- and
+        // endianness-independent, and the optimizer fuses the loads anyway.
+        crc = t[7][(crc ^ p[0]) & 0xFFU] ^ t[6][((crc >> 8) ^ p[1]) & 0xFFU] ^
+              t[5][((crc >> 16) ^ p[2]) & 0xFFU] ^
+              t[4][((crc >> 24) ^ p[3]) & 0xFFU] ^ t[3][p[4]] ^ t[2][p[5]] ^
+              t[1][p[6]] ^ t[0][p[7]];
+        p += 8;
+        len -= 8;
+    }
     for (std::size_t i = 0; i < len; ++i) {
-        crc = table[(crc ^ p[i]) & 0xFFU] ^ (crc >> 8);
+        crc = t[0][(crc ^ p[i]) & 0xFFU] ^ (crc >> 8);
     }
     return ~crc;
 }
@@ -34,8 +62,8 @@ TableUpdate(const std::array<std::uint32_t, 256>& table, std::uint32_t crc,
 
 std::uint32_t
 Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
-    static const auto table = MakeTable(0xEDB88320U);
-    return TableUpdate(table, crc, data, len);
+    static const auto tables = MakeTables(0xEDB88320U);
+    return TableUpdate(tables, crc, data, len);
 }
 
 std::uint32_t
@@ -45,8 +73,8 @@ Crc32(const void* data, std::size_t len) {
 
 std::uint32_t
 Crc32cUpdate(std::uint32_t crc, const void* data, std::size_t len) {
-    static const auto table = MakeTable(0x82F63B78U);
-    return TableUpdate(table, crc, data, len);
+    static const auto tables = MakeTables(0x82F63B78U);
+    return TableUpdate(tables, crc, data, len);
 }
 
 std::uint32_t

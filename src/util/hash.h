@@ -1,0 +1,47 @@
+#ifndef MOC_UTIL_HASH_H_
+#define MOC_UTIL_HASH_H_
+
+/**
+ * @file
+ * FNV-1a 64-bit content hashing.
+ *
+ * CRC-32C alone is not a content *identity*: it is a 32-bit error-detecting
+ * code, and two different expert blobs collide with probability ~2^-32 —
+ * far too likely across millions of dedup decisions. Content-addressed
+ * paths (whole-blob dedup, per-chunk delta diffing) therefore key on the
+ * pair (CRC-32C, FNV-1a 64) plus the byte size: the two hashes have
+ * unrelated structure (one linear over GF(2), one multiplicative mod 2^64),
+ * so a simultaneous collision requires ~2^96 luck. CRC-32C alone remains
+ * fine for what it was designed for — detecting *corruption* of bytes whose
+ * identity is already known.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace moc {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001B3ULL;
+
+/** Incremental FNV-1a 64: feed @p state from a previous call (start with
+    kFnv1a64Offset). */
+inline std::uint64_t
+Fnv1a64Update(std::uint64_t state, const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        state ^= p[i];
+        state *= kFnv1a64Prime;
+    }
+    return state;
+}
+
+/** FNV-1a 64-bit hash of @p data[0..len). */
+inline std::uint64_t
+Fnv1a64(const void* data, std::size_t len) {
+    return Fnv1a64Update(kFnv1a64Offset, data, len);
+}
+
+}  // namespace moc
+
+#endif  // MOC_UTIL_HASH_H_

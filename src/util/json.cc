@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -14,7 +15,8 @@ Value::Value(Object o)
 
 Value::Value(const Value& other)
     : kind_(other.kind_), bool_(other.bool_), number_(other.number_),
-      string_(other.string_),
+      int_mag_(other.int_mag_), negative_(other.negative_),
+      exact_(other.exact_), string_(other.string_),
       array_(other.array_ ? std::make_unique<Array>(*other.array_) : nullptr),
       object_(other.object_ ? std::make_unique<Object>(*other.object_)
                             : nullptr) {}
@@ -53,6 +55,54 @@ Value::AsNumber() const {
         Fail("a number", kind_);
     }
     return number_;
+}
+
+std::uint64_t
+Value::AsU64() const {
+    if (!is_number()) {
+        Fail("a number", kind_);
+    }
+    if (exact_) {
+        if (negative_ && int_mag_ != 0) {
+            throw std::invalid_argument("json: number is negative, not u64");
+        }
+        return int_mag_;
+    }
+    // No exact token (a computed double, or integer syntax that overflowed
+    // 64 bits): accept only doubles that are integral and inside the range
+    // where every integer is representable.
+    if (number_ < 0.0 || number_ > 9007199254740992.0 ||  // 2^53
+        number_ != std::floor(number_)) {
+        throw std::invalid_argument(
+            "json: number has no exact u64 representation");
+    }
+    return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t
+Value::AsI64() const {
+    if (!is_number()) {
+        Fail("a number", kind_);
+    }
+    if (exact_) {
+        if (negative_) {
+            // |INT64_MIN| = 2^63 still fits the magnitude field.
+            if (int_mag_ > 0x8000000000000000ULL) {
+                throw std::invalid_argument("json: number overflows i64");
+            }
+            return static_cast<std::int64_t>(0ULL - int_mag_);
+        }
+        if (int_mag_ > 0x7FFFFFFFFFFFFFFFULL) {
+            throw std::invalid_argument("json: number overflows i64");
+        }
+        return static_cast<std::int64_t>(int_mag_);
+    }
+    if (number_ < -9007199254740992.0 || number_ > 9007199254740992.0 ||
+        number_ != std::floor(number_)) {
+        throw std::invalid_argument(
+            "json: number has no exact i64 representation");
+    }
+    return static_cast<std::int64_t>(number_);
 }
 
 const std::string&
@@ -107,6 +157,12 @@ std::string
 Value::StringOr(const std::string& key, std::string fallback) const {
     const Value* v = Find(key);
     return v != nullptr && v->is_string() ? v->AsString() : std::move(fallback);
+}
+
+std::uint64_t
+Value::U64Or(const std::string& key, std::uint64_t fallback) const {
+    const Value* v = Find(key);
+    return v != nullptr && v->is_number() ? v->AsU64() : fallback;
 }
 
 namespace {
@@ -178,7 +234,7 @@ class Parser {
             case 't': ExpectLiteral("true"); return Value(true);
             case 'f': ExpectLiteral("false"); return Value(false);
             case 'n': ExpectLiteral("null"); return Value();
-            default: return Value(ParseNumber());
+            default: return ParseNumber();
         }
     }
 
@@ -273,18 +329,21 @@ class Parser {
         }
     }
 
-    double ParseNumber() {
+    Value ParseNumber() {
         SkipWhitespace();
         const std::size_t start = pos_;
         if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
             ++pos_;
         }
         bool digits = false;
+        bool integral = true;
         while (pos_ < text_.size() &&
                ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
                 text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
                 text_[pos_] == '+' || text_[pos_] == '-')) {
-            digits = digits || (text_[pos_] >= '0' && text_[pos_] <= '9');
+            const char c = text_[pos_];
+            digits = digits || (c >= '0' && c <= '9');
+            integral = integral && ((c >= '0' && c <= '9') || c == '-');
             ++pos_;
         }
         if (!digits) {
@@ -298,7 +357,26 @@ class Parser {
             pos_ = start;
             Error("invalid number");
         }
-        return value;
+        // Integer tokens keep their exact 64-bit value alongside the double:
+        // iterations and byte counts >= 2^53 must round-trip losslessly.
+        if (integral) {
+            const bool negative = token[0] == '-';
+            errno = 0;
+            char* iend = nullptr;
+            const unsigned long long mag = std::strtoull(
+                token.c_str() + (negative ? 1 : 0), &iend, 10);
+            if (errno == 0 && iend == token.c_str() + token.size()) {
+                if (!negative) {
+                    return Value(static_cast<std::uint64_t>(mag));
+                }
+                if (mag <= 0x8000000000000000ULL) {
+                    return Value(static_cast<std::int64_t>(0ULL - mag));
+                }
+                // Magnitude past |INT64_MIN|: double-only, like any
+                // 64-bit-overflowing token.
+            }
+        }
+        return Value(value);
     }
 
     std::string_view text_;

@@ -8,12 +8,19 @@
  * The observability layer *writes* JSON with hand-rolled emitters
  * (obs/export.h); this is the matching reader, used by `moc_cli report` to
  * ingest metrics dumps and event journals, and by the exporter round-trip
- * tests. Numbers are stored as double (every value we emit fits), objects
- * preserve key order via std::map, and parse errors throw
+ * tests. Objects preserve key order via std::map, and parse errors throw
  * std::invalid_argument with an offset-tagged message.
+ *
+ * Numbers carry two representations: every number exposes AsNumber()
+ * (double), and integer-syntax tokens that fit 64 bits additionally keep
+ * their exact value. Iterations, byte counts, and incarnations round-trip
+ * through AsU64()/AsI64() losslessly even past 2^53, where the double form
+ * silently rounds; the exact accessors throw on a number that was never
+ * exactly representable instead of rounding it.
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +42,15 @@ class Value {
     Value() = default;
     explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
     explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+    /** Exact integers: kept losslessly alongside their double image. */
+    explicit Value(std::uint64_t n)
+        : kind_(Kind::kNumber), number_(static_cast<double>(n)), int_mag_(n),
+          exact_(true) {}
+    explicit Value(std::int64_t n)
+        : kind_(Kind::kNumber), number_(static_cast<double>(n)),
+          int_mag_(n < 0 ? 0ULL - static_cast<std::uint64_t>(n)
+                         : static_cast<std::uint64_t>(n)),
+          negative_(n < 0), exact_(true) {}
     explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
     explicit Value(Array a);
     explicit Value(Object o);
@@ -54,6 +70,20 @@ class Value {
     const Array& AsArray() const;
     const Object& AsObject() const;
 
+    /**
+     * Exact 64-bit reads of a number. A value parsed from integer syntax
+     * ("123", "-7") that fit the target type returns exactly; a fractional,
+     * out-of-range, or precision-lossy number (e.g. one that only exists as
+     * a rounded double) throws std::invalid_argument rather than silently
+     * rounding — manifests and membership tables must never read back a
+     * different iteration than was written.
+     */
+    std::uint64_t AsU64() const;
+    std::int64_t AsI64() const;
+
+    /** The parsed token had integer syntax and fit 64 bits exactly. */
+    bool is_exact_int() const { return is_number() && exact_; }
+
     /** Object member, or nullptr when absent (or not an object). */
     const Value* Find(const std::string& key) const;
 
@@ -64,10 +94,18 @@ class Value {
     double NumberOr(const std::string& key, double fallback) const;
     std::string StringOr(const std::string& key, std::string fallback) const;
 
+    /** Member exact integer with a fallback for absent keys. */
+    std::uint64_t U64Or(const std::string& key, std::uint64_t fallback) const;
+
   private:
     Kind kind_ = Kind::kNull;
     bool bool_ = false;
     double number_ = 0.0;
+    /** Exact integer image of the token: magnitude + sign, valid iff
+        exact_. Kept beside the double so AsNumber() stays cheap. */
+    std::uint64_t int_mag_ = 0;
+    bool negative_ = false;
+    bool exact_ = false;
     std::string string_;
     /** unique_ptr keeps Value a complete type inside Array/Object. */
     std::unique_ptr<Array> array_;

@@ -9,12 +9,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <thread>
 
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/crc32.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -383,6 +385,61 @@ TEST(Crc32c, DifferentPolynomialSeesThroughEmbeddedTrailers) {
               Crc32c(blob_b.data(), blob_b.size()));
 }
 
+/**
+ * The production tables are slice-by-8; this bytewise loop is the
+ * textbook reference. Any table-generation or stride bug shows up as a
+ * mismatch at some length/offset combination.
+ */
+std::uint32_t
+BytewiseCrc(std::uint32_t poly, std::uint32_t crc, const std::uint8_t* p,
+            std::size_t n) {
+    crc = ~crc;
+    for (std::size_t i = 0; i < n; ++i) {
+        crc ^= p[i];
+        for (int b = 0; b < 8; ++b) {
+            crc = (crc >> 1) ^ (poly & (0U - (crc & 1U)));
+        }
+    }
+    return ~crc;
+}
+
+TEST(Crc32, SliceBy8MatchesBytewiseReferenceAtEveryLength) {
+    Rng rng(7);
+    std::vector<std::uint8_t> data(300);
+    for (auto& byte : data) {
+        byte = static_cast<std::uint8_t>(rng.Next());
+    }
+    for (std::size_t n = 0; n <= data.size(); n += (n < 24 ? 1 : 7)) {
+        EXPECT_EQ(Crc32(data.data(), n),
+                  BytewiseCrc(0xEDB88320U, 0, data.data(), n))
+            << "IEEE length " << n;
+        EXPECT_EQ(Crc32c(data.data(), n),
+                  BytewiseCrc(0x82F63B78U, 0, data.data(), n))
+            << "Castagnoli length " << n;
+    }
+    // Unaligned incremental splits exercise the byte head/tail paths
+    // around the 8-byte strides.
+    for (const std::size_t split : {1U, 3U, 7U, 8U, 9U, 63U, 64U, 65U}) {
+        std::uint32_t inc = Crc32cUpdate(0, data.data(), split);
+        inc = Crc32cUpdate(inc, data.data() + split, data.size() - split);
+        EXPECT_EQ(inc, Crc32c(data.data(), data.size())) << "split " << split;
+    }
+}
+
+// ---------- FNV-1a ----------
+
+TEST(Fnv1a64, KnownVectorsAndIncrementalUpdate) {
+    // Published FNV-1a 64 check values.
+    EXPECT_EQ(Fnv1a64(nullptr, 0), 0xCBF29CE484222325ULL);
+    const char* a = "a";
+    EXPECT_EQ(Fnv1a64(a, 1), 0xAF63DC4C8601EC8CULL);
+    const std::string s = "foobar";
+    EXPECT_EQ(Fnv1a64(s.data(), s.size()), 0x85944171F73967E8ULL);
+    std::uint64_t inc = Fnv1a64Update(kFnv1a64Offset, s.data(), 3);
+    inc = Fnv1a64Update(inc, s.data() + 3, 3);
+    EXPECT_EQ(inc, Fnv1a64(s.data(), s.size()));
+}
+
 // ---------- JSON reader ----------
 
 TEST(Json, ParsesScalars) {
@@ -439,6 +496,41 @@ TEST(Json, KindMismatchThrows) {
     EXPECT_THROW(v.AsArray(), std::invalid_argument);
     EXPECT_THROW(v.AsBool(), std::invalid_argument);
     EXPECT_EQ(v.Find("x"), nullptr);  // Find on a non-object is just absent
+}
+
+TEST(Json, Integer64BitTokensRoundTripExactly) {
+    // (1 << 53) + 1 is the first integer a double cannot represent; the
+    // manifest's iterations and byte counters must survive it.
+    const std::uint64_t odd = (1ULL << 53) + 1;
+    EXPECT_EQ(json::Parse("9007199254740993").AsU64(), odd);
+    EXPECT_NE(static_cast<std::uint64_t>(
+                  json::Parse("9007199254740993").AsNumber()),
+              odd)
+        << "double path should round — exactness must come from AsU64";
+    EXPECT_EQ(json::Parse("18446744073709551615").AsU64(), ~0ULL);
+    EXPECT_EQ(json::Parse("-9007199254740993").AsI64(),
+              -static_cast<std::int64_t>(odd));
+    EXPECT_EQ(json::Parse("-9223372036854775808").AsI64(),
+              std::numeric_limits<std::int64_t>::min());
+
+    const json::Value obj = json::Parse("{\"n\": 9007199254740993}");
+    EXPECT_EQ(obj.U64Or("n", 0), odd);
+    EXPECT_EQ(obj.U64Or("missing", 5), 5U);
+}
+
+TEST(Json, InexactIntegerConversionsThrowTyped) {
+    // Negative and overflowing values have no u64/i64 representation.
+    EXPECT_THROW(json::Parse("-1").AsU64(), std::invalid_argument);
+    EXPECT_THROW(json::Parse("18446744073709551616").AsU64(),
+                 std::invalid_argument);
+    EXPECT_THROW(json::Parse("9223372036854775808").AsI64(),
+                 std::invalid_argument);
+    // A fractional or huge float token has no exact integer value either.
+    EXPECT_THROW(json::Parse("1.5").AsU64(), std::invalid_argument);
+    EXPECT_THROW(json::Parse("1e300").AsU64(), std::invalid_argument);
+    // Float *syntax* with an integral value stays usable (9e2 has an exact
+    // double representation well inside 2^53).
+    EXPECT_EQ(json::Parse("9e2").AsU64(), 900U);
 }
 
 }  // namespace

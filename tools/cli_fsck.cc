@@ -8,7 +8,14 @@
  *   2. logical — every persist version the manifest records is located
  *      (versioned shard key `<key>@<iter>` at its physical iteration —
  *      dedup refs resolved — plain key, or `gen/<iter>/<key>` twin) and its
- *      bytes re-hashed against the recorded CRC;
+ *      bytes re-hashed against the recorded CRC. A *delta* version
+ *      (`<key>@<iter>.delta`, storage/delta_codec.h) is intact only when
+ *      its physical record matches its recorded delta CRC AND every link
+ *      below it — base versions down to a full write — is intact: a
+ *      damaged or missing base breaks the whole dependent chain, and each
+ *      dependent is reported as a broken chain link so the operator can
+ *      tell "this file rotted" from "this file is fine but
+ *      unreconstructable";
  *   3. restartability — per sealed generation, checks that the extra state
  *      and every non-expert shard are intact at exactly that iteration and
  *      every expert shard at some iteration at or below it (PEC carries
@@ -52,6 +59,7 @@
 #include "cli_lib.h"
 #include "core/moc_system.h"
 #include "obs/export.h"
+#include "storage/delta_codec.h"
 #include "storage/file_store.h"
 #include "storage/manifest.h"
 #include "storage/store_error.h"
@@ -97,10 +105,50 @@ ScrubFiles(const FileStore& store) {
     return health;
 }
 
-/** True when an intact copy of (@p key, @p version) exists on disk. */
+/** Depth guard for ref/delta chain walks (matches cluster_recovery). */
+constexpr std::size_t kMaxChainDepth = 64;
+
+/** True when the delta *record* of @p version is on disk and CRC-matches
+    its recorded physical identity (says nothing about the chain below). */
+bool
+DeltaRecordIntact(const std::map<std::string, FileHealth>& files,
+                  const std::string& key, const PersistVersion& version) {
+    const auto it = files.find(DeltaShardKey(key, version.iteration));
+    return it != files.end() && it->second.readable &&
+           it->second.bytes == version.delta_bytes &&
+           it->second.crc == version.delta_crc;
+}
+
+/**
+ * True when (@p key, @p version) is reconstructable from disk: full
+ * versions need an intact copy of their blob; dedup refs resolve to the
+ * referenced version; delta versions need their own record intact AND the
+ * whole chain below them intact, down to a full write.
+ */
 bool
 VersionIntact(const std::map<std::string, FileHealth>& files,
-              const std::string& key, const PersistVersion& version) {
+              const CheckpointManifest& manifest, const std::string& key,
+              const PersistVersion& version, std::size_t depth = 0) {
+    if (depth >= kMaxChainDepth) {
+        return false;
+    }
+    if (version.is_delta()) {
+        if (!DeltaRecordIntact(files, key, version)) {
+            return false;
+        }
+        const auto base = manifest.FindPersistVersion(key, *version.delta_base);
+        return base.has_value() &&
+               VersionIntact(files, manifest, key, *base, depth + 1);
+    }
+    if (version.ref.has_value()) {
+        // A ref may point at a delta version (content unchanged since a
+        // delta write): resolve through the manifest so the chain below it
+        // is verified too, not just the record's file.
+        const auto base = manifest.FindPersistVersion(key, *version.ref);
+        if (base.has_value() && base->is_delta()) {
+            return VersionIntact(files, manifest, key, *base, depth + 1);
+        }
+    }
     // Dedup-by-reference versions wrote no bytes of their own: the physical
     // blob lives at the referenced iteration (PhysicalIteration).
     const std::string candidates[] = {
@@ -133,6 +181,11 @@ IsExpertKey(const std::string& key) {
 struct MissingVersion {
     std::string key;
     std::size_t iteration = 0;
+    /** The version's own record is fine; a base below it in its delta
+        chain is damaged or missing, so it cannot be reconstructed. */
+    bool chain_break = false;
+    /** Base iteration of the first broken link (chain breaks only). */
+    std::size_t base = 0;
 };
 
 /** The rank a `rank<r>/...` shard key belongs to, or nullopt. */
@@ -243,8 +296,18 @@ RunFsck(const Args& args, std::ostream& out) {
             auto chain = manifest.PersistFallbackChain(
                 key, static_cast<std::size_t>(-1));
             for (const auto& version : chain) {
-                if (!VersionIntact(files, key, version)) {
-                    missing.push_back({key, version.iteration});
+                if (!VersionIntact(files, manifest, key, version)) {
+                    MissingVersion mv{key, version.iteration, false, 0};
+                    // A delta whose own record is intact failed only
+                    // because of the chain below it: a repairable class of
+                    // its own — re-persisting the base (or a forced full
+                    // write) brings every dependent back.
+                    if (version.is_delta() &&
+                        DeltaRecordIntact(files, key, version)) {
+                        mv.chain_break = true;
+                        mv.base = *version.delta_base;
+                    }
+                    missing.push_back(std::move(mv));
                 }
             }
             chains.emplace(key, std::move(chain));
@@ -346,8 +409,14 @@ RunFsck(const Args& args, std::ostream& out) {
             << ")\n";
     }
     for (const auto& mv : missing) {
-        out << "  missing version: " << mv.key << " @" << mv.iteration
-            << "\n";
+        if (mv.chain_break) {
+            out << "  broken delta chain: " << mv.key << " @" << mv.iteration
+                << " (record intact; base @" << mv.base
+                << " unreconstructable)\n";
+        } else {
+            out << "  missing version: " << mv.key << " @" << mv.iteration
+                << "\n";
+        }
     }
     for (const auto iteration : torn) {
         out << "  torn generation: " << iteration
@@ -415,6 +484,19 @@ RunFsck(const Args& args, std::ostream& out) {
             j << (i == 0 ? "" : ", ") << "{\"key\": \""
               << obs::JsonEscape(missing[i].key)
               << "\", \"iteration\": " << missing[i].iteration << "}";
+        }
+        j << "],\n  \"delta_chain_breaks\": [";
+        {
+            std::size_t emitted = 0;
+            for (const auto& mv : missing) {
+                if (!mv.chain_break) {
+                    continue;
+                }
+                j << (emitted++ == 0 ? "" : ", ") << "{\"key\": \""
+                  << obs::JsonEscape(mv.key)
+                  << "\", \"iteration\": " << mv.iteration
+                  << ", \"base\": " << mv.base << "}";
+            }
         }
         j << "],\n  \"torn_generations\": [";
         for (std::size_t i = 0; i < torn.size(); ++i) {

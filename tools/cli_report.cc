@@ -95,7 +95,9 @@ struct MetricsDump {
 
 std::uint64_t
 AsU64(const json::Value& v) {
-    return static_cast<std::uint64_t>(v.AsNumber());
+    // Counters are serialized as integer tokens; take the exact 64-bit
+    // path so byte totals past 2^53 don't round through a double.
+    return v.AsU64();
 }
 
 MetricsDump
@@ -560,6 +562,20 @@ RunReport(const Args& args, std::ostream& out) {
                 << " storage_fault event(s) in the journal\n";
         }
     }
+    // Delta-encoding effectiveness (cluster.delta.*, docs/OBSERVABILITY.md):
+    // how much of the persist traffic the changed-chunk path absorbed.
+    const double delta_shards = dump.Counter("cluster.delta.shards");
+    const double delta_bytes_written =
+        dump.Counter("cluster.delta.bytes_written");
+    const double delta_bytes_saved = dump.Counter("cluster.delta.bytes_saved");
+    const double delta_forced_full = dump.Counter("cluster.delta.forced_full");
+    if (delta_shards > 0.0 || delta_forced_full > 0.0) {
+        out << "delta encoding: " << Table::Num(delta_shards, 0)
+            << " shard(s) as deltas, " << Table::Num(delta_bytes_written, 0)
+            << " bytes written, " << Table::Num(delta_bytes_saved, 0)
+            << " bytes saved, " << Table::Num(delta_forced_full, 0)
+            << " forced full write(s)\n";
+    }
 
     // -- observability health ------------------------------------------------
     // Dropped trace/journal records mean the exports this report reads are
@@ -794,7 +810,13 @@ RunReport(const Args& args, std::ostream& out) {
             << ", \"degraded_keys\": " << obs::JsonNumber(degraded_keys)
             << ", \"generation_fallbacks\": "
             << obs::JsonNumber(generation_fallbacks)
-            << ", \"storage_fault_events\": " << storage_fault_events << "},\n"
+            << ", \"storage_fault_events\": " << storage_fault_events
+            << ", \"delta_shards\": " << obs::JsonNumber(delta_shards)
+            << ", \"delta_bytes_written\": "
+            << obs::JsonNumber(delta_bytes_written)
+            << ", \"delta_bytes_saved\": " << obs::JsonNumber(delta_bytes_saved)
+            << ", \"delta_forced_full\": "
+            << obs::JsonNumber(delta_forced_full) << "},\n"
             << " \"events\": {\"total\": " << events.size()
             << ", \"recoveries\": " << recoveries.size()
             << ", \"dynamic_k_bumps\": " << bumps
