@@ -41,6 +41,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -56,8 +57,10 @@
 #include "net/telemetry.h"
 #include "obs/cluster_view.h"
 #include "obs/export.h"
+#include "obs/http_endpoint.h"
 #include "obs/journal.h"
 #include "obs/run_meta.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "storage/file_store.h"
 #include "storage/resilient_store.h"
@@ -199,12 +202,87 @@ AwaitPortFile(const std::string& path, Seconds timeout_s) {
     return 0;
 }
 
+/** Live-endpoint wiring shared by both coordinator variants. */
+struct LiveEndpointConfig {
+    int port = -1;          ///< -1 = disabled; 0 = bind an ephemeral port
+    std::string port_file;  ///< published atomically, like the transport's
+    double linger_s = 0.0;  ///< keep serving this long after the run ends
+};
+
+/**
+ * Binds the embedded scrape server (obs/http_endpoint.h) when asked, prints
+ * the URL for humans, and publishes the port for CI — before the ranks
+ * join, so a scraper can watch the whole run including admission.
+ */
+std::unique_ptr<obs::HttpEndpoint>
+StartLiveEndpoint(const LiveEndpointConfig& cfg) {
+    if (cfg.port < 0) {
+        return nullptr;
+    }
+    obs::HttpOptions opts;
+    opts.port = static_cast<std::uint16_t>(cfg.port);
+    auto endpoint = std::make_unique<obs::HttpEndpoint>(opts);
+    endpoint->Start();
+    std::printf("live endpoint: http://127.0.0.1:%u\n", endpoint->port());
+    std::fflush(stdout);
+    if (!cfg.port_file.empty()) {
+        WritePortFile(cfg.port_file, endpoint->port());
+    }
+    return endpoint;
+}
+
+/**
+ * One /series point per barrier: the generic capture plus the
+ * coordinator's authoritative byte totals from the barrier reports.
+ */
+void
+SampleBarrier(std::size_t event, double wait_s, std::uint64_t bytes_total,
+              std::uint64_t bytes_saved) {
+    obs::IterationPoint point = obs::CapturePoint(event, wait_s);
+    point.bytes_persisted = bytes_total;
+    point.bytes_saved = bytes_saved;
+    obs::TimeSeriesRing::Instance().Append(point);
+}
+
+/** Folds one barrier's shard reports into the cumulative byte totals. */
+void
+AccumulateBarrierBytes(const BarrierResult& barrier,
+                       std::uint64_t& bytes_total,
+                       std::uint64_t& bytes_saved) {
+    for (const auto& done : barrier.reports) {
+        for (const auto& shard : done.reports) {
+            if (shard.deduped) {
+                bytes_saved += shard.bytes;
+            } else {
+                bytes_total += shard.bytes;
+            }
+        }
+    }
+}
+
+/**
+ * Holds the endpoint open after the run so a scraper (or the CI gauntlet)
+ * can read the post-mortem /healthz and compare /metrics against the
+ * teardown export. The transport is already shut down by now; only the
+ * scrape threads are still breathing.
+ */
+void
+LingerLiveEndpoint(const obs::HttpEndpoint* endpoint, double linger_s) {
+    if (endpoint == nullptr || linger_s <= 0.0) {
+        return;
+    }
+    std::printf("live endpoint: lingering %.1fs for scrapers\n", linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+}
+
 int
 RunCoordinator(std::size_t ranks, std::size_t events,
                const std::string& ckpt_dir, const std::string& port_file,
                const net::SocketOptions& net_opts, Seconds join_timeout_s,
-               Seconds barrier_deadline_s) {
+               Seconds barrier_deadline_s, const LiveEndpointConfig& live) {
     FileStore store(ckpt_dir);
+    const auto endpoint = StartLiveEndpoint(live);
     auto transport =
         net::SocketTransport::Listen(0, net::kCoordinatorPeer, net_opts);
     WritePortFile(port_file, transport->port());
@@ -249,6 +327,8 @@ RunCoordinator(std::size_t ranks, std::size_t events,
     };
 
     Table t({"generation", "sealed", "reports", "dead", "wait (s)"});
+    std::uint64_t bytes_total = 0;
+    std::uint64_t bytes_saved = 0;
     bool death = false;
     for (std::size_t event = 1; event <= events && !death; ++event) {
         obs::TraceContext ctx;
@@ -267,6 +347,9 @@ RunCoordinator(std::size_t ranks, std::size_t events,
         RecordReports(manifest, barrier);
         const bool sealed = SealIfComplete(manifest, event, barrier);
         write_manifest();
+        AccumulateBarrierBytes(barrier, bytes_total, bytes_saved);
+        SampleBarrier(event, clock.Now() - wait_start, bytes_total,
+                      bytes_saved);
         t.AddRow({std::to_string(event), sealed ? "yes" : "no",
                   std::to_string(barrier.reports.size()),
                   std::to_string(barrier.dead.size()),
@@ -327,6 +410,7 @@ RunCoordinator(std::size_t ranks, std::size_t events,
     const bool ok = restored.damaged.empty() && plan->missing.empty() &&
                     restored.shards_restored > 0;
     std::printf("gauntlet: %s\n", ok ? "OK" : "FAILED");
+    LingerLiveEndpoint(endpoint.get(), live.linger_s);
     return ok ? 0 : 1;
 }
 
@@ -346,8 +430,10 @@ RunElasticCoordinator(std::size_t ranks, std::size_t events,
                       const std::string& ckpt_dir,
                       const std::string& port_file,
                       const net::SocketOptions& net_opts,
-                      Seconds join_timeout_s, Seconds barrier_deadline_s) {
+                      Seconds join_timeout_s, Seconds barrier_deadline_s,
+                      const LiveEndpointConfig& live_cfg) {
     FileStore store(ckpt_dir);
+    const auto endpoint = StartLiveEndpoint(live_cfg);
     auto transport =
         net::SocketTransport::Listen(0, net::kCoordinatorPeer, net_opts);
     WritePortFile(port_file, transport->port());
@@ -473,6 +559,8 @@ RunElasticCoordinator(std::size_t ranks, std::size_t events,
     }
 
     Table t({"generation", "sealed", "reports", "dead", "live", "wait (s)"});
+    std::uint64_t bytes_total = 0;
+    std::uint64_t bytes_saved = 0;
     bool sealed_after_rejoin = false;
     for (std::size_t event = 1; event <= events; ++event) {
         const std::vector<std::size_t> live = membership.LiveRanks();
@@ -541,6 +629,9 @@ RunElasticCoordinator(std::size_t ranks, std::size_t events,
         }
         write_manifest();
         write_membership();
+        AccumulateBarrierBytes(barrier, bytes_total, bytes_saved);
+        SampleBarrier(event, clock.Now() - wait_start, bytes_total,
+                      bytes_saved);
         t.AddRow({std::to_string(event), sealed ? "yes" : "no",
                   std::to_string(barrier.reports.size()),
                   std::to_string(barrier.dead.size()),
@@ -611,6 +702,7 @@ RunElasticCoordinator(std::size_t ranks, std::size_t events,
     const bool ok = restored.damaged.empty() && plan->missing.empty() &&
                     restored.shards_restored > 0;
     std::printf("gauntlet: %s\n", ok ? "OK" : "FAILED");
+    LingerLiveEndpoint(endpoint.get(), live_cfg.linger_s);
     return ok ? 0 : 1;
 }
 
@@ -724,6 +816,7 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         const obs::TraceSpan span("gauntlet.persist", "cluster");
         obs::SetRankActivity("persist", ctx.generation, begin->iteration);
         telemetry.PublishNow();
+        const std::int64_t persist_start_ns = obs::Tracer::NowNs();
 
         // Elastic begins carry the placement the coordinator solved for
         // this generation; the shard list follows it, not the static plan.
@@ -778,6 +871,12 @@ RunRank(std::size_t rank, std::size_t ranks, const std::string& ckpt_dir,
         participant.SendDone(begin->iteration, std::move(reports), ok, ctx);
         obs::SetRankActivity("", ctx.generation, begin->iteration);
         telemetry.PublishNow();
+        // Rank-side trajectory: one point per generation, so a rank's
+        // --series-out artifact carries its own persist timings.
+        obs::SampleIteration(
+            event, static_cast<double>(obs::Tracer::NowNs() -
+                                       persist_start_ns) /
+                       1e9);
         // Re-export after every generation: a rank SIGKILL'd next gen
         // still leaves artifacts for the launcher's cluster merge.
         obs::ExportObs(obs_options);
@@ -812,6 +911,14 @@ main(int argc, char** argv) {
     // doubles as the incarnation counter in the join handshake.
     const std::size_t respawned = FlagSize(argc, argv, "respawned", 0);
 
+    // The live scrape endpoint (coordinator only; docs/OBSERVABILITY.md).
+    LiveEndpointConfig live;
+    live.port = static_cast<int>(FlagDouble(argc, argv, "http-port", -1.0));
+    const std::string default_http_file = ckpt_dir + ".http";
+    live.port_file =
+        FlagStr(argc, argv, "http-port-file", default_http_file.c_str());
+    live.linger_s = FlagDouble(argc, argv, "linger-s", 0.0);
+
     net::SocketOptions net_opts;
     net_opts.heartbeat.interval_s =
         FlagDouble(argc, argv, "hb-interval-s", 0.05);
@@ -824,6 +931,7 @@ main(int argc, char** argv) {
             "    [--hb-interval-s S] [--hb-miss N] [--barrier-deadline-s S]\n"
             "    [--join-timeout-s S] [--fault SPEC]...\n"
             "    [--ballast-rank R --ballast-ms M] [--elastic 1]\n"
+            "    [--http-port P] [--http-port-file F] [--linger-s S]\n"
             "  fault SPEC: kill|stop|respawn:rank=R:event=E"
             "[:phase=persist|barrier][:after=N]\n"
             "  elastic: membership-driven barriers — deaths evict + replan\n"
@@ -832,6 +940,10 @@ main(int argc, char** argv) {
             "  --respawn N re-forks signal-killed ranks)\n"
             "  ballast: rank R sleeps M ms between shard writes — a\n"
             "  deliberate straggler for the cluster plane to flag\n"
+            "  http-port: coordinator serves /metrics /healthz /ranks\n"
+            "  /series live on 127.0.0.1 (0 = ephemeral; the bound port is\n"
+            "  printed and published to http-port-file); linger-s keeps the\n"
+            "  endpoint up that long after the run for scrapers\n"
             "(normally launched as a fleet by tools/moc_launcher)\n");
         return 2;
     }
@@ -855,11 +967,11 @@ main(int argc, char** argv) {
             return elastic ? RunElasticCoordinator(ranks, events, ckpt_dir,
                                                    port_file, net_opts,
                                                    join_timeout_s,
-                                                   barrier_deadline_s)
+                                                   barrier_deadline_s, live)
                            : RunCoordinator(ranks, events, ckpt_dir,
                                             port_file, net_opts,
                                             join_timeout_s,
-                                            barrier_deadline_s);
+                                            barrier_deadline_s, live);
         }
         return RunRank(rank, ranks, ckpt_dir, port_file, net_opts,
                        join_timeout_s, FlagFaults(argc, argv), ballast_ms,

@@ -21,6 +21,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -33,8 +34,10 @@
 #include "storage/store_error.h"
 #include "util/table.h"
 #include "obs/export.h"
+#include "obs/http_endpoint.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 using namespace moc;
 
@@ -80,6 +83,7 @@ main(int argc, char** argv) {
     std::string ckpt_dir;
     bool restore_only = false;
     bool storage_faults = false;
+    int http_port = -1;  // -1 = no live endpoint; 0 = ephemeral
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--ckpt-dir") == 0 && i + 1 < argc) {
             ckpt_dir = argv[++i];
@@ -87,6 +91,8 @@ main(int argc, char** argv) {
             restore_only = true;
         } else if (std::strcmp(argv[i], "--storage-faults") == 0) {
             storage_faults = true;
+        } else if (std::strcmp(argv[i], "--http-port") == 0 && i + 1 < argc) {
+            http_port = std::atoi(argv[++i]);
         }
     }
     CorpusConfig corpus_cfg;
@@ -133,6 +139,20 @@ main(int argc, char** argv) {
     // reference run accumulated.
     obs::MetricsRegistry::Instance().ResetAll();
     obs::EventJournal::Instance().Clear();
+    obs::TimeSeriesRing::Instance().Reset();
+
+    // The live scrape surface: /metrics, /healthz, /ranks, /series while
+    // the faulty run trains (docs/OBSERVABILITY.md, "Live endpoint").
+    std::unique_ptr<obs::HttpEndpoint> endpoint;
+    if (http_port >= 0) {
+        obs::HttpOptions http_opts;
+        http_opts.port = static_cast<std::uint16_t>(http_port);
+        endpoint = std::make_unique<obs::HttpEndpoint>(http_opts);
+        endpoint->Start();
+        std::printf("live endpoint: http://127.0.0.1:%u\n",
+                    endpoint->port());
+        std::fflush(stdout);
+    }
 
     // The faulty run optionally persists to disk, through a fault injector.
     std::unique_ptr<FileStore> disk;

@@ -514,6 +514,11 @@ MocCheckpointSystem::Checkpoint(std::size_t iteration, const ExtraState& extra) 
     WriteManifestBlob();
     ledger_.RecordCheckpointEvent(iteration);
     ++ckpt_count_;
+    // The live time-series ring (obs/timeseries.h) reads this gauge each
+    // iteration; recovery.plt only updates on an actual recovery.
+    static obs::Gauge& plt_gauge =
+        obs::MetricsRegistry::Instance().GetGauge("ckpt.plt");
+    plt_gauge.Set(ledger_.Plt());
     obs::EventJournal::Instance().Append(
         {.kind = obs::EventKind::kCkptEnd,
          .iteration = iteration,

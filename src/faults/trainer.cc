@@ -5,6 +5,7 @@
 
 #include "obs/expert_stats.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -39,6 +40,8 @@ RecordIterationMetrics(std::size_t iteration, Seconds duration) {
     // Anchor the staleness matrix to training progress, not just the last
     // checkpoint, so exports mid-interval read correctly.
     obs::ExpertStatsRegistry::Instance().SetIteration(iteration);
+    // Feed the live trajectory ring the HTTP endpoint serves as /series.
+    obs::SampleIteration(iteration, duration);
 }
 
 /** Monotonic wall seconds for iteration timing. */

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/run_meta.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -200,6 +201,8 @@ ExtractObsOptions(std::vector<std::string>& tokens) {
             slot = &options.events_out;
         } else if (tok == "--prom-out") {
             slot = &options.prom_out;
+        } else if (tok == "--series-out") {
+            slot = &options.series_out;
         }
         if (slot != nullptr) {
             if (i + 1 >= tokens.size()) {
@@ -232,6 +235,12 @@ ExportObs(const ObsOptions& options) {
     if (!options.prom_out.empty()) {
         ok = WriteMetricsPrometheus(options.prom_out) && ok;
     }
+    if (!options.series_out.empty()) {
+        ok = WriteTextFile(options.series_out,
+                           TimeSeriesRing::Instance().Jsonl(),
+                           "iteration series JSONL") &&
+             ok;
+    }
     return ok;
 }
 
@@ -248,7 +257,8 @@ ObsExportGuard::ObsExportGuard(int& argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--metrics-out" || arg == "--trace-out" ||
-            arg == "--events-out" || arg == "--prom-out") {
+            arg == "--events-out" || arg == "--prom-out" ||
+            arg == "--series-out") {
             ++i;  // skip the value; ExtractObsOptions guaranteed it exists
             continue;
         }
@@ -272,6 +282,12 @@ ObsExportGuard::~ObsExportGuard() {
         WriteMetricsPrometheus(options_.prom_out)) {
         std::printf("prometheus metrics written to %s\n",
                     options_.prom_out.c_str());
+    }
+    if (!options_.series_out.empty() &&
+        WriteTextFile(options_.series_out, TimeSeriesRing::Instance().Jsonl(),
+                      "iteration series JSONL")) {
+        std::printf("iteration series written to %s\n",
+                    options_.series_out.c_str());
     }
 }
 

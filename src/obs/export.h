@@ -57,12 +57,14 @@ struct ObsOptions {
     std::string trace_out;
     std::string events_out;
     std::string prom_out;
+    /** Per-iteration time-series ring as JSONL (obs/timeseries.h). */
+    std::string series_out;
 };
 
 /**
  * Removes `--metrics-out <path>` / `--trace-out <path>` / `--events-out
- * <path>` / `--prom-out <path>` from @p tokens and returns them. Enables
- * the tracer when a trace path is given.
+ * <path>` / `--prom-out <path>` / `--series-out <path>` from @p tokens and
+ * returns them. Enables the tracer when a trace path is given.
  * @throws std::invalid_argument on a flag without a value.
  */
 ObsOptions ExtractObsOptions(std::vector<std::string>& tokens);

@@ -1,0 +1,152 @@
+#ifndef MOC_OBS_HTTP_ENDPOINT_H_
+#define MOC_OBS_HTTP_ENDPOINT_H_
+
+/**
+ * @file
+ * The live observability endpoint: a minimal, dependency-free HTTP/1.1 GET
+ * server over loopback TCP, serving the same exports the teardown
+ * artifacts carry — while the run is still running.
+ *
+ * Routes:
+ *   GET /metrics   Prometheus text format (obs/prometheus.h), including
+ *                  the coordinator-side per-rank cluster-health gauges
+ *   GET /healthz   run liveness + membership summary as JSON; HTTP 200
+ *                  while every rank heard from is alive, 503 the moment
+ *                  the cluster view holds a dead or suspect rank
+ *   GET /ranks     the ClusterAggregator health table as `moc-ranks/1`
+ *   GET /series    the per-iteration time-series ring (obs/timeseries.h)
+ *                  as a `moc-series/1` window; `?last=N` bounds it
+ *
+ * Threading model is shed-never-block, like the telemetry publisher
+ * (net/telemetry.h): an accept thread takes connections off the listener
+ * and hands them to one worker over a bounded queue; when the queue is
+ * full the acceptor answers 503 and closes immediately
+ * (`obs.http.shed`). The worker gives each connection a fixed request
+ * budget (read deadline + max request bytes) so a slow or hostile client
+ * can only ever cost one bounded slot, never a stall of the training or
+ * persist path — the endpoint runs entirely on its own threads and shares
+ * no state with the rank transport (docs/TRANSPORT.md).
+ *
+ * Counters: `obs.http.requests` (answered, any status), `obs.http.errors`
+ * (non-2xx answered), `obs.http.shed` (connections dropped at the door).
+ *
+ * HttpGet()/ParseHttpUrl() are the matching minimal client, used by
+ * `moc_cli watch` and the round-trip tests.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace moc::obs {
+
+/** Live-endpoint knobs. */
+struct HttpOptions {
+    /** Port to bind on 127.0.0.1 (0 = ephemeral; see port()). */
+    std::uint16_t port = 0;
+    /** Per-connection budget to receive the full request line. */
+    double request_timeout_s = 1.0;
+    /** Requests larger than this are answered 400 and closed. */
+    std::size_t max_request_bytes = 4096;
+    /** Accepted-but-unhandled connections beyond this are shed with 503. */
+    std::size_t max_pending = 16;
+};
+
+/** One answered (or to-be-answered) HTTP exchange. */
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/**
+ * The embedded scrape server. Start() binds and spawns the accept + worker
+ * threads; Stop() (or the destructor) joins them. Thread-safe.
+ */
+class HttpEndpoint {
+  public:
+    /** Handler for one GET: (path, raw query string) -> response. */
+    using Handler =
+        std::function<HttpResponse(const std::string& path,
+                                   const std::string& query)>;
+
+    explicit HttpEndpoint(const HttpOptions& options = {});
+    ~HttpEndpoint();
+
+    HttpEndpoint(const HttpEndpoint&) = delete;
+    HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+    /**
+     * Binds 127.0.0.1 and starts serving the default routes.
+     * @throws std::runtime_error when the socket cannot be bound.
+     */
+    void Start();
+
+    /** Stops serving and joins the threads (idempotent). */
+    void Stop();
+
+    /** The bound port (meaningful after Start(); 0 before). */
+    std::uint16_t port() const { return port_; }
+
+    /** Registers/overrides a route (exact path match; tests). */
+    void SetRoute(const std::string& path, Handler handler);
+
+  private:
+    void AcceptLoop();
+    void WorkerLoop();
+    /** Reads, dispatches, answers, and closes one connection. */
+    void HandleConnection(int fd);
+    HttpResponse Dispatch(const std::string& method, const std::string& path,
+                          const std::string& query) const;
+
+    const HttpOptions options_;
+    std::atomic<bool> running_{false};
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+    std::thread worker_thread_;
+
+    mutable std::mutex mu_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_;
+    std::map<std::string, Handler> routes_;
+};
+
+/** The built-in route bodies (exposed for unit tests and `watch`). */
+HttpResponse HandleMetrics();
+HttpResponse HandleHealthz();
+HttpResponse HandleRanks();
+HttpResponse HandleSeries(const std::string& query);
+
+/** A fetched page; status 0 never happens (unreachable returns nullopt). */
+struct HttpResult {
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * Minimal HTTP/1.1 GET client against @p host:@p port. Returns nullopt
+ * when the endpoint is unreachable (refused, timeout, malformed status
+ * line) — the `watch` exit-code-2 case.
+ */
+std::optional<HttpResult> HttpGet(const std::string& host, std::uint16_t port,
+                                  const std::string& path,
+                                  double timeout_s = 2.0);
+
+/** `http://host:port[/...]` decomposed; nullopt when not parseable. */
+struct UrlParts {
+    std::string host;
+    std::uint16_t port = 0;
+};
+std::optional<UrlParts> ParseHttpUrl(const std::string& url);
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_HTTP_ENDPOINT_H_

@@ -10,12 +10,10 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/run_meta.h"
+#include "obs/timeseries.h"
 
 namespace moc::obs {
 
-namespace {
-
-/** Label-value escaping per the exposition format: \\, \", \n. */
 std::string
 PromEscapeLabel(const std::string& s) {
     std::string out;
@@ -30,6 +28,8 @@ PromEscapeLabel(const std::string& s) {
     }
     return out;
 }
+
+namespace {
 
 void
 EmitExpertGauge(std::ostringstream& out, const char* name,
@@ -136,6 +136,32 @@ MetricsPrometheus() {
             out << "moc_rank_straggler{rank=\"" << row.rank << "\"} "
                 << (row.straggler ? 1 : 0) << "\n";
         }
+        // Death causes are transport-declared strings from another
+        // process; escape them like every other foreign label value.
+        out << "# TYPE moc_rank_death_cause gauge\n";
+        for (const auto& row : health) {
+            out << "moc_rank_death_cause{rank=\"" << row.rank
+                << "\",cause=\""
+                << PromEscapeLabel(row.alive ? "none" : row.death_cause)
+                << "\"} " << (row.alive ? 0 : 1) << "\n";
+        }
+    }
+
+    // Live time-series ring (obs/timeseries.h): enough for a scraper to
+    // track trajectory freshness without parsing the /series JSON.
+    const TimeSeriesRing& ring = TimeSeriesRing::Instance();
+    out << "# TYPE moc_series_total gauge\n"
+        << "moc_series_total " << ring.total() << "\n";
+    const auto last = ring.Window(1);
+    if (!last.empty()) {
+        out << "# TYPE moc_series_last_iteration gauge\n"
+            << "moc_series_last_iteration " << last.back().iteration << "\n"
+            << "# TYPE moc_series_last_iter_seconds gauge\n"
+            << "moc_series_last_iter_seconds "
+            << JsonNumber(last.back().iter_seconds) << "\n"
+            << "# TYPE moc_series_last_live_ranks gauge\n"
+            << "moc_series_last_live_ranks " << last.back().live_ranks
+            << "\n";
     }
     return out.str();
 }

@@ -33,6 +33,14 @@ struct PromSample {
 /** `ckpt.persist_bytes` -> `moc_ckpt_persist_bytes`. */
 std::string PromMetricName(const std::string& name);
 
+/**
+ * Label-value escaping per the exposition format (\\, \", \n). Every
+ * labelled emission in MetricsPrometheus() routes its values through this
+ * — including the cluster-health `moc_rank_*` labels, whose phase and
+ * death-cause strings arrive over the wire from other processes.
+ */
+std::string PromEscapeLabel(const std::string& s);
+
 /** The full registry (and expert grid) in Prometheus text format. */
 std::string MetricsPrometheus();
 

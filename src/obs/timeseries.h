@@ -1,0 +1,112 @@
+#ifndef MOC_OBS_TIMESERIES_H_
+#define MOC_OBS_TIMESERIES_H_
+
+/**
+ * @file
+ * The per-iteration time-series ring behind the live observability
+ * endpoint (obs/http_endpoint.h): one bounded ring of IterationPoint
+ * samples, appended once per training iteration (src/faults/trainer.cc) or
+ * per cluster checkpoint event (examples/cluster_procs), queryable live as
+ * a `moc-series/1` JSON window over `GET /series` and exported as JSONL at
+ * teardown (`--series-out`).
+ *
+ * The ring is the trajectory form of the paper's Eq. 11-13 overhead
+ * accounting: instead of one end-of-run O_save number, every point carries
+ * the iteration's wall time, cumulative bytes persisted, cumulative
+ * dedup + delta savings, the PLT at that instant, and the cluster's
+ * live-rank and straggler counts — enough for `moc_cli watch` to render an
+ * in-flight overhead trajectory while the run is still running.
+ *
+ * Appends are O(1) under one mutex and never allocate past the fixed
+ * capacity (older points fall off; `total()` keeps counting), so sampling
+ * sits on the training path without becoming part of it.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace moc::obs {
+
+/** One iteration's sample on the live trajectory. */
+struct IterationPoint {
+    std::uint64_t iteration = 0;
+    /** Seconds since the process's trace epoch (Tracer clock) at append. */
+    double t_s = 0.0;
+    /** Wall time of this iteration (or barrier wait, cluster-side). */
+    double iter_seconds = 0.0;
+    /** Cumulative bytes persisted so far (counter reading, not a delta). */
+    std::uint64_t bytes_persisted = 0;
+    /** Cumulative bytes NOT written thanks to dedup + delta encoding. */
+    std::uint64_t bytes_saved = 0;
+    /** Proportion of Lost Tokens at this instant (< 0 = unknown). */
+    double plt = -1.0;
+    /** Ranks currently alive in the cluster view (1 = single process). */
+    std::uint64_t live_ranks = 1;
+    /** Ranks currently flagged as stragglers. */
+    std::uint64_t stragglers = 0;
+};
+
+/**
+ * Bounded process-wide ring of IterationPoint samples. Thread-safe: the
+ * training loop appends while the HTTP endpoint's worker reads windows.
+ */
+class TimeSeriesRing {
+  public:
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    static TimeSeriesRing& Instance();
+
+    /** Replaces the capacity (tests); drops oldest points to fit. */
+    void SetCapacity(std::size_t capacity);
+
+    /** Appends one point; the oldest falls off past capacity. */
+    void Append(const IterationPoint& point);
+
+    /**
+     * The most recent @p last_n points, oldest first (0 = everything still
+     * in the ring).
+     */
+    std::vector<IterationPoint> Window(std::size_t last_n = 0) const;
+
+    /** Points ever appended, including ones that fell off. */
+    std::uint64_t total() const;
+
+    /**
+     * The window as one `moc-series/1` JSON object:
+     * {"schema":"moc-series/1","total":T,"points":[{...}...]}.
+     */
+    std::string Json(std::size_t last_n = 0) const;
+
+    /** The window as JSONL, one point object per line (teardown export). */
+    std::string Jsonl() const;
+
+    /** Forgets everything (tests and re-runs). */
+    void Reset();
+
+  private:
+    TimeSeriesRing() = default;
+
+    mutable std::mutex mu_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::deque<IterationPoint> ring_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Builds one point from the live registry and cluster view: cumulative
+ * persist bytes (`ckpt.persist_bytes` + `cluster.bytes_written`), dedup +
+ * delta savings, the `ckpt.plt` gauge, and the ClusterAggregator's
+ * alive/straggler counts. Callers may overwrite fields (the cluster
+ * coordinator injects barrier-report byte totals) before Append().
+ */
+IterationPoint CapturePoint(std::uint64_t iteration, double iter_seconds);
+
+/** CapturePoint + Append on the singleton ring (the trainer hook). */
+void SampleIteration(std::uint64_t iteration, double iter_seconds);
+
+}  // namespace moc::obs
+
+#endif  // MOC_OBS_TIMESERIES_H_

@@ -282,6 +282,61 @@ TEST(ObsQuantile, EmptyAndInvalidInputs) {
     EXPECT_THROW(obs::HistogramQuantile(data, 1.5), std::invalid_argument);
 }
 
+TEST(ObsQuantile, EmptyHistogramIsZeroAtEveryQuantile) {
+    obs::HistogramData empty;
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(empty, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(empty, 1.0), 0.0);
+    // Bounds but no observations is just as empty.
+    obs::HistogramData bounded;
+    bounded.bounds = {1.0, 2.0};
+    bounded.bucket_counts = {0, 0, 0};
+    bounded.count = 0;
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(bounded, 0.5), 0.0);
+}
+
+TEST(ObsQuantile, AllMassInOverflowBucket) {
+    obs::HistogramData data;
+    data.bounds = {1.0, 8.0};
+    data.bucket_counts = {0, 0, 7};  // every observation above the last bound
+    data.count = 7;
+    data.sum = 700.0;
+    // No finite edge to interpolate toward: every quantile clamps to the
+    // last finite bound rather than inventing a value beyond it.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.0), 8.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.5), 8.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 1.0), 8.0);
+}
+
+TEST(ObsQuantile, ExtremeQuantilesBracketTheDistribution) {
+    obs::HistogramData data;
+    data.bounds = {2.0, 4.0};
+    data.bucket_counts = {5, 5, 0};
+    data.count = 10;
+    // q=0 lands at the lower edge of the first populated bucket (0 by the
+    // histogram_quantile convention); q=1 at the upper edge of the last.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 1.0), 4.0);
+    // With the first bucket empty, q=0 starts at that bucket's lower bound.
+    obs::HistogramData shifted;
+    shifted.bounds = {2.0, 4.0};
+    shifted.bucket_counts = {0, 4, 0};
+    shifted.count = 4;
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(shifted, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(shifted, 1.0), 4.0);
+}
+
+TEST(ObsQuantile, SingleBucketInterpolatesLinearly) {
+    obs::HistogramData data;
+    data.bounds = {10.0};
+    data.bucket_counts = {4, 0};
+    data.count = 4;
+    // One finite bucket [0, 10]: rank q*4 interpolates linearly from 0.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.75), 7.5);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 1.0), 10.0);
+}
+
 // ---------- Per-expert telemetry ----------
 
 TEST(ObsExpertStats, TracksStalenessAndAttribution) {

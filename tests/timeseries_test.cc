@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the per-iteration time-series ring (obs/timeseries.h):
+ * bounded capacity, window queries, the `moc-series/1` JSON form, the
+ * JSONL teardown export, and CapturePoint's registry/cluster-view reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/cluster_view.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "util/json.h"
+
+namespace moc {
+namespace {
+
+obs::IterationPoint
+Point(std::uint64_t iteration, double seconds) {
+    obs::IterationPoint p;
+    p.iteration = iteration;
+    p.t_s = static_cast<double>(iteration);
+    p.iter_seconds = seconds;
+    p.bytes_persisted = iteration * 100;
+    p.bytes_saved = iteration * 10;
+    return p;
+}
+
+class TimeSeriesTest : public ::testing::Test {
+  protected:
+    void SetUp() override { obs::TimeSeriesRing::Instance().Reset(); }
+    void TearDown() override { obs::TimeSeriesRing::Instance().Reset(); }
+};
+
+TEST_F(TimeSeriesTest, BoundedCapacityDropsOldestButKeepsTotal) {
+    auto& ring = obs::TimeSeriesRing::Instance();
+    ring.SetCapacity(3);
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        ring.Append(Point(i, 0.1));
+    }
+    EXPECT_EQ(ring.total(), 5u);
+    const auto window = ring.Window();
+    ASSERT_EQ(window.size(), 3u);
+    EXPECT_EQ(window.front().iteration, 3u);  // 1 and 2 fell off
+    EXPECT_EQ(window.back().iteration, 5u);
+}
+
+TEST_F(TimeSeriesTest, WindowReturnsLastNOldestFirst) {
+    auto& ring = obs::TimeSeriesRing::Instance();
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        ring.Append(Point(i, 0.1));
+    }
+    const auto last3 = ring.Window(3);
+    ASSERT_EQ(last3.size(), 3u);
+    EXPECT_EQ(last3[0].iteration, 8u);
+    EXPECT_EQ(last3[2].iteration, 10u);
+    // Asking past the ring clamps to everything in it.
+    EXPECT_EQ(ring.Window(100).size(), 10u);
+    EXPECT_EQ(ring.Window(0).size(), 10u);
+}
+
+TEST_F(TimeSeriesTest, JsonWindowParsesAsMocSeries1) {
+    auto& ring = obs::TimeSeriesRing::Instance();
+    ring.Append(Point(1, 0.5));
+    ring.Append(Point(2, 0.25));
+    const json::Value doc = json::Parse(ring.Json());
+    EXPECT_EQ(doc.At("schema").AsString(), "moc-series/1");
+    EXPECT_EQ(doc.At("total").AsU64(), 2u);
+    const json::Array& points = doc.At("points").AsArray();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].At("iteration").AsU64(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].At("iter_seconds").AsNumber(), 0.5);
+    EXPECT_EQ(points[0].At("bytes_persisted").AsU64(), 100u);
+    EXPECT_EQ(points[0].At("bytes_saved").AsU64(), 10u);
+    EXPECT_EQ(points[1].At("iteration").AsU64(), 2u);
+    // ?last=1 narrows the window but total still counts everything.
+    const json::Value narrowed = json::Parse(ring.Json(1));
+    EXPECT_EQ(narrowed.At("total").AsU64(), 2u);
+    ASSERT_EQ(narrowed.At("points").AsArray().size(), 1u);
+    EXPECT_EQ(narrowed.At("points").AsArray()[0].At("iteration").AsU64(), 2u);
+}
+
+TEST_F(TimeSeriesTest, JsonlEmitsOneParseableObjectPerLine) {
+    auto& ring = obs::TimeSeriesRing::Instance();
+    ring.Append(Point(1, 0.5));
+    ring.Append(Point(2, 0.25));
+    std::istringstream lines(ring.Jsonl());
+    std::string line;
+    std::size_t parsed = 0;
+    while (std::getline(lines, line)) {
+        const json::Value p = json::Parse(line);
+        ++parsed;
+        EXPECT_EQ(p.At("iteration").AsU64(), parsed);
+    }
+    EXPECT_EQ(parsed, 2u);
+}
+
+TEST_F(TimeSeriesTest, CapturePointReadsRegistryAndClusterView) {
+    obs::ClusterAggregator::Instance().Reset();
+    auto& registry = obs::MetricsRegistry::Instance();
+    registry.ResetAll();
+    registry.GetCounter("ckpt.persist_bytes").Add(500);
+    registry.GetCounter("cluster.bytes_written").Add(200);
+    registry.GetCounter("cluster.bytes_deduped").Add(40);
+    registry.GetCounter("cluster.delta.bytes_saved").Add(2);
+
+    obs::IterationPoint point = obs::CapturePoint(7, 0.125);
+    EXPECT_EQ(point.iteration, 7u);
+    EXPECT_DOUBLE_EQ(point.iter_seconds, 0.125);
+    EXPECT_EQ(point.bytes_persisted, 700u);
+    EXPECT_EQ(point.bytes_saved, 42u);
+    // No checkpoint has computed a ledger PLT yet: unknown, not perfect.
+    EXPECT_LT(point.plt, 0.0);
+    // No cluster rows = a single-process run counts itself alive.
+    EXPECT_EQ(point.live_ranks, 1u);
+    EXPECT_EQ(point.stragglers, 0u);
+
+    registry.GetGauge("ckpt.plt").Set(0.0625);
+    obs::TelemetrySample sample;
+    sample.rank = 0;
+    obs::ClusterAggregator::Instance().Observe(sample, 0);
+    sample.rank = 1;
+    obs::ClusterAggregator::Instance().Observe(sample, 0);
+    obs::ClusterAggregator::Instance().ObservePeerDeath(1, "eof");
+    point = obs::CapturePoint(8, 0.1);
+    EXPECT_DOUBLE_EQ(point.plt, 0.0625);
+    EXPECT_EQ(point.live_ranks, 1u);  // rank 1 is dead
+
+    obs::ClusterAggregator::Instance().Reset();
+    registry.ResetAll();
+}
+
+TEST_F(TimeSeriesTest, SampleIterationAppendsAndCountsPoints) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    const std::uint64_t before =
+        registry.GetCounter("obs.series.points").value();
+    obs::SampleIteration(1, 0.01);
+    obs::SampleIteration(2, 0.02);
+    EXPECT_EQ(obs::TimeSeriesRing::Instance().total(), 2u);
+    EXPECT_EQ(registry.GetCounter("obs.series.points").value(), before + 2);
+}
+
+TEST_F(TimeSeriesTest, SeriesOutWritesJsonlAtExport) {
+    auto& ring = obs::TimeSeriesRing::Instance();
+    ring.Append(Point(1, 0.5));
+    const std::string path =
+        ::testing::TempDir() + "moc_series_export_test.jsonl";
+    std::vector<std::string> tokens = {"--series-out", path};
+    const obs::ObsOptions options = obs::ExtractObsOptions(tokens);
+    EXPECT_TRUE(tokens.empty());
+    EXPECT_EQ(options.series_out, path);
+    EXPECT_TRUE(obs::ExportObs(options));
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(json::Parse(line).At("iteration").AsU64(), 1u);
+}
+
+}  // namespace
+}  // namespace moc

@@ -1,5 +1,6 @@
 #include "cli_lib.h"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
 
@@ -190,6 +191,34 @@ RunTraceCheck(const Args& args, std::ostream& out) {
     }
 }
 
+namespace {
+
+/**
+ * Lets `watch`'s boolean flags be written bare (`--once`, `--watch-json`)
+ * by inserting the implied "1" value where the next token is another
+ * option or the end — ParseArgs itself demands `--flag value` pairs.
+ */
+std::vector<std::string>
+ExpandBoolFlags(std::vector<std::string> tokens,
+                const std::vector<std::string>& bool_flags) {
+    std::vector<std::string> expanded;
+    expanded.reserve(tokens.size() + bool_flags.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        expanded.push_back(tokens[i]);
+        const bool boolean =
+            std::find(bool_flags.begin(), bool_flags.end(), tokens[i]) !=
+            bool_flags.end();
+        const bool bare = i + 1 >= tokens.size() ||
+                          tokens[i + 1].rfind("--", 0) == 0;
+        if (boolean && bare) {
+            expanded.emplace_back("1");
+        }
+    }
+    return expanded;
+}
+
+}  // namespace
+
 int
 Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& err) {
     try {
@@ -197,14 +226,20 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
         const obs::ObsOptions obs_options = obs::ExtractObsOptions(remaining);
         if (remaining.empty()) {
             err << "usage: moc_cli "
-                   "<inspect|plan|simulate|trace-check|report|fsck|trace> "
-                   "[args]\n"
+                   "<inspect|plan|simulate|trace-check|report|fsck|trace"
+                   "|watch> [args]\n"
                    "       [--metrics-out <json>] [--trace-out <chrome-trace>]\n"
-                   "       [--events-out <jsonl>] [--prom-out <prom-text>]\n";
+                   "       [--events-out <jsonl>] [--prom-out <prom-text>]\n"
+                   "       [--series-out <jsonl>]\n";
             return 2;
         }
         const std::string command = remaining.front();
-        const Args args = ParseArgs({remaining.begin() + 1, remaining.end()});
+        std::vector<std::string> rest(remaining.begin() + 1, remaining.end());
+        if (command == "watch") {
+            rest = ExpandBoolFlags(std::move(rest),
+                                   {"--once", "--watch-json"});
+        }
+        const Args args = ParseArgs(rest);
         int code = 2;
         if (command == "inspect") {
             code = RunInspect(args, out);
@@ -220,6 +255,8 @@ Main(const std::vector<std::string>& tokens, std::ostream& out, std::ostream& er
             code = RunFsck(args, out);
         } else if (command == "trace") {
             code = RunTrace(args, out);
+        } else if (command == "watch") {
+            code = RunWatch(args, out);
         } else {
             err << "unknown subcommand: " << command << "\n";
             return 2;

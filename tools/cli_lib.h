@@ -38,6 +38,13 @@
  *                                      events (see tools/cli_trace.cc).
  *                                      --trace/--events repeat for merged
  *                                      cross-process analysis
+ *   watch --url http://HOST:PORT [--once] [--watch-json]
+ *                                      poll a run's live observability
+ *                                      endpoint (/healthz, /ranks, /series)
+ *                                      and render the per-rank health table
+ *                                      plus the overhead trajectory. Exit 0
+ *                                      healthy, 1 degraded, 2 unreachable
+ *                                      (see tools/cli_watch.cc)
  *
  * Global flags (any subcommand): `--metrics-out <path>` dumps the process
  * metrics registry as JSON on exit; `--trace-out <path>` enables tracing
@@ -78,6 +85,7 @@ int RunTraceCheck(const Args& args, std::ostream& out);
 int RunReport(const Args& args, std::ostream& out);
 int RunFsck(const Args& args, std::ostream& out);
 int RunTrace(const Args& args, std::ostream& out);
+int RunWatch(const Args& args, std::ostream& out);
 
 /** Dispatches `moc_cli <subcommand> ...`; prints usage on errors. */
 int Main(const std::vector<std::string>& tokens, std::ostream& out,

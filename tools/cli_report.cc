@@ -598,6 +598,21 @@ RunReport(const Args& args, std::ostream& out) {
             << " journal event(s) dropped (buffer full) — the event journal "
                "is a prefix of the run\n";
     }
+    // The live scrape endpoint's own counters (obs/http_endpoint.h): how
+    // hard the run was being watched, and whether scrapers were shed.
+    const double http_requests = dump.Counter("obs.http.requests");
+    const double http_errors = dump.Counter("obs.http.errors");
+    const double http_shed = dump.Counter("obs.http.shed");
+    if (http_requests > 0.0 || http_shed > 0.0) {
+        out << "\nlive endpoint: " << Table::Num(http_requests, 0)
+            << " request(s) served, " << Table::Num(http_errors, 0)
+            << " error(s), " << Table::Num(http_shed, 0) << " shed\n";
+    }
+    if (http_shed > 0.0) {
+        out << "WARNING: " << Table::Num(http_shed, 0)
+            << " scrape connection(s) shed (worker saturated) — scrapes "
+               "were dropped, never blocked on\n";
+    }
     if (stall_events > 0) {
         out << "\n" << stall_events
             << " stall event(s) in the journal (checkpoint ops over their "
@@ -842,7 +857,10 @@ RunReport(const Args& args, std::ostream& out) {
     machine << "]},\n"
             << " \"obs_health\": {\"trace_dropped\": "
             << obs::JsonNumber(trace_dropped) << ", \"journal_dropped\": "
-            << obs::JsonNumber(journal_dropped) << "}}\n";
+            << obs::JsonNumber(journal_dropped) << ", \"http_requests\": "
+            << obs::JsonNumber(http_requests) << ", \"http_errors\": "
+            << obs::JsonNumber(http_errors) << ", \"http_shed\": "
+            << obs::JsonNumber(http_shed) << "}}\n";
     out << "\n--- machine-readable (moc-report/1) ---\n" << machine.str();
 
     const std::string report_json = args.Get("report-json", "");

@@ -85,7 +85,8 @@ bool
 LauncherFlag(const std::string& flag) {
     return flag == "--binary" || flag == "--timeout-s" ||
            flag == "--events-out-dir" || flag == "--metrics-out-dir" ||
-           flag == "--obs-out-dir" || flag == "--respawn";
+           flag == "--obs-out-dir" || flag == "--respawn" ||
+           flag == "--http-port";
 }
 
 pid_t
@@ -231,6 +232,9 @@ main(int argc, char** argv) {
     const auto respawn_budget =
         static_cast<std::size_t>(FlagDouble(argc, argv, "respawn", 0));
     const char* obs_dir = FlagStr(argc, argv, "obs-out-dir", nullptr);
+    // Consumed here and handed to the coordinator only: the ranks must not
+    // race for one fixed port — the coordinator owns the scrape surface.
+    const char* http_port = FlagStr(argc, argv, "http-port", nullptr);
     // --obs-out-dir implies per-role journal + metrics exports there too.
     const char* events_dir =
         FlagStr(argc, argv, "events-out-dir", obs_dir);
@@ -242,7 +246,11 @@ main(int argc, char** argv) {
         std::printf("usage: moc_launcher --binary PATH [--ranks N] "
                     "[--timeout-s S] [--respawn N] [--obs-out-dir DIR] "
                     "[--events-out-dir DIR] [--metrics-out-dir DIR] "
-                    "[passthrough flags for the binary...]\n");
+                    "[--http-port P] "
+                    "[passthrough flags for the binary...]\n"
+                    "  --http-port P: coordinator serves the live endpoint "
+                    "on 127.0.0.1:P (0 = ephemeral; port printed and "
+                    "published next to the transport port file)\n");
         return 2;
     }
     if (obs_dir != nullptr) {
@@ -268,6 +276,10 @@ main(int argc, char** argv) {
         std::vector<std::string> args = shared;
         args.emplace_back("--role");
         args.emplace_back("coordinator");
+        if (http_port != nullptr) {
+            args.emplace_back("--http-port");
+            args.emplace_back(http_port);
+        }
         if (events_dir != nullptr) {
             args.emplace_back("--events-out");
             args.emplace_back(std::string(events_dir) +
@@ -282,6 +294,12 @@ main(int argc, char** argv) {
             args.emplace_back("--trace-out");
             args.emplace_back(std::string(obs_dir) +
                               "/coordinator.trace.json");
+            args.emplace_back("--prom-out");
+            args.emplace_back(std::string(obs_dir) +
+                              "/coordinator.prom.txt");
+            args.emplace_back("--series-out");
+            args.emplace_back(std::string(obs_dir) +
+                              "/coordinator.series.jsonl");
         }
         Child child;
         child.pid = Spawn(binary, args);
@@ -309,6 +327,9 @@ main(int argc, char** argv) {
             args.emplace_back("--trace-out");
             args.emplace_back(std::string(obs_dir) + "/rank" +
                               std::to_string(r) + ".trace.json");
+            args.emplace_back("--series-out");
+            args.emplace_back(std::string(obs_dir) + "/rank" +
+                              std::to_string(r) + ".series.jsonl");
         }
         Child child;
         child.pid = Spawn(binary, args);
